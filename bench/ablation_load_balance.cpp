@@ -1,0 +1,49 @@
+// Ablation: the load-balancing strategy behind PRNA's static column
+// ownership.
+//
+// Column weights on worst-case data are the interior widths 0, 2, 4, ...,
+// n-2 — heavily skewed, which is exactly where Graham's LPT earns its keep
+// over block ranges and round-robin. Reported per strategy: the plan's
+// imbalance and the simulated stage-one compute time at several processor
+// counts, plus the impact on end-to-end simulated speedup.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "parallel/cluster_sim.hpp"
+#include "rna/generators.hpp"
+#include "util/cli.hpp"
+#include "util/table_printer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace srna;
+
+  CliParser cli("ablation_load_balance", "LPT vs block vs cyclic column ownership");
+  cli.add_option("length", "worst-case sequence length", "1600");
+  cli.add_option("procs", "processor counts", "4,16,64");
+  if (!cli.parse(argc, argv)) return 0;
+
+  bench::print_header("Ablation — stage-one load balancing (simulated cluster)",
+                      "Section V-A: greedy approximation algorithm [Graham 1969]");
+
+  const auto s = worst_case_structure(static_cast<Pos>(cli.integer("length")));
+  MachineModel model;  // defaults; relative comparison only
+
+  TablePrinter table({"procs", "strategy", "imbalance", "stage1 compute[s]", "speedup"});
+  for (const auto p : cli.int_list("procs")) {
+    for (const auto strategy :
+         {BalanceStrategy::kGreedyLpt, BalanceStrategy::kBlock, BalanceStrategy::kCyclic}) {
+      SimOptions opt;
+      opt.processors = static_cast<std::size_t>(p);
+      opt.balance = strategy;
+      const auto sim = simulate_prna(s, s, model, opt);
+      const auto curve = simulate_speedup_curve(s, s, model, {opt.processors}, opt);
+      table.add_row({std::to_string(p), to_string(strategy),
+                     fixed(1.0 / sim.schedule_efficiency, 3),
+                     fixed(sim.stage1_compute_seconds, 2), fixed(curve[0].speedup, 2)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nshape check: LPT and cyclic stay near imbalance 1.0 on the skewed\n"
+               "weights; block ownership loses roughly half the machine.\n";
+  return 0;
+}

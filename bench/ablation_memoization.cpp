@@ -1,0 +1,84 @@
+// Ablation: what memoization buys SRNA1.
+//
+// Three variants of SRNA1's d2 handling:
+//   array     — Θ(1) dense memo table with an unset sentinel (our default);
+//   hashmap   — associative memo (the paper's KEY_NOT_FOUND phrasing);
+//   none      — no memoization: every matched arc re-spawns its child slice
+//               ("this is not dynamic programming at all", Section IV-A).
+//
+// The none variant is run on deliberately tiny worst cases — its slice count
+// grows explosively with nesting depth, which is exactly the point.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/mcos.hpp"
+#include "rna/generators.hpp"
+#include "util/cli.hpp"
+#include "util/table_printer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace srna;
+
+  CliParser cli("ablation_memoization", "SRNA1 memoization ablation");
+  cli.add_option("memo-lengths", "lengths for array-vs-hash comparison", "200,400,800");
+  cli.add_option("naive-lengths", "lengths for the no-memo blow-up", "8,12,16,20,24");
+  if (!cli.parse(argc, argv)) return 0;
+
+  bench::print_header("Ablation — memoization in SRNA1",
+                      "Section IV-A (child slices must be memoized) and Algorithm 1");
+
+  {
+    TablePrinter table({"length", "array[s]", "hashmap[s]", "hash/array", "memo misses"});
+    for (const auto length : cli.int_list("memo-lengths")) {
+      const auto s = worst_case_structure(static_cast<Pos>(length));
+      McosOptions array_opt;
+      McosOptions hash_opt;
+      hash_opt.memo_kind = MemoKind::kHashMap;
+      McosResult ra, rh;
+      const double ta = bench::time_best_of(1, [&] { ra = srna1(s, s, array_opt); });
+      const double th = bench::time_best_of(1, [&] { rh = srna1(s, s, hash_opt); });
+      if (ra.value != rh.value) {
+        std::cerr << "VALUE MISMATCH\n";
+        return 1;
+      }
+      table.add_row({std::to_string(length), fixed(ta, 3), fixed(th, 3),
+                     ta > 0 ? fixed(th / ta, 2) : "-", std::to_string(ra.stats.memo_misses)});
+    }
+    std::cout << "\nmemo representation (worst-case data):\n";
+    table.print(std::cout);
+  }
+
+  {
+    TablePrinter table({"length", "arcs", "memoized slices", "naive slices", "blow-up",
+                        "naive max depth"});
+    for (const auto length : cli.int_list("naive-lengths")) {
+      const auto s = worst_case_structure(static_cast<Pos>(length));
+      McosOptions with;
+      McosOptions without;
+      without.memoize = false;
+      without.spawn_limit = 50'000'000;  // safety valve
+      const auto rw = srna1(s, s, with);
+      McosResult rn;
+      bool aborted = false;
+      try {
+        rn = srna1(s, s, without);
+      } catch (const std::runtime_error&) {
+        aborted = true;
+      }
+      table.add_row({std::to_string(length), std::to_string(s.arc_count()),
+                     std::to_string(rw.stats.slices_tabulated),
+                     aborted ? ">5e7 (aborted)" : std::to_string(rn.stats.slices_tabulated),
+                     aborted ? "-"
+                             : fixed(static_cast<double>(rn.stats.slices_tabulated) /
+                                         static_cast<double>(rw.stats.slices_tabulated),
+                                     1),
+                     aborted ? "-" : std::to_string(rn.stats.max_spawn_depth)});
+    }
+    std::cout << "\nmemoization on vs off (slice spawn counts):\n";
+    table.print(std::cout);
+    std::cout << "\nshape check: without memoization the spawn count explodes\n"
+                 "combinatorially with nesting depth; with it, one spawn per arc pair\n"
+                 "and recursion depth <= 1.\n";
+  }
+  return 0;
+}

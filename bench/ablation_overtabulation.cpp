@@ -1,0 +1,61 @@
+// Ablation: over-tabulation of the conventional bottom-up strategy vs the
+// exact tabulation of the slice-based algorithms (paper Sections II/IV).
+//
+// For each workload the table reports subproblems touched by:
+//   bottom-up 4-D — every (i1<=j1, i2<=j2) interval pair (the "ignore the
+//                   input, fill the table" strategy);
+//   top-down      — the exact tabulation (only subproblems reachable from
+//                   the root);
+//   SRNA2         — slice cells (the same exact set, organized in slices).
+// Sparse structures make the gap enormous — the paper's core argument for
+// letting the input drive the computation.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/mcos.hpp"
+#include "rna/generators.hpp"
+#include "util/cli.hpp"
+#include "util/table_printer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace srna;
+
+  CliParser cli("ablation_overtabulation", "bottom-up overtabulation vs exact tabulation");
+  cli.add_option("length", "sequence length (kept small: the 4-D table is real)", "48");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto length = static_cast<Pos>(cli.integer("length"));
+
+  bench::print_header("Ablation — overtabulation vs exact tabulation",
+                      "Sections II and IV: the cost of ignoring the data-driven structure");
+
+  TablePrinter table({"workload", "arcs", "bottom-up 4-D cells", "top-down exact cells",
+                      "SRNA2 slice cells", "overtabulation factor"});
+
+  auto run = [&](const std::string& name, const SecondaryStructure& s) {
+    const auto over = mcos_reference_bottomup(s, s);
+    const auto exact = mcos_reference_topdown(s, s);
+    const auto slices = srna2(s, s);
+    table.add_row({name, std::to_string(s.arc_count()),
+                   std::to_string(over.stats.cells_tabulated),
+                   std::to_string(exact.stats.cells_tabulated),
+                   std::to_string(slices.stats.cells_tabulated),
+                   fixed(static_cast<double>(over.stats.cells_tabulated) /
+                             static_cast<double>(std::max<std::uint64_t>(
+                                 slices.stats.cells_tabulated, 1)),
+                         1)});
+  };
+
+  run("worst-case (dense nesting)", worst_case_structure(length));
+  run("rRNA-like (sparse)", rrna_like_structure(length, static_cast<std::size_t>(length / 6), 3));
+  run("sequential hairpins", sequential_arcs_structure(length, length / 6));
+  run("random d=0.2", random_structure(length, 0.2, 1));
+  run("random d=0.6", random_structure(length, 0.6, 1));
+  run("arc-free", SecondaryStructure(length));
+
+  table.print(std::cout);
+  std::cout << "\nshape check: the bottom-up table touches every interval pair no\n"
+               "matter the input; the exact strategies scale with the arc structure\n"
+               "and collapse to nothing on arc-free input.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Ablation: dense (paper-faithful) vs event-compressed slice layout.
+//
+// The dense layout tabulates every cell of every child slice — the paper's
+// cost model. The compressed layout stores one cell per matched-arc event
+// pair, exploiting that F only changes at events. On the contrived worst
+// case (every position paired) the two differ by a constant factor; on
+// sparse realistic structures the compressed layout wins by orders of
+// magnitude.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/mcos.hpp"
+#include "rna/generators.hpp"
+#include "rna/structure_stats.hpp"
+#include "util/cli.hpp"
+#include "util/table_printer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace srna;
+
+  CliParser cli("ablation_slice_layout", "dense vs compressed slice layout");
+  cli.add_option("worst-lengths", "worst-case lengths", "200,400,800");
+  cli.add_option("rrna-lengths", "rRNA-like lengths (arcs ~ length/6)", "1000,2000,4216");
+  if (!cli.parse(argc, argv)) return 0;
+
+  bench::print_header("Ablation — slice layout (dense vs event-compressed), SRNA2",
+                      "DESIGN.md §4.4; paper Section IV cost model");
+
+  TablePrinter table({"workload", "length", "arcs", "dense[s]", "compressed[s]", "speedup",
+                      "dense cells", "compressed cells"});
+
+  auto run = [&](const std::string& name, const SecondaryStructure& s) {
+    McosOptions dense;
+    dense.layout = SliceLayout::kDense;
+    McosOptions compressed;
+    compressed.layout = SliceLayout::kCompressed;
+    McosResult rd, rc;
+    const double td = bench::time_best_of(1, [&] { rd = srna2(s, s, dense); });
+    const double tc = bench::time_best_of(1, [&] { rc = srna2(s, s, compressed); });
+    if (rd.value != rc.value) {
+      std::cerr << "VALUE MISMATCH for " << name << "\n";
+      std::exit(1);
+    }
+    table.add_row({name, std::to_string(s.length()), std::to_string(s.arc_count()),
+                   fixed(td, 3), fixed(tc, 3), tc > 0 ? fixed(td / tc, 1) : "-",
+                   std::to_string(rd.stats.cells_tabulated),
+                   std::to_string(rc.stats.cells_tabulated)});
+  };
+
+  for (const auto length : cli.int_list("worst-lengths"))
+    run("worst-case", worst_case_structure(static_cast<Pos>(length)));
+  for (const auto length : cli.int_list("rrna-lengths"))
+    run("rRNA-like",
+        rrna_like_structure(static_cast<Pos>(length),
+                            static_cast<std::size_t>(length / 6), 2012));
+
+  table.print(std::cout);
+  std::cout << "\nshape check: modest constant-factor gain on worst-case data, large\n"
+               "gains on sparse realistic structures (events << cells).\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Ablation: is stage two worth parallelizing?
+//
+// The paper (Section V-A): "Although stage two performs operations that
+// could be parallelized, the small percentage of execution accounted for by
+// stage two and the amount of time required for parallel overhead is so
+// great that it is not worth the additional programming effort." We built
+// it anyway — a wavefront over anti-diagonals — and measure both sides of
+// that sentence: the share of stage two in the total, and the overhead of
+// the wavefront's per-diagonal synchronization.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "parallel/prna.hpp"
+#include "rna/generators.hpp"
+#include "util/cli.hpp"
+#include "util/table_printer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace srna;
+
+  CliParser cli("ablation_stage2_parallel", "sequential vs wavefront-parallel stage two");
+  cli.add_option("lengths", "worst-case sequence lengths", "200,400,800");
+  cli.add_option("threads", "threads for stage one and the wavefront", "2");
+  if (!cli.parse(argc, argv)) return 0;
+
+  bench::print_header("Ablation — stage two: sequential vs wavefront (real shared memory)",
+                      "Section V-A's 'not worth the additional programming effort'");
+
+  const int threads = static_cast<int>(cli.integer("threads"));
+  TablePrinter table({"length", "stage2 seq[s]", "stage2 wave[s]", "stage2 share of total",
+                      "value check"});
+
+  for (const auto length : cli.int_list("lengths")) {
+    const auto s = worst_case_structure(static_cast<Pos>(length));
+    PrnaOptions seq;
+    seq.num_threads = threads;
+    PrnaOptions wave = seq;
+    wave.parallel_stage2 = true;
+
+    const auto rs = prna(s, s, seq);
+    const auto rw = prna(s, s, wave);
+    const double share = rs.stats.total_seconds() > 0
+                             ? rs.stats.stage2_seconds / rs.stats.total_seconds()
+                             : 0.0;
+    table.add_row({std::to_string(length), fixed(rs.stats.stage2_seconds, 5),
+                   fixed(rw.stats.stage2_seconds, 5), fixed(100.0 * share, 4) + "%",
+                   rs.value == rw.value ? "agree" : "BUG"});
+    if (rs.value != rw.value) return 1;
+  }
+  table.print(std::cout);
+  std::cout << "\nshape check: stage two is a vanishing share of the total, and the\n"
+               "wavefront's per-diagonal barriers eat whatever it could save —\n"
+               "the paper's call to leave stage two sequential stands.\n";
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Shared helpers for the paper-reproduction bench harness.
+//
+// Every binary in bench/ regenerates one table or figure from the paper
+// (see DESIGN.md §4) and prints the measured rows next to the paper's
+// published values where they exist. None of the harnesses assert — they
+// report; EXPERIMENTS.md records the comparison.
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <string>
+
+#include "core/result.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace srna::bench {
+
+// Times `body` `reps` times and returns the minimum wall time (the standard
+// "best of N" estimator for single-machine wall-clock comparisons).
+inline double time_best_of(int reps, const std::function<void()>& body) {
+  RunningStats stats;
+  for (int i = 0; i < reps; ++i) {
+    WallTimer timer;
+    body();
+    stats.add(timer.seconds());
+  }
+  return stats.min();
+}
+
+inline void print_header(const std::string& title, const std::string& paper_anchor) {
+  std::cout << "\n================================================================\n"
+            << title << "\n"
+            << "reproduces: " << paper_anchor << "\n"
+            << "================================================================\n";
+}
+
+}  // namespace srna::bench

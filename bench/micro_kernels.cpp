@@ -1,0 +1,114 @@
+// Google-benchmark microbenchmarks for the hot kernels and substrates:
+// slice tabulation (dense/compressed), the full solvers on small inputs,
+// preprocessing (ArcIndex), generators, Nussinov folding, and load
+// balancing.
+#include <benchmark/benchmark.h>
+
+#include "core/arc_index.hpp"
+#include "core/mcos.hpp"
+#include "core/tabulate_slice.hpp"
+#include "parallel/load_balance.hpp"
+#include "rna/generators.hpp"
+#include "rna/nussinov.hpp"
+#include "util/prng.hpp"
+
+namespace srna {
+namespace {
+
+Score zero_d2(Pos, Pos, Pos, Pos) { return 0; }
+
+void BM_DenseSliceKernel(benchmark::State& state) {
+  const auto length = static_cast<Pos>(state.range(0));
+  const auto s = worst_case_structure(length);
+  Matrix<Score> scratch;
+  const SliceBounds bounds{0, length - 1, 0, length - 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tabulate_slice_dense(s, s, bounds, scratch, zero_d2));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(length) * length);
+}
+BENCHMARK(BM_DenseSliceKernel)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_CompressedSliceKernel(benchmark::State& state) {
+  const auto length = static_cast<Pos>(state.range(0));
+  const auto s = worst_case_structure(length);
+  const ArcIndex idx(s);
+  CompressedSliceScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tabulate_slice_compressed(idx.all(), idx.all(), scratch, zero_d2));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(idx.size()) *
+                          static_cast<std::int64_t>(idx.size()));
+}
+BENCHMARK(BM_CompressedSliceKernel)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_Srna1WorstCase(benchmark::State& state) {
+  const auto s = worst_case_structure(static_cast<Pos>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(srna1(s, s).value);
+}
+BENCHMARK(BM_Srna1WorstCase)->Arg(100)->Arg(200);
+
+void BM_Srna2WorstCase(benchmark::State& state) {
+  const auto s = worst_case_structure(static_cast<Pos>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(srna2(s, s).value);
+}
+BENCHMARK(BM_Srna2WorstCase)->Arg(100)->Arg(200);
+
+void BM_Srna2RrnaLike(benchmark::State& state) {
+  const auto length = static_cast<Pos>(state.range(0));
+  const auto s = rrna_like_structure(length, static_cast<std::size_t>(length / 6), 1);
+  for (auto _ : state) benchmark::DoNotOptimize(srna2(s, s).value);
+}
+BENCHMARK(BM_Srna2RrnaLike)->Arg(500)->Arg(1000);
+
+void BM_ReferenceTopDown(benchmark::State& state) {
+  const auto s = worst_case_structure(static_cast<Pos>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(mcos_reference_topdown(s, s).value);
+}
+BENCHMARK(BM_ReferenceTopDown)->Arg(24)->Arg(48);
+
+void BM_ArcIndexBuild(benchmark::State& state) {
+  const auto s = rrna_like_structure(4216, 721, 1);
+  for (auto _ : state) {
+    ArcIndex idx(s);
+    benchmark::DoNotOptimize(idx.size());
+  }
+}
+BENCHMARK(BM_ArcIndexBuild);
+
+void BM_GeneratorRandomStructure(benchmark::State& state) {
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(random_structure(2000, 0.4, seed++).arc_count());
+  }
+}
+BENCHMARK(BM_GeneratorRandomStructure);
+
+void BM_GeneratorRrnaLike(benchmark::State& state) {
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rrna_like_structure(4216, 721, seed++).arc_count());
+  }
+}
+BENCHMARK(BM_GeneratorRrnaLike);
+
+void BM_NussinovFold(benchmark::State& state) {
+  const auto seq = random_sequence(static_cast<Pos>(state.range(0)), 5);
+  for (auto _ : state) benchmark::DoNotOptimize(nussinov_fold(seq).max_pairs);
+}
+BENCHMARK(BM_NussinovFold)->Arg(100)->Arg(300);
+
+void BM_LoadBalanceLpt(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  std::vector<std::uint64_t> weights(static_cast<std::size_t>(state.range(0)));
+  for (auto& w : weights) w = rng.uniform(10'000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(balance_load(weights, 64).makespan());
+  }
+}
+BENCHMARK(BM_LoadBalanceLpt)->Arg(1000)->Arg(100000);
+
+}  // namespace
+}  // namespace srna
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Table I: execution times (seconds) of SRNA1 and SRNA2 for contrived
+// worst-case data (maximally nested arcs), sequence lengths 100..1600,
+// self-comparison.
+//
+// Paper values (PGI C, 2.8 GHz Opteron):
+//   length : 100    200    400    800     1600
+//   SRNA1  : 0.015  0.238  4.008  76.371  1434.856
+//   SRNA2  : 0.008  0.128  2.323  37.799  660.696
+//
+// The reproduction targets the *shape*: SRNA2 < SRNA1 at every length, and
+// ~16x growth per doubling (the Θ(n^4) term). Absolute times differ with the
+// host CPU. `--full` adds the 1600 row (~20 minutes); `--hash-memo` also
+// reports SRNA1 with the associative memo the paper's KEY_NOT_FOUND wording
+// suggests.
+#include <algorithm>
+#include <iostream>
+#include <map>
+
+#include "bench_util.hpp"
+#include "core/mcos.hpp"
+#include "rna/generators.hpp"
+#include "util/cli.hpp"
+#include "util/table_printer.hpp"
+
+namespace {
+
+const std::map<std::int64_t, std::pair<double, double>> kPaper = {
+    {100, {0.015, 0.008}},  {200, {0.238, 0.128}},    {400, {4.008, 2.323}},
+    {800, {76.371, 37.799}}, {1600, {1434.856, 660.696}},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace srna;
+
+  CliParser cli("table1_sequential", "Table I: SRNA1 vs SRNA2 on contrived worst-case data");
+  cli.add_option("lengths", "comma-separated sequence lengths (paper: 100..1600; the 1600 row"
+                            " costs ~25 min — trim the list for a quick pass)",
+                 "100,200,400,800,1600");
+  cli.add_flag("full", "deprecated: 1600 is now in the default length list");
+  cli.add_flag("hash-memo", "also run SRNA1 with the hash-map memo");
+  cli.add_option("reps", "repetitions per measurement (min is reported)", "1");
+  cli.add_flag("csv", "emit CSV instead of the aligned table");
+  if (!cli.parse(argc, argv)) return 0;
+
+  auto lengths = cli.int_list("lengths");
+  if (cli.flag("full") && std::find(lengths.begin(), lengths.end(), 1600) == lengths.end())
+    lengths.push_back(1600);
+  const int reps = static_cast<int>(cli.integer("reps"));
+  const bool hash_memo = cli.flag("hash-memo");
+
+  bench::print_header("Table I — SRNA1 vs SRNA2, contrived worst-case data",
+                      "paper Table I (Section IV-C)");
+
+  std::vector<std::string> header{"length",      "arcs",         "SRNA1[s]",
+                                  "SRNA2[s]",    "ratio1/2",     "paper SRNA1[s]",
+                                  "paper SRNA2[s]", "paper ratio"};
+  if (hash_memo) header.insert(header.begin() + 4, "SRNA1-hash[s]");
+  TablePrinter table(header);
+
+  for (const std::int64_t length : lengths) {
+    const auto s = worst_case_structure(static_cast<Pos>(length));
+
+    Score v1 = 0;
+    Score v2 = 0;
+    const double t1 = bench::time_best_of(reps, [&] { v1 = srna1(s, s).value; });
+    const double t2 = bench::time_best_of(reps, [&] { v2 = srna2(s, s).value; });
+    if (v1 != v2 || v1 != static_cast<Score>(s.arc_count())) {
+      std::cerr << "VALUE MISMATCH at length " << length << "\n";
+      return 1;
+    }
+
+    double th = 0.0;
+    if (hash_memo) {
+      McosOptions opt;
+      opt.memo_kind = MemoKind::kHashMap;
+      th = bench::time_best_of(reps, [&] { (void)srna1(s, s, opt); });
+    }
+
+    const auto paper = kPaper.count(length) ? kPaper.at(length) : std::pair<double, double>{0, 0};
+    std::vector<std::string> row{
+        std::to_string(length),
+        std::to_string(s.arc_count()),
+        fixed(t1, 3),
+        fixed(t2, 3),
+        t2 > 0 ? fixed(t1 / t2, 2) : "-",
+        paper.first > 0 ? fixed(paper.first, 3) : "-",
+        paper.second > 0 ? fixed(paper.second, 3) : "-",
+        paper.second > 0 ? fixed(paper.first / paper.second, 2) : "-",
+    };
+    if (hash_memo) row.insert(row.begin() + 4, fixed(th, 3));
+    table.add_row(row);
+  }
+
+  if (cli.flag("csv"))
+    table.print_csv(std::cout);
+  else
+    table.print(std::cout);
+  std::cout << "\nshape check: SRNA2 should beat SRNA1 at every length; each\n"
+               "doubling of the length should cost ~16x (the Theta(n^4) term).\n";
+  return 0;
+}

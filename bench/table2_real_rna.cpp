@@ -1,0 +1,83 @@
+// Table II: SRNA1 vs SRNA2 self-comparing two 23S ribosomal RNA secondary
+// structures.
+//
+// Paper values:
+//   Fungus (Suillus sinuspaulianus, L47585):   4216 bases, 721 arcs
+//       SRNA1 49.149 s   SRNA2 25.472 s
+//   Malaria parasite (Plasmodium falciparum, U48228): 4381 bases, 1126 arcs
+//       SRNA1 86.887 s   SRNA2 39.028 s
+//
+// Substitution (DESIGN.md §5): the accessions are not available offline, so
+// the harness synthesizes stem-loop structures with the same base and arc
+// counts. The algorithms are driven purely by the arc structure, so a
+// statistics-matched synthetic exercises the identical code paths; the
+// reproduction target is the SRNA2-vs-SRNA1 advantage and the contrast with
+// Table I (real structures are far cheaper than worst-case data of similar
+// length).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/mcos.hpp"
+#include "rna/generators.hpp"
+#include "rna/structure_stats.hpp"
+#include "util/cli.hpp"
+#include "util/table_printer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace srna;
+
+  CliParser cli("table2_real_rna", "Table II: SRNA1 vs SRNA2 on 23S-rRNA-scale structures");
+  cli.add_option("seed", "generator seed", "2012");
+  cli.add_option("reps", "repetitions per measurement", "1");
+  cli.add_flag("csv", "emit CSV instead of the aligned table");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
+  const int reps = static_cast<int>(cli.integer("reps"));
+
+  struct Instance {
+    const char* name;
+    Pos bases;
+    std::size_t arcs;
+    double paper_srna1;
+    double paper_srna2;
+  };
+  const Instance instances[] = {
+      {"Fungus (23S rRNA, L47585-like)", 4216, 721, 49.149, 25.472},
+      {"Malaria Parasite (23S rRNA, U48228-like)", 4381, 1126, 86.887, 39.028},
+  };
+
+  bench::print_header("Table II — SRNA1 vs SRNA2, rRNA-scale structures (synthetic substitute)",
+                      "paper Table II (Section IV-C)");
+
+  TablePrinter table({"instance", "bases", "arcs", "stems", "SRNA1[s]", "SRNA2[s]", "ratio1/2",
+                      "paper SRNA1[s]", "paper SRNA2[s]", "paper ratio"});
+
+  for (const Instance& inst : instances) {
+    const auto s = rrna_like_structure(inst.bases, inst.arcs, seed);
+    const auto stats = compute_stats(s);
+
+    Score v1 = 0;
+    Score v2 = 0;
+    const double t1 = bench::time_best_of(reps, [&] { v1 = srna1(s, s).value; });
+    const double t2 = bench::time_best_of(reps, [&] { v2 = srna2(s, s).value; });
+    if (v1 != v2 || v1 != static_cast<Score>(s.arc_count())) {
+      std::cerr << "VALUE MISMATCH for " << inst.name << "\n";
+      return 1;
+    }
+
+    table.add_row({inst.name, std::to_string(stats.length), std::to_string(stats.arcs),
+                   std::to_string(stats.stems), fixed(t1, 3), fixed(t2, 3),
+                   t2 > 0 ? fixed(t1 / t2, 2) : "-", fixed(inst.paper_srna1, 3),
+                   fixed(inst.paper_srna2, 3), fixed(inst.paper_srna1 / inst.paper_srna2, 2)});
+  }
+
+  if (cli.flag("csv"))
+    table.print_csv(std::cout);
+  else
+    table.print(std::cout);
+  std::cout << "\nshape check: real-scale structures run orders of magnitude faster\n"
+               "than worst-case data of comparable length (compare Table I at 1600),\n"
+               "and SRNA2 keeps its advantage over SRNA1.\n";
+  return 0;
+}

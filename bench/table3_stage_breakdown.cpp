@@ -1,0 +1,71 @@
+// Table III: percentage breakdown of SRNA2's execution time across its
+// three phases (preprocessing, stage one, stage two) on contrived
+// worst-case data.
+//
+// Paper values (percent of total):
+//   length        : 100      200      400      800
+//   preprocessing : 0.1814   0.0488   0.0052   0.0002
+//   stage one     : 99.6131  99.9055  99.9844  99.9963
+//   stage two     : 0.1693   0.0434   0.0102   0.0034
+//
+// The point of the table: stage one utterly dominates, so it is the only
+// phase worth parallelizing (Section V).
+#include <iostream>
+#include <map>
+
+#include "bench_util.hpp"
+#include "core/mcos.hpp"
+#include "rna/generators.hpp"
+#include "util/cli.hpp"
+#include "util/table_printer.hpp"
+
+namespace {
+
+struct PaperRow {
+  double pre, s1, s2;
+};
+const std::map<std::int64_t, PaperRow> kPaper = {
+    {100, {0.1814, 99.6131, 0.1693}},
+    {200, {0.0488, 99.9055, 0.0434}},
+    {400, {0.0052, 99.9844, 0.0102}},
+    {800, {0.0002, 99.9963, 0.0034}},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace srna;
+
+  CliParser cli("table3_stage_breakdown", "Table III: SRNA2 phase breakdown on worst-case data");
+  cli.add_option("lengths", "comma-separated sequence lengths", "100,200,400,800");
+  cli.add_flag("csv", "emit CSV instead of the aligned table");
+  if (!cli.parse(argc, argv)) return 0;
+
+  bench::print_header("Table III — SRNA2 execution breakdown (percent), worst-case data",
+                      "paper Table III (Section IV-C)");
+
+  TablePrinter table({"length", "pre[%]", "stage1[%]", "stage2[%]", "total[s]",
+                      "paper pre[%]", "paper s1[%]", "paper s2[%]"});
+
+  for (const std::int64_t length : cli.int_list("lengths")) {
+    const auto s = worst_case_structure(static_cast<Pos>(length));
+    const auto r = srna2(s, s);
+    const double total = r.stats.total_seconds();
+    const auto pct = [&](double x) { return total > 0 ? 100.0 * x / total : 0.0; };
+
+    const bool has_paper = kPaper.count(length) != 0;
+    const PaperRow paper = has_paper ? kPaper.at(length) : PaperRow{0, 0, 0};
+    table.add_row({std::to_string(length), fixed(pct(r.stats.preprocess_seconds), 4),
+                   fixed(pct(r.stats.stage1_seconds), 4), fixed(pct(r.stats.stage2_seconds), 4),
+                   fixed(total, 3), has_paper ? fixed(paper.pre, 4) : "-",
+                   has_paper ? fixed(paper.s1, 4) : "-", has_paper ? fixed(paper.s2, 4) : "-"});
+  }
+
+  if (cli.flag("csv"))
+    table.print_csv(std::cout);
+  else
+    table.print(std::cout);
+  std::cout << "\nshape check: stage one should exceed 99% from length 200 on —\n"
+               "the basis for parallelizing only stage one in PRNA.\n";
+  return 0;
+}

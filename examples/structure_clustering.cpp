@@ -1,0 +1,109 @@
+// Structure clustering: build a pairwise MCOS similarity matrix over a set
+// of structures and cluster it with average-linkage agglomeration.
+//
+//   $ structure_clustering                 # synthetic demo set
+//   $ structure_clustering a.ct b.ct ...   # your own structures
+//
+// Demonstrates the library as a building block for comparative genomics
+// pipelines: the MCOS value is a structural similarity kernel, and the
+// stem-loop generator provides labelled synthetic families to sanity-check
+// the clustering.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "db/clustering.hpp"
+#include "db/structure_db.hpp"
+#include "rna/formats.hpp"
+#include "rna/generators.hpp"
+#include "rna/mutations.hpp"
+#include "util/matrix.hpp"
+#include "util/table_printer.hpp"
+
+namespace {
+
+using namespace srna;
+
+SecondaryStructure mutate(const SecondaryStructure& s, double dose, std::uint64_t seed) {
+  return mutate_structure(s, dose, seed);
+}
+
+StructureDatabase demo_set() {
+  StructureDatabase items;
+  const char* family_names[] = {"alpha", "beta", "gamma"};
+  for (std::uint64_t f = 0; f < 3; ++f) {
+    const auto progenitor = rrna_like_structure(700, 120, 1000 + f);
+    for (std::uint64_t i = 0; i < 3; ++i)
+      items.add({std::string(family_names[f]) + "-" + std::to_string(i),
+                 mutate(progenitor, 0.12 + 0.05 * static_cast<double>(i), 7000 + 10 * f + i),
+                 std::nullopt});
+  }
+  return items;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  StructureDatabase items;
+  if (argc >= 2) {
+    try {
+      for (int i = 1; i < argc; ++i) {
+        AnnotatedStructure rec = read_structure_file(argv[i]);
+        items.add({argv[i], std::move(rec.structure), std::move(rec.sequence)});
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "failed to load structures: " << e.what() << "\n";
+      return 1;
+    }
+  } else {
+    items = demo_set();
+    std::cout << "(no files given — clustering a synthetic 3-family demo set)\n\n";
+  }
+  if (items.size() < 2) {
+    std::cerr << "need at least two structures\n";
+    return 1;
+  }
+
+  // The parallel all-pairs engine from the database layer.
+  const std::size_t n = items.size();
+  const Matrix<double> similarity = all_pairs_similarity(items);
+
+  std::cout << "pairwise similarity (2*common / (arcs_i + arcs_j)):\n";
+  std::vector<std::string> header{""};
+  for (std::size_t i = 0; i < n; ++i) header.push_back(items.record(i).name);
+  TablePrinter table(header);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<std::string> row{items.record(i).name};
+    for (std::size_t j = 0; j < n; ++j) row.push_back(fixed(similarity(i, j), 2));
+    table.add_row(row);
+  }
+  table.print(std::cout);
+
+  const std::size_t target = argc >= 2 ? std::max<std::size_t>(2, n / 3) : 3;
+  const Dendrogram tree = cluster_average_linkage(similarity);
+  const auto clusters = tree.cut(target);
+
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < n; ++i) names.push_back(items.record(i).name);
+  std::cout << "\ndendrogram (Newick): " << tree.to_newick(names) << "\n";
+  std::cout << "\nclusters (average linkage, " << target << " groups):\n";
+  bool pure = true;
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    std::cout << "  cluster " << c << ":";
+    std::string prefix;
+    for (const std::size_t idx : clusters[c]) {
+      const std::string& name = items.record(idx).name;
+      std::cout << ' ' << name;
+      const std::string p = name.substr(0, name.find('-'));
+      if (prefix.empty()) prefix = p;
+      if (p != prefix) pure = false;
+    }
+    std::cout << "\n";
+  }
+  if (argc < 2) {
+    std::cout << "\nexpectation: each cluster contains a single synthetic family — "
+              << (pure ? "OK\n" : "NOT met (investigate!)\n");
+    return pure ? 0 : 1;
+  }
+  return 0;
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Rebuilds everything, runs the full test suite and the complete
+# paper-reproduction harness, leaving test_output.txt and bench_output.txt
+# at the repository root (the artifacts EXPERIMENTS.md cites).
+#
+# Expect ~40 minutes on a single modern core; Table I's 1600-length row is
+# the long pole (~25 min). For a quick pass:
+#   build/bench/table1_sequential --lengths=100,200,400
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] && "$b"
+done 2>&1 | tee bench_output.txt

@@ -1,0 +1,102 @@
+#include "align/anchored_alignment.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace srna {
+
+namespace {
+
+struct Anchor {
+  Pos p1;
+  Pos p2;
+};
+
+}  // namespace
+
+StructuralAlignment anchored_alignment(const Sequence& seq1, const SecondaryStructure& s1,
+                                       const Sequence& seq2, const SecondaryStructure& s2,
+                                       const AlignScoring& scoring) {
+  SRNA_REQUIRE(seq1.length() == s1.length() && seq2.length() == s2.length(),
+               "sequence lengths must match their structures");
+
+  StructuralAlignment out;
+  const CommonSubstructure common = mcos_traceback(s1, s2);
+  out.anchors = common.matches;
+  out.common_arcs = common.value;
+  std::sort(out.anchors.begin(), out.anchors.end(),
+            [](const ArcMatch& a, const ArcMatch& b) { return a.a1.left < b.a1.left; });
+
+  // Flatten matched arc endpoints into position anchors; the order
+  // consistency of a valid common substructure makes them monotone in both
+  // coordinates after sorting by the first.
+  std::vector<Anchor> anchors;
+  anchors.reserve(out.anchors.size() * 2);
+  for (const ArcMatch& m : out.anchors) {
+    anchors.push_back({m.a1.left, m.a2.left});
+    anchors.push_back({m.a1.right, m.a2.right});
+  }
+  std::sort(anchors.begin(), anchors.end(),
+            [](const Anchor& a, const Anchor& b) { return a.p1 < b.p1; });
+  for (std::size_t i = 1; i < anchors.size(); ++i)
+    SRNA_CHECK(anchors[i].p2 > anchors[i - 1].p2,
+               "traceback produced order-inconsistent anchors");
+
+  // Stitch: NW-align each gap region, then pin the anchor column.
+  Pos prev1 = -1;
+  Pos prev2 = -1;
+  double score = 0.0;
+  auto append_region = [&](Pos hi1, Pos hi2) {
+    const Pos lo1 = prev1 + 1;
+    const Pos lo2 = prev2 + 1;
+    if (hi1 < lo1 && hi2 < lo2) return;  // nothing between the anchors
+    if (hi1 < lo1) {
+      for (Pos j = lo2; j <= hi2; ++j) out.alignment.columns.push_back({-1, j});
+      score += scoring.gap * static_cast<double>(hi2 - lo2 + 1);
+      return;
+    }
+    if (hi2 < lo2) {
+      for (Pos i = lo1; i <= hi1; ++i) out.alignment.columns.push_back({i, -1});
+      score += scoring.gap * static_cast<double>(hi1 - lo1 + 1);
+      return;
+    }
+    const Alignment region = needleman_wunsch(seq1, lo1, hi1, seq2, lo2, hi2, scoring);
+    out.alignment.columns.insert(out.alignment.columns.end(), region.columns.begin(),
+                                 region.columns.end());
+    score += region.score;
+  };
+
+  for (const Anchor& anchor : anchors) {
+    append_region(anchor.p1 - 1, anchor.p2 - 1);
+    out.alignment.columns.push_back({anchor.p1, anchor.p2});
+    score += seq1[anchor.p1] == seq2[anchor.p2] ? scoring.match : scoring.mismatch;
+    prev1 = anchor.p1;
+    prev2 = anchor.p2;
+  }
+  append_region(seq1.length() - 1, seq2.length() - 1);
+  out.alignment.score = score;
+  return out;
+}
+
+std::string StructuralAlignment::format(const Sequence& seq1, const Sequence& seq2) const {
+  std::string text = format_alignment(alignment, seq1, seq2);
+
+  // Annotation line: mark anchored endpoints under their columns.
+  std::string marks(alignment.columns.size(), ' ');
+  auto mark = [&](Pos p1, char symbol) {
+    for (std::size_t c = 0; c < alignment.columns.size(); ++c) {
+      if (alignment.columns[c].i == p1) {
+        marks[c] = symbol;
+        return;
+      }
+    }
+  };
+  for (const ArcMatch& m : anchors) {
+    mark(m.a1.left, '(');
+    mark(m.a1.right, ')');
+  }
+  return text + marks + "\n";
+}
+
+}  // namespace srna

@@ -1,0 +1,36 @@
+// Structure-anchored sequence alignment.
+//
+// Bafna et al.'s original problem — the formulation the paper's MCOS
+// recurrence was specialized from — is *alignment* of RNA strings guided by
+// their bond structure. This module composes the reproduction's pieces into
+// that end product: the MCOS traceback supplies the matched arc pairs, each
+// matched endpoint becomes a hard alignment anchor, and the unpaired
+// stretches between consecutive anchors are aligned with Needleman–Wunsch.
+// The result is a full-length alignment that is guaranteed consistent with
+// a maximum common ordered substructure.
+#pragma once
+
+#include "align/needleman_wunsch.hpp"
+#include "core/traceback.hpp"
+#include "rna/secondary_structure.hpp"
+#include "rna/sequence.hpp"
+
+namespace srna {
+
+struct StructuralAlignment {
+  Alignment alignment;            // full-sequence alignment, anchors included
+  std::vector<ArcMatch> anchors;  // the matched arcs (sorted by position)
+  Score common_arcs = 0;          // = anchors.size(), the MCOS value
+
+  // Renders sequence lines plus an annotation line marking anchored arc
+  // endpoints '(' / ')' under the alignment.
+  [[nodiscard]] std::string format(const Sequence& seq1, const Sequence& seq2) const;
+};
+
+// Computes the MCOS between s1 and s2 and assembles the anchored alignment
+// of their sequences. Sequence lengths must match their structures.
+StructuralAlignment anchored_alignment(const Sequence& seq1, const SecondaryStructure& s1,
+                                       const Sequence& seq2, const SecondaryStructure& s2,
+                                       const AlignScoring& scoring = {});
+
+}  // namespace srna

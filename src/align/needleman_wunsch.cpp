@@ -1,0 +1,114 @@
+#include "align/needleman_wunsch.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/matrix.hpp"
+
+namespace srna {
+
+std::size_t Alignment::matches(const Sequence& a, const Sequence& b) const {
+  std::size_t count = 0;
+  for (const AlignedColumn& col : columns)
+    if (col.i >= 0 && col.j >= 0 && a[col.i] == b[col.j]) ++count;
+  return count;
+}
+
+std::size_t Alignment::gaps() const noexcept {
+  std::size_t count = 0;
+  for (const AlignedColumn& col : columns) count += (col.i < 0 || col.j < 0);
+  return count;
+}
+
+Alignment needleman_wunsch(const Sequence& a, Pos lo_a, Pos hi_a, const Sequence& b, Pos lo_b,
+                           Pos hi_b, const AlignScoring& scoring) {
+  SRNA_REQUIRE(lo_a >= 0 && hi_a < a.length() && lo_b >= 0 && hi_b < b.length(),
+               "alignment interval out of range");
+  const Pos n = std::max<Pos>(hi_a - lo_a + 1, 0);
+  const Pos m = std::max<Pos>(hi_b - lo_b + 1, 0);
+
+  Matrix<double> dp(static_cast<std::size_t>(n) + 1, static_cast<std::size_t>(m) + 1, 0.0);
+  for (Pos i = 1; i <= n; ++i) dp(static_cast<std::size_t>(i), 0) = scoring.gap * i;
+  for (Pos j = 1; j <= m; ++j) dp(0, static_cast<std::size_t>(j)) = scoring.gap * j;
+
+  for (Pos i = 1; i <= n; ++i) {
+    for (Pos j = 1; j <= m; ++j) {
+      const bool eq = a[lo_a + i - 1] == b[lo_b + j - 1];
+      const double diag = dp(static_cast<std::size_t>(i - 1), static_cast<std::size_t>(j - 1)) +
+                          (eq ? scoring.match : scoring.mismatch);
+      const double up = dp(static_cast<std::size_t>(i - 1), static_cast<std::size_t>(j)) +
+                        scoring.gap;
+      const double left = dp(static_cast<std::size_t>(i), static_cast<std::size_t>(j - 1)) +
+                          scoring.gap;
+      dp(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) =
+          std::max({diag, up, left});
+    }
+  }
+
+  Alignment out;
+  out.score = dp(static_cast<std::size_t>(n), static_cast<std::size_t>(m));
+
+  // Traceback (collects columns reversed).
+  Pos i = n;
+  Pos j = m;
+  std::vector<AlignedColumn> rev;
+  while (i > 0 || j > 0) {
+    const double here = dp(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
+    if (i > 0 && j > 0) {
+      const bool eq = a[lo_a + i - 1] == b[lo_b + j - 1];
+      const double diag = dp(static_cast<std::size_t>(i - 1), static_cast<std::size_t>(j - 1)) +
+                          (eq ? scoring.match : scoring.mismatch);
+      if (here == diag) {
+        rev.push_back({lo_a + i - 1, lo_b + j - 1});
+        --i;
+        --j;
+        continue;
+      }
+    }
+    if (i > 0 &&
+        here == dp(static_cast<std::size_t>(i - 1), static_cast<std::size_t>(j)) + scoring.gap) {
+      rev.push_back({lo_a + i - 1, -1});
+      --i;
+      continue;
+    }
+    SRNA_CHECK(j > 0, "NW traceback stuck");
+    rev.push_back({-1, lo_b + j - 1});
+    --j;
+  }
+  out.columns.assign(rev.rbegin(), rev.rend());
+  return out;
+}
+
+Alignment needleman_wunsch(const Sequence& a, const Sequence& b, const AlignScoring& scoring) {
+  if (a.length() == 0 && b.length() == 0) return {};
+  if (a.length() == 0) {
+    Alignment out;
+    out.score = scoring.gap * b.length();
+    for (Pos j = 0; j < b.length(); ++j) out.columns.push_back({-1, j});
+    return out;
+  }
+  if (b.length() == 0) {
+    Alignment out;
+    out.score = scoring.gap * a.length();
+    for (Pos i = 0; i < a.length(); ++i) out.columns.push_back({i, -1});
+    return out;
+  }
+  return needleman_wunsch(a, 0, a.length() - 1, b, 0, b.length() - 1, scoring);
+}
+
+std::string format_alignment(const Alignment& alignment, const Sequence& a, const Sequence& b) {
+  std::string top, bars, bottom;
+  for (const AlignedColumn& col : alignment.columns) {
+    const char ca = col.i >= 0 ? to_char(a[col.i]) : '-';
+    const char cb = col.j >= 0 ? to_char(b[col.j]) : '-';
+    top += ca;
+    bottom += cb;
+    if (col.i >= 0 && col.j >= 0)
+      bars += (a[col.i] == b[col.j]) ? '|' : '.';
+    else
+      bars += ' ';
+  }
+  return top + "\n" + bars + "\n" + bottom + "\n";
+}
+
+}  // namespace srna

@@ -1,0 +1,54 @@
+// Needleman–Wunsch global sequence alignment.
+//
+// Substrate for the anchored structural alignment (anchored_alignment.hpp):
+// the unpaired regions between matched arcs are aligned with this classic
+// O(nm) DP. Linear gap penalties; traceback prefers diagonal moves, then
+// consuming from the first sequence.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rna/sequence.hpp"
+
+namespace srna {
+
+struct AlignScoring {
+  double match = 2.0;
+  double mismatch = -1.0;
+  double gap = -2.0;
+};
+
+// One aligned column: indices into the two sequences, or -1 for a gap.
+struct AlignedColumn {
+  Pos i = -1;  // position in sequence 1, -1 = gap
+  Pos j = -1;  // position in sequence 2, -1 = gap
+};
+
+struct Alignment {
+  double score = 0.0;
+  std::vector<AlignedColumn> columns;
+
+  // Counts over the columns.
+  [[nodiscard]] std::size_t matches(const Sequence& a, const Sequence& b) const;
+  [[nodiscard]] std::size_t gaps() const noexcept;
+};
+
+// Globally aligns a[lo_a..hi_a] with b[lo_b..hi_b] (inclusive bounds; an
+// empty interval is hi < lo). Column indices refer to the *original*
+// sequences.
+Alignment needleman_wunsch(const Sequence& a, Pos lo_a, Pos hi_a, const Sequence& b, Pos lo_b,
+                           Pos hi_b, const AlignScoring& scoring = {});
+
+// Whole-sequence convenience overload.
+Alignment needleman_wunsch(const Sequence& a, const Sequence& b,
+                           const AlignScoring& scoring = {});
+
+// Renders the alignment as three text lines (sequence 1, match bars,
+// sequence 2), e.g.
+//   GGCA-UCG
+//   ||.|  ||
+//   GGAAGUCG
+std::string format_alignment(const Alignment& alignment, const Sequence& a, const Sequence& b);
+
+}  // namespace srna

@@ -1,0 +1,29 @@
+#include "core/arc_index.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace srna {
+
+ArcIndex::ArcIndex(const SecondaryStructure& s) {
+  SRNA_REQUIRE(s.is_nonpseudoknot(),
+               "ArcIndex requires a non-pseudoknot structure (crossing arcs present)");
+  arcs_ = s.arcs_by_right();
+  interior_begin_.resize(arcs_.size());
+  by_right_.assign(static_cast<std::size_t>(s.length()), kNoArc);
+
+  for (std::size_t t = 0; t < arcs_.size(); ++t) {
+    const Arc& a = arcs_[t];
+    by_right_[static_cast<std::size_t>(a.right)] = t;
+    // Descendants of `a` are exactly the arcs with right endpoint in
+    // (a.left, a.right): non-crossing + unique endpoints force any such arc
+    // fully inside `a`. They form the contiguous range [first, t).
+    const auto first = std::partition_point(
+        arcs_.begin(), arcs_.begin() + static_cast<std::ptrdiff_t>(t),
+        [&](const Arc& b) { return b.right < a.left; });
+    interior_begin_[t] = static_cast<std::size_t>(first - arcs_.begin());
+  }
+}
+
+}  // namespace srna

@@ -1,0 +1,55 @@
+// Arc indexing for slice tabulation.
+//
+// Both SRNA algorithms traverse "arcs within an interval, by increasing
+// right endpoint". For non-crossing arcs the sorted-by-right-endpoint order
+// is exactly a post-order of the arc nesting forest, so the arcs strictly
+// inside any arc form a contiguous range [interior_begin(a), index(a)) of
+// that order. ArcIndex precomputes those ranges (this is the paper's
+// preprocessing step of "determining all of the ending points of arcs") so
+// every child slice can enumerate its arcs in O(1) per arc with no search.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "rna/secondary_structure.hpp"
+
+namespace srna {
+
+class ArcIndex {
+ public:
+  static constexpr std::size_t kNoArc = static_cast<std::size_t>(-1);
+
+  // Requires a non-pseudoknot structure (the contiguous-range property does
+  // not hold across crossings).
+  explicit ArcIndex(const SecondaryStructure& s);
+
+  [[nodiscard]] std::size_t size() const noexcept { return arcs_.size(); }
+  [[nodiscard]] const Arc& arc(std::size_t idx) const noexcept { return arcs_[idx]; }
+
+  // All arcs, sorted by increasing right endpoint.
+  [[nodiscard]] std::span<const Arc> all() const noexcept { return arcs_; }
+
+  // Arcs strictly inside arc `idx` (the rows/columns of the child slice that
+  // arc spawns), sorted by increasing right endpoint.
+  [[nodiscard]] std::span<const Arc> interior(std::size_t idx) const noexcept {
+    return std::span<const Arc>(arcs_).subspan(interior_begin_[idx],
+                                               idx - interior_begin_[idx]);
+  }
+
+  [[nodiscard]] std::size_t interior_begin(std::size_t idx) const noexcept {
+    return interior_begin_[idx];
+  }
+
+  // Index of the arc whose right endpoint is `right`, or kNoArc.
+  [[nodiscard]] std::size_t index_of_right(Pos right) const noexcept {
+    return by_right_[static_cast<std::size_t>(right)];
+  }
+
+ private:
+  std::vector<Arc> arcs_;                 // sorted by right endpoint
+  std::vector<std::size_t> interior_begin_;
+  std::vector<std::size_t> by_right_;     // position -> arc index or kNoArc
+};
+
+}  // namespace srna

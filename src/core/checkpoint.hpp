@@ -1,0 +1,58 @@
+// Checkpoint/restart for long SRNA2 runs.
+//
+// The paper-scale worst cases are long-running (length 3200 is hours of
+// single-core stage one), and the algorithm's structure makes interruption
+// tolerance nearly free: between outer-loop iterations the *entire* live
+// state is the Θ(nm) memo table plus the count of completed S1 arcs — the
+// same property PRNA's per-row synchronization exploits. This module
+// serializes exactly that state, fingerprinted against both inputs, and
+// resumes stage one from the first incomplete row.
+//
+//   CheckpointedRun run;
+//   do {
+//     run = srna2_checkpointed(s1, s2, {}, policy);   // picks up where it left off
+//   } while (!run.complete);                          // e.g. across process restarts
+//
+// Checkpoint files are written atomically (temp file + rename) every
+// `every_rows` completed rows and removed on successful completion.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/options.hpp"
+#include "core/result.hpp"
+#include "rna/secondary_structure.hpp"
+
+namespace srna {
+
+struct CheckpointPolicy {
+  // Where the checkpoint lives. Must be non-empty.
+  std::string path;
+  // Persist after this many completed stage-one rows (S1 arcs).
+  std::uint64_t every_rows = 64;
+  // Stop (with complete = false, checkpoint written) after this many rows
+  // in *this* invocation; 0 = run to completion. Gives tests and batch
+  // schedulers a deterministic interruption point.
+  std::uint64_t max_rows_this_run = 0;
+};
+
+struct CheckpointedRun {
+  bool complete = false;
+  bool resumed = false;              // a valid checkpoint was loaded
+  std::uint64_t rows_done = 0;       // completed S1 arcs overall
+  std::uint64_t rows_total = 0;
+  McosResult result;                 // valid only when complete
+};
+
+// SRNA2 with checkpointing (dense layout). Throws std::invalid_argument on
+// a checkpoint that does not match the inputs (wrong sizes or arc sets) —
+// resuming against different structures would silently corrupt the answer.
+CheckpointedRun srna2_checkpointed(const SecondaryStructure& s1, const SecondaryStructure& s2,
+                                   const McosOptions& options, const CheckpointPolicy& policy);
+
+// Fingerprint used to bind a checkpoint to its inputs (FNV-1a over lengths
+// and arc endpoints). Exposed for tests.
+std::uint64_t structure_fingerprint(const SecondaryStructure& s) noexcept;
+
+}  // namespace srna

@@ -1,0 +1,41 @@
+// Enumeration of *all* optimal witnesses.
+//
+// The traceback (traceback.hpp) returns one maximum common ordered
+// substructure; ties are everywhere in structure comparison (symmetric
+// stems, repeated motifs), and downstream analyses often want the full set
+// of co-optimal matchings — e.g. to ask which arc pairs are matched in
+// *every* optimum (persistent matches) versus just in some.
+//
+// Same machinery as the traceback — re-tabulate a slice from the retained
+// memo table, walk its decision structure — but exploring every decision
+// that reproduces the optimal cell value, with the resulting match sets
+// deduplicated (distinct DP paths frequently yield the same set).
+#pragma once
+
+#include <vector>
+
+#include "core/options.hpp"
+#include "core/traceback.hpp"
+#include "rna/secondary_structure.hpp"
+
+namespace srna {
+
+struct EnumerationResult {
+  Score value = 0;
+  // Distinct optimal match sets; each sorted by (a1.left). Sorted
+  // lexicographically overall for determinism.
+  std::vector<std::vector<ArcMatch>> witnesses;
+  // True when the enumeration stopped at `limit` — more witnesses exist.
+  bool truncated = false;
+
+  // Arc pairs present in every enumerated witness (the "persistent core");
+  // meaningful only when truncated == false.
+  [[nodiscard]] std::vector<ArcMatch> persistent_matches() const;
+};
+
+// Enumerates up to `limit` distinct optimal witnesses (limit >= 1).
+EnumerationResult enumerate_optimal_matches(const SecondaryStructure& s1,
+                                            const SecondaryStructure& s2, std::size_t limit,
+                                            const McosOptions& options = {});
+
+}  // namespace srna

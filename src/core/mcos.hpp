@@ -1,0 +1,49 @@
+// Public entry points for Maximum Common Ordered Substructure (MCOS)
+// computation between two non-pseudoknot RNA secondary structures.
+//
+// This is the paper's primary contribution: the recurrence of Figure 2
+// computed by
+//   * SRNA1  — bottom-up slice tabulation with on-demand (lazy) recursive
+//              child-slice spawning and memoization (Algorithm 1),
+//   * SRNA2  — the two-stage eager algorithm: stage one tabulates every
+//              arc-pair child slice in increasing right-endpoint order, then
+//              stage two tabulates the parent slice (Algorithms 2–3),
+// plus two ground-truth references (top-down memoized and full bottom-up
+// four-dimensional tabulation) used for testing and the over-tabulation
+// comparison. The parallel algorithm PRNA lives in src/parallel.
+#pragma once
+
+#include "core/options.hpp"
+#include "core/result.hpp"
+#include "rna/secondary_structure.hpp"
+
+namespace srna {
+
+// SRNA1 (Algorithm 1). Θ(n²m²) worst-case time, Θ(nm) space.
+McosResult srna1(const SecondaryStructure& s1, const SecondaryStructure& s2,
+                 const McosOptions& options = {});
+
+// SRNA2 (Algorithms 2–3). Same asymptotics as SRNA1 with the per-cell memo
+// branch and recursion removed; the paper measures it ~2x faster.
+McosResult srna2(const SecondaryStructure& s1, const SecondaryStructure& s2,
+                 const McosOptions& options = {});
+
+// Ground truth #1: direct top-down memoized evaluation of the 4-D recurrence
+// (exact tabulation, hash-map memo). Exponentially gentler on memory than
+// the full table but still Θ(visited subproblems); use on small inputs.
+McosResult mcos_reference_topdown(const SecondaryStructure& s1, const SecondaryStructure& s2);
+
+// Ground truth #2: full bottom-up 4-D tabulation (the over-tabulating
+// conventional approach the paper argues against). Allocates
+// (n·(n+1)/2)·(m·(m+1)/2) cells — small inputs only.
+McosResult mcos_reference_bottomup(const SecondaryStructure& s1, const SecondaryStructure& s2);
+
+enum class McosAlgorithm { kSrna1, kSrna2, kReferenceTopDown, kReferenceBottomUp };
+
+// Dispatch by algorithm enum (harness convenience).
+McosResult mcos(const SecondaryStructure& s1, const SecondaryStructure& s2,
+                McosAlgorithm algorithm, const McosOptions& options = {});
+
+const char* to_string(McosAlgorithm algorithm) noexcept;
+
+}  // namespace srna

@@ -1,0 +1,165 @@
+// Ground-truth reference solvers for the 4-D recurrence (paper Figure 2).
+//
+// * mcos_reference_topdown — the "original" depth-first algorithm: directly
+//   recursive with a hash-map memo. It performs an exact tabulation (only
+//   subproblems reachable from the root are visited) but carries the
+//   overhead and memory unpredictability the paper's Section IV motivates
+//   against. Used as oracle in tests and in the over-tabulation comparison.
+//
+// * mcos_reference_bottomup — the conventional bottom-up strategy: allocate
+//   the full n²m² table and fill it in order of increasing right endpoints.
+//   Every (i1 <= j1, i2 <= j2) subproblem is tabulated whether or not it can
+//   contribute ("overtabulation").
+//
+// Both are deliberately simple; they are correct-by-construction mirrors of
+// the recurrence, not performance code.
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/mcos.hpp"
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+namespace srna {
+
+namespace {
+
+class TopDownSolver {
+ public:
+  TopDownSolver(const SecondaryStructure& s1, const SecondaryStructure& s2, McosStats& stats)
+      : s1_(s1), s2_(s2), stats_(stats) {
+    SRNA_REQUIRE(s1.length() < (1 << 16) && s2.length() < (1 << 16),
+                 "top-down reference packs indices into 16 bits");
+    memo_.reserve(1024);
+  }
+
+  Score solve(Pos i1, Pos j1, Pos i2, Pos j2) {
+    // Intervals that cannot contain an arc contribute nothing.
+    if (j1 - i1 < 1 || j2 - i2 < 1) return 0;
+
+    const std::uint64_t key = pack(i1, j1, i2, j2);
+    if (const auto it = memo_.find(key); it != memo_.end()) return it->second;
+
+    ++stats_.cells_tabulated;
+    Score v = std::max(solve(i1, j1 - 1, i2, j2), solve(i1, j1, i2, j2 - 1));
+    const Pos k1 = s1_.arc_left_of(j1);
+    const Pos k2 = s2_.arc_left_of(j2);
+    if (k1 >= i1 && k2 >= i2) {
+      ++stats_.arc_match_events;
+      const Score d1 = solve(i1, k1 - 1, i2, k2 - 1);
+      const Score d2 = solve(k1 + 1, j1 - 1, k2 + 1, j2 - 1);
+      v = std::max(v, static_cast<Score>(1 + d1 + d2));
+    }
+    memo_.emplace(key, v);
+    return v;
+  }
+
+  [[nodiscard]] std::size_t memo_size() const noexcept { return memo_.size(); }
+
+ private:
+  static std::uint64_t pack(Pos i1, Pos j1, Pos i2, Pos j2) noexcept {
+    return (static_cast<std::uint64_t>(static_cast<std::uint16_t>(i1)) << 48) |
+           (static_cast<std::uint64_t>(static_cast<std::uint16_t>(j1)) << 32) |
+           (static_cast<std::uint64_t>(static_cast<std::uint16_t>(i2)) << 16) |
+           static_cast<std::uint64_t>(static_cast<std::uint16_t>(j2));
+  }
+
+  const SecondaryStructure& s1_;
+  const SecondaryStructure& s2_;
+  McosStats& stats_;
+  std::unordered_map<std::uint64_t, Score> memo_;
+};
+
+}  // namespace
+
+McosResult mcos_reference_topdown(const SecondaryStructure& s1, const SecondaryStructure& s2) {
+  SRNA_REQUIRE(s1.is_nonpseudoknot() && s2.is_nonpseudoknot(),
+               "MCOS model requires non-pseudoknot structures");
+  McosResult result;
+  WallTimer timer;
+  if (s1.length() > 0 && s2.length() > 0) {
+    TopDownSolver solver(s1, s2, result.stats);
+    result.value = solver.solve(0, s1.length() - 1, 0, s2.length() - 1);
+  }
+  result.stats.stage1_seconds = timer.seconds();
+  return result;
+}
+
+McosResult mcos_reference_bottomup(const SecondaryStructure& s1, const SecondaryStructure& s2) {
+  SRNA_REQUIRE(s1.is_nonpseudoknot() && s2.is_nonpseudoknot(),
+               "MCOS model requires non-pseudoknot structures");
+  const Pos n = s1.length();
+  const Pos m = s2.length();
+  McosResult result;
+  WallTimer timer;
+  if (n == 0 || m == 0) return result;
+
+  const std::size_t total = static_cast<std::size_t>(n) * static_cast<std::size_t>(n) *
+                            static_cast<std::size_t>(m) * static_cast<std::size_t>(m);
+  SRNA_REQUIRE(total <= std::size_t{256} * 1024 * 1024,
+               "bottom-up reference table would exceed 1 GiB; use smaller inputs");
+
+  const auto un = static_cast<std::size_t>(n);
+  const auto um = static_cast<std::size_t>(m);
+  std::vector<Score> table(total, 0);
+  auto cell = [&](Pos i1, Pos j1, Pos i2, Pos j2) -> Score& {
+    return table[((static_cast<std::size_t>(i1) * un + static_cast<std::size_t>(j1)) * um +
+                  static_cast<std::size_t>(i2)) *
+                     um +
+                 static_cast<std::size_t>(j2)];
+  };
+  auto read = [&](Pos i1, Pos j1, Pos i2, Pos j2) -> Score {
+    if (j1 - i1 < 1 || j2 - i2 < 1) return 0;
+    return cell(i1, j1, i2, j2);
+  };
+
+  // Right endpoints ascending; every (i1, i2) beginning pair is tabulated —
+  // the overtabulation the paper's Section IV quantifies.
+  for (Pos j1 = 0; j1 < n; ++j1) {
+    const Pos k1 = s1.arc_left_of(j1);
+    for (Pos j2 = 0; j2 < m; ++j2) {
+      const Pos k2 = s2.arc_left_of(j2);
+      for (Pos i1 = 0; i1 <= j1; ++i1) {
+        for (Pos i2 = 0; i2 <= j2; ++i2) {
+          ++result.stats.cells_tabulated;
+          Score v = std::max(read(i1, j1 - 1, i2, j2), read(i1, j1, i2, j2 - 1));
+          if (k1 >= i1 && k2 >= i2) {
+            ++result.stats.arc_match_events;
+            const Score d1 = read(i1, k1 - 1, i2, k2 - 1);
+            const Score d2 = read(k1 + 1, j1 - 1, k2 + 1, j2 - 1);
+            v = std::max(v, static_cast<Score>(1 + d1 + d2));
+          }
+          cell(i1, j1, i2, j2) = v;
+        }
+      }
+    }
+  }
+
+  result.value = read(0, n - 1, 0, m - 1);
+  result.stats.stage1_seconds = timer.seconds();
+  return result;
+}
+
+McosResult mcos(const SecondaryStructure& s1, const SecondaryStructure& s2,
+                McosAlgorithm algorithm, const McosOptions& options) {
+  switch (algorithm) {
+    case McosAlgorithm::kSrna1: return srna1(s1, s2, options);
+    case McosAlgorithm::kSrna2: return srna2(s1, s2, options);
+    case McosAlgorithm::kReferenceTopDown: return mcos_reference_topdown(s1, s2);
+    case McosAlgorithm::kReferenceBottomUp: return mcos_reference_bottomup(s1, s2);
+  }
+  throw std::invalid_argument("unknown MCOS algorithm");
+}
+
+const char* to_string(McosAlgorithm algorithm) noexcept {
+  switch (algorithm) {
+    case McosAlgorithm::kSrna1: return "SRNA1";
+    case McosAlgorithm::kSrna2: return "SRNA2";
+    case McosAlgorithm::kReferenceTopDown: return "topdown";
+    case McosAlgorithm::kReferenceBottomUp: return "bottomup";
+  }
+  return "?";
+}
+
+}  // namespace srna

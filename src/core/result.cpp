@@ -1,0 +1,17 @@
+#include "core/result.hpp"
+
+#include <sstream>
+
+namespace srna {
+
+std::string McosStats::to_string() const {
+  std::ostringstream os;
+  os << "cells=" << cells_tabulated << " slices=" << slices_tabulated
+     << " events=" << arc_match_events << " memo_lookups=" << memo_lookups
+     << " memo_misses=" << memo_misses << " max_depth=" << max_spawn_depth
+     << " pre=" << preprocess_seconds << "s s1=" << stage1_seconds
+     << "s s2=" << stage2_seconds << 's';
+  return os.str();
+}
+
+}  // namespace srna

@@ -1,0 +1,46 @@
+// Result and instrumentation types for the MCOS solvers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace srna {
+
+// DP cell value: a count of matched arcs. A structure of length n has at
+// most n/2 arcs, and n is bounded by memory long before int32 overflows.
+using Score = std::int32_t;
+
+// Execution statistics. The solvers fill what applies to them; everything
+// else stays zero. These drive Table III (stage breakdown), the
+// over-tabulation comparison, and several invariants tested in the suite
+// (e.g. SRNA1's recursion depth never exceeding one).
+struct McosStats {
+  // Work counters.
+  std::uint64_t cells_tabulated = 0;   // slice cells written (dense) / event cells (compressed)
+  std::uint64_t slices_tabulated = 0;  // TabulateSlice invocations, parent included
+  std::uint64_t arc_match_events = 0;  // cells where the dynamic case fired
+
+  // SRNA1 memoization behaviour.
+  std::uint64_t memo_lookups = 0;
+  std::uint64_t memo_misses = 0;       // lookups that had to spawn a child slice
+  std::uint64_t max_spawn_depth = 0;   // deepest recursive spawn chain (paper: <= 1)
+
+  // Wall-clock phase breakdown (seconds). SRNA2/PRNA fill all three phases;
+  // SRNA1 reports everything under stage1.
+  double preprocess_seconds = 0.0;
+  double stage1_seconds = 0.0;
+  double stage2_seconds = 0.0;
+
+  [[nodiscard]] double total_seconds() const noexcept {
+    return preprocess_seconds + stage1_seconds + stage2_seconds;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct McosResult {
+  Score value = 0;   // |S_c|: arcs in the maximum common ordered substructure
+  McosStats stats;
+};
+
+}  // namespace srna

@@ -1,0 +1,191 @@
+// TabulateSlice — the bottom-up kernel shared by SRNA1, SRNA2, PRNA and the
+// traceback (paper Algorithm 2).
+//
+// A slice is the two-dimensional restriction of the 4-D table to fixed
+// beginning positions (lo1, lo2):
+//
+//     slice[x][y] = F(lo1, x, lo2, y),   lo1 <= x <= hi1, lo2 <= y <= hi2.
+//
+// Inside a slice the recurrence needs
+//     s1 = slice[x-1][y],  s2 = slice[x][y-1],  d1 = slice[k1-1][k2-1]
+// and the one cross-slice term d2 = F(k1+1, x-1, k2+1, y-1), which the
+// caller supplies through the `d2_of(k1, x, k2, y)` callable — a memo-table
+// read for SRNA2/PRNA, a memoize-on-miss recursive spawn for SRNA1.
+//
+// Two layouts (DESIGN.md §4.4):
+//   * dense      — tabulates every cell of the grid; paper-faithful, and the
+//                  cell count is the paper's work measure (Figure 7).
+//   * compressed — one cell per (arc-right-endpoint, arc-right-endpoint)
+//                  event pair, exploiting that F only changes at events.
+//
+// Both return the slice's final value F(lo1, hi1, lo2, hi2) — the only value
+// the memo table M retains ("only the last tabulated subproblem of each
+// child slice needs to be memoized").
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/result.hpp"
+#include "rna/secondary_structure.hpp"
+#include "util/matrix.hpp"
+
+namespace srna {
+
+struct SliceBounds {
+  Pos lo1 = 0, hi1 = -1, lo2 = 0, hi2 = -1;
+
+  [[nodiscard]] bool empty() const noexcept { return hi1 < lo1 || hi2 < lo2; }
+  [[nodiscard]] Pos width() const noexcept { return hi1 - lo1 + 1; }   // rows
+  [[nodiscard]] Pos height() const noexcept { return hi2 - lo2 + 1; }  // cols
+
+  // The child slice spawned by matching arcs (k1, x) and (k2, y): the
+  // intervals strictly underneath the two arcs.
+  static SliceBounds under(Pos k1, Pos x, Pos k2, Pos y) noexcept {
+    return SliceBounds{k1 + 1, x - 1, k2 + 1, y - 1};
+  }
+};
+
+// Fills `grid` (resized to width × height) with the dense slice:
+// grid(x - lo1, y - lo2) = F(lo1, x, lo2, y). Used directly by the traceback,
+// which needs the whole grid, and by tabulate_slice_dense below.
+// No-op for empty bounds.
+template <typename D2>
+void fill_slice_dense(const SecondaryStructure& s1, const SecondaryStructure& s2,
+                      SliceBounds b, Matrix<Score>& grid, D2&& d2_of,
+                      McosStats* stats = nullptr) {
+  if (b.empty()) {
+    grid.resize(0, 0);
+    return;
+  }
+  const auto rows = static_cast<std::size_t>(b.width());
+  const auto cols = static_cast<std::size_t>(b.height());
+  grid.resize(rows, cols, 0);
+
+  if (stats != nullptr) {
+    ++stats->slices_tabulated;
+    stats->cells_tabulated += static_cast<std::uint64_t>(rows) * cols;
+  }
+
+  for (Pos x = b.lo1; x <= b.hi1; ++x) {
+    const auto r = static_cast<std::size_t>(x - b.lo1);
+    Score* row = grid.row_data(r);
+    const Score* up = r > 0 ? grid.row_data(r - 1) : nullptr;
+
+    // Arc of S1 ending at x, if its left endpoint is inside the slice.
+    const Pos k1 = s1.arc_left_of(x);
+    const bool has_arc1 = k1 >= b.lo1;
+    const Score* d1_row =
+        has_arc1 && k1 - 1 >= b.lo1 ? grid.row_data(static_cast<std::size_t>(k1 - 1 - b.lo1))
+                                    : nullptr;
+
+    Score left = 0;  // slice[x][y-1], carried across the row
+    for (Pos y = b.lo2; y <= b.hi2; ++y) {
+      const auto c = static_cast<std::size_t>(y - b.lo2);
+      Score v = up != nullptr ? std::max(up[c], left) : left;
+      if (has_arc1) {
+        const Pos k2 = s2.arc_left_of(y);
+        if (k2 >= b.lo2) {
+          const Score d1 =
+              (d1_row != nullptr && k2 - 1 >= b.lo2)
+                  ? d1_row[static_cast<std::size_t>(k2 - 1 - b.lo2)]
+                  : 0;
+          const Score d2 = d2_of(k1, x, k2, y);
+          v = std::max(v, static_cast<Score>(1 + d1 + d2));
+          if (stats != nullptr) ++stats->arc_match_events;
+        }
+      }
+      row[c] = v;
+      left = v;
+    }
+  }
+}
+
+// Dense TabulateSlice: fills into `scratch` (reused across calls — the
+// paper's per-call allocate/deallocate without the allocator churn) and
+// returns the final value.
+template <typename D2>
+Score tabulate_slice_dense(const SecondaryStructure& s1, const SecondaryStructure& s2,
+                           SliceBounds b, Matrix<Score>& scratch, D2&& d2_of,
+                           McosStats* stats = nullptr) {
+  if (b.empty()) {
+    // An empty slice (hairpin interior) still counts as one tabulated slice:
+    // SRNA2's stage one visits it and memoizes 0.
+    if (stats != nullptr) ++stats->slices_tabulated;
+    return 0;
+  }
+  fill_slice_dense(s1, s2, b, scratch, static_cast<D2&&>(d2_of), stats);
+  return scratch(static_cast<std::size_t>(b.width()) - 1,
+                 static_cast<std::size_t>(b.height()) - 1);
+}
+
+// Reusable buffers for the compressed layout.
+struct CompressedSliceScratch {
+  Matrix<Score> val;                    // one cell per (row arc, col arc)
+  std::vector<std::size_t> prev_row;    // per row arc: last row with right < left(arc)
+  std::vector<std::size_t> prev_col;    // per col arc: last col with right < left(arc)
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+};
+
+// Compressed TabulateSlice over the event grid. `rows` / `cols` are the arcs
+// fully inside the slice's two intervals, sorted by right endpoint (use
+// ArcIndex::interior / ArcIndex::all). Returns F(lo1, hi1, lo2, hi2).
+template <typename D2>
+Score tabulate_slice_compressed(std::span<const Arc> rows, std::span<const Arc> cols,
+                                CompressedSliceScratch& scratch, D2&& d2_of,
+                                McosStats* stats = nullptr) {
+  const std::size_t nr = rows.size();
+  const std::size_t nc = cols.size();
+  if (stats != nullptr) {
+    ++stats->slices_tabulated;
+    stats->cells_tabulated += static_cast<std::uint64_t>(nr) * nc;
+    stats->arc_match_events += static_cast<std::uint64_t>(nr) * nc;
+  }
+  if (nr == 0 || nc == 0) return 0;
+
+  // prev_row[r]: the last row index r' with rows[r'].right < rows[r].left —
+  // the row d1 resolves to. Rows are sorted by right endpoint, so a backward
+  // scan with a moving cursor is O(nr) amortized... a binary search keeps it
+  // simple and O(log) per row.
+  scratch.prev_row.resize(nr);
+  for (std::size_t r = 0; r < nr; ++r) {
+    const Pos limit = rows[r].left;  // need right < left(arc r), i.e. right <= left-1
+    const auto it = std::partition_point(rows.begin(), rows.begin() + static_cast<std::ptrdiff_t>(r),
+                                         [&](const Arc& a) { return a.right < limit; });
+    const auto cnt = static_cast<std::size_t>(it - rows.begin());
+    scratch.prev_row[r] = cnt == 0 ? CompressedSliceScratch::kNone : cnt - 1;
+  }
+  scratch.prev_col.resize(nc);
+  for (std::size_t c = 0; c < nc; ++c) {
+    const Pos limit = cols[c].left;
+    const auto it = std::partition_point(cols.begin(), cols.begin() + static_cast<std::ptrdiff_t>(c),
+                                         [&](const Arc& a) { return a.right < limit; });
+    const auto cnt = static_cast<std::size_t>(it - cols.begin());
+    scratch.prev_col[c] = cnt == 0 ? CompressedSliceScratch::kNone : cnt - 1;
+  }
+
+  Matrix<Score>& val = scratch.val;
+  val.resize(nr, nc, 0);
+  for (std::size_t r = 0; r < nr; ++r) {
+    Score* row = val.row_data(r);
+    const Score* up = r > 0 ? val.row_data(r - 1) : nullptr;
+    const std::size_t d1r = scratch.prev_row[r];
+    const Score* d1_row = d1r != CompressedSliceScratch::kNone ? val.row_data(d1r) : nullptr;
+    Score left = 0;
+    for (std::size_t c = 0; c < nc; ++c) {
+      Score v = up != nullptr ? std::max(up[c], left) : left;
+      const std::size_t d1c = scratch.prev_col[c];
+      const Score d1 =
+          (d1_row != nullptr && d1c != CompressedSliceScratch::kNone) ? d1_row[d1c] : 0;
+      const Score d2 = d2_of(rows[r].left, rows[r].right, cols[c].left, cols[c].right);
+      v = std::max(v, static_cast<Score>(1 + d1 + d2));
+      row[c] = v;
+      left = v;
+    }
+  }
+  return val(nr - 1, nc - 1);
+}
+
+}  // namespace srna

@@ -1,0 +1,55 @@
+// Traceback: recovering the common substructure itself, not just its size.
+//
+// The Θ(nm)-space design discards every slice after its final value is
+// memoized, so the usual "walk the full table" traceback is unavailable. The
+// paper notes this in passing ("unless we are interested in backtracing the
+// subproblem that spawned the child slice..."). This module implements that
+// extension: after an SRNA2 run, any slice can be *re*-tabulated in
+// O(width × height) using the retained memo table M for its d2 terms, walked
+// for one optimal decision path, and discarded again before descending into
+// the child slices the path matched. Peak memory stays O(nm): only one
+// re-tabulated grid is live at a time.
+#pragma once
+
+#include <vector>
+
+#include "core/options.hpp"
+#include "core/result.hpp"
+#include "rna/secondary_structure.hpp"
+
+namespace srna {
+
+// One matched arc pair: arc `a1` of S1 mapped onto arc `a2` of S2.
+struct ArcMatch {
+  Arc a1;
+  Arc a2;
+
+  // Lexicographic order (enumeration canonicalizes witness sets with it).
+  friend auto operator<=>(const ArcMatch&, const ArcMatch&) = default;
+};
+
+struct CommonSubstructure {
+  // All matched pairs, sorted by increasing right endpoint in S1. Its size
+  // equals the MCOS value.
+  std::vector<ArcMatch> matches;
+  Score value = 0;
+  McosStats stats;  // the underlying SRNA2 run's statistics
+
+  // Materializes S_c: the common substructure as a standalone structure over
+  // the 2·matches endpoints (relabelled 0..2k-1 in S1 order).
+  [[nodiscard]] SecondaryStructure as_structure() const;
+};
+
+// Computes the MCOS and one witness set of matched arc pairs.
+CommonSubstructure mcos_traceback(const SecondaryStructure& s1, const SecondaryStructure& s2,
+                                  const McosOptions& options = {});
+
+// Checks that `matches` is a valid common ordered substructure of (s1, s2):
+// every matched arc exists in its structure, no arc is used twice, and every
+// pair of matches relates identically (disjoint-before / nested) on both
+// sides — i.e. the induced endpoint mapping preserves order and bonds.
+// Returns an empty string when valid, else a description of the violation.
+std::string validate_matches(const SecondaryStructure& s1, const SecondaryStructure& s2,
+                             const std::vector<ArcMatch>& matches);
+
+}  // namespace srna

@@ -1,0 +1,181 @@
+#include "core/weighted.hpp"
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/arc_index.hpp"
+#include "util/assert.hpp"
+#include "util/matrix.hpp"
+
+namespace srna {
+
+namespace {
+
+struct ScoringContext {
+  const SecondaryStructure& s1;
+  const SecondaryStructure& s2;
+  const SimilarityScoring& scoring;
+  const Sequence* seq1;
+  const Sequence* seq2;
+
+  [[nodiscard]] Weight arc_score(Pos k1, Pos x, Pos k2, Pos y) const {
+    Weight w = scoring.arc_bonus;
+    if (seq1 != nullptr && seq2 != nullptr) {
+      if ((*seq1)[k1] == (*seq2)[k2]) w += scoring.arc_base_bonus;
+      if ((*seq1)[x] == (*seq2)[y]) w += scoring.arc_base_bonus;
+    }
+    return w;
+  }
+
+  [[nodiscard]] Weight base_score(Pos x, Pos y) const {
+    if (seq1 == nullptr || seq2 == nullptr) return 0.0;
+    return (*seq1)[x] == (*seq2)[y] ? scoring.base_match : scoring.base_mismatch;
+  }
+
+  void validate() const {
+    SRNA_REQUIRE(s1.is_nonpseudoknot() && s2.is_nonpseudoknot(),
+                 "weighted similarity requires non-pseudoknot structures");
+    SRNA_REQUIRE(scoring.arc_bonus >= 0 && scoring.arc_base_bonus >= 0 &&
+                     scoring.base_match >= 0 && scoring.base_mismatch >= 0,
+                 "scores must be non-negative (unmatched positions are free)");
+    SRNA_REQUIRE(seq1 == nullptr || seq1->length() == s1.length(),
+                 "sequence 1 length must match structure 1");
+    SRNA_REQUIRE(seq2 == nullptr || seq2->length() == s2.length(),
+                 "sequence 2 length must match structure 2");
+    SRNA_REQUIRE((seq1 == nullptr) == (seq2 == nullptr),
+                 "provide both sequences or neither");
+  }
+};
+
+// Dense weighted slice fill; mirrors fill_slice_dense with the extra
+// base-alignment case. `memo(k1+1, k2+1)` supplies d2.
+Weight tabulate_weighted_slice(const ScoringContext& ctx, Pos lo1, Pos hi1, Pos lo2, Pos hi2,
+                               Matrix<Weight>& grid, const Matrix<Weight>& memo,
+                               std::uint64_t& cells) {
+  if (hi1 < lo1 || hi2 < lo2) return 0.0;
+  const auto rows = static_cast<std::size_t>(hi1 - lo1 + 1);
+  const auto cols = static_cast<std::size_t>(hi2 - lo2 + 1);
+  grid.resize(rows, cols, 0.0);
+  cells += static_cast<std::uint64_t>(rows) * cols;
+
+  for (Pos x = lo1; x <= hi1; ++x) {
+    const auto r = static_cast<std::size_t>(x - lo1);
+    Weight* row = grid.row_data(r);
+    const Weight* up = r > 0 ? grid.row_data(r - 1) : nullptr;
+
+    const Pos k1 = ctx.s1.arc_left_of(x);
+    const bool has_arc1 = k1 >= lo1;
+    const bool unpaired1 = !ctx.s1.paired(x);
+    const Weight* d1_row =
+        has_arc1 && k1 - 1 >= lo1 ? grid.row_data(static_cast<std::size_t>(k1 - 1 - lo1))
+                                  : nullptr;
+
+    Weight left = 0.0;
+    for (Pos y = lo2; y <= hi2; ++y) {
+      const auto c = static_cast<std::size_t>(y - lo2);
+      Weight v = up != nullptr ? std::max(up[c], left) : left;
+      if (unpaired1 && !ctx.s2.paired(y)) {
+        const Weight diag =
+            (r > 0 && c > 0) ? grid(r - 1, c - 1) : 0.0;  // out of range -> 0
+        v = std::max(v, diag + ctx.base_score(x, y));
+      }
+      if (has_arc1) {
+        const Pos k2 = ctx.s2.arc_left_of(y);
+        if (k2 >= lo2) {
+          const Weight d1 =
+              (d1_row != nullptr && k2 - 1 >= lo2)
+                  ? d1_row[static_cast<std::size_t>(k2 - 1 - lo2)]
+                  : 0.0;
+          const Weight d2 = memo(static_cast<std::size_t>(k1 + 1), static_cast<std::size_t>(k2 + 1));
+          v = std::max(v, d1 + d2 + ctx.arc_score(k1, x, k2, y));
+        }
+      }
+      row[c] = v;
+      left = v;
+    }
+  }
+  return grid(rows - 1, cols - 1);
+}
+
+}  // namespace
+
+WeightedResult weighted_similarity(const SecondaryStructure& s1, const SecondaryStructure& s2,
+                                   const SimilarityScoring& scoring, const Sequence* seq1,
+                                   const Sequence* seq2) {
+  const ScoringContext ctx{s1, s2, scoring, seq1, seq2};
+  ctx.validate();
+
+  WeightedResult result;
+  if (s1.length() == 0 || s2.length() == 0) return result;
+
+  const ArcIndex idx1(s1);
+  const ArcIndex idx2(s2);
+  Matrix<Weight> memo(static_cast<std::size_t>(s1.length()),
+                      static_cast<std::size_t>(s2.length()), 0.0);
+  Matrix<Weight> scratch;
+
+  // Stage one: every arc pair by increasing right endpoints (the same
+  // ordering guarantee as SRNA2's).
+  for (std::size_t a = 0; a < idx1.size(); ++a) {
+    const Arc a1 = idx1.arc(a);
+    for (std::size_t b = 0; b < idx2.size(); ++b) {
+      const Arc a2 = idx2.arc(b);
+      const Weight value = tabulate_weighted_slice(ctx, a1.left + 1, a1.right - 1, a2.left + 1,
+                                                   a2.right - 1, scratch, memo,
+                                                   result.cells_tabulated);
+      memo(static_cast<std::size_t>(a1.left + 1), static_cast<std::size_t>(a2.left + 1)) = value;
+    }
+  }
+
+  // Stage two: the parent slice.
+  result.value = tabulate_weighted_slice(ctx, 0, s1.length() - 1, 0, s2.length() - 1, scratch,
+                                         memo, result.cells_tabulated);
+  return result;
+}
+
+WeightedResult weighted_reference_topdown(const SecondaryStructure& s1,
+                                          const SecondaryStructure& s2,
+                                          const SimilarityScoring& scoring, const Sequence* seq1,
+                                          const Sequence* seq2) {
+  const ScoringContext ctx{s1, s2, scoring, seq1, seq2};
+  ctx.validate();
+  SRNA_REQUIRE(s1.length() < (1 << 16) && s2.length() < (1 << 16),
+               "reference packs indices into 16 bits");
+
+  std::unordered_map<std::uint64_t, Weight> memo;
+  WeightedResult result;
+
+  auto pack = [](Pos i1, Pos j1, Pos i2, Pos j2) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint16_t>(i1)) << 48) |
+           (static_cast<std::uint64_t>(static_cast<std::uint16_t>(j1)) << 32) |
+           (static_cast<std::uint64_t>(static_cast<std::uint16_t>(i2)) << 16) |
+           static_cast<std::uint64_t>(static_cast<std::uint16_t>(j2));
+  };
+
+  const std::function<Weight(Pos, Pos, Pos, Pos)> solve = [&](Pos i1, Pos j1, Pos i2,
+                                                              Pos j2) -> Weight {
+    if (j1 < i1 || j2 < i2) return 0.0;
+    const std::uint64_t key = pack(i1, j1, i2, j2);
+    if (const auto it = memo.find(key); it != memo.end()) return it->second;
+    ++result.cells_tabulated;
+
+    Weight v = std::max(solve(i1, j1 - 1, i2, j2), solve(i1, j1, i2, j2 - 1));
+    if (!ctx.s1.paired(j1) && !ctx.s2.paired(j2))
+      v = std::max(v, solve(i1, j1 - 1, i2, j2 - 1) + ctx.base_score(j1, j2));
+    const Pos k1 = ctx.s1.arc_left_of(j1);
+    const Pos k2 = ctx.s2.arc_left_of(j2);
+    if (k1 >= i1 && k2 >= i2) {
+      v = std::max(v, solve(i1, k1 - 1, i2, k2 - 1) + solve(k1 + 1, j1 - 1, k2 + 1, j2 - 1) +
+                          ctx.arc_score(k1, j1, k2, j2));
+    }
+    memo.emplace(key, v);
+    return v;
+  };
+
+  if (s1.length() > 0 && s2.length() > 0)
+    result.value = solve(0, s1.length() - 1, 0, s2.length() - 1);
+  return result;
+}
+
+}  // namespace srna

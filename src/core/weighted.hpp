@@ -1,0 +1,72 @@
+// Weighted structural similarity — the Bafna-style formulation the paper's
+// MCOS recurrence was specialized from.
+//
+// Section III-B derives the MCOS recurrence from Bafna et al.'s RNA string
+// similarity by (1) dropping the weight functions and (2) dropping the
+// subproblem that aligns interval endpoints without matching arcs. This
+// module restores both as an extension: arcs score a configurable bonus
+// (plus per-endpoint base agreement when sequences are supplied), and two
+// unpaired endpoints may be aligned for a base-level score.
+//
+//   W[i1,j1,i2,j2] = max(
+//     W[i1,j1-1,i2,j2],                          # j1 unmatched (free)
+//     W[i1,j1,i2,j2-1],                          # j2 unmatched (free)
+//     W[i1,j1-1,i2,j2-1] + base_score(j1, j2)    # both unpaired: align bases
+//     W[i1,k1-1,i2,k2-1] + W[k1+1,j1-1,k2+1,j2-1]
+//                        + arc_score((k1,j1),(k2,j2))   # matched arcs
+//   )
+//
+// All scores are required to be non-negative (unmatched positions are
+// free), which keeps the slice decomposition intact: the cross-slice term
+// is still keyed by the unique arc pair, so the same two-stage SRNA2
+// machinery — and its Θ(nm) space — carries over unchanged.
+#pragma once
+
+#include <optional>
+
+#include "rna/secondary_structure.hpp"
+#include "rna/sequence.hpp"
+
+namespace srna {
+
+using Weight = double;
+
+struct SimilarityScoring {
+  // Score for matching any arc pair.
+  Weight arc_bonus = 1.0;
+  // Added per agreeing endpoint base (left and right separately) when both
+  // sequences are present.
+  Weight arc_base_bonus = 0.25;
+  // Score for aligning two unpaired positions with identical bases
+  // (sequences required; 0 without them).
+  Weight base_match = 0.5;
+  // Score for aligning two unpaired positions with differing bases.
+  Weight base_mismatch = 0.0;
+
+  // The unit scoring reduces the weighted similarity to the MCOS value
+  // exactly (tested): arcs count 1, everything else 0.
+  static SimilarityScoring unit() { return {1.0, 0.0, 0.0, 0.0}; }
+};
+
+struct WeightedResult {
+  Weight value = 0.0;
+  std::uint64_t cells_tabulated = 0;
+};
+
+// Two-stage (SRNA2-style) weighted similarity. Sequences are optional; when
+// absent, base-dependent terms contribute nothing. Throws on pseudoknots,
+// negative scores, or sequence/structure length mismatches.
+WeightedResult weighted_similarity(const SecondaryStructure& s1, const SecondaryStructure& s2,
+                                   const SimilarityScoring& scoring = {},
+                                   const Sequence* seq1 = nullptr,
+                                   const Sequence* seq2 = nullptr);
+
+// Ground-truth top-down memoized evaluation of the same recurrence (small
+// inputs; used by the test suite).
+WeightedResult weighted_reference_topdown(const SecondaryStructure& s1,
+                                          const SecondaryStructure& s2,
+                                          const SimilarityScoring& scoring = {},
+                                          const Sequence* seq1 = nullptr,
+                                          const Sequence* seq2 = nullptr);
+
+}  // namespace srna

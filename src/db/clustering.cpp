@@ -1,0 +1,155 @@
+#include "db/clustering.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace srna {
+
+std::vector<std::size_t> Dendrogram::members(int node) const {
+  std::vector<std::size_t> out;
+  if (node < 0) return out;
+  std::vector<int> stack{node};
+  while (!stack.empty()) {
+    const ClusterNode& n = nodes[static_cast<std::size_t>(stack.back())];
+    stack.pop_back();
+    if (n.left < 0) {
+      out.push_back(static_cast<std::size_t>(n.leaf));
+    } else {
+      stack.push_back(n.left);
+      stack.push_back(n.right);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::vector<std::size_t>> Dendrogram::cut(std::size_t k) const {
+  SRNA_REQUIRE(k >= 1 && k <= std::max<std::size_t>(leaves, 1),
+               "cut size must be in [1, leaves]");
+  std::vector<std::vector<std::size_t>> clusters;
+  if (nodes.empty()) return clusters;
+
+  // The merges were created in increasing node order with (by construction)
+  // non-increasing similarity; undoing the last k-1 merges = taking the
+  // children frontier after removing the top k-1 internal nodes.
+  std::vector<int> frontier{root()};
+  while (frontier.size() < k) {
+    // Split the frontier node whose merge similarity is weakest.
+    std::size_t weakest = 0;
+    double weakest_sim = std::numeric_limits<double>::infinity();
+    bool found = false;
+    for (std::size_t f = 0; f < frontier.size(); ++f) {
+      const ClusterNode& n = nodes[static_cast<std::size_t>(frontier[f])];
+      if (n.left < 0) continue;  // leaf, cannot split
+      if (n.similarity < weakest_sim) {
+        weakest_sim = n.similarity;
+        weakest = f;
+        found = true;
+      }
+    }
+    SRNA_CHECK(found, "cannot cut further: k exceeds leaf count");
+    const ClusterNode split = nodes[static_cast<std::size_t>(frontier[weakest])];
+    frontier[weakest] = split.left;
+    frontier.push_back(split.right);
+  }
+
+  for (const int node : frontier) clusters.push_back(members(node));
+  std::sort(clusters.begin(), clusters.end(),
+            [](const auto& a, const auto& b) { return a.front() < b.front(); });
+  return clusters;
+}
+
+std::string Dendrogram::to_newick(const std::vector<std::string>& names) const {
+  SRNA_REQUIRE(names.size() == leaves, "one name per leaf required");
+  if (nodes.empty()) return ";";
+
+  std::ostringstream os;
+  const std::function<void(int, double)> emit = [&](int node, double parent_sim) {
+    const ClusterNode& n = nodes[static_cast<std::size_t>(node)];
+    if (n.left < 0) {
+      os << names[static_cast<std::size_t>(n.leaf)];
+    } else {
+      os << '(';
+      emit(n.left, n.similarity);
+      os << ',';
+      emit(n.right, n.similarity);
+      os << ')';
+    }
+    os << ':' << (1.0 - parent_sim);
+  };
+  // Root branch length measured from similarity 1.0 of a hypothetical
+  // super-root; conventional enough for viewers.
+  const ClusterNode& r = nodes[static_cast<std::size_t>(root())];
+  if (r.left < 0) {
+    os << names[static_cast<std::size_t>(r.leaf)];
+  } else {
+    os << '(';
+    emit(r.left, r.similarity);
+    os << ',';
+    emit(r.right, r.similarity);
+    os << ')';
+  }
+  os << ';';
+  return os.str();
+}
+
+Dendrogram cluster_average_linkage(const Matrix<double>& similarity) {
+  SRNA_REQUIRE(similarity.rows() == similarity.cols(), "similarity matrix must be square");
+  const std::size_t n = similarity.rows();
+  Dendrogram out;
+  out.leaves = n;
+  if (n == 0) return out;
+
+  for (std::size_t i = 0; i < n; ++i)
+    out.nodes.push_back(ClusterNode{-1, -1, static_cast<int>(i), 1.0});
+
+  // Active clusters: node id + member list (for average linkage).
+  struct Active {
+    int node;
+    std::vector<std::size_t> members;
+  };
+  std::vector<Active> active;
+  for (std::size_t i = 0; i < n; ++i) active.push_back({static_cast<int>(i), {i}});
+
+  auto linkage = [&](const Active& a, const Active& b) {
+    double sum = 0.0;
+    for (const std::size_t x : a.members)
+      for (const std::size_t y : b.members) sum += similarity(x, y);
+    return sum / (static_cast<double>(a.members.size()) * static_cast<double>(b.members.size()));
+  };
+
+  while (active.size() > 1) {
+    std::size_t best_a = 0, best_b = 1;
+    double best = -std::numeric_limits<double>::infinity();
+    for (std::size_t a = 0; a < active.size(); ++a) {
+      for (std::size_t b = a + 1; b < active.size(); ++b) {
+        const double s = linkage(active[a], active[b]);
+        if (s > best) {
+          best = s;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    ClusterNode merged;
+    merged.left = active[best_a].node;
+    merged.right = active[best_b].node;
+    merged.similarity = best;
+    out.nodes.push_back(merged);
+
+    Active joined;
+    joined.node = static_cast<int>(out.nodes.size()) - 1;
+    joined.members = active[best_a].members;
+    joined.members.insert(joined.members.end(), active[best_b].members.begin(),
+                          active[best_b].members.end());
+    active.erase(active.begin() + static_cast<std::ptrdiff_t>(best_b));
+    active[best_a] = std::move(joined);
+  }
+  return out;
+}
+
+}  // namespace srna

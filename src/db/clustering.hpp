@@ -1,0 +1,51 @@
+// Agglomerative clustering over a similarity matrix.
+//
+// The downstream workflow the database layer feeds: all_pairs_similarity →
+// average-linkage dendrogram → flat clusters or a Newick tree for external
+// viewers. Kept deliberately simple (O(n³) naive agglomeration) — the
+// matrices here are small compared to the MCOS work that produced them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace srna {
+
+struct ClusterNode {
+  // Children indices into the node vector, or -1/-1 for a leaf.
+  int left = -1;
+  int right = -1;
+  int leaf = -1;          // leaf item index (valid iff left < 0)
+  double similarity = 1;  // linkage similarity at which the merge happened
+};
+
+struct Dendrogram {
+  // Nodes in creation order: the first n are leaves, the last is the root
+  // (for n >= 1). Empty for n == 0.
+  std::vector<ClusterNode> nodes;
+  std::size_t leaves = 0;
+
+  [[nodiscard]] int root() const noexcept {
+    return nodes.empty() ? -1 : static_cast<int>(nodes.size()) - 1;
+  }
+
+  // Leaf indices under `node`.
+  [[nodiscard]] std::vector<std::size_t> members(int node) const;
+
+  // Cuts the tree into exactly `k` flat clusters (1 <= k <= leaves) by
+  // undoing the weakest merges; each cluster is a list of leaf indices
+  // sorted ascending, clusters ordered by their smallest member.
+  [[nodiscard]] std::vector<std::vector<std::size_t>> cut(std::size_t k) const;
+
+  // Newick serialization with the given leaf names; branch lengths encode
+  // (1 - merge similarity).
+  [[nodiscard]] std::string to_newick(const std::vector<std::string>& names) const;
+};
+
+// Average-linkage agglomeration over a symmetric similarity matrix (higher
+// = more similar). Throws on non-square input.
+Dendrogram cluster_average_linkage(const Matrix<double>& similarity);
+
+}  // namespace srna

@@ -1,0 +1,129 @@
+#include "db/structure_db.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/mcos.hpp"
+#include "rna/formats.hpp"
+#include "rna/generators.hpp"
+#include "util/assert.hpp"
+
+namespace srna {
+
+void StructureDatabase::add(DbRecord record) {
+  SRNA_REQUIRE(!record.name.empty(), "record needs a name");
+  SRNA_REQUIRE(find(record.name) == npos, "duplicate record name: " + record.name);
+  SRNA_REQUIRE(record.structure.is_nonpseudoknot(),
+               "database holds non-pseudoknot structures only: " + record.name);
+  records_.push_back(std::move(record));
+}
+
+std::size_t StructureDatabase::find(const std::string& name) const noexcept {
+  for (std::size_t i = 0; i < records_.size(); ++i)
+    if (records_[i].name == name) return i;
+  return npos;
+}
+
+StructureDatabase StructureDatabase::load_directory(const std::filesystem::path& dir) {
+  SRNA_REQUIRE(std::filesystem::is_directory(dir),
+               "not a directory: " + dir.string());
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const auto ext = entry.path().extension().string();
+    if (ext == ".ct" || ext == ".bpseq") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+
+  StructureDatabase db;
+  for (const auto& path : files) {
+    AnnotatedStructure rec = read_structure_file(path.string());
+    db.add(DbRecord{path.stem().string(), std::move(rec.structure), std::move(rec.sequence)});
+  }
+  return db;
+}
+
+void StructureDatabase::save_directory(const std::filesystem::path& dir) const {
+  std::filesystem::create_directories(dir);
+  for (const DbRecord& rec : records_) {
+    AnnotatedStructure out;
+    out.title = rec.name;
+    out.structure = rec.structure;
+    out.sequence = rec.sequence ? *rec.sequence : sequence_for_structure(rec.structure, 1);
+    write_structure_file((dir / (rec.name + ".ct")).string(), out);
+  }
+}
+
+namespace {
+
+double score_pair(Score common, const SecondaryStructure& a, const SecondaryStructure& b,
+                  SimilarityMetric metric) {
+  switch (metric) {
+    case SimilarityMetric::kCommonArcs: return static_cast<double>(common);
+    case SimilarityMetric::kNormalized: {
+      const double denom = static_cast<double>(a.arc_count() + b.arc_count());
+      return denom > 0 ? 2.0 * static_cast<double>(common) / denom : 1.0;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+Matrix<double> all_pairs_similarity(const StructureDatabase& db, const SearchOptions& options) {
+  const std::size_t n = db.size();
+  Matrix<double> out(n, n, 0.0);
+
+  // Diagonal: self-similarity (1.0 normalized, arc count raw).
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& s = db.record(i).structure;
+    out(i, i) = options.metric == SimilarityMetric::kNormalized
+                    ? 1.0
+                    : static_cast<double>(s.arc_count());
+  }
+
+  // Strict upper triangle, flattened so OpenMP can dynamically schedule the
+  // wildly uneven pair costs.
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  pairs.reserve(n * (n - 1) / 2);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) pairs.emplace_back(i, j);
+
+  const int threads = options.threads > 0 ? options.threads : omp_get_max_threads();
+#pragma omp parallel for schedule(dynamic) num_threads(threads)
+  for (std::size_t t = 0; t < pairs.size(); ++t) {
+    const auto [i, j] = pairs[t];
+    const auto& a = db.record(i).structure;
+    const auto& b = db.record(j).structure;
+    const Score common = srna2(a, b).value;
+    const double score = score_pair(common, a, b, options.metric);
+    out(i, j) = score;
+    out(j, i) = score;
+  }
+  return out;
+}
+
+std::vector<QueryHit> query_top_k(const StructureDatabase& db, const SecondaryStructure& query,
+                                  std::size_t k, const SearchOptions& options) {
+  SRNA_REQUIRE(query.is_nonpseudoknot(), "query must be non-pseudoknot");
+  std::vector<QueryHit> hits(db.size());
+
+  const int threads = options.threads > 0 ? options.threads : omp_get_max_threads();
+#pragma omp parallel for schedule(dynamic) num_threads(threads)
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    const auto& candidate = db.record(i).structure;
+    const Score common = srna2(query, candidate).value;
+    hits[i] = QueryHit{i, common, score_pair(common, query, candidate, options.metric)};
+  }
+
+  std::sort(hits.begin(), hits.end(), [](const QueryHit& a, const QueryHit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.index < b.index;
+  });
+  if (k > 0 && hits.size() > k) hits.resize(k);
+  return hits;
+}
+
+}  // namespace srna

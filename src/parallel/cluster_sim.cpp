@@ -1,0 +1,160 @@
+#include "parallel/cluster_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/arc_index.hpp"
+#include "core/memo_table.hpp"
+#include "core/mcos.hpp"
+#include "rna/generators.hpp"
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+namespace srna {
+
+double calibrate_cell_seconds(int sample_length) {
+  SRNA_REQUIRE(sample_length >= 16, "calibration sample too small");
+  const SecondaryStructure s = worst_case_structure(static_cast<Pos>(sample_length));
+  // One warm-up plus one timed run of the real dense SRNA2.
+  (void)srna2(s, s);
+  WallTimer timer;
+  const McosResult r = srna2(s, s);
+  const double seconds = timer.seconds();
+  SRNA_CHECK(r.stats.cells_tabulated > 0, "calibration run tabulated nothing");
+  return seconds / static_cast<double>(r.stats.cells_tabulated);
+}
+
+namespace {
+
+// Recursive-doubling collective: ceil(log2 p) stages, each α + bytes·β.
+double allreduce_seconds(const MachineModel& model, std::size_t p, std::size_t bytes) {
+  if (p <= 1) return 0.0;
+  const double stages = std::ceil(std::log2(static_cast<double>(p)));
+  return model.sync_overhead_seconds +
+         stages * (model.alpha_seconds +
+                   static_cast<double>(bytes) * model.beta_seconds_per_byte);
+}
+
+}  // namespace
+
+SimBreakdown simulate_prna(const SecondaryStructure& s1, const SecondaryStructure& s2,
+                           const MachineModel& model, const SimOptions& options) {
+  SRNA_REQUIRE(options.processors >= 1, "need at least one processor");
+  SRNA_REQUIRE(s1.is_nonpseudoknot() && s2.is_nonpseudoknot(),
+               "MCOS model requires non-pseudoknot structures");
+
+  const ArcIndex idx1(s1);
+  const ArcIndex idx2(s2);
+  const std::size_t p = options.processors;
+
+  // Column ownership exactly as PRNA computes it.
+  std::vector<std::uint64_t> col_weights(idx2.size());
+  for (std::size_t b = 0; b < idx2.size(); ++b)
+    col_weights[b] =
+        static_cast<std::uint64_t>(std::max<Pos>(idx2.arc(b).interior_width(), 0));
+  const Assignment assignment = balance_load(col_weights, p, options.balance);
+
+  // Per-processor column-weight totals: thanks to the product form
+  // cells(a1, a2) = w1(a1)·w2(a2), each row's per-processor cell count is
+  // w1 · owned_weight[proc].
+  std::vector<std::uint64_t> owned_weight(p, 0);
+  for (std::size_t b = 0; b < idx2.size(); ++b)
+    owned_weight[assignment.owner[b]] += col_weights[b];
+  const std::uint64_t max_owned = *std::max_element(owned_weight.begin(), owned_weight.end());
+  const std::uint64_t sum_owned = assignment.total();
+
+  SimBreakdown sim;
+  sim.rows = idx1.size();
+
+  // Per-row message size for the synchronization model.
+  const auto m_bytes = static_cast<std::size_t>(s2.length()) * sizeof(Score);
+  const auto table_bytes =
+      static_cast<std::size_t>(s1.length()) * static_cast<std::size_t>(s2.length()) * sizeof(Score);
+
+  // Scratch for the dynamic-schedule model: greedy list scheduling of the
+  // row's slice tasks (in column order) onto the least-loaded processor,
+  // each task paying a dispatch overhead.
+  std::vector<double> proc_load(p, 0.0);
+  auto dynamic_row_makespan = [&](std::uint64_t w1) {
+    std::fill(proc_load.begin(), proc_load.end(), 0.0);
+    for (const std::uint64_t w2 : col_weights) {
+      auto least = std::min_element(proc_load.begin(), proc_load.end());
+      *least += static_cast<double>(w1 * w2) * model.cell_seconds +
+                model.dispatch_overhead_seconds;
+    }
+    return *std::max_element(proc_load.begin(), proc_load.end());
+  };
+
+  double busiest_cells_time = 0.0;
+  for (std::size_t a = 0; a < idx1.size(); ++a) {
+    const auto w1 = static_cast<std::uint64_t>(std::max<Pos>(idx1.arc(a).interior_width(), 0));
+    sim.total_cells += w1 * sum_owned;
+    if (options.schedule == ScheduleModel::kDynamicPerSlice)
+      busiest_cells_time += dynamic_row_makespan(w1);
+    else
+      busiest_cells_time += static_cast<double>(w1 * max_owned) * model.cell_seconds;
+    switch (options.sync) {
+      case SyncModel::kRowAllreduce:
+        sim.stage1_comm_seconds += allreduce_seconds(model, p, m_bytes);
+        break;
+      case SyncModel::kTableAllreduce:
+        sim.stage1_comm_seconds += allreduce_seconds(model, p, table_bytes);
+        break;
+      case SyncModel::kNoComm: break;
+    }
+  }
+  sim.stage1_compute_seconds = busiest_cells_time;
+
+  const double ideal =
+      static_cast<double>(sim.total_cells) / static_cast<double>(p) * model.cell_seconds;
+  sim.schedule_efficiency =
+      sim.stage1_compute_seconds > 0.0 ? ideal / sim.stage1_compute_seconds : 1.0;
+
+  // Stage two: the sequential parent slice (n × m dense cells).
+  sim.stage2_seconds = static_cast<double>(s1.length()) * static_cast<double>(s2.length()) *
+                       model.cell_seconds;
+
+  // Preprocessing: sorting/indexing the arcs and the load balance — linear
+  // and log-linear terms with small constants; negligible, as in Table III.
+  sim.preprocess_seconds =
+      1e-6 + 2e-8 * static_cast<double>(idx1.size() + idx2.size()) +
+      1e-8 * static_cast<double>(s1.length() + s2.length());
+
+  return sim;
+}
+
+std::vector<SpeedupPoint> simulate_speedup_curve(const SecondaryStructure& s1,
+                                                 const SecondaryStructure& s2,
+                                                 const MachineModel& model,
+                                                 const std::vector<std::size_t>& processor_counts,
+                                                 const SimOptions& base_options) {
+  SimOptions sequential = base_options;
+  sequential.processors = 1;
+  const double t1 = simulate_prna(s1, s2, model, sequential).total_seconds();
+
+  std::vector<SpeedupPoint> curve;
+  curve.reserve(processor_counts.size());
+  for (std::size_t p : processor_counts) {
+    SimOptions opt = base_options;
+    opt.processors = p;
+    const double tp = simulate_prna(s1, s2, model, opt).total_seconds();
+    SpeedupPoint point;
+    point.processors = p;
+    point.seconds = tp;
+    point.speedup = tp > 0.0 ? t1 / tp : 1.0;
+    point.efficiency = point.speedup / static_cast<double>(p);
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+const char* to_string(SyncModel sync) noexcept {
+  switch (sync) {
+    case SyncModel::kRowAllreduce: return "row-allreduce";
+    case SyncModel::kTableAllreduce: return "table-allreduce";
+    case SyncModel::kNoComm: return "no-comm";
+  }
+  return "?";
+}
+
+}  // namespace srna

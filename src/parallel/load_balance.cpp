@@ -1,0 +1,106 @@
+#include "parallel/load_balance.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "util/assert.hpp"
+
+namespace srna {
+
+std::uint64_t Assignment::makespan() const noexcept {
+  std::uint64_t max = 0;
+  for (std::uint64_t l : load) max = std::max(max, l);
+  return max;
+}
+
+std::uint64_t Assignment::total() const noexcept {
+  std::uint64_t sum = 0;
+  for (std::uint64_t l : load) sum += l;
+  return sum;
+}
+
+double Assignment::imbalance() const noexcept {
+  const std::uint64_t sum = total();
+  if (sum == 0 || load.empty()) return 1.0;
+  const double ideal = static_cast<double>(sum) / static_cast<double>(load.size());
+  return static_cast<double>(makespan()) / ideal;
+}
+
+namespace {
+
+Assignment balance_lpt(const std::vector<std::uint64_t>& weights, std::size_t p) {
+  Assignment a;
+  a.owner.resize(weights.size());
+  a.load.assign(p, 0);
+
+  std::vector<std::size_t> order(weights.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t x, std::size_t y) { return weights[x] > weights[y]; });
+
+  // Min-heap of (load, processor); ties broken toward the lower processor id
+  // for determinism.
+  using Entry = std::pair<std::uint64_t, std::size_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (std::size_t proc = 0; proc < p; ++proc) heap.emplace(0, proc);
+
+  for (std::size_t task : order) {
+    auto [l, proc] = heap.top();
+    heap.pop();
+    a.owner[task] = proc;
+    a.load[proc] = l + weights[task];
+    heap.emplace(a.load[proc], proc);
+  }
+  return a;
+}
+
+Assignment balance_block(const std::vector<std::uint64_t>& weights, std::size_t p) {
+  Assignment a;
+  a.owner.resize(weights.size());
+  a.load.assign(p, 0);
+  const std::size_t n = weights.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t proc = std::min(p - 1, i * p / std::max<std::size_t>(n, 1));
+    a.owner[i] = proc;
+    a.load[proc] += weights[i];
+  }
+  return a;
+}
+
+Assignment balance_cyclic(const std::vector<std::uint64_t>& weights, std::size_t p) {
+  Assignment a;
+  a.owner.resize(weights.size());
+  a.load.assign(p, 0);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const std::size_t proc = i % p;
+    a.owner[i] = proc;
+    a.load[proc] += weights[i];
+  }
+  return a;
+}
+
+}  // namespace
+
+Assignment balance_load(const std::vector<std::uint64_t>& weights, std::size_t processors,
+                        BalanceStrategy strategy) {
+  SRNA_REQUIRE(processors >= 1, "need at least one processor");
+  switch (strategy) {
+    case BalanceStrategy::kGreedyLpt: return balance_lpt(weights, processors);
+    case BalanceStrategy::kBlock: return balance_block(weights, processors);
+    case BalanceStrategy::kCyclic: return balance_cyclic(weights, processors);
+  }
+  SRNA_CHECK(false, "unknown balance strategy");
+  return {};
+}
+
+const char* to_string(BalanceStrategy strategy) noexcept {
+  switch (strategy) {
+    case BalanceStrategy::kGreedyLpt: return "lpt";
+    case BalanceStrategy::kBlock: return "block";
+    case BalanceStrategy::kCyclic: return "cyclic";
+  }
+  return "?";
+}
+
+}  // namespace srna

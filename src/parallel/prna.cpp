@@ -1,0 +1,197 @@
+#include "parallel/prna.hpp"
+
+#include <omp.h>
+
+#include <atomic>
+#include <vector>
+
+#include "core/arc_index.hpp"
+#include "core/memo_table.hpp"
+#include "core/tabulate_slice.hpp"
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+namespace srna {
+
+namespace {
+
+// Column weight of an S2 arc: the column factor of the product-form work of
+// every child slice in that column (cells = interior(a1) × interior(a2)).
+std::vector<std::uint64_t> column_weights(const ArcIndex& idx2) {
+  std::vector<std::uint64_t> weights(idx2.size());
+  for (std::size_t b = 0; b < idx2.size(); ++b)
+    weights[b] = static_cast<std::uint64_t>(std::max<Pos>(idx2.arc(b).interior_width(), 0));
+  return weights;
+}
+
+// Stage two as a parallel wavefront: cells of one anti-diagonal of the
+// parent slice are independent (all dependencies — s1, s2, d1 — point at
+// strictly earlier diagonals, and d2 reads the completed memo table).
+Score tabulate_parent_wavefront(const SecondaryStructure& s1, const SecondaryStructure& s2,
+                                const MemoTable& memo, int threads, McosStats& stats) {
+  const Pos n = s1.length();
+  const Pos m = s2.length();
+  if (n == 0 || m == 0) {
+    ++stats.slices_tabulated;
+    return 0;
+  }
+  Matrix<Score> grid(static_cast<std::size_t>(n), static_cast<std::size_t>(m), 0);
+  ++stats.slices_tabulated;
+  stats.cells_tabulated += static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(m);
+
+#pragma omp parallel num_threads(threads)
+  for (Pos d = 0; d <= n + m - 2; ++d) {
+    const Pos x_lo = std::max<Pos>(0, d - (m - 1));
+    const Pos x_hi = std::min<Pos>(n - 1, d);
+#pragma omp for schedule(static)
+    for (Pos x = x_lo; x <= x_hi; ++x) {
+      const Pos y = d - x;
+      const auto ux = static_cast<std::size_t>(x);
+      const auto uy = static_cast<std::size_t>(y);
+      Score v = std::max(x > 0 ? grid(ux - 1, uy) : Score{0},
+                         y > 0 ? grid(ux, uy - 1) : Score{0});
+      const Pos k1 = s1.arc_left_of(x);
+      if (k1 >= 0) {
+        const Pos k2 = s2.arc_left_of(y);
+        if (k2 >= 0) {
+          const Score d1 = (k1 > 0 && k2 > 0)
+                               ? grid(static_cast<std::size_t>(k1 - 1),
+                                      static_cast<std::size_t>(k2 - 1))
+                               : 0;
+          v = std::max(v, static_cast<Score>(1 + d1 + memo.get(k1 + 1, k2 + 1)));
+        }
+      }
+      grid(ux, uy) = v;
+    }  // implicit barrier: the diagonal is published
+  }
+  return grid(static_cast<std::size_t>(n) - 1, static_cast<std::size_t>(m) - 1);
+}
+
+}  // namespace
+
+PrnaResult prna(const SecondaryStructure& s1, const SecondaryStructure& s2,
+                const PrnaOptions& options) {
+  SRNA_REQUIRE(s1.is_nonpseudoknot() && s2.is_nonpseudoknot(),
+               "MCOS model requires non-pseudoknot structures");
+
+  PrnaResult result;
+  const bool dense = options.layout == SliceLayout::kDense;
+  const bool validate = options.validate_memo;
+
+  // --- Preprocessing: arc index, column ownership, memo table. ---
+  WallTimer phase;
+  const ArcIndex idx1(s1);
+  const ArcIndex idx2(s2);
+  MemoTable memo(s1.length(), s2.length(), validate ? MemoTable::kUnset : Score{0});
+
+  int threads = options.num_threads > 0 ? options.num_threads : omp_get_max_threads();
+  threads = std::max(threads, 1);
+  result.threads_used = threads;
+
+  result.assignment =
+      balance_load(column_weights(idx2), static_cast<std::size_t>(threads), options.balance);
+  // Owned-column lists, so each worker iterates only its own S2 arcs (in
+  // increasing right-endpoint order, preserved from idx2).
+  std::vector<std::vector<std::size_t>> owned(static_cast<std::size_t>(threads));
+  for (std::size_t b = 0; b < idx2.size(); ++b)
+    owned[result.assignment.owner[b]].push_back(b);
+  result.stats.preprocess_seconds = phase.seconds();
+
+  // --- Stage one: child slices in parallel, one barrier per M row. ---
+  phase.reset();
+  std::vector<McosStats> thread_stats(static_cast<std::size_t>(threads));
+  result.cells_per_thread.assign(static_cast<std::size_t>(threads), 0);
+
+  auto d2_lookup = [&](Pos k1, Pos /*x*/, Pos k2, Pos /*y*/) -> Score {
+    const Score v = memo.get(k1 + 1, k2 + 1);
+    if (validate)
+      SRNA_CHECK(v != MemoTable::kUnset,
+                 "PRNA ordering violated: d2 lookup read an unpublished row");
+    return v;
+  };
+
+  std::atomic<bool> failed{false};
+
+#pragma omp parallel num_threads(threads)
+  {
+    const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+    McosStats& local = thread_stats[tid];
+    Matrix<Score> dense_scratch;
+    CompressedSliceScratch compressed_scratch;
+
+    auto tabulate_pair = [&](std::size_t a, std::size_t b) {
+      const Arc arc1 = idx1.arc(a);
+      const Arc arc2 = idx2.arc(b);
+      Score value;
+      if (dense) {
+        value = tabulate_slice_dense(
+            s1, s2, SliceBounds::under(arc1.left, arc1.right, arc2.left, arc2.right),
+            dense_scratch, d2_lookup, &local);
+      } else {
+        value = tabulate_slice_compressed(idx1.interior(a), idx2.interior(b),
+                                          compressed_scratch, d2_lookup, &local);
+      }
+      memo.set(arc1.left + 1, arc2.left + 1, value);
+    };
+
+    for (std::size_t a = 0; a < idx1.size(); ++a) {
+      if (options.schedule == PrnaSchedule::kDynamic) {
+        // Dynamic alternative: idle workers pull individual slices. The
+        // work-sharing loop's implicit barrier publishes the row.
+#pragma omp for schedule(dynamic, 1)
+        for (std::size_t b = 0; b < idx2.size(); ++b) {
+          if (failed.load(std::memory_order_relaxed)) continue;
+          try {
+            tabulate_pair(a, b);
+          } catch (...) {
+            failed.store(true, std::memory_order_relaxed);
+          }
+        }
+        continue;
+      }
+
+      if (!failed.load(std::memory_order_relaxed)) {
+        try {
+          for (const std::size_t b : owned[tid]) tabulate_pair(a, b);
+        } catch (...) {
+          failed.store(true, std::memory_order_relaxed);
+        }
+      }
+      // Publish row arc1.left + 1 of M: the shared-memory stand-in for the
+      // paper's per-row MPI_Allreduce(MAX) over the replicated table.
+#pragma omp barrier
+    }
+
+    result.cells_per_thread[tid] = local.cells_tabulated;
+  }
+
+  SRNA_CHECK(!failed.load(), "PRNA stage one failed (memo validation error)");
+  for (const McosStats& local : thread_stats) {
+    result.stats.cells_tabulated += local.cells_tabulated;
+    result.stats.slices_tabulated += local.slices_tabulated;
+    result.stats.arc_match_events += local.arc_match_events;
+  }
+  result.stats.stage1_seconds = phase.seconds();
+
+  // --- Stage two: the parent slice (paper: not worth parallelizing;
+  // Table III shows it below 0.2% of the runtime — parallel_stage2 exists
+  // to measure exactly that). ---
+  phase.reset();
+  if (options.parallel_stage2) {
+    SRNA_REQUIRE(dense, "parallel stage two supports the dense layout only");
+    result.value = tabulate_parent_wavefront(s1, s2, memo, threads, result.stats);
+  } else if (dense) {
+    Matrix<Score> scratch;
+    result.value = tabulate_slice_dense(s1, s2,
+                                        SliceBounds{0, s1.length() - 1, 0, s2.length() - 1},
+                                        scratch, d2_lookup, &result.stats);
+  } else {
+    CompressedSliceScratch scratch;
+    result.value =
+        tabulate_slice_compressed(idx1.all(), idx2.all(), scratch, d2_lookup, &result.stats);
+  }
+  result.stats.stage2_seconds = phase.seconds();
+  return result;
+}
+
+}  // namespace srna

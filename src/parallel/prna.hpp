@@ -1,0 +1,63 @@
+// PRNA — the parallel algorithm (paper Algorithm 4), for shared memory.
+//
+// Structure mirrors SRNA2: preprocessing (arc index + static column
+// ownership via load balancing), parallel stage one, sequential stage two.
+// In each outer iteration (one S1 arc, i.e. one row of the memo table M)
+// every worker tabulates the child slices of the S2 arcs it owns, writing
+// disjoint columns of that row; a barrier then publishes the row — the
+// shared-memory analogue of the paper's per-row MPI_Allreduce(MAX) over the
+// replicated table. Correctness rests on the same ordering fact as SRNA2:
+// d2 dependencies always point at rows completed in earlier iterations.
+//
+// The paper's 64-processor cluster runs are reproduced by the schedule
+// simulator in cluster_sim.hpp; this implementation provides real (and
+// tested) parallel execution on whatever cores exist.
+#pragma once
+
+#include "core/options.hpp"
+#include "core/result.hpp"
+#include "parallel/load_balance.hpp"
+#include "rna/secondary_structure.hpp"
+
+namespace srna {
+
+// How stage-one slices are assigned to workers within a row.
+//
+// kStaticColumns is the paper's design: one load-balanced column ownership
+// computed in preprocessing and reused for every row (valid because the
+// per-row work factors as w1(row)·w2(column)). kDynamic hands individual
+// slices to idle workers as they finish — the conventional alternative the
+// static design is measured against (ablation_dynamic_schedule).
+enum class PrnaSchedule : std::uint8_t { kStaticColumns, kDynamic };
+
+struct PrnaOptions {
+  // Worker threads; 0 = OpenMP default (typically the core count).
+  int num_threads = 0;
+  BalanceStrategy balance = BalanceStrategy::kGreedyLpt;
+  SliceLayout layout = SliceLayout::kDense;
+  PrnaSchedule schedule = PrnaSchedule::kStaticColumns;
+  // Tabulate the parent slice (stage two) as a parallel wavefront over
+  // anti-diagonals instead of sequentially. The paper deems this not worth
+  // the effort (stage two is < 0.01% of the runtime, Table III); this
+  // implementation exists to measure that claim (ablation_stage2_parallel).
+  // Dense layout only.
+  bool parallel_stage2 = false;
+  // Verify the ordering guarantee (memo initialized to the unset sentinel,
+  // every d2 lookup checked). Test-suite use.
+  bool validate_memo = false;
+};
+
+struct PrnaResult {
+  Score value = 0;
+  McosStats stats;             // aggregated over threads
+  int threads_used = 0;
+  Assignment assignment;       // the stage-one column ownership
+  // Cells tabulated by each thread during stage one (work distribution
+  // actually realized, for comparing against the load balancer's plan).
+  std::vector<std::uint64_t> cells_per_thread;
+};
+
+PrnaResult prna(const SecondaryStructure& s1, const SecondaryStructure& s2,
+                const PrnaOptions& options = {});
+
+}  // namespace srna

@@ -1,0 +1,59 @@
+// An arc is a bond between two sequence positions (left < right).
+//
+// The whole MCOS machinery is driven by arc sets: the recurrence's dynamic
+// cases trigger on arcs, slices are indexed by arc endpoints, and the
+// non-pseudoknot model is a purely combinatorial restriction on arc pairs
+// (no shared endpoints, no crossings).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+namespace srna {
+
+// Sequence position. Signed so interval arithmetic like `k1 - 1` stays well
+// defined at the boundaries (empty intervals are represented by hi < lo).
+using Pos = std::int32_t;
+
+struct Arc {
+  Pos left = 0;
+  Pos right = 0;
+
+  // Lexicographic order; the structure stores arcs sorted by (left, right).
+  friend auto operator<=>(const Arc&, const Arc&) = default;
+
+  // Number of positions strictly under the arc: the width of the child slice
+  // this arc spawns when matched.
+  [[nodiscard]] Pos interior_width() const noexcept { return right - left - 1; }
+
+  // True if `other` lies strictly inside this arc (proper nesting).
+  [[nodiscard]] bool nests(const Arc& other) const noexcept {
+    return left < other.left && other.right < right;
+  }
+
+  // True if the two arcs cross (interleave): l1 < l2 < r1 < r2 in either
+  // order. Crossing arcs form a pseudoknot and are outside the model.
+  [[nodiscard]] bool crosses(const Arc& other) const noexcept {
+    return (left < other.left && other.left < right && right < other.right) ||
+           (other.left < left && left < other.right && other.right < right);
+  }
+
+  // True if the two arcs share an endpoint (disallowed by the model: each
+  // base bonds at most once).
+  [[nodiscard]] bool shares_endpoint(const Arc& other) const noexcept {
+    return left == other.left || left == other.right || right == other.left ||
+           right == other.right;
+  }
+
+  // True if both endpoints fall inside [lo, hi].
+  [[nodiscard]] bool within(Pos lo, Pos hi) const noexcept {
+    return lo <= left && right <= hi;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Arc& a) {
+  return os << '(' << a.left << ',' << a.right << ')';
+}
+
+}  // namespace srna

@@ -1,0 +1,74 @@
+#include "rna/arc_diagram.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace srna {
+
+std::string render_arc_diagram(const SecondaryStructure& s, const Sequence* seq,
+                               const ArcDiagramOptions& options) {
+  SRNA_REQUIRE(s.is_nonpseudoknot(), "cannot draw crossing arcs as nested levels");
+  SRNA_REQUIRE(seq == nullptr || seq->length() == s.length(),
+               "sequence length must match the structure");
+
+  const auto width = static_cast<std::size_t>(s.length());
+  const Pos depth = s.max_nesting_depth();
+  // Row 0 is the topmost (outermost) arc row; row depth is the baseline.
+  std::vector<std::string> rows(static_cast<std::size_t>(depth), std::string(width, ' '));
+
+  // Depth of each arc = number of arcs strictly containing it; outermost
+  // arcs (depth 0) go on the top row.
+  for (const Arc& a : s.arcs_by_right()) {
+    Pos nesting = 0;
+    for (const Arc& other : s.arcs_by_right())
+      if (other.nests(a)) ++nesting;
+    const auto row = static_cast<std::size_t>(nesting);
+    auto& line = rows[row];
+    line[static_cast<std::size_t>(a.left)] = '/';
+    line[static_cast<std::size_t>(a.right)] = '\\';
+    for (Pos c = a.left + 1; c < a.right; ++c)
+      if (line[static_cast<std::size_t>(c)] == ' ') line[static_cast<std::size_t>(c)] = '-';
+    // Verticals from under the corners down to the baseline.
+    for (std::size_t below = row + 1; below < rows.size(); ++below) {
+      for (const Pos c : {a.left, a.right}) {
+        char& cell = rows[below][static_cast<std::size_t>(c)];
+        if (cell == ' ' || cell == '-') cell = '|';
+      }
+    }
+  }
+
+  // Baseline.
+  std::string baseline(width, '.');
+  if (seq != nullptr) {
+    baseline = seq->to_string();
+  } else {
+    for (Pos i = 0; i < s.length(); ++i)
+      if (s.paired(i)) baseline[static_cast<std::size_t>(i)] = 'o';
+  }
+  for (const Pos p : options.highlight)
+    if (p >= 0 && p < s.length()) baseline[static_cast<std::size_t>(p)] = '*';
+
+  std::string out;
+  for (const auto& line : rows) {
+    out += line;
+    out += '\n';
+  }
+  out += baseline;
+  out += '\n';
+
+  if (options.ruler && width > 0) {
+    std::string ruler(width, ' ');
+    for (std::size_t i = 0; i < width; i += 10) {
+      const std::string label = std::to_string(i);
+      if (i + label.size() <= width) ruler.replace(i, label.size(), label);
+    }
+    out += ruler;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace srna

@@ -1,0 +1,37 @@
+// ASCII arc diagrams — the paper's Figure 1 view of a secondary structure:
+// the sequence on a baseline with bonds drawn as arcs above it.
+//
+//     /--------\
+//     | /--\   |
+//     | |  |   |
+//     GGCAUCGUAC
+//     0        9
+//
+// Used by the quickstart example and the CLI's `show` command; handy when
+// debugging generators and tracebacks.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "rna/secondary_structure.hpp"
+#include "rna/sequence.hpp"
+
+namespace srna {
+
+struct ArcDiagramOptions {
+  // Print a 0-based position ruler under the baseline.
+  bool ruler = true;
+  // Highlight these positions (e.g. a traceback's matched arcs) with '*'
+  // on the baseline when no sequence is given.
+  std::vector<Pos> highlight;
+};
+
+// Renders the structure (non-pseudoknot only — crossing arcs cannot be
+// drawn as nested levels; throws std::invalid_argument). If `seq` is given
+// its bases form the baseline, otherwise '.' for unpaired and 'o' for
+// paired positions.
+std::string render_arc_diagram(const SecondaryStructure& s, const Sequence* seq = nullptr,
+                               const ArcDiagramOptions& options = {});
+
+}  // namespace srna

@@ -1,0 +1,26 @@
+// Dot-bracket notation for secondary structures.
+//
+// Standard notation: '.' unpaired, '(' / ')' paired. Extended pseudoknot
+// levels use '[]', '{}', '<>' — parsing supports them so knotted structures
+// can be round-tripped and *detected*; the MCOS solvers then reject them.
+// Serialization of a non-pseudoknot structure always uses '(' / ')'; knotted
+// structures are serialized with as few bracket levels as a greedy layering
+// needs (throws if more than four are required).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "rna/secondary_structure.hpp"
+
+namespace srna {
+
+// Parses a dot-bracket string. Throws std::invalid_argument on unbalanced or
+// unexpected characters.
+SecondaryStructure parse_dot_bracket(std::string_view text);
+
+// Renders a structure to dot-bracket. Throws std::invalid_argument if the
+// structure needs more than four crossing levels.
+std::string to_dot_bracket(const SecondaryStructure& s);
+
+}  // namespace srna

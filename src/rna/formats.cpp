@@ -1,0 +1,173 @@
+#include "rna/formats.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/string_util.hpp"
+
+namespace srna {
+
+namespace {
+
+[[noreturn]] void fail(const char* format, std::size_t line, const std::string& what) {
+  throw std::invalid_argument(std::string(format) + " parse error at line " +
+                              std::to_string(line) + ": " + what);
+}
+
+// Builds the structure from 1-based partner assignments collected by either
+// parser. `partners[i]` is the 1-based partner of 1-based position i+1, or 0.
+SecondaryStructure structure_from_partners(const char* format,
+                                           const std::vector<std::size_t>& partners) {
+  const Pos n = static_cast<Pos>(partners.size());
+  std::vector<Arc> arcs;
+  for (std::size_t i = 0; i < partners.size(); ++i) {
+    const std::size_t p = partners[i];
+    if (p == 0) continue;
+    if (p > partners.size())
+      throw std::invalid_argument(std::string(format) + ": partner index " + std::to_string(p) +
+                                  " out of range");
+    // Symmetry check: the partner must point back.
+    if (partners[p - 1] != i + 1)
+      throw std::invalid_argument(std::string(format) + ": asymmetric bond " +
+                                  std::to_string(i + 1) + " -> " + std::to_string(p));
+    if (p == i + 1)
+      throw std::invalid_argument(std::string(format) + ": base " + std::to_string(i + 1) +
+                                  " paired with itself");
+    if (i + 1 < p) arcs.push_back(Arc{static_cast<Pos>(i), static_cast<Pos>(p - 1)});
+  }
+  return SecondaryStructure::from_arcs(n, std::move(arcs));
+}
+
+}  // namespace
+
+AnnotatedStructure read_ct(std::istream& in) {
+  std::string line;
+  std::size_t lineno = 0;
+
+  // Header: "<n> [title...]" — skip blank/comment lines before it.
+  std::size_t n = 0;
+  std::string title;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto t = trim(line);
+    if (t.empty() || t.front() == '#') continue;
+    const auto fields = split_ws(t);
+    if (!parse_size(fields[0], n)) fail("CT", lineno, "expected base count in header");
+    const auto title_pos = t.find_first_of(" \t");
+    if (title_pos != std::string_view::npos) title = std::string(trim(t.substr(title_pos)));
+    break;
+  }
+  if (n == 0 && title.empty() && in.eof())
+    throw std::invalid_argument("CT parse error: empty input");
+
+  std::vector<Base> bases(n);
+  std::vector<std::size_t> partners(n, 0);
+  std::size_t seen = 0;
+  while (seen < n && std::getline(in, line)) {
+    ++lineno;
+    const auto t = trim(line);
+    if (t.empty() || t.front() == '#') continue;
+    const auto fields = split_ws(t);
+    if (fields.size() < 6) fail("CT", lineno, "expected 6 columns");
+    std::size_t index = 0, partner = 0;
+    if (!parse_size(fields[0], index) || index != seen + 1)
+      fail("CT", lineno, "bad or out-of-order base index");
+    if (fields[1].size() != 1 || !base_from_char(fields[1][0], bases[seen]))
+      fail("CT", lineno, "bad base symbol '" + std::string(fields[1]) + "'");
+    if (!parse_size(fields[4], partner)) fail("CT", lineno, "bad partner index");
+    partners[seen] = partner;
+    ++seen;
+  }
+  if (seen != n) throw std::invalid_argument("CT parse error: expected " + std::to_string(n) +
+                                             " base lines, got " + std::to_string(seen));
+
+  return AnnotatedStructure{std::move(title), Sequence(std::move(bases)),
+                            structure_from_partners("CT", partners)};
+}
+
+AnnotatedStructure read_bpseq(std::istream& in) {
+  std::string line;
+  std::size_t lineno = 0;
+  std::string title;
+  std::vector<Base> bases;
+  std::vector<std::size_t> partners;
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto t = trim(line);
+    if (t.empty()) continue;
+    if (t.front() == '#') {
+      if (title.empty() && t.size() > 1) title = std::string(trim(t.substr(1)));
+      continue;
+    }
+    const auto fields = split_ws(t);
+    if (fields.size() != 3) fail("BPSEQ", lineno, "expected 3 columns");
+    std::size_t index = 0, partner = 0;
+    if (!parse_size(fields[0], index) || index != bases.size() + 1)
+      fail("BPSEQ", lineno, "bad or out-of-order base index");
+    Base b;
+    if (fields[1].size() != 1 || !base_from_char(fields[1][0], b))
+      fail("BPSEQ", lineno, "bad base symbol '" + std::string(fields[1]) + "'");
+    if (!parse_size(fields[2], partner)) fail("BPSEQ", lineno, "bad partner index");
+    bases.push_back(b);
+    partners.push_back(partner);
+  }
+
+  return AnnotatedStructure{std::move(title), Sequence(std::move(bases)),
+                            structure_from_partners("BPSEQ", partners)};
+}
+
+void write_ct(std::ostream& out, const AnnotatedStructure& record) {
+  const Pos n = record.sequence.length();
+  out << n << ' ' << (record.title.empty() ? "structure" : record.title) << '\n';
+  for (Pos i = 0; i < n; ++i) {
+    const Pos partner = i < record.structure.length() ? record.structure.partner(i) : Pos{-1};
+    out << (i + 1) << ' ' << to_char(record.sequence[i]) << ' ' << i << ' ' << (i + 2) << ' '
+        << (partner >= 0 ? partner + 1 : 0) << ' ' << (i + 1) << '\n';
+  }
+}
+
+void write_bpseq(std::ostream& out, const AnnotatedStructure& record) {
+  if (!record.title.empty()) out << "# " << record.title << '\n';
+  const Pos n = record.sequence.length();
+  for (Pos i = 0; i < n; ++i) {
+    const Pos partner = i < record.structure.length() ? record.structure.partner(i) : Pos{-1};
+    out << (i + 1) << ' ' << to_char(record.sequence[i]) << ' '
+        << (partner >= 0 ? partner + 1 : 0) << '\n';
+  }
+}
+
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() && s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+AnnotatedStructure read_structure_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("cannot open structure file: " + path);
+  const std::string lower = to_lower(path);
+  if (ends_with(lower, ".ct")) return read_ct(in);
+  if (ends_with(lower, ".bpseq")) return read_bpseq(in);
+  throw std::invalid_argument("unknown structure file extension (want .ct or .bpseq): " + path);
+}
+
+void write_structure_file(const std::string& path, const AnnotatedStructure& record) {
+  std::ofstream out(path);
+  if (!out) throw std::invalid_argument("cannot open structure file for writing: " + path);
+  const std::string lower = to_lower(path);
+  if (ends_with(lower, ".ct")) {
+    write_ct(out, record);
+  } else if (ends_with(lower, ".bpseq")) {
+    write_bpseq(out, record);
+  } else {
+    throw std::invalid_argument("unknown structure file extension (want .ct or .bpseq): " + path);
+  }
+}
+
+}  // namespace srna

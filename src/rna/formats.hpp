@@ -1,0 +1,40 @@
+// CT (Zuker "connect") and BPSEQ structure file formats.
+//
+// Both formats carry a sequence and its bonds; they are the interchange
+// formats real structure databases (e.g. the comparative RNA web site the
+// paper's 23S rRNA examples come from) publish. The parsers are tolerant of
+// comment lines and blank lines but strict about index consistency, since a
+// mis-indexed bond silently corrupts the arc set the DP runs on.
+//
+// CT: header line "<n> <title>", then one line per base:
+//   <index> <base> <index-1> <index+1> <partner (0 = unpaired)> <index>
+// BPSEQ: optional '#' comments, then "<index> <base> <partner>" per base.
+// Indices are 1-based in both formats.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "rna/secondary_structure.hpp"
+#include "rna/sequence.hpp"
+
+namespace srna {
+
+struct AnnotatedStructure {
+  std::string title;
+  Sequence sequence;
+  SecondaryStructure structure;
+};
+
+// Parsers throw std::invalid_argument with a line number on malformed input.
+AnnotatedStructure read_ct(std::istream& in);
+AnnotatedStructure read_bpseq(std::istream& in);
+
+void write_ct(std::ostream& out, const AnnotatedStructure& record);
+void write_bpseq(std::ostream& out, const AnnotatedStructure& record);
+
+// File-path convenience wrappers (format chosen by extension: .ct, .bpseq).
+AnnotatedStructure read_structure_file(const std::string& path);
+void write_structure_file(const std::string& path, const AnnotatedStructure& record);
+
+}  // namespace srna

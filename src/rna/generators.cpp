@@ -1,0 +1,225 @@
+#include "rna/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+#include "util/prng.hpp"
+
+namespace srna {
+
+SecondaryStructure worst_case_structure(Pos length) {
+  SRNA_REQUIRE(length >= 0, "length must be non-negative");
+  std::vector<Arc> arcs;
+  arcs.reserve(static_cast<std::size_t>(length / 2));
+  for (Pos i = 0; i < length / 2; ++i) arcs.push_back(Arc{i, length - 1 - i});
+  return SecondaryStructure::from_arcs(length, std::move(arcs));
+}
+
+SecondaryStructure sequential_arcs_structure(Pos length, Pos count) {
+  SRNA_REQUIRE(count >= 0 && 2 * count <= length, "too many sequential arcs for length");
+  std::vector<Arc> arcs;
+  arcs.reserve(static_cast<std::size_t>(count));
+  for (Pos i = 0; i < count; ++i) arcs.push_back(Arc{2 * i, 2 * i + 1});
+  return SecondaryStructure::from_arcs(length, std::move(arcs));
+}
+
+SecondaryStructure nested_groups_structure(Pos groups, Pos per_group) {
+  SRNA_REQUIRE(groups >= 0 && per_group >= 0, "group sizes must be non-negative");
+  const Pos group_width = 2 * per_group;
+  const Pos length = groups * group_width;
+  std::vector<Arc> arcs;
+  arcs.reserve(static_cast<std::size_t>(groups * per_group));
+  for (Pos g = 0; g < groups; ++g) {
+    const Pos base = g * group_width;
+    for (Pos i = 0; i < per_group; ++i)
+      arcs.push_back(Arc{base + i, base + group_width - 1 - i});
+  }
+  return SecondaryStructure::from_arcs(length, std::move(arcs));
+}
+
+namespace {
+
+// Left-to-right recursive sampler: at each eligible position, with
+// probability `density` open an arc whose partner is uniform in the rest of
+// the interval, recurse under it, and continue after it. Produces exactly
+// the non-crossing structures.
+void random_fill(Xoshiro256& rng, double density, Pos lo, Pos hi, std::vector<Arc>& arcs) {
+  Pos i = lo;
+  while (i < hi) {  // need at least two positions for an arc
+    if (rng.bernoulli(density)) {
+      const Pos j = static_cast<Pos>(rng.uniform_int(i + 1, hi));
+      arcs.push_back(Arc{i, j});
+      random_fill(rng, density, i + 1, j - 1, arcs);
+      i = j + 1;
+    } else {
+      ++i;
+    }
+  }
+}
+
+}  // namespace
+
+SecondaryStructure random_structure(Pos length, double density, std::uint64_t seed) {
+  SRNA_REQUIRE(length >= 0, "length must be non-negative");
+  SRNA_REQUIRE(density >= 0.0 && density <= 1.0, "density must be in [0, 1]");
+  Xoshiro256 rng(seed);
+  std::vector<Arc> arcs;
+  random_fill(rng, density, 0, length - 1, arcs);
+  return SecondaryStructure::from_arcs(length, std::move(arcs));
+}
+
+namespace {
+
+struct StemLoopState {
+  Xoshiro256 rng;
+  const StemLoopParams* params;
+  double gap_scale = 1.0;  // tuning knob: larger → more unpaired bases
+  std::vector<Arc> arcs;
+};
+
+// Fills [lo, hi] with a sequence of stem-loop domains separated by gaps.
+// Returns the number of arcs placed.
+void fill_domains(StemLoopState& st, Pos lo, Pos hi) {
+  const StemLoopParams& p = *st.params;
+  const Pos min_domain = 2 * p.min_stem + p.min_loop;
+  Pos i = lo;
+  while (hi - i + 1 >= min_domain) {
+    // Leave a gap before the next domain.
+    const auto max_gap = static_cast<Pos>(std::lround(st.gap_scale * static_cast<double>(p.max_gap)));
+    if (max_gap > 0) i += static_cast<Pos>(st.rng.uniform_int(0, max_gap));
+    if (hi - i + 1 < min_domain) break;
+
+    // Choose the stem, then decide whether this domain is a plain stem-loop
+    // (hairpin-sized interior) or a branching domain (wide interior that is
+    // recursively filled with child domains — bulges, internal loops and
+    // multiloops arise from the children and gaps placed inside).
+    const Pos space = hi - i + 1;
+    const Pos stem_cap = std::min<Pos>(p.max_stem, (space - p.min_loop) / 2);
+    const Pos stem = static_cast<Pos>(st.rng.uniform_int(p.min_stem, stem_cap));
+
+    const Pos hairpin_min = 2 * stem + p.min_loop;
+    const Pos branch_min = 2 * stem + 2 * min_domain;  // room for >= 2 children
+    const bool branching = space >= branch_min && st.rng.bernoulli(p.branch_prob);
+
+    Pos width;
+    if (branching) {
+      width = static_cast<Pos>(st.rng.uniform_int(branch_min, space));
+    } else {
+      const Pos width_cap = std::min<Pos>(space, 2 * stem + p.max_loop);
+      width = static_cast<Pos>(st.rng.uniform_int(hairpin_min, std::max(hairpin_min, width_cap)));
+    }
+
+    for (Pos k = 0; k < stem; ++k) st.arcs.push_back(Arc{i + k, i + width - 1 - k});
+
+    if (branching) fill_domains(st, i + stem, i + width - 1 - stem);
+
+    i += width;
+  }
+}
+
+}  // namespace
+
+SecondaryStructure rrna_like_structure(Pos length, std::size_t target_arcs, std::uint64_t seed,
+                                       const StemLoopParams& params) {
+  SRNA_REQUIRE(length >= 0, "length must be non-negative");
+  SRNA_REQUIRE(target_arcs <= static_cast<std::size_t>(length / 2),
+               "target arc count exceeds length/2");
+  SRNA_REQUIRE(params.min_stem >= 1 && params.max_stem >= params.min_stem,
+               "bad stem bounds");
+  SRNA_REQUIRE(params.min_loop >= 0 && params.max_loop >= params.min_loop,
+               "bad loop bounds");
+
+  if (target_arcs == 0) return SecondaryStructure(length);
+
+  // Converge the gap budget: more gap → fewer arcs. Binary-search-ish
+  // multiplicative update; accept within 3% (or best effort after 40 tries).
+  double gap_scale = 1.0;
+  std::vector<Arc> best;
+  double best_err = std::numeric_limits<double>::infinity();
+  for (int attempt = 0; attempt < 40; ++attempt) {
+    StemLoopState st{
+        Xoshiro256(seed + static_cast<std::uint64_t>(attempt) * std::uint64_t{0x9E37}), &params,
+        gap_scale, {}};
+    fill_domains(st, 0, length - 1);
+    const double got = static_cast<double>(st.arcs.size());
+    const double want = static_cast<double>(target_arcs);
+    const double err = std::abs(got - want) / want;
+    if (err < best_err) {
+      best_err = err;
+      best = std::move(st.arcs);
+    }
+    if (best_err <= 0.03) break;
+    // Update the knob: too many arcs → widen gaps proportionally.
+    const double ratio = got / want;
+    gap_scale = std::clamp(gap_scale * std::pow(ratio, 1.2), 0.0, 256.0);
+    if (got > want && gap_scale < 1e-6) gap_scale = 1.0;  // restart from neutral
+  }
+  return SecondaryStructure::from_arcs(length, std::move(best));
+}
+
+SecondaryStructure pseudoknot_structure(Pos length, std::uint64_t seed) {
+  SRNA_REQUIRE(length >= 4, "pseudoknot needs at least 4 positions");
+  Xoshiro256 rng(seed);
+
+  // Base layer: a sparse random structure, regenerated until it leaves at
+  // least four unpaired positions for the crossing pair.
+  SecondaryStructure base(length);
+  std::vector<Pos> free_pos;
+  for (int attempt = 0;; ++attempt) {
+    base = random_structure(length, 0.15, seed ^ hash_u64(static_cast<std::uint64_t>(attempt)));
+    free_pos.clear();
+    for (Pos i = 0; i < length; ++i)
+      if (!base.paired(i)) free_pos.push_back(i);
+    if (free_pos.size() >= 4) break;
+    SRNA_CHECK(attempt < 64, "could not find free positions for pseudoknot");
+  }
+
+  // Pick four free positions a < b < c < d and add crossing arcs (a, c) and
+  // (b, d).
+  const std::size_t count = free_pos.size();
+  std::size_t picks[4];
+  picks[0] = rng.uniform(count - 3);
+  picks[1] = picks[0] + 1 + rng.uniform(count - picks[0] - 3);
+  picks[2] = picks[1] + 1 + rng.uniform(count - picks[1] - 2);
+  picks[3] = picks[2] + 1 + rng.uniform(count - picks[2] - 1);
+
+  std::vector<Arc> arcs = base.arcs_by_right();
+  arcs.push_back(Arc{free_pos[picks[0]], free_pos[picks[2]]});
+  arcs.push_back(Arc{free_pos[picks[1]], free_pos[picks[3]]});
+  SecondaryStructure knotted = SecondaryStructure::from_arcs(length, std::move(arcs));
+  SRNA_CHECK(!knotted.is_nonpseudoknot(), "generator failed to create a crossing");
+  return knotted;
+}
+
+Sequence random_sequence(Pos length, std::uint64_t seed) {
+  SRNA_REQUIRE(length >= 0, "length must be non-negative");
+  Xoshiro256 rng(seed);
+  std::vector<Base> bases;
+  bases.reserve(static_cast<std::size_t>(length));
+  for (Pos i = 0; i < length; ++i) bases.push_back(static_cast<Base>(rng.uniform(4)));
+  return Sequence(std::move(bases));
+}
+
+Sequence sequence_for_structure(const SecondaryStructure& s, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Base> bases(static_cast<std::size_t>(s.length()), Base::A);
+  static constexpr std::pair<Base, Base> kPairs[] = {
+      {Base::A, Base::U}, {Base::U, Base::A}, {Base::C, Base::G},
+      {Base::G, Base::C}, {Base::G, Base::U}, {Base::U, Base::G}};
+  for (Pos i = 0; i < s.length(); ++i) {
+    const Pos p = s.partner(i);
+    if (p < 0) {
+      bases[static_cast<std::size_t>(i)] = static_cast<Base>(rng.uniform(4));
+    } else if (p > i) {
+      const auto& [x, y] = kPairs[rng.uniform(6)];
+      bases[static_cast<std::size_t>(i)] = x;
+      bases[static_cast<std::size_t>(p)] = y;
+    }
+  }
+  return Sequence(std::move(bases));
+}
+
+}  // namespace srna

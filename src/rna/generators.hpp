@@ -1,0 +1,78 @@
+// Workload generators for the experiments and the property-test sweeps.
+//
+// Every generator is deterministic in its seed. The generators map one-to-one
+// onto the workloads in DESIGN.md §3:
+//   * worst_case_structure        — the paper's contrived worst case (Tables
+//                                   I/III, Figure 8): maximally nested arcs.
+//   * sequential_arcs_structure   — side-by-side arcs (no nesting).
+//   * nested_groups_structure     — g consecutive groups of k nested arcs
+//                                   (the paper's §III example with a known
+//                                   MCOS value).
+//   * random_structure            — uniform-ish random non-pseudoknot
+//                                   structure with a pairing-density knob.
+//   * rrna_like_structure         — stem-loop/multibranch synthetic tuned to
+//                                   a target arc count (Table II substitute
+//                                   for the 23S rRNA accessions).
+//   * pseudoknot_structure        — intentionally crossing arcs (negative
+//                                   tests of validation and solver guards).
+//   * random_sequence             — uniform random bases.
+//   * sequence_for_structure      — bases consistent with a structure's
+//                                   bonds (pairs get complementary bases), so
+//                                   CT/BPSEQ round-trips carry plausible data.
+#pragma once
+
+#include <cstdint>
+
+#include "rna/secondary_structure.hpp"
+#include "rna/sequence.hpp"
+
+namespace srna {
+
+// Maximum number of fully nested arcs for the given length: arcs
+// (i, length-1-i) for i = 0 .. length/2 - 1. For odd lengths the middle base
+// is unpaired.
+SecondaryStructure worst_case_structure(Pos length);
+
+// `count` sequential arcs (2i, 2i+1) packed from the left; the rest of the
+// sequence (if longer than 2*count) is unpaired.
+SecondaryStructure sequential_arcs_structure(Pos length, Pos count);
+
+// `groups` consecutive groups, each of `per_group` perfectly nested arcs.
+// Length is exactly groups * 2 * per_group.
+SecondaryStructure nested_groups_structure(Pos groups, Pos per_group);
+
+// Random non-pseudoknot structure. `density` in [0, 1] is the probability of
+// opening an arc at an eligible position; higher density gives more and more
+// deeply nested arcs.
+SecondaryStructure random_structure(Pos length, double density, std::uint64_t seed);
+
+// Parameters of the stem-loop generator; defaults approximate ribosomal RNA
+// (short helices, hairpin/multibranch loops).
+struct StemLoopParams {
+  Pos min_stem = 2;       // minimum arcs per helix
+  Pos max_stem = 8;       // maximum arcs per helix
+  Pos min_loop = 3;       // minimum hairpin loop size
+  Pos max_loop = 8;
+  Pos max_gap = 6;        // max unpaired bases between sibling domains
+  double branch_prob = 0.4;  // probability a stem interior is a multiloop
+};
+
+// Stem-loop structure of exactly `length` bases with approximately
+// `target_arcs` arcs (within ~3% for feasible targets; the generator
+// iteratively rescales its gap budget to converge). Throws if the target is
+// infeasible (more than length/2 arcs).
+SecondaryStructure rrna_like_structure(Pos length, std::size_t target_arcs, std::uint64_t seed,
+                                       const StemLoopParams& params = {});
+
+// A structure that is well formed but guaranteed pseudoknotted: a random
+// structure plus at least one crossing arc. Requires length >= 4.
+SecondaryStructure pseudoknot_structure(Pos length, std::uint64_t seed);
+
+// Uniform random sequence.
+Sequence random_sequence(Pos length, std::uint64_t seed);
+
+// Random sequence consistent with `s`: partners receive complementary bases
+// (AU / CG / GU chosen at random), unpaired positions are uniform.
+Sequence sequence_for_structure(const SecondaryStructure& s, std::uint64_t seed);
+
+}  // namespace srna

@@ -1,0 +1,79 @@
+#include "rna/loops.hpp"
+
+#include "util/assert.hpp"
+
+namespace srna {
+
+std::size_t LoopDecomposition::count(LoopKind kind) const noexcept {
+  std::size_t c = 0;
+  for (const Loop& loop : loops) c += loop.kind == kind;
+  return c;
+}
+
+namespace {
+
+// Collects the arcs and unpaired count directly inside (lo, hi): walk the
+// positions, skipping over whole arcs via the partner table.
+void scan_region(const SecondaryStructure& s, Pos lo, Pos hi, std::vector<Arc>& branches,
+                 Pos& unpaired) {
+  Pos i = lo;
+  while (i <= hi) {
+    const Pos partner = s.partner(i);
+    if (partner > i) {
+      branches.push_back(Arc{i, partner});
+      i = partner + 1;
+    } else {
+      // Unpaired (partner == -1). A closing endpoint (partner < i) cannot
+      // appear here: its opening endpoint would lie outside [lo, hi], which
+      // non-crossing nesting rules out.
+      SRNA_CHECK(partner < 0, "crossing arc encountered during loop scan");
+      ++unpaired;
+      ++i;
+    }
+  }
+}
+
+LoopKind classify(const Loop& loop) {
+  if (loop.branches.empty()) return LoopKind::kHairpin;
+  if (loop.branches.size() >= 2) return LoopKind::kMultibranch;
+  if (loop.unpaired == 0) return LoopKind::kStack;
+  // One branch, some unpaired: bulge if all slack is on one side.
+  const Arc inner = loop.branches.front();
+  const Pos left_gap = inner.left - loop.closing.left - 1;
+  const Pos right_gap = loop.closing.right - inner.right - 1;
+  return (left_gap == 0 || right_gap == 0) ? LoopKind::kBulge : LoopKind::kInternal;
+}
+
+}  // namespace
+
+LoopDecomposition decompose_loops(const SecondaryStructure& s) {
+  SRNA_REQUIRE(s.is_nonpseudoknot(), "loop decomposition requires a non-pseudoknot structure");
+  LoopDecomposition out;
+  out.loops.reserve(s.arc_count());
+
+  for (const Arc& a : s.arcs_by_right()) {
+    Loop loop;
+    loop.closing = a;
+    if (a.interior_width() > 0)
+      scan_region(s, a.left + 1, a.right - 1, loop.branches, loop.unpaired);
+    loop.kind = classify(loop);
+    out.loops.push_back(std::move(loop));
+  }
+
+  if (s.length() > 0)
+    scan_region(s, 0, s.length() - 1, out.exterior_branches, out.exterior_unpaired);
+  return out;
+}
+
+const char* to_string(LoopKind kind) noexcept {
+  switch (kind) {
+    case LoopKind::kHairpin: return "hairpin";
+    case LoopKind::kStack: return "stack";
+    case LoopKind::kBulge: return "bulge";
+    case LoopKind::kInternal: return "internal";
+    case LoopKind::kMultibranch: return "multibranch";
+  }
+  return "?";
+}
+
+}  // namespace srna

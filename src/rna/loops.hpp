@@ -1,0 +1,51 @@
+// Loop decomposition of a non-pseudoknot secondary structure.
+//
+// Every arc of a non-pseudoknot structure closes exactly one loop: the
+// region between the arc and the arcs/unpaired bases directly inside it.
+// Classifying loops (hairpin / stacked pair / bulge / internal / multibranch)
+// gives the standard structural vocabulary used to describe rRNA-scale
+// molecules — and drives the realism checks for the synthetic Table II
+// workloads: a credible 23S-rRNA substitute has many short stacks, a spread
+// of hairpins and a few large multiloops, while the contrived worst case is
+// a single maximal stack.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rna/secondary_structure.hpp"
+
+namespace srna {
+
+enum class LoopKind : std::uint8_t {
+  kHairpin,     // no inner arc
+  kStack,       // one inner arc, zero unpaired (stacked pair)
+  kBulge,       // one inner arc, unpaired on exactly one side
+  kInternal,    // one inner arc, unpaired on both sides
+  kMultibranch  // two or more inner arcs
+};
+
+struct Loop {
+  Arc closing;               // the arc that closes this loop
+  LoopKind kind;
+  std::vector<Arc> branches; // the arcs directly inside (empty for hairpins)
+  Pos unpaired = 0;          // unpaired positions directly inside the loop
+};
+
+// One Loop per arc, in increasing right-endpoint order of the closing arc.
+// Also reports the exterior (the region outside all arcs) via
+// `exterior_branches` / `exterior_unpaired` below.
+struct LoopDecomposition {
+  std::vector<Loop> loops;
+  std::vector<Arc> exterior_branches;  // top-level arcs
+  Pos exterior_unpaired = 0;           // unpaired positions outside all arcs
+
+  [[nodiscard]] std::size_t count(LoopKind kind) const noexcept;
+};
+
+// Requires a non-pseudoknot structure.
+LoopDecomposition decompose_loops(const SecondaryStructure& s);
+
+const char* to_string(LoopKind kind) noexcept;
+
+}  // namespace srna

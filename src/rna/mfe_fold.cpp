@@ -1,0 +1,270 @@
+#include "rna/mfe_fold.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "rna/loops.hpp"
+#include "util/assert.hpp"
+#include "util/matrix.hpp"
+
+namespace srna {
+
+namespace {
+
+constexpr Energy kInfinity = std::numeric_limits<Energy>::max() / 4;
+
+struct Tables {
+  Matrix<Energy> v;    // V(i,j): (i,j) paired
+  Matrix<Energy> wm1;  // WM1(i,j): multiloop segment with >= 1 branch
+  std::vector<Energy> w;  // W(j): exterior up to j
+};
+
+class MfeSolver {
+ public:
+  MfeSolver(const Sequence& seq, const MfeModel& model) : seq_(seq), model_(model) {
+    const auto n = static_cast<std::size_t>(seq.length());
+    tables_.v.resize(n, n, kInfinity);
+    tables_.wm1.resize(n, n, kInfinity);
+    tables_.w.assign(n + 1, 0);
+  }
+
+  [[nodiscard]] Energy hairpin(Pos u) const {
+    return model_.hairpin_base + model_.hairpin_per_unpaired * u;
+  }
+  [[nodiscard]] Energy two_loop(Pos u) const {
+    return u == 0 ? model_.stack : model_.internal_base + model_.internal_per_unpaired * u;
+  }
+
+  Energy v(Pos i, Pos j) const {
+    return tables_.v(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
+  }
+  Energy wm1(Pos i, Pos j) const {
+    if (j < i) return kInfinity;
+    return tables_.wm1(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
+  }
+
+  void fill() {
+    const Pos n = seq_.length();
+    for (Pos span = model_.min_hairpin + 1; span < n; ++span) {
+      for (Pos i = 0; i + span < n; ++i) {
+        const Pos j = i + span;
+        fill_v(i, j);
+        fill_wm1(i, j);
+      }
+    }
+    // (Spans too short to hold a pair keep WM1 = infinity: a multiloop
+    // segment needs at least one branch.)
+
+    // Exterior: W(j) = best over [0, j).
+    for (Pos j = 1; j <= n; ++j) {
+      Energy best = tables_.w[static_cast<std::size_t>(j - 1)];  // j-1 unpaired, free
+      for (Pos k = 0; k < j; ++k) {
+        const Energy inner = v(k, j - 1);
+        if (inner >= kInfinity) continue;
+        best = std::min(best,
+                        static_cast<Energy>(tables_.w[static_cast<std::size_t>(k)] + inner));
+      }
+      tables_.w[static_cast<std::size_t>(j)] = best;
+    }
+  }
+
+  // Reconstruction.
+  MfeResult traceback() {
+    std::vector<Arc> arcs;
+    const Pos n = seq_.length();
+    trace_w(n, arcs);
+    MfeResult out;
+    out.energy = n > 0 ? tables_.w[static_cast<std::size_t>(n)] : 0;
+    out.structure = SecondaryStructure::from_arcs(n, std::move(arcs));
+    return out;
+  }
+
+ private:
+  void fill_v(Pos i, Pos j) {
+    if (!can_pair(seq_[i], seq_[j])) return;
+    Energy best = kInfinity;
+    const Pos u_hairpin = j - i - 1;
+    if (u_hairpin >= model_.min_hairpin) best = hairpin(u_hairpin);
+
+    // Two-loop (stack / bulge / internal): inner pair (k, l).
+    for (Pos k = i + 1; k <= j - 2; ++k) {
+      if (k - i - 1 > model_.max_internal_unpaired) break;
+      for (Pos l = j - 1; l > k; --l) {
+        const Pos u = (k - i - 1) + (j - l - 1);
+        if (u > model_.max_internal_unpaired) break;
+        const Energy inner = v(k, l);
+        if (inner >= kInfinity) continue;
+        best = std::min(best, static_cast<Energy>(inner + two_loop(u)));
+      }
+    }
+
+    // Multiloop: >= 2 branches inside.
+    for (Pos k = i + 1; k < j - 1; ++k) {
+      const Energy left = wm1(i + 1, k);
+      const Energy right = wm1(k + 1, j - 1);
+      if (left >= kInfinity || right >= kInfinity) continue;
+      best = std::min(best, static_cast<Energy>(model_.multi_base + left + right));
+    }
+
+    tables_.v(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) = best;
+  }
+
+  void fill_wm1(Pos i, Pos j) {
+    Energy best = kInfinity;
+    const Energy paired = v(i, j);
+    if (paired < kInfinity)
+      best = static_cast<Energy>(paired + model_.multi_per_branch);
+    if (j > i) {
+      if (wm1(i + 1, j) < kInfinity)
+        best = std::min(best, static_cast<Energy>(wm1(i + 1, j) + model_.multi_per_unpaired));
+      if (wm1(i, j - 1) < kInfinity)
+        best = std::min(best, static_cast<Energy>(wm1(i, j - 1) + model_.multi_per_unpaired));
+      for (Pos k = i; k < j; ++k) {
+        const Energy left = wm1(i, k);
+        const Energy right = wm1(k + 1, j);
+        if (left < kInfinity && right < kInfinity)
+          best = std::min(best, static_cast<Energy>(left + right));
+      }
+    }
+    tables_.wm1(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) = best;
+  }
+
+  void trace_w(Pos j, std::vector<Arc>& arcs) {
+    while (j > 0) {
+      const Energy here = tables_.w[static_cast<std::size_t>(j)];
+      if (here == tables_.w[static_cast<std::size_t>(j - 1)]) {
+        --j;
+        continue;
+      }
+      bool advanced = false;
+      for (Pos k = 0; k < j; ++k) {
+        const Energy inner = v(k, j - 1);
+        if (inner < kInfinity &&
+            here == tables_.w[static_cast<std::size_t>(k)] + inner) {
+          trace_v(k, j - 1, arcs);
+          j = k;
+          advanced = true;
+          break;
+        }
+      }
+      SRNA_CHECK(advanced, "MFE exterior traceback stuck");
+    }
+  }
+
+  void trace_v(Pos i, Pos j, std::vector<Arc>& arcs) {
+    arcs.push_back(Arc{i, j});
+    const Energy target = v(i, j);
+    const Pos u_hairpin = j - i - 1;
+    if (u_hairpin >= model_.min_hairpin && target == hairpin(u_hairpin)) return;
+
+    for (Pos k = i + 1; k <= j - 2; ++k) {
+      if (k - i - 1 > model_.max_internal_unpaired) break;
+      for (Pos l = j - 1; l > k; --l) {
+        const Pos u = (k - i - 1) + (j - l - 1);
+        if (u > model_.max_internal_unpaired) break;
+        const Energy inner = v(k, l);
+        if (inner < kInfinity && target == inner + two_loop(u)) {
+          trace_v(k, l, arcs);
+          return;
+        }
+      }
+    }
+
+    for (Pos k = i + 1; k < j - 1; ++k) {
+      const Energy left = wm1(i + 1, k);
+      const Energy right = wm1(k + 1, j - 1);
+      if (left < kInfinity && right < kInfinity &&
+          target == model_.multi_base + left + right) {
+        trace_wm1(i + 1, k, arcs);
+        trace_wm1(k + 1, j - 1, arcs);
+        return;
+      }
+    }
+    SRNA_CHECK(false, "MFE pair traceback stuck");
+  }
+
+  void trace_wm1(Pos i, Pos j, std::vector<Arc>& arcs) {
+    const Energy target = wm1(i, j);
+    SRNA_CHECK(target < kInfinity, "tracing infeasible WM1 state");
+    const Energy paired = v(i, j);
+    if (paired < kInfinity && target == paired + model_.multi_per_branch) {
+      trace_v(i, j, arcs);
+      return;
+    }
+    if (j > i) {
+      if (wm1(i + 1, j) < kInfinity && target == wm1(i + 1, j) + model_.multi_per_unpaired) {
+        trace_wm1(i + 1, j, arcs);
+        return;
+      }
+      if (wm1(i, j - 1) < kInfinity && target == wm1(i, j - 1) + model_.multi_per_unpaired) {
+        trace_wm1(i, j - 1, arcs);
+        return;
+      }
+      for (Pos k = i; k < j; ++k) {
+        if (wm1(i, k) < kInfinity && wm1(k + 1, j) < kInfinity &&
+            target == wm1(i, k) + wm1(k + 1, j)) {
+          trace_wm1(i, k, arcs);
+          trace_wm1(k + 1, j, arcs);
+          return;
+        }
+      }
+    }
+    SRNA_CHECK(false, "MFE multiloop traceback stuck");
+  }
+
+  const Sequence& seq_;
+  const MfeModel& model_;
+  Tables tables_;
+};
+
+}  // namespace
+
+MfeResult mfe_fold(const Sequence& seq, const MfeModel& model) {
+  SRNA_REQUIRE(model.min_hairpin >= 0 && model.max_internal_unpaired >= 0, "bad model");
+  if (seq.length() == 0) return MfeResult{SecondaryStructure(0), 0};
+  MfeSolver solver(seq, model);
+  solver.fill();
+  MfeResult out = solver.traceback();
+  SRNA_CHECK(structure_energy(seq, out.structure, model) == out.energy,
+             "MFE traceback energy mismatch");
+  return out;
+}
+
+Energy structure_energy(const Sequence& seq, const SecondaryStructure& s,
+                        const MfeModel& model) {
+  SRNA_REQUIRE(seq.length() == s.length(), "sequence/structure length mismatch");
+  SRNA_REQUIRE(s.is_nonpseudoknot(), "model scores non-pseudoknot structures only");
+
+  Energy total = 0;
+  const LoopDecomposition decomposition = decompose_loops(s);
+  for (const Loop& loop : decomposition.loops) {
+    const Arc& a = loop.closing;
+    if (!can_pair(seq[a.left], seq[a.right]))
+      throw std::invalid_argument("bonded bases cannot pair under the model");
+    switch (loop.kind) {
+      case LoopKind::kHairpin:
+        if (loop.unpaired < model.min_hairpin)
+          throw std::invalid_argument("hairpin below the minimum loop size");
+        total += model.hairpin_base + model.hairpin_per_unpaired * loop.unpaired;
+        break;
+      case LoopKind::kStack:
+        total += model.stack;
+        break;
+      case LoopKind::kBulge:
+      case LoopKind::kInternal:
+        if (loop.unpaired > model.max_internal_unpaired)
+          throw std::invalid_argument("internal loop exceeds the model's size cap");
+        total += model.internal_base + model.internal_per_unpaired * loop.unpaired;
+        break;
+      case LoopKind::kMultibranch:
+        total += model.multi_base +
+                 model.multi_per_branch * static_cast<Energy>(loop.branches.size()) +
+                 model.multi_per_unpaired * loop.unpaired;
+        break;
+    }
+  }
+  return total;
+}
+
+}  // namespace srna

@@ -1,0 +1,65 @@
+// Zuker-style minimum-free-energy secondary structure prediction
+// (simplified nearest-neighbour model).
+//
+// Nussinov maximizes base pairs; real structures minimize a loop-based free
+// energy. This module implements the classic Zuker decomposition with a
+// deliberately small, exactly-specified energy model so the DP can be
+// verified against an independent oracle: `structure_energy` scores any
+// structure by decomposing it into loops (rna/loops.hpp) and summing the
+// same terms, and the test suite exhaustively enumerates all structures of
+// tiny sequences to confirm the DP finds the minimum.
+//
+// Model (arbitrary energy units; lower is better):
+//   hairpin of u unpaired        H(u)  = 45 + 5u        (u >= 3 enforced)
+//   stacked pair (u = 0)         S     = -20
+//   bulge/internal of u unpaired B(u)  = 15 + 5u        (u <= 30)
+//   multibranch with b branches and u unpaired
+//                                M(b,u) = 40 + 10 b + 5 u
+//   exterior bases and branches  free
+// Pairs must satisfy can_pair (Watson-Crick + GU wobble).
+//
+// Recurrences (V = energy with (i,j) paired, WM = multiloop segment):
+//   V(i,j)  = min( H, min over inner pair (k,l): V(k,l) + S/B,
+//                  40 + WM2(i+1, j-1) )
+//   WM1     = min( WM1(i+1,j)+5, WM1(i,j-1)+5, V(i,j)+10,
+//                  min_k WM1(i,k)+WM1(k+1,j) )
+//   W(j)    = exterior assembly.
+#pragma once
+
+#include "rna/secondary_structure.hpp"
+#include "rna/sequence.hpp"
+
+namespace srna {
+
+// Energy in integer model units; kInfinity marks impossible states.
+using Energy = std::int32_t;
+
+struct MfeModel {
+  Energy hairpin_base = 45;
+  Energy hairpin_per_unpaired = 5;
+  Energy stack = -20;
+  Energy internal_base = 15;
+  Energy internal_per_unpaired = 5;
+  Pos max_internal_unpaired = 30;
+  Energy multi_base = 40;
+  Energy multi_per_branch = 10;
+  Energy multi_per_unpaired = 5;
+  Pos min_hairpin = 3;
+};
+
+struct MfeResult {
+  SecondaryStructure structure;
+  Energy energy = 0;  // 0 for the open chain
+};
+
+// Folds `seq` to a minimum-energy structure. O(n^3) time, O(n^2) space.
+MfeResult mfe_fold(const Sequence& seq, const MfeModel& model = {});
+
+// Scores an existing structure under the model by loop decomposition.
+// Throws std::invalid_argument if the structure is infeasible under the
+// model (non-pairable bases bonded, hairpin below minimum, internal loop
+// above the size cap, or pseudoknotted).
+Energy structure_energy(const Sequence& seq, const SecondaryStructure& s,
+                        const MfeModel& model = {});
+
+}  // namespace srna

@@ -1,0 +1,141 @@
+#include "rna/mutations.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.hpp"
+#include "util/prng.hpp"
+
+namespace srna {
+
+SecondaryStructure delete_arcs(const SecondaryStructure& s, double fraction,
+                               std::uint64_t seed) {
+  SRNA_REQUIRE(fraction >= 0.0 && fraction <= 1.0, "fraction must be in [0, 1]");
+  Xoshiro256 rng(seed);
+  std::vector<Arc> kept;
+  for (const Arc& a : s.arcs_by_right())
+    if (!rng.bernoulli(fraction)) kept.push_back(a);
+  return SecondaryStructure::from_arcs(s.length(), std::move(kept));
+}
+
+SecondaryStructure sample_arcs(const SecondaryStructure& s, std::size_t count,
+                               std::uint64_t seed) {
+  if (count >= s.arc_count()) return s;
+  Xoshiro256 rng(seed);
+  std::vector<Arc> arcs = s.arcs_by_right();
+  // Partial Fisher–Yates: choose `count` without replacement.
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j = i + rng.uniform(arcs.size() - i);
+    std::swap(arcs[i], arcs[j]);
+  }
+  arcs.resize(count);
+  return SecondaryStructure::from_arcs(s.length(), std::move(arcs));
+}
+
+SecondaryStructure insert_arcs(const SecondaryStructure& s, std::size_t count,
+                               std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Arc> arcs = s.arcs_by_right();
+  std::vector<Pos> partner(static_cast<std::size_t>(s.length()), -1);
+  for (const Arc& a : arcs) {
+    partner[static_cast<std::size_t>(a.left)] = a.right;
+    partner[static_cast<std::size_t>(a.right)] = a.left;
+  }
+
+  std::size_t added = 0;
+  // Each attempt: pick an unpaired position, walk right through unpaired
+  // positions for a partner in the same "region" (never crossing an
+  // existing endpoint keeps the structure non-crossing).
+  for (int attempt = 0; attempt < 64 && added < count; ++attempt) {
+    std::vector<Pos> unpaired;
+    for (Pos i = 0; i < s.length(); ++i)
+      if (partner[static_cast<std::size_t>(i)] < 0) unpaired.push_back(i);
+    if (unpaired.size() < 2) break;
+
+    bool progress = false;
+    for (std::size_t tries = 0; tries < unpaired.size() && added < count; ++tries) {
+      const Pos left = unpaired[rng.uniform(unpaired.size())];
+      // Find the stretch of consecutive eligible partners: positions > left
+      // that are unpaired, stopping at the first paired position (crossing
+      // guard).
+      std::vector<Pos> eligible;
+      for (Pos j = left + 1; j < s.length(); ++j) {
+        if (partner[static_cast<std::size_t>(j)] >= 0) break;
+        eligible.push_back(j);
+      }
+      if (eligible.empty()) continue;
+      const Pos right = eligible[rng.uniform(eligible.size())];
+      arcs.push_back(Arc{left, right});
+      partner[static_cast<std::size_t>(left)] = right;
+      partner[static_cast<std::size_t>(right)] = left;
+      ++added;
+      progress = true;
+      break;  // re-derive the unpaired list
+    }
+    if (!progress) break;
+  }
+  return SecondaryStructure::from_arcs(s.length(), std::move(arcs));
+}
+
+SecondaryStructure slip_arcs(const SecondaryStructure& s, std::size_t count,
+                             std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Arc> arcs = s.arcs_by_right();
+  if (arcs.empty() || count == 0) return s;
+
+  std::vector<Pos> partner(static_cast<std::size_t>(s.length()), -1);
+  for (const Arc& a : arcs) {
+    partner[static_cast<std::size_t>(a.left)] = a.right;
+    partner[static_cast<std::size_t>(a.right)] = a.left;
+  }
+  auto unpaired = [&](Pos i) {
+    return i >= 0 && i < s.length() && partner[static_cast<std::size_t>(i)] < 0;
+  };
+
+  std::size_t slipped = 0;
+  for (std::size_t tries = 0; tries < 4 * count && slipped < count; ++tries) {
+    Arc& a = arcs[rng.uniform(arcs.size())];
+    // Candidate moves that keep left < right and stay non-crossing: moving
+    // an endpoint onto an adjacent unpaired position never crosses anything
+    // (the position was free, and the arc's span changes by one — the only
+    // hazard is an arc *ending* between old and new endpoint, impossible
+    // for adjacent moves onto unpaired positions).
+    struct Move {
+      Pos Arc::*endpoint;
+      Pos target;
+    };
+    Move moves[4] = {{&Arc::left, a.left - 1},
+                     {&Arc::left, a.left + 1},
+                     {&Arc::right, a.right - 1},
+                     {&Arc::right, a.right + 1}};
+    const std::size_t pick = rng.uniform(4);
+    const Move& m = moves[pick];
+    if (!unpaired(m.target)) continue;
+    const Pos new_left = m.endpoint == &Arc::left ? m.target : a.left;
+    const Pos new_right = m.endpoint == &Arc::right ? m.target : a.right;
+    if (new_left >= new_right) continue;
+
+    partner[static_cast<std::size_t>(a.left)] = -1;
+    partner[static_cast<std::size_t>(a.right)] = -1;
+    a.left = new_left;
+    a.right = new_right;
+    partner[static_cast<std::size_t>(a.left)] = a.right;
+    partner[static_cast<std::size_t>(a.right)] = a.left;
+    ++slipped;
+  }
+  return SecondaryStructure::from_arcs(s.length(), std::move(arcs));
+}
+
+SecondaryStructure mutate_structure(const SecondaryStructure& s, double dose,
+                                    std::uint64_t seed) {
+  SRNA_REQUIRE(dose >= 0.0 && dose <= 1.0, "dose must be in [0, 1]");
+  if (dose == 0.0) return s;
+  const std::size_t before = s.arc_count();
+  SecondaryStructure out = delete_arcs(s, dose, seed);
+  const std::size_t deleted = before - out.arc_count();
+  out = slip_arcs(out, deleted, seed + 1);
+  out = insert_arcs(out, deleted / 2, seed + 2);
+  return out;
+}
+
+}  // namespace srna

@@ -1,0 +1,43 @@
+// Structure perturbation operations.
+//
+// Comparative experiments need *related* structures: a family is a
+// progenitor plus members at varying structural distance. These operations
+// produce controlled perturbations while preserving the non-pseudoknot
+// invariant, and are used by the family-search / clustering examples and
+// the similarity property tests (e.g. "similarity degrades monotonically
+// with mutation dose").
+#pragma once
+
+#include <cstdint>
+
+#include "rna/secondary_structure.hpp"
+
+namespace srna {
+
+// Deletes each arc independently with probability `fraction`.
+SecondaryStructure delete_arcs(const SecondaryStructure& s, double fraction,
+                               std::uint64_t seed);
+
+// Keeps exactly `count` arcs chosen uniformly at random (count >= arc_count
+// returns the input unchanged).
+SecondaryStructure sample_arcs(const SecondaryStructure& s, std::size_t count,
+                               std::uint64_t seed);
+
+// Grows new arcs into unpaired regions (respecting nesting) until `count`
+// additions were made or no eligible position remains.
+SecondaryStructure insert_arcs(const SecondaryStructure& s, std::size_t count,
+                               std::uint64_t seed);
+
+// "Slips" up to `count` arcs by one position (left endpoint +-1 or right
+// endpoint +-1) when the neighbouring position is unpaired and the move
+// keeps the structure valid — the small local rearrangements real homologs
+// exhibit.
+SecondaryStructure slip_arcs(const SecondaryStructure& s, std::size_t count,
+                             std::uint64_t seed);
+
+// Composite dose: deletes `fraction` of arcs, slips as many arcs as it
+// deleted, and inserts half as many fresh ones. dose = 0 returns the input.
+SecondaryStructure mutate_structure(const SecondaryStructure& s, double dose,
+                                    std::uint64_t seed);
+
+}  // namespace srna

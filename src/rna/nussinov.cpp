@@ -1,0 +1,73 @@
+#include "rna/nussinov.hpp"
+
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/matrix.hpp"
+
+namespace srna {
+
+NussinovResult nussinov_fold(const Sequence& seq, const NussinovOptions& options) {
+  SRNA_REQUIRE(options.min_loop >= 0, "min_loop must be non-negative");
+  const Pos n = seq.length();
+  if (n == 0) return NussinovResult{SecondaryStructure(0), 0};
+
+  const auto un = static_cast<std::size_t>(n);
+  Matrix<Pos> table(un, un, 0);
+
+  // Bottom-up by increasing span.
+  for (Pos span = options.min_loop + 1; span < n; ++span) {
+    for (Pos i = 0; i + span < n; ++i) {
+      const Pos j = i + span;
+      const auto ui = static_cast<std::size_t>(i);
+      const auto uj = static_cast<std::size_t>(j);
+      Pos best = table(ui + 1, uj);  // i unpaired
+      for (Pos k = i + options.min_loop + 1; k <= j; ++k) {
+        if (!can_pair(seq[i], seq[k])) continue;
+        const Pos inner =
+            (k - i > 1) ? table(ui + 1, static_cast<std::size_t>(k - 1)) : Pos{0};
+        const Pos rest = (k < j) ? table(static_cast<std::size_t>(k + 1), uj) : Pos{0};
+        best = std::max(best, static_cast<Pos>(1 + inner + rest));
+      }
+      table(ui, uj) = best;
+    }
+  }
+
+  // Traceback: iterative stack of intervals; prefer pairing i with the
+  // smallest admissible k that achieves the optimum.
+  std::vector<Arc> arcs;
+  std::vector<std::pair<Pos, Pos>> stack{{0, n - 1}};
+  while (!stack.empty()) {
+    auto [i, j] = stack.back();
+    stack.pop_back();
+    if (j - i <= options.min_loop) continue;
+    const auto ui = static_cast<std::size_t>(i);
+    const auto uj = static_cast<std::size_t>(j);
+    if (table(ui, uj) == table(ui + 1, uj)) {
+      stack.emplace_back(i + 1, j);
+      continue;
+    }
+    bool traced = false;
+    for (Pos k = i + options.min_loop + 1; k <= j; ++k) {
+      if (!can_pair(seq[i], seq[k])) continue;
+      const Pos inner = (k - i > 1) ? table(ui + 1, static_cast<std::size_t>(k - 1)) : Pos{0};
+      const Pos rest = (k < j) ? table(static_cast<std::size_t>(k + 1), uj) : Pos{0};
+      if (table(ui, uj) == 1 + inner + rest) {
+        arcs.push_back(Arc{i, k});
+        if (k - i > 1) stack.emplace_back(i + 1, k - 1);
+        if (k < j) stack.emplace_back(k + 1, j);
+        traced = true;
+        break;
+      }
+    }
+    SRNA_CHECK(traced, "Nussinov traceback found no witness for the optimum");
+  }
+
+  const Pos optimum = table(0, un - 1);
+  SecondaryStructure structure = SecondaryStructure::from_arcs(n, std::move(arcs));
+  SRNA_CHECK(static_cast<Pos>(structure.arc_count()) == optimum,
+             "traceback arc count does not match DP optimum");
+  return NussinovResult{std::move(structure), optimum};
+}
+
+}  // namespace srna

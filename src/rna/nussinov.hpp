@@ -1,0 +1,37 @@
+// Nussinov maximum-pairing secondary-structure prediction.
+//
+// The MCOS experiments take *structures* as input. For end-to-end pipelines
+// (and for generating realistic comparison pairs from perturbed sequences)
+// we need a folder that turns a sequence into a non-pseudoknot structure.
+// Nussinov's classic O(n^3) base-pair-maximization DP is the canonical
+// substrate: it predicts exactly the class of structures (non-crossing, no
+// shared endpoints) the MCOS model consumes.
+//
+//   N[i][j] = max( N[i+1][j],                      // i unpaired
+//                  max over k in (i..j], pairable(i,k), k-i > min_loop:
+//                      1 + N[i+1][k-1] + N[k+1][j] )
+#pragma once
+
+#include <cstdint>
+
+#include "rna/secondary_structure.hpp"
+#include "rna/sequence.hpp"
+
+namespace srna {
+
+struct NussinovOptions {
+  // Minimum number of unpaired bases required inside a hairpin (steric
+  // constraint); 3 is the standard choice.
+  Pos min_loop = 3;
+};
+
+struct NussinovResult {
+  SecondaryStructure structure;
+  Pos max_pairs = 0;  // the DP optimum; equals structure.arc_count()
+};
+
+// Folds `seq` and returns one optimal structure (ties broken toward leaving
+// the leftmost base unpaired). O(n^3) time, O(n^2) space.
+NussinovResult nussinov_fold(const Sequence& seq, const NussinovOptions& options = {});
+
+}  // namespace srna

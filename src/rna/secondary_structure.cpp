@@ -1,0 +1,184 @@
+#include "rna/secondary_structure.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace srna {
+
+std::string ValidationIssue::to_string() const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::kEndpointOrder: os << "arc with left >= right: " << a; break;
+    case Kind::kOutOfRange: os << "arc endpoint out of range: " << a; break;
+    case Kind::kDuplicateArc: os << "duplicate arc: " << a; break;
+    case Kind::kSharedEndpoint: os << "arcs share an endpoint: " << a << " and " << b; break;
+    case Kind::kCrossing: os << "crossing arcs (pseudoknot): " << a << " and " << b; break;
+  }
+  return os.str();
+}
+
+bool ValidationReport::well_formed() const noexcept {
+  for (const ValidationIssue& issue : issues)
+    if (issue.kind != ValidationIssue::Kind::kCrossing) return false;
+  return true;
+}
+
+bool ValidationReport::nonpseudoknot() const noexcept { return issues.empty(); }
+
+std::size_t ValidationReport::count(ValidationIssue::Kind kind) const noexcept {
+  std::size_t c = 0;
+  for (const ValidationIssue& issue : issues) c += issue.kind == kind;
+  return c;
+}
+
+ValidationReport validate_arcs(Pos n, std::span<const Arc> arcs) {
+  ValidationReport report;
+  using Kind = ValidationIssue::Kind;
+
+  bool endpoints_ok = true;
+  for (const Arc& a : arcs) {
+    if (a.left >= a.right) {
+      report.issues.push_back({Kind::kEndpointOrder, a, a});
+      endpoints_ok = false;
+    } else if (a.left < 0 || a.right >= n) {
+      report.issues.push_back({Kind::kOutOfRange, a, a});
+      endpoints_ok = false;
+    }
+  }
+
+  // Endpoint uniqueness: sort every endpoint with its owning arc and scan.
+  std::vector<std::pair<Pos, Arc>> endpoints;
+  endpoints.reserve(arcs.size() * 2);
+  for (const Arc& a : arcs) {
+    endpoints.emplace_back(a.left, a);
+    endpoints.emplace_back(a.right, a);
+  }
+  std::sort(endpoints.begin(), endpoints.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+  bool unique_endpoints = true;
+  for (std::size_t i = 1; i < endpoints.size(); ++i) {
+    if (endpoints[i].first == endpoints[i - 1].first) {
+      unique_endpoints = false;
+      if (endpoints[i].second == endpoints[i - 1].second) {
+        // A duplicated arc collides at both endpoints; report it once (at
+        // its left endpoint).
+        if (endpoints[i].first == endpoints[i].second.left)
+          report.issues.push_back(
+              {Kind::kDuplicateArc, endpoints[i].second, endpoints[i].second});
+      } else
+        report.issues.push_back(
+            {Kind::kSharedEndpoint, endpoints[i - 1].second, endpoints[i].second});
+    }
+  }
+
+  if (endpoints_ok && unique_endpoints) {
+    // Stack scan: O(n + a). Walk positions; on a left endpoint push the arc,
+    // on a right endpoint the matching arc must be on top of the stack —
+    // otherwise every arc still open that was opened after it crosses it.
+    std::vector<Pos> partner(static_cast<std::size_t>(n), -1);
+    for (const Arc& a : arcs) {
+      partner[static_cast<std::size_t>(a.left)] = a.right;
+      partner[static_cast<std::size_t>(a.right)] = a.left;
+    }
+    std::vector<Arc> stack;
+    for (Pos i = 0; i < n; ++i) {
+      const Pos p = partner[static_cast<std::size_t>(i)];
+      if (p < 0) continue;
+      if (p > i) {
+        stack.push_back(Arc{i, p});
+      } else {
+        // Closing arc (p, i): every arc opened after it that is still open
+        // crosses it. Report those, then remove only the closing arc so the
+        // crossing arcs are still matched at their own right endpoints.
+        auto match = std::find_if(stack.rbegin(), stack.rend(),
+                                  [p](const Arc& a) { return a.left == p; });
+        SRNA_CHECK(match != stack.rend(), "stack scan lost an arc");
+        for (auto it = stack.rbegin(); it != match; ++it)
+          report.issues.push_back({Kind::kCrossing, *it, Arc{p, i}});
+        stack.erase(std::next(match).base());
+      }
+    }
+    // Note: each crossing pair is reported exactly once, at the right
+    // endpoint of the earlier-opened arc of the pair.
+  } else {
+    // Fallback for degenerate inputs: quadratic pairwise crossing check over
+    // the well-formed arcs only.
+    for (std::size_t i = 0; i < arcs.size(); ++i)
+      for (std::size_t j = i + 1; j < arcs.size(); ++j)
+        if (arcs[i].crosses(arcs[j]))
+          report.issues.push_back({Kind::kCrossing, arcs[i], arcs[j]});
+  }
+
+  return report;
+}
+
+SecondaryStructure::SecondaryStructure(Pos n) : n_(n) {
+  SRNA_REQUIRE(n >= 0, "structure length must be non-negative");
+  partner_.assign(static_cast<std::size_t>(n), -1);
+}
+
+SecondaryStructure SecondaryStructure::from_arcs(Pos n, std::vector<Arc> arcs) {
+  SecondaryStructure s(n);
+  const ValidationReport report = validate_arcs(n, arcs);
+  if (!report.well_formed()) {
+    std::ostringstream os;
+    os << "malformed arc set:";
+    for (const ValidationIssue& issue : report.issues)
+      if (issue.kind != ValidationIssue::Kind::kCrossing) os << ' ' << issue.to_string() << ';';
+    throw std::invalid_argument(os.str());
+  }
+
+  std::sort(arcs.begin(), arcs.end(),
+            [](const Arc& a, const Arc& b) { return a.right < b.right; });
+  for (const Arc& a : arcs) {
+    s.partner_[static_cast<std::size_t>(a.left)] = a.right;
+    s.partner_[static_cast<std::size_t>(a.right)] = a.left;
+  }
+  s.arcs_ = std::move(arcs);
+  s.nonpseudoknot_ = report.nonpseudoknot();
+  return s;
+}
+
+std::vector<Arc> SecondaryStructure::arcs_within(Pos lo, Pos hi) const {
+  std::vector<Arc> out;
+  if (hi < lo) return out;
+  // arcs_ is sorted by right endpoint: binary-search the right-endpoint
+  // range, then filter on the left endpoint.
+  const auto end = std::partition_point(arcs_.begin(), arcs_.end(),
+                                        [hi](const Arc& a) { return a.right <= hi; });
+  for (auto it = arcs_.begin(); it != end; ++it)
+    if (it->left >= lo) out.push_back(*it);
+  return out;
+}
+
+std::size_t SecondaryStructure::count_arcs_within(Pos lo, Pos hi) const noexcept {
+  if (hi < lo) return 0;
+  std::size_t count = 0;
+  const auto end = std::partition_point(arcs_.begin(), arcs_.end(),
+                                        [hi](const Arc& a) { return a.right <= hi; });
+  for (auto it = arcs_.begin(); it != end; ++it) count += it->left >= lo;
+  return count;
+}
+
+Pos SecondaryStructure::max_nesting_depth() const noexcept {
+  // Only meaningful as written for non-pseudoknot structures, where the open
+  // counter equals the nesting depth; for knotted structures this returns
+  // the maximum number of simultaneously open arcs, which upper-bounds it.
+  Pos depth = 0;
+  Pos open = 0;
+  for (Pos i = 0; i < n_; ++i) {
+    const Pos p = partner_[static_cast<std::size_t>(i)];
+    if (p > i) {
+      ++open;
+      depth = std::max(depth, open);
+    } else if (p >= 0) {
+      --open;
+    }
+  }
+  return depth;
+}
+
+}  // namespace srna

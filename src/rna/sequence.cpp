@@ -1,0 +1,60 @@
+#include "rna/sequence.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace srna {
+
+char to_char(Base b) noexcept {
+  switch (b) {
+    case Base::A: return 'A';
+    case Base::C: return 'C';
+    case Base::G: return 'G';
+    case Base::U: return 'U';
+  }
+  return '?';
+}
+
+bool base_from_char(char c, Base& out) noexcept {
+  switch (c) {
+    case 'A': case 'a': out = Base::A; return true;
+    case 'C': case 'c': out = Base::C; return true;
+    case 'G': case 'g': out = Base::G; return true;
+    case 'U': case 'u':
+    case 'T': case 't': out = Base::U; return true;
+    default: return false;
+  }
+}
+
+bool can_pair(Base a, Base b) noexcept {
+  auto pair_is = [&](Base x, Base y) { return (a == x && b == y) || (a == y && b == x); };
+  // Watson–Crick (AU, CG) plus the GU wobble pair.
+  return pair_is(Base::A, Base::U) || pair_is(Base::C, Base::G) || pair_is(Base::G, Base::U);
+}
+
+Sequence Sequence::from_string(std::string_view text) {
+  std::vector<Base> bases;
+  bases.reserve(text.size());
+  for (char c : text) {
+    Base b;
+    if (!base_from_char(c, b))
+      throw std::invalid_argument(std::string("invalid RNA base character: '") + c + "'");
+    bases.push_back(b);
+  }
+  return Sequence(std::move(bases));
+}
+
+std::string Sequence::to_string() const {
+  std::string out;
+  out.reserve(bases_.size());
+  for (Base b : bases_) out.push_back(to_char(b));
+  return out;
+}
+
+std::array<std::size_t, 4> Sequence::composition() const noexcept {
+  std::array<std::size_t, 4> counts{};
+  for (Base b : bases_) ++counts[static_cast<std::size_t>(b)];
+  return counts;
+}
+
+}  // namespace srna

@@ -1,0 +1,59 @@
+// RNA sequences over the {A, C, G, U} alphabet.
+//
+// The MCOS algorithms themselves only look at arc structure, but sequences
+// matter for the end-to-end pipeline (generate/parse sequence → fold with
+// Nussinov → compare structures) and for the CT/BPSEQ file formats, which
+// carry both bases and bonds.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rna/arc.hpp"
+
+namespace srna {
+
+enum class Base : std::uint8_t { A = 0, C = 1, G = 2, U = 3 };
+
+// Character conversions. from_char accepts lower case and maps T→U (DNA
+// input); returns false for anything else.
+char to_char(Base b) noexcept;
+bool base_from_char(char c, Base& out) noexcept;
+
+// Watson–Crick plus wobble pairing (AU, CG, GU) — the pairing rule used by
+// the Nussinov folder.
+bool can_pair(Base a, Base b) noexcept;
+
+class Sequence {
+ public:
+  Sequence() = default;
+  explicit Sequence(std::vector<Base> bases) : bases_(std::move(bases)) {}
+
+  // Parses "ACGU..." (case-insensitive, T accepted as U).
+  // Throws std::invalid_argument on any other character.
+  static Sequence from_string(std::string_view text);
+
+  [[nodiscard]] Pos length() const noexcept { return static_cast<Pos>(bases_.size()); }
+  [[nodiscard]] bool empty() const noexcept { return bases_.empty(); }
+
+  [[nodiscard]] Base at(Pos i) const { return bases_.at(static_cast<std::size_t>(i)); }
+  [[nodiscard]] Base operator[](Pos i) const noexcept {
+    return bases_[static_cast<std::size_t>(i)];
+  }
+
+  [[nodiscard]] const std::vector<Base>& bases() const noexcept { return bases_; }
+  [[nodiscard]] std::string to_string() const;
+
+  // Base composition counts indexed by Base value.
+  [[nodiscard]] std::array<std::size_t, 4> composition() const noexcept;
+
+  friend bool operator==(const Sequence&, const Sequence&) = default;
+
+ private:
+  std::vector<Base> bases_;
+};
+
+}  // namespace srna

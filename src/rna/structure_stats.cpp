@@ -1,0 +1,72 @@
+#include "rna/structure_stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace srna {
+
+std::vector<Stem> find_stems(const SecondaryStructure& s) {
+  std::vector<Stem> stems;
+  for (const Arc& a : s.arcs_by_right()) {
+    // `a` starts a stem iff it is not itself directly stacked under another
+    // arc, i.e. (left-1, right+1) is not an arc.
+    const Pos outer_left = a.left - 1;
+    const Pos outer_right = a.right + 1;
+    const bool stacked_under =
+        outer_left >= 0 && outer_right < s.length() && s.partner(outer_left) == outer_right;
+    if (stacked_under) continue;
+
+    Stem stem{a, 1};
+    Pos l = a.left + 1;
+    Pos r = a.right - 1;
+    while (l < r && s.partner(l) == r) {
+      ++stem.length;
+      ++l;
+      --r;
+    }
+    stems.push_back(stem);
+  }
+  std::sort(stems.begin(), stems.end(),
+            [](const Stem& x, const Stem& y) { return x.outer.left < y.outer.left; });
+  return stems;
+}
+
+StructureStats compute_stats(const SecondaryStructure& s) {
+  StructureStats stats;
+  stats.length = s.length();
+  stats.arcs = s.arc_count();
+  stats.max_nesting_depth = s.max_nesting_depth();
+  stats.paired_bases = s.arc_count() * 2;
+  stats.paired_fraction =
+      s.length() > 0 ? static_cast<double>(stats.paired_bases) / static_cast<double>(s.length())
+                     : 0.0;
+
+  double span_sum = 0.0;
+  for (const Arc& a : s.arcs_by_right()) {
+    span_sum += static_cast<double>(a.right - a.left);
+    stats.total_interior_width += static_cast<std::size_t>(a.interior_width());
+    // Hairpin: no paired base strictly inside — equivalently the partner of
+    // left+1 is not right-1 and no arc is contained. Cheap check: count
+    // contained arcs.
+    if (s.count_arcs_within(a.left + 1, a.right - 1) == 0) ++stats.hairpins;
+  }
+  stats.mean_arc_span = stats.arcs ? span_sum / static_cast<double>(stats.arcs) : 0.0;
+
+  const std::vector<Stem> stems = find_stems(s);
+  stats.stems = stems.size();
+  double stem_len_sum = 0.0;
+  for (const Stem& stem : stems) stem_len_sum += static_cast<double>(stem.length);
+  stats.mean_stem_length = stems.empty() ? 0.0 : stem_len_sum / static_cast<double>(stems.size());
+
+  return stats;
+}
+
+std::string StructureStats::to_string() const {
+  std::ostringstream os;
+  os << "length=" << length << " arcs=" << arcs << " depth=" << max_nesting_depth
+     << " stems=" << stems << " hairpins=" << hairpins << " paired=" << paired_fraction
+     << " mean_span=" << mean_arc_span << " mean_stem=" << mean_stem_length;
+  return os.str();
+}
+
+}  // namespace srna

@@ -1,0 +1,48 @@
+// Descriptive statistics of a secondary structure.
+//
+// Used by the harness to verify that synthetic workloads match the paper's
+// reported instances (e.g. Table II's "4216 bases / 721 arcs" 23S rRNA), and
+// by the work model: the cost of the SRNA algorithms is governed entirely by
+// the arc count, nesting profile and interior widths.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "rna/secondary_structure.hpp"
+
+namespace srna {
+
+// A stem (helix) is a maximal run of directly stacked arcs:
+// (i, j), (i+1, j-1), ..., (i+len-1, j-len+1).
+struct Stem {
+  Arc outer;        // outermost arc of the stack
+  Pos length = 0;   // number of stacked arcs
+};
+
+struct StructureStats {
+  Pos length = 0;
+  std::size_t arcs = 0;
+  Pos max_nesting_depth = 0;
+  double mean_arc_span = 0.0;     // mean (right - left)
+  std::size_t stems = 0;
+  double mean_stem_length = 0.0;
+  std::size_t hairpins = 0;       // arcs with no arc strictly inside
+  std::size_t paired_bases = 0;
+  double paired_fraction = 0.0;
+
+  // Total dense-slice work if every arc pair of a self-comparison were
+  // tabulated: sum over arcs of interior_width — the quantity Figure 7
+  // visualizes (per pair it is the product of the two interior widths).
+  std::size_t total_interior_width = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+StructureStats compute_stats(const SecondaryStructure& s);
+
+// All maximal stems, in left-endpoint order.
+std::vector<Stem> find_stems(const SecondaryStructure& s);
+
+}  // namespace srna

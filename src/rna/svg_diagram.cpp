@@ -1,0 +1,104 @@
+#include "rna/svg_diagram.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "rna/structure_stats.hpp"
+#include "util/assert.hpp"
+
+namespace srna {
+
+namespace {
+
+// Color-blind-safe categorical palette (Okabe–Ito).
+constexpr const char* kPalette[] = {"#0072B2", "#E69F00", "#009E73", "#CC79A7",
+                                    "#56B4E9", "#D55E00", "#F0E442", "#999999"};
+constexpr const char* kHighlight = "#D40000";
+constexpr const char* kPlain = "#4477AA";
+
+}  // namespace
+
+std::string render_svg_diagram(const SecondaryStructure& s, const Sequence* seq,
+                               const SvgDiagramOptions& options) {
+  SRNA_REQUIRE(s.is_nonpseudoknot(), "SVG renderer draws non-pseudoknot structures only");
+  SRNA_REQUIRE(seq == nullptr || seq->length() == s.length(),
+               "sequence length must match the structure");
+  SRNA_REQUIRE(options.spacing > 0.0, "spacing must be positive");
+
+  const double dx = options.spacing;
+  const double margin = options.margin;
+  const auto n = static_cast<double>(std::max<Pos>(s.length(), 1));
+
+  // Tallest arc determines the headroom: a semicircle of radius span*dx/2.
+  double max_radius = 0.0;
+  for (const Arc& a : s.arcs_by_right())
+    max_radius = std::max(max_radius, static_cast<double>(a.right - a.left) * dx / 2.0);
+
+  const double baseline = margin + max_radius + (options.title.empty() ? 0.0 : 18.0);
+  const double width = 2 * margin + (n - 1) * dx;
+  const double height = baseline + (seq != nullptr ? 26.0 : 14.0);
+  auto x_of = [&](Pos i) { return margin + static_cast<double>(i) * dx; };
+
+  // Stem index per arc for consistent coloring.
+  std::vector<std::pair<Arc, std::size_t>> arc_color;
+  const auto stems = find_stems(s);
+  for (std::size_t stem_idx = 0; stem_idx < stems.size(); ++stem_idx) {
+    Arc a = stems[stem_idx].outer;
+    for (Pos k = 0; k < stems[stem_idx].length; ++k) {
+      arc_color.emplace_back(a, stem_idx);
+      a = Arc{a.left + 1, a.right - 1};
+    }
+  }
+
+  auto is_highlighted = [&](const Arc& a) {
+    return std::find(options.highlight.begin(), options.highlight.end(), a) !=
+           options.highlight.end();
+  };
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width << "\" height=\""
+      << height << "\" viewBox=\"0 0 " << width << ' ' << height << "\">\n";
+  svg << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  if (!options.title.empty())
+    svg << "<text x=\"" << margin << "\" y=\"16\" font-family=\"sans-serif\" font-size=\"13\">"
+        << options.title << "</text>\n";
+
+  // Baseline.
+  svg << "<line x1=\"" << x_of(0) << "\" y1=\"" << baseline << "\" x2=\""
+      << x_of(std::max<Pos>(s.length() - 1, 0)) << "\" y2=\"" << baseline
+      << "\" stroke=\"#333\" stroke-width=\"1\"/>\n";
+
+  // Arcs: semicircles via SVG elliptical-arc paths.
+  for (const auto& [a, stem_idx] : arc_color) {
+    const double x1 = x_of(a.left);
+    const double x2 = x_of(a.right);
+    const double r = (x2 - x1) / 2.0;
+    const bool hot = is_highlighted(a);
+    const char* color =
+        hot ? kHighlight
+            : (options.color_stems ? kPalette[stem_idx % std::size(kPalette)] : kPlain);
+    svg << "<path d=\"M " << x1 << ' ' << baseline << " A " << r << ' ' << r << " 0 0 1 " << x2
+        << ' ' << baseline << "\" fill=\"none\" stroke=\"" << color << "\" stroke-width=\""
+        << (hot ? 2.5 : 1.5) << "\"/>\n";
+  }
+
+  // Position ticks and bases.
+  for (Pos i = 0; i < s.length(); ++i) {
+    const double x = x_of(i);
+    svg << "<line x1=\"" << x << "\" y1=\"" << baseline << "\" x2=\"" << x << "\" y2=\""
+        << baseline + 4 << "\" stroke=\"#333\" stroke-width=\"0.75\"/>\n";
+    if (seq != nullptr)
+      svg << "<text x=\"" << x << "\" y=\"" << baseline + 18
+          << "\" font-family=\"monospace\" font-size=\"10\" text-anchor=\"middle\">"
+          << to_char((*seq)[i]) << "</text>\n";
+    if (i % 10 == 0)
+      svg << "<text x=\"" << x << "\" y=\"" << baseline + (seq != nullptr ? 26.0 : 14.0)
+          << "\" font-family=\"sans-serif\" font-size=\"8\" text-anchor=\"middle\" fill=\"#777\">"
+          << i << "</text>\n";
+  }
+
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+}  // namespace srna

@@ -1,0 +1,31 @@
+// SVG arc diagrams — publication-style rendering of secondary structures.
+//
+// The ASCII renderer (arc_diagram.hpp) is for terminals; this one produces
+// a standalone SVG: the sequence as a baseline of ticks (with base letters
+// when a sequence is supplied), bonds as semicircular arcs above it, stems
+// colored consistently, and an optional highlight set (e.g. the arcs a
+// traceback matched). Used by `srna show --svg=...`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rna/secondary_structure.hpp"
+#include "rna/sequence.hpp"
+
+namespace srna {
+
+struct SvgDiagramOptions {
+  double spacing = 10.0;       // horizontal pixels per sequence position
+  double margin = 24.0;
+  bool color_stems = true;     // one palette color per stem, else a single color
+  std::vector<Arc> highlight;  // arcs drawn emphasized (thick, distinct color)
+  std::string title;
+};
+
+// Renders a non-pseudoknot structure (throws std::invalid_argument
+// otherwise, or when a supplied sequence's length mismatches).
+std::string render_svg_diagram(const SecondaryStructure& s, const Sequence* seq = nullptr,
+                               const SvgDiagramOptions& options = {});
+
+}  // namespace srna

@@ -1,0 +1,50 @@
+// Lightweight runtime-check macros used throughout the library.
+//
+// SRNA_REQUIRE  — precondition check, always on; throws std::invalid_argument.
+// SRNA_CHECK    — internal invariant, always on; throws std::logic_error.
+// SRNA_DASSERT  — debug-only invariant (compiled out in NDEBUG builds); used
+//                 on hot paths such as per-cell slice accesses.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace srna::detail {
+
+[[noreturn]] inline void throw_require(const char* expr, const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_check(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace srna::detail
+
+#define SRNA_REQUIRE(expr, msg)                                             \
+  do {                                                                      \
+    if (!(expr)) ::srna::detail::throw_require(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define SRNA_CHECK(expr, msg)                                               \
+  do {                                                                      \
+    if (!(expr)) ::srna::detail::throw_check(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#ifdef NDEBUG
+#define SRNA_DASSERT(expr) ((void)0)
+#else
+#define SRNA_DASSERT(expr)                                                  \
+  do {                                                                      \
+    if (!(expr)) ::srna::detail::throw_check(#expr, __FILE__, __LINE__, "debug assert"); \
+  } while (false)
+#endif

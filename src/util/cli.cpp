@@ -1,0 +1,149 @@
+#include "util/cli.hpp"
+
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace srna {
+
+CliParser::CliParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {
+  add_flag("help", "show this help and exit");
+}
+
+void CliParser::add_flag(const std::string& name, const std::string& help, bool def) {
+  SRNA_REQUIRE(!opts_.count(name), "duplicate option: " + name);
+  opts_[name] = Opt{help, def ? "true" : "false", /*is_flag=*/true, def};
+  order_.push_back(name);
+}
+
+void CliParser::add_option(const std::string& name, const std::string& help,
+                           const std::string& def) {
+  SRNA_REQUIRE(!opts_.count(name), "duplicate option: " + name);
+  opts_[name] = Opt{help, def, /*is_flag=*/false, false};
+  order_.push_back(name);
+}
+
+CliParser::Opt& CliParser::find(const std::string& name) {
+  auto it = opts_.find(name);
+  SRNA_REQUIRE(it != opts_.end(), "unknown option queried: " + name);
+  return it->second;
+}
+
+const CliParser::Opt& CliParser::find(const std::string& name) const {
+  auto it = opts_.find(name);
+  SRNA_REQUIRE(it != opts_.end(), "unknown option queried: " + name);
+  return it->second;
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+
+    bool negated = false;
+    auto it = opts_.find(arg);
+    if (it == opts_.end() && arg.rfind("no-", 0) == 0) {
+      it = opts_.find(arg.substr(3));
+      negated = it != opts_.end() && it->second.is_flag;
+      if (!negated) it = opts_.end();
+    }
+    if (it == opts_.end()) throw std::invalid_argument("unknown option: --" + arg);
+
+    Opt& opt = it->second;
+    if (opt.is_flag) {
+      if (has_value)
+        opt.flag_value = (value == "true" || value == "1" || value == "yes");
+      else
+        opt.flag_value = !negated;
+    } else {
+      if (!has_value) {
+        if (i + 1 >= argc) throw std::invalid_argument("option --" + arg + " needs a value");
+        value = argv[++i];
+      }
+      opt.value = value;
+    }
+  }
+
+  if (flag("help")) {
+    print_usage(std::cout);
+    return false;
+  }
+  return true;
+}
+
+bool CliParser::flag(const std::string& name) const {
+  const Opt& o = find(name);
+  SRNA_REQUIRE(o.is_flag, "option is not a flag: " + name);
+  return o.flag_value;
+}
+
+std::string CliParser::str(const std::string& name) const { return find(name).value; }
+
+std::int64_t CliParser::integer(const std::string& name) const {
+  const std::string& v = find(name).value;
+  try {
+    std::size_t pos = 0;
+    const std::int64_t out = std::stoll(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return out;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + name + " expects an integer, got '" + v + "'");
+  }
+}
+
+double CliParser::real(const std::string& name) const {
+  const std::string& v = find(name).value;
+  try {
+    std::size_t pos = 0;
+    const double out = std::stod(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return out;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + name + " expects a number, got '" + v + "'");
+  }
+}
+
+std::vector<std::int64_t> CliParser::int_list(const std::string& name) const {
+  const std::string& v = find(name).value;
+  std::vector<std::int64_t> out;
+  std::stringstream ss(v);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    try {
+      out.push_back(std::stoll(item));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("option --" + name + " expects integers, got '" + item + "'");
+    }
+  }
+  return out;
+}
+
+void CliParser::print_usage(std::ostream& os) const {
+  os << program_ << " — " << description_ << "\n\noptions:\n";
+  for (const std::string& name : order_) {
+    const Opt& o = opts_.at(name);
+    os << "  --" << name;
+    if (!o.is_flag) os << "=<value>";
+    os << "\n      " << o.help;
+    if (!o.is_flag && !o.value.empty()) os << " (default: " << o.value << ")";
+    if (o.is_flag) os << " (default: " << (o.flag_value ? "true" : "false") << ")";
+    os << "\n";
+  }
+}
+
+}  // namespace srna

@@ -1,0 +1,60 @@
+// Minimal command-line option parser for the bench/example binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--flag` /
+// `--no-flag`. Unknown options are an error (catches typos in sweep scripts);
+// remaining positional arguments are collected in order.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace srna {
+
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description);
+
+  // Registration. `help` is shown by usage(); `def` is the default rendering.
+  void add_flag(const std::string& name, const std::string& help, bool def = false);
+  void add_option(const std::string& name, const std::string& help, const std::string& def);
+
+  // Parses argv. Returns false (after printing usage) when --help was given.
+  // Throws std::invalid_argument on unknown options or malformed values.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool flag(const std::string& name) const;
+  [[nodiscard]] std::string str(const std::string& name) const;
+  [[nodiscard]] std::int64_t integer(const std::string& name) const;
+  [[nodiscard]] double real(const std::string& name) const;
+  // Comma-separated integer list, e.g. --lengths=100,200,400.
+  [[nodiscard]] std::vector<std::int64_t> int_list(const std::string& name) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  void print_usage(std::ostream& os) const;
+
+ private:
+  struct Opt {
+    std::string help;
+    std::string value;
+    bool is_flag = false;
+    bool flag_value = false;
+  };
+
+  Opt& find(const std::string& name);
+  const Opt& find(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Opt> opts_;
+  std::vector<std::string> order_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace srna

@@ -1,0 +1,81 @@
+// Dense row-major 2-D array.
+//
+// The DP slices and the memoization table M are plain rectangular grids that
+// are allocated and discarded constantly (every child slice is one Matrix),
+// so this container is deliberately minimal: one contiguous allocation,
+// trivially movable, with debug-only bounds checks on the hot accessors.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace srna {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(std::size_t rows, std::size_t cols, const T& fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  T& operator()(std::size_t r, std::size_t c) noexcept {
+    SRNA_DASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const noexcept {
+    SRNA_DASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  // Checked access for non-hot-path callers (format printing, tests).
+  T& at(std::size_t r, std::size_t c) {
+    SRNA_REQUIRE(r < rows_ && c < cols_, "Matrix::at out of range");
+    return data_[r * cols_ + c];
+  }
+  const T& at(std::size_t r, std::size_t c) const {
+    SRNA_REQUIRE(r < rows_ && c < cols_, "Matrix::at out of range");
+    return data_[r * cols_ + c];
+  }
+
+  // Raw pointer to the start of row r (rows are contiguous). PRNA's per-row
+  // synchronization reduces over exactly such a span.
+  T* row_data(std::size_t r) noexcept {
+    SRNA_DASSERT(r < rows_);
+    return data_.data() + r * cols_;
+  }
+  const T* row_data(std::size_t r) const noexcept {
+    SRNA_DASSERT(r < rows_);
+    return data_.data() + r * cols_;
+  }
+
+  void fill(const T& value) { std::fill(data_.begin(), data_.end(), value); }
+
+  void resize(std::size_t rows, std::size_t cols, const T& fill = T{}) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, fill);
+  }
+
+  [[nodiscard]] const std::vector<T>& flat() const noexcept { return data_; }
+  [[nodiscard]] std::vector<T>& flat() noexcept { return data_; }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace srna

@@ -1,0 +1,41 @@
+// Streaming and batch summary statistics for benchmark repetitions.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace srna {
+
+// Welford's online algorithm: numerically stable running mean/variance with
+// min/max tracking. Used to summarize repeated benchmark measurements.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  void clear() noexcept { *this = RunningStats{}; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Median of a copy of `values` (empty → 0).
+double median(std::vector<double> values);
+
+// p-th percentile (0..100) by linear interpolation between order statistics.
+double percentile(std::vector<double> values, double p);
+
+}  // namespace srna

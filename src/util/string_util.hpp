@@ -1,0 +1,29 @@
+// Small string helpers shared by the format parsers and the harness.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace srna {
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s) noexcept;
+
+// Splits on any run of ASCII whitespace; no empty tokens.
+std::vector<std::string_view> split_ws(std::string_view s);
+
+// Splits on a single delimiter character; keeps empty fields.
+std::vector<std::string_view> split(std::string_view s, char delim);
+
+// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+
+// Lower-cases ASCII.
+std::string to_lower(std::string_view s);
+
+// Parses a non-negative integer; returns false on any malformed input
+// (empty, overflow, trailing garbage).
+bool parse_size(std::string_view s, std::size_t& out) noexcept;
+
+}  // namespace srna

@@ -1,0 +1,54 @@
+// Aligned plain-text tables and CSV output for the benchmark harness.
+//
+// Every bench binary reproduces one of the paper's tables/figures and prints
+// it in the same row/column layout; TablePrinter handles column alignment and
+// CSV export so the harness code stays focused on the experiment itself.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace srna {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  // Appends one row; pads or errors depending on width.
+  void add_row(std::vector<std::string> row);
+
+  // Convenience: formats arithmetic cells with operator<<.
+  template <typename... Cells>
+  void add(const Cells&... cells) {
+    std::vector<std::string> row;
+    row.reserve(sizeof...(cells));
+    (row.push_back(to_cell(cells)), ...);
+    add_row(std::move(row));
+  }
+
+  // Renders with space-aligned columns and a rule under the header.
+  void print(std::ostream& os) const;
+
+  // Renders as RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+
+ private:
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(const char* s) { return s; }
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    return std::to_string(v);
+  }
+  static std::string to_cell(double v);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with `digits` digits after the decimal point.
+std::string fixed(double value, int digits = 3);
+
+}  // namespace srna

@@ -1,0 +1,36 @@
+#include "util/timer.hpp"
+
+#include <algorithm>
+
+namespace srna {
+
+void PhaseTimer::add(const std::string& name, double seconds) {
+  auto it = std::find_if(phases_.begin(), phases_.end(),
+                         [&](const Phase& p) { return p.name == name; });
+  if (it == phases_.end()) {
+    phases_.push_back(Phase{name, seconds, 1});
+  } else {
+    it->seconds += seconds;
+    ++it->count;
+  }
+}
+
+double PhaseTimer::total_seconds() const {
+  double total = 0.0;
+  for (const Phase& p : phases_) total += p.seconds;
+  return total;
+}
+
+double PhaseTimer::seconds(const std::string& name) const {
+  for (const Phase& p : phases_)
+    if (p.name == name) return p.seconds;
+  return 0.0;
+}
+
+double PhaseTimer::percent(const std::string& name) const {
+  const double total = total_seconds();
+  if (total <= 0.0) return 0.0;
+  return 100.0 * seconds(name) / total;
+}
+
+}  // namespace srna

@@ -1,0 +1,75 @@
+// Wall-clock timing for the benchmark harness.
+//
+// The paper reports wall-clock seconds for SRNA1/SRNA2 (Tables I–II), a
+// percentage breakdown across SRNA2's phases (Table III), and speedup curves
+// (Figure 8). WallTimer is a thin steady_clock wrapper; PhaseTimer
+// accumulates named phase durations for the Table III style breakdown.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace srna {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Accumulates durations under named phases. Phases are created on first use
+// and keep their first-use order for reporting.
+class PhaseTimer {
+ public:
+  struct Phase {
+    std::string name;
+    double seconds = 0.0;
+    std::size_t count = 0;  // number of start/stop intervals accumulated
+  };
+
+  // Adds `seconds` to the named phase.
+  void add(const std::string& name, double seconds);
+
+  // RAII helper: times a scope into the named phase.
+  class Scope {
+   public:
+    Scope(PhaseTimer& parent, std::string name)
+        : parent_(parent), name_(std::move(name)) {}
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope() { parent_.add(name_, timer_.seconds()); }
+
+   private:
+    PhaseTimer& parent_;
+    std::string name_;
+    WallTimer timer_;
+  };
+
+  [[nodiscard]] Scope scope(std::string name) { return Scope(*this, std::move(name)); }
+
+  [[nodiscard]] const std::vector<Phase>& phases() const noexcept { return phases_; }
+  [[nodiscard]] double total_seconds() const;
+  [[nodiscard]] double seconds(const std::string& name) const;
+  // Percentage of the total accounted for by `name` (0 if total is 0).
+  [[nodiscard]] double percent(const std::string& name) const;
+
+  void clear() { phases_.clear(); }
+
+ private:
+  std::vector<Phase> phases_;
+};
+
+}  // namespace srna

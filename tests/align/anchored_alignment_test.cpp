@@ -1,0 +1,120 @@
+#include "align/anchored_alignment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/mcos.hpp"
+#include "rna/generators.hpp"
+#include "rna/mutations.hpp"
+#include "testing/builders.hpp"
+
+namespace srna {
+namespace {
+
+using testing::db;
+
+void check_full_coverage(const Alignment& alignment, Pos n, Pos m) {
+  Pos next_a = 0;
+  Pos next_b = 0;
+  for (const AlignedColumn& col : alignment.columns) {
+    if (col.i >= 0) {
+      EXPECT_EQ(col.i, next_a);
+      ++next_a;
+    }
+    if (col.j >= 0) {
+      EXPECT_EQ(col.j, next_b);
+      ++next_b;
+    }
+  }
+  EXPECT_EQ(next_a, n);
+  EXPECT_EQ(next_b, m);
+}
+
+bool column_aligned(const Alignment& alignment, Pos i, Pos j) {
+  for (const AlignedColumn& col : alignment.columns)
+    if (col.i == i && col.j == j) return true;
+  return false;
+}
+
+TEST(AnchoredAlignment, IdenticalInputsGiveIdentityAlignment) {
+  const auto s = db("((..((...))..))");
+  const auto seq = sequence_for_structure(s, 1);
+  const auto r = anchored_alignment(seq, s, seq, s);
+  EXPECT_EQ(r.common_arcs, static_cast<Score>(s.arc_count()));
+  check_full_coverage(r.alignment, s.length(), s.length());
+  EXPECT_EQ(r.alignment.gaps(), 0u);
+  EXPECT_EQ(r.alignment.matches(seq, seq), static_cast<std::size_t>(s.length()));
+}
+
+TEST(AnchoredAlignment, AnchorsAreAlignedColumns) {
+  const auto s1 = db("((..))..(.)");
+  const auto s2 = db(".((...))(.)");
+  const auto seq1 = sequence_for_structure(s1, 2);
+  const auto seq2 = sequence_for_structure(s2, 3);
+  const auto r = anchored_alignment(seq1, s1, seq2, s2);
+  EXPECT_EQ(r.common_arcs, srna2(s1, s2).value);
+  check_full_coverage(r.alignment, s1.length(), s2.length());
+  for (const ArcMatch& m : r.anchors) {
+    EXPECT_TRUE(column_aligned(r.alignment, m.a1.left, m.a2.left)) << m.a1;
+    EXPECT_TRUE(column_aligned(r.alignment, m.a1.right, m.a2.right)) << m.a1;
+  }
+}
+
+TEST(AnchoredAlignment, NoCommonStructureFallsBackToPlainNw) {
+  const auto s1 = db("(.)");
+  const auto s2 = db("...");
+  const auto seq1 = Sequence::from_string("GAC");
+  const auto seq2 = Sequence::from_string("GAC");
+  const auto r = anchored_alignment(seq1, s1, seq2, s2);
+  EXPECT_EQ(r.common_arcs, 0);
+  EXPECT_TRUE(r.anchors.empty());
+  check_full_coverage(r.alignment, 3, 3);
+  EXPECT_EQ(r.alignment.matches(seq1, seq2), 3u);
+}
+
+TEST(AnchoredAlignment, EmptyInputs) {
+  const auto r = anchored_alignment(Sequence::from_string(""), SecondaryStructure(0),
+                                    Sequence::from_string(""), SecondaryStructure(0));
+  EXPECT_TRUE(r.alignment.columns.empty());
+  EXPECT_EQ(r.common_arcs, 0);
+}
+
+TEST(AnchoredAlignment, LengthMismatchRejected) {
+  EXPECT_THROW(anchored_alignment(Sequence::from_string("AC"), db("(.)"),
+                                  Sequence::from_string("AC"), db("..")),
+               std::invalid_argument);
+}
+
+TEST(AnchoredAlignment, ValidOnRandomRelatedPairs) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto s1 = random_structure(50, 0.4, seed);
+    const auto s2 = random_structure(46, 0.4, seed + 9);
+    const auto seq1 = sequence_for_structure(s1, seed);
+    const auto seq2 = sequence_for_structure(s2, seed + 1);
+    const auto r = anchored_alignment(seq1, s1, seq2, s2);
+    EXPECT_EQ(r.common_arcs, srna2(s1, s2).value) << seed;
+    check_full_coverage(r.alignment, s1.length(), s2.length());
+    EXPECT_EQ(static_cast<Score>(r.anchors.size()), r.common_arcs) << seed;
+  }
+}
+
+TEST(AnchoredAlignment, FormatMarksAnchoredEndpoints) {
+  const auto s = db("(..)");
+  const auto seq = Sequence::from_string("GAAC");
+  const auto r = anchored_alignment(seq, s, seq, s);
+  const std::string text = r.format(seq, seq);
+  // Four lines: seq1, bars, seq2, anchors.
+  EXPECT_EQ(text, "GAAC\n||||\nGAAC\n(  )\n");
+}
+
+TEST(AnchoredAlignment, MutatedPairKeepsAnchorsConsistent) {
+  const auto s1 = rrna_like_structure(200, 35, 4);
+  const auto s2 = delete_arcs(s1, 0.3, 99);
+  const auto seq1 = sequence_for_structure(s1, 5);
+  const auto seq2 = sequence_for_structure(s2, 6);
+  const auto r = anchored_alignment(seq1, s1, seq2, s2);
+  check_full_coverage(r.alignment, s1.length(), s2.length());
+  EXPECT_EQ(r.common_arcs, static_cast<Score>(s2.arc_count()));  // subset fully matches
+}
+
+}  // namespace
+}  // namespace srna

@@ -1,0 +1,115 @@
+#include "align/needleman_wunsch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rna/generators.hpp"
+
+namespace srna {
+namespace {
+
+// Checks structural validity: indices strictly increasing per side, every
+// position of both intervals consumed exactly once.
+void check_alignment(const Alignment& alignment, Pos lo_a, Pos hi_a, Pos lo_b, Pos hi_b) {
+  Pos next_a = lo_a;
+  Pos next_b = lo_b;
+  for (const AlignedColumn& col : alignment.columns) {
+    EXPECT_TRUE(col.i >= 0 || col.j >= 0) << "empty column";
+    if (col.i >= 0) {
+      EXPECT_EQ(col.i, next_a);
+      ++next_a;
+    }
+    if (col.j >= 0) {
+      EXPECT_EQ(col.j, next_b);
+      ++next_b;
+    }
+  }
+  EXPECT_EQ(next_a, hi_a + 1);
+  EXPECT_EQ(next_b, hi_b + 1);
+}
+
+TEST(NeedlemanWunsch, IdenticalSequencesAlignPerfectly) {
+  const auto a = Sequence::from_string("ACGUACGU");
+  const auto r = needleman_wunsch(a, a);
+  check_alignment(r, 0, 7, 0, 7);
+  EXPECT_EQ(r.gaps(), 0u);
+  EXPECT_EQ(r.matches(a, a), 8u);
+  EXPECT_DOUBLE_EQ(r.score, 16.0);  // 8 matches * 2.0
+}
+
+TEST(NeedlemanWunsch, EmptyAgainstNonEmptyIsAllGaps) {
+  const auto a = Sequence::from_string("");
+  const auto b = Sequence::from_string("ACG");
+  const auto r = needleman_wunsch(a, b);
+  EXPECT_EQ(r.columns.size(), 3u);
+  EXPECT_EQ(r.gaps(), 3u);
+  EXPECT_DOUBLE_EQ(r.score, -6.0);
+  const auto r2 = needleman_wunsch(b, a);
+  EXPECT_EQ(r2.gaps(), 3u);
+}
+
+TEST(NeedlemanWunsch, BothEmpty) {
+  const auto r = needleman_wunsch(Sequence::from_string(""), Sequence::from_string(""));
+  EXPECT_TRUE(r.columns.empty());
+  EXPECT_EQ(r.score, 0.0);
+}
+
+TEST(NeedlemanWunsch, KnownSmallAlignment) {
+  // ACGU vs AGU: delete the C.
+  const auto a = Sequence::from_string("ACGU");
+  const auto b = Sequence::from_string("AGU");
+  const auto r = needleman_wunsch(a, b);
+  check_alignment(r, 0, 3, 0, 2);
+  EXPECT_EQ(r.matches(a, b), 3u);
+  EXPECT_DOUBLE_EQ(r.score, 3 * 2.0 - 2.0);
+}
+
+TEST(NeedlemanWunsch, MismatchVersusGapTradeoff) {
+  // With mismatch cheaper than two gaps, substitution wins.
+  const auto a = Sequence::from_string("AAA");
+  const auto b = Sequence::from_string("AGA");
+  const auto r = needleman_wunsch(a, b);
+  EXPECT_EQ(r.gaps(), 0u);
+  EXPECT_DOUBLE_EQ(r.score, 2 * 2.0 - 1.0);
+}
+
+TEST(NeedlemanWunsch, SubIntervalIndicesAreAbsolute) {
+  const auto a = Sequence::from_string("GGGGACGUGGGG");
+  const auto b = Sequence::from_string("ACGU");
+  const auto r = needleman_wunsch(a, 4, 7, b, 0, 3);
+  check_alignment(r, 4, 7, 0, 3);
+  EXPECT_EQ(r.matches(a, b), 4u);
+}
+
+TEST(NeedlemanWunsch, ScoreIsSymmetric) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto a = random_sequence(30, seed);
+    const auto b = random_sequence(26, seed + 40);
+    EXPECT_DOUBLE_EQ(needleman_wunsch(a, b).score, needleman_wunsch(b, a).score) << seed;
+  }
+}
+
+TEST(NeedlemanWunsch, ValidOnRandomPairs) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto a = random_sequence(40, seed);
+    const auto b = random_sequence(33, seed + 99);
+    const auto r = needleman_wunsch(a, b);
+    check_alignment(r, 0, 39, 0, 32);
+    // Score upper bound: all of the shorter sequence matched.
+    EXPECT_LE(r.score, 33 * 2.0);
+  }
+}
+
+TEST(NeedlemanWunsch, FormatShowsBarsAndDots) {
+  const auto a = Sequence::from_string("AC");
+  const auto b = Sequence::from_string("AG");
+  const auto text = format_alignment(needleman_wunsch(a, b), a, b);
+  EXPECT_EQ(text, "AC\n|.\nAG\n");
+}
+
+TEST(NeedlemanWunsch, RejectsOutOfRangeIntervals) {
+  const auto a = Sequence::from_string("ACG");
+  EXPECT_THROW(needleman_wunsch(a, 0, 3, a, 0, 2, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace srna

@@ -1,0 +1,96 @@
+#include "core/arc_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rna/generators.hpp"
+#include "testing/builders.hpp"
+
+namespace srna {
+namespace {
+
+using testing::db;
+
+TEST(ArcIndex, EmptyStructure) {
+  const ArcIndex idx(SecondaryStructure(10));
+  EXPECT_EQ(idx.size(), 0u);
+  EXPECT_TRUE(idx.all().empty());
+  EXPECT_EQ(idx.index_of_right(5), ArcIndex::kNoArc);
+}
+
+TEST(ArcIndex, RejectsPseudoknots) {
+  const auto knotted = SecondaryStructure::from_arcs(6, {{0, 3}, {2, 5}});
+  EXPECT_THROW(ArcIndex{knotted}, std::invalid_argument);
+}
+
+TEST(ArcIndex, IndexOfRightEndpoints) {
+  const auto s = db("((..))(.)");
+  const ArcIndex idx(s);
+  ASSERT_EQ(idx.size(), 3u);
+  // Sorted by right endpoint: (1,4), (0,5), (6,8).
+  EXPECT_EQ(idx.arc(0), (Arc{1, 4}));
+  EXPECT_EQ(idx.arc(1), (Arc{0, 5}));
+  EXPECT_EQ(idx.arc(2), (Arc{6, 8}));
+  EXPECT_EQ(idx.index_of_right(4), 0u);
+  EXPECT_EQ(idx.index_of_right(5), 1u);
+  EXPECT_EQ(idx.index_of_right(8), 2u);
+  EXPECT_EQ(idx.index_of_right(0), ArcIndex::kNoArc);  // left endpoint
+  EXPECT_EQ(idx.index_of_right(2), ArcIndex::kNoArc);  // unpaired
+}
+
+TEST(ArcIndex, InteriorOfHairpinIsEmpty) {
+  const auto s = db("(...)");
+  const ArcIndex idx(s);
+  EXPECT_TRUE(idx.interior(0).empty());
+}
+
+TEST(ArcIndex, InteriorOfNestedStack) {
+  const auto s = worst_case_structure(8);  // arcs (3,4) < (2,5) < (1,6) < (0,7)
+  const ArcIndex idx(s);
+  ASSERT_EQ(idx.size(), 4u);
+  EXPECT_EQ(idx.interior(0).size(), 0u);
+  EXPECT_EQ(idx.interior(1).size(), 1u);
+  EXPECT_EQ(idx.interior(2).size(), 2u);
+  EXPECT_EQ(idx.interior(3).size(), 3u);
+  EXPECT_EQ(idx.interior(3)[0], (Arc{3, 4}));
+  EXPECT_EQ(idx.interior(3)[1], (Arc{2, 5}));
+  EXPECT_EQ(idx.interior(3)[2], (Arc{1, 6}));
+}
+
+TEST(ArcIndex, InteriorOfMultiloopSpansSiblings) {
+  const auto s = db("((...)(...))");
+  // Arcs sorted by right: (1,5), (6,10), (0,11).
+  const ArcIndex idx(s);
+  ASSERT_EQ(idx.size(), 3u);
+  const auto inside = idx.interior(2);
+  ASSERT_EQ(inside.size(), 2u);
+  EXPECT_EQ(inside[0], (Arc{1, 5}));
+  EXPECT_EQ(inside[1], (Arc{6, 10}));
+}
+
+TEST(ArcIndex, InteriorMatchesArcsWithinOnRandomStructures) {
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    const auto s = random_structure(90, 0.45, seed);
+    const ArcIndex idx(s);
+    for (std::size_t t = 0; t < idx.size(); ++t) {
+      const Arc a = idx.arc(t);
+      const auto expected = s.arcs_within(a.left + 1, a.right - 1);
+      const auto got = idx.interior(t);
+      ASSERT_EQ(got.size(), expected.size()) << "seed " << seed << " arc " << a;
+      for (std::size_t i = 0; i < expected.size(); ++i)
+        EXPECT_EQ(got[i], expected[i]) << "seed " << seed << " arc " << a;
+    }
+  }
+}
+
+TEST(ArcIndex, SortedByRightIsPostorder) {
+  // The right-endpoint order must visit children before parents.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto s = random_structure(80, 0.5, seed);
+    const ArcIndex idx(s);
+    for (std::size_t t = 0; t < idx.size(); ++t)
+      for (const Arc& inner : idx.interior(t)) EXPECT_LT(inner.right, idx.arc(t).right);
+  }
+}
+
+}  // namespace
+}  // namespace srna

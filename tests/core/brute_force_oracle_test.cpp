@@ -1,0 +1,121 @@
+// Independent enumerative oracle for the MCOS value.
+//
+// The top-down/bottom-up references in reference.cpp share the *recurrence*
+// with the production solvers, so they cannot catch a systematic error in
+// the recurrence itself. This oracle is recurrence-free: the MCOS value
+// equals the largest k such that some k-arc subset of S1 and some k-arc
+// subset of S2 are isomorphic as ordered forests (order + nesting preserved
+// — exactly the common-ordered-substructure condition). For small
+// structures, both subset spaces are enumerated exhaustively and forest
+// shapes compared by canonical balanced-paren encodings.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/mcos.hpp"
+#include "rna/generators.hpp"
+#include "testing/builders.hpp"
+
+namespace srna {
+namespace {
+
+using testing::db;
+
+// Canonical ordered-forest encoding of a non-crossing arc set.
+std::string encode_forest(std::vector<Arc> arcs) {
+  std::sort(arcs.begin(), arcs.end());  // by left endpoint
+  std::string out;
+  std::vector<Pos> open;  // stack of right endpoints
+  for (const Arc& a : arcs) {
+    while (!open.empty() && open.back() < a.left) {
+      out += ')';
+      open.pop_back();
+    }
+    out += '(';
+    open.push_back(a.right);
+  }
+  out.append(open.size(), ')');
+  return out;
+}
+
+// Exhaustive MCOS: max size of order-isomorphic arc subsets.
+Score brute_force_mcos(const SecondaryStructure& s1, const SecondaryStructure& s2) {
+  const auto& a1 = s1.arcs_by_right();
+  const auto& a2 = s2.arcs_by_right();
+  EXPECT_LE(a1.size(), 12u) << "oracle is exponential";
+  EXPECT_LE(a2.size(), 12u) << "oracle is exponential";
+
+  // All shapes reachable from S2's arcs.
+  std::unordered_set<std::string> shapes2;
+  for (std::uint32_t mask = 0; mask < (1u << a2.size()); ++mask) {
+    std::vector<Arc> subset;
+    for (std::size_t i = 0; i < a2.size(); ++i)
+      if (mask & (1u << i)) subset.push_back(a2[i]);
+    shapes2.insert(encode_forest(std::move(subset)));
+  }
+
+  Score best = 0;
+  for (std::uint32_t mask = 0; mask < (1u << a1.size()); ++mask) {
+    const auto size = static_cast<Score>(std::popcount(mask));
+    if (size <= best) continue;
+    std::vector<Arc> subset;
+    for (std::size_t i = 0; i < a1.size(); ++i)
+      if (mask & (1u << i)) subset.push_back(a1[i]);
+    if (shapes2.count(encode_forest(std::move(subset)))) best = size;
+  }
+  return best;
+}
+
+TEST(BruteForceOracle, EncodingDistinguishesShapes) {
+  EXPECT_EQ(encode_forest({{0, 5}, {1, 4}}), "(())");
+  EXPECT_EQ(encode_forest({{0, 1}, {2, 3}}), "()()");
+  EXPECT_EQ(encode_forest({{0, 9}, {1, 4}, {5, 8}}), "(()())");
+  EXPECT_EQ(encode_forest({}), "");
+  // Position-shift invariance: shape only.
+  EXPECT_EQ(encode_forest({{10, 15}, {11, 14}}), encode_forest({{0, 99}, {5, 50}}));
+}
+
+TEST(BruteForceOracle, HandCases) {
+  EXPECT_EQ(brute_force_mcos(db("((..))"), db("(.)(.)")), 1);
+  EXPECT_EQ(brute_force_mcos(db("((..))"), db("((..))")), 2);
+  EXPECT_EQ(brute_force_mcos(db("(.)"), db("...")), 0);
+}
+
+TEST(BruteForceOracle, PaperSectionThreeExample) {
+  auto groups = [](Pos first, Pos second) {
+    std::vector<Arc> arcs;
+    Pos base = 0;
+    for (Pos k : {first, second}) {
+      for (Pos i = 0; i < k; ++i) arcs.push_back(Arc{base + i, base + 2 * k - 1 - i});
+      base += 2 * k;
+    }
+    return SecondaryStructure::from_arcs(base, std::move(arcs));
+  };
+  EXPECT_EQ(brute_force_mcos(groups(3, 2), groups(2, 3)), 4);
+  EXPECT_EQ(brute_force_mcos(groups(3, 2), groups(3, 2)), 5);
+}
+
+class OracleSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OracleSweep, AllSolversMatchTheEnumerativeOracle) {
+  const std::uint64_t seed = GetParam();
+  // Densities and lengths tuned to keep arc counts <= ~10.
+  const auto s1 = random_structure(22, 0.35, seed);
+  const auto s2 = random_structure(26, 0.35, seed + 1000);
+  if (s1.arc_count() > 11 || s2.arc_count() > 11) GTEST_SKIP() << "instance too large";
+
+  const Score expected = brute_force_mcos(s1, s2);
+  EXPECT_EQ(srna1(s1, s2).value, expected) << "seed " << seed;
+  EXPECT_EQ(srna2(s1, s2).value, expected) << "seed " << seed;
+  EXPECT_EQ(mcos_reference_topdown(s1, s2).value, expected) << "seed " << seed;
+  EXPECT_EQ(mcos_reference_bottomup(s1, s2).value, expected) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleSweep, ::testing::Range<std::uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace srna

@@ -1,0 +1,143 @@
+#include "core/enumerate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/mcos.hpp"
+#include "core/traceback.hpp"
+#include "rna/generators.hpp"
+#include "testing/builders.hpp"
+
+namespace srna {
+namespace {
+
+using testing::db;
+
+TEST(Enumerate, EmptyAndTrivialInputs) {
+  const auto r = enumerate_optimal_matches(SecondaryStructure(0), SecondaryStructure(0), 10);
+  EXPECT_EQ(r.value, 0);
+  ASSERT_EQ(r.witnesses.size(), 1u);
+  EXPECT_TRUE(r.witnesses[0].empty());
+
+  const auto r2 = enumerate_optimal_matches(db("..."), db("(.)"), 10);
+  EXPECT_EQ(r2.value, 0);
+  ASSERT_EQ(r2.witnesses.size(), 1u);
+}
+
+TEST(Enumerate, UniqueWitnessWhenUnambiguous) {
+  // Single arc each: exactly one way to match.
+  const auto r = enumerate_optimal_matches(db("(.)"), db(".(..)"), 10);
+  EXPECT_EQ(r.value, 1);
+  ASSERT_EQ(r.witnesses.size(), 1u);
+  EXPECT_EQ(r.witnesses[0][0], (ArcMatch{Arc{0, 2}, Arc{1, 4}}));
+  EXPECT_FALSE(r.truncated);
+}
+
+TEST(Enumerate, TwoChoicesForOneArc) {
+  // One arc on the left, two equivalent arcs on the right: two witnesses.
+  const auto r = enumerate_optimal_matches(db("(.)"), db("(.)(.)"), 10);
+  EXPECT_EQ(r.value, 1);
+  EXPECT_EQ(r.witnesses.size(), 2u);
+  EXPECT_FALSE(r.truncated);
+  // And no arc pair is persistent.
+  EXPECT_TRUE(r.persistent_matches().empty());
+}
+
+TEST(Enumerate, CountsMatchCombinatorics) {
+  // Two identical hairpins vs three: the 2-subsets of 3 in order -> C(3,2)=3.
+  const auto r = enumerate_optimal_matches(db("(.)(.)"), db("(.)(.)(.)"), 50);
+  EXPECT_EQ(r.value, 2);
+  EXPECT_EQ(r.witnesses.size(), 3u);
+}
+
+TEST(Enumerate, NestedTimesSequentialChoices) {
+  // Nested pair vs nested pair has a unique full matching.
+  const auto r = enumerate_optimal_matches(db("((..))"), db("((..))"), 50);
+  EXPECT_EQ(r.value, 2);
+  EXPECT_EQ(r.witnesses.size(), 1u);
+  EXPECT_EQ(r.persistent_matches().size(), 2u);
+}
+
+TEST(Enumerate, StackSlackGivesMultipleWitnesses) {
+  // 3-stack vs 2-stack: the 2-stack can sit at nesting depths {0,1},{0,2},
+  // {1,2} of the 3-stack -> 3 witnesses.
+  const auto r = enumerate_optimal_matches(db("(((...)))"), db("((...))"), 50);
+  EXPECT_EQ(r.value, 2);
+  EXPECT_EQ(r.witnesses.size(), 3u);
+}
+
+TEST(Enumerate, EveryWitnessIsValidAndOptimal) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const auto s1 = random_structure(20, 0.4, seed);
+    const auto s2 = random_structure(22, 0.4, seed + 50);
+    const auto r = enumerate_optimal_matches(s1, s2, 200);
+    EXPECT_EQ(r.value, srna2(s1, s2).value) << seed;
+    ASSERT_FALSE(r.witnesses.empty()) << seed;
+    for (const auto& w : r.witnesses) {
+      EXPECT_EQ(static_cast<Score>(w.size()), r.value) << seed;
+      EXPECT_TRUE(validate_matches(s1, s2, w).empty()) << seed;
+    }
+    // All witnesses distinct.
+    std::set<std::vector<ArcMatch>> unique;
+    for (auto w : r.witnesses) {
+      std::sort(w.begin(), w.end(), [](const ArcMatch& a, const ArcMatch& b) {
+        return a.a1 < b.a1 || (a.a1 == b.a1 && a.a2 < b.a2);
+      });
+      unique.insert(w);
+    }
+    EXPECT_EQ(unique.size(), r.witnesses.size()) << seed;
+  }
+}
+
+TEST(Enumerate, ContainsTheTracebackWitness) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const auto s1 = random_structure(18, 0.45, seed);
+    const auto s2 = random_structure(20, 0.45, seed + 30);
+    auto r = enumerate_optimal_matches(s1, s2, 500);
+    if (r.truncated) continue;
+    auto canon = mcos_traceback(s1, s2).matches;
+    std::sort(canon.begin(), canon.end(), [](const ArcMatch& a, const ArcMatch& b) {
+      return a.a1 < b.a1 || (a.a1 == b.a1 && a.a2 < b.a2);
+    });
+    bool found = false;
+    for (auto w : r.witnesses) {
+      std::sort(w.begin(), w.end(), [](const ArcMatch& a, const ArcMatch& b) {
+        return a.a1 < b.a1 || (a.a1 == b.a1 && a.a2 < b.a2);
+      });
+      found |= w == canon;
+    }
+    EXPECT_TRUE(found) << "seed " << seed;
+  }
+}
+
+TEST(Enumerate, LimitTruncates) {
+  // Self-comparison of many identical hairpins explodes combinatorially;
+  // the limit must bound the output and be flagged.
+  const auto s = sequential_arcs_structure(24, 8);
+  const auto t = sequential_arcs_structure(30, 10);
+  const auto r = enumerate_optimal_matches(s, t, 5);
+  EXPECT_EQ(r.witnesses.size(), 5u);
+  EXPECT_TRUE(r.truncated);
+}
+
+TEST(Enumerate, LimitValidation) {
+  EXPECT_THROW(enumerate_optimal_matches(db("(.)"), db("(.)"), 0), std::invalid_argument);
+}
+
+TEST(Enumerate, PersistentCoreOnForcedMatch) {
+  // The lone deep stack must always be matched; the shallow hairpin choice
+  // varies.
+  const auto s1 = db("((((....))))(.)");
+  const auto s2 = db("((((....))))(.)(.)");
+  const auto r = enumerate_optimal_matches(s1, s2, 100);
+  EXPECT_EQ(r.value, 5);
+  EXPECT_FALSE(r.truncated);
+  EXPECT_GE(r.witnesses.size(), 2u);
+  const auto core = r.persistent_matches();
+  EXPECT_EQ(core.size(), 4u);  // the stack is persistent, the hairpin is not
+}
+
+}  // namespace
+}  // namespace srna

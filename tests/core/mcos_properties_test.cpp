@@ -1,0 +1,158 @@
+// Property-based invariants of the MCOS value, checked across all solver
+// implementations and parameterized workload sweeps.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/mcos.hpp"
+#include "parallel/prna.hpp"
+#include "rna/generators.hpp"
+#include "rna/nussinov.hpp"
+#include "testing/builders.hpp"
+
+namespace srna {
+namespace {
+
+using testing::db;
+
+Score all_agree(const SecondaryStructure& s1, const SecondaryStructure& s2) {
+  const Score v = mcos_reference_topdown(s1, s2).value;
+  EXPECT_EQ(srna1(s1, s2).value, v);
+  EXPECT_EQ(srna2(s1, s2).value, v);
+  PrnaOptions popt;
+  popt.num_threads = 2;
+  EXPECT_EQ(prna(s1, s2, popt).value, v);
+  return v;
+}
+
+class StructurePairSweep
+    : public ::testing::TestWithParam<std::tuple<Pos, double, std::uint64_t>> {
+ protected:
+  SecondaryStructure make(Pos offset) const {
+    const auto [n, density, seed] = GetParam();
+    return random_structure(n + offset, density, seed + static_cast<std::uint64_t>(offset));
+  }
+};
+
+TEST_P(StructurePairSweep, SelfComparisonMatchesEveryArc) {
+  const auto s = make(0);
+  EXPECT_EQ(all_agree(s, s), static_cast<Score>(s.arc_count()));
+}
+
+TEST_P(StructurePairSweep, Symmetry) {
+  const auto a = make(0);
+  const auto b = make(3);
+  EXPECT_EQ(all_agree(a, b), all_agree(b, a));
+}
+
+TEST_P(StructurePairSweep, BoundedBysmallerArcCount) {
+  const auto a = make(0);
+  const auto b = make(5);
+  const Score v = all_agree(a, b);
+  EXPECT_GE(v, 0);
+  EXPECT_LE(v, static_cast<Score>(std::min(a.arc_count(), b.arc_count())));
+}
+
+TEST_P(StructurePairSweep, DeletingArcsNeverHelps) {
+  const auto a = make(0);
+  const auto b = make(2);
+  const Score before = mcos_reference_topdown(a, b).value;
+
+  // Drop every other arc from `a`.
+  std::vector<Arc> kept;
+  const auto& arcs = a.arcs_by_right();
+  for (std::size_t i = 0; i < arcs.size(); i += 2) kept.push_back(arcs[i]);
+  const auto thinned = SecondaryStructure::from_arcs(a.length(), kept);
+  const Score after = mcos_reference_topdown(thinned, b).value;
+  EXPECT_LE(after, before);
+  // And the thinned structure is a substructure of `a`, so against `a`
+  // itself everything must match.
+  EXPECT_EQ(mcos_reference_topdown(thinned, a).value,
+            static_cast<Score>(thinned.arc_count()));
+}
+
+TEST_P(StructurePairSweep, UnpairedPaddingIsInvisible) {
+  // Appending unpaired positions to either side changes nothing.
+  const auto a = make(0);
+  const auto b = make(4);
+  const Score v = mcos_reference_topdown(a, b).value;
+  const auto padded =
+      SecondaryStructure::from_arcs(a.length() + 13, a.arcs_by_right());
+  EXPECT_EQ(srna2(padded, b).value, v);
+  EXPECT_EQ(srna2(b, padded).value, v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, StructurePairSweep,
+                         ::testing::Combine(::testing::Values<Pos>(10, 22, 40),
+                                            ::testing::Values(0.25, 0.6),
+                                            ::testing::Values<std::uint64_t>(11, 12, 13)));
+
+TEST(McosProperties, EmptyAgainstAnything) {
+  const auto s = worst_case_structure(30);
+  EXPECT_EQ(all_agree(SecondaryStructure(0), s), 0);
+  EXPECT_EQ(all_agree(s, SecondaryStructure(15)), 0);
+}
+
+TEST(McosProperties, DisjointConcatenationIsAdditive) {
+  // Matching (A ++ B) against itself matches all arcs; matching A ++ B
+  // against B ++ A at least max(|A|,|B|)... the precise invariant tested:
+  // MCOS(A++B, A++B) = |A| + |B|.
+  const auto a = random_structure(20, 0.5, 71);
+  const auto b = random_structure(24, 0.5, 72);
+  std::vector<Arc> joined = a.arcs_by_right();
+  for (const Arc& arc : b.arcs_by_right())
+    joined.push_back(Arc{arc.left + a.length(), arc.right + a.length()});
+  const auto ab = SecondaryStructure::from_arcs(a.length() + b.length(), joined);
+  EXPECT_EQ(all_agree(ab, ab), static_cast<Score>(a.arc_count() + b.arc_count()));
+}
+
+TEST(McosProperties, CommonSubstructureOfDisjointShuffles) {
+  // A++B vs B++A: at least max(|A|, |B|) must match (take the common block).
+  const auto a = random_structure(18, 0.5, 81);
+  const auto b = random_structure(18, 0.5, 82);
+  auto concat = [](const SecondaryStructure& x, const SecondaryStructure& y) {
+    std::vector<Arc> arcs = x.arcs_by_right();
+    for (const Arc& arc : y.arcs_by_right())
+      arcs.push_back(Arc{arc.left + x.length(), arc.right + x.length()});
+    return SecondaryStructure::from_arcs(x.length() + y.length(), arcs);
+  };
+  const Score v = all_agree(concat(a, b), concat(b, a));
+  EXPECT_GE(v, static_cast<Score>(std::max(a.arc_count(), b.arc_count())));
+  EXPECT_LE(v, static_cast<Score>(a.arc_count() + b.arc_count()));
+}
+
+TEST(McosProperties, NestedGroupsCrossMatching) {
+  // The paper's Section III example generalized: groups (x, y) vs (y, x)
+  // match x + y - min(x, y) ... specifically max-weight common order.
+  for (Pos x = 1; x <= 4; ++x) {
+    for (Pos y = 1; y <= 4; ++y) {
+      auto groups = [](std::vector<Pos> sizes) {
+        std::vector<Arc> arcs;
+        Pos base = 0;
+        for (Pos k : sizes) {
+          for (Pos i = 0; i < k; ++i) arcs.push_back(Arc{base + i, base + 2 * k - 1 - i});
+          base += 2 * k;
+        }
+        return SecondaryStructure::from_arcs(base, std::move(arcs));
+      };
+      const auto s1 = groups({x, y});
+      const auto s2 = groups({y, x});
+      // Optimal: either align group-for-group (min(x,y) twice) or match one
+      // full group across (max(x,y)).
+      const Score expected = std::max<Score>(2 * std::min(x, y), std::max(x, y));
+      EXPECT_EQ(srna2(s1, s2).value, expected) << "x=" << x << " y=" << y;
+    }
+  }
+}
+
+TEST(McosProperties, FoldedStructuresAgreeAcrossSolvers) {
+  // End-to-end: fold two related sequences and compare their structures.
+  const auto base_seq = random_sequence(60, 5);
+  const auto folded1 = nussinov_fold(base_seq).structure;
+  const auto folded2 = nussinov_fold(random_sequence(60, 6)).structure;
+  (void)all_agree(folded1, folded2);
+  EXPECT_EQ(all_agree(folded1, folded1), static_cast<Score>(folded1.arc_count()));
+}
+
+}  // namespace
+}  // namespace srna

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/mcos.hpp"
+#include "rna/generators.hpp"
+#include "testing/builders.hpp"
+
+namespace srna {
+namespace {
+
+using testing::db;
+
+TEST(Reference, EmptyInputs) {
+  const SecondaryStructure empty(0);
+  const auto s = db("(...)");
+  EXPECT_EQ(mcos_reference_topdown(empty, empty).value, 0);
+  EXPECT_EQ(mcos_reference_topdown(s, empty).value, 0);
+  EXPECT_EQ(mcos_reference_bottomup(empty, s).value, 0);
+}
+
+TEST(Reference, ArcFreeStructures) {
+  const auto a = db("....");
+  const auto b = db("......");
+  EXPECT_EQ(mcos_reference_topdown(a, b).value, 0);
+  EXPECT_EQ(mcos_reference_bottomup(a, b).value, 0);
+}
+
+TEST(Reference, IdenticalHairpins) {
+  const auto s = db("((...))");
+  EXPECT_EQ(mcos_reference_topdown(s, s).value, 2);
+  EXPECT_EQ(mcos_reference_bottomup(s, s).value, 2);
+}
+
+TEST(Reference, NestedVersusSequentialMatchesOne) {
+  // Nested pair vs sequential pair: only one arc can be matched.
+  const auto nested = db("((..))");
+  const auto sequential = db("(.)(.)");
+  EXPECT_EQ(mcos_reference_topdown(nested, sequential).value, 1);
+  EXPECT_EQ(mcos_reference_bottomup(nested, sequential).value, 1);
+}
+
+TEST(Reference, PaperSectionThreeExample) {
+  // "if one structure has three nested arcs followed by two nested arcs ...
+  //  and the other has two followed by three ... the maximum ... would be
+  //  four. If the ordering ... were identical, then ... five."
+  // Build 3-nested followed by 2-nested, and 2-nested followed by 3-nested.
+  auto groups = [](std::vector<Pos> sizes) {
+    std::vector<Arc> arcs;
+    Pos base = 0;
+    for (Pos k : sizes) {
+      for (Pos i = 0; i < k; ++i) arcs.push_back(Arc{base + i, base + 2 * k - 1 - i});
+      base += 2 * k;
+    }
+    return SecondaryStructure::from_arcs(base, std::move(arcs));
+  };
+  const auto s32 = groups({3, 2});
+  const auto s23 = groups({2, 3});
+  EXPECT_EQ(mcos_reference_topdown(s32, s23).value, 4);
+  EXPECT_EQ(mcos_reference_bottomup(s32, s23).value, 4);
+  EXPECT_EQ(mcos_reference_topdown(s32, s32).value, 5);
+  EXPECT_EQ(mcos_reference_bottomup(s23, s23).value, 5);
+}
+
+TEST(Reference, SubstructureIsFullyMatched) {
+  // S2 is S1 with one stem deleted; everything in S2 matches into S1.
+  const auto s1 = db("((..))((...))");
+  const auto s2 = db("((...))");
+  EXPECT_EQ(mcos_reference_topdown(s1, s2).value, 2);
+}
+
+TEST(Reference, DeepVsWideTradeoff) {
+  // 4 nested arcs vs 4 sequential arcs: order is preserved either way but
+  // nesting is not — only one arc matches.
+  const auto deep = worst_case_structure(8);
+  const auto wide = sequential_arcs_structure(8, 4);
+  EXPECT_EQ(mcos_reference_topdown(deep, wide).value, 1);
+  EXPECT_EQ(mcos_reference_bottomup(deep, wide).value, 1);
+}
+
+TEST(Reference, TopDownEqualsBottomUpOnHandCases) {
+  const auto cases = {
+      std::make_pair(db("((..))."), db(".((..))")),
+      std::make_pair(db("(.)((..))"), db("((..))(.)")),
+      std::make_pair(db("((((..))))"), db("((..))((..))")),
+      std::make_pair(db("(..(..)..(..)..)"), db("((..))")),
+  };
+  for (const auto& [x, y] : cases) {
+    EXPECT_EQ(mcos_reference_topdown(x, y).value, mcos_reference_bottomup(x, y).value);
+  }
+}
+
+class ReferenceSweep
+    : public ::testing::TestWithParam<std::tuple<Pos, Pos, double, std::uint64_t>> {};
+
+TEST_P(ReferenceSweep, TopDownEqualsBottomUp) {
+  const auto [n, m, density, seed] = GetParam();
+  const auto s1 = random_structure(n, density, seed);
+  const auto s2 = random_structure(m, density, seed + 7777);
+  const auto top = mcos_reference_topdown(s1, s2);
+  const auto bottom = mcos_reference_bottomup(s1, s2);
+  EXPECT_EQ(top.value, bottom.value);
+  // The top-down exact tabulation never visits more subproblems than the
+  // full table holds.
+  EXPECT_LE(top.stats.cells_tabulated, bottom.stats.cells_tabulated);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPairs, ReferenceSweep,
+                         ::testing::Combine(::testing::Values<Pos>(6, 13, 20),
+                                            ::testing::Values<Pos>(7, 18),
+                                            ::testing::Values(0.15, 0.45, 0.8),
+                                            ::testing::Values<std::uint64_t>(1, 2, 3)));
+
+TEST(Reference, BottomUpGuardsAgainstHugeTables) {
+  const auto s = worst_case_structure(260);
+  EXPECT_THROW(mcos_reference_bottomup(s, s), std::invalid_argument);
+}
+
+TEST(Reference, RejectsPseudoknots) {
+  const auto knot = SecondaryStructure::from_arcs(6, {{0, 3}, {2, 5}});
+  const auto ok = db("(...)");
+  EXPECT_THROW(mcos_reference_topdown(knot, ok), std::invalid_argument);
+  EXPECT_THROW(mcos_reference_bottomup(ok, knot), std::invalid_argument);
+}
+
+TEST(Mcos, DispatchMatchesDirectCalls) {
+  const auto s1 = random_structure(24, 0.4, 1);
+  const auto s2 = random_structure(20, 0.4, 2);
+  const Score expected = mcos_reference_topdown(s1, s2).value;
+  for (auto alg : {McosAlgorithm::kSrna1, McosAlgorithm::kSrna2,
+                   McosAlgorithm::kReferenceTopDown, McosAlgorithm::kReferenceBottomUp}) {
+    EXPECT_EQ(mcos(s1, s2, alg).value, expected) << to_string(alg);
+  }
+}
+
+TEST(Mcos, AlgorithmNames) {
+  EXPECT_STREQ(to_string(McosAlgorithm::kSrna1), "SRNA1");
+  EXPECT_STREQ(to_string(McosAlgorithm::kSrna2), "SRNA2");
+}
+
+}  // namespace
+}  // namespace srna

@@ -1,0 +1,134 @@
+// Deep invariants of the slice machinery: every cell of a dense slice must
+// equal the corresponding 4-D value F(lo1, x, lo2, y) as computed by the
+// top-down reference — not just the final corner the algorithms consume.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/arc_index.hpp"
+#include "core/mcos.hpp"
+#include "core/memo_table.hpp"
+#include "core/detail.hpp"
+#include "core/tabulate_slice.hpp"
+#include "rna/generators.hpp"
+#include "testing/builders.hpp"
+
+namespace srna {
+namespace {
+
+using testing::db;
+
+// Reference value F(i1, j1, i2, j2) via the (tested) top-down solver on the
+// restricted structures. Slow; tiny instances only.
+Score reference_f(const SecondaryStructure& s1, const SecondaryStructure& s2, Pos i1, Pos j1,
+                  Pos i2, Pos j2) {
+  if (j1 < i1 || j2 < i2) return 0;
+  // Restrict to the intervals by keeping only fully-contained arcs and
+  // relabeling; MCOS depends only on contained arcs.
+  auto restrict = [](const SecondaryStructure& s, Pos lo, Pos hi) {
+    std::vector<Arc> arcs;
+    for (const Arc& a : s.arcs_within(lo, hi)) arcs.push_back(Arc{a.left - lo, a.right - lo});
+    return SecondaryStructure::from_arcs(hi - lo + 1, std::move(arcs));
+  };
+  return mcos_reference_topdown(restrict(s1, i1, j1), restrict(s2, i2, j2)).value;
+}
+
+class SliceCellSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SliceCellSweep, EveryDenseCellEqualsTheFourDimensionalValue) {
+  const std::uint64_t seed = GetParam();
+  const auto s1 = random_structure(14, 0.5, seed);
+  const auto s2 = random_structure(12, 0.5, seed + 11);
+
+  // Fully tabulate via SRNA2 to obtain a correct memo table.
+  MemoTable memo(s1.length(), s2.length(), 0);
+  McosStats stats;
+  (void)detail::run_srna2(s1, s2, {}, stats, memo);
+
+  // Check a spread of slice bounds, including the parent and arc interiors.
+  std::vector<SliceBounds> bounds{{0, s1.length() - 1, 0, s2.length() - 1},
+                                  {2, s1.length() - 2, 1, s2.length() - 3},
+                                  {1, 6, 2, 9}};
+  for (const Arc& a1 : s1.arcs_by_right())
+    for (const Arc& a2 : s2.arcs_by_right())
+      bounds.push_back(SliceBounds::under(a1.left, a1.right, a2.left, a2.right));
+
+  for (const SliceBounds& b : bounds) {
+    if (b.empty()) continue;
+    Matrix<Score> grid;
+    fill_slice_dense(s1, s2, b, grid,
+                     [&](Pos k1, Pos, Pos k2, Pos) { return memo.get(k1 + 1, k2 + 1); });
+    for (Pos x = b.lo1; x <= b.hi1; ++x) {
+      for (Pos y = b.lo2; y <= b.hi2; ++y) {
+        EXPECT_EQ(grid(static_cast<std::size_t>(x - b.lo1),
+                       static_cast<std::size_t>(y - b.lo2)),
+                  reference_f(s1, s2, b.lo1, x, b.lo2, y))
+            << "seed " << seed << " bounds (" << b.lo1 << ',' << b.hi1 << ',' << b.lo2 << ','
+            << b.hi2 << ") cell (" << x << ',' << y << ')';
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SliceCellSweep, ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(SliceInvariants, MemoEntriesEqualInteriorValues) {
+  // M(i1+1, i2+1) must equal F over the arc interiors for every arc pair.
+  const auto s1 = random_structure(18, 0.5, 3);
+  const auto s2 = random_structure(16, 0.5, 4);
+  MemoTable memo(s1.length(), s2.length(), 0);
+  McosStats stats;
+  (void)detail::run_srna2(s1, s2, {}, stats, memo);
+  for (const Arc& a1 : s1.arcs_by_right()) {
+    for (const Arc& a2 : s2.arcs_by_right()) {
+      EXPECT_EQ(memo.get(a1.left + 1, a2.left + 1),
+                reference_f(s1, s2, a1.left + 1, a1.right - 1, a2.left + 1, a2.right - 1))
+          << a1 << " x " << a2;
+    }
+  }
+}
+
+TEST(SliceInvariants, GridIsMonotoneInBothCoordinates) {
+  const auto s1 = random_structure(30, 0.5, 7);
+  const auto s2 = random_structure(28, 0.5, 8);
+  MemoTable memo(s1.length(), s2.length(), 0);
+  McosStats stats;
+  (void)detail::run_srna2(s1, s2, {}, stats, memo);
+
+  Matrix<Score> grid;
+  const SliceBounds b{0, s1.length() - 1, 0, s2.length() - 1};
+  fill_slice_dense(s1, s2, b, grid,
+                   [&](Pos k1, Pos, Pos k2, Pos) { return memo.get(k1 + 1, k2 + 1); });
+  for (std::size_t r = 1; r < grid.rows(); ++r)
+    for (std::size_t c = 1; c < grid.cols(); ++c) {
+      EXPECT_GE(grid(r, c), grid(r - 1, c));
+      EXPECT_GE(grid(r, c), grid(r, c - 1));
+      // A single extra position adds at most one matched arc.
+      EXPECT_LE(grid(r, c), grid(r - 1, c) + 1);
+      EXPECT_LE(grid(r, c), grid(r, c - 1) + 1);
+    }
+}
+
+TEST(SliceInvariants, ValueConstantBetweenEvents) {
+  // F only changes at arc right-endpoints: for unpaired x (or x that is a
+  // left endpoint), column x equals column x-1.
+  const auto s1 = db("..((..))..(.)..");
+  const auto s2 = db(".((...))...(.).");
+  MemoTable memo(s1.length(), s2.length(), 0);
+  McosStats stats;
+  (void)detail::run_srna2(s1, s2, {}, stats, memo);
+  Matrix<Score> grid;
+  const SliceBounds b{0, s1.length() - 1, 0, s2.length() - 1};
+  fill_slice_dense(s1, s2, b, grid,
+                   [&](Pos k1, Pos, Pos k2, Pos) { return memo.get(k1 + 1, k2 + 1); });
+  for (Pos x = 1; x < s1.length(); ++x) {
+    if (s1.arc_left_of(x) >= 0) continue;  // event row
+    for (Pos y = 0; y < s2.length(); ++y)
+      EXPECT_EQ(grid(static_cast<std::size_t>(x), static_cast<std::size_t>(y)),
+                grid(static_cast<std::size_t>(x - 1), static_cast<std::size_t>(y)))
+          << "x=" << x << " y=" << y;
+  }
+}
+
+}  // namespace
+}  // namespace srna

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/mcos.hpp"
+#include "rna/generators.hpp"
+#include "testing/builders.hpp"
+
+namespace srna {
+namespace {
+
+using testing::db;
+
+TEST(Srna1, TrivialInputs) {
+  EXPECT_EQ(srna1(SecondaryStructure(0), SecondaryStructure(0)).value, 0);
+  EXPECT_EQ(srna1(db("...."), db("..")).value, 0);
+  EXPECT_EQ(srna1(db("(.)"), db("...")).value, 0);
+  EXPECT_EQ(srna1(db("(.)"), db("(.)")).value, 1);
+}
+
+TEST(Srna1, RejectsPseudoknots) {
+  const auto knot = SecondaryStructure::from_arcs(6, {{0, 3}, {2, 5}});
+  EXPECT_THROW(srna1(knot, db("(...)")), std::invalid_argument);
+}
+
+class Srna1Sweep
+    : public ::testing::TestWithParam<std::tuple<Pos, Pos, double, std::uint64_t, SliceLayout>> {
+};
+
+TEST_P(Srna1Sweep, MatchesTopDownReference) {
+  const auto [n, m, density, seed, layout] = GetParam();
+  const auto s1 = random_structure(n, density, seed);
+  const auto s2 = random_structure(m, density, seed + 31337);
+  McosOptions options;
+  options.layout = layout;
+  const auto got = srna1(s1, s2, options);
+  const auto expected = mcos_reference_topdown(s1, s2);
+  EXPECT_EQ(got.value, expected.value);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomPairs, Srna1Sweep,
+    ::testing::Combine(::testing::Values<Pos>(0, 5, 17, 30), ::testing::Values<Pos>(9, 26),
+                       ::testing::Values(0.2, 0.55), ::testing::Values<std::uint64_t>(4, 5),
+                       ::testing::Values(SliceLayout::kDense, SliceLayout::kCompressed)));
+
+TEST(Srna1, SpawnDepthNeverExceedsOne) {
+  // The paper's key guarantee: memoizing the last subproblem of each child
+  // slice bounds the recursion depth by one.
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const auto s1 = random_structure(50, 0.6, seed);
+    const auto s2 = random_structure(50, 0.6, seed + 99);
+    const auto r = srna1(s1, s2);
+    EXPECT_LE(r.stats.max_spawn_depth, 1u) << "seed " << seed;
+  }
+  // Including the densest possible nesting.
+  const auto worst = worst_case_structure(60);
+  EXPECT_LE(srna1(worst, worst).stats.max_spawn_depth, 1u);
+}
+
+TEST(Srna1, MemoizationPreventsRespawning) {
+  const auto s = worst_case_structure(40);
+  const auto r = srna1(s, s);
+  // Each of the 20x20 arc pairs is spawned at most once (plus the root).
+  EXPECT_LE(r.stats.memo_misses, 400u);
+  EXPECT_GT(r.stats.memo_lookups, r.stats.memo_misses);
+}
+
+TEST(Srna1, MemoizationOffStillCorrectOnSmallInputs) {
+  McosOptions no_memo;
+  no_memo.memoize = false;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const auto s1 = random_structure(16, 0.5, seed);
+    const auto s2 = random_structure(16, 0.5, seed + 5);
+    EXPECT_EQ(srna1(s1, s2, no_memo).value, mcos_reference_topdown(s1, s2).value)
+        << "seed " << seed;
+  }
+}
+
+TEST(Srna1, MemoizationOffExplodesRedundantWork) {
+  const auto s = worst_case_structure(16);
+  McosOptions with_memo;
+  McosOptions no_memo;
+  no_memo.memoize = false;
+  const auto memod = srna1(s, s, with_memo);
+  const auto naive = srna1(s, s, no_memo);
+  EXPECT_EQ(memod.value, naive.value);
+  // The naive variant re-spawns the same slices over and over; with eight
+  // nested arcs the blow-up is already enormous.
+  EXPECT_GT(naive.stats.slices_tabulated, 10 * memod.stats.slices_tabulated);
+  // And the memoized variant spawns deeper than one only when memoize=false.
+  EXPECT_LE(memod.stats.max_spawn_depth, 1u);
+  EXPECT_GT(naive.stats.max_spawn_depth, 1u);
+}
+
+TEST(Srna1, SpawnLimitAborts) {
+  const auto s = worst_case_structure(30);
+  McosOptions options;
+  options.memoize = false;
+  options.spawn_limit = 1000;
+  EXPECT_THROW(srna1(s, s, options), std::runtime_error);
+}
+
+TEST(Srna1, SpawnLimitGenerousEnoughPasses) {
+  const auto s = worst_case_structure(12);
+  McosOptions options;
+  options.spawn_limit = 1u << 20;
+  EXPECT_EQ(srna1(s, s, options).value, 6);
+}
+
+TEST(Srna1, DenseAndCompressedAgreeAndCountDifferently) {
+  const auto s = rrna_like_structure(300, 55, 17);
+  McosOptions dense;
+  dense.layout = SliceLayout::kDense;
+  McosOptions compressed;
+  compressed.layout = SliceLayout::kCompressed;
+  const auto rd = srna1(s, s, dense);
+  const auto rc = srna1(s, s, compressed);
+  EXPECT_EQ(rd.value, rc.value);
+  EXPECT_EQ(rd.value, static_cast<Score>(s.arc_count()));  // self comparison
+  EXPECT_LT(rc.stats.cells_tabulated, rd.stats.cells_tabulated);
+}
+
+TEST(Srna1, HashMapMemoAgreesWithArrayMemo) {
+  McosOptions hash;
+  hash.memo_kind = MemoKind::kHashMap;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto s1 = random_structure(45, 0.5, seed);
+    const auto s2 = random_structure(40, 0.5, seed + 17);
+    const auto a = srna1(s1, s2);
+    const auto h = srna1(s1, s2, hash);
+    EXPECT_EQ(a.value, h.value) << "seed " << seed;
+    EXPECT_EQ(a.stats.memo_misses, h.stats.memo_misses) << "seed " << seed;
+  }
+}
+
+TEST(Srna1, HashMapMemoKeepsDepthBound) {
+  McosOptions hash;
+  hash.memo_kind = MemoKind::kHashMap;
+  const auto s = worst_case_structure(50);
+  const auto r = srna1(s, s, hash);
+  EXPECT_EQ(r.value, 25);
+  EXPECT_LE(r.stats.max_spawn_depth, 1u);
+}
+
+TEST(Srna1, WorstCaseSelfComparisonMatchesArcCount) {
+  for (Pos len : {10, 30, 60}) {
+    const auto s = worst_case_structure(len);
+    EXPECT_EQ(srna1(s, s).value, len / 2);
+  }
+}
+
+TEST(Srna1, StatsTimerPopulated) {
+  const auto s = worst_case_structure(30);
+  const auto r = srna1(s, s);
+  EXPECT_GT(r.stats.stage1_seconds, 0.0);
+  EXPECT_GT(r.stats.cells_tabulated, 0u);
+  EXPECT_GT(r.stats.slices_tabulated, 1u);
+}
+
+}  // namespace
+}  // namespace srna

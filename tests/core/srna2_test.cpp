@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/mcos.hpp"
+#include "rna/generators.hpp"
+#include "testing/builders.hpp"
+
+namespace srna {
+namespace {
+
+using testing::db;
+
+TEST(Srna2, TrivialInputs) {
+  EXPECT_EQ(srna2(SecondaryStructure(0), SecondaryStructure(0)).value, 0);
+  EXPECT_EQ(srna2(db("...."), db("..")).value, 0);
+  EXPECT_EQ(srna2(db("(.)"), db("(.)")).value, 1);
+  EXPECT_EQ(srna2(db("((..))"), db("(.)(.)")).value, 1);
+}
+
+TEST(Srna2, RejectsPseudoknots) {
+  const auto knot = SecondaryStructure::from_arcs(6, {{0, 3}, {2, 5}});
+  EXPECT_THROW(srna2(db("(...)"), knot), std::invalid_argument);
+}
+
+class Srna2Sweep
+    : public ::testing::TestWithParam<std::tuple<Pos, Pos, double, std::uint64_t, SliceLayout>> {
+};
+
+TEST_P(Srna2Sweep, MatchesSrna1AndReference) {
+  const auto [n, m, density, seed, layout] = GetParam();
+  const auto s1 = random_structure(n, density, seed);
+  const auto s2 = random_structure(m, density, seed + 424242);
+  McosOptions options;
+  options.layout = layout;
+  options.validate_memo = true;  // assert the ordering guarantee while at it
+  const auto got = srna2(s1, s2, options);
+  EXPECT_EQ(got.value, srna1(s1, s2, options).value);
+  EXPECT_EQ(got.value, mcos_reference_topdown(s1, s2).value);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomPairs, Srna2Sweep,
+    ::testing::Combine(::testing::Values<Pos>(0, 6, 18, 32), ::testing::Values<Pos>(11, 27),
+                       ::testing::Values(0.2, 0.55), ::testing::Values<std::uint64_t>(8, 9),
+                       ::testing::Values(SliceLayout::kDense, SliceLayout::kCompressed)));
+
+TEST(Srna2, MemoOrderingGuaranteeHoldsOnDenseNesting) {
+  McosOptions options;
+  options.validate_memo = true;
+  const auto worst = worst_case_structure(80);
+  EXPECT_EQ(srna2(worst, worst, options).value, 40);
+}
+
+TEST(Srna2, StageOneTabulatesEveryArcPair) {
+  const auto s1 = random_structure(40, 0.5, 3);
+  const auto s2 = random_structure(36, 0.5, 4);
+  const auto r = srna2(s1, s2);
+  // One slice per arc pair plus the parent slice.
+  EXPECT_EQ(r.stats.slices_tabulated, s1.arc_count() * s2.arc_count() + 1);
+}
+
+TEST(Srna2, DenseCellCountMatchesClosedForm) {
+  const auto s1 = db("((..)).");
+  const auto s2 = db(".((..))");
+  const auto r = srna2(s1, s2);
+  // Child slices: interiors of each arc pair, cells = w1 * w2 over
+  // w ∈ {4, 2} for both structures; parent slice = 7 * 7.
+  const std::uint64_t child = (4 + 2) * (4 + 2);
+  EXPECT_EQ(r.stats.cells_tabulated, child + 49);
+}
+
+TEST(Srna2, ExactTabulationBeatsBottomUpOvertabulation) {
+  const auto s = worst_case_structure(24);
+  const auto exact = srna2(s, s);
+  const auto over = mcos_reference_bottomup(s, s);
+  EXPECT_EQ(exact.value, over.value);
+  EXPECT_LT(exact.stats.cells_tabulated, over.stats.cells_tabulated);
+}
+
+TEST(Srna2, StageTimersSumToSomethingPositive) {
+  const auto s = worst_case_structure(60);
+  const auto r = srna2(s, s);
+  EXPECT_GT(r.stats.stage1_seconds, 0.0);
+  EXPECT_GE(r.stats.preprocess_seconds, 0.0);
+  EXPECT_GE(r.stats.stage2_seconds, 0.0);
+  // Stage one dominates on worst-case data (Table III shows > 99%).
+  EXPECT_GT(r.stats.stage1_seconds, r.stats.stage2_seconds);
+}
+
+TEST(Srna2, AgreesWithSrna1OnRrnaLikeData) {
+  const auto s1 = rrna_like_structure(400, 70, 1);
+  const auto s2 = rrna_like_structure(380, 65, 2);
+  EXPECT_EQ(srna2(s1, s2).value, srna1(s1, s2).value);
+}
+
+TEST(Srna2, CompressedLayoutAgreesOnAsymmetricSizes) {
+  const auto s1 = random_structure(55, 0.3, 21);
+  const auto s2 = random_structure(23, 0.7, 22);
+  McosOptions dense;
+  McosOptions compressed;
+  compressed.layout = SliceLayout::kCompressed;
+  EXPECT_EQ(srna2(s1, s2, dense).value, srna2(s1, s2, compressed).value);
+}
+
+TEST(Srna2, OrderInsensitiveToArgumentSwap) {
+  const auto s1 = random_structure(34, 0.45, 31);
+  const auto s2 = random_structure(29, 0.45, 32);
+  EXPECT_EQ(srna2(s1, s2).value, srna2(s2, s1).value);
+}
+
+}  // namespace
+}  // namespace srna

@@ -1,0 +1,139 @@
+#include "core/traceback.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/mcos.hpp"
+#include "rna/generators.hpp"
+#include "testing/builders.hpp"
+
+namespace srna {
+namespace {
+
+using testing::db;
+
+TEST(Traceback, EmptyInputs) {
+  const auto r = mcos_traceback(SecondaryStructure(0), SecondaryStructure(0));
+  EXPECT_EQ(r.value, 0);
+  EXPECT_TRUE(r.matches.empty());
+}
+
+TEST(Traceback, NoCommonStructure) {
+  const auto r = mcos_traceback(db("(.)"), db("..."));
+  EXPECT_EQ(r.value, 0);
+  EXPECT_TRUE(r.matches.empty());
+}
+
+TEST(Traceback, SingleMatch) {
+  const auto r = mcos_traceback(db("(.)"), db(".(..)"));
+  EXPECT_EQ(r.value, 1);
+  ASSERT_EQ(r.matches.size(), 1u);
+  EXPECT_EQ(r.matches[0].a1, (Arc{0, 2}));
+  EXPECT_EQ(r.matches[0].a2, (Arc{1, 4}));
+}
+
+TEST(Traceback, SelfComparisonIsIdentity) {
+  const auto s = db("((..))(...)");
+  const auto r = mcos_traceback(s, s);
+  EXPECT_EQ(r.value, 3);
+  ASSERT_EQ(r.matches.size(), 3u);
+  for (const ArcMatch& m : r.matches) EXPECT_EQ(m.a1, m.a2);
+}
+
+TEST(Traceback, NestedVersusSequentialWitness) {
+  const auto nested = db("((..))");
+  const auto sequential = db("(.)(.)");
+  const auto r = mcos_traceback(nested, sequential);
+  EXPECT_EQ(r.value, 1);
+  ASSERT_EQ(r.matches.size(), 1u);
+  EXPECT_TRUE(validate_matches(nested, sequential, r.matches).empty());
+}
+
+class TracebackSweep
+    : public ::testing::TestWithParam<std::tuple<Pos, double, std::uint64_t>> {};
+
+TEST_P(TracebackSweep, WitnessIsValidAndOptimal) {
+  const auto [n, density, seed] = GetParam();
+  const auto s1 = random_structure(n, density, seed);
+  const auto s2 = random_structure(n + 6, density, seed + 555);
+  const auto r = mcos_traceback(s1, s2);
+  EXPECT_EQ(r.value, mcos_reference_topdown(s1, s2).value);
+  EXPECT_EQ(static_cast<Score>(r.matches.size()), r.value);
+  const std::string verdict = validate_matches(s1, s2, r.matches);
+  EXPECT_TRUE(verdict.empty()) << verdict;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TracebackSweep,
+                         ::testing::Combine(::testing::Values<Pos>(12, 25, 45),
+                                            ::testing::Values(0.25, 0.55, 0.8),
+                                            ::testing::Values<std::uint64_t>(1, 2, 3, 4)));
+
+TEST(Traceback, WorstCaseSelfMatchIsFullStack) {
+  const auto s = worst_case_structure(40);
+  const auto r = mcos_traceback(s, s);
+  EXPECT_EQ(r.value, 20);
+  EXPECT_TRUE(validate_matches(s, s, r.matches).empty());
+}
+
+TEST(Traceback, AsStructurePreservesShape) {
+  const auto s1 = db("((..))((..))");
+  const auto r = mcos_traceback(s1, s1);
+  const auto common = r.as_structure();
+  EXPECT_EQ(common.length(), 8);  // 4 matches -> 8 endpoints
+  EXPECT_EQ(common.arc_count(), 4u);
+  EXPECT_TRUE(common.is_nonpseudoknot());
+  EXPECT_EQ(common.max_nesting_depth(), 2);
+}
+
+TEST(Traceback, AsStructureOfEmptyMatchIsEmpty) {
+  const auto r = mcos_traceback(db("(.)"), db("..."));
+  const auto common = r.as_structure();
+  EXPECT_EQ(common.length(), 0);
+  EXPECT_EQ(common.arc_count(), 0u);
+}
+
+TEST(Traceback, CommonStructureMatchesIntoBothInputs) {
+  // The witness, viewed as a standalone structure, must reach the same MCOS
+  // value against both inputs (it is a common substructure of both).
+  const auto s1 = rrna_like_structure(150, 28, 5);
+  const auto s2 = rrna_like_structure(140, 25, 6);
+  const auto r = mcos_traceback(s1, s2);
+  const auto common = r.as_structure();
+  EXPECT_EQ(srna2(common, s1).value, r.value);
+  EXPECT_EQ(srna2(common, s2).value, r.value);
+}
+
+TEST(ValidateMatches, DetectsForeignArc) {
+  const auto s = db("(.)");
+  std::vector<ArcMatch> bogus{{Arc{0, 1}, Arc{0, 2}}};
+  EXPECT_FALSE(validate_matches(s, s, bogus).empty());
+}
+
+TEST(ValidateMatches, DetectsReusedArc) {
+  const auto s = db("(.)(.)");
+  std::vector<ArcMatch> bogus{{Arc{0, 2}, Arc{0, 2}}, {Arc{0, 2}, Arc{3, 5}}};
+  EXPECT_NE(validate_matches(s, s, bogus).find("twice"), std::string::npos);
+}
+
+TEST(ValidateMatches, DetectsOrderViolation) {
+  const auto s = db("(.)(.)");
+  // Swap: first arc -> second arc and vice versa reverses the order.
+  std::vector<ArcMatch> crossed{{Arc{0, 2}, Arc{3, 5}}, {Arc{3, 5}, Arc{0, 2}}};
+  EXPECT_NE(validate_matches(s, s, crossed).find("ordering"), std::string::npos);
+}
+
+TEST(ValidateMatches, DetectsNestingMismatch) {
+  const auto nested = db("((..))");
+  const auto sequential = db("(.)(.)");
+  std::vector<ArcMatch> wrong{{Arc{0, 5}, Arc{0, 2}}, {Arc{1, 4}, Arc{3, 5}}};
+  EXPECT_FALSE(validate_matches(nested, sequential, wrong).empty());
+}
+
+TEST(ValidateMatches, AcceptsEmpty) {
+  const auto s = db("(.)");
+  EXPECT_TRUE(validate_matches(s, s, {}).empty());
+}
+
+}  // namespace
+}  // namespace srna

@@ -1,0 +1,150 @@
+#include "core/weighted.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/mcos.hpp"
+#include "rna/generators.hpp"
+#include "testing/builders.hpp"
+
+namespace srna {
+namespace {
+
+using testing::db;
+
+TEST(Weighted, EmptyInputs) {
+  EXPECT_EQ(weighted_similarity(SecondaryStructure(0), SecondaryStructure(0)).value, 0.0);
+  EXPECT_EQ(weighted_similarity(db("(.)"), SecondaryStructure(0)).value, 0.0);
+}
+
+TEST(Weighted, UnitScoringReducesToMcos) {
+  const auto scoring = SimilarityScoring::unit();
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const auto s1 = random_structure(40, 0.45, seed);
+    const auto s2 = random_structure(36, 0.45, seed + 61);
+    const auto weighted = weighted_similarity(s1, s2, scoring);
+    const auto exact = srna2(s1, s2);
+    EXPECT_DOUBLE_EQ(weighted.value, static_cast<double>(exact.value)) << "seed " << seed;
+  }
+}
+
+TEST(Weighted, SelfComparisonWithSequencesMatchesClosedForm) {
+  // Identical structure + identical sequence: every arc scores
+  // arc_bonus + 2*arc_base_bonus, every unpaired base scores base_match.
+  const SimilarityScoring scoring;  // defaults: 1.0 / 0.25 / 0.5 / 0.0
+  const auto s = db("((..))..(.)");
+  const auto seq = sequence_for_structure(s, 3);
+  const auto r = weighted_similarity(s, s, scoring, &seq, &seq);
+  const double arcs = static_cast<double>(s.arc_count());
+  const double unpaired = static_cast<double>(s.length()) - 2.0 * arcs;
+  EXPECT_DOUBLE_EQ(r.value, arcs * (1.0 + 2 * 0.25) + unpaired * 0.5);
+}
+
+TEST(Weighted, BaseAlignmentNeedsBothSequences) {
+  const auto s = db("..");
+  const auto seq = Sequence::from_string("AA");
+  EXPECT_THROW(weighted_similarity(s, s, {}, &seq, nullptr), std::invalid_argument);
+  EXPECT_THROW(weighted_similarity(s, s, {}, nullptr, &seq), std::invalid_argument);
+}
+
+TEST(Weighted, WithoutSequencesOnlyArcsScore) {
+  const auto s = db("(...)");
+  const auto r = weighted_similarity(s, s);
+  EXPECT_DOUBLE_EQ(r.value, 1.0);  // arc_bonus only; bases unavailable
+}
+
+TEST(Weighted, MismatchedSequenceLengthThrows) {
+  const auto s = db("(...)");
+  const auto seq = Sequence::from_string("AC");
+  EXPECT_THROW(weighted_similarity(s, s, {}, &seq, &seq), std::invalid_argument);
+}
+
+TEST(Weighted, NegativeScoresRejected) {
+  SimilarityScoring bad;
+  bad.base_mismatch = -0.5;
+  EXPECT_THROW(weighted_similarity(db("(.)"), db("(.)"), bad), std::invalid_argument);
+}
+
+TEST(Weighted, RejectsPseudoknots) {
+  const auto knot = SecondaryStructure::from_arcs(6, {{0, 3}, {2, 5}});
+  EXPECT_THROW(weighted_similarity(knot, knot), std::invalid_argument);
+}
+
+TEST(Weighted, ArcBaseBonusRewardsConservedEndpoints) {
+  const auto s = db("(.)");
+  const auto seq_a = Sequence::from_string("GAC");
+  const auto seq_b = Sequence::from_string("GAC");
+  const auto seq_c = Sequence::from_string("AAU");
+  SimilarityScoring scoring;
+  scoring.base_match = 0.0;  // isolate the arc term
+  const double same = weighted_similarity(s, s, scoring, &seq_a, &seq_b).value;
+  const double diff = weighted_similarity(s, s, scoring, &seq_a, &seq_c).value;
+  EXPECT_DOUBLE_EQ(same, 1.5);  // 1.0 + 2 * 0.25
+  EXPECT_DOUBLE_EQ(diff, 1.0);  // endpoints disagree
+}
+
+TEST(Weighted, BaseCaseAlignsUnpairedRuns) {
+  // No arcs at all: pure base alignment of unpaired positions (an ordered
+  // common subsequence scored at base_match per identical pair).
+  const auto s1 = db("....");
+  const auto s2 = db("...");
+  const auto seq1 = Sequence::from_string("ACGU");
+  const auto seq2 = Sequence::from_string("AGU");
+  SimilarityScoring scoring;
+  const auto r = weighted_similarity(s1, s2, scoring, &seq1, &seq2);
+  EXPECT_DOUBLE_EQ(r.value, 3 * 0.5);  // LCS "AGU"
+}
+
+class WeightedSweep
+    : public ::testing::TestWithParam<std::tuple<Pos, double, std::uint64_t, bool>> {};
+
+TEST_P(WeightedSweep, MatchesTopDownReference) {
+  const auto [n, density, seed, with_seqs] = GetParam();
+  const auto s1 = random_structure(n, density, seed);
+  const auto s2 = random_structure(n + 5, density, seed + 91);
+  const auto seq1 = sequence_for_structure(s1, seed);
+  const auto seq2 = sequence_for_structure(s2, seed + 1);
+  SimilarityScoring scoring;
+  scoring.arc_bonus = 2.0;
+  scoring.arc_base_bonus = 0.125;
+  scoring.base_match = 0.75;
+  scoring.base_mismatch = 0.1;
+
+  const Sequence* p1 = with_seqs ? &seq1 : nullptr;
+  const Sequence* p2 = with_seqs ? &seq2 : nullptr;
+  const auto fast = weighted_similarity(s1, s2, scoring, p1, p2);
+  const auto slow = weighted_reference_topdown(s1, s2, scoring, p1, p2);
+  EXPECT_NEAR(fast.value, slow.value, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WeightedSweep,
+                         ::testing::Combine(::testing::Values<Pos>(8, 16, 28),
+                                            ::testing::Values(0.25, 0.6),
+                                            ::testing::Values<std::uint64_t>(1, 2, 3),
+                                            ::testing::Bool()));
+
+TEST(Weighted, DominatesUnweightedWhenScoresExceedUnit) {
+  // With arc_bonus >= 1 and non-negative extras, the weighted optimum is at
+  // least the MCOS value.
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const auto s1 = random_structure(30, 0.5, seed);
+    const auto s2 = random_structure(30, 0.5, seed + 5);
+    const auto seq1 = sequence_for_structure(s1, seed);
+    const auto seq2 = sequence_for_structure(s2, seed + 7);
+    const auto w = weighted_similarity(s1, s2, {}, &seq1, &seq2);
+    EXPECT_GE(w.value + 1e-9, static_cast<double>(srna2(s1, s2).value)) << seed;
+  }
+}
+
+TEST(Weighted, SymmetryUnderArgumentSwap) {
+  const auto s1 = random_structure(26, 0.5, 11);
+  const auto s2 = random_structure(24, 0.5, 12);
+  const auto seq1 = sequence_for_structure(s1, 1);
+  const auto seq2 = sequence_for_structure(s2, 2);
+  EXPECT_NEAR(weighted_similarity(s1, s2, {}, &seq1, &seq2).value,
+              weighted_similarity(s2, s1, {}, &seq2, &seq1).value, 1e-9);
+}
+
+}  // namespace
+}  // namespace srna

@@ -1,0 +1,119 @@
+#include "db/clustering.hpp"
+
+#include <gtest/gtest.h>
+
+#include "db/structure_db.hpp"
+#include "rna/generators.hpp"
+#include "rna/mutations.hpp"
+
+namespace srna {
+namespace {
+
+// Similarity matrix with two obvious blocks {0,1,2} and {3,4}.
+Matrix<double> block_matrix() {
+  Matrix<double> m(5, 5, 0.1);
+  for (std::size_t i = 0; i < 5; ++i) m(i, i) = 1.0;
+  auto set = [&](std::size_t i, std::size_t j, double v) { m(i, j) = m(j, i) = v; };
+  set(0, 1, 0.9);
+  set(0, 2, 0.85);
+  set(1, 2, 0.8);
+  set(3, 4, 0.95);
+  return m;
+}
+
+TEST(Clustering, EmptyMatrix) {
+  const auto d = cluster_average_linkage(Matrix<double>(0, 0));
+  EXPECT_EQ(d.leaves, 0u);
+  EXPECT_EQ(d.root(), -1);
+}
+
+TEST(Clustering, SingleLeaf) {
+  Matrix<double> m(1, 1, 1.0);
+  const auto d = cluster_average_linkage(m);
+  EXPECT_EQ(d.leaves, 1u);
+  EXPECT_EQ(d.members(d.root()), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(d.to_newick({"only"}), "only;");
+}
+
+TEST(Clustering, RejectsNonSquare) {
+  EXPECT_THROW(cluster_average_linkage(Matrix<double>(2, 3)), std::invalid_argument);
+}
+
+TEST(Clustering, TreeHasCorrectShape) {
+  const auto d = cluster_average_linkage(block_matrix());
+  EXPECT_EQ(d.leaves, 5u);
+  EXPECT_EQ(d.nodes.size(), 9u);  // n leaves + n-1 merges
+  EXPECT_EQ(d.members(d.root()).size(), 5u);
+}
+
+TEST(Clustering, CutRecoversTheBlocks) {
+  const auto d = cluster_average_linkage(block_matrix());
+  const auto clusters = d.cut(2);
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0], (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(clusters[1], (std::vector<std::size_t>{3, 4}));
+}
+
+TEST(Clustering, CutExtremes) {
+  const auto d = cluster_average_linkage(block_matrix());
+  EXPECT_EQ(d.cut(1).size(), 1u);
+  EXPECT_EQ(d.cut(1)[0].size(), 5u);
+  const auto singletons = d.cut(5);
+  EXPECT_EQ(singletons.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(singletons[i], (std::vector<std::size_t>{i}));
+  EXPECT_THROW(d.cut(0), std::invalid_argument);
+  EXPECT_THROW(d.cut(6), std::invalid_argument);
+}
+
+TEST(Clustering, CutsArePartitions) {
+  const auto d = cluster_average_linkage(block_matrix());
+  for (std::size_t k = 1; k <= 5; ++k) {
+    const auto clusters = d.cut(k);
+    std::vector<bool> seen(5, false);
+    std::size_t total = 0;
+    for (const auto& cluster : clusters) {
+      for (const std::size_t m : cluster) {
+        EXPECT_FALSE(seen[m]) << "member " << m << " appears twice at k=" << k;
+        seen[m] = true;
+        ++total;
+      }
+    }
+    EXPECT_EQ(total, 5u) << k;
+  }
+}
+
+TEST(Clustering, NewickIsBalancedAndNamesEveryLeaf) {
+  const auto d = cluster_average_linkage(block_matrix());
+  const std::string tree = d.to_newick({"a", "b", "c", "d", "e"});
+  EXPECT_EQ(tree.back(), ';');
+  EXPECT_EQ(std::count(tree.begin(), tree.end(), '('),
+            std::count(tree.begin(), tree.end(), ')'));
+  for (const char* name : {"a", "b", "c", "d", "e"})
+    EXPECT_NE(tree.find(name), std::string::npos) << name;
+  EXPECT_THROW(d.to_newick({"too", "few"}), std::invalid_argument);
+}
+
+TEST(Clustering, EndToEndRecoversStructureFamilies) {
+  // Three families of mutated structures; the dendrogram cut at 3 must
+  // separate them perfectly.
+  StructureDatabase db;
+  for (std::uint64_t f = 0; f < 3; ++f) {
+    const auto progenitor = rrna_like_structure(500, 85, 100 + f);
+    for (std::uint64_t i = 0; i < 3; ++i)
+      db.add({"f" + std::to_string(f) + "-" + std::to_string(i),
+              mutate_structure(progenitor, 0.15 + 0.05 * static_cast<double>(i), 55 + 10 * f + i),
+              std::nullopt});
+  }
+  const auto similarity = all_pairs_similarity(db);
+  const auto clusters = cluster_average_linkage(similarity).cut(3);
+  ASSERT_EQ(clusters.size(), 3u);
+  for (const auto& cluster : clusters) {
+    ASSERT_EQ(cluster.size(), 3u);
+    const char family = db.record(cluster[0]).name[1];
+    for (const std::size_t m : cluster)
+      EXPECT_EQ(db.record(m).name[1], family) << "mixed cluster";
+  }
+}
+
+}  // namespace
+}  // namespace srna

@@ -1,0 +1,145 @@
+#include "db/structure_db.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/mcos.hpp"
+#include "rna/generators.hpp"
+#include "testing/builders.hpp"
+
+namespace srna {
+namespace {
+
+using testing::db;
+
+StructureDatabase demo_db() {
+  StructureDatabase out;
+  out.add({"worst20", worst_case_structure(20), std::nullopt});
+  out.add({"hairpins", sequential_arcs_structure(20, 8), std::nullopt});
+  out.add({"rrna", rrna_like_structure(120, 20, 1), std::nullopt});
+  out.add({"empty", SecondaryStructure(15), std::nullopt});
+  return out;
+}
+
+TEST(StructureDb, AddAndFind) {
+  const auto d = demo_db();
+  EXPECT_EQ(d.size(), 4u);
+  EXPECT_EQ(d.find("rrna"), 2u);
+  EXPECT_EQ(d.find("missing"), StructureDatabase::npos);
+  EXPECT_EQ(d.record(0).name, "worst20");
+}
+
+TEST(StructureDb, RejectsDuplicatesAndBadRecords) {
+  StructureDatabase d;
+  d.add({"a", SecondaryStructure(4), std::nullopt});
+  EXPECT_THROW(d.add({"a", SecondaryStructure(4), std::nullopt}), std::invalid_argument);
+  EXPECT_THROW(d.add({"", SecondaryStructure(4), std::nullopt}), std::invalid_argument);
+  const auto knot = SecondaryStructure::from_arcs(4, {{0, 2}, {1, 3}});
+  EXPECT_THROW(d.add({"knot", knot, std::nullopt}), std::invalid_argument);
+}
+
+TEST(StructureDb, DirectoryRoundTrip) {
+  const std::filesystem::path dir = "/tmp/srna_db_roundtrip";
+  std::filesystem::remove_all(dir);
+  const auto original = demo_db();
+  original.save_directory(dir);
+
+  const auto loaded = StructureDatabase::load_directory(dir);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const std::size_t j = loaded.find(original.record(i).name);
+    ASSERT_NE(j, StructureDatabase::npos) << original.record(i).name;
+    EXPECT_EQ(loaded.record(j).structure, original.record(i).structure);
+  }
+}
+
+TEST(StructureDb, LoadDirectoryRejectsNonDirectory) {
+  EXPECT_THROW(StructureDatabase::load_directory("/tmp/definitely_missing_srna_dir"),
+               std::invalid_argument);
+}
+
+TEST(AllPairs, MatrixIsSymmetricWithUnitDiagonal) {
+  const auto d = demo_db();
+  const auto m = all_pairs_similarity(d);
+  ASSERT_EQ(m.rows(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_DOUBLE_EQ(m(i, i), 1.0);
+    for (std::size_t j = 0; j < d.size(); ++j) {
+      EXPECT_DOUBLE_EQ(m(i, j), m(j, i));
+      EXPECT_GE(m(i, j), 0.0);
+      EXPECT_LE(m(i, j), 1.0);
+    }
+  }
+}
+
+TEST(AllPairs, MatchesDirectSrna2) {
+  const auto d = demo_db();
+  SearchOptions opt;
+  opt.metric = SimilarityMetric::kCommonArcs;
+  const auto m = all_pairs_similarity(d, opt);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    for (std::size_t j = i + 1; j < d.size(); ++j) {
+      const Score direct = srna2(d.record(i).structure, d.record(j).structure).value;
+      EXPECT_DOUBLE_EQ(m(i, j), static_cast<double>(direct)) << i << "," << j;
+    }
+  }
+}
+
+TEST(AllPairs, ThreadCountDoesNotChangeResults) {
+  const auto d = demo_db();
+  SearchOptions one;
+  one.threads = 1;
+  SearchOptions four;
+  four.threads = 4;
+  EXPECT_EQ(all_pairs_similarity(d, one), all_pairs_similarity(d, four));
+}
+
+TEST(AllPairs, EmptyDatabase) {
+  const auto m = all_pairs_similarity(StructureDatabase{});
+  EXPECT_EQ(m.rows(), 0u);
+}
+
+TEST(QueryTopK, RanksSelfFirst) {
+  const auto d = demo_db();
+  const auto hits = query_top_k(d, d.record(2).structure, 0);
+  ASSERT_EQ(hits.size(), d.size());
+  EXPECT_EQ(hits[0].index, 2u);
+  EXPECT_DOUBLE_EQ(hits[0].score, 1.0);
+  for (std::size_t i = 1; i < hits.size(); ++i)
+    EXPECT_LE(hits[i].score, hits[i - 1].score);
+}
+
+TEST(QueryTopK, KTruncates) {
+  const auto d = demo_db();
+  EXPECT_EQ(query_top_k(d, worst_case_structure(10), 2).size(), 2u);
+  EXPECT_EQ(query_top_k(d, worst_case_structure(10), 99).size(), d.size());
+}
+
+TEST(QueryTopK, RawMetricReportsCommonArcs) {
+  const auto d = demo_db();
+  SearchOptions opt;
+  opt.metric = SimilarityMetric::kCommonArcs;
+  const auto hits = query_top_k(d, d.record(0).structure, 0, opt);
+  // Best hit: worst20 against itself = 10 common arcs.
+  EXPECT_EQ(hits[0].index, 0u);
+  EXPECT_EQ(hits[0].common_arcs, 10);
+  EXPECT_DOUBLE_EQ(hits[0].score, 10.0);
+}
+
+TEST(QueryTopK, RejectsKnottedQuery) {
+  const auto knot = SecondaryStructure::from_arcs(4, {{0, 2}, {1, 3}});
+  EXPECT_THROW(query_top_k(demo_db(), knot, 1), std::invalid_argument);
+}
+
+TEST(QueryTopK, TieBreaksByIndex) {
+  StructureDatabase d;
+  d.add({"x", db("(.)"), std::nullopt});
+  d.add({"y", db("(.)"), std::nullopt});
+  const auto hits = query_top_k(d, db("(.)"), 0);
+  EXPECT_EQ(hits[0].index, 0u);
+  EXPECT_EQ(hits[1].index, 1u);
+}
+
+}  // namespace
+}  // namespace srna

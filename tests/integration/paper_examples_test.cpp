@@ -1,0 +1,122 @@
+// Tests anchored directly to the structures and claims in the paper's text
+// and figures.
+#include <gtest/gtest.h>
+
+#include "core/mcos.hpp"
+#include "core/memo_table.hpp"
+#include "core/detail.hpp"
+#include "parallel/cluster_sim.hpp"
+#include "rna/dot_bracket.hpp"
+#include "rna/generators.hpp"
+#include "testing/builders.hpp"
+
+namespace srna {
+namespace {
+
+using testing::db;
+
+TEST(PaperFigure1, ExampleStructureShape) {
+  // Figure 1: length-20 structure with outer arc (0,19) and sequential arcs
+  // (1,8), (9,18) beneath it.
+  const auto s =
+      SecondaryStructure::from_arcs(20, {{0, 19}, {1, 8}, {9, 18}});
+  EXPECT_TRUE(s.is_nonpseudoknot());
+  EXPECT_EQ(s.max_nesting_depth(), 2);
+  // Self comparison recovers all three arcs, via every algorithm.
+  for (auto alg : {McosAlgorithm::kSrna1, McosAlgorithm::kSrna2,
+                   McosAlgorithm::kReferenceTopDown, McosAlgorithm::kReferenceBottomUp})
+    EXPECT_EQ(mcos(s, s, alg).value, 3) << to_string(alg);
+}
+
+TEST(PaperSection3, OrderAndStructureBothMatter) {
+  // Section III: 3 nested then 2 nested vs 2 nested then 3 nested -> 4;
+  // identical ordering -> 5. (Also covered against the references in
+  // reference_test.cpp; here via the production SRNA2.)
+  auto groups = [](Pos first, Pos second) {
+    std::vector<Arc> arcs;
+    Pos base = 0;
+    for (Pos k : {first, second}) {
+      for (Pos i = 0; i < k; ++i) arcs.push_back(Arc{base + i, base + 2 * k - 1 - i});
+      base += 2 * k;
+    }
+    return SecondaryStructure::from_arcs(base, std::move(arcs));
+  };
+  EXPECT_EQ(srna2(groups(3, 2), groups(2, 3)).value, 4);
+  EXPECT_EQ(srna2(groups(3, 2), groups(3, 2)).value, 5);
+}
+
+TEST(PaperFigure5, MemoTableDiagonalForNestedSelfComparison) {
+  // Figures 4-5: self-comparing a fully nested structure of k arcs. The
+  // memo table M holds, at (i, i), the value of slice_{i,i} — the number of
+  // arcs nested strictly inside arc i-1's pair, i.e. k - i for row i
+  // (1-based arc depth), exactly the descending diagonal the figure shows.
+  const Pos k = 8;
+  const auto s = worst_case_structure(2 * k);
+  MemoTable memo(s.length(), s.length(), 0);
+  McosStats stats;
+  const Score v = detail::run_srna2(s, s, McosOptions{}, stats, memo);
+  EXPECT_EQ(v, k);
+  for (Pos i = 1; i <= k; ++i) EXPECT_EQ(memo.get(i, i), k - i) << "diagonal entry " << i;
+}
+
+TEST(PaperSection4, Srna1AndSrna2AgreeEverywhere) {
+  // Section IV's claim that SRNA2 is an overhead-reduction, not a different
+  // algorithm: identical values on a spread of shapes.
+  const auto shapes = {
+      worst_case_structure(50),
+      sequential_arcs_structure(50, 20),
+      nested_groups_structure(5, 5),
+      random_structure(50, 0.4, 1),
+      rrna_like_structure(50, 9, 2),
+  };
+  for (const auto& a : shapes)
+    for (const auto& b : shapes) EXPECT_EQ(srna1(a, b).value, srna2(a, b).value);
+}
+
+TEST(PaperSection5, ColumnWorkIsProportionalAcrossRows) {
+  // Section V / Figure 7: "the relative amount of work between the columns
+  // is identical from row to row" — work(a1, a2) = w1(a1) * w2(a2).
+  const auto s1 = db("((...))(..)");
+  const auto s2 = db("(((..)))");
+  // For each S1 arc (row) and S2 arc (column), the dense child slice
+  // tabulates interior(a1) x interior(a2) cells; verify against the real
+  // kernel's cell counts.
+  const auto r = srna2(s1, s2);
+  std::uint64_t predicted = 0;
+  for (const Arc& a1 : s1.arcs_by_right())
+    for (const Arc& a2 : s2.arcs_by_right())
+      predicted += static_cast<std::uint64_t>(a1.interior_width()) *
+                   static_cast<std::uint64_t>(a2.interior_width());
+  predicted += static_cast<std::uint64_t>(s1.length()) * static_cast<std::uint64_t>(s2.length());
+  EXPECT_EQ(r.stats.cells_tabulated, predicted);
+}
+
+TEST(PaperSection6, SpeedupShapeQualitativelyMatchesFigure8) {
+  // Scaled-down Figure 8: worst-case structures, speedup grows with p and
+  // with problem size, staying below linear. (The full-size curves are the
+  // bench/figure8_speedup harness.)
+  MachineModel model;  // defaults approximate the paper-era cluster
+  const auto small = worst_case_structure(400);
+  const auto large = worst_case_structure(800);
+  const std::vector<std::size_t> procs{1, 2, 4, 8, 16, 32, 64};
+  const auto cs = simulate_speedup_curve(small, small, model, procs);
+  const auto cl = simulate_speedup_curve(large, large, model, procs);
+  for (std::size_t i = 1; i < procs.size(); ++i) {
+    EXPECT_GE(cl[i].speedup, cs[i].speedup * 0.99) << "p=" << procs[i];
+    EXPECT_LE(cs[i].speedup, static_cast<double>(procs[i]) * 1.0001);
+  }
+  EXPECT_GT(cl.back().speedup, 1.0);
+}
+
+TEST(PaperTable3, StageOneDominatesOnWorstCaseData) {
+  // Table III: stage one accounts for >99% of SRNA2's execution on contrived
+  // worst-case data (already at length 200).
+  const auto s = worst_case_structure(200);
+  const auto r = srna2(s, s);
+  const double total = r.stats.total_seconds();
+  ASSERT_GT(total, 0.0);
+  EXPECT_GT(r.stats.stage1_seconds / total, 0.95);
+}
+
+}  // namespace
+}  // namespace srna

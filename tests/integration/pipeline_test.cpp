@@ -1,0 +1,113 @@
+// End-to-end integration tests across the substrates: sequences → folding →
+// structure files → MCOS solvers → traceback → parallel execution.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/mcos.hpp"
+#include "core/traceback.hpp"
+#include "parallel/cluster_sim.hpp"
+#include "parallel/prna.hpp"
+#include "rna/dot_bracket.hpp"
+#include "rna/formats.hpp"
+#include "rna/generators.hpp"
+#include "rna/nussinov.hpp"
+#include "rna/structure_stats.hpp"
+
+namespace srna {
+namespace {
+
+TEST(Pipeline, SequenceFoldCompareRoundTrip) {
+  // Design a sequence for a synthetic structure, fold it, and compare the
+  // folded structure against the design target across all solvers.
+  const auto target = rrna_like_structure(200, 38, 77);
+  const auto seq = sequence_for_structure(target, 77);
+  const auto folded = nussinov_fold(seq).structure;
+
+  // The target is one legal pairing of seq, so the fold found at least as
+  // many pairs, and the common structure with the target is substantial.
+  EXPECT_GE(folded.arc_count(), target.arc_count());
+  const Score common = srna2(folded, target).value;
+  EXPECT_GT(common, 0);
+  EXPECT_LE(common, static_cast<Score>(target.arc_count()));
+  EXPECT_EQ(common, srna1(folded, target).value);
+
+  PrnaOptions popt;
+  popt.num_threads = 2;
+  EXPECT_EQ(common, prna(folded, target, popt).value);
+}
+
+TEST(Pipeline, StructuresSurviveDiskRoundTripAndCompareEqually) {
+  const auto s1 = rrna_like_structure(300, 55, 1);
+  const auto s2 = rrna_like_structure(310, 60, 2);
+  const Score direct = srna2(s1, s2).value;
+
+  for (const char* path : {"/tmp/srna_integration_a.ct", "/tmp/srna_integration_a.bpseq"}) {
+    AnnotatedStructure rec{"integration", sequence_for_structure(s1, 9), s1};
+    write_structure_file(path, rec);
+    const auto back = read_structure_file(path);
+    EXPECT_EQ(srna2(back.structure, s2).value, direct) << path;
+  }
+}
+
+TEST(Pipeline, DotBracketInputsDriveTheFullStack) {
+  // A miniature of the quickstart example: parse, compare, trace, validate.
+  const auto s1 = parse_dot_bracket("((...((..))...))..((..))");
+  const auto s2 = parse_dot_bracket("((..((...))..))(...)");
+  const auto r = mcos_traceback(s1, s2);
+  EXPECT_EQ(r.value, srna2(s1, s2).value);
+  EXPECT_TRUE(validate_matches(s1, s2, r.matches).empty());
+  const auto common = r.as_structure();
+  EXPECT_EQ(srna2(common, common).value, r.value);
+}
+
+TEST(Pipeline, SimulatorAndRealPrnaSeeTheSameSchedule) {
+  const auto s = worst_case_structure(120);
+  PrnaOptions popt;
+  popt.num_threads = 4;
+  const auto real = prna(s, s, popt);
+
+  SimOptions sopt;
+  sopt.processors = 4;
+  const auto sim = simulate_prna(s, s, MachineModel{}, sopt);
+
+  // Same ownership algorithm, same column weights -> identical load plans.
+  ASSERT_EQ(real.assignment.owner.size(), s.arc_count());
+  const std::uint64_t real_stage1 =
+      real.stats.cells_tabulated -
+      static_cast<std::uint64_t>(s.length()) * static_cast<std::uint64_t>(s.length());
+  EXPECT_EQ(sim.total_cells, real_stage1);
+}
+
+TEST(Pipeline, MutatedStructureSimilarityDegradesGracefully) {
+  // Start from a structure; progressively delete stems; the MCOS value
+  // against the original decreases monotonically (weakly).
+  const auto original = rrna_like_structure(400, 70, 31);
+  auto arcs = original.arcs_by_right();
+  Score prev = srna2(original, original).value;
+  while (arcs.size() > 4) {
+    arcs.resize(arcs.size() * 3 / 4);
+    const auto mutated = SecondaryStructure::from_arcs(original.length(), arcs);
+    const Score v = srna2(original, mutated).value;
+    EXPECT_LE(v, prev);
+    EXPECT_EQ(v, static_cast<Score>(mutated.arc_count()))
+        << "prefix-of-arcs is a substructure, so all its arcs must match";
+    prev = v;
+  }
+}
+
+TEST(Pipeline, StatsConsistencyAcrossTheStack) {
+  const auto s1 = rrna_like_structure(260, 48, 51);
+  const auto s2 = rrna_like_structure(270, 50, 52);
+  const auto seq = srna2(s1, s2);
+  PrnaOptions popt;
+  popt.num_threads = 3;
+  const auto par = prna(s1, s2, popt);
+  EXPECT_EQ(seq.value, par.value);
+  EXPECT_EQ(seq.stats.cells_tabulated, par.stats.cells_tabulated);
+  EXPECT_EQ(seq.stats.slices_tabulated, par.stats.slices_tabulated);
+  EXPECT_EQ(seq.stats.arc_match_events, par.stats.arc_match_events);
+}
+
+}  // namespace
+}  // namespace srna

@@ -1,0 +1,184 @@
+#include "parallel/cluster_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/mcos.hpp"
+#include "rna/generators.hpp"
+
+namespace srna {
+namespace {
+
+MachineModel test_model() {
+  MachineModel m;
+  m.cell_seconds = 2e-9;
+  m.alpha_seconds = 25e-6;
+  m.beta_seconds_per_byte = 1e-8;
+  m.sync_overhead_seconds = 1e-6;
+  return m;
+}
+
+TEST(ClusterSim, SingleProcessorHasNoCommunication) {
+  const auto s = worst_case_structure(200);
+  SimOptions opt;
+  opt.processors = 1;
+  const auto sim = simulate_prna(s, s, test_model(), opt);
+  EXPECT_EQ(sim.stage1_comm_seconds, 0.0);
+  EXPECT_GT(sim.stage1_compute_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(sim.schedule_efficiency, 1.0);
+}
+
+TEST(ClusterSim, TotalCellsMatchRealSrna2StageOne) {
+  // The simulator's cell accounting must equal what the real dense kernel
+  // tabulates in stage one (total minus the parent slice).
+  const auto s = worst_case_structure(100);
+  SimOptions opt;
+  opt.processors = 4;
+  const auto sim = simulate_prna(s, s, test_model(), opt);
+
+  const auto real = srna2(s, s);
+  const std::uint64_t parent =
+      static_cast<std::uint64_t>(s.length()) * static_cast<std::uint64_t>(s.length());
+  EXPECT_EQ(sim.total_cells, real.stats.cells_tabulated - parent);
+  EXPECT_EQ(sim.rows, s.arc_count());
+}
+
+TEST(ClusterSim, ComputeTimeShrinksWithProcessors) {
+  const auto s = worst_case_structure(400);
+  double prev = 1e30;
+  for (std::size_t p : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    SimOptions opt;
+    opt.processors = p;
+    const auto sim = simulate_prna(s, s, test_model(), opt);
+    EXPECT_LE(sim.stage1_compute_seconds, prev * 1.0001) << "p=" << p;
+    prev = sim.stage1_compute_seconds;
+  }
+}
+
+TEST(ClusterSim, CommTimeGrowsWithProcessors) {
+  const auto s = worst_case_structure(400);
+  double prev = 0.0;
+  for (std::size_t p : {2u, 4u, 16u, 64u}) {
+    SimOptions opt;
+    opt.processors = p;
+    const auto sim = simulate_prna(s, s, test_model(), opt);
+    EXPECT_GE(sim.stage1_comm_seconds, prev) << "p=" << p;
+    prev = sim.stage1_comm_seconds;
+  }
+}
+
+TEST(ClusterSim, SpeedupBoundedByProcessorCount) {
+  const auto s = worst_case_structure(800);
+  const auto curve =
+      simulate_speedup_curve(s, s, test_model(), {1, 2, 4, 8, 16, 32, 64});
+  for (const auto& point : curve) {
+    EXPECT_GT(point.speedup, 0.0);
+    EXPECT_LE(point.speedup, static_cast<double>(point.processors) * 1.0001)
+        << "p=" << point.processors;
+    EXPECT_LE(point.efficiency, 1.0001);
+  }
+  // Speedup at p=1 is exactly 1.
+  EXPECT_NEAR(curve.front().speedup, 1.0, 1e-9);
+}
+
+TEST(ClusterSim, LargerProblemScalesFurther) {
+  // The paper's headline trend (Figure 8): the 1600-arc problem achieves
+  // higher speedup at 64 processors than the 800-arc problem.
+  const auto small = worst_case_structure(1600);
+  const auto large = worst_case_structure(3200);
+  const auto model = test_model();
+  const auto curve_small = simulate_speedup_curve(small, small, model, {64});
+  const auto curve_large = simulate_speedup_curve(large, large, model, {64});
+  EXPECT_GT(curve_large[0].speedup, curve_small[0].speedup);
+}
+
+TEST(ClusterSim, SpeedupSaturatesWithCommunication) {
+  // With communication, doubling processors eventually stops helping; the
+  // no-comm bound keeps improving.
+  const auto s = worst_case_structure(800);
+  const auto model = test_model();
+  SimOptions with_comm;
+  with_comm.sync = SyncModel::kRowAllreduce;
+  SimOptions no_comm;
+  no_comm.sync = SyncModel::kNoComm;
+  const auto real = simulate_speedup_curve(s, s, model, {32, 64}, with_comm);
+  const auto ideal = simulate_speedup_curve(s, s, model, {32, 64}, no_comm);
+  EXPECT_LT(real[1].speedup, ideal[1].speedup);
+  // Efficiency degrades with p under communication.
+  EXPECT_LT(real[1].efficiency, real[0].efficiency + 1e-9);
+}
+
+TEST(ClusterSim, RowAllreduceBeatsTableAllreduce) {
+  const auto s = worst_case_structure(400);
+  SimOptions row;
+  row.processors = 16;
+  row.sync = SyncModel::kRowAllreduce;
+  SimOptions table;
+  table.processors = 16;
+  table.sync = SyncModel::kTableAllreduce;
+  const auto model = test_model();
+  EXPECT_LT(simulate_prna(s, s, model, row).stage1_comm_seconds,
+            simulate_prna(s, s, model, table).stage1_comm_seconds);
+}
+
+TEST(ClusterSim, LptSchedulesNoWorseThanBlock) {
+  const auto s = worst_case_structure(600);
+  const auto model = test_model();
+  SimOptions lpt;
+  lpt.processors = 8;
+  lpt.balance = BalanceStrategy::kGreedyLpt;
+  SimOptions block;
+  block.processors = 8;
+  block.balance = BalanceStrategy::kBlock;
+  EXPECT_LE(simulate_prna(s, s, model, lpt).stage1_compute_seconds,
+            simulate_prna(s, s, model, block).stage1_compute_seconds * 1.0001);
+}
+
+TEST(ClusterSim, ScheduleEfficiencyInUnitInterval) {
+  const auto s = rrna_like_structure(500, 90, 13);
+  for (std::size_t p : {2u, 8u, 32u}) {
+    SimOptions opt;
+    opt.processors = p;
+    const auto sim = simulate_prna(s, s, test_model(), opt);
+    EXPECT_GT(sim.schedule_efficiency, 0.0);
+    EXPECT_LE(sim.schedule_efficiency, 1.0001);
+  }
+}
+
+TEST(ClusterSim, DynamicScheduleBalancesButPaysDispatch) {
+  const auto s = worst_case_structure(400);
+  MachineModel model = test_model();
+  model.dispatch_overhead_seconds = 2e-6;
+  SimOptions stat;
+  stat.processors = 16;
+  SimOptions dyn = stat;
+  dyn.schedule = ScheduleModel::kDynamicPerSlice;
+  const auto a = simulate_prna(s, s, model, stat);
+  const auto b = simulate_prna(s, s, model, dyn);
+  // Same cells either way.
+  EXPECT_EQ(a.total_cells, b.total_cells);
+  // On the product-form workload LPT is already balanced, so dynamic can
+  // only add dispatch overhead.
+  EXPECT_GE(b.stage1_compute_seconds, a.stage1_compute_seconds * 0.999);
+  // With free dispatch, dynamic list scheduling balances about as well as
+  // the static LPT plan (both are greedy list schedulers; neither is
+  // guaranteed to dominate, but they land within a few percent here).
+  model.dispatch_overhead_seconds = 0.0;
+  const auto c = simulate_prna(s, s, model, dyn);
+  EXPECT_LE(c.stage1_compute_seconds, a.stage1_compute_seconds * 1.25);
+  EXPECT_GE(c.stage1_compute_seconds, a.stage1_compute_seconds * 0.8);
+}
+
+TEST(ClusterSim, CalibrationProducesPlausibleCellTime) {
+  const double t = calibrate_cell_seconds(120);
+  EXPECT_GT(t, 1e-11);  // faster than any real machine
+  EXPECT_LT(t, 1e-5);   // slower than plausible
+}
+
+TEST(ClusterSim, SyncModelNames) {
+  EXPECT_STREQ(to_string(SyncModel::kRowAllreduce), "row-allreduce");
+  EXPECT_STREQ(to_string(SyncModel::kTableAllreduce), "table-allreduce");
+  EXPECT_STREQ(to_string(SyncModel::kNoComm), "no-comm");
+}
+
+}  // namespace
+}  // namespace srna

@@ -1,0 +1,150 @@
+#include "parallel/load_balance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "util/prng.hpp"
+
+namespace srna {
+namespace {
+
+void check_consistency(const Assignment& a, const std::vector<std::uint64_t>& weights,
+                       std::size_t p) {
+  ASSERT_EQ(a.owner.size(), weights.size());
+  ASSERT_EQ(a.load.size(), p);
+  std::vector<std::uint64_t> recomputed(p, 0);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    ASSERT_LT(a.owner[i], p);
+    recomputed[a.owner[i]] += weights[i];
+  }
+  EXPECT_EQ(recomputed, a.load);
+}
+
+TEST(LoadBalance, EmptyTaskList) {
+  const auto a = balance_load({}, 4);
+  EXPECT_TRUE(a.owner.empty());
+  EXPECT_EQ(a.makespan(), 0u);
+  EXPECT_EQ(a.total(), 0u);
+  EXPECT_DOUBLE_EQ(a.imbalance(), 1.0);
+}
+
+TEST(LoadBalance, SingleProcessorTakesEverything) {
+  const std::vector<std::uint64_t> w{3, 1, 4, 1, 5};
+  const auto a = balance_load(w, 1);
+  check_consistency(a, w, 1);
+  EXPECT_EQ(a.makespan(), 14u);
+}
+
+TEST(LoadBalance, RejectsZeroProcessors) {
+  EXPECT_THROW(balance_load({1, 2}, 0), std::invalid_argument);
+}
+
+TEST(LoadBalance, LptPerfectSplitWhenPossible) {
+  // {6,2,2,2,2,2} over 2 procs: LPT pairs the 6 with one 2 and stacks the
+  // rest opposite — 8/8, the optimum.
+  const std::vector<std::uint64_t> w{6, 2, 2, 2, 2, 2};
+  const auto a = balance_load(w, 2, BalanceStrategy::kGreedyLpt);
+  check_consistency(a, w, 2);
+  EXPECT_EQ(a.makespan(), 8u);
+  EXPECT_DOUBLE_EQ(a.imbalance(), 1.0);
+}
+
+TEST(LoadBalance, LptIsNotAlwaysOptimalButWithinBound) {
+  // The classic counterexample {3,3,2,2,2} on 2 processors: OPT = 6, LPT
+  // lands on 7 — within Graham's 4/3 - 1/(3p) = 7/6 factor, exactly.
+  const std::vector<std::uint64_t> w{3, 3, 2, 2, 2};
+  const auto a = balance_load(w, 2, BalanceStrategy::kGreedyLpt);
+  check_consistency(a, w, 2);
+  EXPECT_EQ(a.makespan(), 7u);
+  EXPECT_LE(static_cast<double>(a.makespan()), (4.0 / 3.0 - 1.0 / 6.0) * 6.0 + 1e-9);
+}
+
+TEST(LoadBalance, LptHandlesMoreProcessorsThanTasks) {
+  const std::vector<std::uint64_t> w{5, 2};
+  const auto a = balance_load(w, 8);
+  check_consistency(a, w, 8);
+  EXPECT_EQ(a.makespan(), 5u);
+}
+
+TEST(LoadBalance, LptDeterministic) {
+  std::vector<std::uint64_t> w;
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 100; ++i) w.push_back(rng.uniform(1000));
+  const auto a = balance_load(w, 7);
+  const auto b = balance_load(w, 7);
+  EXPECT_EQ(a.owner, b.owner);
+}
+
+TEST(LoadBalance, ZeroWeightTasksAreStillAssigned) {
+  const std::vector<std::uint64_t> w{0, 0, 5, 0};
+  const auto a = balance_load(w, 2);
+  check_consistency(a, w, 2);
+  EXPECT_EQ(a.makespan(), 5u);
+}
+
+class LptBoundsSweep : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(LptBoundsSweep, GreedyWithinTwiceTheLowerBound) {
+  const auto [p, seed] = GetParam();
+  Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> w;
+  const auto count = 5 + rng.uniform(200);
+  for (std::uint64_t i = 0; i < count; ++i) w.push_back(rng.uniform(1000));
+
+  const auto a = balance_load(w, p, BalanceStrategy::kGreedyLpt);
+  check_consistency(a, w, p);
+
+  const std::uint64_t total = a.total();
+  const std::uint64_t wmax = w.empty() ? 0 : *std::max_element(w.begin(), w.end());
+  // Lower bound on the optimum: max(average load, largest task).
+  const double lb = std::max(static_cast<double>(total) / static_cast<double>(p),
+                             static_cast<double>(wmax));
+  EXPECT_GE(static_cast<double>(a.makespan()) + 1e-9, lb);
+  // Any greedy list scheduler is within 2x of the lower bound.
+  EXPECT_LE(static_cast<double>(a.makespan()), 2.0 * lb + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LptBoundsSweep,
+                         ::testing::Combine(::testing::Values<std::size_t>(2, 3, 8, 16, 64),
+                                            ::testing::Values<std::uint64_t>(1, 2, 3, 4, 5)));
+
+TEST(LoadBalance, LptBeatsOrTiesBlockAndCyclicOnSkewedWeights) {
+  // Heavily skewed weights (like the column weights of a worst-case
+  // structure: 0, 2, 4, ..., n-2).
+  std::vector<std::uint64_t> w;
+  for (std::uint64_t i = 0; i < 128; ++i) w.push_back(2 * i);
+  for (std::size_t p : {2, 4, 8, 16}) {
+    const auto lpt = balance_load(w, p, BalanceStrategy::kGreedyLpt);
+    const auto block = balance_load(w, p, BalanceStrategy::kBlock);
+    const auto cyclic = balance_load(w, p, BalanceStrategy::kCyclic);
+    EXPECT_LE(lpt.makespan(), block.makespan()) << "p=" << p;
+    EXPECT_LE(lpt.makespan(), cyclic.makespan()) << "p=" << p;
+    // Block assignment on monotone weights is badly imbalanced.
+    EXPECT_GT(block.imbalance(), 1.5) << "p=" << p;
+  }
+}
+
+TEST(LoadBalance, BlockAssignsContiguousRanges) {
+  const std::vector<std::uint64_t> w(10, 1);
+  const auto a = balance_load(w, 3, BalanceStrategy::kBlock);
+  check_consistency(a, w, 3);
+  for (std::size_t i = 1; i < w.size(); ++i) EXPECT_GE(a.owner[i], a.owner[i - 1]);
+}
+
+TEST(LoadBalance, CyclicRoundRobins) {
+  const std::vector<std::uint64_t> w(7, 1);
+  const auto a = balance_load(w, 3, BalanceStrategy::kCyclic);
+  for (std::size_t i = 0; i < w.size(); ++i) EXPECT_EQ(a.owner[i], i % 3);
+}
+
+TEST(LoadBalance, StrategyNames) {
+  EXPECT_STREQ(to_string(BalanceStrategy::kGreedyLpt), "lpt");
+  EXPECT_STREQ(to_string(BalanceStrategy::kBlock), "block");
+  EXPECT_STREQ(to_string(BalanceStrategy::kCyclic), "cyclic");
+}
+
+}  // namespace
+}  // namespace srna

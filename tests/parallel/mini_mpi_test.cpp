@@ -1,0 +1,171 @@
+#include "parallel/mini_mpi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace srna::mmpi {
+namespace {
+
+TEST(MiniMpi, SingleRankRuns) {
+  int visits = 0;
+  run(1, [&](Rank& r) {
+    EXPECT_EQ(r.rank(), 0);
+    EXPECT_EQ(r.size(), 1);
+    ++visits;
+  });
+  EXPECT_EQ(visits, 1);
+}
+
+TEST(MiniMpi, RejectsZeroRanks) {
+  EXPECT_THROW(run(0, [](Rank&) {}), std::invalid_argument);
+}
+
+TEST(MiniMpi, EveryRankGetsDistinctId) {
+  std::vector<std::atomic<int>> seen(8);
+  run(8, [&](Rank& r) { seen[static_cast<std::size_t>(r.rank())]++; });
+  for (auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(MiniMpi, BarrierSynchronizesPhases) {
+  // Every rank increments a counter, barriers, then checks that all
+  // increments are visible.
+  std::atomic<int> counter{0};
+  run(6, [&](Rank& r) {
+    counter.fetch_add(1);
+    r.barrier();
+    EXPECT_EQ(counter.load(), 6);
+  });
+}
+
+TEST(MiniMpi, BarrierIsReusable) {
+  std::atomic<int> counter{0};
+  run(4, [&](Rank& r) {
+    for (int round = 0; round < 50; ++round) {
+      counter.fetch_add(1);
+      r.barrier();
+      EXPECT_EQ(counter.load(), 4 * (round + 1));
+      r.barrier();
+    }
+  });
+}
+
+TEST(MiniMpi, AllreduceMaxCombinesAllRanks) {
+  constexpr int kRanks = 5;
+  run(kRanks, [&](Rank& r) {
+    std::vector<int> data(10, 0);
+    // Rank r contributes r+1 at position r and r*10 at the last slot.
+    data[static_cast<std::size_t>(r.rank())] = r.rank() + 1;
+    data[9] = r.rank() * 10;
+    r.allreduce_max(data.data(), data.size());
+    for (int i = 0; i < kRanks; ++i) EXPECT_EQ(data[static_cast<std::size_t>(i)], i + 1);
+    for (int i = kRanks; i < 9; ++i) EXPECT_EQ(data[static_cast<std::size_t>(i)], 0);
+    EXPECT_EQ(data[9], (kRanks - 1) * 10);
+  });
+}
+
+TEST(MiniMpi, AllreduceSum) {
+  run(4, [&](Rank& r) {
+    long value = r.rank() + 1;
+    r.allreduce_sum(&value, 1);
+    EXPECT_EQ(value, 1 + 2 + 3 + 4);
+  });
+}
+
+TEST(MiniMpi, AllreduceRepeatedRounds) {
+  run(3, [&](Rank& r) {
+    int acc = r.rank();
+    for (int round = 0; round < 30; ++round) {
+      int v = acc;
+      r.allreduce_max(&v, 1);
+      acc = v + 1;  // all ranks now advance in lockstep
+    }
+    EXPECT_EQ(acc, 2 + 30);
+  });
+}
+
+TEST(MiniMpi, BroadcastFromEveryRoot) {
+  run(4, [&](Rank& r) {
+    for (int root = 0; root < 4; ++root) {
+      std::vector<int> data(3, r.rank() == root ? root * 100 : -1);
+      r.broadcast(data.data(), data.size(), root);
+      for (const int v : data) EXPECT_EQ(v, root * 100);
+    }
+  });
+}
+
+TEST(MiniMpi, GatherConcatenatesInRankOrder) {
+  run(4, [&](Rank& r) {
+    const int mine[2] = {r.rank(), r.rank() * 7};
+    std::vector<int> out(8, -1);
+    r.gather(mine, 2, r.rank() == 0 ? out.data() : nullptr, 0);
+    if (r.rank() == 0) {
+      for (int src = 0; src < 4; ++src) {
+        EXPECT_EQ(out[static_cast<std::size_t>(2 * src)], src);
+        EXPECT_EQ(out[static_cast<std::size_t>(2 * src + 1)], src * 7);
+      }
+    }
+  });
+}
+
+TEST(MiniMpi, PointToPointRoundTrip) {
+  run(2, [&](Rank& r) {
+    if (r.rank() == 0) {
+      const int payload = 1234;
+      r.send(1, /*tag=*/7, &payload, sizeof(payload));
+      int echoed = 0;
+      r.recv(1, /*tag=*/8, &echoed, sizeof(echoed));
+      EXPECT_EQ(echoed, 1235);
+    } else {
+      int received = 0;
+      r.recv(0, /*tag=*/7, &received, sizeof(received));
+      const int reply = received + 1;
+      r.send(0, /*tag=*/8, &reply, sizeof(reply));
+    }
+  });
+}
+
+TEST(MiniMpi, RingPassAroundAllRanks) {
+  constexpr int kRanks = 5;
+  run(kRanks, [&](Rank& r) {
+    int token = 0;
+    if (r.rank() == 0) {
+      token = 1;
+      r.send(1, 0, &token, sizeof(token));
+      r.recv(kRanks - 1, 0, &token, sizeof(token));
+      EXPECT_EQ(token, kRanks);
+    } else {
+      r.recv(r.rank() - 1, 0, &token, sizeof(token));
+      ++token;
+      r.send((r.rank() + 1) % kRanks, 0, &token, sizeof(token));
+    }
+  });
+}
+
+TEST(MiniMpi, StatsCountOperations) {
+  const auto stats = run(3, [&](Rank& r) {
+    r.barrier();
+    int v = 1;
+    r.allreduce_sum(&v, 1);
+    std::vector<int> data(4, 0);
+    r.broadcast(data.data(), 4, 0);
+  });
+  ASSERT_EQ(stats.size(), 3u);
+  for (const auto& s : stats) {
+    EXPECT_EQ(s.barriers, 1u);
+    EXPECT_EQ(s.allreduces, 1u);
+    EXPECT_EQ(s.broadcasts, 1u);
+    EXPECT_EQ(s.bytes_sent >= sizeof(int), true);
+  }
+  // Only the broadcast root pays broadcast bytes.
+  EXPECT_GT(stats[0].bytes_sent, stats[1].bytes_sent);
+}
+
+TEST(MiniMpi, ExceptionInRankPropagates) {
+  EXPECT_THROW(run(1, [](Rank&) { throw std::runtime_error("boom"); }), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace srna::mmpi

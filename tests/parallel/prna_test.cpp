@@ -1,0 +1,176 @@
+#include "parallel/prna.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+
+#include "core/mcos.hpp"
+#include "rna/generators.hpp"
+#include "testing/builders.hpp"
+
+namespace srna {
+namespace {
+
+using testing::db;
+
+TEST(Prna, TrivialInputs) {
+  PrnaOptions opt;
+  opt.num_threads = 2;
+  EXPECT_EQ(prna(SecondaryStructure(0), SecondaryStructure(0), opt).value, 0);
+  EXPECT_EQ(prna(db("..."), db("(.)"), opt).value, 0);
+  EXPECT_EQ(prna(db("(.)"), db("(.)"), opt).value, 1);
+}
+
+TEST(Prna, RejectsPseudoknots) {
+  const auto knot = SecondaryStructure::from_arcs(6, {{0, 3}, {2, 5}});
+  EXPECT_THROW(prna(knot, knot), std::invalid_argument);
+}
+
+class PrnaSweep
+    : public ::testing::TestWithParam<
+          std::tuple<int, SliceLayout, BalanceStrategy, std::uint64_t>> {};
+
+TEST_P(PrnaSweep, MatchesSequentialSrna2) {
+  const auto [threads, layout, strategy, seed] = GetParam();
+  const auto s1 = random_structure(60, 0.5, seed);
+  const auto s2 = random_structure(55, 0.5, seed + 1);
+
+  PrnaOptions opt;
+  opt.num_threads = threads;
+  opt.layout = layout;
+  opt.balance = strategy;
+  opt.validate_memo = true;  // verifies the row-ordering guarantee under concurrency
+  const auto got = prna(s1, s2, opt);
+  EXPECT_EQ(got.value, srna2(s1, s2).value);
+  EXPECT_EQ(got.threads_used, threads);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadsLayoutsStrategies, PrnaSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(SliceLayout::kDense, SliceLayout::kCompressed),
+                       ::testing::Values(BalanceStrategy::kGreedyLpt, BalanceStrategy::kCyclic),
+                       ::testing::Values<std::uint64_t>(100, 200)));
+
+TEST(Prna, WorstCaseAgreesAcrossThreadCounts) {
+  const auto s = worst_case_structure(80);
+  const Score expected = srna2(s, s).value;
+  for (int t : {1, 2, 4, 8}) {
+    PrnaOptions opt;
+    opt.num_threads = t;
+    opt.validate_memo = true;
+    EXPECT_EQ(prna(s, s, opt).value, expected) << t << " threads";
+  }
+}
+
+TEST(Prna, StageOneWorkSplitsAcrossThreads) {
+  const auto s = worst_case_structure(60);
+  PrnaOptions opt;
+  opt.num_threads = 3;
+  const auto r = prna(s, s, opt);
+  ASSERT_EQ(r.cells_per_thread.size(), 3u);
+  const std::uint64_t stage1_cells =
+      std::accumulate(r.cells_per_thread.begin(), r.cells_per_thread.end(), std::uint64_t{0});
+  // Stage-one cells = total cells minus the sequential parent slice.
+  const auto seq = srna2(s, s);
+  const std::uint64_t parent_cells =
+      static_cast<std::uint64_t>(s.length()) * static_cast<std::uint64_t>(s.length());
+  EXPECT_EQ(stage1_cells, seq.stats.cells_tabulated - parent_cells);
+  // With LPT on the worst case each thread gets meaningful work.
+  for (const auto cells : r.cells_per_thread) EXPECT_GT(cells, 0u);
+}
+
+TEST(Prna, TotalCellsMatchSequential) {
+  const auto s1 = rrna_like_structure(250, 45, 3);
+  const auto s2 = rrna_like_structure(240, 42, 4);
+  PrnaOptions opt;
+  opt.num_threads = 4;
+  const auto par = prna(s1, s2, opt);
+  const auto seq = srna2(s1, s2);
+  EXPECT_EQ(par.value, seq.value);
+  EXPECT_EQ(par.stats.cells_tabulated, seq.stats.cells_tabulated);
+  EXPECT_EQ(par.stats.slices_tabulated, seq.stats.slices_tabulated);
+}
+
+TEST(Prna, AssignmentCoversEveryColumn) {
+  const auto s1 = random_structure(70, 0.5, 9);
+  const auto s2 = random_structure(70, 0.5, 10);
+  PrnaOptions opt;
+  opt.num_threads = 4;
+  const auto r = prna(s1, s2, opt);
+  EXPECT_EQ(r.assignment.owner.size(), s2.arc_count());
+  for (const std::size_t owner : r.assignment.owner) EXPECT_LT(owner, 4u);
+}
+
+TEST(Prna, DefaultThreadCountRuns) {
+  const auto s = db("((..))((..))");
+  const auto r = prna(s, s);  // num_threads = 0 -> library default
+  EXPECT_EQ(r.value, 4);
+  EXPECT_GE(r.threads_used, 1);
+}
+
+TEST(Prna, DynamicScheduleMatchesStatic) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const auto s1 = random_structure(60, 0.5, seed);
+    const auto s2 = random_structure(55, 0.5, seed + 3);
+    PrnaOptions stat;
+    stat.num_threads = 3;
+    PrnaOptions dyn = stat;
+    dyn.schedule = PrnaSchedule::kDynamic;
+    dyn.validate_memo = true;  // row ordering must hold under dynamic pulls too
+    const auto a = prna(s1, s2, stat);
+    const auto b = prna(s1, s2, dyn);
+    EXPECT_EQ(a.value, b.value) << seed;
+    EXPECT_EQ(a.stats.cells_tabulated, b.stats.cells_tabulated) << seed;
+  }
+}
+
+TEST(Prna, DynamicScheduleWorstCase) {
+  const auto s = worst_case_structure(60);
+  PrnaOptions dyn;
+  dyn.num_threads = 4;
+  dyn.schedule = PrnaSchedule::kDynamic;
+  EXPECT_EQ(prna(s, s, dyn).value, 30);
+}
+
+TEST(Prna, WavefrontStageTwoMatchesSequential) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const auto s1 = random_structure(55, 0.5, seed);
+    const auto s2 = random_structure(62, 0.5, seed + 9);
+    PrnaOptions seq;
+    seq.num_threads = 2;
+    PrnaOptions wave = seq;
+    wave.parallel_stage2 = true;
+    EXPECT_EQ(prna(s1, s2, wave).value, prna(s1, s2, seq).value) << seed;
+  }
+}
+
+TEST(Prna, WavefrontStageTwoWorstCaseAndEdges) {
+  PrnaOptions wave;
+  wave.num_threads = 4;
+  wave.parallel_stage2 = true;
+  const auto s = worst_case_structure(70);
+  EXPECT_EQ(prna(s, s, wave).value, 35);
+  EXPECT_EQ(prna(SecondaryStructure(0), SecondaryStructure(0), wave).value, 0);
+  EXPECT_EQ(prna(db("..."), db(".."), wave).value, 0);
+}
+
+TEST(Prna, WavefrontRequiresDenseLayout) {
+  PrnaOptions wave;
+  wave.parallel_stage2 = true;
+  wave.layout = SliceLayout::kCompressed;
+  const auto s = db("(.)");
+  EXPECT_THROW(prna(s, s, wave), std::invalid_argument);
+}
+
+TEST(Prna, ManyMoreThreadsThanColumns) {
+  const auto s = db("((..))");  // 2 arcs only
+  PrnaOptions opt;
+  opt.num_threads = 8;
+  opt.validate_memo = true;
+  EXPECT_EQ(prna(s, s, opt).value, 2);
+}
+
+}  // namespace
+}  // namespace srna

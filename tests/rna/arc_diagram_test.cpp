@@ -1,0 +1,113 @@
+#include "rna/arc_diagram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rna/generators.hpp"
+#include "testing/builders.hpp"
+
+namespace srna {
+namespace {
+
+using testing::db;
+
+ArcDiagramOptions no_ruler() {
+  ArcDiagramOptions opt;
+  opt.ruler = false;
+  return opt;
+}
+
+TEST(ArcDiagram, SingleArc) {
+  const auto s = db("(..)");
+  EXPECT_EQ(render_arc_diagram(s, nullptr, no_ruler()),
+            "/--\\\n"
+            "o..o\n");
+}
+
+TEST(ArcDiagram, NestedArcsStackByDepth) {
+  const auto s = db("((..))");
+  EXPECT_EQ(render_arc_diagram(s, nullptr, no_ruler()),
+            "/----\\\n"
+            "|/--\\|\n"
+            "oo..oo\n");
+}
+
+TEST(ArcDiagram, SequentialArcsShareTopRow) {
+  const auto s = db("(.)(.)");
+  EXPECT_EQ(render_arc_diagram(s, nullptr, no_ruler()),
+            "/-\\/-\\\n"
+            "o.oo.o\n");
+}
+
+TEST(ArcDiagram, MultiloopMixesLevels) {
+  const auto s = db("((.)(.))");
+  EXPECT_EQ(render_arc_diagram(s, nullptr, no_ruler()),
+            "/------\\\n"
+            "|/-\\/-\\|\n"
+            "oo.oo.oo\n");
+}
+
+TEST(ArcDiagram, SequenceFormsBaseline) {
+  const auto s = db("(..)");
+  const auto seq = Sequence::from_string("GAAC");
+  EXPECT_EQ(render_arc_diagram(s, &seq, no_ruler()),
+            "/--\\\n"
+            "GAAC\n");
+}
+
+TEST(ArcDiagram, HighlightMarksPositions) {
+  const auto s = db("(..)");
+  ArcDiagramOptions opt = no_ruler();
+  opt.highlight = {1, 2};
+  const auto text = render_arc_diagram(s, nullptr, opt);
+  EXPECT_NE(text.find("o**o"), std::string::npos);
+}
+
+TEST(ArcDiagram, RulerLabelsEveryTenth) {
+  const auto s = SecondaryStructure(25);
+  const auto text = render_arc_diagram(s);
+  EXPECT_NE(text.find("0         10        20"), std::string::npos);
+}
+
+TEST(ArcDiagram, EmptyStructure) {
+  const auto text = render_arc_diagram(SecondaryStructure(0), nullptr, no_ruler());
+  EXPECT_EQ(text, "\n");
+}
+
+TEST(ArcDiagram, ArcFreeStructureIsJustBaseline) {
+  EXPECT_EQ(render_arc_diagram(db("...."), nullptr, no_ruler()), "....\n");
+}
+
+TEST(ArcDiagram, RejectsPseudoknotsAndBadSequence) {
+  const auto knot = SecondaryStructure::from_arcs(4, {{0, 2}, {1, 3}});
+  EXPECT_THROW(render_arc_diagram(knot), std::invalid_argument);
+  const auto s = db("(..)");
+  const auto seq = Sequence::from_string("AC");
+  EXPECT_THROW(render_arc_diagram(s, &seq), std::invalid_argument);
+}
+
+TEST(ArcDiagram, LineWidthsAreUniform) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const auto s = random_structure(60, 0.4, seed);
+    const auto text = render_arc_diagram(s);
+    std::size_t start = 0;
+    while (start < text.size()) {
+      const std::size_t end = text.find('\n', start);
+      EXPECT_EQ(end - start, 60u) << "seed " << seed;
+      start = end + 1;
+    }
+  }
+}
+
+TEST(ArcDiagram, WorstCaseIsAFullTriangle) {
+  const auto s = worst_case_structure(8);
+  const auto text = render_arc_diagram(s, nullptr, no_ruler());
+  EXPECT_EQ(text,
+            "/------\\\n"
+            "|/----\\|\n"
+            "||/--\\||\n"
+            "|||/\\|||\n"
+            "oooooooo\n");
+}
+
+}  // namespace
+}  // namespace srna

@@ -1,0 +1,62 @@
+#include "rna/arc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace srna {
+namespace {
+
+TEST(Arc, OrderingIsLexicographic) {
+  EXPECT_LT((Arc{0, 5}), (Arc{1, 2}));
+  EXPECT_LT((Arc{1, 2}), (Arc{1, 3}));
+  EXPECT_EQ((Arc{2, 4}), (Arc{2, 4}));
+}
+
+TEST(Arc, InteriorWidth) {
+  EXPECT_EQ((Arc{0, 1}).interior_width(), 0);   // hairpin, empty interior
+  EXPECT_EQ((Arc{0, 2}).interior_width(), 1);
+  EXPECT_EQ((Arc{3, 10}).interior_width(), 6);
+}
+
+TEST(Arc, NestsIsStrictContainment) {
+  const Arc outer{0, 9};
+  EXPECT_TRUE(outer.nests(Arc{1, 8}));
+  EXPECT_TRUE(outer.nests(Arc{4, 5}));
+  EXPECT_FALSE(outer.nests(Arc{0, 9}));    // identical
+  EXPECT_FALSE(outer.nests(Arc{0, 5}));    // shares left endpoint
+  EXPECT_FALSE(outer.nests(Arc{5, 9}));    // shares right endpoint
+  EXPECT_FALSE(outer.nests(Arc{10, 12}));  // disjoint
+  EXPECT_FALSE((Arc{1, 8}).nests(outer));  // direction matters
+}
+
+TEST(Arc, CrossesDetectsInterleaving) {
+  EXPECT_TRUE((Arc{0, 5}).crosses(Arc{3, 8}));
+  EXPECT_TRUE((Arc{3, 8}).crosses(Arc{0, 5}));  // symmetric
+  EXPECT_FALSE((Arc{0, 5}).crosses(Arc{1, 4})); // nested
+  EXPECT_FALSE((Arc{0, 5}).crosses(Arc{6, 9})); // sequential
+  EXPECT_FALSE((Arc{0, 5}).crosses(Arc{0, 5})); // identical
+}
+
+TEST(Arc, SharesEndpoint) {
+  EXPECT_TRUE((Arc{0, 5}).shares_endpoint(Arc{5, 9}));
+  EXPECT_TRUE((Arc{0, 5}).shares_endpoint(Arc{0, 3}));
+  EXPECT_TRUE((Arc{2, 5}).shares_endpoint(Arc{1, 2}));
+  EXPECT_FALSE((Arc{0, 5}).shares_endpoint(Arc{1, 4}));
+}
+
+TEST(Arc, WithinInterval) {
+  EXPECT_TRUE((Arc{2, 4}).within(2, 4));
+  EXPECT_TRUE((Arc{2, 4}).within(0, 9));
+  EXPECT_FALSE((Arc{2, 4}).within(3, 9));
+  EXPECT_FALSE((Arc{2, 4}).within(0, 3));
+}
+
+TEST(Arc, StreamOutput) {
+  std::ostringstream os;
+  os << Arc{3, 7};
+  EXPECT_EQ(os.str(), "(3,7)");
+}
+
+}  // namespace
+}  // namespace srna

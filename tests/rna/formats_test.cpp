@@ -1,0 +1,145 @@
+#include "rna/formats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "rna/dot_bracket.hpp"
+#include "rna/generators.hpp"
+
+namespace srna {
+namespace {
+
+AnnotatedStructure sample_record() {
+  AnnotatedStructure rec;
+  rec.title = "test molecule";
+  rec.structure = parse_dot_bracket("((..)).");
+  rec.sequence = sequence_for_structure(rec.structure, 1);
+  return rec;
+}
+
+TEST(CtFormat, WriteReadRoundTrip) {
+  const AnnotatedStructure rec = sample_record();
+  std::stringstream ss;
+  write_ct(ss, rec);
+  const AnnotatedStructure back = read_ct(ss);
+  EXPECT_EQ(back.title, rec.title);
+  EXPECT_EQ(back.sequence, rec.sequence);
+  EXPECT_EQ(back.structure, rec.structure);
+}
+
+TEST(CtFormat, ParsesKnownText) {
+  std::stringstream ss("4 tiny\n"
+                       "1 G 0 2 4 1\n"
+                       "2 A 1 3 0 2\n"
+                       "3 A 2 4 0 3\n"
+                       "4 C 3 5 1 4\n");
+  const AnnotatedStructure rec = read_ct(ss);
+  EXPECT_EQ(rec.title, "tiny");
+  EXPECT_EQ(rec.sequence.to_string(), "GAAC");
+  EXPECT_EQ(rec.structure.arc_count(), 1u);
+  EXPECT_EQ(rec.structure.partner(0), 3);
+}
+
+TEST(CtFormat, SkipsCommentAndBlankLines) {
+  std::stringstream ss("# comment\n\n2 t\n1 A 0 2 2 1\n# mid comment\n2 U 1 3 1 2\n");
+  const AnnotatedStructure rec = read_ct(ss);
+  EXPECT_EQ(rec.sequence.to_string(), "AU");
+  EXPECT_EQ(rec.structure.arc_count(), 1u);
+}
+
+TEST(CtFormat, RejectsAsymmetricBond) {
+  std::stringstream ss("2 bad\n1 A 0 2 2 1\n2 U 1 3 0 2\n");
+  EXPECT_THROW(read_ct(ss), std::invalid_argument);
+}
+
+TEST(CtFormat, RejectsSelfPair) {
+  std::stringstream ss("1 bad\n1 A 0 2 1 1\n");
+  EXPECT_THROW(read_ct(ss), std::invalid_argument);
+}
+
+TEST(CtFormat, RejectsOutOfOrderIndex) {
+  std::stringstream ss("2 bad\n2 A 0 2 0 1\n1 U 1 3 0 2\n");
+  EXPECT_THROW(read_ct(ss), std::invalid_argument);
+}
+
+TEST(CtFormat, RejectsTruncatedFile) {
+  std::stringstream ss("3 bad\n1 A 0 2 0 1\n");
+  EXPECT_THROW(read_ct(ss), std::invalid_argument);
+}
+
+TEST(CtFormat, RejectsBadBaseSymbol) {
+  std::stringstream ss("1 bad\n1 Z 0 2 0 1\n");
+  EXPECT_THROW(read_ct(ss), std::invalid_argument);
+}
+
+TEST(CtFormat, RejectsPartnerOutOfRange) {
+  std::stringstream ss("2 bad\n1 A 0 2 5 1\n2 U 1 3 0 2\n");
+  EXPECT_THROW(read_ct(ss), std::invalid_argument);
+}
+
+TEST(BpseqFormat, WriteReadRoundTrip) {
+  const AnnotatedStructure rec = sample_record();
+  std::stringstream ss;
+  write_bpseq(ss, rec);
+  const AnnotatedStructure back = read_bpseq(ss);
+  EXPECT_EQ(back.title, rec.title);
+  EXPECT_EQ(back.sequence, rec.sequence);
+  EXPECT_EQ(back.structure, rec.structure);
+}
+
+TEST(BpseqFormat, ParsesKnownText) {
+  std::stringstream ss("# demo\n1 G 3\n2 A 0\n3 C 1\n");
+  const AnnotatedStructure rec = read_bpseq(ss);
+  EXPECT_EQ(rec.title, "demo");
+  EXPECT_EQ(rec.sequence.to_string(), "GAC");
+  EXPECT_EQ(rec.structure.partner(0), 2);
+  EXPECT_FALSE(rec.structure.paired(1));
+}
+
+TEST(BpseqFormat, RejectsWrongColumnCount) {
+  std::stringstream ss("1 G 3 9\n");
+  EXPECT_THROW(read_bpseq(ss), std::invalid_argument);
+}
+
+TEST(BpseqFormat, EmptyInputGivesEmptyRecord) {
+  std::stringstream ss("");
+  const AnnotatedStructure rec = read_bpseq(ss);
+  EXPECT_EQ(rec.sequence.length(), 0);
+  EXPECT_EQ(rec.structure.arc_count(), 0u);
+}
+
+TEST(StructureFile, RoundTripThroughDiskCtAndBpseq) {
+  const AnnotatedStructure rec = sample_record();
+  for (const char* name : {"/tmp/srna_test_roundtrip.ct", "/tmp/srna_test_roundtrip.bpseq"}) {
+    write_structure_file(name, rec);
+    const AnnotatedStructure back = read_structure_file(name);
+    EXPECT_EQ(back.structure, rec.structure) << name;
+    EXPECT_EQ(back.sequence, rec.sequence) << name;
+  }
+}
+
+TEST(StructureFile, UnknownExtensionThrows) {
+  EXPECT_THROW(read_structure_file("/tmp/whatever.xyz"), std::invalid_argument);
+  EXPECT_THROW(write_structure_file("/tmp/whatever.xyz", sample_record()),
+               std::invalid_argument);
+}
+
+TEST(StructureFile, MissingFileThrows) {
+  EXPECT_THROW(read_structure_file("/tmp/definitely_missing_srna_file.ct"),
+               std::invalid_argument);
+}
+
+TEST(Formats, LargeGeneratedStructureRoundTrip) {
+  AnnotatedStructure rec;
+  rec.title = "rrna-like";
+  rec.structure = rrna_like_structure(800, 140, 7);
+  rec.sequence = sequence_for_structure(rec.structure, 7);
+  std::stringstream ss;
+  write_ct(ss, rec);
+  const AnnotatedStructure back = read_ct(ss);
+  EXPECT_EQ(back.structure, rec.structure);
+}
+
+}  // namespace
+}  // namespace srna

@@ -1,0 +1,133 @@
+// Robustness ("fuzz-lite") tests: the parsers must map arbitrary byte junk
+// to std::invalid_argument — never crash, never accept garbage silently —
+// and must round-trip anything they do accept.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "rna/dot_bracket.hpp"
+#include "rna/formats.hpp"
+#include "util/prng.hpp"
+
+namespace srna {
+namespace {
+
+std::string random_bytes(Xoshiro256& rng, std::size_t max_len) {
+  const std::size_t len = rng.uniform(max_len + 1);
+  std::string out(len, '\0');
+  for (char& c : out) c = static_cast<char>(rng.uniform(256));
+  return out;
+}
+
+std::string random_from_alphabet(Xoshiro256& rng, std::string_view alphabet,
+                                 std::size_t max_len) {
+  const std::size_t len = rng.uniform(max_len + 1);
+  std::string out(len, '\0');
+  for (char& c : out) c = alphabet[rng.uniform(alphabet.size())];
+  return out;
+}
+
+TEST(FuzzParsers, DotBracketArbitraryBytesNeverCrash) {
+  Xoshiro256 rng(1);
+  int accepted = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const std::string input = random_bytes(rng, 64);
+    try {
+      const auto s = parse_dot_bracket(input);
+      ++accepted;
+      // Anything accepted must round-trip.
+      EXPECT_EQ(parse_dot_bracket(to_dot_bracket(s)), s);
+    } catch (const std::invalid_argument&) {
+      // expected for junk
+    }
+  }
+  // Pure-random bytes almost never form balanced brackets of any size.
+  EXPECT_LT(accepted, 1000);
+}
+
+TEST(FuzzParsers, DotBracketBracketSoupRoundTripsWhenAccepted) {
+  Xoshiro256 rng(2);
+  int accepted = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const std::string input = random_from_alphabet(rng, "().[]{}", 24);
+    try {
+      const auto s = parse_dot_bracket(input);
+      ++accepted;
+      EXPECT_EQ(parse_dot_bracket(to_dot_bracket(s)), s) << input;
+    } catch (const std::invalid_argument&) {
+    }
+  }
+  EXPECT_GT(accepted, 50);  // balanced soups do occur
+}
+
+TEST(FuzzParsers, CtArbitraryBytesNeverCrash) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1500; ++i) {
+    std::stringstream ss(random_bytes(rng, 200));
+    try {
+      (void)read_ct(ss);
+    } catch (const std::invalid_argument&) {
+    }
+  }
+}
+
+TEST(FuzzParsers, BpseqArbitraryBytesNeverCrash) {
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 1500; ++i) {
+    std::stringstream ss(random_bytes(rng, 200));
+    try {
+      (void)read_bpseq(ss);
+    } catch (const std::invalid_argument&) {
+    }
+  }
+}
+
+TEST(FuzzParsers, CtStructuredMutationsNeverCrash) {
+  // Start from a valid CT file, flip random bytes, parse.
+  const std::string valid =
+      "4 tiny\n1 G 0 2 4 1\n2 A 1 3 0 2\n3 A 2 4 0 3\n4 C 3 5 1 4\n";
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 3000; ++i) {
+    std::string mutated = valid;
+    const int flips = 1 + static_cast<int>(rng.uniform(4));
+    for (int f = 0; f < flips; ++f)
+      mutated[rng.uniform(mutated.size())] = static_cast<char>(rng.uniform(128));
+    std::stringstream ss(mutated);
+    try {
+      const auto rec = read_ct(ss);
+      // If it parsed, the record must be internally consistent.
+      EXPECT_EQ(rec.sequence.length(), rec.structure.length());
+    } catch (const std::invalid_argument&) {
+    }
+  }
+}
+
+TEST(FuzzParsers, BpseqNumericEdgeCases) {
+  for (const char* text : {
+           "1 A 99999999999999999999\n",          // overflow partner
+           "1 A -3\n",                            // negative partner
+           "0 A 0\n",                             // zero index
+           "1 A 1\n",                             // self pair
+           "1 A 2\n2 U 3\n3 G 1\n",               // asymmetric chain
+           "18446744073709551615 A 0\n",          // SIZE_MAX index
+       }) {
+    std::stringstream ss(text);
+    EXPECT_THROW((void)read_bpseq(ss), std::invalid_argument) << text;
+  }
+}
+
+TEST(FuzzParsers, SequenceArbitraryBytesNeverCrash) {
+  Xoshiro256 rng(6);
+  for (int i = 0; i < 3000; ++i) {
+    const std::string input = random_bytes(rng, 64);
+    try {
+      const Sequence s = Sequence::from_string(input);
+      EXPECT_EQ(s.length(), static_cast<Pos>(input.size()));
+    } catch (const std::invalid_argument&) {
+    }
+  }
+}
+
+}  // namespace
+}  // namespace srna

@@ -1,0 +1,103 @@
+// Statistical profile checks of the workload generators across many seeds:
+// the properties the experiment harness depends on must hold for *every*
+// seed, not just the ones the benches happen to use.
+#include <gtest/gtest.h>
+
+#include "rna/generators.hpp"
+#include "rna/loops.hpp"
+#include "rna/structure_stats.hpp"
+#include "util/stats.hpp"
+
+namespace srna {
+namespace {
+
+TEST(GeneratorProfile, RrnaArcTargetAcrossSeeds) {
+  RunningStats relative_error;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const auto s = rrna_like_structure(2000, 350, seed);
+    EXPECT_TRUE(s.is_nonpseudoknot()) << seed;
+    EXPECT_EQ(s.length(), 2000) << seed;
+    relative_error.add(std::abs(static_cast<double>(s.arc_count()) - 350.0) / 350.0);
+  }
+  // Individual seeds may miss by a few percent; the mean error stays tight.
+  EXPECT_LT(relative_error.mean(), 0.05);
+  EXPECT_LT(relative_error.max(), 0.15);
+}
+
+TEST(GeneratorProfile, RrnaLoopCensusIsStable) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const auto d = decompose_loops(rrna_like_structure(2000, 350, seed));
+    // Helices dominate; hairpins cap the stems; branching exists.
+    EXPECT_GT(d.count(LoopKind::kStack), d.count(LoopKind::kHairpin)) << seed;
+    EXPECT_GT(d.count(LoopKind::kHairpin), 5u) << seed;
+    EXPECT_GT(d.count(LoopKind::kMultibranch), 0u) << seed;
+  }
+}
+
+TEST(GeneratorProfile, RrnaStemLengthsMostlyWithinConfiguredBounds) {
+  // A parent helix can occasionally hug its only child with zero gap,
+  // merging two generated stems into one apparent longer stack — so the
+  // configured cap holds for the vast majority of stems, not all.
+  StemLoopParams params;
+  std::size_t total = 0;
+  std::size_t above_cap = 0;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const auto s = rrna_like_structure(1500, 260, seed, params);
+    for (const Stem& stem : find_stems(s)) {
+      ++total;
+      EXPECT_GE(stem.length, params.min_stem) << seed;
+      above_cap += stem.length > params.max_stem;
+    }
+  }
+  ASSERT_GT(total, 100u);
+  EXPECT_LT(static_cast<double>(above_cap), 0.15 * static_cast<double>(total));
+}
+
+TEST(GeneratorProfile, RandomStructureDepthGrowsWithDensity) {
+  // Nesting depth grows only slowly with density (uniform partner choice
+  // splits intervals log-style), but it must grow.
+  RunningStats shallow, deep;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    shallow.add(static_cast<double>(random_structure(300, 0.15, seed).max_nesting_depth()));
+    deep.add(static_cast<double>(random_structure(300, 0.6, seed).max_nesting_depth()));
+  }
+  EXPECT_GT(deep.mean(), 1.15 * shallow.mean());
+}
+
+TEST(GeneratorProfile, RandomStructurePairedFractionTracksDensity) {
+  RunningStats lo, hi;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    lo.add(compute_stats(random_structure(400, 0.2, seed)).paired_fraction);
+    hi.add(compute_stats(random_structure(400, 0.5, seed)).paired_fraction);
+  }
+  EXPECT_LT(lo.mean(), hi.mean());
+  EXPECT_GT(lo.mean(), 0.05);
+  EXPECT_LT(hi.mean(), 1.0);
+}
+
+TEST(GeneratorProfile, WorstCaseIsTheDensityExtreme) {
+  // No structure of the same length can have more arcs or deeper nesting.
+  for (Pos length : {50, 101, 300}) {
+    const auto worst = worst_case_structure(length);
+    EXPECT_EQ(static_cast<Pos>(worst.arc_count()), length / 2);
+    EXPECT_EQ(worst.max_nesting_depth(), length / 2);
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+      const auto other = random_structure(length, 0.8, seed);
+      EXPECT_LE(other.arc_count(), worst.arc_count());
+      EXPECT_LE(other.max_nesting_depth(), worst.max_nesting_depth());
+    }
+  }
+}
+
+TEST(GeneratorProfile, PseudoknotGeneratorAlwaysProducesCrossings) {
+  for (std::uint64_t seed = 50; seed < 80; ++seed) {
+    const auto s = pseudoknot_structure(60, seed);
+    EXPECT_FALSE(s.is_nonpseudoknot()) << seed;
+    const auto report = validate_arcs(s.length(), s.arcs_by_right());
+    EXPECT_TRUE(report.well_formed()) << seed;
+    EXPECT_GE(report.count(ValidationIssue::Kind::kCrossing), 1u) << seed;
+  }
+}
+
+}  // namespace
+}  // namespace srna

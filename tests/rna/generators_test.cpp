@@ -1,0 +1,160 @@
+#include "rna/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "rna/structure_stats.hpp"
+
+namespace srna {
+namespace {
+
+TEST(WorstCase, MaximallyNestedEvenLength) {
+  const auto s = worst_case_structure(10);
+  EXPECT_EQ(s.length(), 10);
+  EXPECT_EQ(s.arc_count(), 5u);
+  EXPECT_EQ(s.max_nesting_depth(), 5);
+  for (Pos i = 0; i < 5; ++i) EXPECT_EQ(s.partner(i), 9 - i);
+  EXPECT_TRUE(s.is_nonpseudoknot());
+}
+
+TEST(WorstCase, OddLengthLeavesMiddleUnpaired) {
+  const auto s = worst_case_structure(11);
+  EXPECT_EQ(s.arc_count(), 5u);
+  EXPECT_FALSE(s.paired(5));
+}
+
+TEST(WorstCase, DegenerateLengths) {
+  EXPECT_EQ(worst_case_structure(0).arc_count(), 0u);
+  EXPECT_EQ(worst_case_structure(1).arc_count(), 0u);
+  EXPECT_EQ(worst_case_structure(2).arc_count(), 1u);
+}
+
+TEST(SequentialArcs, PackedFromLeft) {
+  const auto s = sequential_arcs_structure(12, 4);
+  EXPECT_EQ(s.arc_count(), 4u);
+  EXPECT_EQ(s.max_nesting_depth(), 1);
+  EXPECT_EQ(s.partner(0), 1);
+  EXPECT_EQ(s.partner(6), 7);
+  EXPECT_FALSE(s.paired(8));
+  EXPECT_THROW(sequential_arcs_structure(6, 4), std::invalid_argument);
+}
+
+TEST(NestedGroups, ShapeAndCounts) {
+  const auto s = nested_groups_structure(3, 4);
+  EXPECT_EQ(s.length(), 24);
+  EXPECT_EQ(s.arc_count(), 12u);
+  EXPECT_EQ(s.max_nesting_depth(), 4);
+  const auto stems = find_stems(s);
+  ASSERT_EQ(stems.size(), 3u);
+  for (const auto& stem : stems) EXPECT_EQ(stem.length, 4);
+}
+
+TEST(RandomStructure, DeterministicInSeed) {
+  EXPECT_EQ(random_structure(64, 0.3, 5), random_structure(64, 0.3, 5));
+}
+
+TEST(RandomStructure, DifferentSeedsDiffer) {
+  EXPECT_FALSE(random_structure(64, 0.3, 1) == random_structure(64, 0.3, 2));
+}
+
+TEST(RandomStructure, AlwaysNonPseudoknot) {
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const auto s = random_structure(70, 0.5, seed);
+    EXPECT_TRUE(s.is_nonpseudoknot()) << seed;
+  }
+}
+
+TEST(RandomStructure, DensityZeroGivesNoArcs) {
+  EXPECT_EQ(random_structure(50, 0.0, 1).arc_count(), 0u);
+}
+
+TEST(RandomStructure, HigherDensityGivesMoreArcs) {
+  std::size_t sparse = 0;
+  std::size_t dense = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    sparse += random_structure(100, 0.1, seed).arc_count();
+    dense += random_structure(100, 0.6, seed).arc_count();
+  }
+  EXPECT_LT(sparse, dense);
+}
+
+TEST(RandomStructure, RejectsBadDensity) {
+  EXPECT_THROW(random_structure(10, -0.1, 1), std::invalid_argument);
+  EXPECT_THROW(random_structure(10, 1.5, 1), std::invalid_argument);
+}
+
+class RrnaLikeTest : public ::testing::TestWithParam<std::tuple<Pos, std::size_t>> {};
+
+TEST_P(RrnaLikeTest, HitsArcTargetWithinTolerance) {
+  const auto [length, target] = GetParam();
+  const auto s = rrna_like_structure(length, target, 42);
+  EXPECT_EQ(s.length(), length);
+  EXPECT_TRUE(s.is_nonpseudoknot());
+  const double got = static_cast<double>(s.arc_count());
+  const double want = static_cast<double>(target);
+  EXPECT_NEAR(got / want, 1.0, 0.10) << "length " << length << " target " << target;
+}
+
+// Includes the paper's Table II instances: 4216 bases / 721 arcs and
+// 4381 bases / 1126 arcs.
+INSTANTIATE_TEST_SUITE_P(TargetSweep, RrnaLikeTest,
+                         ::testing::Values(std::make_tuple(Pos{400}, std::size_t{70}),
+                                           std::make_tuple(Pos{1000}, std::size_t{200}),
+                                           std::make_tuple(Pos{4216}, std::size_t{721}),
+                                           std::make_tuple(Pos{4381}, std::size_t{1126})));
+
+TEST(RrnaLike, LooksLikeStemLoopsNotOneNest) {
+  const auto s = rrna_like_structure(2000, 400, 9);
+  const auto stats = compute_stats(s);
+  EXPECT_GT(stats.stems, 20u);           // many separate helices
+  EXPECT_LT(stats.max_nesting_depth, 200);  // nothing like the worst case
+}
+
+TEST(RrnaLike, ZeroTargetGivesEmptyStructure) {
+  EXPECT_EQ(rrna_like_structure(100, 0, 1).arc_count(), 0u);
+}
+
+TEST(RrnaLike, InfeasibleTargetThrows) {
+  EXPECT_THROW(rrna_like_structure(100, 51, 1), std::invalid_argument);
+}
+
+TEST(RrnaLike, DeterministicInSeed) {
+  EXPECT_EQ(rrna_like_structure(500, 90, 3), rrna_like_structure(500, 90, 3));
+}
+
+TEST(Pseudoknot, AlwaysKnottedAndWellFormed) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto s = pseudoknot_structure(30, seed);
+    EXPECT_FALSE(s.is_nonpseudoknot()) << seed;
+    EXPECT_GE(s.arc_count(), 2u);
+  }
+}
+
+TEST(Pseudoknot, MinimumLengthEnforced) {
+  EXPECT_THROW(pseudoknot_structure(3, 1), std::invalid_argument);
+  EXPECT_NO_THROW(pseudoknot_structure(4, 1));
+}
+
+TEST(RandomSequence, DeterministicAndFullLength) {
+  const auto a = random_sequence(100, 7);
+  EXPECT_EQ(a.length(), 100);
+  EXPECT_EQ(a, random_sequence(100, 7));
+  EXPECT_FALSE(a == random_sequence(100, 8));
+}
+
+TEST(RandomSequence, UsesAllFourBases) {
+  const auto counts = random_sequence(400, 3).composition();
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_GT(counts[i], 50u);
+}
+
+TEST(SequenceForStructure, PairedPositionsAreComplementary) {
+  const auto s = rrna_like_structure(300, 60, 11);
+  const auto seq = sequence_for_structure(s, 11);
+  ASSERT_EQ(seq.length(), s.length());
+  for (const Arc& a : s.arcs_by_right())
+    EXPECT_TRUE(can_pair(seq[a.left], seq[a.right])) << a;
+}
+
+}  // namespace
+}  // namespace srna

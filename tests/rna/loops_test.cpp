@@ -1,0 +1,130 @@
+#include "rna/loops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rna/generators.hpp"
+#include "testing/builders.hpp"
+
+namespace srna {
+namespace {
+
+using testing::db;
+
+const Loop& loop_closed_by(const LoopDecomposition& d, Arc closing) {
+  for (const Loop& loop : d.loops)
+    if (loop.closing == closing) return loop;
+  ADD_FAILURE() << "no loop closed by " << closing;
+  static Loop dummy;
+  return dummy;
+}
+
+TEST(Loops, EmptyStructureHasOnlyExterior) {
+  const auto d = decompose_loops(SecondaryStructure(7));
+  EXPECT_TRUE(d.loops.empty());
+  EXPECT_TRUE(d.exterior_branches.empty());
+  EXPECT_EQ(d.exterior_unpaired, 7);
+}
+
+TEST(Loops, Hairpin) {
+  const auto d = decompose_loops(db("(...)"));
+  ASSERT_EQ(d.loops.size(), 1u);
+  EXPECT_EQ(d.loops[0].kind, LoopKind::kHairpin);
+  EXPECT_EQ(d.loops[0].unpaired, 3);
+  EXPECT_TRUE(d.loops[0].branches.empty());
+}
+
+TEST(Loops, StackedPair) {
+  const auto d = decompose_loops(db("((...))"));
+  ASSERT_EQ(d.loops.size(), 2u);
+  const Loop& outer = loop_closed_by(d, Arc{0, 6});
+  EXPECT_EQ(outer.kind, LoopKind::kStack);
+  EXPECT_EQ(outer.unpaired, 0);
+  ASSERT_EQ(outer.branches.size(), 1u);
+  EXPECT_EQ(outer.branches[0], (Arc{1, 5}));
+}
+
+TEST(Loops, BulgeLeftAndRight) {
+  {
+    const auto d = decompose_loops(db("(.(...))"));
+    EXPECT_EQ(loop_closed_by(d, Arc{0, 7}).kind, LoopKind::kBulge);
+  }
+  {
+    const auto d = decompose_loops(db("((...).)"));
+    EXPECT_EQ(loop_closed_by(d, Arc{0, 7}).kind, LoopKind::kBulge);
+  }
+}
+
+TEST(Loops, InternalLoop) {
+  const auto d = decompose_loops(db("(.(...)..)"));
+  const Loop& outer = loop_closed_by(d, Arc{0, 9});
+  EXPECT_EQ(outer.kind, LoopKind::kInternal);
+  EXPECT_EQ(outer.unpaired, 3);
+}
+
+TEST(Loops, Multibranch) {
+  const auto d = decompose_loops(db("((...)(...).)"));
+  const Loop& outer = loop_closed_by(d, Arc{0, 12});
+  EXPECT_EQ(outer.kind, LoopKind::kMultibranch);
+  ASSERT_EQ(outer.branches.size(), 2u);
+  EXPECT_EQ(outer.unpaired, 1);
+}
+
+TEST(Loops, ExteriorRegion) {
+  const auto d = decompose_loops(db("..(...).(.)."));
+  ASSERT_EQ(d.exterior_branches.size(), 2u);
+  EXPECT_EQ(d.exterior_branches[0], (Arc{2, 6}));
+  EXPECT_EQ(d.exterior_branches[1], (Arc{8, 10}));
+  EXPECT_EQ(d.exterior_unpaired, 4);
+}
+
+TEST(Loops, WorstCaseIsAllStacksPlusOneHairpin) {
+  const auto d = decompose_loops(worst_case_structure(40));
+  EXPECT_EQ(d.count(LoopKind::kStack), 19u);
+  EXPECT_EQ(d.count(LoopKind::kHairpin), 1u);
+  EXPECT_EQ(d.count(LoopKind::kMultibranch), 0u);
+}
+
+TEST(Loops, OneLoopPerArc) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto s = random_structure(80, 0.45, seed);
+    const auto d = decompose_loops(s);
+    EXPECT_EQ(d.loops.size(), s.arc_count()) << seed;
+  }
+}
+
+TEST(Loops, BranchAndUnpairedCountsAreConsistent) {
+  // Every position is accounted for exactly once: as an arc endpoint, or as
+  // unpaired in exactly one loop (or the exterior).
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto s = random_structure(90, 0.5, seed);
+    const auto d = decompose_loops(s);
+    Pos unpaired_total = d.exterior_unpaired;
+    for (const Loop& loop : d.loops) unpaired_total += loop.unpaired;
+    EXPECT_EQ(unpaired_total, s.length() - 2 * static_cast<Pos>(s.arc_count())) << seed;
+
+    // Every arc appears as a branch exactly once (in a loop or the exterior).
+    std::size_t branch_total = d.exterior_branches.size();
+    for (const Loop& loop : d.loops) branch_total += loop.branches.size();
+    EXPECT_EQ(branch_total, s.arc_count()) << seed;
+  }
+}
+
+TEST(Loops, RrnaLikeWorkloadHasRealisticMix) {
+  const auto d = decompose_loops(rrna_like_structure(4216, 721, 2012));
+  EXPECT_GT(d.count(LoopKind::kStack), 100u);    // helices dominate
+  EXPECT_GT(d.count(LoopKind::kHairpin), 20u);   // many stem-loops
+  EXPECT_GT(d.count(LoopKind::kMultibranch), 5u);
+}
+
+TEST(Loops, RejectsPseudoknots) {
+  const auto knot = SecondaryStructure::from_arcs(4, {{0, 2}, {1, 3}});
+  EXPECT_THROW(decompose_loops(knot), std::invalid_argument);
+}
+
+TEST(Loops, KindNames) {
+  EXPECT_STREQ(to_string(LoopKind::kHairpin), "hairpin");
+  EXPECT_STREQ(to_string(LoopKind::kMultibranch), "multibranch");
+}
+
+}  // namespace
+}  // namespace srna

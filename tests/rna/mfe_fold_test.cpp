@@ -1,0 +1,168 @@
+#include "rna/mfe_fold.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <limits>
+
+#include "rna/generators.hpp"
+#include "testing/builders.hpp"
+
+namespace srna {
+namespace {
+
+using testing::db;
+
+// Exhaustive oracle: recursive over intervals (like the Nussinov brute
+// force) accumulating arcs, then scoring whole structures with the
+// independent loop-decomposition energy function. Exponential; tiny n only.
+void enumerate_interval(const Sequence& seq, const MfeModel& model, Pos lo, Pos hi,
+                        std::vector<Arc>& current,
+                        const std::function<void()>& leaf) {
+  if (lo > hi) {
+    leaf();
+    return;
+  }
+  // lo unpaired.
+  enumerate_interval(seq, model, lo + 1, hi, current, leaf);
+  // lo paired with k.
+  for (Pos k = lo + model.min_hairpin + 1; k <= hi; ++k) {
+    if (!can_pair(seq[lo], seq[k])) continue;
+    current.push_back(Arc{lo, k});
+    enumerate_interval(seq, model, lo + 1, k - 1, current, [&] {
+      enumerate_interval(seq, model, k + 1, hi, current, leaf);
+    });
+    current.pop_back();
+  }
+}
+
+Energy brute_force_mfe(const Sequence& seq, const MfeModel& model) {
+  Energy best = 0;  // the open chain
+  std::vector<Arc> current;
+  enumerate_interval(seq, model, 0, seq.length() - 1, current, [&] {
+    const auto s = SecondaryStructure::from_arcs(seq.length(), current);
+    try {
+      best = std::min(best, structure_energy(seq, s, model));
+    } catch (const std::invalid_argument&) {
+    }
+  });
+  return best;
+}
+
+TEST(MfeFold, EmptyAndShortSequences) {
+  EXPECT_EQ(mfe_fold(Sequence::from_string("")).energy, 0);
+  const auto r = mfe_fold(Sequence::from_string("ACG"));
+  EXPECT_EQ(r.energy, 0);
+  EXPECT_EQ(r.structure.arc_count(), 0u);
+}
+
+TEST(MfeFold, UnfoldableSequenceStaysOpen) {
+  const auto r = mfe_fold(Sequence::from_string("AAAAAAAAAA"));
+  EXPECT_EQ(r.energy, 0);
+  EXPECT_EQ(r.structure.arc_count(), 0u);
+}
+
+TEST(MfeFold, LongStemIsFavourable) {
+  // GGGGGG AAA CCCCCC: 6 GC pairs stacked over an AAA hairpin.
+  const auto r = mfe_fold(Sequence::from_string("GGGGGGAAACCCCCC"));
+  // Energy: hairpin(3) = 60, 5 stacks = -100 -> -40.
+  EXPECT_EQ(r.energy, -40);
+  EXPECT_EQ(r.structure.arc_count(), 6u);
+  EXPECT_TRUE(r.structure.is_nonpseudoknot());
+}
+
+TEST(MfeFold, ShortStemNotWorthIt) {
+  // Two pairs cannot amortize the hairpin penalty: open chain wins.
+  const auto r = mfe_fold(Sequence::from_string("GGAAACC"));
+  EXPECT_EQ(r.energy, 0);
+  EXPECT_EQ(r.structure.arc_count(), 0u);
+}
+
+TEST(MfeFold, EnergyMatchesStructureEnergy) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto seq = random_sequence(60, seed);
+    const auto r = mfe_fold(seq);
+    EXPECT_EQ(structure_energy(seq, r.structure), r.energy) << seed;
+    EXPECT_TRUE(r.structure.is_nonpseudoknot()) << seed;
+  }
+}
+
+TEST(MfeFold, NeverWorseThanOpenChain) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    EXPECT_LE(mfe_fold(random_sequence(50, seed)).energy, 0) << seed;
+  }
+}
+
+class MfeOracleSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MfeOracleSweep, MatchesExhaustiveEnumeration) {
+  const Sequence seq = random_sequence(12, GetParam());
+  const MfeModel model;
+  EXPECT_EQ(mfe_fold(seq, model).energy, brute_force_mfe(seq, model))
+      << seq.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MfeOracleSweep, ::testing::Range<std::uint64_t>(0, 25));
+
+TEST(MfeOracleSweep, DesignedSequencesWithStems) {
+  // Biased base composition so pairs exist and the oracle exercises stems,
+  // bulges and multiloops.
+  for (std::uint64_t seed = 100; seed < 112; ++seed) {
+    const auto target = random_structure(13, 0.5, seed);
+    const auto seq = sequence_for_structure(target, seed);
+    const MfeModel model;
+    EXPECT_EQ(mfe_fold(seq, model).energy, brute_force_mfe(seq, model))
+        << seq.to_string();
+  }
+}
+
+TEST(StructureEnergy, ScoresKnownLoops) {
+  const MfeModel m;
+  // Single hairpin (0,4): 45 + 5*3 = 60.
+  EXPECT_EQ(structure_energy(Sequence::from_string("GAAAC"), db("(...)")), 60);
+  // Stacked pair: hairpin 60 + stack -20 = 40.
+  EXPECT_EQ(structure_energy(Sequence::from_string("GGAAACC"), db("((...))")), 40);
+  // Bulge of 1: 60 + (15 + 5) = 80.
+  EXPECT_EQ(structure_energy(Sequence::from_string("GAGAAACC"), db("(.(...))")), 80);
+  // Multiloop with two hairpin branches:
+  // 2 hairpins (60 each) + multi(2 branches, 1 unpaired) = 40+20+5 = 65.
+  EXPECT_EQ(structure_energy(Sequence::from_string("GGAAACGAAACUC"), db("((...)(...).)")),
+            60 + 60 + 65);
+}
+
+TEST(StructureEnergy, RejectsInfeasibleStructures) {
+  // Unpairable bonded bases.
+  EXPECT_THROW(structure_energy(Sequence::from_string("AAAAA"), db("(...)")),
+               std::invalid_argument);
+  // Hairpin below the minimum.
+  EXPECT_THROW(structure_energy(Sequence::from_string("GAC"), db("(.)")),
+               std::invalid_argument);
+  // Length mismatch.
+  EXPECT_THROW(structure_energy(Sequence::from_string("GAAAC"), db("(....)")),
+               std::invalid_argument);
+}
+
+TEST(MfeFold, RespectsCustomModel) {
+  // Make hairpins free and stacks worthless: the fold happily closes a
+  // minimal hairpin.
+  MfeModel cheap;
+  cheap.hairpin_base = -10;
+  cheap.hairpin_per_unpaired = 0;
+  cheap.stack = 0;
+  const auto r = mfe_fold(Sequence::from_string("GAAAC"), cheap);
+  EXPECT_EQ(r.energy, -10);
+  EXPECT_EQ(r.structure.arc_count(), 1u);
+}
+
+TEST(MfeFold, MfeStructureFeedsMcosPipeline) {
+  // The end-to-end use: fold two related sequences with the energy model
+  // and compare the resulting structures.
+  const auto base = sequence_for_structure(rrna_like_structure(70, 12, 7), 7);
+  const auto r1 = mfe_fold(base);
+  const auto r2 = mfe_fold(random_sequence(70, 8));
+  EXPECT_TRUE(r1.structure.is_nonpseudoknot());
+  EXPECT_TRUE(r2.structure.is_nonpseudoknot());
+}
+
+}  // namespace
+}  // namespace srna

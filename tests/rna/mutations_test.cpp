@@ -1,0 +1,124 @@
+#include "rna/mutations.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/mcos.hpp"
+#include "rna/generators.hpp"
+#include "testing/builders.hpp"
+
+namespace srna {
+namespace {
+
+using testing::db;
+
+TEST(DeleteArcs, FractionZeroIsIdentity) {
+  const auto s = rrna_like_structure(200, 35, 1);
+  EXPECT_EQ(delete_arcs(s, 0.0, 9), s);
+}
+
+TEST(DeleteArcs, FractionOneRemovesEverything) {
+  const auto s = rrna_like_structure(200, 35, 1);
+  EXPECT_EQ(delete_arcs(s, 1.0, 9).arc_count(), 0u);
+}
+
+TEST(DeleteArcs, SurvivorsAreSubsetAndValid) {
+  const auto s = random_structure(120, 0.5, 2);
+  const auto thinned = delete_arcs(s, 0.4, 3);
+  EXPECT_LE(thinned.arc_count(), s.arc_count());
+  EXPECT_TRUE(thinned.is_nonpseudoknot());
+  for (const Arc& a : thinned.arcs_by_right()) EXPECT_EQ(s.partner(a.left), a.right);
+  // A subset matches fully into the original.
+  EXPECT_EQ(srna2(thinned, s).value, static_cast<Score>(thinned.arc_count()));
+}
+
+TEST(DeleteArcs, RejectsBadFraction) {
+  const auto s = db("(.)");
+  EXPECT_THROW(delete_arcs(s, -0.1, 1), std::invalid_argument);
+  EXPECT_THROW(delete_arcs(s, 1.1, 1), std::invalid_argument);
+}
+
+TEST(SampleArcs, ExactCountKept) {
+  const auto s = random_structure(150, 0.5, 4);
+  ASSERT_GE(s.arc_count(), 10u);
+  const auto sampled = sample_arcs(s, 7, 5);
+  EXPECT_EQ(sampled.arc_count(), 7u);
+  EXPECT_TRUE(sampled.is_nonpseudoknot());
+  for (const Arc& a : sampled.arcs_by_right()) EXPECT_EQ(s.partner(a.left), a.right);
+}
+
+TEST(SampleArcs, CountAboveSizeIsIdentity) {
+  const auto s = db("((..))");
+  EXPECT_EQ(sample_arcs(s, 10, 1), s);
+}
+
+TEST(InsertArcs, GrowsWithoutBreakingValidity) {
+  const auto s = rrna_like_structure(300, 30, 6);
+  const auto grown = insert_arcs(s, 12, 7);
+  EXPECT_GE(grown.arc_count(), s.arc_count());
+  EXPECT_LE(grown.arc_count(), s.arc_count() + 12);
+  EXPECT_TRUE(grown.is_nonpseudoknot());
+  // All original arcs still present.
+  for (const Arc& a : s.arcs_by_right()) EXPECT_EQ(grown.partner(a.left), a.right);
+}
+
+TEST(InsertArcs, SaturatesOnFullyPairedInput) {
+  const auto s = worst_case_structure(20);
+  EXPECT_EQ(insert_arcs(s, 5, 1), s);
+}
+
+TEST(InsertArcs, WorksOnEmptyStructure) {
+  const auto grown = insert_arcs(SecondaryStructure(40), 8, 3);
+  EXPECT_GT(grown.arc_count(), 0u);
+  EXPECT_TRUE(grown.is_nonpseudoknot());
+}
+
+TEST(SlipArcs, PreservesArcCountAndValidity) {
+  const auto s = rrna_like_structure(250, 40, 8);
+  const auto slipped = slip_arcs(s, 15, 9);
+  EXPECT_EQ(slipped.arc_count(), s.arc_count());
+  EXPECT_TRUE(slipped.is_nonpseudoknot());
+}
+
+TEST(SlipArcs, ActuallyMovesSomething) {
+  const auto s = rrna_like_structure(250, 40, 8);
+  const auto slipped = slip_arcs(s, 20, 10);
+  EXPECT_FALSE(slipped == s);
+}
+
+TEST(SlipArcs, NoOpOnArcFreeOrZeroCount) {
+  EXPECT_EQ(slip_arcs(SecondaryStructure(30), 5, 1), SecondaryStructure(30));
+  const auto s = db("((..))");
+  EXPECT_EQ(slip_arcs(s, 0, 1), s);
+}
+
+TEST(MutateStructure, DoseZeroIsIdentity) {
+  const auto s = rrna_like_structure(200, 30, 11);
+  EXPECT_EQ(mutate_structure(s, 0.0, 1), s);
+}
+
+TEST(MutateStructure, ValidAtAllDoses) {
+  const auto s = rrna_like_structure(300, 50, 12);
+  for (double dose : {0.1, 0.3, 0.5, 0.9, 1.0}) {
+    const auto m = mutate_structure(s, dose, 13);
+    EXPECT_TRUE(m.is_nonpseudoknot()) << dose;
+    EXPECT_EQ(m.length(), s.length()) << dose;
+  }
+}
+
+TEST(MutateStructure, SimilarityDecaysWithDose) {
+  const auto s = rrna_like_structure(400, 70, 14);
+  const Score self = srna2(s, s).value;
+  const Score low = srna2(s, mutate_structure(s, 0.1, 15)).value;
+  const Score high = srna2(s, mutate_structure(s, 0.7, 15)).value;
+  EXPECT_GE(self, low);
+  EXPECT_GT(low, high);  // strong decay between doses this far apart
+}
+
+TEST(Mutations, DeterministicInSeed) {
+  const auto s = rrna_like_structure(200, 30, 16);
+  EXPECT_EQ(mutate_structure(s, 0.4, 7), mutate_structure(s, 0.4, 7));
+  EXPECT_FALSE(mutate_structure(s, 0.4, 7) == mutate_structure(s, 0.4, 8));
+}
+
+}  // namespace
+}  // namespace srna

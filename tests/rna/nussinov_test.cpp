@@ -1,0 +1,97 @@
+#include "rna/nussinov.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rna/generators.hpp"
+
+namespace srna {
+namespace {
+
+// Exponential brute-force oracle: maximum pairing over all legal
+// non-crossing pairings, for tiny sequences.
+Pos brute_force_pairs(const Sequence& seq, Pos i, Pos j, Pos min_loop) {
+  if (j - i <= min_loop) return 0;
+  // Either i is unpaired...
+  Pos best = brute_force_pairs(seq, i + 1, j, min_loop);
+  // ...or i pairs with some k.
+  for (Pos k = i + min_loop + 1; k <= j; ++k) {
+    if (!can_pair(seq[i], seq[k])) continue;
+    const Pos inner = brute_force_pairs(seq, i + 1, k - 1, min_loop);
+    const Pos rest = k < j ? brute_force_pairs(seq, k + 1, j, min_loop) : Pos{0};
+    best = std::max(best, static_cast<Pos>(1 + inner + rest));
+  }
+  return best;
+}
+
+TEST(Nussinov, EmptyAndTinySequences) {
+  EXPECT_EQ(nussinov_fold(Sequence::from_string("")).max_pairs, 0);
+  EXPECT_EQ(nussinov_fold(Sequence::from_string("A")).max_pairs, 0);
+  EXPECT_EQ(nussinov_fold(Sequence::from_string("AU")).max_pairs, 0);  // min_loop=3
+}
+
+TEST(Nussinov, SimpleHairpin) {
+  // GGGG AAA CCCC: G-C stems around the AAA loop.
+  const auto result = nussinov_fold(Sequence::from_string("GGGGAAACCCC"));
+  EXPECT_EQ(result.max_pairs, 4);
+  EXPECT_EQ(result.structure.arc_count(), 4u);
+  EXPECT_TRUE(result.structure.is_nonpseudoknot());
+}
+
+TEST(Nussinov, MinLoopEnforced) {
+  // "GAAAC" can pair G with C only if the loop (3 bases) is allowed.
+  const Sequence s = Sequence::from_string("GAAAC");
+  EXPECT_EQ(nussinov_fold(s, NussinovOptions{3}).max_pairs, 1);
+  EXPECT_EQ(nussinov_fold(s, NussinovOptions{4}).max_pairs, 0);
+}
+
+TEST(Nussinov, MinLoopZeroPairsAdjacent) {
+  const Sequence s = Sequence::from_string("GC");
+  EXPECT_EQ(nussinov_fold(s, NussinovOptions{0}).max_pairs, 1);
+}
+
+TEST(Nussinov, NoPairablePartners) {
+  EXPECT_EQ(nussinov_fold(Sequence::from_string("AAAAAAAA")).max_pairs, 0);
+  EXPECT_EQ(nussinov_fold(Sequence::from_string("CCCCCCCC")).max_pairs, 0);
+}
+
+TEST(Nussinov, StructureRespectsPairingRule) {
+  const Sequence seq = random_sequence(80, 21);
+  const auto result = nussinov_fold(seq);
+  for (const Arc& a : result.structure.arcs_by_right()) {
+    EXPECT_TRUE(can_pair(seq[a.left], seq[a.right])) << a;
+    EXPECT_GT(a.right - a.left, 3) << "min_loop violated by " << a;
+  }
+}
+
+TEST(Nussinov, OptimumEqualsArcCount) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto result = nussinov_fold(random_sequence(60, seed));
+    EXPECT_EQ(static_cast<std::size_t>(result.max_pairs), result.structure.arc_count());
+    EXPECT_TRUE(result.structure.is_nonpseudoknot());
+  }
+}
+
+class NussinovOracleTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NussinovOracleTest, MatchesBruteForceOnTinySequences) {
+  const Sequence seq = random_sequence(12, GetParam());
+  for (Pos min_loop : {0, 1, 3}) {
+    const auto result = nussinov_fold(seq, NussinovOptions{min_loop});
+    EXPECT_EQ(result.max_pairs, brute_force_pairs(seq, 0, 11, min_loop))
+        << seq.to_string() << " min_loop=" << min_loop;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NussinovOracleTest, ::testing::Range<std::uint64_t>(0, 20));
+
+TEST(Nussinov, FoldedStructureFeedsSequenceDesignLoop) {
+  // Design a sequence for a target structure; folding it back must find at
+  // least as many pairs as the target has arcs.
+  const auto target = rrna_like_structure(120, 25, 5);
+  const auto seq = sequence_for_structure(target, 5);
+  const auto folded = nussinov_fold(seq);
+  EXPECT_GE(folded.max_pairs, static_cast<Pos>(target.arc_count()) - 2);
+}
+
+}  // namespace
+}  // namespace srna

@@ -1,0 +1,178 @@
+#include "rna/secondary_structure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rna/generators.hpp"
+#include "testing/builders.hpp"
+
+namespace srna {
+namespace {
+
+using testing::arcs;
+
+TEST(SecondaryStructure, EmptyStructure) {
+  const SecondaryStructure s(10);
+  EXPECT_EQ(s.length(), 10);
+  EXPECT_EQ(s.arc_count(), 0u);
+  EXPECT_TRUE(s.is_nonpseudoknot());
+  for (Pos i = 0; i < 10; ++i) {
+    EXPECT_FALSE(s.paired(i));
+    EXPECT_EQ(s.partner(i), -1);
+  }
+}
+
+TEST(SecondaryStructure, ZeroLength) {
+  const SecondaryStructure s(0);
+  EXPECT_EQ(s.length(), 0);
+  EXPECT_EQ(s.max_nesting_depth(), 0);
+}
+
+TEST(SecondaryStructure, PartnerLookupsBothDirections) {
+  const auto s = arcs(10, {{2, 7}, {3, 6}});
+  EXPECT_EQ(s.partner(2), 7);
+  EXPECT_EQ(s.partner(7), 2);
+  EXPECT_EQ(s.arc_left_of(7), 2);
+  EXPECT_EQ(s.arc_left_of(2), -1);  // 2 is a left endpoint
+  EXPECT_EQ(s.arc_left_of(5), -1);  // unpaired
+  EXPECT_EQ(s.arc_right_of(3), 6);
+  EXPECT_EQ(s.arc_right_of(6), -1);
+}
+
+TEST(SecondaryStructure, ArcsSortedByRightEndpoint) {
+  const auto s = arcs(12, {{0, 11}, {1, 4}, {5, 10}, {6, 9}});
+  const auto& list = s.arcs_by_right();
+  ASSERT_EQ(list.size(), 4u);
+  for (std::size_t i = 1; i < list.size(); ++i) EXPECT_LT(list[i - 1].right, list[i].right);
+}
+
+TEST(SecondaryStructure, FromArcsRejectsBadEndpointOrder) {
+  EXPECT_THROW(arcs(5, {{3, 3}}), std::invalid_argument);
+  EXPECT_THROW(arcs(5, {{4, 2}}), std::invalid_argument);
+}
+
+TEST(SecondaryStructure, FromArcsRejectsOutOfRange) {
+  EXPECT_THROW(arcs(5, {{0, 5}}), std::invalid_argument);
+  EXPECT_THROW(arcs(5, {{-1, 3}}), std::invalid_argument);
+}
+
+TEST(SecondaryStructure, FromArcsRejectsSharedEndpoints) {
+  EXPECT_THROW(arcs(6, {{0, 3}, {3, 5}}), std::invalid_argument);
+  EXPECT_THROW(arcs(6, {{0, 3}, {0, 5}}), std::invalid_argument);
+  EXPECT_THROW(arcs(6, {{0, 3}, {0, 3}}), std::invalid_argument);  // duplicate
+}
+
+TEST(SecondaryStructure, CrossingArcsAreAcceptedButFlagged) {
+  const auto s = arcs(6, {{0, 3}, {2, 5}});
+  EXPECT_FALSE(s.is_nonpseudoknot());
+  EXPECT_EQ(s.arc_count(), 2u);
+}
+
+TEST(SecondaryStructure, NestedAndSequentialAreNonPseudoknot) {
+  EXPECT_TRUE(arcs(8, {{0, 7}, {1, 6}, {2, 5}}).is_nonpseudoknot());
+  EXPECT_TRUE(arcs(8, {{0, 1}, {2, 3}, {4, 5}}).is_nonpseudoknot());
+  EXPECT_TRUE(arcs(20, {{0, 19}, {1, 8}, {9, 18}}).is_nonpseudoknot());  // paper Figure 1 shape
+}
+
+TEST(SecondaryStructure, ArcsWithin) {
+  const auto s = arcs(12, {{0, 11}, {1, 4}, {5, 10}, {6, 9}});
+  const auto inside = s.arcs_within(1, 10);
+  ASSERT_EQ(inside.size(), 3u);
+  EXPECT_EQ(inside[0], (Arc{1, 4}));
+  EXPECT_EQ(inside[1], (Arc{6, 9}));
+  EXPECT_EQ(inside[2], (Arc{5, 10}));
+  EXPECT_TRUE(s.arcs_within(2, 3).empty());
+  EXPECT_TRUE(s.arcs_within(5, 4).empty());  // empty interval
+  EXPECT_EQ(s.arcs_within(0, 11).size(), 4u);
+}
+
+TEST(SecondaryStructure, CountArcsWithinMatchesArcsWithin) {
+  const auto s = random_structure(60, 0.3, 99);
+  for (Pos lo = 0; lo < 60; lo += 7) {
+    for (Pos hi = lo; hi < 60; hi += 5) {
+      EXPECT_EQ(s.count_arcs_within(lo, hi), s.arcs_within(lo, hi).size());
+    }
+  }
+}
+
+TEST(SecondaryStructure, MaxNestingDepth) {
+  EXPECT_EQ(arcs(8, {{0, 7}, {1, 6}, {2, 5}}).max_nesting_depth(), 3);
+  EXPECT_EQ(arcs(8, {{0, 1}, {2, 3}}).max_nesting_depth(), 1);
+  EXPECT_EQ(SecondaryStructure(8).max_nesting_depth(), 0);
+  EXPECT_EQ(worst_case_structure(20).max_nesting_depth(), 10);
+}
+
+TEST(ValidateArcs, ReportsEveryIssueKind) {
+  using Kind = ValidationIssue::Kind;
+  {
+    const Arc bad{3, 3};
+    const auto r = validate_arcs(5, std::vector<Arc>{bad});
+    EXPECT_EQ(r.count(Kind::kEndpointOrder), 1u);
+    EXPECT_FALSE(r.well_formed());
+  }
+  {
+    const auto r = validate_arcs(5, std::vector<Arc>{{0, 7}});
+    EXPECT_EQ(r.count(Kind::kOutOfRange), 1u);
+  }
+  {
+    const auto r = validate_arcs(8, std::vector<Arc>{{0, 3}, {0, 3}});
+    EXPECT_EQ(r.count(Kind::kDuplicateArc), 1u);
+  }
+  {
+    const auto r = validate_arcs(8, std::vector<Arc>{{0, 3}, {3, 6}});
+    EXPECT_EQ(r.count(Kind::kSharedEndpoint), 1u);
+  }
+  {
+    const auto r = validate_arcs(8, std::vector<Arc>{{0, 4}, {2, 6}});
+    EXPECT_EQ(r.count(Kind::kCrossing), 1u);
+    EXPECT_TRUE(r.well_formed());       // crossing is well formed...
+    EXPECT_FALSE(r.nonpseudoknot());    // ...but knotted
+  }
+}
+
+TEST(ValidateArcs, CleanStructurePasses) {
+  const auto r = validate_arcs(10, std::vector<Arc>{{0, 9}, {1, 4}, {5, 8}});
+  EXPECT_TRUE(r.issues.empty());
+  EXPECT_TRUE(r.well_formed());
+  EXPECT_TRUE(r.nonpseudoknot());
+}
+
+TEST(ValidateArcs, MultipleCrossingsAllReported) {
+  // (0,4) crossed by (2,6) and (3,8): two crossing pairs, plus (2,6)x(3,8)?
+  // (2,6) and (3,8): 2 < 3 < 6 < 8 — crossing too.
+  const auto r = validate_arcs(10, std::vector<Arc>{{0, 4}, {2, 6}, {3, 8}});
+  EXPECT_EQ(r.count(ValidationIssue::Kind::kCrossing), 3u);
+}
+
+TEST(ValidateArcs, IssueToStringIsDescriptive) {
+  const auto r = validate_arcs(8, std::vector<Arc>{{0, 4}, {2, 6}});
+  ASSERT_EQ(r.issues.size(), 1u);
+  EXPECT_NE(r.issues[0].to_string().find("pseudoknot"), std::string::npos);
+}
+
+TEST(ValidateArcs, RandomNonPseudoknotStructuresAreClean) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto s = random_structure(50, 0.4, seed);
+    const auto r = validate_arcs(s.length(), s.arcs_by_right());
+    EXPECT_TRUE(r.nonpseudoknot()) << "seed " << seed;
+  }
+}
+
+TEST(ValidateArcs, GeneratedPseudoknotsAreDetected) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto s = pseudoknot_structure(40, seed);
+    const auto r = validate_arcs(s.length(), s.arcs_by_right());
+    EXPECT_TRUE(r.well_formed()) << "seed " << seed;
+    EXPECT_FALSE(r.nonpseudoknot()) << "seed " << seed;
+  }
+}
+
+TEST(SecondaryStructure, EqualityIsStructural) {
+  const auto a = arcs(6, {{0, 5}, {1, 4}});
+  const auto b = arcs(6, {{1, 4}, {0, 5}});  // same set, different input order
+  EXPECT_EQ(a, b);
+  const auto c = arcs(6, {{0, 5}});
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace srna

@@ -1,0 +1,98 @@
+#include "rna/sequence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace srna {
+namespace {
+
+TEST(Base, CharRoundTrip) {
+  for (Base b : {Base::A, Base::C, Base::G, Base::U}) {
+    Base parsed;
+    ASSERT_TRUE(base_from_char(to_char(b), parsed));
+    EXPECT_EQ(parsed, b);
+  }
+}
+
+TEST(Base, LowerCaseAndThymineAccepted) {
+  Base b;
+  ASSERT_TRUE(base_from_char('a', b));
+  EXPECT_EQ(b, Base::A);
+  ASSERT_TRUE(base_from_char('t', b));
+  EXPECT_EQ(b, Base::U);
+  ASSERT_TRUE(base_from_char('T', b));
+  EXPECT_EQ(b, Base::U);
+}
+
+TEST(Base, RejectsNonBases) {
+  Base b;
+  EXPECT_FALSE(base_from_char('X', b));
+  EXPECT_FALSE(base_from_char('.', b));
+  EXPECT_FALSE(base_from_char(' ', b));
+}
+
+// All 16 ordered base combinations with the expected pairing verdict
+// (Watson-Crick AU/CG plus GU wobble).
+class CanPairTest : public ::testing::TestWithParam<std::tuple<Base, Base, bool>> {};
+
+TEST_P(CanPairTest, MatchesPairingTable) {
+  const auto& [a, b, expected] = GetParam();
+  EXPECT_EQ(can_pair(a, b), expected);
+  EXPECT_EQ(can_pair(b, a), expected) << "pairing must be symmetric";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, CanPairTest,
+    ::testing::Values(std::make_tuple(Base::A, Base::A, false),
+                      std::make_tuple(Base::A, Base::C, false),
+                      std::make_tuple(Base::A, Base::G, false),
+                      std::make_tuple(Base::A, Base::U, true),
+                      std::make_tuple(Base::C, Base::C, false),
+                      std::make_tuple(Base::C, Base::G, true),
+                      std::make_tuple(Base::C, Base::U, false),
+                      std::make_tuple(Base::G, Base::G, false),
+                      std::make_tuple(Base::G, Base::U, true),
+                      std::make_tuple(Base::U, Base::U, false)));
+
+TEST(Sequence, FromStringRoundTrip) {
+  const Sequence s = Sequence::from_string("ACGU");
+  EXPECT_EQ(s.length(), 4);
+  EXPECT_EQ(s.to_string(), "ACGU");
+  EXPECT_EQ(s[0], Base::A);
+  EXPECT_EQ(s[3], Base::U);
+}
+
+TEST(Sequence, FromStringNormalizesCaseAndT) {
+  EXPECT_EQ(Sequence::from_string("acgt").to_string(), "ACGU");
+}
+
+TEST(Sequence, FromStringThrowsOnGarbage) {
+  EXPECT_THROW(Sequence::from_string("ACGX"), std::invalid_argument);
+  EXPECT_THROW(Sequence::from_string("AC GU"), std::invalid_argument);
+}
+
+TEST(Sequence, EmptySequence) {
+  const Sequence s = Sequence::from_string("");
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.length(), 0);
+  EXPECT_EQ(s.to_string(), "");
+}
+
+TEST(Sequence, Composition) {
+  const Sequence s = Sequence::from_string("AACGGGU");
+  const auto counts = s.composition();
+  EXPECT_EQ(counts[static_cast<std::size_t>(Base::A)], 2u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(Base::C)], 1u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(Base::G)], 3u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(Base::U)], 1u);
+}
+
+TEST(Sequence, AtThrowsOutOfRange) {
+  const Sequence s = Sequence::from_string("AC");
+  EXPECT_NO_THROW(s.at(1));
+  EXPECT_THROW(s.at(2), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace srna

@@ -1,0 +1,113 @@
+#include "rna/structure_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rna/generators.hpp"
+#include "testing/builders.hpp"
+
+namespace srna {
+namespace {
+
+using testing::db;
+
+TEST(StructureStats, EmptyStructure) {
+  const auto stats = compute_stats(SecondaryStructure(12));
+  EXPECT_EQ(stats.length, 12);
+  EXPECT_EQ(stats.arcs, 0u);
+  EXPECT_EQ(stats.stems, 0u);
+  EXPECT_EQ(stats.hairpins, 0u);
+  EXPECT_EQ(stats.paired_fraction, 0.0);
+  EXPECT_EQ(stats.max_nesting_depth, 0);
+}
+
+TEST(StructureStats, SingleHairpinStem) {
+  // One stem of 3 stacked arcs around a 3-base loop.
+  const auto s = db("(((...)))");
+  const auto stats = compute_stats(s);
+  EXPECT_EQ(stats.arcs, 3u);
+  EXPECT_EQ(stats.stems, 1u);
+  EXPECT_DOUBLE_EQ(stats.mean_stem_length, 3.0);
+  EXPECT_EQ(stats.hairpins, 1u);  // only the innermost arc has an empty interior
+  EXPECT_EQ(stats.max_nesting_depth, 3);
+  EXPECT_DOUBLE_EQ(stats.paired_fraction, 6.0 / 9.0);
+}
+
+TEST(StructureStats, TwoStemsWithBulge) {
+  // Outer stack of 2, a bulge, then an inner stack of 2.
+  const auto s = db("((.((...)).))");
+  const auto stats = compute_stats(s);
+  EXPECT_EQ(stats.arcs, 4u);
+  EXPECT_EQ(stats.stems, 2u);
+  EXPECT_DOUBLE_EQ(stats.mean_stem_length, 2.0);
+  EXPECT_EQ(stats.hairpins, 1u);
+}
+
+TEST(StructureStats, MultiloopCountsSeparateStems) {
+  const auto s = db("((..(...)..(...)..))");
+  const auto stats = compute_stats(s);
+  EXPECT_EQ(stats.stems, 3u);
+  EXPECT_EQ(stats.hairpins, 2u);
+}
+
+TEST(StructureStats, WorstCaseIsOneGiantStem) {
+  const auto s = worst_case_structure(40);
+  const auto stats = compute_stats(s);
+  EXPECT_EQ(stats.arcs, 20u);
+  EXPECT_EQ(stats.stems, 1u);
+  EXPECT_DOUBLE_EQ(stats.mean_stem_length, 20.0);
+  EXPECT_EQ(stats.max_nesting_depth, 20);
+  EXPECT_DOUBLE_EQ(stats.paired_fraction, 1.0);
+}
+
+TEST(StructureStats, SequentialArcsAreManyStems) {
+  const auto s = sequential_arcs_structure(10, 5);
+  const auto stats = compute_stats(s);
+  EXPECT_EQ(stats.arcs, 5u);
+  EXPECT_EQ(stats.stems, 5u);
+  EXPECT_EQ(stats.hairpins, 5u);
+  EXPECT_EQ(stats.max_nesting_depth, 1);
+}
+
+TEST(StructureStats, TotalInteriorWidthMatchesDefinition) {
+  const auto s = db("((..))..(.)");
+  // Arcs: (0,5) width 4, (1,4) width 2, (8,10) width 1.
+  const auto stats = compute_stats(s);
+  EXPECT_EQ(stats.total_interior_width, 7u);
+}
+
+TEST(FindStems, ReportsOuterArcAndLength) {
+  const auto s = db("((.((...)).))");
+  const auto stems = find_stems(s);
+  ASSERT_EQ(stems.size(), 2u);
+  EXPECT_EQ(stems[0].outer, (Arc{0, 12}));
+  EXPECT_EQ(stems[0].length, 2);
+  EXPECT_EQ(stems[1].outer, (Arc{3, 9}));
+  EXPECT_EQ(stems[1].length, 2);
+}
+
+TEST(FindStems, StemsSortedByLeftEndpoint) {
+  const auto s = db("(...)((...))(.)");
+  const auto stems = find_stems(s);
+  ASSERT_EQ(stems.size(), 3u);
+  EXPECT_LT(stems[0].outer.left, stems[1].outer.left);
+  EXPECT_LT(stems[1].outer.left, stems[2].outer.left);
+}
+
+TEST(StructureStats, StemArcTotalsMatchArcCount) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto s = random_structure(120, 0.4, seed);
+    const auto stems = find_stems(s);
+    std::size_t total = 0;
+    for (const auto& stem : stems) total += static_cast<std::size_t>(stem.length);
+    EXPECT_EQ(total, s.arc_count()) << "seed " << seed;
+  }
+}
+
+TEST(StructureStats, ToStringMentionsKeyFields) {
+  const auto text = compute_stats(db("(...)")).to_string();
+  EXPECT_NE(text.find("length=5"), std::string::npos);
+  EXPECT_NE(text.find("arcs=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace srna

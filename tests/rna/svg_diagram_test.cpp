@@ -1,0 +1,93 @@
+#include "rna/svg_diagram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rna/generators.hpp"
+#include "testing/builders.hpp"
+
+namespace srna {
+namespace {
+
+using testing::db;
+
+std::size_t count_occurrences(const std::string& text, const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size()))
+    ++count;
+  return count;
+}
+
+TEST(SvgDiagram, WellFormedEnvelope) {
+  const auto svg = render_svg_diagram(db("((..))"));
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("xmlns"), std::string::npos);
+}
+
+TEST(SvgDiagram, OnePathPerArc) {
+  for (const char* text : {"(...)", "((..))", "((..))(.)", "....."}) {
+    const auto s = db(text);
+    const auto svg = render_svg_diagram(s);
+    EXPECT_EQ(count_occurrences(svg, "<path"), s.arc_count()) << text;
+  }
+}
+
+TEST(SvgDiagram, SequenceRendersBaseLetters) {
+  const auto s = db("(..)");
+  const auto seq = Sequence::from_string("GAAC");
+  const auto svg = render_svg_diagram(s, &seq);
+  EXPECT_EQ(count_occurrences(svg, ">G</text>"), 1u);
+  EXPECT_EQ(count_occurrences(svg, ">A</text>"), 2u);
+  EXPECT_EQ(count_occurrences(svg, ">C</text>"), 1u);
+}
+
+TEST(SvgDiagram, HighlightedArcsUseHighlightColor) {
+  SvgDiagramOptions opt;
+  opt.highlight = {Arc{0, 5}};
+  const auto svg = render_svg_diagram(db("((..))"), nullptr, opt);
+  EXPECT_EQ(count_occurrences(svg, "#D40000"), 1u);
+}
+
+TEST(SvgDiagram, TitleAppears) {
+  SvgDiagramOptions opt;
+  opt.title = "my structure";
+  const auto svg = render_svg_diagram(db("(.)"), nullptr, opt);
+  EXPECT_NE(svg.find("my structure"), std::string::npos);
+}
+
+TEST(SvgDiagram, MonochromeModeUsesOneColor) {
+  SvgDiagramOptions opt;
+  opt.color_stems = false;
+  const auto svg = render_svg_diagram(db("((..))(.)"), nullptr, opt);
+  EXPECT_EQ(count_occurrences(svg, "#4477AA"), 3u);
+}
+
+TEST(SvgDiagram, WidthScalesWithLength) {
+  const auto small = render_svg_diagram(SecondaryStructure(10));
+  const auto large = render_svg_diagram(SecondaryStructure(100));
+  // The viewBox width grows; cheap proxy: the longer document mentions a
+  // larger width attribute first.
+  EXPECT_LT(small.find("width"), large.size());
+  EXPECT_NE(small, large);
+}
+
+TEST(SvgDiagram, RejectsBadInputs) {
+  const auto knot = SecondaryStructure::from_arcs(4, {{0, 2}, {1, 3}});
+  EXPECT_THROW(render_svg_diagram(knot), std::invalid_argument);
+  const auto s = db("(..)");
+  const auto seq = Sequence::from_string("AC");
+  EXPECT_THROW(render_svg_diagram(s, &seq), std::invalid_argument);
+  SvgDiagramOptions opt;
+  opt.spacing = 0.0;
+  EXPECT_THROW(render_svg_diagram(s, nullptr, opt), std::invalid_argument);
+}
+
+TEST(SvgDiagram, LargeStructureRendersEveryArc) {
+  const auto s = rrna_like_structure(500, 90, 5);
+  const auto svg = render_svg_diagram(s);
+  EXPECT_EQ(count_occurrences(svg, "<path"), s.arc_count());
+}
+
+}  // namespace
+}  // namespace srna

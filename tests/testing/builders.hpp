@@ -1,0 +1,20 @@
+// Shared test helpers: terse structure builders and the brute-force MCOS
+// oracle used by the property suites.
+#pragma once
+
+#include <vector>
+
+#include "rna/dot_bracket.hpp"
+#include "rna/secondary_structure.hpp"
+
+namespace srna::testing {
+
+// Structure from dot-bracket shorthand.
+inline SecondaryStructure db(std::string_view text) { return parse_dot_bracket(text); }
+
+// Structure from an explicit arc list.
+inline SecondaryStructure arcs(Pos n, std::vector<Arc> list) {
+  return SecondaryStructure::from_arcs(n, std::move(list));
+}
+
+}  // namespace srna::testing

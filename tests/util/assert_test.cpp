@@ -1,0 +1,61 @@
+#include "util/assert.hpp"
+
+#include <gtest/gtest.h>
+
+namespace srna {
+namespace {
+
+TEST(Assert, RequireThrowsInvalidArgumentWithContext) {
+  try {
+    SRNA_REQUIRE(1 == 2, "one is not two");
+    FAIL() << "should have thrown";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("one is not two"), std::string::npos);
+    EXPECT_NE(what.find("assert_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Assert, RequirePassesSilently) {
+  EXPECT_NO_THROW(SRNA_REQUIRE(2 + 2 == 4, "math"));
+}
+
+TEST(Assert, CheckThrowsLogicError) {
+  EXPECT_THROW(SRNA_CHECK(false, "broken invariant"), std::logic_error);
+  EXPECT_NO_THROW(SRNA_CHECK(true, "fine"));
+}
+
+TEST(Assert, CheckIsNotInvalidArgument) {
+  // The two macros signal different contracts; catch sites rely on it.
+  try {
+    SRNA_CHECK(false, "x");
+    FAIL();
+  } catch (const std::invalid_argument&) {
+    FAIL() << "SRNA_CHECK must not throw invalid_argument";
+  } catch (const std::logic_error&) {
+    SUCCEED();
+  }
+}
+
+TEST(Assert, MacroIsSingleStatementSafe) {
+  // Must compose with unbraced if/else.
+  if (false)
+    SRNA_REQUIRE(true, "never evaluated");
+  else
+    SRNA_CHECK(true, "else branch");
+  SUCCEED();
+}
+
+TEST(Assert, SideEffectsEvaluatedOnce) {
+  int calls = 0;
+  auto touch = [&] {
+    ++calls;
+    return true;
+  };
+  SRNA_REQUIRE(touch(), "side effect");
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace srna

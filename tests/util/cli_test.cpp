@@ -1,0 +1,123 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace srna {
+namespace {
+
+CliParser make_parser() {
+  CliParser cli("prog", "test program");
+  cli.add_flag("verbose", "chatty output");
+  cli.add_flag("fast", "skip slow parts", /*def=*/true);
+  cli.add_option("length", "sequence length", "100");
+  cli.add_option("ratio", "a real number", "0.5");
+  cli.add_option("lengths", "comma list", "1,2,3");
+  return cli;
+}
+
+template <std::size_t N>
+bool parse(CliParser& cli, const std::array<const char*, N>& argv) {
+  return cli.parse(static_cast<int>(N), argv.data());
+}
+
+TEST(CliParser, DefaultsApplyWithoutArguments) {
+  CliParser cli = make_parser();
+  std::array<const char*, 1> argv{"prog"};
+  ASSERT_TRUE(parse(cli, argv));
+  EXPECT_FALSE(cli.flag("verbose"));
+  EXPECT_TRUE(cli.flag("fast"));
+  EXPECT_EQ(cli.integer("length"), 100);
+  EXPECT_DOUBLE_EQ(cli.real("ratio"), 0.5);
+}
+
+TEST(CliParser, EqualsSyntax) {
+  CliParser cli = make_parser();
+  std::array<const char*, 3> argv{"prog", "--length=42", "--ratio=2.5"};
+  ASSERT_TRUE(parse(cli, argv));
+  EXPECT_EQ(cli.integer("length"), 42);
+  EXPECT_DOUBLE_EQ(cli.real("ratio"), 2.5);
+}
+
+TEST(CliParser, SpaceSeparatedValue) {
+  CliParser cli = make_parser();
+  std::array<const char*, 3> argv{"prog", "--length", "7"};
+  ASSERT_TRUE(parse(cli, argv));
+  EXPECT_EQ(cli.integer("length"), 7);
+}
+
+TEST(CliParser, FlagAndNegatedFlag) {
+  CliParser cli = make_parser();
+  std::array<const char*, 3> argv{"prog", "--verbose", "--no-fast"};
+  ASSERT_TRUE(parse(cli, argv));
+  EXPECT_TRUE(cli.flag("verbose"));
+  EXPECT_FALSE(cli.flag("fast"));
+}
+
+TEST(CliParser, FlagWithExplicitValue) {
+  CliParser cli = make_parser();
+  std::array<const char*, 2> argv{"prog", "--verbose=true"};
+  ASSERT_TRUE(parse(cli, argv));
+  EXPECT_TRUE(cli.flag("verbose"));
+
+  CliParser cli2 = make_parser();
+  std::array<const char*, 2> argv2{"prog", "--verbose=0"};
+  ASSERT_TRUE(parse(cli2, argv2));
+  EXPECT_FALSE(cli2.flag("verbose"));
+}
+
+TEST(CliParser, UnknownOptionThrows) {
+  CliParser cli = make_parser();
+  std::array<const char*, 2> argv{"prog", "--bogus"};
+  EXPECT_THROW(parse(cli, argv), std::invalid_argument);
+}
+
+TEST(CliParser, MissingValueThrows) {
+  CliParser cli = make_parser();
+  std::array<const char*, 2> argv{"prog", "--length"};
+  EXPECT_THROW(parse(cli, argv), std::invalid_argument);
+}
+
+TEST(CliParser, MalformedIntegerThrows) {
+  CliParser cli = make_parser();
+  std::array<const char*, 2> argv{"prog", "--length=12x"};
+  ASSERT_TRUE(parse(cli, argv));
+  EXPECT_THROW(cli.integer("length"), std::invalid_argument);
+}
+
+TEST(CliParser, IntListParsesCommaSeparated) {
+  CliParser cli = make_parser();
+  std::array<const char*, 2> argv{"prog", "--lengths=100,200,400"};
+  ASSERT_TRUE(parse(cli, argv));
+  EXPECT_EQ(cli.int_list("lengths"), (std::vector<std::int64_t>{100, 200, 400}));
+}
+
+TEST(CliParser, PositionalArgumentsCollected) {
+  CliParser cli = make_parser();
+  std::array<const char*, 4> argv{"prog", "a.ct", "--verbose", "b.ct"};
+  ASSERT_TRUE(parse(cli, argv));
+  EXPECT_EQ(cli.positional(), (std::vector<std::string>{"a.ct", "b.ct"}));
+}
+
+TEST(CliParser, HelpReturnsFalse) {
+  CliParser cli = make_parser();
+  std::array<const char*, 2> argv{"prog", "--help"};
+  EXPECT_FALSE(parse(cli, argv));
+}
+
+TEST(CliParser, DuplicateRegistrationThrows) {
+  CliParser cli("p", "d");
+  cli.add_flag("x", "first");
+  EXPECT_THROW(cli.add_flag("x", "again"), std::invalid_argument);
+  EXPECT_THROW(cli.add_option("x", "again", "1"), std::invalid_argument);
+}
+
+TEST(CliParser, QueryingUnregisteredOptionThrows) {
+  CliParser cli("p", "d");
+  EXPECT_THROW(cli.flag("nope"), std::invalid_argument);
+  EXPECT_THROW(cli.str("nope"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace srna

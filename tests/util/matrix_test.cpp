@@ -1,0 +1,96 @@
+#include "util/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace srna {
+namespace {
+
+TEST(Matrix, DefaultConstructedIsEmpty) {
+  Matrix<int> m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, ConstructWithFill) {
+  Matrix<int> m(3, 4, 7);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_EQ(m(r, c), 7);
+}
+
+TEST(Matrix, ReadWriteRoundTrip) {
+  Matrix<int> m(5, 5);
+  int v = 0;
+  for (std::size_t r = 0; r < 5; ++r)
+    for (std::size_t c = 0; c < 5; ++c) m(r, c) = v++;
+  v = 0;
+  for (std::size_t r = 0; r < 5; ++r)
+    for (std::size_t c = 0; c < 5; ++c) EXPECT_EQ(m(r, c), v++);
+}
+
+TEST(Matrix, RowDataIsContiguousRowMajor) {
+  Matrix<int> m(2, 3);
+  std::iota(m.flat().begin(), m.flat().end(), 0);
+  const int* row1 = m.row_data(1);
+  EXPECT_EQ(row1[0], 3);
+  EXPECT_EQ(row1[1], 4);
+  EXPECT_EQ(row1[2], 5);
+  EXPECT_EQ(m.row_data(0) + 3, m.row_data(1));
+}
+
+TEST(Matrix, AtThrowsOutOfRange) {
+  Matrix<int> m(2, 2);
+  EXPECT_THROW(m.at(2, 0), std::invalid_argument);
+  EXPECT_THROW(m.at(0, 2), std::invalid_argument);
+  EXPECT_NO_THROW(m.at(1, 1));
+}
+
+TEST(Matrix, FillOverwritesEverything) {
+  Matrix<int> m(3, 3, 1);
+  m(1, 1) = 42;
+  m.fill(9);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_EQ(m(r, c), 9);
+}
+
+TEST(Matrix, ResizeReshapesAndRefills) {
+  Matrix<int> m(2, 2, 5);
+  m.resize(4, 1, -1);
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 1u);
+  for (std::size_t r = 0; r < 4; ++r) EXPECT_EQ(m(r, 0), -1);
+}
+
+TEST(Matrix, ResizeToSmallerKeepsShape) {
+  Matrix<int> m(8, 8, 3);
+  m.resize(2, 3, 0);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+}
+
+TEST(Matrix, EqualityComparesShapeAndContents) {
+  Matrix<int> a(2, 2, 1);
+  Matrix<int> b(2, 2, 1);
+  EXPECT_EQ(a, b);
+  b(0, 1) = 2;
+  EXPECT_FALSE(a == b);
+  Matrix<int> c(4, 1, 1);  // same flat data, different shape
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Matrix, MoveLeavesTargetValid) {
+  Matrix<int> a(2, 2, 6);
+  Matrix<int> b = std::move(a);
+  EXPECT_EQ(b.rows(), 2u);
+  EXPECT_EQ(b(1, 1), 6);
+}
+
+}  // namespace
+}  // namespace srna

@@ -1,0 +1,122 @@
+#include "util/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace srna {
+namespace {
+
+TEST(Xoshiro256, SameSeedSameStream) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Xoshiro256, UniformRespectsBound) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      const std::uint64_t v = rng.uniform(bound);
+      EXPECT_LT(v, bound);
+    }
+  }
+}
+
+TEST(Xoshiro256, UniformBoundOneIsAlwaysZero) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(rng.uniform(1), 0u);
+}
+
+TEST(Xoshiro256, UniformCoversAllResidues) {
+  Xoshiro256 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Xoshiro256, UniformIntInclusiveRange) {
+  Xoshiro256 rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xoshiro256, UniformIntDegenerateRange) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(Xoshiro256, UniformRealInUnitInterval) {
+  Xoshiro256 rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 4000; ++i) {
+    const double v = rng.uniform_real();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 4000.0, 0.5, 0.05);  // mean sanity
+}
+
+TEST(Xoshiro256, BernoulliEdgeProbabilities) {
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-1.0));
+    EXPECT_TRUE(rng.bernoulli(2.0));
+  }
+}
+
+TEST(Xoshiro256, BernoulliRateApproximatesP) {
+  Xoshiro256 rng(19);
+  int hits = 0;
+  const int trials = 10000;
+  for (int i = 0; i < trials; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.03);
+}
+
+TEST(Xoshiro256, JumpProducesDisjointStream) {
+  Xoshiro256 a(23);
+  Xoshiro256 b(23);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(SplitMix64, KnownFirstOutputs) {
+  // Reference values for seed 0 from the splitmix64 reference implementation.
+  std::uint64_t state = 0;
+  EXPECT_EQ(splitmix64(state), 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(splitmix64(state), 0x6E789E6AA1B965F4ULL);
+  EXPECT_EQ(splitmix64(state), 0x06C45D188009454FULL);
+}
+
+TEST(HashU64, DeterministicAndSpreading) {
+  EXPECT_EQ(hash_u64(1), hash_u64(1));
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 100; ++i) outputs.insert(hash_u64(i));
+  EXPECT_EQ(outputs.size(), 100u);
+}
+
+}  // namespace
+}  // namespace srna

@@ -1,0 +1,77 @@
+#include "util/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace srna {
+namespace {
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim("\t\nhi\r\n"), "hi");
+  EXPECT_EQ(trim("hi"), "hi");
+}
+
+TEST(Trim, AllWhitespaceBecomesEmpty) {
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(SplitWs, SplitsOnRuns) {
+  const auto parts = split_ws("  a\tb   c \n");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitWs, EmptyInputGivesNoTokens) {
+  EXPECT_TRUE(split_ws("").empty());
+  EXPECT_TRUE(split_ws("   ").empty());
+}
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, NoDelimiterGivesWholeString) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("hello", "he"));
+  EXPECT_TRUE(starts_with("hello", ""));
+  EXPECT_FALSE(starts_with("he", "hello"));
+  EXPECT_FALSE(starts_with("hello", "lo"));
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(to_lower("AbC123"), "abc123");
+}
+
+TEST(ParseSize, ValidNumbers) {
+  std::size_t out = 99;
+  EXPECT_TRUE(parse_size("0", out));
+  EXPECT_EQ(out, 0u);
+  EXPECT_TRUE(parse_size("  42 ", out));
+  EXPECT_EQ(out, 42u);
+  EXPECT_TRUE(parse_size("18446744073709551615", out));  // SIZE_MAX on 64-bit
+}
+
+TEST(ParseSize, RejectsMalformed) {
+  std::size_t out = 0;
+  EXPECT_FALSE(parse_size("", out));
+  EXPECT_FALSE(parse_size("-1", out));
+  EXPECT_FALSE(parse_size("12x", out));
+  EXPECT_FALSE(parse_size("1 2", out));
+  EXPECT_FALSE(parse_size("18446744073709551616", out));  // overflow
+}
+
+}  // namespace
+}  // namespace srna

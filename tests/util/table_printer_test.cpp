@@ -1,0 +1,73 @@
+#include "util/table_printer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace srna {
+namespace {
+
+TEST(TablePrinter, RejectsEmptyHeader) {
+  EXPECT_THROW(TablePrinter({}), std::invalid_argument);
+}
+
+TEST(TablePrinter, RejectsMismatchedRowWidth) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(TablePrinter, AlignsColumnsToWidestCell) {
+  TablePrinter t({"n", "time"});
+  t.add(100, 1.5);
+  t.add(1600, 12.25);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Header, rule, two data rows.
+  EXPECT_NE(out.find("   n"), std::string::npos);
+  EXPECT_NE(out.find("1600"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TablePrinter, VariadicAddFormatsDoubles) {
+  TablePrinter t({"x"});
+  t.add(3.14159);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("3.142"), std::string::npos);
+}
+
+TEST(TablePrinter, CsvBasic) {
+  TablePrinter t({"a", "b"});
+  t.add("x", "y");
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\nx,y\n");
+}
+
+TEST(TablePrinter, CsvQuotesSpecialCells) {
+  TablePrinter t({"a"});
+  t.add_row({"hello, world"});
+  t.add_row({"say \"hi\""});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a\n\"hello, world\"\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(TablePrinter, NumRowsCountsDataRows) {
+  TablePrinter t({"a"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.add(1);
+  t.add(2);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Fixed, FormatsRequestedDigits) {
+  EXPECT_EQ(fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(fixed(1.0, 0), "1");
+  EXPECT_EQ(fixed(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace srna

@@ -1,0 +1,86 @@
+#include "util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace srna {
+namespace {
+
+TEST(WallTimer, MonotoneNonNegative) {
+  WallTimer t;
+  const double a = t.seconds();
+  const double b = t.seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(WallTimer, ResetRestartsFromZero) {
+  WallTimer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  const double before = t.seconds();
+  t.reset();
+  EXPECT_LE(t.seconds(), before + 1.0);  // loose, but reset must not go backwards
+}
+
+TEST(PhaseTimer, AccumulatesNamedPhases) {
+  PhaseTimer pt;
+  pt.add("one", 1.0);
+  pt.add("two", 2.0);
+  pt.add("one", 0.5);
+  EXPECT_DOUBLE_EQ(pt.seconds("one"), 1.5);
+  EXPECT_DOUBLE_EQ(pt.seconds("two"), 2.0);
+  EXPECT_DOUBLE_EQ(pt.total_seconds(), 3.5);
+}
+
+TEST(PhaseTimer, PhasesKeepFirstUseOrder) {
+  PhaseTimer pt;
+  pt.add("b", 1.0);
+  pt.add("a", 1.0);
+  pt.add("b", 1.0);
+  ASSERT_EQ(pt.phases().size(), 2u);
+  EXPECT_EQ(pt.phases()[0].name, "b");
+  EXPECT_EQ(pt.phases()[1].name, "a");
+  EXPECT_EQ(pt.phases()[0].count, 2u);
+}
+
+TEST(PhaseTimer, PercentOfTotal) {
+  PhaseTimer pt;
+  pt.add("x", 3.0);
+  pt.add("y", 1.0);
+  EXPECT_DOUBLE_EQ(pt.percent("x"), 75.0);
+  EXPECT_DOUBLE_EQ(pt.percent("y"), 25.0);
+}
+
+TEST(PhaseTimer, UnknownPhaseIsZero) {
+  PhaseTimer pt;
+  pt.add("x", 1.0);
+  EXPECT_EQ(pt.seconds("nope"), 0.0);
+  EXPECT_EQ(pt.percent("nope"), 0.0);
+}
+
+TEST(PhaseTimer, PercentWithNoDataIsZero) {
+  PhaseTimer pt;
+  EXPECT_EQ(pt.percent("x"), 0.0);
+}
+
+TEST(PhaseTimer, ScopeTimesIntoPhase) {
+  PhaseTimer pt;
+  {
+    auto scope = pt.scope("scoped");
+    volatile int sink = 0;
+    for (int i = 0; i < 1000; ++i) sink += i;
+  }
+  EXPECT_GT(pt.seconds("scoped"), 0.0);
+  EXPECT_EQ(pt.phases()[0].count, 1u);
+}
+
+TEST(PhaseTimer, ClearEmptiesPhases) {
+  PhaseTimer pt;
+  pt.add("x", 1.0);
+  pt.clear();
+  EXPECT_TRUE(pt.phases().empty());
+  EXPECT_EQ(pt.total_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace srna

@@ -1,0 +1,23 @@
+// The `srna` command-line tool, as a library so the test suite can drive it.
+//
+// Subcommands:
+//   compare   MCOS (or weighted similarity) between two structures
+//   fold      Nussinov-fold a sequence into a structure
+//   show      arc diagram + statistics of a structure
+//   validate  well-formedness / pseudoknot report
+//   generate  synthesize a workload structure (worst/random/rrna/knot)
+//   convert   CT <-> BPSEQ <-> dot-bracket conversion
+//
+// Structure arguments accept either a file path (*.ct / *.bpseq) or a
+// dot-bracket literal.
+#pragma once
+
+#include <iosfwd>
+
+namespace srna::tools {
+
+// Returns the process exit code. Never throws: errors are printed to `err`
+// and mapped to exit code 2 (usage) or 1 (runtime failure).
+int run_cli(int argc, const char* const* argv, std::ostream& out, std::ostream& err);
+
+}  // namespace srna::tools

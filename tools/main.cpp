@@ -1,0 +1,7 @@
+#include <iostream>
+
+#include "cli_app.hpp"
+
+int main(int argc, char** argv) {
+  return srna::tools::run_cli(argc, argv, std::cout, std::cerr);
+}
