@@ -9,8 +9,10 @@
 #include <functional>
 #include <iostream>
 #include <string>
+#include <utility>
 
 #include "core/result.hpp"
+#include "obs/report.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
 
@@ -34,5 +36,41 @@ inline void print_header(const std::string& title, const std::string& paper_anch
             << "reproduces: " << paper_anchor << "\n"
             << "================================================================\n";
 }
+
+// Machine-readable companion to the printed table: one JSON result row per
+// measurement, wrapped in an obs::RunReport and written as
+// `BENCH_<name>.json` (the repo's benchmark trajectory format). `--report=`
+// overrides the path; `--report=none` skips the file.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name)
+      : name_(std::move(name)), report_("bench/" + name_) {}
+
+  // The underlying report, for attaching bench-specific context (parameters,
+  // calibration results, cross-checks).
+  [[nodiscard]] obs::RunReport& report() noexcept { return report_; }
+
+  void add_row(obs::Json row) { rows_.push(std::move(row)); }
+
+  // Completes and writes the document. Empty `path` means the default
+  // BENCH_<name>.json in the working directory; "none" suppresses writing.
+  bool write(const std::string& path = {}) {
+    if (path == "none") return true;
+    const std::string target = path.empty() ? "BENCH_" + name_ + ".json" : path;
+    report_.set("rows", std::move(rows_));
+    report_.add_metrics_snapshot();
+    if (!report_.write(target)) {
+      std::cerr << "cannot write " << target << "\n";
+      return false;
+    }
+    std::cout << "wrote " << target << "\n";
+    return true;
+  }
+
+ private:
+  std::string name_;
+  obs::RunReport report_;
+  obs::Json rows_ = obs::Json::array();
+};
 
 }  // namespace srna::bench

@@ -34,6 +34,8 @@ int main(int argc, char** argv) {
   cli.add_option("balance", "lpt | block | cyclic", "lpt");
   cli.add_option("real-threads", "threads for the real PRNA cross-check (0 = skip)", "2");
   cli.add_flag("csv", "emit CSV instead of the aligned table");
+  cli.add_option("report", "run-report path (default BENCH_figure8_speedup.json; none = skip)",
+                 "");
   if (!cli.parse(argc, argv)) return 0;
 
   MachineModel model;
@@ -53,6 +55,18 @@ int main(int argc, char** argv) {
   bench::print_header("Figure 8 — PRNA speedup, contrived worst-case data (simulated cluster)",
                       "paper Figure 8 (Section VI); paper peaks: 22x @64p/L1600, 32x @64p/L3200");
 
+  bench::BenchReport bench_report("figure8_speedup");
+  bench_report.report().set_command_line(argc, argv);
+  {
+    obs::Json params = obs::Json::object();
+    params.set("alpha_seconds", obs::Json(model.alpha_seconds));
+    params.set("beta_seconds_per_byte", obs::Json(model.beta_seconds_per_byte));
+    params.set("sync_overhead_seconds", obs::Json(model.sync_overhead_seconds));
+    params.set("cell_seconds", obs::Json(model.cell_seconds));
+    params.set("balance", obs::Json(cli.str("balance")));
+    bench_report.report().set("parameters", std::move(params));
+  }
+
   std::vector<std::size_t> procs;
   for (const auto p : cli.int_list("procs")) procs.push_back(static_cast<std::size_t>(p));
 
@@ -66,6 +80,14 @@ int main(int argc, char** argv) {
       table.add_row({std::to_string(length), std::to_string(s.arc_count()),
                      std::to_string(point.processors), fixed(point.seconds, 2),
                      fixed(point.speedup, 2), fixed(point.efficiency, 3)});
+      obs::Json jrow = obs::Json::object();
+      jrow.set("length", obs::Json(length));
+      jrow.set("arcs", obs::Json(static_cast<std::int64_t>(s.arc_count())));
+      jrow.set("processors", obs::Json(static_cast<std::int64_t>(point.processors)));
+      jrow.set("sim_seconds", obs::Json(point.seconds));
+      jrow.set("speedup", obs::Json(point.speedup));
+      jrow.set("efficiency", obs::Json(point.efficiency));
+      bench_report.add_row(std::move(jrow));
     }
   }
   if (cli.flag("csv"))
@@ -91,6 +113,9 @@ int main(int argc, char** argv) {
               << " s, stage-one cells per thread:";
     for (const auto cells : r.cells_per_thread) std::cout << ' ' << cells;
     std::cout << "\n";
+    obs::Json check = r.to_json();
+    check.set("wall_seconds", obs::Json(timer.seconds()));
+    bench_report.report().set("real_prna_cross_check", std::move(check));
   }
-  return 0;
+  return bench_report.write(cli.str("report")) ? 0 : 1;
 }

@@ -42,6 +42,8 @@ int main(int argc, char** argv) {
   cli.add_flag("hash-memo", "also run SRNA1 with the hash-map memo");
   cli.add_option("reps", "repetitions per measurement (min is reported)", "1");
   cli.add_flag("csv", "emit CSV instead of the aligned table");
+  cli.add_option("report", "run-report path (default BENCH_table1_sequential.json; none = skip)",
+                 "");
   if (!cli.parse(argc, argv)) return 0;
 
   auto lengths = cli.int_list("lengths");
@@ -52,6 +54,15 @@ int main(int argc, char** argv) {
 
   bench::print_header("Table I — SRNA1 vs SRNA2, contrived worst-case data",
                       "paper Table I (Section IV-C)");
+
+  bench::BenchReport bench_report("table1_sequential");
+  bench_report.report().set_command_line(argc, argv);
+  {
+    obs::Json params = obs::Json::object();
+    params.set("reps", obs::Json(static_cast<std::int64_t>(reps)));
+    params.set("hash_memo", obs::Json(hash_memo));
+    bench_report.report().set("parameters", std::move(params));
+  }
 
   std::vector<std::string> header{"length",      "arcs",         "SRNA1[s]",
                                   "SRNA2[s]",    "ratio1/2",     "paper SRNA1[s]",
@@ -91,6 +102,18 @@ int main(int argc, char** argv) {
     };
     if (hash_memo) row.insert(row.begin() + 4, fixed(th, 3));
     table.add_row(row);
+
+    obs::Json jrow = obs::Json::object();
+    jrow.set("length", obs::Json(length));
+    jrow.set("arcs", obs::Json(static_cast<std::int64_t>(s.arc_count())));
+    jrow.set("srna1_seconds", obs::Json(t1));
+    jrow.set("srna2_seconds", obs::Json(t2));
+    if (hash_memo) jrow.set("srna1_hash_seconds", obs::Json(th));
+    if (paper.first > 0) {
+      jrow.set("paper_srna1_seconds", obs::Json(paper.first));
+      jrow.set("paper_srna2_seconds", obs::Json(paper.second));
+    }
+    bench_report.add_row(std::move(jrow));
   }
 
   if (cli.flag("csv"))
@@ -99,5 +122,5 @@ int main(int argc, char** argv) {
     table.print(std::cout);
   std::cout << "\nshape check: SRNA2 should beat SRNA1 at every length; each\n"
                "doubling of the length should cost ~16x (the Theta(n^4) term).\n";
-  return 0;
+  return bench_report.write(cli.str("report")) ? 0 : 1;
 }

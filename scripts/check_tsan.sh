@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Builds and runs the concurrency-sensitive suites under ThreadSanitizer.
+#
+# The tracing and metrics hot paths are lock-free by design (see
+# docs/OBSERVABILITY.md); this script is the proof. It configures a separate
+# build tree (build-tsan/) with -DSRNA_SANITIZE=thread and runs:
+#   * the `tsan`-labelled ctest suites (obs_tests — concurrent trace
+#     recording, sharded counters, histogram observers), and
+#   * the mini-MPI runtime tests (std::thread + mutex/condvar, which TSan
+#     models exactly).
+#
+# The OpenMP solvers (PRNA) are deliberately excluded: GCC's libgomp is not
+# TSan-instrumented, so its barriers are invisible to the tool and every
+# barrier-ordered memo-table access reports as a false race. The ordering
+# guarantee those barriers provide is tested functionally instead
+# (PrnaOptions::validate_memo in tests/parallel/prna_test.cpp).
+#
+# Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSRNA_SANITIZE=thread \
+  -DSRNA_BUILD_BENCH=OFF \
+  -DSRNA_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" --target obs_tests parallel_tests -j "$(nproc)"
+
+# TSan halts with a non-zero exit on the first data race, so a plain
+# pass/fail is the whole signal.
+ctest --test-dir "$BUILD_DIR" -L tsan --output-on-failure -j "$(nproc)"
+"$BUILD_DIR"/tests/parallel_tests --gtest_filter='MiniMpi*'
+
+echo "tsan: all checked suites clean"

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/metrics.hpp"
+
 namespace srna {
 
 std::string McosStats::to_string() const {
@@ -12,6 +14,36 @@ std::string McosStats::to_string() const {
      << " pre=" << preprocess_seconds << "s s1=" << stage1_seconds
      << "s s2=" << stage2_seconds << 's';
   return os.str();
+}
+
+obs::Json McosStats::to_json() const {
+  obs::Json out = obs::Json::object();
+  out.set("cells_tabulated", cells_tabulated);
+  out.set("slices_tabulated", slices_tabulated);
+  out.set("arc_match_events", arc_match_events);
+  out.set("memo_lookups", memo_lookups);
+  out.set("memo_misses", memo_misses);
+  out.set("max_spawn_depth", max_spawn_depth);
+  out.set("preprocess_seconds", preprocess_seconds);
+  out.set("stage1_seconds", stage1_seconds);
+  out.set("stage2_seconds", stage2_seconds);
+  out.set("total_seconds", total_seconds());
+  return out;
+}
+
+void bridge_stats_to_metrics(const char* prefix, const McosStats& stats) {
+  auto& registry = obs::Registry::instance();
+  const std::string p(prefix);
+  registry.counter(p + ".runs").add();
+  registry.counter(p + ".cells_tabulated").add(stats.cells_tabulated);
+  registry.counter(p + ".slices_tabulated").add(stats.slices_tabulated);
+  registry.counter(p + ".arc_match_events").add(stats.arc_match_events);
+  if (stats.memo_lookups > 0) registry.counter(p + ".memo_lookups").add(stats.memo_lookups);
+  if (stats.memo_misses > 0) registry.counter(p + ".memo_misses").add(stats.memo_misses);
+  const double total = stats.total_seconds();
+  if (total > 0.0 && stats.cells_tabulated > 0)
+    registry.gauge(p + ".cells_per_second")
+        .set(static_cast<double>(stats.cells_tabulated) / total);
 }
 
 }  // namespace srna

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/json.hpp"
+
 namespace srna {
 
 // DP cell value: a count of matched arcs. A structure of length n has at
@@ -36,7 +38,14 @@ struct McosStats {
   }
 
   [[nodiscard]] std::string to_string() const;
+  // JSON rendering for run reports (obs/report.hpp).
+  [[nodiscard]] obs::Json to_json() const;
 };
+
+// Adds a solver's final stats into the metrics Registry under
+// "<prefix>.cells_tabulated" etc. — once per run, after the solver returns,
+// so hot loops stay free of registry traffic.
+void bridge_stats_to_metrics(const char* prefix, const McosStats& stats);
 
 struct McosResult {
   Score value = 0;   // |S_c|: arcs in the maximum common ordered substructure

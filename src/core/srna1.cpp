@@ -18,6 +18,7 @@
 #include "core/mcos.hpp"
 #include "core/memo_table.hpp"
 #include "core/tabulate_slice.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/timer.hpp"
 
@@ -131,10 +132,14 @@ McosResult srna1(const SecondaryStructure& s1, const SecondaryStructure& s2,
                "MCOS model requires non-pseudoknot structures");
   McosResult result;
   WallTimer timer;
-  Srna1Runner runner(s1, s2, options, result.stats);
-  result.value = runner.run();
+  {
+    obs::TraceScope span("srna1", "solve");
+    Srna1Runner runner(s1, s2, options, result.stats);
+    result.value = runner.run();
+  }
   // SRNA1 has no stage structure; report everything as stage one.
   result.stats.stage1_seconds = timer.seconds();
+  bridge_stats_to_metrics("srna1", result.stats);
   return result;
 }
 

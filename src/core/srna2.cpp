@@ -16,6 +16,7 @@
 #include "core/detail.hpp"
 #include "core/mcos.hpp"
 #include "core/tabulate_slice.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/timer.hpp"
 
@@ -36,9 +37,11 @@ Score run_srna2(const SecondaryStructure& s1, const SecondaryStructure& s2,
   // Preprocessing: determine the arc endpoints / traversal order (ArcIndex)
   // and the memo table initialization.
   WallTimer phase;
+  obs::TraceScope preprocess_span("srna2", "preprocess");
   memo.fill(validate ? MemoTable::kUnset : Score{0});
   const ArcIndex idx1(s1);
   const ArcIndex idx2(s2);
+  preprocess_span.close();
   stats.preprocess_seconds = phase.seconds();
 
   auto d2_lookup = [&](Pos k1, Pos /*x*/, Pos k2, Pos /*y*/) -> Score {
@@ -51,10 +54,14 @@ Score run_srna2(const SecondaryStructure& s1, const SecondaryStructure& s2,
 
   // Stage one: tabulate all child slices.
   phase.reset();
+  obs::TraceScope stage1_span("srna2", "stage1");
   Matrix<Score> dense_scratch;
   CompressedSliceScratch compressed_scratch;
   for (std::size_t a = 0; a < idx1.size(); ++a) {
     const Arc arc1 = idx1.arc(a);
+    obs::TraceScope row_span("srna2", "row");
+    if (row_span.active())
+      row_span.set_args(obs::trace_args({{"row", static_cast<std::int64_t>(a)}}));
     for (std::size_t b = 0; b < idx2.size(); ++b) {
       const Arc arc2 = idx2.arc(b);
       Score value;
@@ -69,10 +76,12 @@ Score run_srna2(const SecondaryStructure& s1, const SecondaryStructure& s2,
       memo.set(arc1.left + 1, arc2.left + 1, value);
     }
   }
+  stage1_span.close();
   stats.stage1_seconds = phase.seconds();
 
   // Stage two: tabulate the parent slice.
   phase.reset();
+  obs::TraceScope stage2_span("srna2", "stage2");
   Score answer;
   if (dense) {
     answer = tabulate_slice_dense(s1, s2,
@@ -82,6 +91,7 @@ Score run_srna2(const SecondaryStructure& s1, const SecondaryStructure& s2,
     answer = tabulate_slice_compressed(idx1.all(), idx2.all(), compressed_scratch,
                                        d2_lookup, &stats);
   }
+  stage2_span.close();
   stats.stage2_seconds = phase.seconds();
   return answer;
 }
@@ -93,6 +103,7 @@ McosResult srna2(const SecondaryStructure& s1, const SecondaryStructure& s2,
   McosResult result;
   MemoTable memo(s1.length(), s2.length(), 0);
   result.value = detail::run_srna2(s1, s2, options, result.stats, memo);
+  bridge_stats_to_metrics("srna2", result.stats);
   return result;
 }
 

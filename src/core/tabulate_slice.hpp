@@ -29,10 +29,32 @@
 #include <vector>
 
 #include "core/result.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rna/secondary_structure.hpp"
 #include "util/matrix.hpp"
 
 namespace srna {
+
+namespace detail {
+
+// Per-cell instrumentation is off the table (the cell loop IS the paper's
+// cost model), so slices are traced *sampled*: when tracing is on, one slice
+// in 64 per thread gets a span and a latency-histogram observation. When
+// tracing is off this is a single relaxed atomic load per slice.
+inline bool slice_trace_sample() noexcept {
+  if (!obs::Tracer::instance().enabled()) return false;
+  thread_local std::uint32_t n = 0;
+  return (n++ & 63U) == 0;
+}
+
+inline obs::Histogram& sampled_slice_histogram() {
+  static obs::Histogram& hist =
+      obs::Registry::instance().histogram("slice.sampled_seconds");
+  return hist;
+}
+
+}  // namespace detail
 
 struct SliceBounds {
   Pos lo1 = 0, hi1 = -1, lo2 = 0, hi2 = -1;
@@ -116,7 +138,14 @@ Score tabulate_slice_dense(const SecondaryStructure& s1, const SecondaryStructur
     if (stats != nullptr) ++stats->slices_tabulated;
     return 0;
   }
+  obs::TraceScope span("slice", "tabulate_dense", detail::slice_trace_sample());
+  if (span.active())
+    span.set_args(obs::trace_args({{"rows", b.width()}, {"cols", b.height()}}));
   fill_slice_dense(s1, s2, b, scratch, static_cast<D2&&>(d2_of), stats);
+  if (span.active()) {
+    const std::uint64_t elapsed = obs::Tracer::instance().now_us() - span.start_us();
+    detail::sampled_slice_histogram().observe(static_cast<double>(elapsed) * 1e-6);
+  }
   return scratch(static_cast<std::size_t>(b.width()) - 1,
                  static_cast<std::size_t>(b.height()) - 1);
 }
@@ -144,6 +173,11 @@ Score tabulate_slice_compressed(std::span<const Arc> rows, std::span<const Arc> 
     stats->arc_match_events += static_cast<std::uint64_t>(nr) * nc;
   }
   if (nr == 0 || nc == 0) return 0;
+
+  obs::TraceScope span("slice", "tabulate_compressed", detail::slice_trace_sample());
+  if (span.active())
+    span.set_args(obs::trace_args({{"rows", static_cast<std::int64_t>(nr)},
+                                   {"cols", static_cast<std::int64_t>(nc)}}));
 
   // prev_row[r]: the last row index r' with rows[r'].right < rows[r].left —
   // the row d1 resolves to. Rows are sorted by right endpoint, so a backward
@@ -184,6 +218,10 @@ Score tabulate_slice_compressed(std::span<const Arc> rows, std::span<const Arc> 
       row[c] = v;
       left = v;
     }
+  }
+  if (span.active()) {
+    const std::uint64_t elapsed = obs::Tracer::instance().now_us() - span.start_us();
+    detail::sampled_slice_histogram().observe(static_cast<double>(elapsed) * 1e-6);
   }
   return val(nr - 1, nc - 1);
 }

@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "core/mcos.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rna/formats.hpp"
 #include "rna/generators.hpp"
 #include "util/assert.hpp"
@@ -91,16 +93,22 @@ Matrix<double> all_pairs_similarity(const StructureDatabase& db, const SearchOpt
   for (std::size_t i = 0; i < n; ++i)
     for (std::size_t j = i + 1; j < n; ++j) pairs.emplace_back(i, j);
 
+  obs::Counter& pairs_counter = obs::Registry::instance().counter("db.pairs_compared");
   const int threads = options.threads > 0 ? options.threads : omp_get_max_threads();
 #pragma omp parallel for schedule(dynamic) num_threads(threads)
   for (std::size_t t = 0; t < pairs.size(); ++t) {
     const auto [i, j] = pairs[t];
+    obs::TraceScope span("db", "pair");
+    if (span.active())
+      span.set_args(obs::trace_args({{"i", static_cast<std::int64_t>(i)},
+                                     {"j", static_cast<std::int64_t>(j)}}));
     const auto& a = db.record(i).structure;
     const auto& b = db.record(j).structure;
     const Score common = srna2(a, b).value;
     const double score = score_pair(common, a, b, options.metric);
     out(i, j) = score;
     out(j, i) = score;
+    pairs_counter.add();
   }
   return out;
 }
@@ -110,12 +118,19 @@ std::vector<QueryHit> query_top_k(const StructureDatabase& db, const SecondarySt
   SRNA_REQUIRE(query.is_nonpseudoknot(), "query must be non-pseudoknot");
   std::vector<QueryHit> hits(db.size());
 
+  obs::Registry::instance().counter("db.queries").add();
+  obs::Counter& candidates_counter =
+      obs::Registry::instance().counter("db.query_candidates");
   const int threads = options.threads > 0 ? options.threads : omp_get_max_threads();
 #pragma omp parallel for schedule(dynamic) num_threads(threads)
   for (std::size_t i = 0; i < db.size(); ++i) {
+    obs::TraceScope span("db", "query_candidate");
+    if (span.active())
+      span.set_args(obs::trace_args({{"candidate", static_cast<std::int64_t>(i)}}));
     const auto& candidate = db.record(i).structure;
     const Score common = srna2(query, candidate).value;
     hits[i] = QueryHit{i, common, score_pair(common, query, candidate, options.metric)};
+    candidates_counter.add();
   }
 
   std::sort(hits.begin(), hits.end(), [](const QueryHit& a, const QueryHit& b) {

@@ -1,0 +1,128 @@
+// Metrics registry: thread-sharded counters, gauges, and log-linear
+// histograms, snapshotable to JSON.
+//
+// Hot-path rules:
+//   * Counter::add is a relaxed fetch_add on one of 16 cache-line-padded
+//     shards picked by thread id — no contention on parallel stage one.
+//   * Look instruments up once and cache the reference
+//     (`static auto& c = Registry::instance().counter("...")`). Instruments
+//     are never destroyed before process exit, so cached references stay
+//     valid across Registry::reset() (reset zeroes values in place).
+//   * Histogram::observe is a handful of relaxed atomic ops; use it at slice
+//     / row / collective granularity, never per cell.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <limits>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+
+namespace srna::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    shards_[shard_index()].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) total += s.value.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void reset() noexcept {
+    for (Shard& s : shards_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  static std::size_t shard_index() noexcept;
+  std::array<Shard, 16> shards_{};
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept { return value_.load(std::memory_order_relaxed); }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Log-linear histogram for positive values (latencies in seconds, sizes,
+// rates). Buckets span [1e-9, ~5e9) in half-octave steps (two buckets per
+// power of two); values outside clamp to the end buckets. Percentiles are
+// estimated from bucket upper bounds — good to ~±41% relative error, plenty
+// for "where did the time go".
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 124;
+
+  void observe(double v) noexcept;
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+  };
+  [[nodiscard]] Snapshot snapshot() const noexcept;
+  [[nodiscard]] Json to_json() const;
+
+  void reset() noexcept;
+
+  // Exposed for tests.
+  static std::size_t bucket_index(double v) noexcept;
+  static double bucket_upper_bound(std::size_t index) noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  // min starts at +inf so the CAS-min from any thread wins the first
+  // observation without an initialization race.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{0.0};
+};
+
+// Process-wide named instruments. Creation locks a mutex; cache references
+// on hot paths (see the header comment).
+class Registry {
+ public:
+  static Registry& instance() noexcept;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  // {"counters": {...}, "gauges": {...}, "histograms": {...}} — instrument
+  // names sorted (std::map), values read with relaxed loads.
+  [[nodiscard]] Json snapshot() const;
+
+  // Zeroes every instrument in place; registrations (and cached references)
+  // survive.
+  void reset();
+
+ private:
+  Registry() = default;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace srna::obs

@@ -1,0 +1,75 @@
+#include "obs/report.hpp"
+
+#include <ctime>
+#include <fstream>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace srna::obs {
+
+Json environment_json() {
+  Json env = Json::object();
+#if defined(__VERSION__)
+  env.set("compiler", __VERSION__);
+#else
+  env.set("compiler", "unknown");
+#endif
+#if defined(NDEBUG)
+  env.set("build", "release");
+#else
+  env.set("build", "debug");
+#endif
+  env.set("hardware_threads",
+          static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  env.set("pointer_bits", static_cast<std::uint64_t>(sizeof(void*) * 8));
+  return env;
+}
+
+RunReport::RunReport(std::string tool) {
+  root_ = Json::object();
+  root_.set("schema", "srna-run-report");
+  root_.set("schema_version", 1);
+  root_.set("tool", std::move(tool));
+  root_.set("timestamp_unix", static_cast<std::int64_t>(std::time(nullptr)));
+  root_.set("environment", environment_json());
+  root_.set("status", "ok");
+}
+
+RunReport& RunReport::set(std::string key, Json value) {
+  root_.set(std::move(key), std::move(value));
+  return *this;
+}
+
+void RunReport::set_command_line(int argc, const char* const* argv) {
+  Json args = Json::array();
+  for (int i = 0; i < argc; ++i) args.push(argv[i]);
+  root_.set("command_line", std::move(args));
+}
+
+void RunReport::add_metrics_snapshot() {
+  root_.set("metrics", Registry::instance().snapshot());
+}
+
+void RunReport::add_trace_summary() {
+  const Tracer& tracer = Tracer::instance();
+  Json t = Json::object();
+  t.set("events_recorded", tracer.events_recorded());
+  t.set("events_dropped", tracer.events_dropped());
+  root_.set("trace", std::move(t));
+}
+
+void RunReport::set_error(const std::string& what) {
+  root_.set("status", "error");
+  root_.set("error", what);
+}
+
+bool RunReport::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_string() << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace srna::obs

@@ -1,0 +1,51 @@
+// Run reporter: one machine-readable JSON document per solver / bench
+// invocation.
+//
+// The document always carries a schema version, the tool name, a wall-clock
+// timestamp and an environment block (compiler, build type, hardware
+// threads); callers attach whatever else describes the run — options,
+// inputs, `McosStats` (via `to_json` helpers in the owning layer), PRNA
+// per-thread timelines, a metrics snapshot, bench result rows. The bench
+// harness writes these as `BENCH_<name>.json`, the repo's benchmark
+// trajectory format.
+#pragma once
+
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace srna::obs {
+
+class RunReport {
+ public:
+  explicit RunReport(std::string tool);
+
+  // Top-level field (replaces an existing key).
+  RunReport& set(std::string key, Json value);
+  [[nodiscard]] const Json& root() const noexcept { return root_; }
+  [[nodiscard]] Json& root() noexcept { return root_; }
+
+  // Records the argv the run was started with.
+  void set_command_line(int argc, const char* const* argv);
+
+  // Attaches the current metrics Registry snapshot under "metrics" and the
+  // tracer's recorded/dropped totals under "trace".
+  void add_metrics_snapshot();
+  void add_trace_summary();
+
+  // Marks the run failed; the report survives as a crash record.
+  void set_error(const std::string& what);
+
+  [[nodiscard]] std::string to_string(int indent = 2) const { return root_.dump(indent); }
+  // Writes the document to `path`; false on I/O failure.
+  bool write(const std::string& path) const;
+
+ private:
+  Json root_;
+};
+
+// The environment block RunReport embeds; exposed for tests and for bench
+// binaries that roll their own documents.
+Json environment_json();
+
+}  // namespace srna::obs

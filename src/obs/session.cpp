@@ -1,0 +1,62 @@
+#include "obs/session.hpp"
+
+#include <fstream>
+#include <iostream>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/cli.hpp"
+
+namespace srna::obs {
+
+void ObsSession::add_cli_options(CliParser& cli) {
+  cli.add_option("trace", "write a Chrome trace-event JSON (open in Perfetto)", "");
+  cli.add_option("metrics", "write a metrics registry snapshot JSON", "");
+  cli.add_option("report", "write a machine-readable run report JSON", "");
+}
+
+ObsPaths ObsSession::paths_from_cli(const CliParser& cli) {
+  return ObsPaths{cli.str("trace"), cli.str("metrics"), cli.str("report")};
+}
+
+ObsSession::ObsSession(ObsPaths paths, std::string tool)
+    : paths_(std::move(paths)), report_(std::move(tool)) {
+  if (tracing()) {
+    Tracer& tracer = Tracer::instance();
+    tracer.disable();
+    tracer.clear();
+    tracer.enable();
+  }
+}
+
+ObsSession::~ObsSession() { finish(); }
+
+std::vector<std::string> ObsSession::finish() {
+  if (finished_) return {};
+  finished_ = true;
+  std::vector<std::string> written;
+  const auto record = [&written](bool ok, const std::string& path) {
+    if (ok)
+      written.push_back(path);
+    else
+      std::cerr << "warning: cannot write " << path << '\n';
+  };
+  if (tracing()) {
+    Tracer& tracer = Tracer::instance();
+    tracer.disable();
+    record(tracer.write(paths_.trace), paths_.trace);
+  }
+  if (!paths_.metrics.empty()) {
+    std::ofstream out(paths_.metrics);
+    if (out) out << Registry::instance().snapshot().dump(2) << '\n';
+    record(static_cast<bool>(out), paths_.metrics);
+  }
+  if (reporting()) {
+    report_.add_metrics_snapshot();
+    report_.add_trace_summary();
+    record(report_.write(paths_.report), paths_.report);
+  }
+  return written;
+}
+
+}  // namespace srna::obs

@@ -1,0 +1,60 @@
+// ObsSession: the three `--trace=FILE` / `--metrics=FILE` / `--report=FILE`
+// flags as one RAII object, shared by the CLI commands and the bench
+// binaries.
+//
+// Construction enables the tracer when a trace file was requested (and
+// resets it, so one process can emit several independent traces); `finish()`
+// — or destruction — disables tracing, completes the report (metrics
+// snapshot + trace summary) and writes whichever files were requested.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/report.hpp"
+
+namespace srna {
+class CliParser;  // util/cli.hpp
+}
+
+namespace srna::obs {
+
+struct ObsPaths {
+  std::string trace;    // Chrome trace-event JSON
+  std::string metrics;  // metrics Registry snapshot JSON
+  std::string report;   // run-report JSON
+  [[nodiscard]] bool any() const noexcept {
+    return !trace.empty() || !metrics.empty() || !report.empty();
+  }
+};
+
+class ObsSession {
+ public:
+  // Registers --trace / --metrics / --report on a CliParser (all default
+  // empty = off), and reads them back after parsing.
+  static void add_cli_options(CliParser& cli);
+  static ObsPaths paths_from_cli(const CliParser& cli);
+
+  ObsSession(ObsPaths paths, std::string tool);
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+  ~ObsSession();
+
+  [[nodiscard]] bool tracing() const noexcept { return !paths_.trace.empty(); }
+  [[nodiscard]] bool reporting() const noexcept { return !paths_.report.empty(); }
+
+  // The run report under construction (written only when --report was given,
+  // but always available to fill).
+  [[nodiscard]] RunReport& report() noexcept { return report_; }
+
+  // Stops tracing, completes the report, writes the requested files.
+  // Idempotent. Returns the paths written (for the CLI's "wrote ..." lines).
+  std::vector<std::string> finish();
+
+ private:
+  ObsPaths paths_;
+  RunReport report_;
+  bool finished_ = false;
+};
+
+}  // namespace srna::obs

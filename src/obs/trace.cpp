@@ -1,0 +1,147 @@
+#include "obs/trace.hpp"
+
+#include <fstream>
+
+namespace srna::obs {
+
+Tracer& Tracer::instance() noexcept {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::enable() {
+  epoch_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_release);
+}
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  // One registration per (thread, clear-generation). The cached pointer is
+  // invalidated by clear(), which bumps the generation under the registry
+  // mutex after destroying the buffers.
+  thread_local ThreadBuffer* cached = nullptr;
+  thread_local std::uint64_t cached_generation = 0;
+  const std::uint64_t generation = generation_.load(std::memory_order_acquire);
+  if (cached == nullptr || cached_generation != generation) {
+    std::lock_guard lock(registry_mutex_);
+    const auto tid = static_cast<std::uint32_t>(buffers_.size());
+    buffers_.push_back(std::make_unique<ThreadBuffer>(tid, thread_capacity_));
+    cached = buffers_.back().get();
+    cached_generation = generation_.load(std::memory_order_relaxed);
+  }
+  return *cached;
+}
+
+void Tracer::record(const char* category, const char* name, std::uint64_t start_us,
+                    std::uint64_t dur_us, std::string args_json) {
+  if (!enabled()) return;
+  ThreadBuffer& buf = local_buffer();
+  const std::size_t i = buf.committed.load(std::memory_order_relaxed);
+  if (i >= buf.events.capacity()) {
+    buf.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buf.events.push_back(Event{category, name, std::move(args_json), start_us, dur_us, false});
+  buf.committed.store(i + 1, std::memory_order_release);
+}
+
+void Tracer::instant(const char* category, const char* name, std::string args_json) {
+  if (!enabled()) return;
+  ThreadBuffer& buf = local_buffer();
+  const std::size_t i = buf.committed.load(std::memory_order_relaxed);
+  if (i >= buf.events.capacity()) {
+    buf.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buf.events.push_back(Event{category, name, std::move(args_json), now_us(), 0, true});
+  buf.committed.store(i + 1, std::memory_order_release);
+}
+
+std::uint64_t Tracer::events_recorded() const {
+  std::lock_guard lock(registry_mutex_);
+  std::uint64_t total = 0;
+  for (const auto& buf : buffers_) total += buf->committed.load(std::memory_order_acquire);
+  return total;
+}
+
+std::uint64_t Tracer::events_dropped() const {
+  std::lock_guard lock(registry_mutex_);
+  std::uint64_t total = 0;
+  for (const auto& buf : buffers_) total += buf->dropped.load(std::memory_order_relaxed);
+  return total;
+}
+
+Json Tracer::to_json() const {
+  Json events = Json::array();
+  std::uint64_t dropped = 0;
+  {
+    std::lock_guard lock(registry_mutex_);
+    for (const auto& buf : buffers_) {
+      // Thread-lane metadata so Perfetto labels the rows.
+      Json meta = Json::object();
+      meta.set("ph", "M").set("name", "thread_name").set("pid", 1)
+          .set("tid", static_cast<std::int64_t>(buf->tid));
+      Json meta_args = Json::object();
+      meta_args.set("name", "srna-thread-" + std::to_string(buf->tid));
+      meta.set("args", std::move(meta_args));
+      events.push(std::move(meta));
+
+      const std::size_t committed = buf->committed.load(std::memory_order_acquire);
+      const Event* data = buf->events.data();
+      for (std::size_t i = 0; i < committed; ++i) {
+        const Event& e = data[i];
+        Json ev = Json::object();
+        ev.set("name", e.name).set("cat", e.category).set("ph", e.instant ? "i" : "X");
+        ev.set("ts", e.start_us);
+        if (!e.instant) ev.set("dur", e.dur_us);
+        if (e.instant) ev.set("s", "t");
+        ev.set("pid", 1).set("tid", static_cast<std::int64_t>(buf->tid));
+        if (!e.args_json.empty()) {
+          if (auto parsed = Json::parse(e.args_json)) ev.set("args", std::move(*parsed));
+        }
+        events.push(std::move(ev));
+      }
+      dropped += buf->dropped.load(std::memory_order_relaxed);
+    }
+  }
+  Json doc = Json::object();
+  doc.set("traceEvents", std::move(events));
+  doc.set("displayTimeUnit", "ms");
+  doc.set("srna_dropped_events", dropped);
+  return doc;
+}
+
+bool Tracer::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_json().dump() << '\n';
+  return static_cast<bool>(out);
+}
+
+void Tracer::clear() {
+  std::lock_guard lock(registry_mutex_);
+  buffers_.clear();
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void Tracer::set_thread_capacity(std::size_t events) {
+  std::lock_guard lock(registry_mutex_);
+  thread_capacity_ = events == 0 ? 1 : events;
+}
+
+std::string trace_args(
+    std::initializer_list<std::pair<const char*, std::int64_t>> kv) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : kv) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += Json::escape(k);
+    out += "\":";
+    out += std::to_string(v);
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace srna::obs

@@ -1,0 +1,156 @@
+// Span tracer: per-thread append-only event buffers flushed to Chrome
+// trace-event JSON (chrome://tracing / Perfetto "traceEvents" format).
+//
+// Design constraints, in order:
+//   1. Disabled cost ~0 — `TraceScope` on a hot path must reduce to one
+//      relaxed atomic load when tracing is off (the default). PRNA's <2%
+//      overhead budget is enforced by a bench acceptance check.
+//   2. Recording takes no locks — each thread appends to its own
+//      pre-reserved buffer; the only synchronization is a release store of
+//      the per-thread commit count (buffers register once under a mutex).
+//   3. Bounded memory — a buffer that reaches capacity drops further events
+//      and counts the drops; it never reallocates (flush may run while
+//      writers are live and relies on stable storage).
+//
+// Flushing (`to_json` / `write`) reads each buffer up to its committed
+// count, so it is safe at any time; events still being written simply land
+// in the next flush. Timestamps are microseconds since `enable()`.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace srna::obs {
+
+class Tracer {
+ public:
+  static Tracer& instance() noexcept;
+
+  // Starts a trace: resets the epoch and accepts events. Safe to call when
+  // already enabled (restarts the epoch for an empty buffer set).
+  void enable();
+  void disable() noexcept { enabled_.store(false, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // Microseconds since enable(). Monotonic (steady_clock).
+  [[nodiscard]] std::uint64_t now_us() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  // Records one complete ("ph":"X") event on the calling thread. No-op when
+  // disabled. `category` and `name` must be string literals (or otherwise
+  // outlive the trace); `args_json` is a pre-rendered JSON object or empty.
+  void record(const char* category, const char* name, std::uint64_t start_us,
+              std::uint64_t dur_us, std::string args_json = {});
+
+  // Counts an instant event (rendered as "ph":"i", thread scope).
+  void instant(const char* category, const char* name, std::string args_json = {});
+
+  [[nodiscard]] std::uint64_t events_recorded() const;
+  [[nodiscard]] std::uint64_t events_dropped() const;
+
+  // Flush: the whole trace as a Chrome trace-event document.
+  [[nodiscard]] Json to_json() const;
+  [[nodiscard]] std::string to_json_string() const { return to_json().dump(); }
+  // Writes the document to `path`; false on I/O failure.
+  bool write(const std::string& path) const;
+
+  // Discards all buffered events and thread registrations. Callers must
+  // ensure no thread is concurrently recording (disable first, join
+  // workers); the registration generation protects later re-registration.
+  void clear();
+
+  // Per-thread event capacity for buffers registered after the call
+  // (existing buffers keep theirs). Default 1 << 16.
+  void set_thread_capacity(std::size_t events);
+
+ private:
+  struct Event {
+    const char* category;
+    const char* name;
+    std::string args_json;
+    std::uint64_t start_us;
+    std::uint64_t dur_us;
+    bool instant;
+  };
+
+  struct ThreadBuffer {
+    explicit ThreadBuffer(std::uint32_t id, std::size_t capacity) : tid(id) {
+      events.reserve(capacity);
+    }
+    std::uint32_t tid;
+    std::vector<Event> events;  // append-only, never reallocates (reserved)
+    std::atomic<std::size_t> committed{0};
+    std::atomic<std::uint64_t> dropped{0};
+  };
+
+  Tracer() = default;
+  ThreadBuffer& local_buffer();
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_{};
+
+  mutable std::mutex registry_mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::atomic<std::uint64_t> generation_{1};
+  std::size_t thread_capacity_ = 1 << 16;
+};
+
+// RAII span. Captures the start time at construction when tracing is on
+// (and `condition` holds), records a complete event at destruction.
+class TraceScope {
+ public:
+  TraceScope(const char* category, const char* name, bool condition = true) noexcept
+      : active_(condition && Tracer::instance().enabled()),
+        category_(category),
+        name_(name) {
+    if (active_) start_us_ = Tracer::instance().now_us();
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  ~TraceScope() { close(); }
+
+  // Ends the span now (instead of at scope exit). Idempotent — useful when
+  // the traced phase ends mid-scope (e.g. values created in the phase must
+  // outlive it).
+  void close() {
+    if (!active_) return;
+    active_ = false;
+    Tracer& t = Tracer::instance();
+    t.record(category_, name_, start_us_, t.now_us() - start_us_, std::move(args_json_));
+  }
+
+  // Whether this scope will record (build args only when it will).
+  [[nodiscard]] bool active() const noexcept { return active_; }
+  [[nodiscard]] std::uint64_t start_us() const noexcept { return start_us_; }
+
+  // Attaches a pre-rendered JSON object as the event's "args".
+  void set_args(std::string args_json) { args_json_ = std::move(args_json); }
+
+ private:
+  bool active_;
+  const char* category_;
+  const char* name_;
+  std::uint64_t start_us_ = 0;
+  std::string args_json_;
+};
+
+// Renders `{"k1":v1,...}` for TraceScope::set_args / Tracer::record.
+std::string trace_args(
+    std::initializer_list<std::pair<const char*, std::int64_t>> kv);
+
+}  // namespace srna::obs

@@ -63,12 +63,18 @@ void Runtime::recv(int from, int to, int tag, void* data, std::size_t bytes) {
 }
 
 void Rank::barrier() {
+  obs::TraceScope span("mmpi", "barrier");
+  if (span.active()) span.set_args(obs::trace_args({{"rank", rank_}}));
   ++stats_.barriers;
   runtime_.barrier();
 }
 
 void Rank::send(int to, int tag, const void* data, std::size_t bytes) {
   SRNA_REQUIRE(to >= 0 && to < size_, "send: bad destination rank");
+  obs::TraceScope span("mmpi", "send");
+  if (span.active())
+    span.set_args(obs::trace_args(
+        {{"rank", rank_}, {"to", to}, {"bytes", static_cast<std::int64_t>(bytes)}}));
   ++stats_.point_to_point;
   stats_.bytes_sent += bytes;
   runtime_.send(rank_, to, tag, data, bytes);
@@ -76,6 +82,10 @@ void Rank::send(int to, int tag, const void* data, std::size_t bytes) {
 
 void Rank::recv(int from, int tag, void* data, std::size_t bytes) {
   SRNA_REQUIRE(from >= 0 && from < size_, "recv: bad source rank");
+  obs::TraceScope span("mmpi", "recv");
+  if (span.active())
+    span.set_args(obs::trace_args(
+        {{"rank", rank_}, {"from", from}, {"bytes", static_cast<std::int64_t>(bytes)}}));
   ++stats_.point_to_point;
   runtime_.recv(from, rank_, tag, data, bytes);
 }

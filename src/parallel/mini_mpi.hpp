@@ -23,6 +23,8 @@
 #include <queue>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace srna::mmpi {
 
 struct CommStats {
@@ -142,6 +144,10 @@ class Runtime {
 
 template <typename T, typename Op>
 void Rank::allreduce(T* data, std::size_t count, Op op) {
+  obs::TraceScope span("mmpi", "allreduce");
+  if (span.active())
+    span.set_args(obs::trace_args(
+        {{"rank", rank_}, {"bytes", static_cast<std::int64_t>(count * sizeof(T))}}));
   ++stats_.allreduces;
   stats_.bytes_sent += count * sizeof(T);
   // Publish a frozen copy: peers read the published contribution while this
@@ -162,6 +168,11 @@ void Rank::allreduce(T* data, std::size_t count, Op op) {
 
 template <typename T>
 void Rank::broadcast(T* data, std::size_t count, int root) {
+  obs::TraceScope span("mmpi", "broadcast");
+  if (span.active())
+    span.set_args(obs::trace_args(
+        {{"rank", rank_}, {"root", root},
+         {"bytes", static_cast<std::int64_t>(count * sizeof(T))}}));
   ++stats_.broadcasts;
   if (rank_ == root) stats_.bytes_sent += count * sizeof(T);
   runtime_.exchange(rank_, data, [&] {
@@ -174,6 +185,11 @@ void Rank::broadcast(T* data, std::size_t count, int root) {
 
 template <typename T>
 void Rank::gather(const T* contribution, std::size_t count, T* out, int root) {
+  obs::TraceScope span("mmpi", "gather");
+  if (span.active())
+    span.set_args(obs::trace_args(
+        {{"rank", rank_}, {"root", root},
+         {"bytes", static_cast<std::int64_t>(count * sizeof(T))}}));
   ++stats_.gathers;
   stats_.bytes_sent += count * sizeof(T);
   runtime_.exchange(rank_, contribution, [&] {

@@ -3,11 +3,15 @@
 #include <omp.h>
 
 #include <atomic>
+#include <exception>
+#include <mutex>
 #include <vector>
 
 #include "core/arc_index.hpp"
 #include "core/memo_table.hpp"
 #include "core/tabulate_slice.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/timer.hpp"
 
@@ -69,6 +73,29 @@ Score tabulate_parent_wavefront(const SecondaryStructure& s1, const SecondaryStr
 
 }  // namespace
 
+obs::Json PrnaResult::to_json() const {
+  obs::Json doc = obs::Json::object();
+  doc.set("value", obs::Json(static_cast<std::int64_t>(value)));
+  doc.set("threads_used", obs::Json(static_cast<std::int64_t>(threads_used)));
+  doc.set("stats", stats.to_json());
+  obs::Json cells = obs::Json::array();
+  for (const std::uint64_t c : cells_per_thread) cells.push(obs::Json(c));
+  doc.set("cells_per_thread", std::move(cells));
+  obs::Json lanes = obs::Json::array();
+  for (std::size_t tid = 0; tid < timeline.size(); ++tid) {
+    const PrnaThreadTimeline& lane = timeline[tid];
+    obs::Json entry = obs::Json::object();
+    entry.set("thread", obs::Json(static_cast<std::int64_t>(tid)));
+    entry.set("cells", obs::Json(lane.cells));
+    entry.set("slices", obs::Json(lane.slices));
+    entry.set("busy_seconds", obs::Json(lane.busy_seconds));
+    entry.set("barrier_wait_seconds", obs::Json(lane.barrier_wait_seconds));
+    lanes.push(std::move(entry));
+  }
+  doc.set("timeline", std::move(lanes));
+  return doc;
+}
+
 PrnaResult prna(const SecondaryStructure& s1, const SecondaryStructure& s2,
                 const PrnaOptions& options) {
   SRNA_REQUIRE(s1.is_nonpseudoknot() && s2.is_nonpseudoknot(),
@@ -80,6 +107,7 @@ PrnaResult prna(const SecondaryStructure& s1, const SecondaryStructure& s2,
 
   // --- Preprocessing: arc index, column ownership, memo table. ---
   WallTimer phase;
+  obs::TraceScope preprocess_span("prna", "preprocess");
   const ArcIndex idx1(s1);
   const ArcIndex idx2(s2);
   MemoTable memo(s1.length(), s2.length(), validate ? MemoTable::kUnset : Score{0});
@@ -95,12 +123,22 @@ PrnaResult prna(const SecondaryStructure& s1, const SecondaryStructure& s2,
   std::vector<std::vector<std::size_t>> owned(static_cast<std::size_t>(threads));
   for (std::size_t b = 0; b < idx2.size(); ++b)
     owned[result.assignment.owner[b]].push_back(b);
+  preprocess_span.close();
   result.stats.preprocess_seconds = phase.seconds();
 
   // --- Stage one: child slices in parallel, one barrier per M row. ---
   phase.reset();
+  obs::TraceScope stage1_span("prna", "stage1");
   std::vector<McosStats> thread_stats(static_cast<std::size_t>(threads));
   result.cells_per_thread.assign(static_cast<std::size_t>(threads), 0);
+  result.timeline.assign(static_cast<std::size_t>(threads), PrnaThreadTimeline{});
+
+  // Row-granularity instrument handles, resolved once (registry lookups
+  // lock; the parallel region must not).
+  auto& metrics = obs::Registry::instance();
+  obs::Histogram& row_busy_hist = metrics.histogram("prna.row_busy_seconds");
+  obs::Histogram& barrier_wait_hist = metrics.histogram("prna.barrier_wait_seconds");
+  obs::Counter& rows_counter = metrics.counter("prna.rows");
 
   auto d2_lookup = [&](Pos k1, Pos /*x*/, Pos k2, Pos /*y*/) -> Score {
     const Score v = memo.get(k1 + 1, k2 + 1);
@@ -110,16 +148,30 @@ PrnaResult prna(const SecondaryStructure& s1, const SecondaryStructure& s2,
     return v;
   };
 
+  // First-failure capture: the winning thread stores its exception_ptr; the
+  // others only flip the flag and drain the remaining barriers. Rethrown
+  // after the region so the caller sees the real error, not a generic check.
   std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto capture_error = [&]() noexcept {
+    {
+      std::lock_guard lock(error_mutex);
+      if (first_error == nullptr) first_error = std::current_exception();
+    }
+    failed.store(true, std::memory_order_relaxed);
+  };
 
 #pragma omp parallel num_threads(threads)
   {
     const auto tid = static_cast<std::size_t>(omp_get_thread_num());
     McosStats& local = thread_stats[tid];
+    PrnaThreadTimeline& timeline = result.timeline[tid];
     Matrix<Score> dense_scratch;
     CompressedSliceScratch compressed_scratch;
 
     auto tabulate_pair = [&](std::size_t a, std::size_t b) {
+      if (options.stage1_hook) options.stage1_hook(a, b);
       const Arc arc1 = idx1.arc(a);
       const Arc arc2 = idx2.arc(b);
       Score value;
@@ -135,48 +187,83 @@ PrnaResult prna(const SecondaryStructure& s1, const SecondaryStructure& s2,
     };
 
     for (std::size_t a = 0; a < idx1.size(); ++a) {
-      if (options.schedule == PrnaSchedule::kDynamic) {
-        // Dynamic alternative: idle workers pull individual slices. The
-        // work-sharing loop's implicit barrier publishes the row.
-#pragma omp for schedule(dynamic, 1)
-        for (std::size_t b = 0; b < idx2.size(); ++b) {
-          if (failed.load(std::memory_order_relaxed)) continue;
+      // Busy phase: this worker's owned-column batch of the row (static) or
+      // its share of the dynamic pulls. One span per row per thread.
+      WallTimer busy;
+      {
+        obs::TraceScope row_span("prna", "row");
+        if (row_span.active())
+          row_span.set_args(obs::trace_args(
+              {{"row", static_cast<std::int64_t>(a)},
+               {"owned", static_cast<std::int64_t>(
+                             options.schedule == PrnaSchedule::kDynamic
+                                 ? idx2.size()
+                                 : owned[tid].size())}}));
+        if (options.schedule == PrnaSchedule::kDynamic) {
+          // Dynamic alternative: idle workers pull individual slices. nowait
+          // + the explicit barrier below publishes the row (and makes the
+          // barrier wait measurable, like the static path).
+#pragma omp for schedule(dynamic, 1) nowait
+          for (std::size_t b = 0; b < idx2.size(); ++b) {
+            if (failed.load(std::memory_order_relaxed)) continue;
+            try {
+              tabulate_pair(a, b);
+            } catch (...) {
+              capture_error();
+            }
+          }
+        } else if (!failed.load(std::memory_order_relaxed)) {
           try {
-            tabulate_pair(a, b);
+            for (const std::size_t b : owned[tid]) tabulate_pair(a, b);
           } catch (...) {
-            failed.store(true, std::memory_order_relaxed);
+            capture_error();
           }
         }
-        continue;
       }
+      const double busy_s = busy.seconds();
+      timeline.busy_seconds += busy_s;
+      row_busy_hist.observe(busy_s);
 
-      if (!failed.load(std::memory_order_relaxed)) {
-        try {
-          for (const std::size_t b : owned[tid]) tabulate_pair(a, b);
-        } catch (...) {
-          failed.store(true, std::memory_order_relaxed);
-        }
-      }
       // Publish row arc1.left + 1 of M: the shared-memory stand-in for the
-      // paper's per-row MPI_Allreduce(MAX) over the replicated table.
+      // paper's per-row MPI_Allreduce(MAX) over the replicated table. The
+      // time spent here is the load imbalance made visible.
+      WallTimer wait;
+      {
+        obs::TraceScope barrier_span("prna", "barrier_wait");
 #pragma omp barrier
+      }
+      const double wait_s = wait.seconds();
+      timeline.barrier_wait_seconds += wait_s;
+      barrier_wait_hist.observe(wait_s);
     }
 
     result.cells_per_thread[tid] = local.cells_tabulated;
+    timeline.cells = local.cells_tabulated;
+    timeline.slices = local.slices_tabulated;
   }
+  rows_counter.add(idx1.size());
 
-  SRNA_CHECK(!failed.load(), "PRNA stage one failed (memo validation error)");
+  if (first_error != nullptr) {
+    obs::Registry::instance().counter("prna.stage1_errors").add();
+    std::rethrow_exception(first_error);
+  }
   for (const McosStats& local : thread_stats) {
     result.stats.cells_tabulated += local.cells_tabulated;
     result.stats.slices_tabulated += local.slices_tabulated;
     result.stats.arc_match_events += local.arc_match_events;
   }
+  stage1_span.close();
   result.stats.stage1_seconds = phase.seconds();
+  if (result.stats.stage1_seconds > 0.0)
+    obs::Registry::instance().gauge("prna.stage1_cells_per_second")
+        .set(static_cast<double>(result.stats.cells_tabulated) /
+             result.stats.stage1_seconds);
 
   // --- Stage two: the parent slice (paper: not worth parallelizing;
   // Table III shows it below 0.2% of the runtime — parallel_stage2 exists
   // to measure exactly that). ---
   phase.reset();
+  obs::TraceScope stage2_span("prna", "stage2");
   if (options.parallel_stage2) {
     SRNA_REQUIRE(dense, "parallel stage two supports the dense layout only");
     result.value = tabulate_parent_wavefront(s1, s2, memo, threads, result.stats);
@@ -190,7 +277,9 @@ PrnaResult prna(const SecondaryStructure& s1, const SecondaryStructure& s2,
     result.value =
         tabulate_slice_compressed(idx1.all(), idx2.all(), scratch, d2_lookup, &result.stats);
   }
+  stage2_span.close();
   result.stats.stage2_seconds = phase.seconds();
+  bridge_stats_to_metrics("prna", result.stats);
   return result;
 }
 

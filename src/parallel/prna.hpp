@@ -14,6 +14,8 @@
 // tested) parallel execution on whatever cores exist.
 #pragma once
 
+#include <functional>
+
 #include "core/options.hpp"
 #include "core/result.hpp"
 #include "parallel/load_balance.hpp"
@@ -45,6 +47,22 @@ struct PrnaOptions {
   // Verify the ordering guarantee (memo initialized to the unset sentinel,
   // every d2 lookup checked). Test-suite use.
   bool validate_memo = false;
+  // Test-only fault injection: called before each stage-one slice with its
+  // (row, column) arc indices; a throw from here exercises the parallel
+  // error path (first exception captured, rethrown after the region).
+  std::function<void(std::size_t a, std::size_t b)> stage1_hook;
+};
+
+// What one worker did during stage one: realized work plus where its wall
+// time went — tabulating (busy) versus waiting at the per-row barrier. The
+// imbalance between the two is the paper's load-balance story (Figure 8);
+// the run report serializes this, and `--trace` shows the same data as
+// per-row spans.
+struct PrnaThreadTimeline {
+  std::uint64_t cells = 0;
+  std::uint64_t slices = 0;
+  double busy_seconds = 0.0;
+  double barrier_wait_seconds = 0.0;
 };
 
 struct PrnaResult {
@@ -55,6 +73,11 @@ struct PrnaResult {
   // Cells tabulated by each thread during stage one (work distribution
   // actually realized, for comparing against the load balancer's plan).
   std::vector<std::uint64_t> cells_per_thread;
+  // Per-thread stage-one timeline (cells, busy vs. barrier-wait seconds).
+  std::vector<PrnaThreadTimeline> timeline;
+
+  // JSON rendering for run reports: value, threads, stats, timeline.
+  [[nodiscard]] obs::Json to_json() const;
 };
 
 PrnaResult prna(const SecondaryStructure& s1, const SecondaryStructure& s2,

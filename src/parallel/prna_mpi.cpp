@@ -5,6 +5,8 @@
 #include "core/arc_index.hpp"
 #include "core/memo_table.hpp"
 #include "core/tabulate_slice.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/timer.hpp"
 
@@ -37,6 +39,9 @@ PrnaMpiResult prna_mpi(const SecondaryStructure& s1, const SecondaryStructure& s
 
     // --- Preprocessing (replicated, deterministic on every rank). ---
     WallTimer phase;
+    obs::TraceScope preprocess_span("prna_mpi", "preprocess");
+    if (preprocess_span.active())
+      preprocess_span.set_args(obs::trace_args({{"rank", comm.rank()}}));
     const ArcIndex idx1(s1);
     const ArcIndex idx2(s2);
 
@@ -53,6 +58,7 @@ PrnaMpiResult prna_mpi(const SecondaryStructure& s1, const SecondaryStructure& s
 
     // The replicated memo table: this rank's private copy.
     MemoTable memo(s1.length(), s2.length(), 0);
+    preprocess_span.close();
     stats.preprocess_seconds = phase.seconds();
 
     auto d2_lookup = [&](Pos k1, Pos /*x*/, Pos k2, Pos /*y*/) -> Score {
@@ -61,6 +67,9 @@ PrnaMpiResult prna_mpi(const SecondaryStructure& s1, const SecondaryStructure& s
 
     // --- Stage one: owned child slices, then Allreduce(MAX) per row. ---
     phase.reset();
+    obs::TraceScope stage1_span("prna_mpi", "stage1");
+    if (stage1_span.active())
+      stage1_span.set_args(obs::trace_args({{"rank", comm.rank()}}));
     Matrix<Score> dense_scratch;
     CompressedSliceScratch compressed_scratch;
     for (std::size_t a = 0; a < idx1.size(); ++a) {
@@ -82,12 +91,16 @@ PrnaMpiResult prna_mpi(const SecondaryStructure& s1, const SecondaryStructure& s
       // MPI_Allreduce with MPI_MAX over the beginning address of the row.
       comm.allreduce_max(memo.row(arc1.left + 1), static_cast<std::size_t>(memo.cols()));
     }
+    stage1_span.close();
     stats.stage1_seconds = phase.seconds();
     result.cells_per_rank[rank] = stats.cells_tabulated;
 
     // --- Stage two: every rank holds the full table; tabulate redundantly
     // (cheap — Table III) so no final broadcast is needed. ---
     phase.reset();
+    obs::TraceScope stage2_span("prna_mpi", "stage2");
+    if (stage2_span.active())
+      stage2_span.set_args(obs::trace_args({{"rank", comm.rank()}}));
     if (dense) {
       rank_values[rank] =
           tabulate_slice_dense(s1, s2, SliceBounds{0, s1.length() - 1, 0, s2.length() - 1},
@@ -114,6 +127,26 @@ PrnaMpiResult prna_mpi(const SecondaryStructure& s1, const SecondaryStructure& s
   for (const McosStats& s : rank_stats)
     result.stats.stage1_seconds = std::max(result.stats.stage1_seconds, s.stage1_seconds);
   result.stats.stage2_seconds = rank_stats[0].stage2_seconds;
+
+  bridge_stats_to_metrics("prna_mpi", result.stats);
+  // Communication volume, summed over ranks (the per-rank split is in the
+  // returned CommStats; the registry records the aggregate).
+  auto& metrics = obs::Registry::instance();
+  mmpi::CommStats total;
+  for (const mmpi::CommStats& c : result.comm) {
+    total.barriers += c.barriers;
+    total.allreduces += c.allreduces;
+    total.broadcasts += c.broadcasts;
+    total.gathers += c.gathers;
+    total.point_to_point += c.point_to_point;
+    total.bytes_sent += c.bytes_sent;
+  }
+  metrics.counter("prna_mpi.comm.barriers").add(total.barriers);
+  metrics.counter("prna_mpi.comm.allreduces").add(total.allreduces);
+  metrics.counter("prna_mpi.comm.broadcasts").add(total.broadcasts);
+  metrics.counter("prna_mpi.comm.gathers").add(total.gathers);
+  metrics.counter("prna_mpi.comm.point_to_point").add(total.point_to_point);
+  metrics.counter("prna_mpi.comm.bytes_sent").add(total.bytes_sent);
   return result;
 }
 

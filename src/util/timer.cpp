@@ -1,18 +1,16 @@
 #include "util/timer.hpp"
 
-#include <algorithm>
-
 namespace srna {
 
 void PhaseTimer::add(const std::string& name, double seconds) {
-  auto it = std::find_if(phases_.begin(), phases_.end(),
-                         [&](const Phase& p) { return p.name == name; });
-  if (it == phases_.end()) {
+  const auto [it, inserted] = index_.try_emplace(name, phases_.size());
+  if (inserted) {
     phases_.push_back(Phase{name, seconds, 1});
-  } else {
-    it->seconds += seconds;
-    ++it->count;
+    return;
   }
+  Phase& p = phases_[it->second];
+  p.seconds += seconds;
+  ++p.count;
 }
 
 double PhaseTimer::total_seconds() const {
@@ -22,9 +20,8 @@ double PhaseTimer::total_seconds() const {
 }
 
 double PhaseTimer::seconds(const std::string& name) const {
-  for (const Phase& p : phases_)
-    if (p.name == name) return p.seconds;
-  return 0.0;
+  const auto it = index_.find(name);
+  return it == index_.end() ? 0.0 : phases_[it->second].seconds;
 }
 
 double PhaseTimer::percent(const std::string& name) const {

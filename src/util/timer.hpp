@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cstddef>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace srna {
@@ -66,10 +67,17 @@ class PhaseTimer {
   // Percentage of the total accounted for by `name` (0 if total is 0).
   [[nodiscard]] double percent(const std::string& name) const;
 
-  void clear() { phases_.clear(); }
+  void clear() {
+    phases_.clear();
+    index_.clear();
+  }
 
  private:
+  // Reporting order (first use) lives in phases_; index_ maps name -> slot
+  // so add() is O(1) amortized instead of a linear scan per call (bench
+  // loops add the same few phases thousands of times).
   std::vector<Phase> phases_;
+  std::unordered_map<std::string, std::size_t> index_;
 };
 
 }  // namespace srna

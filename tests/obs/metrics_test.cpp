@@ -1,0 +1,146 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace srna::obs {
+namespace {
+
+TEST(Counter, SumsAcrossThreads) {
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10000;
+  Counter counter;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) counter.add();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(Counter, AddDeltaAndReset) {
+  Counter counter;
+  counter.add(5);
+  counter.add(7);
+  EXPECT_EQ(counter.value(), 12u);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(Gauge, SetOverwrites) {
+  Gauge gauge;
+  gauge.set(1.5);
+  gauge.set(-2.25);
+  EXPECT_DOUBLE_EQ(gauge.value(), -2.25);
+  gauge.reset();
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+}
+
+TEST(Histogram, EmptySnapshotIsAllZero) {
+  Histogram h;
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.0);
+  EXPECT_DOUBLE_EQ(snap.min, 0.0);
+  EXPECT_DOUBLE_EQ(snap.max, 0.0);
+  EXPECT_DOUBLE_EQ(snap.p50, 0.0);
+}
+
+TEST(Histogram, TracksCountSumMinMax) {
+  Histogram h;
+  h.observe(0.001);
+  h.observe(0.004);
+  h.observe(0.016);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.021);
+  EXPECT_DOUBLE_EQ(snap.min, 0.001);
+  EXPECT_DOUBLE_EQ(snap.max, 0.016);
+}
+
+TEST(Histogram, PercentilesAreOrderedAndInRange) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.observe(i * 1e-6);
+  const auto snap = h.snapshot();
+  EXPECT_LE(snap.p50, snap.p90);
+  EXPECT_LE(snap.p90, snap.p99);
+  // Log-linear buckets: the estimate is within ~±41% of the true quantile.
+  EXPECT_GT(snap.p50, 250e-6);
+  EXPECT_LT(snap.p50, 1000e-6);
+  EXPECT_GT(snap.p99, 500e-6);
+}
+
+TEST(Histogram, BucketIndexIsMonotone) {
+  std::size_t prev = 0;
+  for (double v = 1e-9; v < 1.0; v *= 2.0) {
+    const std::size_t idx = Histogram::bucket_index(v);
+    EXPECT_GE(idx, prev);
+    EXPECT_LT(idx, Histogram::kBuckets);
+    EXPECT_GE(Histogram::bucket_upper_bound(idx), v * 0.99);
+    prev = idx;
+  }
+}
+
+TEST(Histogram, ConcurrentObserversCountEverything) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  Histogram h;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        h.observe(1e-6 * (1 + ((t + i) % 100)));
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(h.snapshot().count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Registry, SameNameSameInstrument) {
+  auto& registry = Registry::instance();
+  Counter& a = registry.counter("metrics_test.same");
+  Counter& b = registry.counter("metrics_test.same");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+  a.reset();
+}
+
+TEST(Registry, SnapshotContainsRegisteredInstruments) {
+  auto& registry = Registry::instance();
+  registry.counter("metrics_test.snap_counter").add(2);
+  registry.gauge("metrics_test.snap_gauge").set(1.5);
+  registry.histogram("metrics_test.snap_hist").observe(0.5);
+
+  const Json snap = registry.snapshot();
+  ASSERT_TRUE(snap.contains("counters"));
+  ASSERT_TRUE(snap.contains("gauges"));
+  ASSERT_TRUE(snap.contains("histograms"));
+  EXPECT_EQ(snap.find("counters")->find("metrics_test.snap_counter")->as_uint(), 2u);
+  EXPECT_DOUBLE_EQ(snap.find("gauges")->find("metrics_test.snap_gauge")->as_double(), 1.5);
+  const Json* hist = snap.find("histograms")->find("metrics_test.snap_hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->find("count")->as_uint(), 1u);
+}
+
+TEST(Registry, ResetZeroesButKeepsReferencesValid) {
+  auto& registry = Registry::instance();
+  Counter& counter = registry.counter("metrics_test.reset_me");
+  counter.add(9);
+  registry.reset();
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add(1);  // the cached reference still works
+  EXPECT_EQ(counter.value(), 1u);
+  counter.reset();
+}
+
+}  // namespace
+}  // namespace srna::obs

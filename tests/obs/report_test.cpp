@@ -1,0 +1,89 @@
+#include "obs/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace srna::obs {
+namespace {
+
+TEST(RunReport, CarriesSchemaAndEnvironment) {
+  const RunReport report("unit-test");
+  const Json& root = report.root();
+  EXPECT_EQ(root.find("schema")->as_string(), "srna-run-report");
+  EXPECT_EQ(root.find("schema_version")->as_int(), 1);
+  EXPECT_EQ(root.find("tool")->as_string(), "unit-test");
+  EXPECT_EQ(root.find("status")->as_string(), "ok");
+  EXPECT_GT(root.find("timestamp_unix")->as_int(), 0);
+  const Json* env = root.find("environment");
+  ASSERT_NE(env, nullptr);
+  EXPECT_FALSE(env->find("compiler")->as_string().empty());
+  EXPECT_GT(env->find("hardware_threads")->as_int(), 0);
+}
+
+TEST(RunReport, RoundTripsThroughParse) {
+  RunReport report("round-trip");
+  report.set("value", Json(std::int64_t{42}));
+  Json opts = Json::object();
+  opts.set("threads", Json(4));
+  report.set("options", std::move(opts));
+  const char* argv[] = {"srna", "compare", "--threads=4"};
+  report.set_command_line(3, argv);
+
+  const auto parsed = Json::parse(report.to_string());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("tool")->as_string(), "round-trip");
+  EXPECT_EQ(parsed->find("value")->as_int(), 42);
+  EXPECT_EQ(parsed->find("options")->find("threads")->as_int(), 4);
+  const Json* cmd = parsed->find("command_line");
+  ASSERT_NE(cmd, nullptr);
+  ASSERT_EQ(cmd->items().size(), 3u);
+  EXPECT_EQ(cmd->items()[2].as_string(), "--threads=4");
+}
+
+TEST(RunReport, SetReplacesTopLevelKey) {
+  RunReport report("replace");
+  report.set("k", Json(1));
+  report.set("k", Json(2));
+  EXPECT_EQ(report.root().find("k")->as_int(), 2);
+}
+
+TEST(RunReport, MetricsSnapshotAttaches) {
+  Registry::instance().counter("report_test.counter").add(5);
+  RunReport report("with-metrics");
+  report.add_metrics_snapshot();
+  const Json* metrics = report.root().find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->find("counters")->find("report_test.counter")->as_uint(), 5u);
+  Registry::instance().counter("report_test.counter").reset();
+}
+
+TEST(RunReport, ErrorMarksStatusAndKeepsDocumentParseable) {
+  RunReport report("crashing-tool");
+  report.set_error("PRNA stage one failed: injected fault");
+  EXPECT_EQ(report.root().find("status")->as_string(), "error");
+  const auto parsed = Json::parse(report.to_string());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("error")->as_string(), "PRNA stage one failed: injected fault");
+}
+
+TEST(RunReport, WriteProducesReadableFile) {
+  RunReport report("file-writer");
+  const std::string path = ::testing::TempDir() + "/srna_report_test.json";
+  ASSERT_TRUE(report.write(path));
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  const auto parsed = Json::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("tool")->as_string(), "file-writer");
+}
+
+}  // namespace
+}  // namespace srna::obs

@@ -1,0 +1,156 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace srna::obs {
+namespace {
+
+// The tracer is a process-wide singleton; every test starts it fresh and
+// leaves it disabled (other suites expect tracing off).
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::instance().disable();
+    Tracer::instance().clear();
+  }
+  void TearDown() override {
+    Tracer::instance().disable();
+    Tracer::instance().clear();
+    Tracer::instance().set_thread_capacity(1 << 16);
+  }
+};
+
+TEST_F(TraceTest, DisabledTracerRecordsNothing) {
+  {
+    TraceScope span("cat", "name");
+    EXPECT_FALSE(span.active());
+  }
+  Tracer::instance().record("cat", "direct", 0, 1);
+  EXPECT_EQ(Tracer::instance().events_recorded(), 0u);
+}
+
+TEST_F(TraceTest, SpanProducesChromeTraceEvent) {
+  Tracer::instance().enable();
+  {
+    TraceScope span("prna", "row");
+    span.set_args(trace_args({{"row", 7}}));
+  }
+  Tracer::instance().disable();
+
+  const Json doc = Tracer::instance().to_json();
+  const Json* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  const Json* span_event = nullptr;
+  for (const Json& e : events->items())
+    if (e.find("ph")->as_string() == "X") span_event = &e;
+  ASSERT_NE(span_event, nullptr);
+  EXPECT_EQ(span_event->find("cat")->as_string(), "prna");
+  EXPECT_EQ(span_event->find("name")->as_string(), "row");
+  EXPECT_TRUE(span_event->contains("ts"));
+  EXPECT_TRUE(span_event->contains("dur"));
+  EXPECT_TRUE(span_event->contains("tid"));
+  EXPECT_EQ(span_event->find("args")->find("row")->as_int(), 7);
+}
+
+TEST_F(TraceTest, DocumentIsValidJsonWithThreadMetadata) {
+  Tracer::instance().enable();
+  { TraceScope span("a", "b"); }
+  Tracer::instance().instant("a", "tick");
+  Tracer::instance().disable();
+
+  const auto parsed = Json::parse(Tracer::instance().to_json_string());
+  ASSERT_TRUE(parsed.has_value());
+  bool has_metadata = false;
+  bool has_instant = false;
+  for (const Json& e : parsed->find("traceEvents")->items()) {
+    if (e.find("ph")->as_string() == "M") has_metadata = true;
+    if (e.find("ph")->as_string() == "i") has_instant = true;
+  }
+  EXPECT_TRUE(has_metadata);
+  EXPECT_TRUE(has_instant);
+}
+
+TEST_F(TraceTest, CloseIsIdempotent) {
+  Tracer::instance().enable();
+  TraceScope span("cat", "name");
+  span.close();
+  span.close();
+  Tracer::instance().disable();
+  EXPECT_EQ(Tracer::instance().events_recorded(), 1u);
+}
+
+TEST_F(TraceTest, ConcurrentWritersLoseNothing) {
+  constexpr int kThreads = 8;
+  constexpr int kEventsPerThread = 500;
+  Tracer::instance().enable();
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      for (int i = 0; i < kEventsPerThread; ++i) {
+        TraceScope span("test", "work");
+        span.set_args(trace_args({{"i", i}}));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  Tracer::instance().disable();
+
+  EXPECT_EQ(Tracer::instance().events_recorded(),
+            static_cast<std::uint64_t>(kThreads) * kEventsPerThread);
+  EXPECT_EQ(Tracer::instance().events_dropped(), 0u);
+
+  const Json doc = Tracer::instance().to_json();
+  std::uint64_t spans = 0;
+  for (const Json& e : doc.find("traceEvents")->items())
+    if (e.find("ph")->as_string() == "X") ++spans;
+  EXPECT_EQ(spans, static_cast<std::uint64_t>(kThreads) * kEventsPerThread);
+}
+
+TEST_F(TraceTest, FullBufferDropsInsteadOfGrowing) {
+  Tracer::instance().set_thread_capacity(4);
+  Tracer::instance().enable();
+  for (int i = 0; i < 10; ++i) TraceScope span("test", "overflow");
+  Tracer::instance().disable();
+  EXPECT_EQ(Tracer::instance().events_recorded(), 4u);
+  EXPECT_EQ(Tracer::instance().events_dropped(), 6u);
+}
+
+TEST_F(TraceTest, ClearResetsBuffers) {
+  Tracer::instance().enable();
+  { TraceScope span("a", "b"); }
+  Tracer::instance().disable();
+  ASSERT_EQ(Tracer::instance().events_recorded(), 1u);
+  Tracer::instance().clear();
+  EXPECT_EQ(Tracer::instance().events_recorded(), 0u);
+
+  // Re-enable after clear: the thread re-registers and recording works.
+  Tracer::instance().enable();
+  { TraceScope span("a", "b2"); }
+  Tracer::instance().disable();
+  EXPECT_EQ(Tracer::instance().events_recorded(), 1u);
+}
+
+TEST_F(TraceTest, ConditionFalseSuppressesSpan) {
+  Tracer::instance().enable();
+  { TraceScope span("cat", "name", /*condition=*/false); }
+  Tracer::instance().disable();
+  EXPECT_EQ(Tracer::instance().events_recorded(), 0u);
+}
+
+TEST_F(TraceTest, TraceArgsRendersJsonObject) {
+  const std::string args = trace_args({{"a", 1}, {"b", -2}});
+  const auto parsed = Json::parse(args);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("a")->as_int(), 1);
+  EXPECT_EQ(parsed->find("b")->as_int(), -2);
+}
+
+}  // namespace
+}  // namespace srna::obs

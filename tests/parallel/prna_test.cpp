@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <stdexcept>
 #include <tuple>
 
 #include "core/mcos.hpp"
+#include "obs/json.hpp"
 #include "rna/generators.hpp"
 #include "testing/builders.hpp"
 
@@ -170,6 +172,88 @@ TEST(Prna, ManyMoreThreadsThanColumns) {
   opt.num_threads = 8;
   opt.validate_memo = true;
   EXPECT_EQ(prna(s, s, opt).value, 2);
+}
+
+TEST(Prna, StageOneExceptionPropagatesToCaller) {
+  const auto s = random_structure(40, 0.5, 11);
+  PrnaOptions opt;
+  opt.num_threads = 4;
+  opt.stage1_hook = [](std::size_t a, std::size_t b) {
+    if (a == 1 && b == 0) throw std::runtime_error("injected stage-one fault");
+  };
+  try {
+    prna(s, s, opt);
+    FAIL() << "expected the injected fault to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "injected stage-one fault");
+  }
+}
+
+TEST(Prna, StageOneExceptionPropagatesUnderDynamicSchedule) {
+  const auto s = random_structure(40, 0.5, 13);
+  PrnaOptions opt;
+  opt.num_threads = 4;
+  opt.schedule = PrnaSchedule::kDynamic;
+  opt.stage1_hook = [](std::size_t, std::size_t) {
+    throw std::runtime_error("injected dynamic fault");
+  };
+  EXPECT_THROW(prna(s, s, opt), std::runtime_error);
+}
+
+TEST(Prna, FirstOfManyConcurrentFaultsWins) {
+  // Every slice throws; exactly one exception must come back (no terminate,
+  // no lost error), and it must be one of the injected ones.
+  const auto s = worst_case_structure(60);
+  PrnaOptions opt;
+  opt.num_threads = 4;
+  opt.stage1_hook = [](std::size_t, std::size_t) {
+    throw std::runtime_error("injected everywhere");
+  };
+  try {
+    prna(s, s, opt);
+    FAIL() << "expected an injected fault to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "injected everywhere");
+  }
+}
+
+TEST(Prna, TimelineCoversEveryThreadAndAllCells) {
+  const auto s1 = random_structure(60, 0.5, 5);
+  const auto s2 = random_structure(55, 0.5, 6);
+  PrnaOptions opt;
+  opt.num_threads = 3;
+  const auto r = prna(s1, s2, opt);
+
+  ASSERT_EQ(r.timeline.size(), 3u);
+  std::uint64_t timeline_cells = 0;
+  for (std::size_t tid = 0; tid < r.timeline.size(); ++tid) {
+    EXPECT_EQ(r.timeline[tid].cells, r.cells_per_thread[tid]);
+    EXPECT_GE(r.timeline[tid].busy_seconds, 0.0);
+    EXPECT_GE(r.timeline[tid].barrier_wait_seconds, 0.0);
+    timeline_cells += r.timeline[tid].cells;
+  }
+  // Stage one's cells only (stage two tabulates the parent on the calling
+  // thread, outside the timeline).
+  EXPECT_LE(timeline_cells, r.stats.cells_tabulated);
+  EXPECT_GT(timeline_cells, 0u);
+}
+
+TEST(Prna, ResultToJsonRoundTrips) {
+  const auto s = random_structure(50, 0.5, 7);
+  PrnaOptions opt;
+  opt.num_threads = 2;
+  const auto r = prna(s, s, opt);
+
+  const auto parsed = obs::Json::parse(r.to_json().dump());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("value")->as_int(), static_cast<std::int64_t>(r.value));
+  EXPECT_EQ(parsed->find("threads_used")->as_int(), 2);
+  EXPECT_EQ(parsed->find("stats")->find("cells_tabulated")->as_uint(),
+            r.stats.cells_tabulated);
+  const obs::Json* lanes = parsed->find("timeline");
+  ASSERT_NE(lanes, nullptr);
+  ASSERT_EQ(lanes->items().size(), 2u);
+  EXPECT_EQ(lanes->items()[0].find("cells")->as_uint(), r.timeline[0].cells);
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include "align/anchored_alignment.hpp"
 #include "core/mcos.hpp"
 #include "db/structure_db.hpp"
+#include "obs/session.hpp"
 #include "core/traceback.hpp"
 #include "core/weighted.hpp"
 #include "parallel/prna.hpp"
@@ -56,6 +57,7 @@ int cmd_compare(const std::vector<std::string>& args, std::ostream& out, std::os
   cli.add_flag("traceback", "print the matched arc pairs");
   cli.add_flag("weighted", "Bafna-style weighted similarity (uses sequences when available)");
   cli.add_flag("stats", "print solver statistics");
+  obs::ObsSession::add_cli_options(cli);
   std::vector<const char*> argv{"srna-compare"};
   for (const auto& a : args) argv.push_back(a.c_str());
   if (!cli.parse(static_cast<int>(argv.size()), argv.data())) return 0;
@@ -63,6 +65,8 @@ int cmd_compare(const std::vector<std::string>& args, std::ostream& out, std::os
     err << "compare needs exactly two structures (file or dot-bracket)\n";
     return 2;
   }
+
+  obs::ObsSession session(obs::ObsSession::paths_from_cli(cli), "srna compare");
 
   const LoadedStructure a = load_structure(cli.positional()[0]);
   const LoadedStructure b = load_structure(cli.positional()[1]);
@@ -80,30 +84,60 @@ int cmd_compare(const std::vector<std::string>& args, std::ostream& out, std::os
   }
 
   const int threads = static_cast<int>(cli.integer("threads"));
+  {
+    obs::Json inputs = obs::Json::array();
+    for (const LoadedStructure* s : {&a, &b}) {
+      obs::Json one = obs::Json::object();
+      one.set("origin", obs::Json(s->origin));
+      one.set("length", obs::Json(static_cast<std::int64_t>(s->structure.length())));
+      one.set("arcs", obs::Json(static_cast<std::int64_t>(s->structure.arc_count())));
+      inputs.push(std::move(one));
+    }
+    session.report().set("inputs", std::move(inputs));
+    obs::Json opts = obs::Json::object();
+    opts.set("algorithm", obs::Json(cli.str("algorithm")));
+    opts.set("layout", obs::Json(cli.str("layout")));
+    opts.set("threads", obs::Json(static_cast<std::int64_t>(threads)));
+    session.report().set("options", std::move(opts));
+  }
+
   McosResult result;
   std::string how;
-  if (threads > 0) {
-    PrnaOptions popt;
-    popt.num_threads = threads;
-    popt.layout = options.layout;
-    const auto pr = prna(a.structure, b.structure, popt);
-    result.value = pr.value;
-    result.stats = pr.stats;
-    how = "PRNA(" + std::to_string(pr.threads_used) + " threads)";
-  } else {
-    const std::map<std::string, McosAlgorithm> algos = {
-        {"srna1", McosAlgorithm::kSrna1},
-        {"srna2", McosAlgorithm::kSrna2},
-        {"topdown", McosAlgorithm::kReferenceTopDown},
-        {"bottomup", McosAlgorithm::kReferenceBottomUp}};
-    const auto it = algos.find(cli.str("algorithm"));
-    if (it == algos.end()) {
-      err << "unknown algorithm: " << cli.str("algorithm") << "\n";
-      return 2;
+  try {
+    if (threads > 0) {
+      PrnaOptions popt;
+      popt.num_threads = threads;
+      popt.layout = options.layout;
+      const auto pr = prna(a.structure, b.structure, popt);
+      result.value = pr.value;
+      result.stats = pr.stats;
+      how = "PRNA(" + std::to_string(pr.threads_used) + " threads)";
+      session.report().set("prna", pr.to_json());
+    } else {
+      const std::map<std::string, McosAlgorithm> algos = {
+          {"srna1", McosAlgorithm::kSrna1},
+          {"srna2", McosAlgorithm::kSrna2},
+          {"topdown", McosAlgorithm::kReferenceTopDown},
+          {"bottomup", McosAlgorithm::kReferenceBottomUp}};
+      const auto it = algos.find(cli.str("algorithm"));
+      if (it == algos.end()) {
+        err << "unknown algorithm: " << cli.str("algorithm") << "\n";
+        return 2;
+      }
+      result = mcos(a.structure, b.structure, it->second, options);
+      how = it->first;
     }
-    result = mcos(a.structure, b.structure, it->second, options);
-    how = it->first;
+  } catch (const std::exception& e) {
+    // The report survives as a crash record: status, error text, whatever
+    // metrics the run recorded before it died.
+    session.report().set_error(e.what());
+    session.finish();
+    throw;
   }
+
+  session.report().set("how", obs::Json(how));
+  session.report().set("value", obs::Json(static_cast<std::int64_t>(result.value)));
+  session.report().set("stats", result.stats.to_json());
 
   out << "MCOS value: " << result.value << "  (" << how << ")\n";
   if (cli.flag("stats")) out << result.stats.to_string() << "\n";
@@ -113,6 +147,7 @@ int cmd_compare(const std::vector<std::string>& args, std::ostream& out, std::os
       out << "  " << m.a1 << "  <->  " << m.a2 << "\n";
     out << "common substructure: " << to_dot_bracket(common.as_structure()) << "\n";
   }
+  for (const std::string& path : session.finish()) out << "wrote " << path << "\n";
   return 0;
 }
 
@@ -320,6 +355,7 @@ int cmd_search(const std::vector<std::string>& args, std::ostream& out, std::ost
   cli.add_option("top", "show only the best K hits (0 = all)", "10");
   cli.add_option("threads", "worker threads for the scan (0 = default)", "0");
   cli.add_flag("raw", "rank by raw common-arc count instead of normalized similarity");
+  obs::ObsSession::add_cli_options(cli);
   std::vector<const char*> argv{"srna-search"};
   for (const auto& a : args) argv.push_back(a.c_str());
   if (!cli.parse(static_cast<int>(argv.size()), argv.data())) return 0;
@@ -327,6 +363,8 @@ int cmd_search(const std::vector<std::string>& args, std::ostream& out, std::ost
     err << "search needs <query> <directory of .ct/.bpseq files>\n";
     return 2;
   }
+
+  obs::ObsSession session(obs::ObsSession::paths_from_cli(cli), "srna search");
 
   const LoadedStructure query = load_structure(cli.positional()[0]);
   const StructureDatabase db = StructureDatabase::load_directory(cli.positional()[1]);
@@ -341,6 +379,23 @@ int cmd_search(const std::vector<std::string>& args, std::ostream& out, std::ost
   const auto hits =
       query_top_k(db, query.structure, static_cast<std::size_t>(cli.integer("top")), opt);
 
+  {
+    obs::Json doc = obs::Json::object();
+    doc.set("query", obs::Json(query.origin));
+    doc.set("database_size", obs::Json(static_cast<std::int64_t>(db.size())));
+    doc.set("threads", obs::Json(static_cast<std::int64_t>(opt.threads)));
+    obs::Json ranked = obs::Json::array();
+    for (const QueryHit& hit : hits) {
+      obs::Json one = obs::Json::object();
+      one.set("name", obs::Json(db.record(hit.index).name));
+      one.set("common_arcs", obs::Json(static_cast<std::int64_t>(hit.common_arcs)));
+      one.set("score", obs::Json(hit.score));
+      ranked.push(std::move(one));
+    }
+    doc.set("hits", std::move(ranked));
+    session.report().set("search", std::move(doc));
+  }
+
   TablePrinter table({"rank", "structure", "arcs", "common", "score"});
   int rank = 1;
   for (const QueryHit& hit : hits)
@@ -348,6 +403,7 @@ int cmd_search(const std::vector<std::string>& args, std::ostream& out, std::ost
                    std::to_string(db.record(hit.index).structure.arc_count()),
                    std::to_string(hit.common_arcs), fixed(hit.score, 3)});
   table.print(out);
+  for (const std::string& path : session.finish()) out << "wrote " << path << "\n";
   return 0;
 }
 
@@ -355,6 +411,7 @@ int cmd_matrix(const std::vector<std::string>& args, std::ostream& out, std::ost
   CliParser cli("srna matrix", "pairwise similarity matrix over a directory of structures");
   cli.add_option("threads", "worker threads (0 = default)", "0");
   cli.add_flag("csv", "emit CSV");
+  obs::ObsSession::add_cli_options(cli);
   std::vector<const char*> argv{"srna-matrix"};
   for (const auto& a : args) argv.push_back(a.c_str());
   if (!cli.parse(static_cast<int>(argv.size()), argv.data())) return 0;
@@ -362,6 +419,8 @@ int cmd_matrix(const std::vector<std::string>& args, std::ostream& out, std::ost
     err << "matrix needs a directory of .ct/.bpseq files\n";
     return 2;
   }
+
+  obs::ObsSession session(obs::ObsSession::paths_from_cli(cli), "srna matrix");
 
   const StructureDatabase db = StructureDatabase::load_directory(cli.positional()[0]);
   if (db.size() < 2) {
@@ -371,6 +430,15 @@ int cmd_matrix(const std::vector<std::string>& args, std::ostream& out, std::ost
   SearchOptions opt;
   opt.threads = static_cast<int>(cli.integer("threads"));
   const auto matrix = all_pairs_similarity(db, opt);
+
+  {
+    obs::Json doc = obs::Json::object();
+    doc.set("database_size", obs::Json(static_cast<std::int64_t>(db.size())));
+    doc.set("threads", obs::Json(static_cast<std::int64_t>(opt.threads)));
+    doc.set("pairs_compared",
+            obs::Json(static_cast<std::int64_t>(db.size() * (db.size() - 1) / 2)));
+    session.report().set("matrix", std::move(doc));
+  }
 
   std::vector<std::string> header{""};
   for (std::size_t i = 0; i < db.size(); ++i) header.push_back(db.record(i).name);
@@ -384,6 +452,7 @@ int cmd_matrix(const std::vector<std::string>& args, std::ostream& out, std::ost
     table.print_csv(out);
   else
     table.print(out);
+  for (const std::string& path : session.finish()) out << "wrote " << path << "\n";
   return 0;
 }
 
