@@ -11,8 +11,8 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "engine/engine.hpp"
 #include "parallel/cluster_sim.hpp"
-#include "parallel/prna.hpp"
 #include "rna/generators.hpp"
 #include "util/cli.hpp"
 #include "util/table_printer.hpp"
@@ -52,12 +52,12 @@ int main(int argc, char** argv) {
 
   // Real shared-memory cross-check: identical answers either way.
   const auto small = worst_case_structure(200);
-  PrnaOptions stat;
-  stat.num_threads = 3;
-  PrnaOptions dyn = stat;
+  SolverConfig stat;
+  stat.threads = 3;
+  SolverConfig dyn = stat;
   dyn.schedule = PrnaSchedule::kDynamic;
-  const auto vs = prna(small, small, stat).value;
-  const auto vd = prna(small, small, dyn).value;
+  const auto vs = engine_solve("prna", small, small, stat).value;
+  const auto vd = engine_solve("prna", small, small, dyn).value;
   std::cout << "\nreal PRNA cross-check (L=200, 3 threads): static=" << vs
             << " dynamic=" << vd << (vs == vd ? "  [agree]\n" : "  [BUG]\n");
   std::cout << "\nshape check: on the product-form workload the static schedule\n"

@@ -12,7 +12,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "core/mcos.hpp"
+#include "engine/engine.hpp"
 #include "rna/generators.hpp"
 #include "util/cli.hpp"
 #include "util/table_printer.hpp"
@@ -35,9 +35,9 @@ int main(int argc, char** argv) {
 
   auto run = [&](const std::string& name, const SecondaryStructure& a,
                  const SecondaryStructure& b) {
-    McosResult lazy, eager;
-    const double tl = bench::time_best_of(1, [&] { lazy = srna1(a, b); });
-    const double te = bench::time_best_of(1, [&] { eager = srna2(a, b); });
+    EngineResult lazy, eager;
+    const double tl = bench::time_best_of(1, [&] { lazy = engine_solve("srna1", a, b); });
+    const double te = bench::time_best_of(1, [&] { eager = engine_solve("srna2", a, b); });
     if (lazy.value != eager.value) {
       std::cerr << "VALUE MISMATCH for " << name << "\n";
       std::exit(1);

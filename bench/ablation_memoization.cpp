@@ -11,7 +11,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "core/mcos.hpp"
+#include "engine/engine.hpp"
 #include "rna/generators.hpp"
 #include "util/cli.hpp"
 #include "util/table_printer.hpp"
@@ -31,12 +31,14 @@ int main(int argc, char** argv) {
     TablePrinter table({"length", "array[s]", "hashmap[s]", "hash/array", "memo misses"});
     for (const auto length : cli.int_list("memo-lengths")) {
       const auto s = worst_case_structure(static_cast<Pos>(length));
-      McosOptions array_opt;
-      McosOptions hash_opt;
+      SolverConfig array_opt;
+      SolverConfig hash_opt;
       hash_opt.memo_kind = MemoKind::kHashMap;
-      McosResult ra, rh;
-      const double ta = bench::time_best_of(1, [&] { ra = srna1(s, s, array_opt); });
-      const double th = bench::time_best_of(1, [&] { rh = srna1(s, s, hash_opt); });
+      EngineResult ra, rh;
+      const double ta =
+          bench::time_best_of(1, [&] { ra = engine_solve("srna1", s, s, array_opt); });
+      const double th =
+          bench::time_best_of(1, [&] { rh = engine_solve("srna1", s, s, hash_opt); });
       if (ra.value != rh.value) {
         std::cerr << "VALUE MISMATCH\n";
         return 1;
@@ -53,15 +55,15 @@ int main(int argc, char** argv) {
                         "naive max depth"});
     for (const auto length : cli.int_list("naive-lengths")) {
       const auto s = worst_case_structure(static_cast<Pos>(length));
-      McosOptions with;
-      McosOptions without;
+      SolverConfig with;
+      SolverConfig without;
       without.memoize = false;
       without.spawn_limit = 50'000'000;  // safety valve
-      const auto rw = srna1(s, s, with);
-      McosResult rn;
+      const auto rw = engine_solve("srna1", s, s, with);
+      EngineResult rn;
       bool aborted = false;
       try {
-        rn = srna1(s, s, without);
+        rn = engine_solve("srna1", s, s, without);
       } catch (const std::runtime_error&) {
         aborted = true;
       }

@@ -13,6 +13,7 @@
 
 #include "bench_util.hpp"
 #include "core/mcos.hpp"
+#include "engine/engine.hpp"
 #include "rna/generators.hpp"
 #include "util/cli.hpp"
 #include "util/table_printer.hpp"
@@ -35,7 +36,7 @@ int main(int argc, char** argv) {
   auto run = [&](const std::string& name, const SecondaryStructure& s) {
     const auto over = mcos_reference_bottomup(s, s);
     const auto exact = mcos_reference_topdown(s, s);
-    const auto slices = srna2(s, s);
+    const auto slices = engine_solve("srna2", s, s);
     table.add_row({name, std::to_string(s.arc_count()),
                    std::to_string(over.stats.cells_tabulated),
                    std::to_string(exact.stats.cells_tabulated),

@@ -9,7 +9,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "core/mcos.hpp"
+#include "engine/engine.hpp"
 #include "rna/generators.hpp"
 #include "rna/structure_stats.hpp"
 #include "util/cli.hpp"
@@ -30,13 +30,14 @@ int main(int argc, char** argv) {
                       "dense cells", "compressed cells"});
 
   auto run = [&](const std::string& name, const SecondaryStructure& s) {
-    McosOptions dense;
+    SolverConfig dense;
     dense.layout = SliceLayout::kDense;
-    McosOptions compressed;
+    SolverConfig compressed;
     compressed.layout = SliceLayout::kCompressed;
-    McosResult rd, rc;
-    const double td = bench::time_best_of(1, [&] { rd = srna2(s, s, dense); });
-    const double tc = bench::time_best_of(1, [&] { rc = srna2(s, s, compressed); });
+    EngineResult rd, rc;
+    const double td = bench::time_best_of(1, [&] { rd = engine_solve("srna2", s, s, dense); });
+    const double tc =
+        bench::time_best_of(1, [&] { rc = engine_solve("srna2", s, s, compressed); });
     if (rd.value != rc.value) {
       std::cerr << "VALUE MISMATCH for " << name << "\n";
       std::exit(1);

@@ -10,7 +10,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "parallel/prna.hpp"
+#include "engine/engine.hpp"
 #include "rna/generators.hpp"
 #include "util/cli.hpp"
 #include "util/table_printer.hpp"
@@ -32,13 +32,13 @@ int main(int argc, char** argv) {
 
   for (const auto length : cli.int_list("lengths")) {
     const auto s = worst_case_structure(static_cast<Pos>(length));
-    PrnaOptions seq;
-    seq.num_threads = threads;
-    PrnaOptions wave = seq;
+    SolverConfig seq;
+    seq.threads = threads;
+    SolverConfig wave = seq;
     wave.parallel_stage2 = true;
 
-    const auto rs = prna(s, s, seq);
-    const auto rw = prna(s, s, wave);
+    const auto rs = engine_solve("prna", s, s, seq);
+    const auto rw = engine_solve("prna", s, s, wave);
     const double share = rs.stats.total_seconds() > 0
                              ? rs.stats.stage2_seconds / rs.stats.total_seconds()
                              : 0.0;

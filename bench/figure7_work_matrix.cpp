@@ -10,7 +10,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "core/mcos.hpp"
+#include "engine/engine.hpp"
 #include "parallel/load_balance.hpp"
 #include "rna/dot_bracket.hpp"
 #include "rna/generators.hpp"
@@ -63,7 +63,7 @@ int main(int argc, char** argv) {
   std::cout << "stage-one cells total: " << grand_total << "\n";
 
   // Cross-check against the real kernel's accounting.
-  const auto r = srna2(s1, s2);
+  const auto r = engine_solve("srna2", s1, s2);
   const std::uint64_t parent =
       static_cast<std::uint64_t>(s1.length()) * static_cast<std::uint64_t>(s2.length());
   std::cout << "real SRNA2 stage-one cells: " << (r.stats.cells_tabulated - parent)

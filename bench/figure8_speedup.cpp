@@ -15,8 +15,8 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "engine/engine.hpp"
 #include "parallel/cluster_sim.hpp"
-#include "parallel/prna.hpp"
 #include "rna/generators.hpp"
 #include "util/cli.hpp"
 #include "util/table_printer.hpp"
@@ -103,17 +103,18 @@ int main(int argc, char** argv) {
   const int threads = static_cast<int>(cli.integer("real-threads"));
   if (threads > 0) {
     const auto s = worst_case_structure(400);
-    PrnaOptions popt;
-    popt.num_threads = threads;
-    popt.balance = strategy;
+    SolverConfig config;
+    config.threads = threads;
+    config.balance = strategy;
     WallTimer timer;
-    const auto r = prna(s, s, popt);
+    auto r = engine_solve("prna", s, s, config);
     std::cout << "\nreal PRNA cross-check (L=400, " << threads << " threads, this host): value "
               << r.value << " (expected 200), wall " << fixed(timer.seconds(), 3)
               << " s, stage-one cells per thread:";
-    for (const auto cells : r.cells_per_thread) std::cout << ' ' << cells;
+    if (const obs::Json* cells = r.detail.find("cells_per_thread"); cells != nullptr)
+      for (const obs::Json& c : cells->items()) std::cout << ' ' << c.as_uint();
     std::cout << "\n";
-    obs::Json check = r.to_json();
+    obs::Json check = std::move(r.detail);
     check.set("wall_seconds", obs::Json(timer.seconds()));
     bench_report.report().set("real_prna_cross_check", std::move(check));
   }

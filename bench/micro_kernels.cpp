@@ -7,6 +7,7 @@
 #include "core/arc_index.hpp"
 #include "core/mcos.hpp"
 #include "core/tabulate_slice.hpp"
+#include "engine/engine.hpp"
 #include "parallel/load_balance.hpp"
 #include "rna/generators.hpp"
 #include "rna/nussinov.hpp"
@@ -33,7 +34,7 @@ void BM_CompressedSliceKernel(benchmark::State& state) {
   const auto length = static_cast<Pos>(state.range(0));
   const auto s = worst_case_structure(length);
   const ArcIndex idx(s);
-  CompressedSliceScratch scratch;
+  EventScratch scratch;
   for (auto _ : state) {
     benchmark::DoNotOptimize(tabulate_slice_compressed(idx.all(), idx.all(), scratch, zero_d2));
   }
@@ -44,20 +45,20 @@ BENCHMARK(BM_CompressedSliceKernel)->Arg(64)->Arg(256)->Arg(1024);
 
 void BM_Srna1WorstCase(benchmark::State& state) {
   const auto s = worst_case_structure(static_cast<Pos>(state.range(0)));
-  for (auto _ : state) benchmark::DoNotOptimize(srna1(s, s).value);
+  for (auto _ : state) benchmark::DoNotOptimize(engine_solve("srna1", s, s).value);
 }
 BENCHMARK(BM_Srna1WorstCase)->Arg(100)->Arg(200);
 
 void BM_Srna2WorstCase(benchmark::State& state) {
   const auto s = worst_case_structure(static_cast<Pos>(state.range(0)));
-  for (auto _ : state) benchmark::DoNotOptimize(srna2(s, s).value);
+  for (auto _ : state) benchmark::DoNotOptimize(engine_solve("srna2", s, s).value);
 }
 BENCHMARK(BM_Srna2WorstCase)->Arg(100)->Arg(200);
 
 void BM_Srna2RrnaLike(benchmark::State& state) {
   const auto length = static_cast<Pos>(state.range(0));
   const auto s = rrna_like_structure(length, static_cast<std::size_t>(length / 6), 1);
-  for (auto _ : state) benchmark::DoNotOptimize(srna2(s, s).value);
+  for (auto _ : state) benchmark::DoNotOptimize(engine_solve("srna2", s, s).value);
 }
 BENCHMARK(BM_Srna2RrnaLike)->Arg(500)->Arg(1000);
 

@@ -17,7 +17,7 @@
 #include <map>
 
 #include "bench_util.hpp"
-#include "core/mcos.hpp"
+#include "engine/engine.hpp"
 #include "rna/generators.hpp"
 #include "util/cli.hpp"
 #include "util/table_printer.hpp"
@@ -75,8 +75,8 @@ int main(int argc, char** argv) {
 
     Score v1 = 0;
     Score v2 = 0;
-    const double t1 = bench::time_best_of(reps, [&] { v1 = srna1(s, s).value; });
-    const double t2 = bench::time_best_of(reps, [&] { v2 = srna2(s, s).value; });
+    const double t1 = bench::time_best_of(reps, [&] { v1 = engine_solve("srna1", s, s).value; });
+    const double t2 = bench::time_best_of(reps, [&] { v2 = engine_solve("srna2", s, s).value; });
     if (v1 != v2 || v1 != static_cast<Score>(s.arc_count())) {
       std::cerr << "VALUE MISMATCH at length " << length << "\n";
       return 1;
@@ -84,9 +84,9 @@ int main(int argc, char** argv) {
 
     double th = 0.0;
     if (hash_memo) {
-      McosOptions opt;
+      SolverConfig opt;
       opt.memo_kind = MemoKind::kHashMap;
-      th = bench::time_best_of(reps, [&] { (void)srna1(s, s, opt); });
+      th = bench::time_best_of(reps, [&] { (void)engine_solve("srna1", s, s, opt); });
     }
 
     const auto paper = kPaper.count(length) ? kPaper.at(length) : std::pair<double, double>{0, 0};

@@ -17,7 +17,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "core/mcos.hpp"
+#include "engine/engine.hpp"
 #include "rna/generators.hpp"
 #include "rna/structure_stats.hpp"
 #include "util/cli.hpp"
@@ -59,8 +59,8 @@ int main(int argc, char** argv) {
 
     Score v1 = 0;
     Score v2 = 0;
-    const double t1 = bench::time_best_of(reps, [&] { v1 = srna1(s, s).value; });
-    const double t2 = bench::time_best_of(reps, [&] { v2 = srna2(s, s).value; });
+    const double t1 = bench::time_best_of(reps, [&] { v1 = engine_solve("srna1", s, s).value; });
+    const double t2 = bench::time_best_of(reps, [&] { v2 = engine_solve("srna2", s, s).value; });
     if (v1 != v2 || v1 != static_cast<Score>(s.arc_count())) {
       std::cerr << "VALUE MISMATCH for " << inst.name << "\n";
       return 1;

@@ -14,7 +14,7 @@
 #include <map>
 
 #include "bench_util.hpp"
-#include "core/mcos.hpp"
+#include "engine/engine.hpp"
 #include "rna/generators.hpp"
 #include "util/cli.hpp"
 #include "util/table_printer.hpp"
@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
 
   for (const std::int64_t length : cli.int_list("lengths")) {
     const auto s = worst_case_structure(static_cast<Pos>(length));
-    const auto r = srna2(s, s);
+    const auto r = engine_solve("srna2", s, s);
     const double total = r.stats.total_seconds();
     const auto pct = [&](double x) { return total > 0 ? 100.0 * x / total : 0.0; };
 

@@ -9,9 +9,8 @@
 // traceback, and pretty-print everything.
 #include <iostream>
 
-#include "core/mcos.hpp"
 #include "core/traceback.hpp"
-#include "parallel/prna.hpp"
+#include "engine/engine.hpp"
 #include "rna/arc_diagram.hpp"
 #include "rna/dot_bracket.hpp"
 #include "rna/structure_stats.hpp"
@@ -40,16 +39,17 @@ int main(int argc, char** argv) {
             << "S2 (" << compute_stats(s2).to_string() << "):\n"
             << render_arc_diagram(s2) << "\n";
 
-  // The production solver.
-  const McosResult r2 = srna2(s1, s2);
+  // The production solver, dispatched through the engine registry — the same
+  // path the CLI's --algorithm flag takes.
+  const EngineResult r2 = engine_solve("srna2", s1, s2);
   std::cout << "MCOS value (SRNA2): " << r2.value << " matched arcs\n"
             << "  " << r2.stats.to_string() << "\n";
 
   // Cross-checks: SRNA1 and the shared-memory parallel algorithm.
-  const McosResult r1 = srna1(s1, s2);
-  PrnaOptions popt;
-  popt.num_threads = 2;
-  const PrnaResult rp = prna(s1, s2, popt);
+  const EngineResult r1 = engine_solve("srna1", s1, s2);
+  SolverConfig parallel_config;
+  parallel_config.threads = 2;
+  const EngineResult rp = engine_solve("prna", s1, s2, parallel_config);
   std::cout << "cross-check: SRNA1 = " << r1.value << ", PRNA(2 threads) = " << rp.value
             << (r1.value == r2.value && rp.value == r2.value ? "  [agree]\n" : "  [BUG]\n");
 

@@ -12,7 +12,7 @@
 #include <iostream>
 
 #include "align/anchored_alignment.hpp"
-#include "core/mcos.hpp"
+#include "engine/engine.hpp"
 #include "rna/formats.hpp"
 #include "rna/generators.hpp"
 #include "rna/mutations.hpp"
@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
             << result.alignment.columns.size() << "  gaps: " << result.alignment.gaps() << "\n";
 
   // Consistency check worth failing loudly on in a demo.
-  if (result.common_arcs != srna2(s1, s2).value) {
+  if (result.common_arcs != engine_solve("srna2", s1, s2).value) {
     std::cerr << "BUG: anchored alignment and SRNA2 disagree on the MCOS value\n";
     return 1;
   }

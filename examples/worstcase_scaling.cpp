@@ -9,7 +9,7 @@
 // would have needed — the paper's headline space saving.
 #include <iostream>
 
-#include "core/mcos.hpp"
+#include "engine/engine.hpp"
 #include "rna/generators.hpp"
 #include "util/cli.hpp"
 #include "util/table_printer.hpp"
@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
   for (std::int64_t length = 50; length <= max_length; length *= 2) {
     const auto s = worst_case_structure(static_cast<Pos>(length));
     WallTimer timer;
-    const auto r = srna2(s, s);
+    const auto r = engine_solve("srna2", s, s);
     const double seconds = timer.seconds();
     if (r.value != static_cast<Score>(s.arc_count())) {
       std::cerr << "unexpected MCOS value\n";

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Builds and runs the memory-sensitive suites under AddressSanitizer + UBSan.
+#
+# The engine refactor pools workspaces (memo table, slice grids, event
+# scratch) across solves and threads; this script is the proof that the
+# reuse discipline never hands out stale or out-of-bounds storage. It
+# configures a separate build tree (build-asan/) with
+# -DSRNA_SANITIZE=address,undefined and runs the `asan`-labelled ctest
+# suites:
+#   * core_tests   — the DP recurrence, slice tabulation, both solvers,
+#   * engine_tests — registry dispatch, workspace pooling, backend
+#                    agreement across layouts,
+#   * db_tests     — the all-pairs / top-k loops that recycle thread-local
+#                    workspaces hardest.
+#
+# Usage: scripts/check_asan.sh [build-dir]   (default: build-asan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSRNA_SANITIZE=address,undefined \
+  -DSRNA_BUILD_BENCH=OFF \
+  -DSRNA_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" --target core_tests engine_tests db_tests -j "$(nproc)"
+
+# ASan aborts with a non-zero exit on the first bad access and UBSan on the
+# first undefined operation, so a plain pass/fail is the whole signal.
+ctest --test-dir "$BUILD_DIR" -L asan --output-on-failure -j "$(nproc)"
+
+echo "asan: all checked suites clean"

@@ -15,18 +15,28 @@
 
 #include "core/options.hpp"
 #include "core/result.hpp"
+#include "core/workspace.hpp"
 #include "rna/secondary_structure.hpp"
 
 namespace srna {
 
 // SRNA1 (Algorithm 1). Θ(n²m²) worst-case time, Θ(nm) space.
+// The Workspace overloads run the identical algorithm out of caller-owned
+// reusable buffers (memo table + slice scratch); the plain overloads use the
+// calling thread's pooled workspace (Workspace::local()). Higher layers
+// should not call these directly — dispatch through the engine registry
+// (engine/engine.hpp), which owns pooling and the reuse accounting.
 McosResult srna1(const SecondaryStructure& s1, const SecondaryStructure& s2,
                  const McosOptions& options = {});
+McosResult srna1(const SecondaryStructure& s1, const SecondaryStructure& s2,
+                 const McosOptions& options, Workspace& workspace);
 
 // SRNA2 (Algorithms 2–3). Same asymptotics as SRNA1 with the per-cell memo
 // branch and recursion removed; the paper measures it ~2x faster.
 McosResult srna2(const SecondaryStructure& s1, const SecondaryStructure& s2,
                  const McosOptions& options = {});
+McosResult srna2(const SecondaryStructure& s1, const SecondaryStructure& s2,
+                 const McosOptions& options, Workspace& workspace);
 
 // Ground truth #1: direct top-down memoized evaluation of the 4-D recurrence
 // (exact tabulation, hash-map memo). Exponentially gentler on memory than

@@ -23,8 +23,24 @@ class MemoTable {
   // hits (optionally verified via the sentinel — McosOptions::validate_memo).
   static constexpr Score kUnset = -1;
 
+  // An empty table; size it with reset() before use. Workspace holds one of
+  // these and re-shapes it per solve so the backing storage survives calls.
+  MemoTable() = default;
+
   MemoTable(Pos n, Pos m, Score initial)
       : table_(static_cast<std::size_t>(n), static_cast<std::size_t>(m), initial) {}
+
+  // Re-shapes to n × m and fills with `initial`. The backing vector keeps its
+  // capacity, so repeated solves of comparable size allocate nothing.
+  void reset(Pos n, Pos m, Score initial) {
+    table_.resize(static_cast<std::size_t>(n), static_cast<std::size_t>(m), initial);
+  }
+
+  // Bytes of backing storage currently reserved (not the logical size) —
+  // feeds the engine.workspace_alloc_bytes accounting.
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept {
+    return table_.flat().capacity() * sizeof(Score);
+  }
 
   [[nodiscard]] Score get(Pos i1, Pos i2) const noexcept {
     return table_(static_cast<std::size_t>(i1), static_cast<std::size_t>(i2));

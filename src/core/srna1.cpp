@@ -29,12 +29,13 @@ namespace {
 class Srna1Runner {
  public:
   Srna1Runner(const SecondaryStructure& s1, const SecondaryStructure& s2,
-              const McosOptions& options, McosStats& stats)
+              const McosOptions& options, McosStats& stats, Workspace& workspace)
       : s1_(s1),
         s2_(s2),
         options_(options),
         stats_(stats),
-        memo_(s1.length(), s2.length(), MemoTable::kUnset) {
+        workspace_(workspace),
+        memo_(workspace.memo(s1.length(), s2.length(), MemoTable::kUnset)) {
     if (options_.layout == SliceLayout::kCompressed) {
       idx1_.emplace(s1);
       idx2_.emplace(s2);
@@ -95,10 +96,11 @@ class Srna1Runner {
 
   Score solve_dense(SliceBounds b, std::uint64_t depth) {
     note_spawn(depth);
-    // Per-call local grid: Algorithm 1 allocates and deallocates each slice.
-    Matrix<Score> grid;
+    // Algorithm 1 allocates and deallocates each slice; the workspace keys
+    // grids by recursion depth instead, so the parent's live grid survives a
+    // child spawn and the allocations are reused across slices and solves.
     return tabulate_slice_dense(
-        s1_, s2_, b, grid,
+        s1_, s2_, b, workspace_.dense_grid(depth),
         [&](Pos k1, Pos x, Pos k2, Pos y) { return child_value(k1, x, k2, y, depth); },
         &stats_);
   }
@@ -106,9 +108,8 @@ class Srna1Runner {
   Score solve_compressed(std::span<const Arc> rows, std::span<const Arc> cols,
                          std::uint64_t depth) {
     note_spawn(depth);
-    CompressedSliceScratch scratch;  // local: recursion may interleave
     return tabulate_slice_compressed(
-        rows, cols, scratch,
+        rows, cols, workspace_.events(depth),
         [&](Pos k1, Pos x, Pos k2, Pos y) { return child_value(k1, x, k2, y, depth); },
         &stats_);
   }
@@ -117,7 +118,8 @@ class Srna1Runner {
   const SecondaryStructure& s2_;
   const McosOptions& options_;
   McosStats& stats_;
-  MemoTable memo_;
+  Workspace& workspace_;
+  MemoTable& memo_;
   std::unordered_map<std::uint64_t, Score> hash_memo_;
   std::optional<ArcIndex> idx1_;
   std::optional<ArcIndex> idx2_;
@@ -128,13 +130,18 @@ class Srna1Runner {
 
 McosResult srna1(const SecondaryStructure& s1, const SecondaryStructure& s2,
                  const McosOptions& options) {
+  return srna1(s1, s2, options, Workspace::local());
+}
+
+McosResult srna1(const SecondaryStructure& s1, const SecondaryStructure& s2,
+                 const McosOptions& options, Workspace& workspace) {
   SRNA_REQUIRE(s1.is_nonpseudoknot() && s2.is_nonpseudoknot(),
                "MCOS model requires non-pseudoknot structures");
   McosResult result;
   WallTimer timer;
   {
     obs::TraceScope span("srna1", "solve");
-    Srna1Runner runner(s1, s2, options, result.stats);
+    Srna1Runner runner(s1, s2, options, result.stats, workspace);
     result.value = runner.run();
   }
   // SRNA1 has no stage structure; report everything as stage one.

@@ -16,6 +16,7 @@
 #include "core/detail.hpp"
 #include "core/mcos.hpp"
 #include "core/tabulate_slice.hpp"
+#include "core/workspace.hpp"
 #include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/timer.hpp"
@@ -25,7 +26,8 @@ namespace srna {
 namespace detail {
 
 Score run_srna2(const SecondaryStructure& s1, const SecondaryStructure& s2,
-                const McosOptions& options, McosStats& stats, MemoTable& memo) {
+                const McosOptions& options, McosStats& stats, MemoTable& memo,
+                Workspace& scratch) {
   SRNA_REQUIRE(s1.is_nonpseudoknot() && s2.is_nonpseudoknot(),
                "MCOS model requires non-pseudoknot structures");
   SRNA_REQUIRE(memo.rows() == s1.length() && memo.cols() == s2.length(),
@@ -55,8 +57,8 @@ Score run_srna2(const SecondaryStructure& s1, const SecondaryStructure& s2,
   // Stage one: tabulate all child slices.
   phase.reset();
   obs::TraceScope stage1_span("srna2", "stage1");
-  Matrix<Score> dense_scratch;
-  CompressedSliceScratch compressed_scratch;
+  Matrix<Score>& dense_scratch = scratch.dense_grid(0);
+  EventScratch& compressed_scratch = scratch.events(0);
   for (std::size_t a = 0; a < idx1.size(); ++a) {
     const Arc arc1 = idx1.arc(a);
     obs::TraceScope row_span("srna2", "row");
@@ -96,13 +98,25 @@ Score run_srna2(const SecondaryStructure& s1, const SecondaryStructure& s2,
   return answer;
 }
 
+Score run_srna2(const SecondaryStructure& s1, const SecondaryStructure& s2,
+                const McosOptions& options, McosStats& stats, MemoTable& memo) {
+  return run_srna2(s1, s2, options, stats, memo, Workspace::local());
+}
+
 }  // namespace detail
 
 McosResult srna2(const SecondaryStructure& s1, const SecondaryStructure& s2,
                  const McosOptions& options) {
+  return srna2(s1, s2, options, Workspace::local());
+}
+
+McosResult srna2(const SecondaryStructure& s1, const SecondaryStructure& s2,
+                 const McosOptions& options, Workspace& workspace) {
   McosResult result;
-  MemoTable memo(s1.length(), s2.length(), 0);
-  result.value = detail::run_srna2(s1, s2, options, result.stats, memo);
+  // run_srna2 overwrites every memo cell it needs; the initial fill value is
+  // re-applied there, so 0 here is just the re-shape.
+  MemoTable& memo = workspace.memo(s1.length(), s2.length(), 0);
+  result.value = detail::run_srna2(s1, s2, options, result.stats, memo, workspace);
   bridge_stats_to_metrics("srna2", result.stats);
   return result;
 }

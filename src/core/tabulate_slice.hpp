@@ -150,12 +150,21 @@ Score tabulate_slice_dense(const SecondaryStructure& s1, const SecondaryStructur
                  static_cast<std::size_t>(b.height()) - 1);
 }
 
-// Reusable buffers for the compressed layout.
-struct CompressedSliceScratch {
+// Reusable buffers for the compressed (event-grid) layout: one value cell
+// per (arc-right-endpoint, arc-right-endpoint) event pair plus the resolved
+// d1 predecessor indices. Pooled inside Workspace so repeated solves reuse
+// the allocations.
+struct EventScratch {
   Matrix<Score> val;                    // one cell per (row arc, col arc)
   std::vector<std::size_t> prev_row;    // per row arc: last row with right < left(arc)
   std::vector<std::size_t> prev_col;    // per col arc: last col with right < left(arc)
   static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  // Reserved backing bytes — feeds the engine.workspace_alloc_bytes accounting.
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept {
+    return val.flat().capacity() * sizeof(Score) +
+           (prev_row.capacity() + prev_col.capacity()) * sizeof(std::size_t);
+  }
 };
 
 // Compressed TabulateSlice over the event grid. `rows` / `cols` are the arcs
@@ -163,7 +172,7 @@ struct CompressedSliceScratch {
 // ArcIndex::interior / ArcIndex::all). Returns F(lo1, hi1, lo2, hi2).
 template <typename D2>
 Score tabulate_slice_compressed(std::span<const Arc> rows, std::span<const Arc> cols,
-                                CompressedSliceScratch& scratch, D2&& d2_of,
+                                EventScratch& scratch, D2&& d2_of,
                                 McosStats* stats = nullptr) {
   const std::size_t nr = rows.size();
   const std::size_t nc = cols.size();
@@ -189,7 +198,7 @@ Score tabulate_slice_compressed(std::span<const Arc> rows, std::span<const Arc> 
     const auto it = std::partition_point(rows.begin(), rows.begin() + static_cast<std::ptrdiff_t>(r),
                                          [&](const Arc& a) { return a.right < limit; });
     const auto cnt = static_cast<std::size_t>(it - rows.begin());
-    scratch.prev_row[r] = cnt == 0 ? CompressedSliceScratch::kNone : cnt - 1;
+    scratch.prev_row[r] = cnt == 0 ? EventScratch::kNone : cnt - 1;
   }
   scratch.prev_col.resize(nc);
   for (std::size_t c = 0; c < nc; ++c) {
@@ -197,7 +206,7 @@ Score tabulate_slice_compressed(std::span<const Arc> rows, std::span<const Arc> 
     const auto it = std::partition_point(cols.begin(), cols.begin() + static_cast<std::ptrdiff_t>(c),
                                          [&](const Arc& a) { return a.right < limit; });
     const auto cnt = static_cast<std::size_t>(it - cols.begin());
-    scratch.prev_col[c] = cnt == 0 ? CompressedSliceScratch::kNone : cnt - 1;
+    scratch.prev_col[c] = cnt == 0 ? EventScratch::kNone : cnt - 1;
   }
 
   Matrix<Score>& val = scratch.val;
@@ -206,13 +215,13 @@ Score tabulate_slice_compressed(std::span<const Arc> rows, std::span<const Arc> 
     Score* row = val.row_data(r);
     const Score* up = r > 0 ? val.row_data(r - 1) : nullptr;
     const std::size_t d1r = scratch.prev_row[r];
-    const Score* d1_row = d1r != CompressedSliceScratch::kNone ? val.row_data(d1r) : nullptr;
+    const Score* d1_row = d1r != EventScratch::kNone ? val.row_data(d1r) : nullptr;
     Score left = 0;
     for (std::size_t c = 0; c < nc; ++c) {
       Score v = up != nullptr ? std::max(up[c], left) : left;
       const std::size_t d1c = scratch.prev_col[c];
       const Score d1 =
-          (d1_row != nullptr && d1c != CompressedSliceScratch::kNone) ? d1_row[d1c] : 0;
+          (d1_row != nullptr && d1c != EventScratch::kNone) ? d1_row[d1c] : 0;
       const Score d2 = d2_of(rows[r].left, rows[r].right, cols[c].left, cols[c].right);
       v = std::max(v, static_cast<Score>(1 + d1 + d2));
       row[c] = v;

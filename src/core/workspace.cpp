@@ -1,0 +1,10 @@
+#include "core/workspace.hpp"
+
+namespace srna {
+
+Workspace& Workspace::local() {
+  thread_local Workspace workspace;
+  return workspace;
+}
+
+}  // namespace srna

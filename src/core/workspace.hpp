@@ -1,0 +1,108 @@
+// Workspace — the reusable working set of one MCOS solve.
+//
+// The paper's Θ(nm)-space argument is that the entire cross-slice state fits
+// in the memo table M plus one live slice grid. That working set is small
+// enough to keep around: corpus workloads (all_pairs_similarity,
+// query_top_k, the bench sweeps) run millions of independent pair solves,
+// and rebuilding M and the slice scratch for each one is pure allocator
+// churn. A Workspace owns those buffers and re-shapes them per solve —
+// vector capacity survives, so a steady-state solve allocates nothing.
+//
+// Buffers:
+//   * memo(n, m, initial)  — the memo table M, re-shaped per solve
+//   * dense_grid(level)    — dense slice grids; `level` keys SRNA1's live
+//                            recursion levels (0 for the non-recursive
+//                            solvers), each level a stable, reusable Matrix
+//   * events(level)        — EventScratch for the compressed layout, same
+//                            level discipline
+//
+// Thread pooling: local() hands out one Workspace per thread (thread_local),
+// which is what the OpenMP pair loops in the structure DB and PRNA's
+// stage-one workers use — each worker reuses its own buffers across pairs /
+// rows with no synchronization. The engine wraps solves in
+// solve_with(), which counts reuse (engine.workspace_reuse) and capacity
+// growth (engine.workspace_alloc_bytes) against these footprints.
+//
+// A Workspace is NOT thread-safe; share nothing, pool per thread.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/memo_table.hpp"
+#include "core/tabulate_slice.hpp"
+
+namespace srna {
+
+class Workspace {
+ public:
+  Workspace() = default;
+
+  // Not copyable (the point is to share the buffers, not duplicate them);
+  // movable so containers of workspaces work.
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+  Workspace(Workspace&&) noexcept = default;
+  Workspace& operator=(Workspace&&) noexcept = default;
+
+  // The memo table, re-shaped to n × m and filled with `initial`. The
+  // reference stays valid until the next memo() call on this workspace.
+  MemoTable& memo(Pos n, Pos m, Score initial) {
+    memo_.reset(n, m, initial);
+    return memo_;
+  }
+  // The memo as last shaped — for callers that tabulate first and read after
+  // (traceback, enumeration).
+  [[nodiscard]] MemoTable& memo() noexcept { return memo_; }
+
+  // Dense slice grid for recursion level `level` (0 for non-recursive use).
+  // Level-indexed because SRNA1 spawns child slices while the parent grid is
+  // live; each live level needs its own grid. Grids are heap-anchored, so
+  // references survive the vector growing for deeper levels.
+  Matrix<Score>& dense_grid(std::size_t level = 0) {
+    while (dense_grids_.size() <= level)
+      dense_grids_.push_back(std::make_unique<Matrix<Score>>());
+    return *dense_grids_[level];
+  }
+
+  // Compressed-layout event scratch, same level discipline as dense_grid().
+  EventScratch& events(std::size_t level = 0) {
+    while (events_.size() <= level) events_.push_back(std::make_unique<EventScratch>());
+    return *events_[level];
+  }
+
+  // Total reserved backing bytes across all buffers. The engine samples this
+  // before/after a solve; the delta is what the solve actually allocated.
+  [[nodiscard]] std::size_t footprint_bytes() const noexcept {
+    std::size_t total = memo_.capacity_bytes();
+    for (const auto& g : dense_grids_) total += g->flat().capacity() * sizeof(Score);
+    for (const auto& e : events_) total += e->capacity_bytes();
+    return total;
+  }
+
+  // Number of solves this workspace has served (engine bookkeeping: the
+  // second and later solves on a workspace are reuses).
+  [[nodiscard]] std::uint64_t solves() const noexcept { return solves_; }
+  void note_solve() noexcept { ++solves_; }
+
+  // Releases all buffers (memory pressure valve; the next solve re-allocates).
+  void clear() {
+    memo_ = MemoTable{};
+    dense_grids_.clear();
+    events_.clear();
+  }
+
+  // The calling thread's pooled workspace. OpenMP worker threads persist
+  // across parallel regions, so the pool amortizes across an entire pair
+  // loop (and across successive loops).
+  static Workspace& local();
+
+ private:
+  MemoTable memo_;
+  std::vector<std::unique_ptr<Matrix<Score>>> dense_grids_;
+  std::vector<std::unique_ptr<EventScratch>> events_;
+  std::uint64_t solves_ = 0;
+};
+
+}  // namespace srna

@@ -5,7 +5,8 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "core/mcos.hpp"
+#include "core/workspace.hpp"
+#include "engine/engine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "rna/formats.hpp"
@@ -19,13 +20,13 @@ void StructureDatabase::add(DbRecord record) {
   SRNA_REQUIRE(find(record.name) == npos, "duplicate record name: " + record.name);
   SRNA_REQUIRE(record.structure.is_nonpseudoknot(),
                "database holds non-pseudoknot structures only: " + record.name);
+  name_index_.emplace(record.name, records_.size());
   records_.push_back(std::move(record));
 }
 
 std::size_t StructureDatabase::find(const std::string& name) const noexcept {
-  for (std::size_t i = 0; i < records_.size(); ++i)
-    if (records_[i].name == name) return i;
-  return npos;
+  const auto it = name_index_.find(name);
+  return it != name_index_.end() ? it->second : npos;
 }
 
 StructureDatabase StructureDatabase::load_directory(const std::filesystem::path& dir) {
@@ -94,6 +95,9 @@ Matrix<double> all_pairs_similarity(const StructureDatabase& db, const SearchOpt
     for (std::size_t j = i + 1; j < n; ++j) pairs.emplace_back(i, j);
 
   obs::Counter& pairs_counter = obs::Registry::instance().counter("db.pairs_compared");
+  // Resolve the backend once; registry lookups lock and the loop must not.
+  const SolverBackend& backend = McosEngine::instance().at(options.algorithm);
+  backend.validate(options.config);
   const int threads = options.threads > 0 ? options.threads : omp_get_max_threads();
 #pragma omp parallel for schedule(dynamic) num_threads(threads)
   for (std::size_t t = 0; t < pairs.size(); ++t) {
@@ -104,7 +108,9 @@ Matrix<double> all_pairs_similarity(const StructureDatabase& db, const SearchOpt
                                      {"j", static_cast<std::int64_t>(j)}}));
     const auto& a = db.record(i).structure;
     const auto& b = db.record(j).structure;
-    const Score common = srna2(a, b).value;
+    // Each worker solves out of its own pooled workspace: after the first
+    // pair, a steady-state solve allocates nothing.
+    const Score common = solve_with(backend, a, b, options.config, Workspace::local()).value;
     const double score = score_pair(common, a, b, options.metric);
     out(i, j) = score;
     out(j, i) = score;
@@ -121,6 +127,8 @@ std::vector<QueryHit> query_top_k(const StructureDatabase& db, const SecondarySt
   obs::Registry::instance().counter("db.queries").add();
   obs::Counter& candidates_counter =
       obs::Registry::instance().counter("db.query_candidates");
+  const SolverBackend& backend = McosEngine::instance().at(options.algorithm);
+  backend.validate(options.config);
   const int threads = options.threads > 0 ? options.threads : omp_get_max_threads();
 #pragma omp parallel for schedule(dynamic) num_threads(threads)
   for (std::size_t i = 0; i < db.size(); ++i) {
@@ -128,16 +136,27 @@ std::vector<QueryHit> query_top_k(const StructureDatabase& db, const SecondarySt
     if (span.active())
       span.set_args(obs::trace_args({{"candidate", static_cast<std::int64_t>(i)}}));
     const auto& candidate = db.record(i).structure;
-    const Score common = srna2(query, candidate).value;
+    const Score common =
+        solve_with(backend, query, candidate, options.config, Workspace::local()).value;
     hits[i] = QueryHit{i, common, score_pair(common, query, candidate, options.metric)};
     candidates_counter.add();
   }
 
-  std::sort(hits.begin(), hits.end(), [](const QueryHit& a, const QueryHit& b) {
+  // Deterministic ranking: score descending, index ascending on ties. Only
+  // the leading k need full ordering, so rank with partial_sort when k cuts
+  // the list (Θ(n log k) instead of Θ(n log n) — the common top-k query
+  // barely touches the tail).
+  const auto better = [](const QueryHit& a, const QueryHit& b) {
     if (a.score != b.score) return a.score > b.score;
     return a.index < b.index;
-  });
-  if (k > 0 && hits.size() > k) hits.resize(k);
+  };
+  if (k > 0 && hits.size() > k) {
+    std::partial_sort(hits.begin(), hits.begin() + static_cast<std::ptrdiff_t>(k),
+                      hits.end(), better);
+    hits.resize(k);
+  } else {
+    std::sort(hits.begin(), hits.end(), better);
+  }
   return hits;
 }
 

@@ -11,9 +11,11 @@
 #include <filesystem>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/result.hpp"
+#include "engine/engine.hpp"
 #include "rna/secondary_structure.hpp"
 #include "rna/sequence.hpp"
 #include "util/matrix.hpp"
@@ -38,7 +40,8 @@ class StructureDatabase {
   [[nodiscard]] const DbRecord& record(std::size_t index) const {
     return records_.at(index);
   }
-  // Index of the record with this name, or npos.
+  // Index of the record with this name, or npos. O(1): a name index is
+  // maintained alongside the record vector.
   [[nodiscard]] std::size_t find(const std::string& name) const noexcept;
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
@@ -52,6 +55,7 @@ class StructureDatabase {
 
  private:
   std::vector<DbRecord> records_;
+  std::unordered_map<std::string, std::size_t> name_index_;
 };
 
 // How pairwise similarity is scored.
@@ -64,6 +68,14 @@ struct SearchOptions {
   SimilarityMetric metric = SimilarityMetric::kNormalized;
   // Worker threads for the pair loop; 0 = OpenMP default.
   int threads = 0;
+  // Engine backend computing each pairwise MCOS (any registered name; see
+  // McosEngine). With a parallel backend, the inner OpenMP region nests
+  // inside the pair loop and serializes by default — pick intra-pair OR
+  // inter-pair parallelism, not both.
+  std::string algorithm = "srna2";
+  // Backend configuration (layout, validation, threads for `prna`, ...),
+  // validated against the chosen backend before the pair loop starts.
+  SolverConfig config;
 };
 
 // Full pairwise similarity matrix (symmetric; diagonal = self-similarity).

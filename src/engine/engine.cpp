@@ -1,0 +1,142 @@
+#include "engine/engine.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+
+namespace srna {
+
+McosOptions SolverConfig::to_mcos() const {
+  McosOptions options;
+  options.layout = layout;
+  options.memo_kind = memo_kind;
+  options.memoize = memoize;
+  options.spawn_limit = spawn_limit;
+  options.validate_memo = validate_memo;
+  return options;
+}
+
+PrnaOptions SolverConfig::to_prna() const {
+  PrnaOptions options;
+  options.num_threads = threads;
+  options.balance = balance;
+  options.layout = layout;
+  options.schedule = schedule;
+  options.parallel_stage2 = parallel_stage2;
+  options.validate_memo = validate_memo;
+  options.stage1_hook = stage1_hook;
+  return options;
+}
+
+PrnaMpiOptions SolverConfig::to_prna_mpi() const {
+  PrnaMpiOptions options;
+  options.ranks = ranks;
+  options.balance = balance;
+  options.layout = layout;
+  return options;
+}
+
+void SolverBackend::validate(const SolverConfig& config) const {
+  const BackendCaps c = caps();
+  const SolverConfig defaults;
+  auto reject = [&](const char* knob) {
+    throw std::invalid_argument(std::string("backend '") + name() +
+                                "' does not support non-default " + knob);
+  };
+  if (!c.threads && config.threads != defaults.threads) reject("threads");
+  if (!c.ranks && config.ranks != defaults.ranks) reject("ranks");
+  if (!c.lazy_controls) {
+    if (config.memo_kind != defaults.memo_kind) reject("memo_kind");
+    if (config.memoize != defaults.memoize) reject("memoize");
+    if (config.spawn_limit != defaults.spawn_limit) reject("spawn_limit");
+  }
+  if (!c.balance_control && config.balance != defaults.balance) reject("balance");
+  if (!c.schedule_controls) {
+    if (config.schedule != defaults.schedule) reject("schedule");
+    if (config.parallel_stage2 != defaults.parallel_stage2) reject("parallel_stage2");
+    if (config.stage1_hook != nullptr) reject("stage1_hook");
+  }
+  // layout and validate_memo are accept-and-ignore by design (BackendCaps).
+}
+
+McosEngine& McosEngine::instance() {
+  static McosEngine engine;
+  return engine;
+}
+
+McosEngine::McosEngine() { detail::register_builtin_backends(*this); }
+
+void McosEngine::register_backend(std::unique_ptr<SolverBackend> backend) {
+  if (backend == nullptr) throw std::invalid_argument("null backend");
+  std::lock_guard lock(mutex_);
+  for (const auto& existing : backends_)
+    if (std::string_view(existing->name()) == backend->name())
+      throw std::invalid_argument(std::string("backend '") + backend->name() +
+                                  "' is already registered");
+  backends_.push_back(std::move(backend));
+}
+
+const SolverBackend* McosEngine::find(std::string_view name) const {
+  std::lock_guard lock(mutex_);
+  for (const auto& backend : backends_)
+    if (std::string_view(backend->name()) == name) return backend.get();
+  return nullptr;
+}
+
+const SolverBackend& McosEngine::at(std::string_view name) const {
+  if (const SolverBackend* backend = find(name); backend != nullptr) return *backend;
+  throw std::invalid_argument("unknown algorithm '" + std::string(name) +
+                              "' (registered: " + names_joined() + ")");
+}
+
+std::vector<const SolverBackend*> McosEngine::backends() const {
+  std::lock_guard lock(mutex_);
+  std::vector<const SolverBackend*> out;
+  out.reserve(backends_.size());
+  for (const auto& backend : backends_) out.push_back(backend.get());
+  return out;
+}
+
+std::vector<std::string> McosEngine::names() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(backends_.size());
+  for (const auto& backend : backends_) out.emplace_back(backend->name());
+  return out;
+}
+
+std::string McosEngine::names_joined(const char* separator) const {
+  std::ostringstream joined;
+  bool first = true;
+  for (const std::string& name : names()) {
+    if (!first) joined << separator;
+    joined << name;
+    first = false;
+  }
+  return joined.str();
+}
+
+EngineResult solve_with(const SolverBackend& backend, const SecondaryStructure& s1,
+                        const SecondaryStructure& s2, const SolverConfig& config,
+                        Workspace& workspace) {
+  backend.validate(config);
+  const bool reused = workspace.solves() > 0;
+  const std::size_t footprint_before = workspace.footprint_bytes();
+  EngineResult result = backend.solve(s1, s2, config, workspace);
+  workspace.note_solve();
+  auto& metrics = obs::Registry::instance();
+  if (reused) metrics.counter("engine.workspace_reuse").add();
+  const std::size_t footprint_after = workspace.footprint_bytes();
+  if (footprint_after > footprint_before)
+    metrics.counter("engine.workspace_alloc_bytes").add(footprint_after - footprint_before);
+  return result;
+}
+
+EngineResult engine_solve(std::string_view algorithm, const SecondaryStructure& s1,
+                          const SecondaryStructure& s2, const SolverConfig& config) {
+  return solve_with(McosEngine::instance().at(algorithm), s1, s2, config,
+                    Workspace::local());
+}
+
+}  // namespace srna

@@ -16,9 +16,9 @@ double calibrate_cell_seconds(int sample_length) {
   SRNA_REQUIRE(sample_length >= 16, "calibration sample too small");
   const SecondaryStructure s = worst_case_structure(static_cast<Pos>(sample_length));
   // One warm-up plus one timed run of the real dense SRNA2.
-  (void)srna2(s, s);
+  (void)mcos(s, s, McosAlgorithm::kSrna2);
   WallTimer timer;
-  const McosResult r = srna2(s, s);
+  const McosResult r = mcos(s, s, McosAlgorithm::kSrna2);
   const double seconds = timer.seconds();
   SRNA_CHECK(r.stats.cells_tabulated > 0, "calibration run tabulated nothing");
   return seconds / static_cast<double>(r.stats.cells_tabulated);

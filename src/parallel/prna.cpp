@@ -32,14 +32,15 @@ std::vector<std::uint64_t> column_weights(const ArcIndex& idx2) {
 // parent slice are independent (all dependencies — s1, s2, d1 — point at
 // strictly earlier diagonals, and d2 reads the completed memo table).
 Score tabulate_parent_wavefront(const SecondaryStructure& s1, const SecondaryStructure& s2,
-                                const MemoTable& memo, int threads, McosStats& stats) {
+                                const MemoTable& memo, int threads, McosStats& stats,
+                                Matrix<Score>& grid) {
   const Pos n = s1.length();
   const Pos m = s2.length();
   if (n == 0 || m == 0) {
     ++stats.slices_tabulated;
     return 0;
   }
-  Matrix<Score> grid(static_cast<std::size_t>(n), static_cast<std::size_t>(m), 0);
+  grid.resize(static_cast<std::size_t>(n), static_cast<std::size_t>(m), 0);
   ++stats.slices_tabulated;
   stats.cells_tabulated += static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(m);
 
@@ -98,6 +99,11 @@ obs::Json PrnaResult::to_json() const {
 
 PrnaResult prna(const SecondaryStructure& s1, const SecondaryStructure& s2,
                 const PrnaOptions& options) {
+  return prna(s1, s2, options, Workspace::local());
+}
+
+PrnaResult prna(const SecondaryStructure& s1, const SecondaryStructure& s2,
+                const PrnaOptions& options, Workspace& workspace) {
   SRNA_REQUIRE(s1.is_nonpseudoknot() && s2.is_nonpseudoknot(),
                "MCOS model requires non-pseudoknot structures");
 
@@ -110,7 +116,8 @@ PrnaResult prna(const SecondaryStructure& s1, const SecondaryStructure& s2,
   obs::TraceScope preprocess_span("prna", "preprocess");
   const ArcIndex idx1(s1);
   const ArcIndex idx2(s2);
-  MemoTable memo(s1.length(), s2.length(), validate ? MemoTable::kUnset : Score{0});
+  MemoTable& memo =
+      workspace.memo(s1.length(), s2.length(), validate ? MemoTable::kUnset : Score{0});
 
   int threads = options.num_threads > 0 ? options.num_threads : omp_get_max_threads();
   threads = std::max(threads, 1);
@@ -167,8 +174,13 @@ PrnaResult prna(const SecondaryStructure& s1, const SecondaryStructure& s2,
     const auto tid = static_cast<std::size_t>(omp_get_thread_num());
     McosStats& local = thread_stats[tid];
     PrnaThreadTimeline& timeline = result.timeline[tid];
-    Matrix<Score> dense_scratch;
-    CompressedSliceScratch compressed_scratch;
+    // Worker slice scratch comes from the worker's own pooled workspace (a
+    // distinct buffer from the caller's memo, even when the master's pool IS
+    // the caller workspace); OpenMP threads persist across regions, so these
+    // buffers amortize across successive prna() calls too.
+    Workspace& pool = Workspace::local();
+    Matrix<Score>& dense_scratch = pool.dense_grid(0);
+    EventScratch& compressed_scratch = pool.events(0);
 
     auto tabulate_pair = [&](std::size_t a, std::size_t b) {
       if (options.stage1_hook) options.stage1_hook(a, b);
@@ -266,16 +278,15 @@ PrnaResult prna(const SecondaryStructure& s1, const SecondaryStructure& s2,
   obs::TraceScope stage2_span("prna", "stage2");
   if (options.parallel_stage2) {
     SRNA_REQUIRE(dense, "parallel stage two supports the dense layout only");
-    result.value = tabulate_parent_wavefront(s1, s2, memo, threads, result.stats);
+    result.value = tabulate_parent_wavefront(s1, s2, memo, threads, result.stats,
+                                             workspace.dense_grid(0));
   } else if (dense) {
-    Matrix<Score> scratch;
     result.value = tabulate_slice_dense(s1, s2,
                                         SliceBounds{0, s1.length() - 1, 0, s2.length() - 1},
-                                        scratch, d2_lookup, &result.stats);
+                                        workspace.dense_grid(0), d2_lookup, &result.stats);
   } else {
-    CompressedSliceScratch scratch;
-    result.value =
-        tabulate_slice_compressed(idx1.all(), idx2.all(), scratch, d2_lookup, &result.stats);
+    result.value = tabulate_slice_compressed(idx1.all(), idx2.all(), workspace.events(0),
+                                             d2_lookup, &result.stats);
   }
   stage2_span.close();
   result.stats.stage2_seconds = phase.seconds();

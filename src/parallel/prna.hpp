@@ -18,6 +18,7 @@
 
 #include "core/options.hpp"
 #include "core/result.hpp"
+#include "core/workspace.hpp"
 #include "parallel/load_balance.hpp"
 #include "rna/secondary_structure.hpp"
 
@@ -80,7 +81,14 @@ struct PrnaResult {
   [[nodiscard]] obs::Json to_json() const;
 };
 
+// The Workspace overload takes the memo table M and stage-two slice scratch
+// from `workspace`; each stage-one worker additionally pulls its private
+// slice scratch from its own pooled Workspace::local() (OpenMP threads
+// persist across regions, so worker buffers amortize across calls too). The
+// plain overload uses the calling thread's pooled workspace.
 PrnaResult prna(const SecondaryStructure& s1, const SecondaryStructure& s2,
                 const PrnaOptions& options = {});
+PrnaResult prna(const SecondaryStructure& s1, const SecondaryStructure& s2,
+                const PrnaOptions& options, Workspace& workspace);
 
 }  // namespace srna

@@ -71,7 +71,7 @@ PrnaMpiResult prna_mpi(const SecondaryStructure& s1, const SecondaryStructure& s
     if (stage1_span.active())
       stage1_span.set_args(obs::trace_args({{"rank", comm.rank()}}));
     Matrix<Score> dense_scratch;
-    CompressedSliceScratch compressed_scratch;
+    EventScratch compressed_scratch;
     for (std::size_t a = 0; a < idx1.size(); ++a) {
       const Arc arc1 = idx1.arc(a);
       for (const std::size_t b : owned) {

@@ -96,7 +96,7 @@ TEST(DenseSlice, UsesD2Value) {
 }
 
 TEST(CompressedSlice, EmptySpansYieldZero) {
-  CompressedSliceScratch scratch;
+  EventScratch scratch;
   EXPECT_EQ(tabulate_slice_compressed({}, {}, scratch, no_d2), 0);
 }
 
@@ -108,7 +108,7 @@ TEST(CompressedSlice, MatchesDenseOnRandomSlices) {
     const ArcIndex idx2(s2);
 
     Matrix<Score> dense_scratch;
-    CompressedSliceScratch compressed_scratch;
+    EventScratch compressed_scratch;
     const Score dense = tabulate_slice_dense(
         s1, s2, SliceBounds{0, s1.length() - 1, 0, s2.length() - 1}, dense_scratch, zero_d2);
     const Score compressed =
@@ -123,7 +123,7 @@ TEST(CompressedSlice, MatchesDenseOnInteriorSlices) {
   const ArcIndex idx1(s1);
   const ArcIndex idx2(s2);
   Matrix<Score> dense_scratch;
-  CompressedSliceScratch compressed_scratch;
+  EventScratch compressed_scratch;
   for (std::size_t a = 0; a < idx1.size(); ++a) {
     for (std::size_t b = 0; b < idx2.size(); ++b) {
       const Arc a1 = idx1.arc(a);
@@ -145,7 +145,7 @@ TEST(CompressedSlice, SparseEventCountsFarBelowDense) {
   McosStats dense_stats;
   McosStats compressed_stats;
   Matrix<Score> dense_scratch;
-  CompressedSliceScratch compressed_scratch;
+  EventScratch compressed_scratch;
   (void)tabulate_slice_dense(s, s, SliceBounds{0, s.length() - 1, 0, s.length() - 1},
                              dense_scratch, zero_d2, &dense_stats);
   (void)tabulate_slice_compressed(idx.all(), idx.all(), compressed_scratch, zero_d2,

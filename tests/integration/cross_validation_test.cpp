@@ -100,10 +100,10 @@ TEST_P(CrossValidation, EveryImplementationAgrees) {
 
   // Checkpointed run, interrupted every 2 rows.
   {
+    // Key the file on both parameters: cases sharing a seed run concurrently
+    // under `ctest -j` and must not fight over one checkpoint.
     const std::string path =
-        "/tmp/srna_xval_" + std::to_string(::testing::UnitTest::GetInstance()
-                                               ->current_test_info()
-                                               ->line()) +
+        "/tmp/srna_xval_" + std::to_string(static_cast<int>(std::get<0>(GetParam()))) +
         "_" + std::to_string(std::get<1>(GetParam())) + ".ckpt";
     std::filesystem::remove(path);
     CheckpointPolicy policy{path, 1, 2};

@@ -9,12 +9,11 @@
 #include <vector>
 
 #include "align/anchored_alignment.hpp"
-#include "core/mcos.hpp"
-#include "db/structure_db.hpp"
-#include "obs/session.hpp"
 #include "core/traceback.hpp"
 #include "core/weighted.hpp"
-#include "parallel/prna.hpp"
+#include "db/structure_db.hpp"
+#include "engine/engine.hpp"
+#include "obs/session.hpp"
 #include "rna/arc_diagram.hpp"
 #include "rna/dot_bracket.hpp"
 #include "rna/formats.hpp"
@@ -51,7 +50,7 @@ LoadedStructure load_structure(const std::string& spec) {
 
 int cmd_compare(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
   CliParser cli("srna compare", "MCOS between two structures");
-  cli.add_option("algorithm", "srna1 | srna2 | topdown | bottomup", "srna2");
+  cli.add_option("algorithm", McosEngine::instance().names_joined(" | "), "srna2");
   cli.add_option("layout", "dense | compressed", "dense");
   cli.add_option("threads", "parallel stage one with this many threads (0 = sequential)", "0");
   cli.add_flag("traceback", "print the matched arc pairs");
@@ -71,8 +70,8 @@ int cmd_compare(const std::vector<std::string>& args, std::ostream& out, std::os
   const LoadedStructure a = load_structure(cli.positional()[0]);
   const LoadedStructure b = load_structure(cli.positional()[1]);
 
-  McosOptions options;
-  if (cli.str("layout") == "compressed") options.layout = SliceLayout::kCompressed;
+  SolverConfig config;
+  if (cli.str("layout") == "compressed") config.layout = SliceLayout::kCompressed;
 
   if (cli.flag("weighted")) {
     const Sequence* s1 = a.sequence && b.sequence ? &*a.sequence : nullptr;
@@ -84,6 +83,13 @@ int cmd_compare(const std::vector<std::string>& args, std::ostream& out, std::os
   }
 
   const int threads = static_cast<int>(cli.integer("threads"));
+  // Back-compat: --threads=N selects the parallel backend, exactly as the
+  // pre-engine CLI did.
+  std::string algorithm = cli.str("algorithm");
+  if (threads > 0) {
+    algorithm = "prna";
+    config.threads = threads;
+  }
   {
     obs::Json inputs = obs::Json::array();
     for (const LoadedStructure* s : {&a, &b}) {
@@ -95,38 +101,21 @@ int cmd_compare(const std::vector<std::string>& args, std::ostream& out, std::os
     }
     session.report().set("inputs", std::move(inputs));
     obs::Json opts = obs::Json::object();
-    opts.set("algorithm", obs::Json(cli.str("algorithm")));
+    opts.set("algorithm", obs::Json(algorithm));
     opts.set("layout", obs::Json(cli.str("layout")));
     opts.set("threads", obs::Json(static_cast<std::int64_t>(threads)));
     session.report().set("options", std::move(opts));
   }
 
-  McosResult result;
+  EngineResult result;
   std::string how;
   try {
-    if (threads > 0) {
-      PrnaOptions popt;
-      popt.num_threads = threads;
-      popt.layout = options.layout;
-      const auto pr = prna(a.structure, b.structure, popt);
-      result.value = pr.value;
-      result.stats = pr.stats;
-      how = "PRNA(" + std::to_string(pr.threads_used) + " threads)";
-      session.report().set("prna", pr.to_json());
-    } else {
-      const std::map<std::string, McosAlgorithm> algos = {
-          {"srna1", McosAlgorithm::kSrna1},
-          {"srna2", McosAlgorithm::kSrna2},
-          {"topdown", McosAlgorithm::kReferenceTopDown},
-          {"bottomup", McosAlgorithm::kReferenceBottomUp}};
-      const auto it = algos.find(cli.str("algorithm"));
-      if (it == algos.end()) {
-        err << "unknown algorithm: " << cli.str("algorithm") << "\n";
-        return 2;
-      }
-      result = mcos(a.structure, b.structure, it->second, options);
-      how = it->first;
-    }
+    const SolverBackend& backend = McosEngine::instance().at(algorithm);
+    result = solve_with(backend, a.structure, b.structure, config, Workspace::local());
+    how = algorithm == "prna"
+              ? "PRNA(" + std::to_string(result.threads_used) + " threads)"
+              : algorithm;
+    if (result.detail.is_object()) session.report().set(algorithm, std::move(result.detail));
   } catch (const std::exception& e) {
     // The report survives as a crash record: status, error text, whatever
     // metrics the run recorded before it died.
@@ -142,7 +131,7 @@ int cmd_compare(const std::vector<std::string>& args, std::ostream& out, std::os
   out << "MCOS value: " << result.value << "  (" << how << ")\n";
   if (cli.flag("stats")) out << result.stats.to_string() << "\n";
   if (cli.flag("traceback")) {
-    const auto common = mcos_traceback(a.structure, b.structure, options);
+    const auto common = mcos_traceback(a.structure, b.structure, config.to_mcos());
     for (const ArcMatch& m : common.matches)
       out << "  " << m.a1 << "  <->  " << m.a2 << "\n";
     out << "common substructure: " << to_dot_bracket(common.as_structure()) << "\n";
@@ -354,6 +343,7 @@ int cmd_search(const std::vector<std::string>& args, std::ostream& out, std::ost
   CliParser cli("srna search", "rank a directory of structures against a query");
   cli.add_option("top", "show only the best K hits (0 = all)", "10");
   cli.add_option("threads", "worker threads for the scan (0 = default)", "0");
+  cli.add_option("algorithm", McosEngine::instance().names_joined(" | "), "srna2");
   cli.add_flag("raw", "rank by raw common-arc count instead of normalized similarity");
   obs::ObsSession::add_cli_options(cli);
   std::vector<const char*> argv{"srna-search"};
@@ -375,6 +365,7 @@ int cmd_search(const std::vector<std::string>& args, std::ostream& out, std::ost
 
   SearchOptions opt;
   opt.threads = static_cast<int>(cli.integer("threads"));
+  opt.algorithm = cli.str("algorithm");
   if (cli.flag("raw")) opt.metric = SimilarityMetric::kCommonArcs;
   const auto hits =
       query_top_k(db, query.structure, static_cast<std::size_t>(cli.integer("top")), opt);
@@ -384,6 +375,7 @@ int cmd_search(const std::vector<std::string>& args, std::ostream& out, std::ost
     doc.set("query", obs::Json(query.origin));
     doc.set("database_size", obs::Json(static_cast<std::int64_t>(db.size())));
     doc.set("threads", obs::Json(static_cast<std::int64_t>(opt.threads)));
+    doc.set("algorithm", obs::Json(opt.algorithm));
     obs::Json ranked = obs::Json::array();
     for (const QueryHit& hit : hits) {
       obs::Json one = obs::Json::object();
@@ -410,6 +402,7 @@ int cmd_search(const std::vector<std::string>& args, std::ostream& out, std::ost
 int cmd_matrix(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
   CliParser cli("srna matrix", "pairwise similarity matrix over a directory of structures");
   cli.add_option("threads", "worker threads (0 = default)", "0");
+  cli.add_option("algorithm", McosEngine::instance().names_joined(" | "), "srna2");
   cli.add_flag("csv", "emit CSV");
   obs::ObsSession::add_cli_options(cli);
   std::vector<const char*> argv{"srna-matrix"};
@@ -429,12 +422,14 @@ int cmd_matrix(const std::vector<std::string>& args, std::ostream& out, std::ost
   }
   SearchOptions opt;
   opt.threads = static_cast<int>(cli.integer("threads"));
+  opt.algorithm = cli.str("algorithm");
   const auto matrix = all_pairs_similarity(db, opt);
 
   {
     obs::Json doc = obs::Json::object();
     doc.set("database_size", obs::Json(static_cast<std::int64_t>(db.size())));
     doc.set("threads", obs::Json(static_cast<std::int64_t>(opt.threads)));
+    doc.set("algorithm", obs::Json(opt.algorithm));
     doc.set("pairs_compared",
             obs::Json(static_cast<std::int64_t>(db.size() * (db.size() - 1) / 2)));
     session.report().set("matrix", std::move(doc));
