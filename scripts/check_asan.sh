@@ -11,7 +11,10 @@
 #   * engine_tests — registry dispatch, workspace pooling, backend
 #                    agreement across layouts,
 #   * db_tests     — the all-pairs / top-k loops that recycle thread-local
-#                    workspaces hardest.
+#                    workspaces hardest,
+#   * serve_tests  — the query service: cancelled solves must leave pooled
+#                    workspaces reusable, cache keys own their canonical
+#                    forms, connection buffers stay in bounds.
 #
 # Usage: scripts/check_asan.sh [build-dir]   (default: build-asan)
 set -euo pipefail
@@ -24,7 +27,7 @@ cmake -B "$BUILD_DIR" -S . \
   -DSRNA_SANITIZE=address,undefined \
   -DSRNA_BUILD_BENCH=OFF \
   -DSRNA_BUILD_EXAMPLES=OFF
-cmake --build "$BUILD_DIR" --target core_tests engine_tests db_tests -j "$(nproc)"
+cmake --build "$BUILD_DIR" --target core_tests engine_tests db_tests serve_tests -j "$(nproc)"
 
 # ASan aborts with a non-zero exit on the first bad access and UBSan on the
 # first undefined operation, so a plain pass/fail is the whole signal.

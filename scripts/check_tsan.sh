@@ -4,8 +4,13 @@
 # The tracing and metrics hot paths are lock-free by design (see
 # docs/OBSERVABILITY.md); this script is the proof. It configures a separate
 # build tree (build-tsan/) with -DSRNA_SANITIZE=thread and runs:
-#   * the `tsan`-labelled ctest suites (obs_tests — concurrent trace
-#     recording, sharded counters, histogram observers), and
+#   * the `tsan`-labelled ctest suites:
+#       - obs_tests   — concurrent trace recording, sharded counters,
+#                       histogram observers,
+#       - serve_tests — the query service end to end: worker pool, bounded
+#                       admission queue, deadline monitor, sharded result
+#                       cache, TCP + offline transports (all std::thread /
+#                       std::mutex, fully TSan-modeled), and
 #   * the mini-MPI runtime tests (std::thread + mutex/condvar, which TSan
 #     models exactly).
 #
@@ -26,7 +31,7 @@ cmake -B "$BUILD_DIR" -S . \
   -DSRNA_SANITIZE=thread \
   -DSRNA_BUILD_BENCH=OFF \
   -DSRNA_BUILD_EXAMPLES=OFF
-cmake --build "$BUILD_DIR" --target obs_tests parallel_tests -j "$(nproc)"
+cmake --build "$BUILD_DIR" --target obs_tests serve_tests parallel_tests -j "$(nproc)"
 
 # TSan halts with a non-zero exit on the first data race, so a plain
 # pass/fail is the whole signal.

@@ -1,9 +1,21 @@
 // Options shared by the MCOS solvers.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <stdexcept>
 
 namespace srna {
+
+// Thrown by a solver that observed its cancel flag (see McosOptions::cancel)
+// between slices. The partially tabulated state lives entirely in the
+// workspace, which the next solve re-shapes, so a cancelled solve leaves no
+// torn results behind — callers (the serve subsystem's deadline path) map
+// this to a timeout response.
+class SolveCancelled : public std::runtime_error {
+ public:
+  SolveCancelled() : std::runtime_error("MCOS solve cancelled") {}
+};
 
 // How a child/parent slice is laid out during tabulation.
 //
@@ -51,6 +63,19 @@ struct McosOptions {
   // one compare per lookup — the exact overhead SRNA2 exists to remove — so
   // it is off by default and used by the test suite.
   bool validate_memo = false;
+
+  // Cooperative cancellation (SRNA1/SRNA2): when non-null, the solver polls
+  // this flag at slice boundaries — one relaxed load per slice, never per
+  // cell — and throws SolveCancelled once it reads true. This is how the
+  // serve subsystem enforces per-request deadlines without tearing a result:
+  // the flag's owner (a deadline monitor thread) flips it, the worker
+  // unwinds at the next slice, and the workspace is reusable as-is.
+  const std::atomic<bool>* cancel = nullptr;
+
+  // True when the owner of `cancel` has requested a stop.
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+  }
 };
 
 }  // namespace srna

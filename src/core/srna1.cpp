@@ -86,6 +86,7 @@ class Srna1Runner {
   }
 
   void note_spawn(std::uint64_t depth) {
+    if (options_.cancelled()) throw SolveCancelled();
     stats_.max_spawn_depth = std::max(stats_.max_spawn_depth, depth);
     ++spawned_;
     if (options_.spawn_limit != 0 && spawned_ > options_.spawn_limit)

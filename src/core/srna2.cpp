@@ -65,6 +65,7 @@ Score run_srna2(const SecondaryStructure& s1, const SecondaryStructure& s2,
     if (row_span.active())
       row_span.set_args(obs::trace_args({{"row", static_cast<std::int64_t>(a)}}));
     for (std::size_t b = 0; b < idx2.size(); ++b) {
+      if (options.cancelled()) throw SolveCancelled();
       const Arc arc2 = idx2.arc(b);
       Score value;
       if (dense) {
@@ -82,6 +83,7 @@ Score run_srna2(const SecondaryStructure& s1, const SecondaryStructure& s2,
   stats.stage1_seconds = phase.seconds();
 
   // Stage two: tabulate the parent slice.
+  if (options.cancelled()) throw SolveCancelled();
   phase.reset();
   obs::TraceScope stage2_span("srna2", "stage2");
   Score answer;

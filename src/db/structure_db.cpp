@@ -11,22 +11,47 @@
 #include "obs/trace.hpp"
 #include "rna/formats.hpp"
 #include "rna/generators.hpp"
+#include "rna/structure_hash.hpp"
 #include "util/assert.hpp"
 
 namespace srna {
 
 void StructureDatabase::add(DbRecord record) {
   SRNA_REQUIRE(!record.name.empty(), "record needs a name");
-  SRNA_REQUIRE(find(record.name) == npos, "duplicate record name: " + record.name);
+  if (const std::size_t existing = find(record.name); existing != npos) {
+    // Same name twice. Distinguish the harmless case (identical structure,
+    // e.g. the same file loaded twice) from the dangerous one: a different
+    // structure under an existing name would shadow the original in the
+    // name index while both stayed searchable by index.
+    const bool identical =
+        StructureEq::same_structure(records_[existing].structure, record.structure);
+    throw std::invalid_argument(
+        identical ? "duplicate record name: " + record.name + " (identical structure)"
+                  : "duplicate record name: " + record.name +
+                        " names a different structure (would shadow the existing record)");
+  }
   SRNA_REQUIRE(record.structure.is_nonpseudoknot(),
                "database holds non-pseudoknot structures only: " + record.name);
   name_index_.emplace(record.name, records_.size());
+  content_index_.emplace(hash_structure(record.structure), records_.size());
   records_.push_back(std::move(record));
 }
 
 std::size_t StructureDatabase::find(const std::string& name) const noexcept {
   const auto it = name_index_.find(name);
   return it != name_index_.end() ? it->second : npos;
+}
+
+std::size_t StructureDatabase::find_equivalent(const SecondaryStructure& s) const noexcept {
+  std::size_t best = npos;
+  const auto [lo, hi] = content_index_.equal_range(hash_structure(s));
+  for (auto it = lo; it != hi; ++it) {
+    // Hash match is a candidate, not a proof; confirm with exact equality
+    // and keep the lowest index for determinism.
+    if (StructureEq::same_structure(records_[it->second].structure, s))
+      best = std::min(best, it->second);
+  }
+  return best;
 }
 
 StructureDatabase StructureDatabase::load_directory(const std::filesystem::path& dir) {

@@ -32,7 +32,12 @@ class StructureDatabase {
  public:
   StructureDatabase() = default;
 
-  // Adds a record; names must be unique (throws std::invalid_argument).
+  // Adds a record; names must be unique (throws std::invalid_argument). The
+  // guard distinguishes a re-add of the identical structure from a genuine
+  // collision (same name, different arc set) using the canonical
+  // hash/equality from rna/structure_hash.hpp — the latter would silently
+  // shadow the existing entry in the name index, so both throw, with the
+  // collision case called out explicitly.
   void add(DbRecord record);
 
   [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
@@ -43,6 +48,11 @@ class StructureDatabase {
   // Index of the record with this name, or npos. O(1): a name index is
   // maintained alongside the record vector.
   [[nodiscard]] std::size_t find(const std::string& name) const noexcept;
+  // Index of the first record whose structure equals `s` (canonical
+  // hash/equality, any name), or npos. O(1) expected: a content-hash index
+  // is maintained alongside the name index. This is how corpus loaders spot
+  // the same structure filed under two names.
+  [[nodiscard]] std::size_t find_equivalent(const SecondaryStructure& s) const noexcept;
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
   // Loads every *.ct / *.bpseq file in `dir` (record name = file stem,
@@ -56,6 +66,10 @@ class StructureDatabase {
  private:
   std::vector<DbRecord> records_;
   std::unordered_map<std::string, std::size_t> name_index_;
+  // Canonical structure hash -> record index; multimap because distinct
+  // records may legitimately share content (same structure, two names) and,
+  // rarely, distinct structures may share a hash.
+  std::unordered_multimap<std::uint64_t, std::size_t> content_index_;
 };
 
 // How pairwise similarity is scored.

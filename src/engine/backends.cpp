@@ -30,6 +30,7 @@ class Srna1Backend final : public SolverBackend {
   BackendCaps caps() const noexcept override {
     BackendCaps c;
     c.lazy_controls = true;
+    c.cancel = true;
     return c;
   }
   EngineResult solve(const SecondaryStructure& s1, const SecondaryStructure& s2,
@@ -44,7 +45,11 @@ class Srna2Backend final : public SolverBackend {
   const char* description() const noexcept override {
     return "two-stage eager slice tabulation (Algorithms 2-3)";
   }
-  BackendCaps caps() const noexcept override { return {}; }
+  BackendCaps caps() const noexcept override {
+    BackendCaps c;
+    c.cancel = true;
+    return c;
+  }
   EngineResult solve(const SecondaryStructure& s1, const SecondaryStructure& s2,
                      const SolverConfig& config, Workspace& workspace) const override {
     return from_mcos(srna2(s1, s2, config.to_mcos(), workspace));

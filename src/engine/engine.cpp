@@ -14,6 +14,7 @@ McosOptions SolverConfig::to_mcos() const {
   options.memoize = memoize;
   options.spawn_limit = spawn_limit;
   options.validate_memo = validate_memo;
+  options.cancel = cancel;
   return options;
 }
 
@@ -57,6 +58,7 @@ void SolverBackend::validate(const SolverConfig& config) const {
     if (config.parallel_stage2 != defaults.parallel_stage2) reject("parallel_stage2");
     if (config.stage1_hook != nullptr) reject("stage1_hook");
   }
+  if (!c.cancel && config.cancel != nullptr) reject("cancel");
   // layout and validate_memo are accept-and-ignore by design (BackendCaps).
 }
 

@@ -74,6 +74,11 @@ struct SolverConfig {
   // Test-only fault injection (prna); see PrnaOptions::stage1_hook.
   std::function<void(std::size_t, std::size_t)> stage1_hook;
 
+  // Cooperative cancellation (srna1/srna2): polled at slice boundaries; the
+  // solver throws SolveCancelled once the flag reads true. The serve
+  // subsystem's deadline monitor owns the flag. See McosOptions::cancel.
+  const std::atomic<bool>* cancel = nullptr;
+
   // Projections onto the solver-native option structs.
   [[nodiscard]] McosOptions to_mcos() const;
   [[nodiscard]] PrnaOptions to_prna() const;
@@ -89,6 +94,7 @@ struct BackendCaps {
   bool lazy_controls = false;    // honors memo_kind / memoize / spawn_limit
   bool balance_control = false;  // honors balance
   bool schedule_controls = false;  // honors schedule / parallel_stage2 / stage1_hook
+  bool cancel = false;           // honors SolverConfig::cancel (slice-boundary polls)
   bool honors_layout = true;     // informational: layout switches the kernel
 };
 

@@ -18,32 +18,61 @@ namespace {
 }
 
 // Builds the structure from 1-based partner assignments collected by either
-// parser. `partners[i]` is the 1-based partner of 1-based position i+1, or 0.
+// parser. `partners[i]` is the 1-based partner of 1-based position i+1, or 0;
+// `lines[i]` is the source line that declared base i+1, so every consistency
+// error can name the offending line.
 SecondaryStructure structure_from_partners(const char* format,
-                                           const std::vector<std::size_t>& partners) {
+                                           const std::vector<std::size_t>& partners,
+                                           const std::vector<std::size_t>& lines,
+                                           const ParseOptions& options) {
   const Pos n = static_cast<Pos>(partners.size());
   std::vector<Arc> arcs;
+  std::vector<std::size_t> arc_lines;  // line declaring each arc's left endpoint
   for (std::size_t i = 0; i < partners.size(); ++i) {
     const std::size_t p = partners[i];
     if (p == 0) continue;
     if (p > partners.size())
-      throw std::invalid_argument(std::string(format) + ": partner index " + std::to_string(p) +
-                                  " out of range");
+      fail(format, lines[i],
+           "partner index " + std::to_string(p) + " out of range (n = " +
+               std::to_string(partners.size()) + ")");
     // Symmetry check: the partner must point back.
     if (partners[p - 1] != i + 1)
-      throw std::invalid_argument(std::string(format) + ": asymmetric bond " +
-                                  std::to_string(i + 1) + " -> " + std::to_string(p));
+      fail(format, lines[i],
+           "asymmetric bond " + std::to_string(i + 1) + " -> " + std::to_string(p) +
+               " (base " + std::to_string(p) + " pairs with " +
+               std::to_string(partners[p - 1]) + ")");
     if (p == i + 1)
-      throw std::invalid_argument(std::string(format) + ": base " + std::to_string(i + 1) +
-                                  " paired with itself");
-    if (i + 1 < p) arcs.push_back(Arc{static_cast<Pos>(i), static_cast<Pos>(p - 1)});
+      fail(format, lines[i], "base " + std::to_string(i + 1) + " paired with itself");
+    if (i + 1 < p) {
+      arcs.push_back(Arc{static_cast<Pos>(i), static_cast<Pos>(p - 1)});
+      arc_lines.push_back(lines[i]);
+    }
   }
+
+  if (!options.allow_pseudoknots) {
+    // Arcs are sorted by left endpoint already (built in increasing-i
+    // order, endpoints unique), so a stack scan finds the first crossing.
+    std::vector<std::size_t> open;  // indices into arcs, by nesting
+    for (std::size_t a = 0; a < arcs.size(); ++a) {
+      while (!open.empty() && arcs[open.back()].right < arcs[a].left) open.pop_back();
+      if (!open.empty() && arcs[open.back()].crosses(arcs[a])) {
+        const Arc& other = arcs[open.back()];
+        fail(format, arc_lines[a],
+             "crossing arcs (pseudoknot): bond " + std::to_string(arcs[a].left + 1) +
+                 "-" + std::to_string(arcs[a].right + 1) + " crosses bond " +
+                 std::to_string(other.left + 1) + "-" + std::to_string(other.right + 1) +
+                 " from line " + std::to_string(arc_lines[open.back()]));
+      }
+      open.push_back(a);
+    }
+  }
+
   return SecondaryStructure::from_arcs(n, std::move(arcs));
 }
 
 }  // namespace
 
-AnnotatedStructure read_ct(std::istream& in) {
+AnnotatedStructure read_ct(std::istream& in, const ParseOptions& options) {
   std::string line;
   std::size_t lineno = 0;
 
@@ -65,6 +94,7 @@ AnnotatedStructure read_ct(std::istream& in) {
 
   std::vector<Base> bases(n);
   std::vector<std::size_t> partners(n, 0);
+  std::vector<std::size_t> base_lines(n, 0);
   std::size_t seen = 0;
   while (seen < n && std::getline(in, line)) {
     ++lineno;
@@ -79,21 +109,25 @@ AnnotatedStructure read_ct(std::istream& in) {
       fail("CT", lineno, "bad base symbol '" + std::string(fields[1]) + "'");
     if (!parse_size(fields[4], partner)) fail("CT", lineno, "bad partner index");
     partners[seen] = partner;
+    base_lines[seen] = lineno;
     ++seen;
   }
-  if (seen != n) throw std::invalid_argument("CT parse error: expected " + std::to_string(n) +
-                                             " base lines, got " + std::to_string(seen));
+  if (seen != n)
+    fail("CT", lineno,
+         "truncated file: header declared " + std::to_string(n) + " bases, got " +
+             std::to_string(seen));
 
   return AnnotatedStructure{std::move(title), Sequence(std::move(bases)),
-                            structure_from_partners("CT", partners)};
+                            structure_from_partners("CT", partners, base_lines, options)};
 }
 
-AnnotatedStructure read_bpseq(std::istream& in) {
+AnnotatedStructure read_bpseq(std::istream& in, const ParseOptions& options) {
   std::string line;
   std::size_t lineno = 0;
   std::string title;
   std::vector<Base> bases;
   std::vector<std::size_t> partners;
+  std::vector<std::size_t> base_lines;
 
   while (std::getline(in, line)) {
     ++lineno;
@@ -114,10 +148,11 @@ AnnotatedStructure read_bpseq(std::istream& in) {
     if (!parse_size(fields[2], partner)) fail("BPSEQ", lineno, "bad partner index");
     bases.push_back(b);
     partners.push_back(partner);
+    base_lines.push_back(lineno);
   }
 
   return AnnotatedStructure{std::move(title), Sequence(std::move(bases)),
-                            structure_from_partners("BPSEQ", partners)};
+                            structure_from_partners("BPSEQ", partners, base_lines, options)};
 }
 
 void write_ct(std::ostream& out, const AnnotatedStructure& record) {
@@ -148,12 +183,12 @@ bool ends_with(const std::string& s, const std::string& suffix) {
 
 }  // namespace
 
-AnnotatedStructure read_structure_file(const std::string& path) {
+AnnotatedStructure read_structure_file(const std::string& path, const ParseOptions& options) {
   std::ifstream in(path);
   if (!in) throw std::invalid_argument("cannot open structure file: " + path);
   const std::string lower = to_lower(path);
-  if (ends_with(lower, ".ct")) return read_ct(in);
-  if (ends_with(lower, ".bpseq")) return read_bpseq(in);
+  if (ends_with(lower, ".ct")) return read_ct(in, options);
+  if (ends_with(lower, ".bpseq")) return read_bpseq(in, options);
   throw std::invalid_argument("unknown structure file extension (want .ct or .bpseq): " + path);
 }
 

@@ -4,7 +4,8 @@
 // formats real structure databases (e.g. the comparative RNA web site the
 // paper's 23S rRNA examples come from) publish. The parsers are tolerant of
 // comment lines and blank lines but strict about index consistency, since a
-// mis-indexed bond silently corrupts the arc set the DP runs on.
+// mis-indexed bond silently corrupts the arc set the DP runs on. Every
+// parse error names the offending 1-based source line.
 //
 // CT: header line "<n> <title>", then one line per base:
 //   <index> <base> <index-1> <index+1> <partner (0 = unpaired)> <index>
@@ -26,15 +27,28 @@ struct AnnotatedStructure {
   SecondaryStructure structure;
 };
 
-// Parsers throw std::invalid_argument with a line number on malformed input.
-AnnotatedStructure read_ct(std::istream& in);
-AnnotatedStructure read_bpseq(std::istream& in);
+struct ParseOptions {
+  // Crossing arcs (pseudoknots) are rejected by default: every downstream
+  // consumer of parsed files — the MCOS solvers, the structure database, the
+  // serve subsystem — requires non-pseudoknot input, and rejecting at parse
+  // time pins the error to a source line instead of surfacing later as a
+  // solver precondition failure. The CLI's show/validate/convert commands
+  // opt in to pseudoknots so knotted files can still be inspected.
+  bool allow_pseudoknots = false;
+};
+
+// Parsers throw std::invalid_argument with a 1-based line number on
+// malformed input (truncation, bad columns, asymmetric or self bonds,
+// out-of-range partners, and — unless options allow — crossing arcs).
+AnnotatedStructure read_ct(std::istream& in, const ParseOptions& options = {});
+AnnotatedStructure read_bpseq(std::istream& in, const ParseOptions& options = {});
 
 void write_ct(std::ostream& out, const AnnotatedStructure& record);
 void write_bpseq(std::ostream& out, const AnnotatedStructure& record);
 
 // File-path convenience wrappers (format chosen by extension: .ct, .bpseq).
-AnnotatedStructure read_structure_file(const std::string& path);
+AnnotatedStructure read_structure_file(const std::string& path,
+                                       const ParseOptions& options = {});
 void write_structure_file(const std::string& path, const AnnotatedStructure& record);
 
 }  // namespace srna

@@ -1,0 +1,33 @@
+#include "rna/structure_hash.hpp"
+
+namespace srna {
+
+std::uint64_t hash_structure_into(std::uint64_t seed, const SecondaryStructure& s) noexcept {
+  std::uint64_t h = fnv1a_mix(seed, static_cast<std::uint64_t>(s.length()));
+  h = fnv1a_mix(h, static_cast<std::uint64_t>(s.arc_count()));
+  for (const Arc& arc : s.arcs_by_right()) {
+    // One word per arc: both endpoints fit in 32 bits each.
+    h = fnv1a_mix(h, (static_cast<std::uint64_t>(static_cast<std::uint32_t>(arc.left)) << 32) |
+                         static_cast<std::uint32_t>(arc.right));
+  }
+  return h;
+}
+
+std::uint64_t hash_structure(const SecondaryStructure& s) noexcept {
+  return hash_structure_into(kFnvOffsetBasis, s);
+}
+
+std::uint64_t hash_structure_pair(const SecondaryStructure& a, const SecondaryStructure& b,
+                                  std::uint64_t seed) noexcept {
+  std::uint64_t h = fnv1a_mix(kFnvOffsetBasis, seed);
+  h = hash_structure_into(h, a);
+  h = hash_structure_into(h, b);
+  return h;
+}
+
+bool StructureEq::same_structure(const SecondaryStructure& a,
+                                 const SecondaryStructure& b) noexcept {
+  return a.length() == b.length() && a.arcs_by_right() == b.arcs_by_right();
+}
+
+}  // namespace srna

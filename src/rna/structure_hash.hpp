@@ -1,0 +1,78 @@
+// Canonical hashing and equality for secondary structures and structure
+// pairs.
+//
+// Several layers need to ask "have I seen this structure (pair) before?":
+// the serve subsystem's result cache keys solved requests by
+// (structure A, structure B, solver config), and the structure database
+// guards against duplicate records. Both must agree on what "the same
+// structure" means, so the canonical form lives here, next to
+// SecondaryStructure itself: a structure is its length plus its arc set
+// (sorted by right endpoint — the representation is already canonical), and
+// the hash digests exactly those fields. Sequences, titles and file origins
+// are deliberately excluded: MCOS is a function of the arc sets alone.
+//
+// The hash is FNV-1a over the canonical words. It is a fingerprint, not a
+// proof of equality — collision-sensitive callers (the serve cache) must
+// pair it with StructureEq on the stored canonical form.
+#pragma once
+
+#include <cstdint>
+
+#include "rna/secondary_structure.hpp"
+
+namespace srna {
+
+// FNV-1a primitives, exposed so callers can extend a structure digest with
+// their own context (the serve cache folds the solver-config fingerprint
+// into the pair hash this way).
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+[[nodiscard]] constexpr std::uint64_t fnv1a_mix(std::uint64_t hash,
+                                                std::uint64_t word) noexcept {
+  // Mix one 64-bit word byte-by-byte (FNV-1a is defined over octets).
+  for (int shift = 0; shift < 64; shift += 8) {
+    hash ^= (word >> shift) & 0xffULL;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+// Digest of one structure: length, arc count, then every arc (left, right)
+// in canonical (by right endpoint) order.
+[[nodiscard]] std::uint64_t hash_structure(const SecondaryStructure& s) noexcept;
+
+// Extends `seed` with the digest of `s` (same canonical words as
+// hash_structure). hash_structure(s) == hash_structure_into(kFnvOffsetBasis, s).
+[[nodiscard]] std::uint64_t hash_structure_into(std::uint64_t seed,
+                                                const SecondaryStructure& s) noexcept;
+
+// Ordered pair digest: MCOS(a, b) and MCOS(b, a) are equal by symmetry, but
+// the serve cache stores directed requests, so (a, b) and (b, a) hash
+// differently; callers wanting symmetric keys can order the pair first.
+// `seed` folds caller context (e.g. a config fingerprint) into the digest.
+[[nodiscard]] std::uint64_t hash_structure_pair(const SecondaryStructure& a,
+                                                const SecondaryStructure& b,
+                                                std::uint64_t seed = 0) noexcept;
+
+// Functors for unordered containers keyed by structures.
+struct StructureHash {
+  [[nodiscard]] std::size_t operator()(const SecondaryStructure& s) const noexcept {
+    return static_cast<std::size_t>(hash_structure(s));
+  }
+};
+
+struct StructureEq {
+  [[nodiscard]] bool operator()(const SecondaryStructure& a,
+                                const SecondaryStructure& b) const noexcept {
+    return same_structure(a, b);
+  }
+
+  // Exact equality on the canonical form (length + arc set). Equivalent to
+  // operator== but spelled out here so hash and equality visibly digest the
+  // same fields.
+  [[nodiscard]] static bool same_structure(const SecondaryStructure& a,
+                                           const SecondaryStructure& b) noexcept;
+};
+
+}  // namespace srna

@@ -1,0 +1,151 @@
+#include "serve/protocol.hpp"
+
+#include <stdexcept>
+
+namespace srna::serve {
+
+namespace {
+
+[[noreturn]] void bad_request(const std::string& what) {
+  throw std::invalid_argument("bad request: " + what);
+}
+
+std::string string_field(const obs::Json& doc, std::string_view key) {
+  const obs::Json* v = doc.find(key);
+  if (v == nullptr) return {};
+  if (!v->is_string()) bad_request("field '" + std::string(key) + "' must be a string");
+  return v->as_string();
+}
+
+double number_field(const obs::Json& doc, std::string_view key, double def) {
+  const obs::Json* v = doc.find(key);
+  if (v == nullptr) return def;
+  if (!v->is_number()) bad_request("field '" + std::string(key) + "' must be a number");
+  return v->as_double();
+}
+
+bool bool_field(const obs::Json& doc, std::string_view key) {
+  const obs::Json* v = doc.find(key);
+  if (v == nullptr) return false;
+  if (v->kind() != obs::Json::Kind::kBool)
+    bad_request("field '" + std::string(key) + "' must be a boolean");
+  return v->as_bool();
+}
+
+}  // namespace
+
+ServeRequest parse_request(std::string_view line) {
+  const std::optional<obs::Json> doc = obs::Json::parse(line);
+  if (!doc || !doc->is_object()) bad_request("expected one JSON object per line");
+
+  static constexpr std::string_view kKnown[] = {"id",       "a",           "b",
+                                                "a_name",   "b_name",      "algorithm",
+                                                "layout",   "deadline_ms", "no_cache"};
+  for (const auto& [key, value] : doc->members()) {
+    bool known = false;
+    for (const std::string_view k : kKnown) known = known || key == k;
+    if (!known) bad_request("unknown field '" + key + "'");
+  }
+
+  ServeRequest req;
+  req.id = static_cast<std::int64_t>(number_field(*doc, "id", 0));
+  req.a = string_field(*doc, "a");
+  req.b = string_field(*doc, "b");
+  req.a_name = string_field(*doc, "a_name");
+  req.b_name = string_field(*doc, "b_name");
+  req.algorithm = string_field(*doc, "algorithm");
+  req.layout = string_field(*doc, "layout");
+  req.deadline_ms = number_field(*doc, "deadline_ms", 0.0);
+  req.no_cache = bool_field(*doc, "no_cache");
+
+  const bool literal_pair = !req.a.empty() || !req.b.empty();
+  const bool name_pair = !req.a_name.empty() || !req.b_name.empty();
+  if (literal_pair && name_pair)
+    bad_request("give either a/b dot-bracket literals or a_name/b_name, not both");
+  if (!literal_pair && !name_pair) bad_request("missing structure pair (a/b or a_name/b_name)");
+  if (literal_pair && (req.a.empty() || req.b.empty()))
+    bad_request("both 'a' and 'b' are required");
+  if (name_pair && (req.a_name.empty() || req.b_name.empty()))
+    bad_request("both 'a_name' and 'b_name' are required");
+  if (req.deadline_ms < 0) bad_request("'deadline_ms' must be >= 0");
+  if (!req.layout.empty() && req.layout != "dense" && req.layout != "compressed")
+    bad_request("'layout' must be 'dense' or 'compressed'");
+  return req;
+}
+
+obs::Json ServeRequest::to_json() const {
+  obs::Json doc = obs::Json::object();
+  doc.set("id", obs::Json(id));
+  if (by_name()) {
+    doc.set("a_name", obs::Json(a_name));
+    doc.set("b_name", obs::Json(b_name));
+  } else {
+    doc.set("a", obs::Json(a));
+    doc.set("b", obs::Json(b));
+  }
+  if (!algorithm.empty()) doc.set("algorithm", obs::Json(algorithm));
+  if (!layout.empty()) doc.set("layout", obs::Json(layout));
+  if (deadline_ms > 0) doc.set("deadline_ms", obs::Json(deadline_ms));
+  if (no_cache) doc.set("no_cache", obs::Json(true));
+  return doc;
+}
+
+std::string ServeRequest::to_line() const { return to_json().dump(0); }
+
+const char* to_string(ResponseStatus status) noexcept {
+  switch (status) {
+    case ResponseStatus::kOk: return "ok";
+    case ResponseStatus::kRejected: return "rejected";
+    case ResponseStatus::kTimeout: return "timeout";
+    case ResponseStatus::kError: return "error";
+  }
+  return "error";
+}
+
+obs::Json ServeResponse::to_json() const {
+  obs::Json doc = obs::Json::object();
+  doc.set("id", obs::Json(id));
+  doc.set("status", obs::Json(to_string(status)));
+  if (status == ResponseStatus::kOk) {
+    doc.set("value", obs::Json(static_cast<std::int64_t>(value)));
+    doc.set("normalized", obs::Json(normalized));
+    doc.set("cache_hit", obs::Json(cache_hit));
+  }
+  if (status == ResponseStatus::kRejected) doc.set("retry_after_ms", obs::Json(retry_after_ms));
+  if (!algorithm.empty()) doc.set("algorithm", obs::Json(algorithm));
+  doc.set("latency_ms", obs::Json(latency_ms));
+  if (!error.empty()) doc.set("error", obs::Json(error));
+  return doc;
+}
+
+std::string ServeResponse::to_line() const { return to_json().dump(0); }
+
+ServeResponse ServeResponse::from_line(std::string_view line) {
+  const std::optional<obs::Json> doc = obs::Json::parse(line);
+  if (!doc || !doc->is_object())
+    throw std::invalid_argument("bad response: expected one JSON object per line");
+  ServeResponse resp;
+  resp.id = static_cast<std::int64_t>(number_field(*doc, "id", 0));
+  const std::string status = string_field(*doc, "status");
+  if (status == "ok") {
+    resp.status = ResponseStatus::kOk;
+  } else if (status == "rejected") {
+    resp.status = ResponseStatus::kRejected;
+  } else if (status == "timeout") {
+    resp.status = ResponseStatus::kTimeout;
+  } else if (status == "error") {
+    resp.status = ResponseStatus::kError;
+  } else {
+    throw std::invalid_argument("bad response: unknown status '" + status + "'");
+  }
+  resp.value = static_cast<Score>(number_field(*doc, "value", 0));
+  resp.normalized = number_field(*doc, "normalized", 0.0);
+  if (const obs::Json* v = doc->find("cache_hit")) resp.cache_hit = v->as_bool();
+  resp.latency_ms = number_field(*doc, "latency_ms", 0.0);
+  resp.retry_after_ms = number_field(*doc, "retry_after_ms", 0.0);
+  resp.algorithm = string_field(*doc, "algorithm");
+  resp.error = string_field(*doc, "error");
+  return resp;
+}
+
+}  // namespace srna::serve

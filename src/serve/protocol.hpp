@@ -1,0 +1,80 @@
+// The serve wire protocol: JSON-lines over any byte stream.
+//
+// One request per line, one response per line; responses carry the
+// request's `id` and may arrive out of order (the worker pool completes
+// fast requests ahead of slow ones), so clients correlate by id. The same
+// schema runs over the TCP listener and the offline stdin/stdout mode —
+// tests and CI exercise the full service with no networking.
+//
+// Request:
+//   {"id": 7, "a": "((..))", "b": "(..)"}                  structure-pair form
+//   {"id": 8, "a_name": "rrna1", "b_name": "rrna2"}        db-name form
+//   optional: "algorithm" (engine backend, default per service),
+//             "layout" ("dense" | "compressed"),
+//             "deadline_ms" (0 = service default), "no_cache" (bool)
+//
+// Response: {"id": 7, "status": "ok", "value": 3, "normalized": 0.75,
+//            "cache_hit": false, "latency_ms": 1.2, "algorithm": "srna2"}
+//   status "rejected" adds "retry_after_ms" (admission backpressure);
+//   status "timeout" means the deadline expired (queued or mid-solve);
+//   status "error" carries the failure text in "error".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/result.hpp"
+#include "obs/json.hpp"
+
+namespace srna::serve {
+
+struct ServeRequest {
+  std::int64_t id = 0;
+  // Exactly one of the two pair forms: dot-bracket literals...
+  std::string a;
+  std::string b;
+  // ...or names resolved against the service's structure database.
+  std::string a_name;
+  std::string b_name;
+
+  std::string algorithm;  // empty = service default
+  std::string layout;     // empty = "dense"
+  double deadline_ms = 0;  // 0 = service default; < 0 invalid
+  bool no_cache = false;   // bypass the result cache (solve + do not store)
+
+  [[nodiscard]] bool by_name() const noexcept { return !a_name.empty() || !b_name.empty(); }
+
+  [[nodiscard]] obs::Json to_json() const;
+  [[nodiscard]] std::string to_line() const;  // one-line JSON, no trailing newline
+};
+
+// Parses one request line. Throws std::invalid_argument on malformed JSON,
+// unknown fields, or an inconsistent pair form — the message is safe to
+// embed in an error response.
+ServeRequest parse_request(std::string_view line);
+
+enum class ResponseStatus : std::uint8_t { kOk, kRejected, kTimeout, kError };
+
+[[nodiscard]] const char* to_string(ResponseStatus status) noexcept;
+
+struct ServeResponse {
+  std::int64_t id = 0;
+  ResponseStatus status = ResponseStatus::kError;
+  Score value = 0;
+  double normalized = 0.0;   // 2*value / (arcs_a + arcs_b), ok responses only
+  bool cache_hit = false;
+  double latency_ms = 0.0;   // admission -> completion, as observed by the service
+  double retry_after_ms = 0.0;  // rejected responses: suggested client backoff
+  std::string algorithm;     // backend that (would have) solved it
+  std::string error;         // timeout / rejected / error detail
+
+  [[nodiscard]] obs::Json to_json() const;
+  [[nodiscard]] std::string to_line() const;
+
+  // Parses one response line (the loadgen's receive path). Throws
+  // std::invalid_argument on malformed input.
+  static ServeResponse from_line(std::string_view line);
+};
+
+}  // namespace srna::serve

@@ -1,0 +1,92 @@
+// Bounded MPMC admission queue for the query service.
+//
+// Admission control is the service's backpressure mechanism: the queue has a
+// hard capacity, try_push never blocks, and a full queue is an explicit
+// kFull result the caller turns into a reject-with-retry-after response —
+// load the service cannot absorb is pushed back to clients immediately
+// instead of accumulating as unbounded latency.
+//
+// Shutdown is a drain: close() stops admissions but poppers keep receiving
+// queued work until the queue is empty, then get std::nullopt. Every item
+// accepted before close() is therefore handed to exactly one worker — the
+// "no lost requests on shutdown" guarantee the serve tests pin down.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace srna::serve {
+
+enum class PushResult : std::uint8_t {
+  kAccepted,  // enqueued; a worker will pop it
+  kFull,      // at capacity — backpressure, caller should reject/retry
+  kClosed,    // shutting down — no further admissions
+};
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Non-blocking admission. Takes an rvalue and moves from it ONLY on
+  // kAccepted — on kFull/kClosed the caller still owns the intact item (the
+  // service answers rejects through the job's own callback).
+  [[nodiscard]] PushResult try_push(T&& item) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_) return PushResult::kClosed;
+      if (items_.size() >= capacity_) return PushResult::kFull;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return PushResult::kAccepted;
+  }
+
+  // Blocks until an item is available or the queue is closed AND drained.
+  [[nodiscard]] std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  // Stops admissions and wakes every blocked popper. Queued items remain
+  // poppable (drain semantics). Idempotent.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t depth() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace srna::serve

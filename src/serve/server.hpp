@@ -1,0 +1,74 @@
+// Transport layer for the query service: the same JSON-lines protocol over
+// two byte streams.
+//
+//   run_offline   reads request lines from an istream, writes response lines
+//                 to an ostream (interleaved in completion order, serialized
+//                 by a mutex). This is the stdin/stdout mode — tests, CI,
+//                 and `srna-serve --offline` exercise the full service
+//                 (admission, deadlines, cache, drain) with no networking.
+//   TcpServer     a localhost TCP listener: one accept thread, one reader
+//                 thread per connection, responses written under a
+//                 per-connection mutex as workers complete them (out of
+//                 order; clients correlate by id). Malformed lines get an
+//                 immediate "error" response rather than killing the
+//                 connection.
+//
+// Both transports guarantee one response line per request line, in every
+// path (parse failure, admission reject, timeout, error, success).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hpp"
+
+namespace srna::serve {
+
+// Drives `service` from a stream of request lines until EOF, then waits for
+// every outstanding response before returning. Returns the number of request
+// lines consumed. Blank lines are skipped.
+std::size_t run_offline(QueryService& service, std::istream& in, std::ostream& out);
+
+class TcpServer {
+ public:
+  // Binds and listens on host:port (port 0 picks an ephemeral port — read it
+  // back with port()). Throws std::runtime_error on bind/listen failure.
+  TcpServer(QueryService& service, const std::string& host, std::uint16_t port);
+  ~TcpServer();  // stop()
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  // Stops accepting, closes every connection, joins all threads. Idempotent.
+  // The service itself is NOT drained — that is the caller's decision.
+  void stop();
+
+ private:
+  struct Connection {
+    ~Connection();  // closes fd
+    int fd = -1;
+    std::mutex write_mutex;  // serializes response lines from worker threads
+  };
+
+  void accept_loop();
+  void serve_connection(std::shared_ptr<Connection> conn);
+
+  QueryService& service_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+
+  std::mutex mutex_;  // guards connections_ / readers_ / stopped_
+  std::vector<std::weak_ptr<Connection>> connections_;
+  std::vector<std::thread> readers_;
+  bool stopped_ = false;
+};
+
+}  // namespace srna::serve

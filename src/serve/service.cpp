@@ -1,0 +1,375 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "rna/dot_bracket.hpp"
+
+namespace srna::serve {
+
+namespace {
+
+using Clock = DeadlineMonitor::Clock;
+
+double ms_between(Clock::time_point from, Clock::time_point to) noexcept {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+double seconds_between(Clock::time_point from, Clock::time_point to) noexcept {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ DeadlineMonitor
+
+DeadlineMonitor::DeadlineMonitor() : thread_([this] { run(); }) {}
+
+DeadlineMonitor::~DeadlineMonitor() { stop(); }
+
+std::uint64_t DeadlineMonitor::watch(Clock::time_point deadline,
+                                     std::shared_ptr<std::atomic<bool>> flag) {
+  std::uint64_t ticket;
+  {
+    std::lock_guard lock(mutex_);
+    ticket = next_ticket_++;
+    active_.emplace(ticket, std::move(flag));
+    heap_.push_back(Watch{deadline, ticket});
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  }
+  wake_.notify_one();
+  return ticket;
+}
+
+void DeadlineMonitor::release(std::uint64_t ticket) {
+  std::lock_guard lock(mutex_);
+  // Lazy deletion: the heap entry is discarded when it surfaces.
+  active_.erase(ticket);
+}
+
+void DeadlineMonitor::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void DeadlineMonitor::run() {
+  std::unique_lock lock(mutex_);
+  while (!stopping_) {
+    // Drop released tickets off the top, fire everything due.
+    const Clock::time_point now = Clock::now();
+    while (!heap_.empty()) {
+      const Watch& top = heap_.front();
+      const auto it = active_.find(top.ticket);
+      if (it == active_.end()) {
+        std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+        heap_.pop_back();
+        continue;
+      }
+      if (top.deadline > now) break;
+      it->second->store(true, std::memory_order_relaxed);
+      active_.erase(it);
+      std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+      heap_.pop_back();
+    }
+    if (heap_.empty()) {
+      wake_.wait(lock, [&] { return stopping_ || !heap_.empty(); });
+    } else {
+      wake_.wait_until(lock, heap_.front().deadline);
+    }
+  }
+}
+
+// --------------------------------------------------------------- QueryService
+
+std::string config_fingerprint(const std::string& algorithm, const SolverConfig& config) {
+  // Only knobs that change the *value* or are worth keying separately need
+  // to appear; layout cannot change the answer but keeps entries honest
+  // about what was measured.
+  return algorithm + "/" +
+         (config.layout == SliceLayout::kCompressed ? "compressed" : "dense");
+}
+
+QueryService::QueryService(ServiceConfig config)
+    : config_(std::move(config)),
+      cache_(config_.cache),
+      queue_(std::max<std::size_t>(1, config_.queue_capacity)),
+      started_(Clock::now()) {
+  if (config_.default_algorithm.empty()) config_.default_algorithm = "srna2";
+  // Fail construction, not the first request, on an unknown default backend.
+  (void)McosEngine::instance().at(config_.default_algorithm);
+  const int workers = std::max(1, config_.workers);
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+QueryService::~QueryService() { drain(); }
+
+void QueryService::drain() {
+  std::lock_guard drain_lock(drain_mutex_);
+  if (drained_) return;
+  queue_.close();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  monitor_.stop();
+  drained_ = true;
+}
+
+double QueryService::retry_after_ms_hint() const {
+  // Rough service-time model: depth/workers solves ahead of a retry, each
+  // costing the observed EWMA. Floor at 1ms so clients always back off.
+  const double ewma =
+      std::bit_cast<double>(solve_ewma_bits_.load(std::memory_order_relaxed));
+  const double per_solve = ewma > 0 ? ewma : 1e-3;
+  const double workers = static_cast<double>(workers_.empty() ? 1 : workers_.size());
+  const double depth = static_cast<double>(queue_.depth());
+  return std::max(1.0, 1e3 * per_solve * (depth + 1.0) / workers);
+}
+
+bool QueryService::submit(ServeRequest request, Callback done) {
+  obs::Registry::instance().counter("serve.requests").add();
+  Job job;
+  job.admitted = Clock::now();
+  const double deadline_ms =
+      request.deadline_ms > 0 ? request.deadline_ms : config_.default_deadline_ms;
+  job.deadline = deadline_ms > 0
+                     ? job.admitted + std::chrono::duration_cast<Clock::duration>(
+                                          std::chrono::duration<double, std::milli>(deadline_ms))
+                     : Clock::time_point::max();
+  job.request = std::move(request);
+  job.done = std::move(done);
+
+  const PushResult admission = queue_.try_push(std::move(job));
+  if (admission == PushResult::kAccepted) {
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    obs::Registry::instance().gauge("serve.queue_depth").set(
+        static_cast<double>(queue_.depth()));
+    return true;
+  }
+
+  // Rejected inline: try_push moves from its argument only on accept, so
+  // `job` still owns the request and callback here.
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+  obs::Registry::instance().counter("serve.admission_rejects").add();
+  ServeResponse resp;
+  resp.id = job.request.id;
+  resp.status = ResponseStatus::kRejected;
+  if (admission == PushResult::kFull) {
+    resp.retry_after_ms = retry_after_ms_hint();
+    resp.error = "queue full (capacity " + std::to_string(queue_.capacity() ) + ")";
+  } else {
+    resp.error = "service is draining";
+  }
+  resp.latency_ms = ms_between(job.admitted, Clock::now());
+  job.done(resp);
+  return false;
+}
+
+std::future<ServeResponse> QueryService::solve_async(ServeRequest request) {
+  auto promise = std::make_shared<std::promise<ServeResponse>>();
+  std::future<ServeResponse> future = promise->get_future();
+  submit(std::move(request),
+         [promise](const ServeResponse& resp) { promise->set_value(resp); });
+  return future;
+}
+
+ServeResponse QueryService::solve(ServeRequest request) {
+  return solve_async(std::move(request)).get();
+}
+
+void QueryService::worker_loop() {
+  while (auto job = queue_.pop()) {
+    obs::Registry::instance().gauge("serve.queue_depth").set(
+        static_cast<double>(queue_.depth()));
+    process(std::move(*job));
+  }
+}
+
+void QueryService::process(Job job) {
+  const Clock::time_point picked_up = Clock::now();
+  obs::Registry::instance().histogram("serve.queue_wait").observe(
+      std::max(1e-9, seconds_between(job.admitted, picked_up)));
+
+  ServeResponse response;
+  if (picked_up >= job.deadline) {
+    // Expired while queued: answer without burning a solve on it.
+    obs::Registry::instance().counter("serve.deadline_queue_expirations").add();
+    response.id = job.request.id;
+    response.status = ResponseStatus::kTimeout;
+    response.error = "deadline expired while queued";
+  } else {
+    response = solve_job(job);
+  }
+  respond(job, std::move(response));
+
+  const Clock::time_point finished = Clock::now();
+  worker_busy_us_.fetch_add(
+      static_cast<std::uint64_t>(1e6 * seconds_between(picked_up, finished)),
+      std::memory_order_relaxed);
+}
+
+ServeResponse QueryService::solve_job(const Job& job) {
+  const ServeRequest& req = job.request;
+  ServeResponse resp;
+  resp.id = req.id;
+  const std::string algorithm =
+      req.algorithm.empty() ? config_.default_algorithm : req.algorithm;
+  resp.algorithm = algorithm;
+
+  try {
+    obs::TraceScope span("serve", "request");
+    if (span.active()) span.set_args(obs::trace_args({{"id", req.id}}));
+
+    // Resolve the pair (worker-side, off the submitter's thread).
+    SecondaryStructure a;
+    SecondaryStructure b;
+    if (req.by_name()) {
+      if (config_.db == nullptr)
+        throw std::invalid_argument("this service has no structure database loaded");
+      const std::size_t ia = config_.db->find(req.a_name);
+      const std::size_t ib = config_.db->find(req.b_name);
+      if (ia == StructureDatabase::npos)
+        throw std::invalid_argument("unknown structure name '" + req.a_name + "'");
+      if (ib == StructureDatabase::npos)
+        throw std::invalid_argument("unknown structure name '" + req.b_name + "'");
+      a = config_.db->record(ia).structure;
+      b = config_.db->record(ib).structure;
+    } else {
+      a = parse_dot_bracket(req.a);
+      b = parse_dot_bracket(req.b);
+    }
+
+    SolverConfig config;
+    if (req.layout == "compressed") config.layout = SliceLayout::kCompressed;
+    const SolverBackend& backend = McosEngine::instance().at(algorithm);
+
+    const double denom = static_cast<double>(a.arc_count() + b.arc_count());
+    const auto normalized = [&](Score value) {
+      return denom > 0 ? 2.0 * static_cast<double>(value) / denom : 1.0;
+    };
+
+    CacheKey key = CacheKey::make(a, b, config_fingerprint(algorithm, config));
+    if (!req.no_cache) {
+      if (const std::optional<Score> hit = cache_.get(key)) {
+        resp.status = ResponseStatus::kOk;
+        resp.value = *hit;
+        resp.normalized = normalized(*hit);
+        resp.cache_hit = true;
+        return resp;
+      }
+    }
+
+    // Deadline enforcement: the monitor flips `cancel` when the request's
+    // absolute deadline passes; the solver polls it at slice boundaries.
+    auto cancel = std::make_shared<std::atomic<bool>>(false);
+    std::uint64_t ticket = 0;
+    const bool watched = job.deadline != Clock::time_point::max() &&
+                         backend.caps().cancel;
+    if (watched) {
+      config.cancel = cancel.get();
+      ticket = monitor_.watch(job.deadline, cancel);
+    }
+
+    const Clock::time_point solve_start = Clock::now();
+    try {
+      const EngineResult result =
+          solve_with(backend, a, b, config, Workspace::local());
+      if (watched) monitor_.release(ticket);
+      const double solve_seconds = seconds_between(solve_start, Clock::now());
+      obs::Registry::instance().histogram("serve.solve_seconds").observe(
+          std::max(1e-9, solve_seconds));
+      // EWMA(1/8) feeds the retry-after hint; benign update race is fine.
+      const double prev =
+          std::bit_cast<double>(solve_ewma_bits_.load(std::memory_order_relaxed));
+      const double next = prev > 0 ? prev + (solve_seconds - prev) / 8.0 : solve_seconds;
+      solve_ewma_bits_.store(std::bit_cast<std::uint64_t>(next),
+                             std::memory_order_relaxed);
+
+      resp.status = ResponseStatus::kOk;
+      resp.value = result.value;
+      resp.normalized = normalized(result.value);
+      if (!req.no_cache) cache_.put(std::move(key), result.value);
+    } catch (const SolveCancelled&) {
+      if (watched) monitor_.release(ticket);
+      obs::Registry::instance().counter("serve.deadline_solve_expirations").add();
+      resp.status = ResponseStatus::kTimeout;
+      resp.error = "deadline expired mid-solve (cancelled at a slice boundary)";
+    } catch (...) {
+      if (watched) monitor_.release(ticket);
+      throw;
+    }
+  } catch (const std::exception& e) {
+    resp.status = ResponseStatus::kError;
+    resp.error = e.what();
+  }
+  return resp;
+}
+
+void QueryService::respond(const Job& job, ServeResponse response) {
+  response.latency_ms = ms_between(job.admitted, Clock::now());
+  auto& registry = obs::Registry::instance();
+  registry.histogram("serve.request_latency").observe(
+      std::max(1e-9, response.latency_ms / 1e3));
+  switch (response.status) {
+    case ResponseStatus::kOk:
+      responses_ok_.fetch_add(1, std::memory_order_relaxed);
+      registry.counter("serve.responses_ok").add();
+      break;
+    case ResponseStatus::kTimeout:
+      responses_timeout_.fetch_add(1, std::memory_order_relaxed);
+      registry.counter("serve.responses_timeout").add();
+      break;
+    case ResponseStatus::kRejected:
+      registry.counter("serve.responses_rejected").add();
+      break;
+    case ResponseStatus::kError:
+      responses_error_.fetch_add(1, std::memory_order_relaxed);
+      registry.counter("serve.responses_error").add();
+      break;
+  }
+  job.done(response);
+}
+
+obs::Json QueryService::stats_json() const {
+  auto& registry = obs::Registry::instance();
+  obs::Json doc = obs::Json::object();
+  doc.set("workers", obs::Json(static_cast<std::uint64_t>(workers_.size())));
+  doc.set("queue_capacity", obs::Json(static_cast<std::uint64_t>(queue_.capacity())));
+  doc.set("queue_depth", obs::Json(static_cast<std::uint64_t>(queue_.depth())));
+  doc.set("accepted", obs::Json(accepted_.load(std::memory_order_relaxed)));
+  doc.set("rejected", obs::Json(rejected_.load(std::memory_order_relaxed)));
+  doc.set("responses_ok", obs::Json(responses_ok_.load(std::memory_order_relaxed)));
+  doc.set("responses_timeout", obs::Json(responses_timeout_.load(std::memory_order_relaxed)));
+  doc.set("responses_error", obs::Json(responses_error_.load(std::memory_order_relaxed)));
+  doc.set("cache", cache_.stats_json());
+
+  const double busy_seconds =
+      static_cast<double>(worker_busy_us_.load(std::memory_order_relaxed)) / 1e6;
+  const double elapsed = seconds_between(started_, Clock::now());
+  doc.set("worker_busy_seconds", obs::Json(busy_seconds));
+  doc.set("uptime_seconds", obs::Json(elapsed));
+  doc.set("worker_utilization",
+          obs::Json(elapsed > 0 ? busy_seconds /
+                                      (elapsed * static_cast<double>(workers_.size()))
+                                : 0.0));
+
+  obs::Json latency = obs::Json::object();
+  const auto lat = registry.histogram("serve.request_latency").snapshot();
+  latency.set("count", obs::Json(lat.count));
+  latency.set("p50_ms", obs::Json(lat.p50 * 1e3));
+  latency.set("p90_ms", obs::Json(lat.p90 * 1e3));
+  latency.set("p99_ms", obs::Json(lat.p99 * 1e3));
+  latency.set("max_ms", obs::Json(lat.max * 1e3));
+  doc.set("request_latency", std::move(latency));
+  return doc;
+}
+
+}  // namespace srna::serve

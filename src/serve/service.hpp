@@ -1,0 +1,185 @@
+// QueryService — the concurrent MCOS query service.
+//
+// A pool of std::thread workers drains a bounded admission queue of
+// ServeRequests, dispatches each through the McosEngine registry (per-thread
+// pooled Workspaces, so steady-state solves allocate nothing), and answers
+// through a caller-supplied completion callback. Production behaviors, in
+// the order a request meets them:
+//
+//   admission   try_push on the bounded queue; a full queue rejects
+//               synchronously with a retry-after hint derived from the
+//               current depth and the observed solve-time EWMA (explicit
+//               backpressure, never unbounded queueing).
+//   resolution  dot-bracket literals are parsed / db names resolved on the
+//               worker, off the submitter's thread.
+//   cache       completed solves are memoized in a sharded LRU keyed by the
+//               canonical (A, B, config) digest; a hit skips the solver.
+//   deadline    each request carries an absolute deadline. Expiry while
+//               queued is detected at pop; expiry mid-solve is enforced by
+//               the deadline-monitor thread flipping the request's cancel
+//               flag, which the solver polls at slice boundaries
+//               (SolveCancelled). Either way the client gets a "timeout"
+//               response — never a torn result, never silence.
+//   drain       stop() closes the queue, lets workers finish every accepted
+//               request, then joins. Exactly one response per accepted
+//               request, always.
+//
+// The pool is std::thread (not OpenMP) on purpose: every synchronization
+// primitive here is TSan-modeled, making serve the first subsystem with
+// end-to-end race coverage (scripts/check_tsan.sh runs the serve suite).
+//
+// Metrics (obs Registry): serve.requests, serve.responses_{ok,timeout,
+// rejected,error}, serve.admission_rejects, serve.deadline_{queue,solve}_
+// expirations, serve.cache_{hits,misses,evictions}, serve.queue_depth
+// (gauge), serve.queue_wait / serve.solve_seconds / serve.request_latency
+// (histograms), serve.worker_busy_us. stats_json() snapshots everything a
+// run report needs, including worker utilization.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "db/structure_db.hpp"
+#include "engine/engine.hpp"
+#include "serve/cache.hpp"
+#include "serve/protocol.hpp"
+#include "serve/queue.hpp"
+
+namespace srna::serve {
+
+// Flips request cancel flags when their deadlines pass. One monitor thread
+// sleeps until the earliest registered deadline; watch()/release() bracket a
+// worker's solve. Lazy deletion: released tickets stay in the heap until
+// they surface and are discarded.
+class DeadlineMonitor {
+ public:
+  DeadlineMonitor();
+  ~DeadlineMonitor();
+
+  DeadlineMonitor(const DeadlineMonitor&) = delete;
+  DeadlineMonitor& operator=(const DeadlineMonitor&) = delete;
+
+  using Clock = std::chrono::steady_clock;
+
+  // Registers `flag` to be set to true at `deadline` (unless released
+  // first). Returns the ticket for release().
+  std::uint64_t watch(Clock::time_point deadline, std::shared_ptr<std::atomic<bool>> flag);
+  void release(std::uint64_t ticket);
+
+  void stop();  // joins the monitor thread; pending flags are left unset
+
+ private:
+  struct Watch {
+    Clock::time_point deadline;
+    std::uint64_t ticket;
+    // Min-heap by deadline.
+    bool operator>(const Watch& other) const noexcept { return deadline > other.deadline; }
+  };
+
+  void run();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::vector<Watch> heap_;  // std::push_heap/pop_heap with std::greater
+  std::unordered_map<std::uint64_t, std::shared_ptr<std::atomic<bool>>> active_;
+  std::uint64_t next_ticket_ = 1;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+struct ServiceConfig {
+  int workers = 4;                   // clamped to >= 1
+  std::size_t queue_capacity = 64;   // admission queue slots
+  CacheConfig cache;                 // result cache (capacity 0 disables)
+  double default_deadline_ms = 0;    // applied when a request carries none (0 = unlimited)
+  std::string default_algorithm = "srna2";
+  // Optional name-resolution corpus for a_name/b_name requests. Not owned;
+  // must outlive the service and must not be mutated while serving (lookups
+  // run concurrently on workers).
+  const StructureDatabase* db = nullptr;
+};
+
+class QueryService {
+ public:
+  explicit QueryService(ServiceConfig config);
+  ~QueryService();  // drains
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  using Callback = std::function<void(const ServeResponse&)>;
+
+  // Admission. Returns true when the request was queued; the callback will
+  // run exactly once, on a worker thread. Returns false when admission
+  // failed (queue full or draining) — the callback has already run inline
+  // with a "rejected" response. Either way, every submit produces exactly
+  // one response.
+  bool submit(ServeRequest request, Callback done);
+
+  // Conveniences for tests and the in-process load generator.
+  [[nodiscard]] std::future<ServeResponse> solve_async(ServeRequest request);
+  [[nodiscard]] ServeResponse solve(ServeRequest request);
+
+  // Graceful drain: stop admitting, complete every accepted request, join
+  // the workers and the deadline monitor. Idempotent; implied by ~QueryService.
+  void drain();
+
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.depth(); }
+  [[nodiscard]] bool draining() const { return queue_.closed(); }
+  [[nodiscard]] const ServiceConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const ResultCache& cache() const noexcept { return cache_; }
+
+  // Everything a run report wants: request/response counts by status, cache
+  // stats, queue capacity/depth, latency percentiles (from the registry
+  // histograms), worker utilization since construction.
+  [[nodiscard]] obs::Json stats_json() const;
+
+ private:
+  struct Job {
+    ServeRequest request;
+    Callback done;
+    DeadlineMonitor::Clock::time_point admitted;
+    DeadlineMonitor::Clock::time_point deadline;  // time_point::max() = none
+  };
+
+  void worker_loop();
+  void process(Job job);
+  [[nodiscard]] ServeResponse solve_job(const Job& job);
+  void respond(const Job& job, ServeResponse response);
+  [[nodiscard]] double retry_after_ms_hint() const;
+
+  ServiceConfig config_;
+  ResultCache cache_;
+  BoundedQueue<Job> queue_;
+  DeadlineMonitor monitor_;
+  std::vector<std::thread> workers_;
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> responses_ok_{0};
+  std::atomic<std::uint64_t> responses_timeout_{0};
+  std::atomic<std::uint64_t> responses_error_{0};
+  std::atomic<std::uint64_t> worker_busy_us_{0};
+  // EWMA of solve seconds, for the retry-after hint (stored as double bits).
+  std::atomic<std::uint64_t> solve_ewma_bits_{0};
+  std::chrono::steady_clock::time_point started_;
+  bool drained_ = false;
+  std::mutex drain_mutex_;
+};
+
+// The cache-key fingerprint of everything outside the structure pair that
+// changes an answer: backend name + layout. Exposed for tests.
+[[nodiscard]] std::string config_fingerprint(const std::string& algorithm,
+                                             const SolverConfig& config);
+
+}  // namespace srna::serve

@@ -39,6 +39,39 @@ TEST(StructureDb, RejectsDuplicatesAndBadRecords) {
   EXPECT_THROW(d.add({"knot", knot, std::nullopt}), std::invalid_argument);
 }
 
+TEST(StructureDb, DuplicateNameGuardDistinguishesIdenticalFromShadowing) {
+  StructureDatabase d;
+  d.add({"a", worst_case_structure(10), std::nullopt});
+  // Re-adding the identical structure under the same name.
+  try {
+    d.add({"a", worst_case_structure(10), std::nullopt});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("identical structure"), std::string::npos);
+  }
+  // Same name, different structure: the dangerous shadowing case.
+  try {
+    d.add({"a", sequential_arcs_structure(10, 3), std::nullopt});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("different structure"), std::string::npos);
+  }
+  EXPECT_EQ(d.size(), 1u);
+}
+
+TEST(StructureDb, FindEquivalentLocatesContentUnderAnyName) {
+  StructureDatabase d;
+  d.add({"first", worst_case_structure(12), std::nullopt});
+  d.add({"other", sequential_arcs_structure(12, 4), std::nullopt});
+  // Same content filed under a second name is found at the lowest index.
+  d.add({"alias", worst_case_structure(12), std::nullopt});
+
+  EXPECT_EQ(d.find_equivalent(worst_case_structure(12)), 0u);
+  EXPECT_EQ(d.find_equivalent(sequential_arcs_structure(12, 4)), 1u);
+  EXPECT_EQ(d.find_equivalent(worst_case_structure(14)), StructureDatabase::npos);
+  EXPECT_EQ(d.find_equivalent(SecondaryStructure(12)), StructureDatabase::npos);
+}
+
 TEST(StructureDb, DirectoryRoundTrip) {
   const std::filesystem::path dir = "/tmp/srna_db_roundtrip";
   std::filesystem::remove_all(dir);

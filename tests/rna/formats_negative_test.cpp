@@ -1,0 +1,139 @@
+// Negative-path coverage for the CT/BPSEQ readers: every rejection must
+// throw std::invalid_argument naming the offending 1-based source line, so a
+// user staring at a 3000-line .ct file knows where to look.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "rna/formats.hpp"
+
+namespace srna {
+namespace {
+
+// Runs `body`, asserts it throws std::invalid_argument whose message
+// contains every fragment (notably "line <n>").
+template <typename Body>
+void expect_parse_error(Body body, const std::vector<std::string>& fragments) {
+  try {
+    body();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    for (const std::string& fragment : fragments)
+      EXPECT_NE(what.find(fragment), std::string::npos)
+          << "message missing '" << fragment << "': " << what;
+  }
+}
+
+TEST(FormatsNegative, CtTruncatedFileNamesLastLine) {
+  std::stringstream ss(
+      "4 truncated\n"
+      "1 G 0 2 4 1\n"
+      "2 A 1 3 0 2\n");
+  expect_parse_error([&] { read_ct(ss); },
+                     {"CT parse error at line 3", "truncated", "declared 4", "got 2"});
+}
+
+TEST(FormatsNegative, CtAsymmetricPairColumnsNameTheDeclaringLine) {
+  // Base 1 claims partner 4, but base 4 claims partner 2.
+  std::stringstream ss(
+      "4 bad\n"
+      "1 G 0 2 4 1\n"
+      "2 A 1 3 4 2\n"
+      "3 A 2 4 0 3\n"
+      "4 C 3 5 2 4\n");
+  expect_parse_error([&] { read_ct(ss); },
+                     {"CT parse error at line 2", "asymmetric bond 1 -> 4"});
+}
+
+TEST(FormatsNegative, CtPartnerOutOfRangeNamesLine) {
+  std::stringstream ss(
+      "2 oob\n"
+      "1 A 0 2 9 1\n"
+      "2 U 1 3 0 2\n");
+  expect_parse_error([&] { read_ct(ss); },
+                     {"CT parse error at line 2", "partner index 9 out of range"});
+}
+
+TEST(FormatsNegative, CtCrossingArcsRejectedWithBothBondsAndLines) {
+  // Arcs 1-3 and 2-4 cross (a pseudoknot). Comment lines shift the source
+  // line numbers away from the base indices, which the message must survive.
+  std::stringstream ss(
+      "# leading comment\n"
+      "4 knot\n"
+      "1 A 0 2 3 1\n"
+      "2 C 1 3 4 2\n"
+      "3 U 2 4 1 3\n"
+      "4 G 3 5 2 4\n");
+  expect_parse_error([&] { read_ct(ss); },
+                     {"CT parse error at line 4", "crossing arcs", "pseudoknot",
+                      "2-4", "1-3", "from line 3"});
+}
+
+TEST(FormatsNegative, CtCrossingArcsAcceptedWhenPseudoknotsAllowed) {
+  std::stringstream ss(
+      "4 knot\n"
+      "1 A 0 2 3 1\n"
+      "2 C 1 3 4 2\n"
+      "3 U 2 4 1 3\n"
+      "4 G 3 5 2 4\n");
+  ParseOptions permissive;
+  permissive.allow_pseudoknots = true;
+  const AnnotatedStructure rec = read_ct(ss, permissive);
+  EXPECT_EQ(rec.structure.arc_count(), 2u);
+}
+
+TEST(FormatsNegative, BpseqInconsistentPairColumnsNameTheLine) {
+  std::stringstream ss(
+      "1 A 3\n"
+      "2 C 0\n"
+      "3 U 2\n");  // 1 says partner 3; 3 says partner 2
+  expect_parse_error([&] { read_bpseq(ss); },
+                     {"BPSEQ parse error at line 1", "asymmetric bond 1 -> 3"});
+}
+
+TEST(FormatsNegative, BpseqSelfPairNamesLine) {
+  std::stringstream ss("1 A 1\n");
+  expect_parse_error([&] { read_bpseq(ss); },
+                     {"BPSEQ parse error at line 1", "paired with itself"});
+}
+
+TEST(FormatsNegative, BpseqCrossingArcsRejectedByDefault) {
+  std::stringstream ss(
+      "# title line\n"
+      "1 A 3\n"
+      "2 C 4\n"
+      "3 U 1\n"
+      "4 G 2\n");
+  expect_parse_error([&] { read_bpseq(ss); },
+                     {"BPSEQ parse error at line 3", "crossing arcs", "from line 2"});
+}
+
+TEST(FormatsNegative, BpseqBadColumnsAndIndices) {
+  std::stringstream two_cols("1 A\n");
+  expect_parse_error([&] { read_bpseq(two_cols); },
+                     {"BPSEQ parse error at line 1", "expected 3 columns"});
+  std::stringstream bad_order("1 A 0\n3 C 0\n");
+  expect_parse_error([&] { read_bpseq(bad_order); },
+                     {"BPSEQ parse error at line 2", "out-of-order"});
+}
+
+TEST(FormatsNegative, ReadStructureFileSurfacesLineNumbersFromDisk) {
+  const std::string path = "/tmp/srna_formats_negative_test.ct";
+  {
+    std::ofstream out(path);
+    out << "3 truncated-on-disk\n1 A 0 2 0 1\n";
+  }
+  expect_parse_error([&] { read_structure_file(path); },
+                     {"CT parse error at line 2", "truncated"});
+
+  EXPECT_THROW(read_structure_file("/tmp/srna_no_such_file.ct"), std::invalid_argument);
+  EXPECT_THROW(read_structure_file("/tmp/srna_bad_extension.xyz"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace srna

@@ -1,0 +1,70 @@
+#include "rna/structure_hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "rna/dot_bracket.hpp"
+#include "rna/generators.hpp"
+
+namespace srna {
+namespace {
+
+TEST(StructureHash, EqualStructuresHashEqually) {
+  const auto a = parse_dot_bracket("((.(..).))");
+  const auto b = parse_dot_bracket("((.(..).))");
+  EXPECT_EQ(hash_structure(a), hash_structure(b));
+  EXPECT_TRUE(StructureEq::same_structure(a, b));
+  EXPECT_TRUE(StructureEq{}(a, b));
+}
+
+TEST(StructureHash, SensitiveToArcsAndLength) {
+  const auto base = parse_dot_bracket("((..))");
+  // Same length, different arcs.
+  EXPECT_NE(hash_structure(base), hash_structure(parse_dot_bracket("(()).." )));
+  // Same arcs, longer tail of unpaired bases.
+  EXPECT_NE(hash_structure(base), hash_structure(parse_dot_bracket("((..)).")));
+  EXPECT_FALSE(StructureEq::same_structure(base, parse_dot_bracket("((..)).")));
+  // Arc-free structures of different lengths.
+  EXPECT_NE(hash_structure(SecondaryStructure(4)), hash_structure(SecondaryStructure(5)));
+}
+
+TEST(StructureHash, SequenceAndTitleDoNotParticipate) {
+  // hash_structure sees only (length, arcs): two parses of the same text are
+  // the canonical check here — there is nothing else to vary.
+  const auto s = rrna_like_structure(100, 20, 7);
+  EXPECT_EQ(hash_structure(s), hash_structure(s));
+}
+
+TEST(StructureHash, PairHashIsOrderSensitiveAndSeeded) {
+  const auto a = parse_dot_bracket("((..))");
+  const auto b = parse_dot_bracket("(..)");
+  EXPECT_NE(hash_structure_pair(a, b), hash_structure_pair(b, a));
+  EXPECT_NE(hash_structure_pair(a, b, 1), hash_structure_pair(a, b, 2));
+  EXPECT_EQ(hash_structure_pair(a, b, 5), hash_structure_pair(a, b, 5));
+}
+
+TEST(StructureHash, IntoComposesWithOffsetBasis) {
+  const auto s = parse_dot_bracket("((..))");
+  EXPECT_EQ(hash_structure(s), hash_structure_into(kFnvOffsetBasis, s));
+}
+
+TEST(StructureHash, SpreadsRandomStructures) {
+  // Not a collision proof — just a sanity check that distinct structures do
+  // not pile onto a few digests.
+  std::unordered_set<std::uint64_t> digests;
+  for (std::uint64_t seed = 0; seed < 200; ++seed)
+    digests.insert(hash_structure(random_structure(60, 0.4, seed)));
+  EXPECT_GT(digests.size(), 195u);
+}
+
+TEST(StructureHash, WorksAsUnorderedContainerFunctors) {
+  std::unordered_set<SecondaryStructure, StructureHash, StructureEq> seen;
+  seen.insert(parse_dot_bracket("((..))"));
+  seen.insert(parse_dot_bracket("((..))"));
+  seen.insert(parse_dot_bracket("(..)"));
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+}  // namespace
+}  // namespace srna

@@ -1,0 +1,131 @@
+#include "serve/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rna/dot_bracket.hpp"
+#include "rna/generators.hpp"
+
+namespace srna::serve {
+namespace {
+
+CacheKey key_for(const char* a, const char* b, std::string fingerprint = "srna2/dense") {
+  return CacheKey::make(parse_dot_bracket(a), parse_dot_bracket(b), std::move(fingerprint));
+}
+
+TEST(ResultCache, MissThenHit) {
+  ResultCache cache({16, 2});
+  const CacheKey key = key_for("((..))", "(..)");
+  EXPECT_FALSE(cache.get(key).has_value());
+  cache.put(key_for("((..))", "(..)"), 3);
+  const auto hit = cache.get(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 3);
+
+  const ResultCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.footprint_bytes, 0u);
+}
+
+TEST(ResultCache, KeyDistinguishesOrderConfigAndStructure) {
+  ResultCache cache({16, 1});
+  cache.put(key_for("((..))", "(..)"), 3);
+  EXPECT_FALSE(cache.get(key_for("(..)", "((..))")).has_value());  // order matters
+  EXPECT_FALSE(cache.get(key_for("((..))", "(..)", "srna1/dense")).has_value());
+  EXPECT_FALSE(cache.get(key_for("((..))", "(...)")).has_value());
+  EXPECT_TRUE(cache.get(key_for("((..))", "(..)")).has_value());
+}
+
+TEST(ResultCache, ExactEqualityGuardsAgainstDigestCollisions) {
+  // Forge a collision: same digest, different canonical form. The cache must
+  // treat them as distinct keys (chained in the same bucket), never confuse
+  // their values.
+  CacheKey real = key_for("((..))", "(..)");
+  CacheKey forged = key_for("(())..", "()..");
+  forged.digest = real.digest;
+
+  ResultCache cache({16, 2});
+  cache.put(real, 3);
+  EXPECT_FALSE(cache.get(forged).has_value());
+  cache.put(forged, 7);
+  EXPECT_EQ(cache.get(real).value(), 3);
+  EXPECT_EQ(cache.get(forged).value(), 7);
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsedPerShard) {
+  // One shard, capacity 2: inserting a third key evicts the stalest.
+  ResultCache cache({2, 1});
+  const CacheKey k1 = key_for("()", "()");
+  const CacheKey k2 = key_for("(())", "()");
+  const CacheKey k3 = key_for("((()))", "()");
+  cache.put(k1, 1);
+  cache.put(k2, 2);
+  ASSERT_TRUE(cache.get(k1).has_value());  // refresh k1: k2 is now LRU
+  cache.put(k3, 3);
+
+  EXPECT_TRUE(cache.get(k1).has_value());
+  EXPECT_FALSE(cache.get(k2).has_value());  // evicted
+  EXPECT_TRUE(cache.get(k3).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(ResultCache, PutRefreshesExistingKey) {
+  ResultCache cache({4, 1});
+  cache.put(key_for("()", "()"), 1);
+  cache.put(key_for("()", "()"), 5);  // racing workers solving the same pair
+  EXPECT_EQ(cache.get(key_for("()", "()")).value(), 5);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(ResultCache, ZeroCapacityDisables) {
+  ResultCache cache({0, 4});
+  cache.put(key_for("()", "()"), 1);
+  EXPECT_FALSE(cache.get(key_for("()", "()")).has_value());
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ResultCache, ClearEmptiesEveryShard) {
+  ResultCache cache({64, 4});
+  for (int i = 0; i < 20; ++i) {
+    const auto s = random_structure(40, 0.4, static_cast<std::uint64_t>(i));
+    cache.put(CacheKey::make(s, s, "f"), static_cast<Score>(i));
+  }
+  EXPECT_GT(cache.stats().entries, 0u);
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ResultCache, ConcurrentGetPutIsCoherent) {
+  // Hammer a small keyspace from several threads; every hit must return the
+  // value that was put for exactly that key.
+  ResultCache cache({32, 4});
+  std::vector<CacheKey> keys;
+  for (int i = 0; i < 8; ++i) {
+    const auto s = random_structure(30, 0.4, static_cast<std::uint64_t>(i));
+    keys.push_back(CacheKey::make(s, s, "f"));
+  }
+
+  std::vector<std::thread> threads;
+  std::atomic<int> wrong{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 2000; ++round) {
+        const std::size_t i = static_cast<std::size_t>((round + t) % 8);
+        cache.put(keys[i], static_cast<Score>(i));
+        const auto hit = cache.get(keys[i]);
+        if (hit.has_value() && *hit != static_cast<Score>(i)) wrong.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(wrong.load(), 0);
+}
+
+}  // namespace
+}  // namespace srna::serve

@@ -1,0 +1,110 @@
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace srna::serve {
+namespace {
+
+TEST(Protocol, ParsesLiteralPairRequest) {
+  const ServeRequest req =
+      parse_request(R"json({"id": 7, "a": "((..))", "b": "(..)", "deadline_ms": 50})json");
+  EXPECT_EQ(req.id, 7);
+  EXPECT_EQ(req.a, "((..))");
+  EXPECT_EQ(req.b, "(..)");
+  EXPECT_FALSE(req.by_name());
+  EXPECT_DOUBLE_EQ(req.deadline_ms, 50.0);
+  EXPECT_FALSE(req.no_cache);
+}
+
+TEST(Protocol, ParsesNamePairRequest) {
+  const ServeRequest req = parse_request(
+      R"json({"id": 1, "a_name": "rrna1", "b_name": "rrna2", "algorithm": "srna1", "no_cache": true})json");
+  EXPECT_TRUE(req.by_name());
+  EXPECT_EQ(req.a_name, "rrna1");
+  EXPECT_EQ(req.b_name, "rrna2");
+  EXPECT_EQ(req.algorithm, "srna1");
+  EXPECT_TRUE(req.no_cache);
+}
+
+TEST(Protocol, RequestRoundTripsThroughToLine) {
+  ServeRequest req;
+  req.id = 42;
+  req.a = "((..))";
+  req.b = "(..)";
+  req.algorithm = "srna2";
+  req.deadline_ms = 10;
+  const ServeRequest back = parse_request(req.to_line());
+  EXPECT_EQ(back.id, req.id);
+  EXPECT_EQ(back.a, req.a);
+  EXPECT_EQ(back.b, req.b);
+  EXPECT_EQ(back.algorithm, req.algorithm);
+  EXPECT_DOUBLE_EQ(back.deadline_ms, req.deadline_ms);
+}
+
+TEST(Protocol, RejectsMalformedRequests) {
+  EXPECT_THROW(parse_request("not json"), std::invalid_argument);
+  EXPECT_THROW(parse_request("[1,2]"), std::invalid_argument);
+  EXPECT_THROW(parse_request(R"json({"id": 1})json"), std::invalid_argument);  // no pair
+  EXPECT_THROW(parse_request(R"json({"id": 1, "a": "()"})json"), std::invalid_argument);  // half a pair
+  EXPECT_THROW(parse_request(R"json({"id": 1, "a_name": "x"})json"), std::invalid_argument);
+  EXPECT_THROW(parse_request(R"json({"a": "()", "b": "()", "a_name": "x", "b_name": "y"})json"),
+               std::invalid_argument);  // both forms
+  EXPECT_THROW(parse_request(R"json({"a": "()", "b": "()", "typo_field": 1})json"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_request(R"json({"a": "()", "b": "()", "deadline_ms": -5})json"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_request(R"json({"a": "()", "b": "()", "layout": "sparse"})json"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_request(R"json({"a": 3, "b": "()"})json"), std::invalid_argument);
+}
+
+TEST(Protocol, OkResponseRoundTrips) {
+  ServeResponse resp;
+  resp.id = 9;
+  resp.status = ResponseStatus::kOk;
+  resp.value = 17;
+  resp.normalized = 0.85;
+  resp.cache_hit = true;
+  resp.latency_ms = 1.25;
+  resp.algorithm = "srna2";
+  const ServeResponse back = ServeResponse::from_line(resp.to_line());
+  EXPECT_EQ(back.id, 9);
+  EXPECT_EQ(back.status, ResponseStatus::kOk);
+  EXPECT_EQ(back.value, 17);
+  EXPECT_DOUBLE_EQ(back.normalized, 0.85);
+  EXPECT_TRUE(back.cache_hit);
+  EXPECT_DOUBLE_EQ(back.latency_ms, 1.25);
+  EXPECT_EQ(back.algorithm, "srna2");
+}
+
+TEST(Protocol, RejectedResponseCarriesRetryAfter) {
+  ServeResponse resp;
+  resp.id = 3;
+  resp.status = ResponseStatus::kRejected;
+  resp.retry_after_ms = 12.5;
+  resp.error = "queue full";
+  const ServeResponse back = ServeResponse::from_line(resp.to_line());
+  EXPECT_EQ(back.status, ResponseStatus::kRejected);
+  EXPECT_DOUBLE_EQ(back.retry_after_ms, 12.5);
+  EXPECT_EQ(back.error, "queue full");
+  // ok-only fields are absent from the wire form.
+  EXPECT_FALSE(resp.to_json().contains("value"));
+  EXPECT_FALSE(resp.to_json().contains("cache_hit"));
+}
+
+TEST(Protocol, TimeoutAndErrorStatusesRoundTrip) {
+  for (const ResponseStatus status : {ResponseStatus::kTimeout, ResponseStatus::kError}) {
+    ServeResponse resp;
+    resp.status = status;
+    resp.error = "detail";
+    EXPECT_EQ(ServeResponse::from_line(resp.to_line()).status, status);
+  }
+  EXPECT_THROW(ServeResponse::from_line(R"json({"id": 1, "status": "wat"})json"),
+               std::invalid_argument);
+  EXPECT_THROW(ServeResponse::from_line("garbage"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace srna::serve

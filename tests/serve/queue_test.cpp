@@ -1,0 +1,84 @@
+#include "serve/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace srna::serve {
+namespace {
+
+TEST(BoundedQueue, AcceptsUpToCapacityThenReportsFull) {
+  BoundedQueue<int> q(2);
+  EXPECT_EQ(q.try_push(1), PushResult::kAccepted);
+  EXPECT_EQ(q.try_push(2), PushResult::kAccepted);
+  EXPECT_EQ(q.try_push(3), PushResult::kFull);
+  EXPECT_EQ(q.depth(), 2u);
+
+  // Popping frees a slot.
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.try_push(3), PushResult::kAccepted);
+}
+
+TEST(BoundedQueue, CloseDrainsQueuedItemsBeforeSignallingShutdown) {
+  BoundedQueue<int> q(8);
+  ASSERT_EQ(q.try_push(1), PushResult::kAccepted);
+  ASSERT_EQ(q.try_push(2), PushResult::kAccepted);
+  q.close();
+  EXPECT_EQ(q.try_push(3), PushResult::kClosed);
+  // Items accepted before close() are still delivered, in order.
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_FALSE(q.pop().has_value());
+  // Idempotent.
+  q.close();
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, CloseWakesBlockedPoppers) {
+  BoundedQueue<int> q(4);
+  std::vector<std::thread> poppers;
+  std::atomic<int> woke{0};
+  for (int i = 0; i < 3; ++i) {
+    poppers.emplace_back([&] {
+      EXPECT_FALSE(q.pop().has_value());
+      woke.fetch_add(1);
+    });
+  }
+  q.close();
+  for (std::thread& t : poppers) t.join();
+  EXPECT_EQ(woke.load(), 3);
+}
+
+TEST(BoundedQueue, ConcurrentPushersAndPoppersLoseNothing) {
+  BoundedQueue<int> q(16);
+  constexpr int kPushers = 4;
+  constexpr int kPerPusher = 500;
+  std::atomic<int> accepted{0};
+  std::atomic<int> popped{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kPushers; ++p) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerPusher; ++i) {
+        // Spin until accepted: models a retrying client.
+        while (q.try_push(int{i}) != PushResult::kAccepted) std::this_thread::yield();
+        accepted.fetch_add(1);
+      }
+    });
+  }
+  for (int c = 0; c < 3; ++c) {
+    threads.emplace_back([&] {
+      while (q.pop().has_value()) popped.fetch_add(1);
+    });
+  }
+  for (int p = 0; p < kPushers; ++p) threads[static_cast<std::size_t>(p)].join();
+  q.close();
+  for (std::size_t t = kPushers; t < threads.size(); ++t) threads[t].join();
+
+  EXPECT_EQ(accepted.load(), kPushers * kPerPusher);
+  EXPECT_EQ(popped.load(), kPushers * kPerPusher);
+}
+
+}  // namespace
+}  // namespace srna::serve

@@ -38,11 +38,16 @@ struct LoadedStructure {
 
 // A structure argument is a file path when it names an existing file or has
 // a structure-file extension; otherwise it is parsed as dot-bracket.
+// Pseudoknots are allowed here — show/validate/convert inspect knotted
+// structures, and the commands that cannot handle them (compare, search)
+// reject with the solver's own precondition message.
 LoadedStructure load_structure(const std::string& spec) {
   const bool looks_like_file = std::filesystem::exists(spec) || spec.ends_with(".ct") ||
                                spec.ends_with(".bpseq");
   if (looks_like_file) {
-    AnnotatedStructure rec = read_structure_file(spec);
+    ParseOptions permissive;
+    permissive.allow_pseudoknots = true;
+    AnnotatedStructure rec = read_structure_file(spec, permissive);
     return LoadedStructure{std::move(rec.structure), std::move(rec.sequence), spec};
   }
   return LoadedStructure{parse_dot_bracket(spec), std::nullopt, "dot-bracket literal"};

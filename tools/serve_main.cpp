@@ -1,0 +1,95 @@
+// srna-serve — the MCOS query service daemon.
+//
+// Two transports, same JSON-lines protocol (docs/SERVING.md):
+//   --offline        requests on stdin, responses on stdout; exits at EOF
+//                    after draining. This is what tests and CI drive.
+//   --port=N         TCP listener (default loopback; --port=0 picks an
+//                    ephemeral port and prints it). Runs until SIGINT/SIGTERM,
+//                    then stops the listener and drains in-flight requests.
+//
+// Service stats go to stderr on shutdown; --metrics/--report/--trace attach
+// the obs subsystem exactly as in the main CLI.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <iostream>
+#include <thread>
+
+#include "db/structure_db.hpp"
+#include "obs/session.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace srna;
+
+  CliParser cli("srna-serve", "MCOS query service (JSON-lines over stdin/stdout or TCP)");
+  cli.add_flag("offline", "serve stdin/stdout instead of a TCP socket");
+  cli.add_option("host", "TCP listen address", "127.0.0.1");
+  cli.add_option("port", "TCP port (0 = ephemeral, printed on startup)", "7533");
+  cli.add_option("db", "structure database directory for a_name/b_name requests", "");
+  cli.add_option("workers", "worker threads", "4");
+  cli.add_option("queue-capacity", "admission queue slots (backpressure beyond this)", "64");
+  cli.add_option("cache-entries", "result cache capacity (0 disables)", "4096");
+  cli.add_option("cache-shards", "result cache shard count", "8");
+  cli.add_option("deadline-ms", "default per-request deadline (0 = none)", "0");
+  cli.add_option("algorithm", "default engine backend", "srna2");
+  obs::ObsSession::add_cli_options(cli);
+
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    obs::ObsSession obs_session(obs::ObsSession::paths_from_cli(cli), "srna-serve");
+    obs_session.report().set_command_line(argc, argv);
+
+    StructureDatabase db;
+    serve::ServiceConfig config;
+    config.workers = static_cast<int>(cli.integer("workers"));
+    config.queue_capacity = static_cast<std::size_t>(cli.integer("queue-capacity"));
+    config.cache.capacity = static_cast<std::size_t>(cli.integer("cache-entries"));
+    config.cache.shards = static_cast<std::size_t>(cli.integer("cache-shards"));
+    config.default_deadline_ms = cli.real("deadline-ms");
+    config.default_algorithm = cli.str("algorithm");
+    if (!cli.str("db").empty()) {
+      db = StructureDatabase::load_directory(cli.str("db"));
+      std::cerr << "loaded " << db.size() << " structures from " << cli.str("db") << "\n";
+      config.db = &db;
+    }
+
+    serve::QueryService service(config);
+
+    if (cli.flag("offline")) {
+      const std::size_t lines = serve::run_offline(service, std::cin, std::cout);
+      service.drain();
+      std::cerr << "served " << lines << " requests\n";
+    } else {
+      std::signal(SIGINT, handle_signal);
+      std::signal(SIGTERM, handle_signal);
+      serve::TcpServer server(service, cli.str("host"),
+                              static_cast<std::uint16_t>(cli.integer("port")));
+      std::cerr << "listening on " << cli.str("host") << ":" << server.port() << "\n";
+      while (!g_stop.load(std::memory_order_relaxed))
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      std::cerr << "shutting down: draining in-flight requests\n";
+      server.stop();
+      service.drain();
+    }
+
+    std::cerr << service.stats_json().dump(2) << "\n";
+    obs_session.report().set("service", service.stats_json());
+    for (const std::string& path : obs_session.finish()) std::cerr << "wrote " << path << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "srna-serve: " << e.what() << "\n";
+    return 1;
+  }
+}
