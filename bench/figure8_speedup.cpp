@@ -33,6 +33,11 @@ int main(int argc, char** argv) {
   cli.add_option("cell-seconds", "cell time [s]; 0 = calibrate on this machine", "0");
   cli.add_option("balance", "lpt | block | cyclic", "lpt");
   cli.add_option("real-threads", "threads for the real PRNA cross-check (0 = skip)", "2");
+  cli.add_option("schedule-threads",
+                 "thread counts for the real schedule comparison (static vs dynamic vs "
+                 "stealing; skipped when --real-threads=0)", "1,2,4");
+  cli.add_flag("skip-rrna", "omit the Table II rRNA pair from the schedule comparison "
+               "(keeps only the L=400 worst case)");
   cli.add_flag("csv", "emit CSV instead of the aligned table");
   cli.add_option("report", "run-report path (default BENCH_figure8_speedup.json; none = skip)",
                  "");
@@ -117,6 +122,84 @@ int main(int argc, char** argv) {
     obs::Json check = std::move(r.detail);
     check.set("wall_seconds", obs::Json(timer.seconds()));
     bench_report.report().set("real_prna_cross_check", std::move(check));
+  }
+
+  // Real schedule comparison: the two barrier schedules against the
+  // barrier-free dependency-driven one (kStealing), with the synchronization
+  // cost each pays — barrier_wait for the level schedules, steal_idle for
+  // the stealing one. Rows land in the run report as schedule_rows so the
+  // benchmark trajectory captures the scheduling win, not just totals.
+  if (threads > 0) {
+    struct ScheduleCase {
+      const char* name;
+      PrnaSchedule schedule;
+    };
+    const ScheduleCase schedules[] = {{"static", PrnaSchedule::kStaticColumns},
+                                      {"dynamic", PrnaSchedule::kDynamic},
+                                      {"stealing", PrnaSchedule::kStealing}};
+    std::vector<std::pair<std::string, SecondaryStructure>> instances;
+    instances.emplace_back("worst_case_L400", worst_case_structure(400));
+    if (!cli.flag("skip-rrna"))
+      instances.emplace_back("fungus_rrna_4216x721", rrna_like_structure(4216, 721, 2012));
+
+    bench::print_header(
+        "Schedule comparison — barrier (static/dynamic) vs dependency-driven (stealing)",
+        "stage-one synchronization cost on this host; Table II pair + L400 worst case");
+    TablePrinter sched_table({"instance", "schedule", "threads", "wall[s]", "speedup",
+                              "barrier_wait[s]", "steal_idle[s]", "steals"});
+    obs::Json schedule_rows = obs::Json::array();
+    for (const auto& [iname, s] : instances) {
+      double base_wall = 0.0;
+      Score expected = 0;
+      bool have_expected = false;
+      for (const auto& sc : schedules) {
+        for (const auto th : cli.int_list("schedule-threads")) {
+          PrnaOptions opt;
+          opt.num_threads = static_cast<int>(th);
+          opt.schedule = sc.schedule;
+          WallTimer timer;
+          const auto r = prna(s, s, opt);
+          const double wall = timer.seconds();
+          if (!have_expected) {
+            expected = r.value;
+            have_expected = true;
+          } else if (r.value != expected) {
+            std::cerr << "schedule mismatch on " << iname << ": " << sc.name << "/" << th
+                      << " threads returned " << r.value << ", expected " << expected << "\n";
+            return 1;
+          }
+          if (sc.schedule == PrnaSchedule::kStaticColumns && th == cli.int_list("schedule-threads").front())
+            base_wall = wall;
+          double barrier_wait = 0.0, steal_idle = 0.0;
+          std::uint64_t steals = 0, ready_pushes = 0;
+          for (const auto& lane : r.timeline) {
+            barrier_wait += lane.barrier_wait_seconds;
+            steal_idle += lane.steal_idle_seconds;
+            steals += lane.steals;
+            ready_pushes += lane.ready_pushes;
+          }
+          sched_table.add_row({iname, sc.name, std::to_string(th), fixed(wall, 3),
+                               fixed(base_wall / wall, 2), fixed(barrier_wait, 3),
+                               fixed(steal_idle, 3), std::to_string(steals)});
+          obs::Json jrow = obs::Json::object();
+          jrow.set("instance", obs::Json(iname));
+          jrow.set("schedule", obs::Json(sc.name));
+          jrow.set("threads", obs::Json(th));
+          jrow.set("wall_seconds", obs::Json(wall));
+          jrow.set("speedup", obs::Json(base_wall / wall));
+          jrow.set("value", obs::Json(static_cast<std::int64_t>(r.value)));
+          jrow.set("barrier_wait_seconds", obs::Json(barrier_wait));
+          jrow.set("steal_idle_seconds", obs::Json(steal_idle));
+          jrow.set("steals", obs::Json(steals));
+          jrow.set("ready_pushes", obs::Json(ready_pushes));
+          schedule_rows.push(std::move(jrow));
+        }
+      }
+    }
+    sched_table.print(std::cout);
+    std::cout << "\nbarrier schedules pay barrier_wait; the stealing schedule replaces it\n"
+                 "with steal_idle (time with no runnable slice anywhere).\n";
+    bench_report.report().set("schedule_rows", std::move(schedule_rows));
   }
   return bench_report.write(cli.str("report")) ? 0 : 1;
 }

@@ -2,8 +2,21 @@
 // slice tabulation (dense/compressed), the full solvers on small inputs,
 // preprocessing (ArcIndex), generators, Nussinov folding, and load
 // balancing.
+//
+// `--smoke` switches to the dense-kernel perf gate instead: time the
+// event-run kernel and the per-cell reference on the Table I worst-case
+// pair, verify they produce identical grids and counters, and fail when
+// ns/cell regresses more than --max-regression over the recorded baseline
+// (bench/baselines/micro_kernels_smoke.json, refreshed with
+// --update-baseline). CTest runs this as bench_smoke_micro_kernels.
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+#include "bench_util.hpp"
 #include "core/arc_index.hpp"
 #include "core/mcos.hpp"
 #include "core/tabulate_slice.hpp"
@@ -11,6 +24,7 @@
 #include "parallel/load_balance.hpp"
 #include "rna/generators.hpp"
 #include "rna/nussinov.hpp"
+#include "util/cli.hpp"
 #include "util/prng.hpp"
 
 namespace srna {
@@ -21,14 +35,31 @@ Score zero_d2(Pos, Pos, Pos, Pos) { return 0; }
 void BM_DenseSliceKernel(benchmark::State& state) {
   const auto length = static_cast<Pos>(state.range(0));
   const auto s = worst_case_structure(length);
+  ColumnEvents events;
+  events.build(s);
   Matrix<Score> scratch;
   const SliceBounds bounds{0, length - 1, 0, length - 1};
   for (auto _ : state) {
-    benchmark::DoNotOptimize(tabulate_slice_dense(s, s, bounds, scratch, zero_d2));
+    benchmark::DoNotOptimize(tabulate_slice_dense(s, s, events, bounds, scratch, zero_d2));
   }
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(length) * length);
 }
 BENCHMARK(BM_DenseSliceKernel)->Arg(64)->Arg(256)->Arg(1024);
+
+// The per-cell loop the event-run kernel replaced, kept as the yardstick:
+// BM_DenseSliceKernel / BM_DenseSliceKernelReference is the kernel speedup.
+void BM_DenseSliceKernelReference(benchmark::State& state) {
+  const auto length = static_cast<Pos>(state.range(0));
+  const auto s = worst_case_structure(length);
+  Matrix<Score> scratch;
+  const SliceBounds bounds{0, length - 1, 0, length - 1};
+  for (auto _ : state) {
+    fill_slice_dense_reference(s, s, bounds, scratch, zero_d2);
+    benchmark::DoNotOptimize(scratch.row_data(0));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(length) * length);
+}
+BENCHMARK(BM_DenseSliceKernelReference)->Arg(64)->Arg(256)->Arg(1024);
 
 void BM_CompressedSliceKernel(benchmark::State& state) {
   const auto length = static_cast<Pos>(state.range(0));
@@ -109,7 +140,118 @@ void BM_LoadBalanceLpt(benchmark::State& state) {
 }
 BENCHMARK(BM_LoadBalanceLpt)->Arg(1000)->Arg(100000);
 
+// --smoke: the perf-regression gate. Exit codes: 0 pass, 1 regression or
+// I/O failure, 2 kernel mismatch (correctness, not perf).
+int run_smoke(int argc, char** argv) {
+  CliParser cli("micro_kernels", "dense-kernel perf gate (--smoke mode)");
+  cli.add_flag("smoke", "run the perf gate instead of the google-benchmark suite");
+  cli.add_option("length", "worst-case structure length (Table I pair)", "400");
+  cli.add_option("reps", "timing repetitions (best-of)", "9");
+  cli.add_option("baseline", "recorded baseline JSON to gate against (empty = no gate)", "");
+  cli.add_option("max-regression", "fail when ns/cell exceeds baseline by this factor", "1.25");
+  cli.add_flag("update-baseline", "rewrite --baseline with this run's numbers");
+  cli.add_option("output", "measured-numbers JSON (empty = BENCH_micro_kernels_smoke.json; "
+                 "none = skip)", "");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto n = static_cast<Pos>(cli.integer("length"));
+  const auto s = worst_case_structure(n);
+  const SliceBounds bounds{0, n - 1, 0, n - 1};
+  ColumnEvents events;
+  events.build(s);
+  Matrix<Score> grid, ref_grid;
+
+  // Correctness pin before timing anything: identical grids, identical
+  // accounting. A fast-but-wrong kernel must not pass the perf gate.
+  McosStats ev_stats, ref_stats;
+  fill_slice_dense(s, s, events, bounds, grid, zero_d2, &ev_stats);
+  fill_slice_dense_reference(s, s, bounds, ref_grid, zero_d2, &ref_stats);
+  for (std::size_t r = 0; r < ref_grid.rows(); ++r)
+    for (std::size_t c = 0; c < ref_grid.cols(); ++c)
+      if (grid(r, c) != ref_grid(r, c)) {
+        std::cerr << "kernel mismatch at (" << r << ", " << c << "): event-run "
+                  << grid(r, c) << " vs reference " << ref_grid(r, c) << "\n";
+        return 2;
+      }
+  if (ev_stats.cells_tabulated != ref_stats.cells_tabulated ||
+      ev_stats.arc_match_events != ref_stats.arc_match_events) {
+    std::cerr << "kernel accounting mismatch: cells " << ev_stats.cells_tabulated << " vs "
+              << ref_stats.cells_tabulated << ", arc events " << ev_stats.arc_match_events
+              << " vs " << ref_stats.arc_match_events << "\n";
+    return 2;
+  }
+
+  const auto reps = static_cast<int>(cli.integer("reps"));
+  const double cells = static_cast<double>(n) * static_cast<double>(n);
+  const double event_run_s = bench::time_best_of(
+      reps, [&] { fill_slice_dense(s, s, events, bounds, grid, zero_d2); });
+  const double reference_s = bench::time_best_of(
+      reps, [&] { fill_slice_dense_reference(s, s, bounds, ref_grid, zero_d2); });
+  const double event_ns = event_run_s * 1e9 / cells;
+  const double reference_ns = reference_s * 1e9 / cells;
+  std::cout << "dense slice kernel, worst-case L=" << n << " (" << cells << " cells, best of "
+            << reps << ")\n  event-run: " << event_ns << " ns/cell\n  reference: "
+            << reference_ns << " ns/cell\n  speedup:   " << reference_ns / event_ns << "x\n";
+
+  int exit_code = 0;
+  const std::string baseline_path = cli.str("baseline");
+  if (!baseline_path.empty() && !cli.flag("update-baseline")) {
+    std::ifstream in(baseline_path);
+    std::stringstream text;
+    text << in.rdbuf();
+    const auto baseline = in ? obs::Json::parse(text.str()) : std::nullopt;
+    const obs::Json* recorded = baseline ? baseline->find("event_run_ns_per_cell") : nullptr;
+    if (recorded == nullptr) {
+      std::cerr << "cannot read baseline " << baseline_path << "\n";
+      return 1;
+    }
+    const double budget = recorded->as_double() * cli.real("max-regression");
+    std::cout << "baseline: " << recorded->as_double() << " ns/cell (gate: " << budget
+              << ")\n";
+    if (event_ns > budget) {
+      std::cerr << "PERF REGRESSION: event-run kernel " << event_ns
+                << " ns/cell exceeds the gate " << budget << " (baseline "
+                << recorded->as_double() << " * " << cli.real("max-regression") << ")\n";
+      exit_code = 1;
+    }
+  }
+
+  obs::Json doc = obs::Json::object();
+  doc.set("kernel", obs::Json("fill_slice_dense"));
+  doc.set("structure", obs::Json("worst_case"));
+  doc.set("length", obs::Json(static_cast<std::int64_t>(n)));
+  doc.set("reps", obs::Json(static_cast<std::int64_t>(reps)));
+  doc.set("event_run_ns_per_cell", obs::Json(event_ns));
+  doc.set("reference_ns_per_cell", obs::Json(reference_ns));
+  doc.set("speedup", obs::Json(reference_ns / event_ns));
+  if (!baseline_path.empty() && cli.flag("update-baseline")) {
+    std::ofstream out(baseline_path);
+    out << doc.dump(2) << "\n";
+    if (!out) {
+      std::cerr << "cannot write baseline " << baseline_path << "\n";
+      return 1;
+    }
+    std::cout << "baseline updated: " << baseline_path << "\n";
+  }
+  if (cli.str("output") != "none") {
+    const std::string target =
+        cli.str("output").empty() ? "BENCH_micro_kernels_smoke.json" : cli.str("output");
+    std::ofstream out(target);
+    out << doc.dump(2) << "\n";
+    if (out) std::cout << "wrote " << target << "\n";
+  }
+  return exit_code;
+}
+
 }  // namespace
 }  // namespace srna
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::string_view(argv[i]) == "--smoke") return srna::run_smoke(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -12,9 +12,14 @@
 #                       cache, TCP + offline transports (all std::thread /
 #                       std::mutex, fully TSan-modeled), and
 #   * the mini-MPI runtime tests (std::thread + mutex/condvar, which TSan
-#     models exactly).
+#     models exactly), and
+#   * the work-stealing PRNA scheduler under its std::thread shim
+#     (PrnaOptions::use_std_threads): the Chase-Lev deques, the dependency
+#     counters, and the memo-table publication protocol, all fully
+#     TSan-modeled (tests/parallel/prna_test.cpp, PrnaStealingShim.*).
 #
-# The OpenMP solvers (PRNA) are deliberately excluded: GCC's libgomp is not
+# The OpenMP solvers (PRNA's barrier schedules, and the stealing schedule's
+# default dispatch) are deliberately excluded: GCC's libgomp is not
 # TSan-instrumented, so its barriers are invisible to the tool and every
 # barrier-ordered memo-table access reports as a false race. The ordering
 # guarantee those barriers provide is tested functionally instead
@@ -37,5 +42,6 @@ cmake --build "$BUILD_DIR" --target obs_tests serve_tests parallel_tests -j "$(n
 # pass/fail is the whole signal.
 ctest --test-dir "$BUILD_DIR" -L tsan --output-on-failure -j "$(nproc)"
 "$BUILD_DIR"/tests/parallel_tests --gtest_filter='MiniMpi*'
+"$BUILD_DIR"/tests/parallel_tests --gtest_filter='PrnaStealingShim.*'
 
 echo "tsan: all checked suites clean"

@@ -125,6 +125,8 @@ CheckpointedRun srna2_checkpointed(const SecondaryStructure& s1, const Secondary
   // Stage one from the first incomplete row.
   WallTimer phase;
   Matrix<Score> scratch;
+  ColumnEvents col_events;
+  col_events.build(s2);
   std::uint64_t rows_this_run = 0;
   std::uint64_t row = first_row;
   for (; row < run.rows_total; ++row) {
@@ -133,7 +135,8 @@ CheckpointedRun srna2_checkpointed(const SecondaryStructure& s1, const Secondary
     for (std::size_t b = 0; b < idx2.size(); ++b) {
       const Arc arc2 = idx2.arc(b);
       const Score value = tabulate_slice_dense(
-          s1, s2, SliceBounds::under(arc1.left, arc1.right, arc2.left, arc2.right), scratch,
+          s1, s2, col_events,
+          SliceBounds::under(arc1.left, arc1.right, arc2.left, arc2.right), scratch,
           d2_lookup, &stats);
       memo.set(arc1.left + 1, arc2.left + 1, value);
     }
@@ -165,8 +168,9 @@ CheckpointedRun srna2_checkpointed(const SecondaryStructure& s1, const Secondary
   // Stage two and cleanup.
   phase.reset();
   run.result.value =
-      tabulate_slice_dense(s1, s2, SliceBounds{0, s1.length() - 1, 0, s2.length() - 1},
-                           scratch, d2_lookup, &stats);
+      tabulate_slice_dense(s1, s2, col_events,
+                           SliceBounds{0, s1.length() - 1, 0, s2.length() - 1}, scratch,
+                           d2_lookup, &stats);
   stats.stage2_seconds = phase.seconds();
   run.result.stats = stats;
   run.complete = true;

@@ -31,7 +31,9 @@ class Enumerator {
  public:
   Enumerator(const SecondaryStructure& s1, const SecondaryStructure& s2, const MemoTable& memo,
              std::size_t limit)
-      : s1_(s1), s2_(s2), memo_(memo), limit_(limit) {}
+      : s1_(s1), s2_(s2), memo_(memo), limit_(limit) {
+    col_events_.build(s2);  // shared by every re-tabulated slice
+  }
 
   // All distinct match sets achieving the optimum of the slice over
   // `bounds` (capped at limit_; sets truncated_ when capped anywhere).
@@ -42,7 +44,7 @@ class Enumerator {
       return out;
     }
     Matrix<Score> grid;
-    fill_slice_dense(s1_, s2_, bounds, grid,
+    fill_slice_dense(s1_, s2_, col_events_, bounds, grid,
                      [&](Pos k1, Pos, Pos k2, Pos) { return memo_.get(k1 + 1, k2 + 1); });
 
     std::set<MatchSet, bool (*)(const MatchSet&, const MatchSet&)> dedup(set_less);
@@ -113,6 +115,7 @@ class Enumerator {
   const SecondaryStructure& s1_;
   const SecondaryStructure& s2_;
   const MemoTable& memo_;
+  ColumnEvents col_events_;
   std::size_t limit_;
   bool truncated_ = false;
 };

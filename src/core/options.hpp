@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <stdexcept>
 
 namespace srna {
@@ -76,6 +77,12 @@ struct McosOptions {
   [[nodiscard]] bool cancelled() const noexcept {
     return cancel != nullptr && cancel->load(std::memory_order_relaxed);
   }
+
+  // Test seam (SRNA1/SRNA2): invoked at each slice boundary, after the cancel
+  // poll and before the slice tabulates, with the number of slices already
+  // started. Lets tests flip `cancel` at an exact slice and assert the solver
+  // unwinds within one slice. Never set on hot production paths.
+  std::function<void(std::uint64_t)> slice_hook;
 };
 
 }  // namespace srna

@@ -39,6 +39,10 @@ class Srna1Runner {
     if (options_.layout == SliceLayout::kCompressed) {
       idx1_.emplace(s1);
       idx2_.emplace(s2);
+    } else {
+      // One S2 column-event table per solve; every recursion level's dense
+      // fill sweeps against it.
+      col_events_ = &workspace.column_events().build(s2);
     }
   }
 
@@ -86,7 +90,9 @@ class Srna1Runner {
   }
 
   void note_spawn(std::uint64_t depth) {
+    // Slice boundary: one cancel poll per spawned slice (never per row/cell).
     if (options_.cancelled()) throw SolveCancelled();
+    if (options_.slice_hook) options_.slice_hook(spawned_);
     stats_.max_spawn_depth = std::max(stats_.max_spawn_depth, depth);
     ++spawned_;
     if (options_.spawn_limit != 0 && spawned_ > options_.spawn_limit)
@@ -101,7 +107,7 @@ class Srna1Runner {
     // grids by recursion depth instead, so the parent's live grid survives a
     // child spawn and the allocations are reused across slices and solves.
     return tabulate_slice_dense(
-        s1_, s2_, b, workspace_.dense_grid(depth),
+        s1_, s2_, *col_events_, b, workspace_.dense_grid(depth),
         [&](Pos k1, Pos x, Pos k2, Pos y) { return child_value(k1, x, k2, y, depth); },
         &stats_);
   }
@@ -124,6 +130,7 @@ class Srna1Runner {
   std::unordered_map<std::uint64_t, Score> hash_memo_;
   std::optional<ArcIndex> idx1_;
   std::optional<ArcIndex> idx2_;
+  const ColumnEvents* col_events_ = nullptr;  // dense layout only
   std::uint64_t spawned_ = 0;
 };
 

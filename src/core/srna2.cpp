@@ -43,6 +43,9 @@ Score run_srna2(const SecondaryStructure& s1, const SecondaryStructure& s2,
   memo.fill(validate ? MemoTable::kUnset : Score{0});
   const ArcIndex idx1(s1);
   const ArcIndex idx2(s2);
+  // The event-run dense kernel's per-solve S2 column-event table, shared by
+  // every stage-one slice and stage two (O(m) to build; reuses capacity).
+  const ColumnEvents& col_events = scratch.column_events().build(s2);
   preprocess_span.close();
   stats.preprocess_seconds = phase.seconds();
 
@@ -59,18 +62,23 @@ Score run_srna2(const SecondaryStructure& s1, const SecondaryStructure& s2,
   obs::TraceScope stage1_span("srna2", "stage1");
   Matrix<Score>& dense_scratch = scratch.dense_grid(0);
   EventScratch& compressed_scratch = scratch.events(0);
+  std::uint64_t slices_started = 0;
   for (std::size_t a = 0; a < idx1.size(); ++a) {
     const Arc arc1 = idx1.arc(a);
     obs::TraceScope row_span("srna2", "row");
     if (row_span.active())
       row_span.set_args(obs::trace_args({{"row", static_cast<std::int64_t>(a)}}));
     for (std::size_t b = 0; b < idx2.size(); ++b) {
+      // Slice boundary: one cancel poll per slice (never per row/cell).
       if (options.cancelled()) throw SolveCancelled();
+      if (options.slice_hook) options.slice_hook(slices_started);
+      ++slices_started;
       const Arc arc2 = idx2.arc(b);
       Score value;
       if (dense) {
         value = tabulate_slice_dense(
-            s1, s2, SliceBounds::under(arc1.left, arc1.right, arc2.left, arc2.right),
+            s1, s2, col_events,
+            SliceBounds::under(arc1.left, arc1.right, arc2.left, arc2.right),
             dense_scratch, d2_lookup, &stats);
       } else {
         value = tabulate_slice_compressed(idx1.interior(a), idx2.interior(b),
@@ -84,11 +92,12 @@ Score run_srna2(const SecondaryStructure& s1, const SecondaryStructure& s2,
 
   // Stage two: tabulate the parent slice.
   if (options.cancelled()) throw SolveCancelled();
+  if (options.slice_hook) options.slice_hook(slices_started);
   phase.reset();
   obs::TraceScope stage2_span("srna2", "stage2");
   Score answer;
   if (dense) {
-    answer = tabulate_slice_dense(s1, s2,
+    answer = tabulate_slice_dense(s1, s2, col_events,
                                   SliceBounds{0, s1.length() - 1, 0, s2.length() - 1},
                                   dense_scratch, d2_lookup, &stats);
   } else {

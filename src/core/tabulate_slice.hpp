@@ -18,6 +18,16 @@
 //   * compressed — one cell per (arc-right-endpoint, arc-right-endpoint)
 //                  event pair, exploiting that F only changes at events.
 //
+// The dense fill is an *event-run* kernel: the column positions where the
+// dynamic case can fire (S2 arc right endpoints) are precomputed once per
+// solve into a ColumnEvents table, and each row decomposes into arc-match
+// cells at the events plus constant fills between them — F is provably
+// constant between events, and a row where no S1 arc ends is a verbatim
+// copy of the row above. Same cells, same stats, no per-cell partner probe
+// or load. The pre-event-run per-cell loop is retained as
+// fill_slice_dense_reference for the equivalence property test and the
+// perf-regression gate (bench/micro_kernels --smoke).
+//
 // Both return the slice's final value F(lo1, hi1, lo2, hi2) — the only value
 // the memo table M retains ("only the last tabulated subproblem of each
 // child slice needs to be memoized").
@@ -70,14 +80,187 @@ struct SliceBounds {
   }
 };
 
+// The column-event table of S2: every position y that is an arc right
+// endpoint, paired with its left endpoint k, sorted by y, plus an O(1)
+// position → first-event index so a slice restriction is two array reads.
+// F is constant between these events (DESIGN.md §1), so inside a slice row
+// the dynamic case can only fire at them — the fact the event-run dense
+// kernel below exploits. Built once per solve (pooled in Workspace;
+// rebuilding reuses capacity) and shared read-only by every slice of that
+// solve, including PRNA's stage-one workers.
+struct ColumnEvents {
+  struct Event {
+    Pos y;  // arc right endpoint (the event column)
+    Pos k;  // matching left endpoint: (k, y) is an arc of S2
+  };
+  std::vector<Event> events;            // sorted by y
+  std::vector<std::uint32_t> first_at;  // size m+1: index of first event with y >= pos
+
+  ColumnEvents& build(const SecondaryStructure& s2) {
+    const auto m = static_cast<std::size_t>(s2.length());
+    events.clear();
+    first_at.resize(m + 1);
+    for (std::size_t y = 0; y < m; ++y) {
+      first_at[y] = static_cast<std::uint32_t>(events.size());
+      const Pos k = s2.arc_left_of(static_cast<Pos>(y));
+      if (k >= 0) events.push_back(Event{static_cast<Pos>(y), k});
+    }
+    first_at[m] = static_cast<std::uint32_t>(events.size());
+    return *this;
+  }
+
+  // Events with y in [lo, hi] — the columns of a slice restricted to
+  // [lo, hi]. Requires 0 <= lo <= hi < m.
+  [[nodiscard]] std::span<const Event> in_range(Pos lo, Pos hi) const noexcept {
+    const auto begin = first_at[static_cast<std::size_t>(lo)];
+    const auto end = first_at[static_cast<std::size_t>(hi) + 1];
+    return std::span<const Event>(events).subspan(begin, end - begin);
+  }
+
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept {
+    return events.capacity() * sizeof(Event) + first_at.capacity() * sizeof(std::uint32_t);
+  }
+};
+
+
 // Fills `grid` (resized to width × height) with the dense slice:
 // grid(x - lo1, y - lo2) = F(lo1, x, lo2, y). Used directly by the traceback,
 // which needs the whole grid, and by tabulate_slice_dense below.
 // No-op for empty bounds.
+//
+// `col_events` must be ColumnEvents::build(s2) — computed once per solve by
+// the callers, not here, so tabulating a slice costs nothing beyond its own
+// cells.
+template <typename D2>
+void fill_slice_dense(const SecondaryStructure& s1, const SecondaryStructure& /*s2*/,
+                      const ColumnEvents& col_events, SliceBounds b, Matrix<Score>& grid,
+                      D2&& d2_of, McosStats* stats = nullptr) {
+  if (b.empty()) {
+    grid.resize(0, 0);
+    return;
+  }
+  const auto rows = static_cast<std::size_t>(b.width());
+  const auto cols = static_cast<std::size_t>(b.height());
+  grid.resize(rows, cols, 0);
+
+  if (stats != nullptr) {
+    ++stats->slices_tabulated;
+    stats->cells_tabulated += static_cast<std::uint64_t>(rows) * cols;
+  }
+
+  const std::span<const ColumnEvents::Event> events = col_events.in_range(b.lo2, b.hi2);
+
+  // Two facts of the max-recurrence, independent of the d2 oracle, carry the
+  // whole kernel (DESIGN.md §4.4):
+  //   * a row where no S1 arc ends is a verbatim copy of the row above
+  //     (position x is unusable, and rows are left-to-right monotone), and
+  //   * within any row, F is constant between S2 events — the dynamic case
+  //     fires only at event columns, and between them both `up` and `left`
+  //     are frozen.
+  // So arc rows touch one `up` cell per event plus one per run (a constant
+  // std::fill), and arc-free rows are a single copy. Cell and arc-event
+  // accounting stay identical to the per-cell reference: every cell is still
+  // written, and the dynamic case is evaluated for exactly the same
+  // (row, column) pairs.
+  for (Pos x = b.lo1; x <= b.hi1; ++x) {
+    const auto r = static_cast<std::size_t>(x - b.lo1);
+    Score* row = grid.row_data(r);
+
+    // Arc of S1 ending at x, if its left endpoint is inside the slice. The
+    // first row never qualifies (k1 >= lo1 needs x > lo1), so arc rows
+    // always have a row above.
+    const Pos k1 = s1.arc_left_of(x);
+    if (k1 < b.lo1) {
+      if (r == 0) {
+        std::fill(row, row + cols, Score{0});
+      } else {
+        const Score* up = grid.row_data(r - 1);
+        std::copy(up, up + cols, row);
+      }
+      continue;
+    }
+
+    const Score* up = grid.row_data(r - 1);
+    const Score* d1_row =
+        k1 - 1 >= b.lo1 ? grid.row_data(static_cast<std::size_t>(k1 - 1 - b.lo1)) : nullptr;
+    const Pos lo2 = b.lo2;
+
+    // Event-free runs are constant: up[] is frozen across a run (the row
+    // above is also constant between events), and after an event the event
+    // cell's value already dominates it (v >= up[event]), so only the run
+    // before the *first* event reads up[] at all. One fill per run.
+    Score left = 0;  // slice[x][y-1], carried across the row
+    std::size_t c = 0;
+    std::uint64_t row_arc_events = 0;
+    if (lo2 == 0 && d1_row != nullptr) {
+      // Root-anchored slice: every event qualifies (e.k >= 0 == lo2), so the
+      // qualify branch and the d1_row null check drop out of the hot loop.
+      row_arc_events = events.size();
+      for (const ColumnEvents::Event& e : events) {
+        const auto ce = static_cast<std::size_t>(e.y);
+        if (ce > c) {
+          if (c == 0) left = up[0];
+          std::fill(row + c, row + ce, left);
+        }
+        Score v = std::max(up[ce], left);
+        const Score d1 = e.k >= 1 ? d1_row[static_cast<std::size_t>(e.k - 1)] : 0;
+        const Score d2 = d2_of(k1, x, e.k, e.y);
+        v = std::max(v, static_cast<Score>(1 + d1 + d2));
+        row[ce] = v;
+        left = v;
+        c = ce + 1;
+      }
+    } else {
+      for (const ColumnEvents::Event& e : events) {
+        const auto ce = static_cast<std::size_t>(e.y - lo2);
+        if (ce > c) {
+          if (c == 0) left = up[0];
+          std::fill(row + c, row + ce, left);
+        }
+        // The event cell: the one column in [c, ce] where an S2 arc ends.
+        Score v = std::max(up[ce], left);
+        if (e.k >= lo2) {
+          const Score d1 = (d1_row != nullptr && e.k - 1 >= lo2)
+                               ? d1_row[static_cast<std::size_t>(e.k - 1 - lo2)]
+                               : 0;
+          const Score d2 = d2_of(k1, x, e.k, e.y);
+          v = std::max(v, static_cast<Score>(1 + d1 + d2));
+          ++row_arc_events;
+        }
+        row[ce] = v;
+        left = v;
+        c = ce + 1;
+      }
+    }
+    if (c < cols) {
+      if (c == 0) left = up[0];
+      std::fill(row + c, row + cols, left);
+    }
+    if (stats != nullptr) stats->arc_match_events += row_arc_events;
+  }
+}
+
+// Convenience overload building the column events locally: for the few-slice
+// callers (traceback re-tabulation, enumeration, tests). The per-slice
+// solvers pass a prebuilt table instead — never use this form in a loop over
+// slices.
 template <typename D2>
 void fill_slice_dense(const SecondaryStructure& s1, const SecondaryStructure& s2,
                       SliceBounds b, Matrix<Score>& grid, D2&& d2_of,
                       McosStats* stats = nullptr) {
+  ColumnEvents col_events;
+  col_events.build(s2);
+  fill_slice_dense(s1, s2, col_events, b, grid, static_cast<D2&&>(d2_of), stats);
+}
+
+// The pre-event-run dense fill: one partner probe and one arc branch per
+// cell. Kept (not as a fast path) so the randomized equivalence test and the
+// micro_kernels perf gate can pin the event-run kernel against the exact
+// loop the paper's cost model describes.
+template <typename D2>
+void fill_slice_dense_reference(const SecondaryStructure& s1, const SecondaryStructure& s2,
+                                SliceBounds b, Matrix<Score>& grid, D2&& d2_of,
+                                McosStats* stats = nullptr) {
   if (b.empty()) {
     grid.resize(0, 0);
     return;
@@ -127,11 +310,11 @@ void fill_slice_dense(const SecondaryStructure& s1, const SecondaryStructure& s2
 
 // Dense TabulateSlice: fills into `scratch` (reused across calls — the
 // paper's per-call allocate/deallocate without the allocator churn) and
-// returns the final value.
+// returns the final value. `col_events` is the per-solve ColumnEvents table.
 template <typename D2>
 Score tabulate_slice_dense(const SecondaryStructure& s1, const SecondaryStructure& s2,
-                           SliceBounds b, Matrix<Score>& scratch, D2&& d2_of,
-                           McosStats* stats = nullptr) {
+                           const ColumnEvents& col_events, SliceBounds b,
+                           Matrix<Score>& scratch, D2&& d2_of, McosStats* stats = nullptr) {
   if (b.empty()) {
     // An empty slice (hairpin interior) still counts as one tabulated slice:
     // SRNA2's stage one visits it and memoizes 0.
@@ -141,13 +324,25 @@ Score tabulate_slice_dense(const SecondaryStructure& s1, const SecondaryStructur
   obs::TraceScope span("slice", "tabulate_dense", detail::slice_trace_sample());
   if (span.active())
     span.set_args(obs::trace_args({{"rows", b.width()}, {"cols", b.height()}}));
-  fill_slice_dense(s1, s2, b, scratch, static_cast<D2&&>(d2_of), stats);
+  fill_slice_dense(s1, s2, col_events, b, scratch, static_cast<D2&&>(d2_of), stats);
   if (span.active()) {
     const std::uint64_t elapsed = obs::Tracer::instance().now_us() - span.start_us();
     detail::sampled_slice_histogram().observe(static_cast<double>(elapsed) * 1e-6);
   }
   return scratch(static_cast<std::size_t>(b.width()) - 1,
                  static_cast<std::size_t>(b.height()) - 1);
+}
+
+// Convenience overload building the column events locally (few-slice callers
+// and tests only; see fill_slice_dense).
+template <typename D2>
+Score tabulate_slice_dense(const SecondaryStructure& s1, const SecondaryStructure& s2,
+                           SliceBounds b, Matrix<Score>& scratch, D2&& d2_of,
+                           McosStats* stats = nullptr) {
+  ColumnEvents col_events;
+  col_events.build(s2);
+  return tabulate_slice_dense(s1, s2, col_events, b, scratch, static_cast<D2&&>(d2_of),
+                              stats);
 }
 
 // Reusable buffers for the compressed (event-grid) layout: one value cell
@@ -158,14 +353,43 @@ struct EventScratch {
   Matrix<Score> val;                    // one cell per (row arc, col arc)
   std::vector<std::size_t> prev_row;    // per row arc: last row with right < left(arc)
   std::vector<std::size_t> prev_col;    // per col arc: last col with right < left(arc)
+  std::vector<std::size_t> stack;       // nesting stack for the prev_* scans
   static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
 
   // Reserved backing bytes — feeds the engine.workspace_alloc_bytes accounting.
   [[nodiscard]] std::size_t capacity_bytes() const noexcept {
     return val.flat().capacity() * sizeof(Score) +
-           (prev_row.capacity() + prev_col.capacity()) * sizeof(std::size_t);
+           (prev_row.capacity() + prev_col.capacity() + stack.capacity()) *
+               sizeof(std::size_t);
   }
 };
+
+namespace detail {
+
+// prev[i]: the index of the last arc a' (in `arcs`, sorted by right
+// endpoint) with right(a') < left(arcs[i]) — the predecessor a d1 lookup
+// resolves to — or EventScratch::kNone. Sorted-by-right order is a
+// post-order of the nesting forest, so one pass with a nesting stack
+// resolves every arc in amortized O(1): the stack holds the already-seen
+// arcs not nested inside any later-seen arc; popping the arcs nested inside
+// arcs[i] (left endpoint greater than ours — non-crossing makes that the
+// containment test) leaves exactly the latest arc entirely left of arcs[i]
+// on top. Every arc is pushed and popped once: O(n) total, replacing the
+// per-arc binary search this used to do.
+inline void fill_prev_indices(std::span<const Arc> arcs, std::vector<std::size_t>& prev,
+                              std::vector<std::size_t>& stack) {
+  const std::size_t n = arcs.size();
+  prev.resize(n);
+  stack.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Pos left = arcs[i].left;
+    while (!stack.empty() && arcs[stack.back()].left > left) stack.pop_back();
+    prev[i] = stack.empty() ? EventScratch::kNone : stack.back();
+    stack.push_back(i);
+  }
+}
+
+}  // namespace detail
 
 // Compressed TabulateSlice over the event grid. `rows` / `cols` are the arcs
 // fully inside the slice's two intervals, sorted by right endpoint (use
@@ -189,25 +413,10 @@ Score tabulate_slice_compressed(std::span<const Arc> rows, std::span<const Arc> 
                                    {"cols", static_cast<std::int64_t>(nc)}}));
 
   // prev_row[r]: the last row index r' with rows[r'].right < rows[r].left —
-  // the row d1 resolves to. Rows are sorted by right endpoint, so a backward
-  // scan with a moving cursor is O(nr) amortized... a binary search keeps it
-  // simple and O(log) per row.
-  scratch.prev_row.resize(nr);
-  for (std::size_t r = 0; r < nr; ++r) {
-    const Pos limit = rows[r].left;  // need right < left(arc r), i.e. right <= left-1
-    const auto it = std::partition_point(rows.begin(), rows.begin() + static_cast<std::ptrdiff_t>(r),
-                                         [&](const Arc& a) { return a.right < limit; });
-    const auto cnt = static_cast<std::size_t>(it - rows.begin());
-    scratch.prev_row[r] = cnt == 0 ? EventScratch::kNone : cnt - 1;
-  }
-  scratch.prev_col.resize(nc);
-  for (std::size_t c = 0; c < nc; ++c) {
-    const Pos limit = cols[c].left;
-    const auto it = std::partition_point(cols.begin(), cols.begin() + static_cast<std::ptrdiff_t>(c),
-                                         [&](const Arc& a) { return a.right < limit; });
-    const auto cnt = static_cast<std::size_t>(it - cols.begin());
-    scratch.prev_col[c] = cnt == 0 ? EventScratch::kNone : cnt - 1;
-  }
+  // the row d1 resolves to. Resolved for all rows in one amortized O(nr)
+  // nesting-stack pass (see fill_prev_indices), not a per-row binary search.
+  detail::fill_prev_indices(rows, scratch.prev_row, scratch.stack);
+  detail::fill_prev_indices(cols, scratch.prev_col, scratch.stack);
 
   Matrix<Score>& val = scratch.val;
   val.resize(nr, nc, 0);

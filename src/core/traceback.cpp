@@ -15,7 +15,9 @@ class TracebackWalker {
  public:
   TracebackWalker(const SecondaryStructure& s1, const SecondaryStructure& s2,
                   const MemoTable& memo)
-      : s1_(s1), s2_(s2), memo_(memo) {}
+      : s1_(s1), s2_(s2), memo_(memo) {
+    col_events_.build(s2);  // shared by every re-tabulated slice of the walk
+  }
 
   void walk(SliceBounds bounds, std::vector<ArcMatch>& out) {
     if (bounds.empty()) return;
@@ -26,7 +28,7 @@ class TracebackWalker {
     std::vector<SliceBounds> pending;
     {
       Matrix<Score> grid;
-      fill_slice_dense(s1_, s2_, bounds, grid,
+      fill_slice_dense(s1_, s2_, col_events_, bounds, grid,
                        [&](Pos k1, Pos /*x*/, Pos k2, Pos /*y*/) {
                          return memo_.get(k1 + 1, k2 + 1);
                        });
@@ -71,6 +73,7 @@ class TracebackWalker {
   const SecondaryStructure& s1_;
   const SecondaryStructure& s2_;
   const MemoTable& memo_;
+  ColumnEvents col_events_;
 };
 
 }  // namespace

@@ -15,6 +15,9 @@
 //                            solvers), each level a stable, reusable Matrix
 //   * events(level)        — EventScratch for the compressed layout, same
 //                            level discipline
+//   * column_events()      — the per-solve S2 column-event table the dense
+//                            event-run kernel sweeps between (rebuild per
+//                            solve; capacity survives)
 //
 // Thread pooling: local() hands out one Workspace per thread (thread_local),
 // which is what the OpenMP pair loops in the structure DB and PRNA's
@@ -72,10 +75,15 @@ class Workspace {
     return *events_[level];
   }
 
+  // The S2 column-event table for the dense event-run kernel. One per
+  // workspace (every recursion level of a solve reads the same S2): callers
+  // `.build(s2)` it once at solve start and pass it to the slice kernels.
+  ColumnEvents& column_events() noexcept { return column_events_; }
+
   // Total reserved backing bytes across all buffers. The engine samples this
   // before/after a solve; the delta is what the solve actually allocated.
   [[nodiscard]] std::size_t footprint_bytes() const noexcept {
-    std::size_t total = memo_.capacity_bytes();
+    std::size_t total = memo_.capacity_bytes() + column_events_.capacity_bytes();
     for (const auto& g : dense_grids_) total += g->flat().capacity() * sizeof(Score);
     for (const auto& e : events_) total += e->capacity_bytes();
     return total;
@@ -91,6 +99,7 @@ class Workspace {
     memo_ = MemoTable{};
     dense_grids_.clear();
     events_.clear();
+    column_events_ = ColumnEvents{};
   }
 
   // The calling thread's pooled workspace. OpenMP worker threads persist
@@ -102,6 +111,7 @@ class Workspace {
   MemoTable memo_;
   std::vector<std::unique_ptr<Matrix<Score>>> dense_grids_;
   std::vector<std::unique_ptr<EventScratch>> events_;
+  ColumnEvents column_events_;
   std::uint64_t solves_ = 0;
 };
 

@@ -4,6 +4,7 @@
 // would be dead-stripped out of the static-library link).
 
 #include <memory>
+#include <stdexcept>
 
 #include "core/mcos.hpp"
 #include "engine/engine.hpp"
@@ -69,9 +70,54 @@ class PrnaBackend final : public SolverBackend {
     c.schedule_controls = true;
     return c;
   }
+  void validate(const SolverConfig& config) const override {
+    SolverBackend::validate(config);
+    // The stealing schedule has no static column ownership, so a balance
+    // strategy would be silently ignored — reject instead.
+    const SolverConfig defaults;
+    if (config.schedule == PrnaSchedule::kStealing && config.balance != defaults.balance)
+      throw std::invalid_argument(
+          "backend 'prna': the kStealing schedule has no static ownership; "
+          "balance must be left at its default");
+  }
   EngineResult solve(const SecondaryStructure& s1, const SecondaryStructure& s2,
                      const SolverConfig& config, Workspace& workspace) const override {
     PrnaResult r = prna(s1, s2, config.to_prna(), workspace);
+    EngineResult out;
+    out.value = r.value;
+    out.stats = r.stats;
+    out.threads_used = r.threads_used;
+    out.detail = r.to_json();
+    return out;
+  }
+};
+
+class PrnaStealBackend final : public SolverBackend {
+ public:
+  const char* name() const noexcept override { return "prna-steal"; }
+  const char* description() const noexcept override {
+    return "barrier-free parallel SRNA2: dependency-counting scheduler with "
+           "work-stealing deques";
+  }
+  BackendCaps caps() const noexcept override {
+    BackendCaps c;
+    c.threads = true;
+    c.schedule_controls = true;  // parallel_stage2 / stage1_hook pass through
+    return c;
+  }
+  void validate(const SolverConfig& config) const override {
+    SolverBackend::validate(config);
+    const SolverConfig defaults;
+    if (config.schedule != defaults.schedule && config.schedule != PrnaSchedule::kStealing)
+      throw std::invalid_argument(
+          "backend 'prna-steal' always runs the kStealing schedule; pick "
+          "backend 'prna' for the barrier schedules");
+  }
+  EngineResult solve(const SecondaryStructure& s1, const SecondaryStructure& s2,
+                     const SolverConfig& config, Workspace& workspace) const override {
+    PrnaOptions options = config.to_prna();
+    options.schedule = PrnaSchedule::kStealing;
+    PrnaResult r = prna(s1, s2, options, workspace);
     EngineResult out;
     out.value = r.value;
     out.stats = r.stats;
@@ -158,6 +204,7 @@ void register_builtin_backends(McosEngine& engine) {
   engine.register_backend(std::make_unique<PrnaMpiSimBackend>());
   engine.register_backend(std::make_unique<TopDownBackend>());
   engine.register_backend(std::make_unique<BottomUpBackend>());
+  engine.register_backend(std::make_unique<PrnaStealBackend>());
 }
 
 }  // namespace detail

@@ -23,6 +23,7 @@
 //                 per-row Allreduce)
 //   topdown       memoized 4-D reference (ground truth, small inputs)
 //   bottomup      full 4-D tabulation (the over-tabulating baseline)
+//   prna-steal    barrier-free PRNA (dependency counting + work stealing)
 //
 // Adding a backend: subclass SolverBackend, then
 // McosEngine::instance().register_backend(std::make_unique<MyBackend>()).

@@ -94,6 +94,27 @@ Assignment balance_load(const std::vector<std::uint64_t>& weights, std::size_t p
   return {};
 }
 
+ArcForest build_arc_forest(std::span<const Arc> arcs_by_right) {
+  ArcForest forest;
+  const std::size_t n = arcs_by_right.size();
+  forest.parent.assign(n, ArcForest::kNoParent);
+  forest.child_count.assign(n, 0);
+  // Sorted-by-right order is a post-order of the nesting forest: when arc i
+  // arrives, every arc still on the stack with a greater left endpoint lies
+  // strictly inside it (non-crossing + smaller right endpoint) and has no
+  // smaller enclosing arc — i is its direct parent.
+  std::vector<std::size_t> stack;
+  for (std::size_t i = 0; i < n; ++i) {
+    while (!stack.empty() && arcs_by_right[stack.back()].left > arcs_by_right[i].left) {
+      forest.parent[stack.back()] = i;
+      ++forest.child_count[i];
+      stack.pop_back();
+    }
+    stack.push_back(i);
+  }
+  return forest;
+}
+
 const char* to_string(BalanceStrategy strategy) noexcept {
   switch (strategy) {
     case BalanceStrategy::kGreedyLpt: return "lpt";

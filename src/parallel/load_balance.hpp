@@ -16,7 +16,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
+
+#include "rna/secondary_structure.hpp"
 
 namespace srna {
 
@@ -44,5 +47,28 @@ Assignment balance_load(const std::vector<std::uint64_t>& weights, std::size_t p
                         BalanceStrategy strategy = BalanceStrategy::kGreedyLpt);
 
 const char* to_string(BalanceStrategy strategy) noexcept;
+
+// The nesting forest of a non-crossing arc set, indexed in sorted-by-right-
+// endpoint order (the ArcIndex order). parent[i] is the smallest arc
+// enclosing arc i (kNoParent for roots); child_count[i] is the number of
+// arcs *directly* nested inside arc i.
+//
+// This is the dependency structure of PRNA's barrier-free stage one
+// (PrnaSchedule::kStealing): slice (a, b) d2-reads only slices under arcs
+// strictly inside a and b, so seeding its counter with
+// child_count1[a] + child_count2[b] and having every finished slice
+// decrement its two single-coordinate parents — (parent1[a], b) and
+// (a, parent2[b]) — orders every read after its write (any interior pair is
+// reachable from (a, b) by descending one coordinate at a time).
+struct ArcForest {
+  static constexpr std::size_t kNoParent = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> parent;
+  std::vector<std::uint32_t> child_count;
+
+  [[nodiscard]] std::size_t size() const noexcept { return parent.size(); }
+};
+
+// Builds the forest from arcs sorted by right endpoint (ArcIndex::all()).
+ArcForest build_arc_forest(std::span<const Arc> arcs_by_right);
 
 }  // namespace srna

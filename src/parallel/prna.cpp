@@ -5,11 +5,13 @@
 #include <atomic>
 #include <exception>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "core/arc_index.hpp"
 #include "core/memo_table.hpp"
 #include "core/tabulate_slice.hpp"
+#include "parallel/work_stealing.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/assert.hpp"
@@ -91,6 +93,9 @@ obs::Json PrnaResult::to_json() const {
     entry.set("slices", obs::Json(lane.slices));
     entry.set("busy_seconds", obs::Json(lane.busy_seconds));
     entry.set("barrier_wait_seconds", obs::Json(lane.barrier_wait_seconds));
+    entry.set("steals", obs::Json(lane.steals));
+    entry.set("ready_pushes", obs::Json(lane.ready_pushes));
+    entry.set("steal_idle_seconds", obs::Json(lane.steal_idle_seconds));
     lanes.push(std::move(entry));
   }
   doc.set("timeline", std::move(lanes));
@@ -110,6 +115,11 @@ PrnaResult prna(const SecondaryStructure& s1, const SecondaryStructure& s2,
   PrnaResult result;
   const bool dense = options.layout == SliceLayout::kDense;
   const bool validate = options.validate_memo;
+  const bool stealing = options.schedule == PrnaSchedule::kStealing;
+  SRNA_REQUIRE(!options.use_std_threads || stealing,
+               "use_std_threads applies to the kStealing schedule only");
+  SRNA_REQUIRE(!(options.use_std_threads && options.parallel_stage2),
+               "use_std_threads is incompatible with parallel_stage2 (an OpenMP wavefront)");
 
   // --- Preprocessing: arc index, column ownership, memo table. ---
   WallTimer phase;
@@ -123,17 +133,24 @@ PrnaResult prna(const SecondaryStructure& s1, const SecondaryStructure& s2,
   threads = std::max(threads, 1);
   result.threads_used = threads;
 
-  result.assignment =
-      balance_load(column_weights(idx2), static_cast<std::size_t>(threads), options.balance);
-  // Owned-column lists, so each worker iterates only its own S2 arcs (in
-  // increasing right-endpoint order, preserved from idx2).
   std::vector<std::vector<std::size_t>> owned(static_cast<std::size_t>(threads));
-  for (std::size_t b = 0; b < idx2.size(); ++b)
-    owned[result.assignment.owner[b]].push_back(b);
+  if (!stealing) {
+    result.assignment = balance_load(column_weights(idx2),
+                                     static_cast<std::size_t>(threads), options.balance);
+    // Owned-column lists, so each worker iterates only its own S2 arcs (in
+    // increasing right-endpoint order, preserved from idx2). kStealing has no
+    // static ownership: slices flow to whichever worker frees up.
+    for (std::size_t b = 0; b < idx2.size(); ++b)
+      owned[result.assignment.owner[b]].push_back(b);
+  }
+  // The event-run dense kernel's per-solve S2 column-event table, shared
+  // read-only by all stage-one workers and stage two.
+  const ColumnEvents& col_events = workspace.column_events().build(s2);
   preprocess_span.close();
   result.stats.preprocess_seconds = phase.seconds();
 
-  // --- Stage one: child slices in parallel, one barrier per M row. ---
+  // --- Stage one: child slices in parallel — one barrier per M row
+  // (static/dynamic) or barrier-free dependency-driven stealing. ---
   phase.reset();
   obs::TraceScope stage1_span("prna", "stage1");
   std::vector<McosStats> thread_stats(static_cast<std::size_t>(threads));
@@ -146,6 +163,11 @@ PrnaResult prna(const SecondaryStructure& s1, const SecondaryStructure& s2,
   obs::Histogram& row_busy_hist = metrics.histogram("prna.row_busy_seconds");
   obs::Histogram& barrier_wait_hist = metrics.histogram("prna.barrier_wait_seconds");
   obs::Counter& rows_counter = metrics.counter("prna.rows");
+  // Stealing-schedule instruments: the barrier-wait story replaced by
+  // steals, ready-queue pushes, and per-worker idle (no-runnable-slice) time.
+  obs::Counter& steals_counter = metrics.counter("prna.steals");
+  obs::Counter& ready_counter = metrics.counter("prna.steal_ready_pushes");
+  obs::Histogram& steal_idle_hist = metrics.histogram("prna.steal_idle_seconds");
 
   auto d2_lookup = [&](Pos k1, Pos /*x*/, Pos k2, Pos /*y*/) -> Score {
     const Score v = memo.get(k1 + 1, k2 + 1);
@@ -169,6 +191,129 @@ PrnaResult prna(const SecondaryStructure& s1, const SecondaryStructure& s2,
     failed.store(true, std::memory_order_relaxed);
   };
 
+  if (stealing) {
+    // --- Barrier-free stage one: dependency counting + work stealing. ---
+    //
+    // Slice (a, b) d2-reads only slices under arcs strictly interior to a
+    // and b (the same ordering fact the per-row barrier over-enforces), so
+    // it may start as soon as its direct children along each coordinate are
+    // done: deps(a, b) = child_count1[a] + child_count2[b]. A finished slice
+    // decrements exactly its two single-coordinate parents, (parent1[a], b)
+    // and (a, parent2[b]); any interior pair is reachable from (a, b) by
+    // descending one coordinate at a time, so the acq_rel decrement chain
+    // orders every memo read after the write it needs. Leaf pairs seed the
+    // deques round-robin; workers drain their own deque LIFO and steal FIFO.
+    const std::size_t n1 = idx1.size();
+    const std::size_t n2 = idx2.size();
+    const std::size_t n_slices = n1 * n2;
+    SRNA_CHECK(n2 == 0 || n_slices / n2 == n1, "slice id space overflow");
+    SRNA_CHECK(n_slices <= static_cast<std::size_t>(UINT32_MAX),
+               "slice ids must fit the deque's 32-bit items");
+    const ArcForest forest1 = build_arc_forest(idx1.all());
+    const ArcForest forest2 = build_arc_forest(idx2.all());
+    std::vector<std::atomic<std::uint32_t>> deps(n_slices);
+    std::vector<WorkStealingDeque> queues(static_cast<std::size_t>(threads));
+    for (WorkStealingDeque& q : queues) q.reset(n_slices);
+    std::atomic<std::uint64_t> remaining{n_slices};
+    std::size_t seed_rr = 0;
+    for (std::size_t a = 0; a < n1; ++a)
+      for (std::size_t b = 0; b < n2; ++b) {
+        const std::uint32_t d = forest1.child_count[a] + forest2.child_count[b];
+        deps[a * n2 + b].store(d, std::memory_order_relaxed);
+        if (d == 0)
+          queues[seed_rr++ % queues.size()].push(static_cast<std::uint32_t>(a * n2 + b));
+      }
+
+    auto worker = [&](std::size_t tid) {
+      McosStats& local = thread_stats[tid];
+      PrnaThreadTimeline& timeline = result.timeline[tid];
+      Workspace& pool = Workspace::local();
+      Matrix<Score>& dense_scratch = pool.dense_grid(0);
+      EventScratch& compressed_scratch = pool.events(0);
+      WorkStealingDeque& mine = queues[tid];
+
+      auto run_slice = [&](std::uint32_t id) {
+        const std::size_t a = id / n2;
+        const std::size_t b = id % n2;
+        WallTimer busy;
+        try {
+          if (options.stage1_hook) options.stage1_hook(a, b);
+          const Arc arc1 = idx1.arc(a);
+          const Arc arc2 = idx2.arc(b);
+          Score value;
+          if (dense) {
+            value = tabulate_slice_dense(
+                s1, s2, col_events,
+                SliceBounds::under(arc1.left, arc1.right, arc2.left, arc2.right),
+                dense_scratch, d2_lookup, &local);
+          } else {
+            value = tabulate_slice_compressed(idx1.interior(a), idx2.interior(b),
+                                              compressed_scratch, d2_lookup, &local);
+          }
+          memo.set(arc1.left + 1, arc2.left + 1, value);
+          // The release half of the decrement publishes the memo write; the
+          // acquire half makes the worker that takes the parent ready see
+          // every child's writes (transitively, along the decrement chain).
+          auto notify = [&](std::size_t parent_id) {
+            if (deps[parent_id].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+              mine.push(static_cast<std::uint32_t>(parent_id));
+              ++timeline.ready_pushes;
+            }
+          };
+          if (forest1.parent[a] != ArcForest::kNoParent)
+            notify(forest1.parent[a] * n2 + b);
+          if (forest2.parent[b] != ArcForest::kNoParent)
+            notify(a * n2 + forest2.parent[b]);
+        } catch (...) {
+          capture_error();
+        }
+        remaining.fetch_sub(1, std::memory_order_acq_rel);
+        timeline.busy_seconds += busy.seconds();
+      };
+
+      std::uint32_t id = 0;
+      while (!failed.load(std::memory_order_relaxed)) {
+        if (mine.pop(id)) {
+          run_slice(id);
+          continue;
+        }
+        bool stolen = false;
+        for (std::size_t off = 1; off < queues.size() && !stolen; ++off)
+          stolen = queues[(tid + off) % queues.size()].steal(id);
+        if (stolen) {
+          ++timeline.steals;
+          run_slice(id);
+          continue;
+        }
+        if (remaining.load(std::memory_order_acquire) == 0) break;
+        // Nothing runnable anywhere right now: somebody is finishing the
+        // slices ours depend on. Spin politely and account the gap.
+        WallTimer idle;
+        std::this_thread::yield();
+        timeline.steal_idle_seconds += idle.seconds();
+      }
+
+      result.cells_per_thread[tid] = local.cells_tabulated;
+      timeline.cells = local.cells_tabulated;
+      timeline.slices = local.slices_tabulated;
+      steals_counter.add(timeline.steals);
+      ready_counter.add(timeline.ready_pushes);
+      steal_idle_hist.observe(timeline.steal_idle_seconds);
+    };
+
+    if (options.use_std_threads) {
+      // TSan shim: plain std::thread workers (see PrnaOptions::use_std_threads).
+      std::vector<std::thread> shim;
+      shim.reserve(static_cast<std::size_t>(threads) - 1);
+      for (int t = 1; t < threads; ++t) shim.emplace_back(worker, static_cast<std::size_t>(t));
+      worker(0);
+      for (std::thread& t : shim) t.join();
+    } else {
+#pragma omp parallel num_threads(threads)
+      worker(static_cast<std::size_t>(omp_get_thread_num()));
+    }
+    rows_counter.add(idx1.size());
+  } else {
 #pragma omp parallel num_threads(threads)
   {
     const auto tid = static_cast<std::size_t>(omp_get_thread_num());
@@ -189,7 +334,8 @@ PrnaResult prna(const SecondaryStructure& s1, const SecondaryStructure& s2,
       Score value;
       if (dense) {
         value = tabulate_slice_dense(
-            s1, s2, SliceBounds::under(arc1.left, arc1.right, arc2.left, arc2.right),
+            s1, s2, col_events,
+            SliceBounds::under(arc1.left, arc1.right, arc2.left, arc2.right),
             dense_scratch, d2_lookup, &local);
       } else {
         value = tabulate_slice_compressed(idx1.interior(a), idx2.interior(b),
@@ -254,6 +400,7 @@ PrnaResult prna(const SecondaryStructure& s1, const SecondaryStructure& s2,
     timeline.slices = local.slices_tabulated;
   }
   rows_counter.add(idx1.size());
+  }
 
   if (first_error != nullptr) {
     obs::Registry::instance().counter("prna.stage1_errors").add();
@@ -281,7 +428,7 @@ PrnaResult prna(const SecondaryStructure& s1, const SecondaryStructure& s2,
     result.value = tabulate_parent_wavefront(s1, s2, memo, threads, result.stats,
                                              workspace.dense_grid(0));
   } else if (dense) {
-    result.value = tabulate_slice_dense(s1, s2,
+    result.value = tabulate_slice_dense(s1, s2, col_events,
                                         SliceBounds{0, s1.length() - 1, 0, s2.length() - 1},
                                         workspace.dense_grid(0), d2_lookup, &result.stats);
   } else {

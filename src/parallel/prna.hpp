@@ -24,14 +24,23 @@
 
 namespace srna {
 
-// How stage-one slices are assigned to workers within a row.
+// How stage-one slices are assigned to workers.
 //
 // kStaticColumns is the paper's design: one load-balanced column ownership
 // computed in preprocessing and reused for every row (valid because the
 // per-row work factors as w1(row)·w2(column)). kDynamic hands individual
 // slices to idle workers as they finish — the conventional alternative the
-// static design is measured against (ablation_dynamic_schedule).
-enum class PrnaSchedule : std::uint8_t { kStaticColumns, kDynamic };
+// static design is measured against (ablation_dynamic_schedule). Both
+// publish each memo row with a barrier.
+//
+// kStealing drops the barriers entirely: each slice carries an atomic count
+// of its unfinished direct-child slices (ArcForest), a finished slice
+// decrements its two single-coordinate parents, and slices whose count hits
+// zero go onto the finishing worker's Chase-Lev deque — idle workers steal.
+// Threads flow across row boundaries instead of waiting on the row's
+// straggler; barrier_wait_seconds is structurally zero and the cost of
+// scheduling shows up as steal/idle metrics instead.
+enum class PrnaSchedule : std::uint8_t { kStaticColumns, kDynamic, kStealing };
 
 struct PrnaOptions {
   // Worker threads; 0 = OpenMP default (typically the core count).
@@ -48,6 +57,12 @@ struct PrnaOptions {
   // Verify the ordering guarantee (memo initialized to the unset sentinel,
   // every d2 lookup checked). Test-suite use.
   bool validate_memo = false;
+  // kStealing only: run stage one on plain std::thread workers instead of an
+  // OpenMP parallel region. ThreadSanitizer cannot see libgomp's internal
+  // synchronization (every OpenMP region is a false positive), so
+  // scripts/check_tsan.sh exercises the work-stealing scheduler through this
+  // shim. Incompatible with parallel_stage2 (an OpenMP wavefront).
+  bool use_std_threads = false;
   // Test-only fault injection: called before each stage-one slice with its
   // (row, column) arc indices; a throw from here exercises the parallel
   // error path (first exception captured, rethrown after the region).
@@ -55,15 +70,22 @@ struct PrnaOptions {
 };
 
 // What one worker did during stage one: realized work plus where its wall
-// time went — tabulating (busy) versus waiting at the per-row barrier. The
-// imbalance between the two is the paper's load-balance story (Figure 8);
-// the run report serializes this, and `--trace` shows the same data as
-// per-row spans.
+// time went — tabulating (busy) versus waiting at the per-row barrier
+// (static/dynamic) or spinning for stealable work (kStealing). The imbalance
+// between the two is the paper's load-balance story (Figure 8); the run
+// report serializes this, and `--trace` shows the same data as per-row
+// spans.
 struct PrnaThreadTimeline {
   std::uint64_t cells = 0;
   std::uint64_t slices = 0;
   double busy_seconds = 0.0;
   double barrier_wait_seconds = 0.0;
+  // kStealing only (zero otherwise): slices this worker stole from another
+  // deque, ready slices it pushed, and wall time spent with no runnable
+  // slice anywhere — the stealing analogue of barrier_wait_seconds.
+  std::uint64_t steals = 0;
+  std::uint64_t ready_pushes = 0;
+  double steal_idle_seconds = 0.0;
 };
 
 struct PrnaResult {

@@ -72,6 +72,8 @@ PrnaMpiResult prna_mpi(const SecondaryStructure& s1, const SecondaryStructure& s
       stage1_span.set_args(obs::trace_args({{"rank", comm.rank()}}));
     Matrix<Score> dense_scratch;
     EventScratch compressed_scratch;
+    ColumnEvents col_events;
+    col_events.build(s2);  // per rank: replicated like the memo table
     for (std::size_t a = 0; a < idx1.size(); ++a) {
       const Arc arc1 = idx1.arc(a);
       for (const std::size_t b : owned) {
@@ -79,7 +81,8 @@ PrnaMpiResult prna_mpi(const SecondaryStructure& s1, const SecondaryStructure& s
         Score value;
         if (dense) {
           value = tabulate_slice_dense(
-              s1, s2, SliceBounds::under(arc1.left, arc1.right, arc2.left, arc2.right),
+              s1, s2, col_events,
+              SliceBounds::under(arc1.left, arc1.right, arc2.left, arc2.right),
               dense_scratch, d2_lookup, &stats);
         } else {
           value = tabulate_slice_compressed(idx1.interior(a), idx2.interior(b),
@@ -103,7 +106,8 @@ PrnaMpiResult prna_mpi(const SecondaryStructure& s1, const SecondaryStructure& s
       stage2_span.set_args(obs::trace_args({{"rank", comm.rank()}}));
     if (dense) {
       rank_values[rank] =
-          tabulate_slice_dense(s1, s2, SliceBounds{0, s1.length() - 1, 0, s2.length() - 1},
+          tabulate_slice_dense(s1, s2, col_events,
+                               SliceBounds{0, s1.length() - 1, 0, s2.length() - 1},
                                dense_scratch, d2_lookup, rank == 0 ? &stats : nullptr);
     } else {
       rank_values[rank] = tabulate_slice_compressed(idx1.all(), idx2.all(), compressed_scratch,

@@ -1,0 +1,85 @@
+// Cancellation latency: the solvers poll the cancel flag exactly once per
+// slice boundary (never per row or per cell), so a flag flipped while slice
+// k runs must unwind before slice k+1 starts. The slice_hook test seam fires
+// after each boundary's poll, which makes the boundary count observable:
+// once the flag flips, the hook must never fire again.
+
+#include <atomic>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "core/mcos.hpp"
+#include "rna/generators.hpp"
+
+namespace srna {
+namespace {
+
+struct CancelProbe {
+  std::atomic<bool> flag{false};
+  std::uint64_t hook_calls = 0;
+  std::uint64_t flip_at = 0;
+
+  McosOptions options(SliceLayout layout) {
+    McosOptions o;
+    o.layout = layout;
+    o.cancel = &flag;
+    o.slice_hook = [this](std::uint64_t) {
+      ++hook_calls;
+      if (hook_calls == flip_at + 1) flag.store(true, std::memory_order_relaxed);
+    };
+    return o;
+  }
+};
+
+class CancelLatencyTest : public ::testing::TestWithParam<SliceLayout> {};
+
+TEST_P(CancelLatencyTest, Srna2UnwindsWithinOneSlice) {
+  const auto s1 = random_structure(36, 0.6, 11);
+  const auto s2 = random_structure(36, 0.6, 12);
+
+  // Count slice boundaries of an uncancelled run first.
+  CancelProbe baseline;
+  baseline.flip_at = UINT64_MAX;
+  EXPECT_NO_THROW(srna2(s1, s2, baseline.options(GetParam())));
+  ASSERT_GT(baseline.hook_calls, 4u) << "structure too sparse to test latency";
+
+  // Flip mid-run: the slice whose boundary flipped the flag still runs, the
+  // next boundary's poll must throw — so the hook fires exactly flip_at + 1
+  // times, never more.
+  for (const std::uint64_t flip_at : {std::uint64_t{0}, baseline.hook_calls / 2,
+                                      baseline.hook_calls - 2}) {
+    CancelProbe probe;
+    probe.flip_at = flip_at;
+    EXPECT_THROW(srna2(s1, s2, probe.options(GetParam())), SolveCancelled);
+    EXPECT_EQ(probe.hook_calls, flip_at + 1) << "cancel latency exceeded one slice";
+  }
+}
+
+TEST_P(CancelLatencyTest, Srna1UnwindsWithinOneSlice) {
+  const auto s1 = random_structure(36, 0.6, 21);
+  const auto s2 = random_structure(36, 0.6, 22);
+
+  CancelProbe baseline;
+  baseline.flip_at = UINT64_MAX;
+  EXPECT_NO_THROW(srna1(s1, s2, baseline.options(GetParam())));
+  ASSERT_GT(baseline.hook_calls, 4u) << "structure too sparse to test latency";
+
+  for (const std::uint64_t flip_at : {std::uint64_t{0}, baseline.hook_calls / 2,
+                                      baseline.hook_calls - 2}) {
+    CancelProbe probe;
+    probe.flip_at = flip_at;
+    EXPECT_THROW(srna1(s1, s2, probe.options(GetParam())), SolveCancelled);
+    EXPECT_EQ(probe.hook_calls, flip_at + 1) << "cancel latency exceeded one slice";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Layouts, CancelLatencyTest,
+                         ::testing::Values(SliceLayout::kDense, SliceLayout::kCompressed),
+                         [](const auto& param_info) {
+                           return param_info.param == SliceLayout::kDense ? "Dense"
+                                                                          : "Compressed";
+                         });
+
+}  // namespace
+}  // namespace srna

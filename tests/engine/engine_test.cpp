@@ -78,6 +78,21 @@ TEST(EngineValidation, RejectsKnobsTheBackendCannotHonor) {
   EXPECT_NO_THROW(engine.at("prna").validate(wavefront));
   EXPECT_THROW(engine.at("srna2").validate(wavefront), std::invalid_argument);
 
+  // prna-steal is pinned to the stealing schedule: the barrier schedules are
+  // `prna`'s business, and `balance` only means anything to those.
+  SolverConfig dynamic_schedule;
+  dynamic_schedule.schedule = PrnaSchedule::kDynamic;
+  EXPECT_NO_THROW(engine.at("prna").validate(dynamic_schedule));
+  EXPECT_THROW(engine.at("prna-steal").validate(dynamic_schedule), std::invalid_argument);
+
+  SolverConfig stealing;
+  stealing.schedule = PrnaSchedule::kStealing;
+  EXPECT_NO_THROW(engine.at("prna").validate(stealing));
+  EXPECT_NO_THROW(engine.at("prna-steal").validate(stealing));
+  stealing.balance = BalanceStrategy::kCyclic;  // no owned columns to balance
+  EXPECT_THROW(engine.at("prna").validate(stealing), std::invalid_argument);
+  EXPECT_THROW(engine.at("prna-steal").validate(stealing), std::invalid_argument);
+
   // layout and validate_memo are accept-and-ignore everywhere, including the
   // references — layout sweeps must be able to cover all backends.
   SolverConfig compressed;

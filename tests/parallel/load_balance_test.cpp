@@ -140,6 +140,49 @@ TEST(LoadBalance, CyclicRoundRobins) {
   for (std::size_t i = 0; i < w.size(); ++i) EXPECT_EQ(a.owner[i], i % 3);
 }
 
+// build_arc_forest: parent/child_count over arcs sorted by right endpoint.
+TEST(ArcForest, NestedAndSiblingArcs) {
+  // ((.))(..)  -> arcs by right: (1,3) (0,4) (5,8); (1,3) nests in (0,4).
+  const std::vector<Arc> arcs = {{1, 3}, {0, 4}, {5, 8}};
+  const ArcForest f = build_arc_forest(arcs);
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f.parent[0], 1u);                     // (1,3) inside (0,4)
+  EXPECT_EQ(f.parent[1], ArcForest::kNoParent);   // (0,4) top level
+  EXPECT_EQ(f.parent[2], ArcForest::kNoParent);   // (5,8) top level
+  EXPECT_EQ(f.child_count[0], 0u);
+  EXPECT_EQ(f.child_count[1], 1u);  // direct child (1,3) only
+  EXPECT_EQ(f.child_count[2], 0u);
+}
+
+TEST(ArcForest, DeepNestingCountsDirectChildrenOnly) {
+  // (((...))) -> chain: each arc has exactly one direct child.
+  const std::vector<Arc> arcs = {{2, 6}, {1, 7}, {0, 8}};
+  const ArcForest f = build_arc_forest(arcs);
+  EXPECT_EQ(f.parent[0], 1u);
+  EXPECT_EQ(f.parent[1], 2u);
+  EXPECT_EQ(f.parent[2], ArcForest::kNoParent);
+  EXPECT_EQ(f.child_count[0], 0u);
+  EXPECT_EQ(f.child_count[1], 1u);
+  EXPECT_EQ(f.child_count[2], 1u);
+}
+
+TEST(ArcForest, ParentPointersAreConsistentWithChildCounts) {
+  const std::vector<Arc> arcs = {{3, 4}, {6, 7}, {2, 8}, {1, 9}, {11, 12}, {10, 13}};
+  const ArcForest f = build_arc_forest(arcs);
+  std::vector<std::uint32_t> recomputed(f.size(), 0);
+  for (std::size_t i = 0; i < f.size(); ++i)
+    if (f.parent[i] != ArcForest::kNoParent) {
+      ASSERT_LT(f.parent[i], f.size());
+      ASSERT_GT(f.parent[i], i);  // parents close later: a larger index
+      ++recomputed[f.parent[i]];
+    }
+  EXPECT_EQ(recomputed, f.child_count);
+}
+
+TEST(ArcForest, EmptyInput) {
+  EXPECT_EQ(build_arc_forest({}).size(), 0u);
+}
+
 TEST(LoadBalance, StrategyNames) {
   EXPECT_STREQ(to_string(BalanceStrategy::kGreedyLpt), "lpt");
   EXPECT_STREQ(to_string(BalanceStrategy::kBlock), "block");

@@ -6,8 +6,10 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "core/arc_index.hpp"
 #include "core/mcos.hpp"
 #include "obs/json.hpp"
+#include "parallel/load_balance.hpp"
 #include "rna/generators.hpp"
 #include "testing/builders.hpp"
 
@@ -236,6 +238,176 @@ TEST(Prna, TimelineCoversEveryThreadAndAllCells) {
   // thread, outside the timeline).
   EXPECT_LE(timeline_cells, r.stats.cells_tabulated);
   EXPECT_GT(timeline_cells, 0u);
+}
+
+// --- The barrier-free dependency-driven schedule (kStealing). ---
+
+TEST(PrnaStealing, MatchesSequentialAcrossThreadsAndLayouts) {
+  for (const auto layout : {SliceLayout::kDense, SliceLayout::kCompressed}) {
+    for (const int threads : {1, 2, 4}) {
+      for (std::uint64_t seed = 0; seed < 3; ++seed) {
+        const auto s1 = random_structure(60, 0.5, 300 + seed);
+        const auto s2 = random_structure(55, 0.5, 400 + seed);
+        PrnaOptions opt;
+        opt.num_threads = threads;
+        opt.layout = layout;
+        opt.schedule = PrnaSchedule::kStealing;
+        opt.validate_memo = true;  // every d2 read must hit a published slice
+        const auto got = prna(s1, s2, opt);
+        const auto seq = srna2(s1, s2);
+        EXPECT_EQ(got.value, seq.value)
+            << "threads=" << threads << " seed=" << seed;
+        EXPECT_EQ(got.threads_used, threads);
+      }
+    }
+  }
+}
+
+TEST(PrnaStealing, BitIdenticalAcrossAllThreeSchedules) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const auto s1 = random_structure(60, 0.5, 500 + seed);
+    const auto s2 = random_structure(58, 0.5, 600 + seed);
+    PrnaOptions stat;
+    stat.num_threads = 3;
+    PrnaOptions dyn = stat;
+    dyn.schedule = PrnaSchedule::kDynamic;
+    PrnaOptions steal = stat;
+    steal.schedule = PrnaSchedule::kStealing;
+    const auto a = prna(s1, s2, stat);
+    const auto b = prna(s1, s2, dyn);
+    const auto c = prna(s1, s2, steal);
+    EXPECT_EQ(c.value, a.value) << seed;
+    EXPECT_EQ(c.value, b.value) << seed;
+    EXPECT_EQ(c.stats.cells_tabulated, a.stats.cells_tabulated) << seed;
+    EXPECT_EQ(c.stats.slices_tabulated, a.stats.slices_tabulated) << seed;
+    EXPECT_EQ(c.stats.arc_match_events, a.stats.arc_match_events) << seed;
+  }
+}
+
+TEST(PrnaStealing, WorstCaseAcrossThreadCounts) {
+  const auto s = worst_case_structure(80);
+  for (int t : {1, 2, 4, 8}) {
+    PrnaOptions opt;
+    opt.num_threads = t;
+    opt.schedule = PrnaSchedule::kStealing;
+    opt.validate_memo = true;
+    EXPECT_EQ(prna(s, s, opt).value, 40) << t << " threads";
+  }
+}
+
+TEST(PrnaStealing, ManyMoreThreadsThanSlices) {
+  const auto s = db("((..))");  // 2 arcs: 4 slices for 8 workers
+  PrnaOptions opt;
+  opt.num_threads = 8;
+  opt.schedule = PrnaSchedule::kStealing;
+  opt.validate_memo = true;
+  EXPECT_EQ(prna(s, s, opt).value, 2);
+}
+
+TEST(PrnaStealing, ReadyPushAccountingMatchesTheDependencyForest) {
+  const auto s1 = random_structure(60, 0.6, 71);
+  const auto s2 = random_structure(55, 0.6, 72);
+  PrnaOptions opt;
+  opt.num_threads = 3;
+  opt.schedule = PrnaSchedule::kStealing;
+  const auto r = prna(s1, s2, opt);
+
+  // Every slice is pushed exactly once: seeded (both arcs leaves of the
+  // nesting forest) or pushed when its dependency counter hit zero.
+  const ArcForest f1 = build_arc_forest(ArcIndex(s1).all());
+  const ArcForest f2 = build_arc_forest(ArcIndex(s2).all());
+  std::uint64_t leaves1 = 0, leaves2 = 0;
+  for (const auto c : f1.child_count) leaves1 += c == 0 ? 1 : 0;
+  for (const auto c : f2.child_count) leaves2 += c == 0 ? 1 : 0;
+  const std::uint64_t n_slices =
+      static_cast<std::uint64_t>(f1.size()) * static_cast<std::uint64_t>(f2.size());
+
+  std::uint64_t pushes = 0, slices = 0;
+  for (const auto& lane : r.timeline) {
+    pushes += lane.ready_pushes;
+    slices += lane.slices;
+    EXPECT_EQ(lane.barrier_wait_seconds, 0.0);  // no barriers anywhere
+    EXPECT_GE(lane.steal_idle_seconds, 0.0);
+  }
+  EXPECT_EQ(pushes, n_slices - leaves1 * leaves2);
+  EXPECT_EQ(slices, n_slices);
+}
+
+TEST(PrnaStealing, ExceptionPropagatesToCaller) {
+  const auto s = random_structure(40, 0.5, 17);
+  PrnaOptions opt;
+  opt.num_threads = 4;
+  opt.schedule = PrnaSchedule::kStealing;
+  opt.stage1_hook = [](std::size_t, std::size_t) {
+    throw std::runtime_error("injected stealing fault");
+  };
+  try {
+    prna(s, s, opt);
+    FAIL() << "expected the injected fault to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "injected stealing fault");
+  }
+}
+
+TEST(PrnaStealing, WavefrontStageTwoComposes) {
+  const auto s = worst_case_structure(60);
+  PrnaOptions opt;
+  opt.num_threads = 4;
+  opt.schedule = PrnaSchedule::kStealing;
+  opt.parallel_stage2 = true;
+  EXPECT_EQ(prna(s, s, opt).value, 30);
+}
+
+TEST(PrnaStealing, UseStdThreadsRequiresStealingSchedule) {
+  const auto s = db("(.)");
+  PrnaOptions opt;
+  opt.use_std_threads = true;  // schedule left at kStaticColumns
+  EXPECT_THROW(prna(s, s, opt), std::invalid_argument);
+  opt.schedule = PrnaSchedule::kStealing;
+  opt.parallel_stage2 = true;  // OpenMP wavefront is incompatible with the shim
+  EXPECT_THROW(prna(s, s, opt), std::invalid_argument);
+}
+
+// PrnaStealingShim.* runs the scheduler on plain std::thread workers — the
+// suite scripts/check_tsan.sh selects by name, since ThreadSanitizer cannot
+// model libgomp's synchronization but checks the Chase-Lev deque and the
+// dependency counters fully through this path.
+TEST(PrnaStealingShim, MatchesSequentialUnderStdThreads) {
+  for (const int threads : {1, 2, 4}) {
+    for (std::uint64_t seed = 0; seed < 3; ++seed) {
+      const auto s1 = random_structure(50, 0.5, 700 + seed);
+      const auto s2 = random_structure(48, 0.5, 800 + seed);
+      PrnaOptions opt;
+      opt.num_threads = threads;
+      opt.schedule = PrnaSchedule::kStealing;
+      opt.use_std_threads = true;
+      opt.validate_memo = true;
+      EXPECT_EQ(prna(s1, s2, opt).value, srna2(s1, s2).value)
+          << "threads=" << threads << " seed=" << seed;
+    }
+  }
+}
+
+TEST(PrnaStealingShim, WorstCaseOversubscribed) {
+  const auto s = worst_case_structure(70);
+  PrnaOptions opt;
+  opt.num_threads = 8;
+  opt.schedule = PrnaSchedule::kStealing;
+  opt.use_std_threads = true;
+  opt.validate_memo = true;
+  EXPECT_EQ(prna(s, s, opt).value, 35);
+}
+
+TEST(PrnaStealingShim, ExceptionPropagatesUnderStdThreads) {
+  const auto s = random_structure(40, 0.5, 19);
+  PrnaOptions opt;
+  opt.num_threads = 4;
+  opt.schedule = PrnaSchedule::kStealing;
+  opt.use_std_threads = true;
+  opt.stage1_hook = [](std::size_t a, std::size_t b) {
+    if ((a + b) % 3 == 0) throw std::runtime_error("injected shim fault");
+  };
+  EXPECT_THROW(prna(s, s, opt), std::runtime_error);
 }
 
 TEST(Prna, ResultToJsonRoundTrips) {
