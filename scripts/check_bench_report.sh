@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Bench-trajectory regression check: rerun the serving benchmark with the
+# committed baseline's parameters and gate the delta with srna-bench-report
+# (docs/OBSERVABILITY.md).
+#
+# The committed baseline is BENCH_serving_throughput.json at the repo root
+# (refresh it by rerunning the srna-loadgen command recorded in its
+# "command_line" field). The gate uses the same 25% slack as the
+# micro-kernel smoke test; machine noise on shared CI boxes is real, which
+# is why this check is opt-in (-DSRNA_BENCH_REPORT_CHECK=ON, or run this
+# script by hand before publishing perf-sensitive changes).
+#
+# Usage: scripts/check_bench_report.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+LOADGEN="$BUILD_DIR/tools/srna-loadgen"
+REPORT="$BUILD_DIR/tools/srna-bench-report"
+BASELINE="BENCH_serving_throughput.json"
+FRESH="$BUILD_DIR/BENCH_serving_throughput_fresh.json"
+
+[ -x "$LOADGEN" ] || { echo "missing $LOADGEN (build first)"; exit 1; }
+[ -x "$REPORT" ] || { echo "missing $REPORT (build first)"; exit 1; }
+[ -f "$BASELINE" ] || { echo "missing committed baseline $BASELINE"; exit 1; }
+
+# Same workload as the committed baseline (its command_line field).
+"$LOADGEN" --requests=2000 --concurrency=8 --length=120 --structures=32 \
+  --output="$FRESH"
+
+"$REPORT" --baseline="$BASELINE" --fresh="$FRESH" --threshold=0.25 \
+  --output="$BUILD_DIR/bench_report_comparison.json"
+
+echo "bench-report: within threshold of the committed trajectory"

@@ -6,11 +6,17 @@
 # build tree (build-tsan/) with -DSRNA_SANITIZE=thread and runs:
 #   * the `tsan`-labelled ctest suites:
 #       - obs_tests   — concurrent trace recording, sharded counters,
-#                       histogram observers,
+#                       histogram observers, sliding-window percentile
+#                       instruments, and the rate-limited structured logger,
 #       - serve_tests — the query service end to end: worker pool, bounded
 #                       admission queue, deadline monitor, sharded result
-#                       cache, TCP + offline transports (all std::thread /
-#                       std::mutex, fully TSan-modeled), and
+#                       cache, TCP + offline transports, request-scoped
+#                       tracing (thread-local context handoff from the
+#                       submitter to the worker that solves the request,
+#                       tests/serve/trace_propagation_test.cpp), and the
+#                       HTTP admin plane scraping live service state while
+#                       workers run (all std::thread / std::mutex, fully
+#                       TSan-modeled), and
 #   * the mini-MPI runtime tests (std::thread + mutex/condvar, which TSan
 #     models exactly), and
 #   * the work-stealing PRNA scheduler under its std::thread shim

@@ -1,9 +1,20 @@
 #include "core/workspace.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace srna {
 
 Workspace& Workspace::local() {
+  // The once-per-thread counter bump sizes the pool: how many thread-local
+  // workspaces exist process-wide (each holds its peak footprint until the
+  // thread exits). Run reports and the admin endpoint surface it next to
+  // engine.workspace_peak_bytes.
   thread_local Workspace workspace;
+  thread_local const bool counted = [] {
+    obs::Registry::instance().counter("engine.workspace_pool_threads").add();
+    return true;
+  }();
+  (void)counted;
   return workspace;
 }
 

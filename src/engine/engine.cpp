@@ -3,6 +3,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 
 namespace srna {
@@ -42,6 +43,10 @@ void SolverBackend::validate(const SolverConfig& config) const {
   const BackendCaps c = caps();
   const SolverConfig defaults;
   auto reject = [&](const char* knob) {
+    obs::Registry::instance().counter("engine.validate_rejects").add();
+    obs::log_warn("engine.validate_reject",
+                  obs::log_fields({{"backend", obs::Json(name())},
+                                   {"knob", obs::Json(knob)}}));
     throw std::invalid_argument(std::string("backend '") + name() +
                                 "' does not support non-default " + knob);
   };
@@ -132,6 +137,10 @@ EngineResult solve_with(const SolverBackend& backend, const SecondaryStructure& 
   const std::size_t footprint_after = workspace.footprint_bytes();
   if (footprint_after > footprint_before)
     metrics.counter("engine.workspace_alloc_bytes").add(footprint_after - footprint_before);
+  // High-watermark of any single pooled workspace — with
+  // engine.workspace_pool_threads it bounds the pool's steady-state memory.
+  metrics.gauge("engine.workspace_peak_bytes")
+      .set_max(static_cast<double>(footprint_after));
   return result;
 }
 

@@ -1,0 +1,165 @@
+#include "obs/bench_compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace srna::obs {
+
+namespace {
+
+bool contains_token(std::string_view key, std::string_view token) {
+  return key.find(token) != std::string_view::npos;
+}
+
+bool ends_with(std::string_view key, std::string_view suffix) {
+  return key.size() >= suffix.size() &&
+         key.compare(key.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Fields that identify a row rather than measure it; they become part of the
+// flattened key so baseline and fresh rows pair up by configuration, not by
+// array position.
+constexpr std::string_view kIdentityFields[] = {
+    "instance", "schedule", "layout",     "algorithm", "backend", "length",
+    "arcs",     "pairs",    "processors", "threads",   "workers", "seed",
+    "n",        "window",
+};
+
+bool is_identity_field(std::string_view name) {
+  return std::find(std::begin(kIdentityFields), std::end(kIdentityFields), name) !=
+         std::end(kIdentityFields);
+}
+
+std::string row_identity(const Json& row) {
+  std::string id;
+  for (const auto& [name, value] : row.members()) {
+    if (!is_identity_field(name)) continue;
+    if (!id.empty()) id += ',';
+    id += name;
+    id += '=';
+    if (value.is_string())
+      id += value.as_string();
+    else if (value.is_number())
+      id += std::to_string(value.as_int());
+  }
+  return id;
+}
+
+void flatten_rows(const Json& rows, std::string_view prefix, std::vector<BenchValue>& out) {
+  for (const Json& row : rows.items()) {
+    if (!row.is_object()) continue;
+    const std::string identity = row_identity(row);
+    for (const auto& [name, value] : row.members()) {
+      if (is_identity_field(name) || !value.is_number()) continue;
+      std::string key{prefix};
+      key += '[';
+      key += identity;
+      key += "].";
+      key += name;
+      out.push_back(BenchValue{std::move(key), value.as_double()});
+    }
+  }
+}
+
+}  // namespace
+
+int metric_direction(std::string_view key) noexcept {
+  // Take the leaf metric name; row identity brackets may contain anything.
+  const std::size_t dot = key.rfind('.');
+  const std::string_view leaf = dot == std::string_view::npos ? key : key.substr(dot + 1);
+  if (contains_token(leaf, "throughput") || contains_token(leaf, "speedup") ||
+      contains_token(leaf, "efficiency") || contains_token(leaf, "hit_rate") ||
+      contains_token(leaf, "per_second") || ends_with(leaf, "_rps") ||
+      ends_with(leaf, "_rate"))
+    return 1;
+  if (ends_with(leaf, "_seconds") || ends_with(leaf, "_ms") || ends_with(leaf, "_us") ||
+      ends_with(leaf, "_ns") || contains_token(leaf, "ns_per") ||
+      contains_token(leaf, "latency") || contains_token(leaf, "idle") ||
+      contains_token(leaf, "wait") || contains_token(leaf, "_p50") ||
+      contains_token(leaf, "_p95") || contains_token(leaf, "_p99"))
+    return -1;
+  return 0;
+}
+
+std::vector<BenchValue> flatten_report_metrics(const Json& report) {
+  std::vector<BenchValue> out;
+  if (!report.is_object()) return out;
+  if (const Json* results = report.find("results"); results != nullptr && results->is_object()) {
+    for (const auto& [name, value] : results->members()) {
+      if (!value.is_number()) continue;
+      out.push_back(BenchValue{"results." + name, value.as_double()});
+    }
+  }
+  if (const Json* rows = report.find("rows"); rows != nullptr && rows->is_array())
+    flatten_rows(*rows, "rows", out);
+  if (const Json* srows = report.find("schedule_rows"); srows != nullptr && srows->is_array())
+    flatten_rows(*srows, "schedule_rows", out);
+  return out;
+}
+
+BenchComparison compare_reports(const Json& baseline, const Json& fresh, double threshold) {
+  BenchComparison cmp;
+  if (const Json* tool = baseline.find("tool"); tool != nullptr) cmp.tool = tool->as_string();
+
+  const std::vector<BenchValue> base_values = flatten_report_metrics(baseline);
+  const std::vector<BenchValue> fresh_values = flatten_report_metrics(fresh);
+  std::map<std::string, double> fresh_by_key;
+  for (const BenchValue& v : fresh_values) fresh_by_key.emplace(v.key, v.value);
+
+  for (const BenchValue& base : base_values) {
+    const auto it = fresh_by_key.find(base.key);
+    if (it == fresh_by_key.end()) {
+      cmp.only_in_baseline.push_back(base.key);
+      continue;
+    }
+    BenchDelta d;
+    d.key = base.key;
+    d.baseline = base.value;
+    d.fresh = it->second;
+    d.direction = metric_direction(base.key);
+    if (base.value != 0.0 && std::isfinite(base.value) && std::isfinite(it->second)) {
+      d.delta_fraction = (d.fresh - d.baseline) / std::fabs(d.baseline);
+      if (d.direction < 0)
+        d.regression = d.delta_fraction > threshold;
+      else if (d.direction > 0)
+        d.regression = d.delta_fraction < -threshold;
+    }
+    cmp.has_regression = cmp.has_regression || d.regression;
+    cmp.deltas.push_back(std::move(d));
+    fresh_by_key.erase(it);
+  }
+  // What survives in the map only exists in the fresh run. Keep report order.
+  for (const BenchValue& v : fresh_values)
+    if (fresh_by_key.count(v.key) != 0) cmp.only_in_fresh.push_back(v.key);
+  return cmp;
+}
+
+Json BenchComparison::to_json() const {
+  Json doc = Json::object();
+  doc.set("schema", "srna-bench-comparison");
+  doc.set("tool", tool);
+  doc.set("has_regression", has_regression);
+  Json rows = Json::array();
+  for (const BenchDelta& d : deltas) {
+    Json row = Json::object();
+    row.set("key", d.key);
+    row.set("baseline", d.baseline);
+    row.set("fresh", d.fresh);
+    row.set("delta_fraction", d.delta_fraction);
+    row.set("direction",
+            d.direction > 0 ? "higher_better" : (d.direction < 0 ? "lower_better" : "info"));
+    row.set("regression", d.regression);
+    rows.push(std::move(row));
+  }
+  doc.set("deltas", std::move(rows));
+  Json only_base = Json::array();
+  for (const std::string& k : only_in_baseline) only_base.push(k);
+  doc.set("only_in_baseline", std::move(only_base));
+  Json only_fresh = Json::array();
+  for (const std::string& k : only_in_fresh) only_fresh.push(k);
+  doc.set("only_in_fresh", std::move(only_fresh));
+  return doc;
+}
+
+}  // namespace srna::obs

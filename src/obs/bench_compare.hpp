@@ -1,0 +1,67 @@
+// Bench-trajectory comparison: the regression math behind srna-bench-report.
+//
+// The repo records its benchmark trajectory as `BENCH_<name>.json` run
+// reports (obs::RunReport documents). This module flattens the measurement
+// surface of two such reports — the flat `results` object the serving bench
+// writes, and the `rows` / `schedule_rows` arrays the table/figure benches
+// write — into comparable (key, value) pairs, classifies each metric's
+// direction from its name, and flags deltas beyond a threshold as
+// regressions:
+//
+//   lower-is-better   *_seconds, *_ms, *_us, *_ns (and ns_per_*), latency,
+//                     idle, wait — a fresh value > baseline * (1 + t) regresses
+//   higher-is-better  throughput, *_rps, *_per_second, speedup, efficiency,
+//                     hit_rate — a fresh value < baseline * (1 - t) regresses
+//   informational     everything else (counts, values, parameters): reported
+//                     in the delta table, never a regression
+//
+// Rows are keyed by their identity fields (length, arcs, processors,
+// threads, schedule, instance, ...), so reordering or extending a series
+// shows up as added/missing keys rather than false deltas.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace srna::obs {
+
+// +1 higher-is-better, -1 lower-is-better, 0 informational.
+[[nodiscard]] int metric_direction(std::string_view key) noexcept;
+
+struct BenchValue {
+  std::string key;
+  double value = 0.0;
+};
+
+// The numeric measurement surface of one run report (see header comment).
+[[nodiscard]] std::vector<BenchValue> flatten_report_metrics(const Json& report);
+
+struct BenchDelta {
+  std::string key;
+  double baseline = 0.0;
+  double fresh = 0.0;
+  double delta_fraction = 0.0;  // (fresh - baseline) / |baseline|; 0 when baseline == 0
+  int direction = 0;            // metric_direction(key)
+  bool regression = false;
+};
+
+struct BenchComparison {
+  std::string tool;                              // from the baseline report
+  std::vector<BenchDelta> deltas;                // keys present in both
+  std::vector<std::string> only_in_baseline;     // dropped metrics
+  std::vector<std::string> only_in_fresh;        // new metrics
+  bool has_regression = false;
+
+  [[nodiscard]] Json to_json() const;
+};
+
+// Compares two run reports; `threshold` is the allowed relative slack
+// (0.25 = 25%, the micro-kernel smoke gate's value). Baselines at exactly 0
+// are informational (no meaningful relative delta).
+[[nodiscard]] BenchComparison compare_reports(const Json& baseline, const Json& fresh,
+                                              double threshold);
+
+}  // namespace srna::obs

@@ -1,0 +1,138 @@
+#include "obs/exposition.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/trace.hpp"
+
+namespace srna::obs {
+
+namespace {
+
+// Shortest round-trip double formatting ("%.17g" is exact but noisy; %.10g
+// is plenty for metrics and keeps scrape bodies compact).
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+std::string fmt(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+void type_line(std::string& out, const std::string& name, const char* type) {
+  out += "# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "srna_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name)
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_') ? c : '_';
+  return out;
+}
+
+std::string render_prometheus(const Registry& registry) {
+  std::string out;
+  out.reserve(4096);
+
+  registry.visit(
+      [&](const std::string& name, const Counter& c) {
+        const std::string metric = prometheus_name(name);
+        type_line(out, metric, "counter");
+        out += metric;
+        out += ' ';
+        out += fmt(c.value());
+        out += '\n';
+      },
+      [&](const std::string& name, const Gauge& g) {
+        const std::string metric = prometheus_name(name);
+        type_line(out, metric, "gauge");
+        out += metric;
+        out += ' ';
+        out += fmt(g.value());
+        out += '\n';
+      },
+      [&](const std::string& name, const Histogram& h) {
+        const std::string metric = prometheus_name(name);
+        type_line(out, metric, "histogram");
+        const auto counts = h.bucket_counts();
+        // Last occupied bucket bounds the emitted series; everything after
+        // it adds no information beyond the +Inf line.
+        std::size_t last = 0;
+        std::uint64_t total = 0;
+        for (std::size_t i = 0; i < counts.size(); ++i) {
+          if (counts[i] > 0) last = i;
+          total += counts[i];
+        }
+        std::uint64_t cumulative = 0;
+        if (total > 0) {
+          for (std::size_t i = 0; i <= last; ++i) {
+            cumulative += counts[i];
+            out += metric;
+            out += "_bucket{le=\"";
+            out += fmt(Histogram::bucket_upper_bound(i));
+            out += "\"} ";
+            out += fmt(cumulative);
+            out += '\n';
+          }
+        }
+        out += metric;
+        out += "_bucket{le=\"+Inf\"} ";
+        out += fmt(total);
+        out += '\n';
+        const Histogram::Snapshot s = h.snapshot();
+        out += metric;
+        out += "_sum ";
+        out += fmt(s.sum);
+        out += '\n';
+        out += metric;
+        out += "_count ";
+        out += fmt(total);
+        out += '\n';
+      },
+      [&](const std::string& name, const WindowHistogram& w) {
+        const std::string metric = prometheus_name(name);
+        type_line(out, metric, "summary");
+        const WindowHistogram::Snapshot s = w.snapshot();
+        const std::pair<const char*, double> quantiles[] = {
+            {"0.5", s.p50}, {"0.9", s.p90}, {"0.95", s.p95}, {"0.99", s.p99}};
+        for (const auto& [q, v] : quantiles) {
+          out += metric;
+          out += "{quantile=\"";
+          out += q;
+          out += "\"} ";
+          out += fmt(v);
+          out += '\n';
+        }
+        out += metric;
+        out += "_count ";
+        out += fmt(s.count);
+        out += '\n';
+      });
+
+  // Tracer health: a saturated span buffer drops events silently on the hot
+  // path; the scrape is where that becomes an alert.
+  const Tracer& tracer = Tracer::instance();
+  type_line(out, "srna_trace_events_recorded", "gauge");
+  out += "srna_trace_events_recorded ";
+  out += fmt(tracer.events_recorded());
+  out += '\n';
+  type_line(out, "srna_trace_events_dropped", "gauge");
+  out += "srna_trace_events_dropped ";
+  out += fmt(tracer.events_dropped());
+  out += '\n';
+  return out;
+}
+
+}  // namespace srna::obs

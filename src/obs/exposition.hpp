@@ -1,0 +1,36 @@
+// Prometheus text exposition (format version 0.0.4) of the metrics
+// Registry, for the serve admin endpoint and anything else that wants to be
+// scraped.
+//
+// Mapping:
+//   Counter          -> `srna_<name>` counter
+//   Gauge            -> `srna_<name>` gauge
+//   Histogram        -> `srna_<name>` histogram: cumulative `_bucket{le=..}`
+//                       series (log-linear upper bounds, empty tail elided,
+//                       `+Inf` always present), `_sum`, `_count`
+//   WindowHistogram  -> `srna_<name>` summary: exact `{quantile=..}` gauges
+//                       (0.5 / 0.9 / 0.95 / 0.99) over the sliding window,
+//                       plus `_count` (observations ever)
+//
+// Instrument names are sanitized to the Prometheus charset (every character
+// outside [a-zA-Z0-9_] becomes `_`, so `serve.queue_depth` scrapes as
+// `srna_serve_queue_depth`). The tracer's own health — events recorded and
+// dropped since enable() — is appended as `srna_trace_events_recorded` /
+// `srna_trace_events_dropped`, making silent trace truncation visible on a
+// dashboard instead of only in a post-mortem report.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace srna::obs {
+
+// `serve.queue_depth` -> `srna_serve_queue_depth`.
+[[nodiscard]] std::string prometheus_name(std::string_view name);
+
+// The whole registry (plus the tracer totals) as one scrape body.
+[[nodiscard]] std::string render_prometheus(const Registry& registry = Registry::instance());
+
+}  // namespace srna::obs

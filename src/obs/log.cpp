@@ -1,0 +1,134 @@
+#include "obs/log.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+namespace srna::obs {
+
+namespace {
+
+std::uint64_t steady_us() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::int64_t wall_ms() noexcept {
+  return static_cast<std::int64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+const char* to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "info";
+}
+
+std::optional<LogLevel> parse_log_level(std::string_view name) noexcept {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+Logger& Logger::instance() noexcept {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(Sink sink) {
+  std::lock_guard lock(mutex_);
+  sink_ = std::move(sink);
+}
+
+void Logger::set_rate_limit(std::uint64_t limit, double window_seconds) {
+  std::lock_guard lock(mutex_);
+  limit_ = limit;
+  window_us_ = window_seconds > 0
+                   ? static_cast<std::uint64_t>(window_seconds * 1e6)
+                   : 0;
+  events_.clear();
+}
+
+void Logger::reset_counters() {
+  std::lock_guard lock(mutex_);
+  events_.clear();
+  emitted_.store(0, std::memory_order_relaxed);
+  suppressed_.store(0, std::memory_order_relaxed);
+}
+
+void Logger::log(LogLevel level, std::string_view event, Json fields) {
+  if (!enabled(level)) return;
+
+  std::uint64_t carry_suppressed = 0;
+  std::lock_guard lock(mutex_);
+  if (limit_ > 0 && window_us_ > 0) {
+    EventState& state = events_[std::string(event)];
+    const std::uint64_t now = steady_us();
+    if (now - state.window_start_us >= window_us_) {
+      state.window_start_us = now;
+      state.in_window = 0;
+    }
+    if (state.in_window >= limit_) {
+      ++state.suppressed;
+      suppressed_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    ++state.in_window;
+    carry_suppressed = state.suppressed;
+    state.suppressed = 0;
+  }
+
+  // Header first, fields after, suppression count last — stable order so
+  // humans and `grep` both read the lines comfortably.
+  std::string line = "{\"ts_ms\":";
+  line += std::to_string(wall_ms());
+  line += ",\"level\":\"";
+  line += to_string(level);
+  line += "\",\"event\":\"";
+  line += Json::escape(event);
+  line += '"';
+  if (fields.is_object()) {
+    for (const auto& [key, value] : fields.members()) {
+      line += ",\"";
+      line += Json::escape(key);
+      line += "\":";
+      line += value.dump();
+    }
+  }
+  if (carry_suppressed > 0) {
+    line += ",\"suppressed\":";
+    line += std::to_string(carry_suppressed);
+  }
+  line += '}';
+
+  emitted_.fetch_add(1, std::memory_order_relaxed);
+  if (sink_) {
+    sink_(line);
+  } else {
+    // One fwrite so concurrent processes (not just threads) interleave at
+    // line granularity.
+    line += '\n';
+    std::fwrite(line.data(), 1, line.size(), stderr);
+  }
+}
+
+Json log_fields(std::initializer_list<std::pair<const char*, Json>> kv) {
+  Json fields = Json::object();
+  for (auto& [key, value] : kv) fields.set(key, value);
+  return fields;
+}
+
+}  // namespace srna::obs

@@ -1,0 +1,123 @@
+// Structured logger: leveled, rate-limited JSON lines.
+//
+// One event per line, machine-parseable, written to stderr by default:
+//
+//   {"ts_ms":1754500000123,"level":"warn","event":"serve.reject",
+//    "id":17,"reason":"queue full","retry_after_ms":12.5}
+//
+// This replaces ad-hoc stderr prints in the long-running subsystems (serve,
+// PRNA's scheduler, the engine's validation path). Design rules:
+//
+//   * Leveled — debug/info/warn/error, filtered by a single relaxed atomic
+//     load, so a disabled `log_debug` on a hot path costs one branch.
+//   * Rate-limited per event key — a burst of identical errors (every
+//     request timing out, a client hammering a closed queue) emits at most
+//     `limit` lines per sliding window; further lines are counted, and the
+//     suppressed count is attached to the next emitted line for that event
+//     (`"suppressed": N`), so bursts stay visible without flooding.
+//   * Structured — fields are a Json object, rendered inline after the
+//     ts/level/event header. Renderers never throw; logging must not take
+//     down the server.
+//
+// The sink is swappable (tests capture lines; a daemon could ship them); the
+// default writes one line to stderr under the logger mutex.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/json.hpp"
+
+namespace srna::obs {
+
+enum class LogLevel : std::uint8_t { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+[[nodiscard]] const char* to_string(LogLevel level) noexcept;
+// "debug" | "info" | "warn" | "error" | "off"; nullopt otherwise.
+[[nodiscard]] std::optional<LogLevel> parse_log_level(std::string_view name) noexcept;
+
+class Logger {
+ public:
+  static Logger& instance() noexcept;
+
+  void set_min_level(LogLevel level) noexcept {
+    min_level_.store(static_cast<std::uint8_t>(level), std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel min_level() const noexcept {
+    return static_cast<LogLevel>(min_level_.load(std::memory_order_relaxed));
+  }
+  // The cheap guard: build fields only when the line can be emitted.
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+    return level >= min_level() && level != LogLevel::kOff;
+  }
+
+  // Replaces the output sink (nullptr restores the stderr default). The sink
+  // runs under the logger mutex — keep it fast and non-reentrant.
+  using Sink = std::function<void(const std::string& line)>;
+  void set_sink(Sink sink);
+
+  // Per-event-key rate limit: at most `limit` lines per `window_seconds`
+  // sliding window (limit 0 disables limiting). Resets the per-event state.
+  void set_rate_limit(std::uint64_t limit, double window_seconds);
+
+  // Emits one line. `event` is the rate-limit key and should be a stable
+  // dotted identifier ("serve.reject"); `fields` an object (or null).
+  void log(LogLevel level, std::string_view event, Json fields = Json());
+
+  [[nodiscard]] std::uint64_t lines_emitted() const noexcept {
+    return emitted_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t lines_suppressed() const noexcept {
+    return suppressed_.load(std::memory_order_relaxed);
+  }
+
+  // Test support: clears rate-limiter state and the emitted/suppressed
+  // totals (instruments and sink survive).
+  void reset_counters();
+
+ private:
+  Logger() = default;
+
+  struct EventState {
+    std::uint64_t window_start_us = 0;  // steady-clock micros
+    std::uint64_t in_window = 0;
+    std::uint64_t suppressed = 0;  // since the last emitted line
+  };
+
+  std::atomic<std::uint8_t> min_level_{static_cast<std::uint8_t>(LogLevel::kInfo)};
+  std::atomic<std::uint64_t> emitted_{0};
+  std::atomic<std::uint64_t> suppressed_{0};
+
+  std::mutex mutex_;  // guards sink_, events_, limit config
+  Sink sink_;
+  std::uint64_t limit_ = 10;
+  std::uint64_t window_us_ = 1'000'000;
+  std::unordered_map<std::string, EventState> events_;
+};
+
+// Builds the fields object: log_fields({{"id", Json(7)}, {"reason", Json("x")}}).
+[[nodiscard]] Json log_fields(
+    std::initializer_list<std::pair<const char*, Json>> kv);
+
+inline void log_debug(std::string_view event, Json fields = Json()) {
+  Logger::instance().log(LogLevel::kDebug, event, std::move(fields));
+}
+inline void log_info(std::string_view event, Json fields = Json()) {
+  Logger::instance().log(LogLevel::kInfo, event, std::move(fields));
+}
+inline void log_warn(std::string_view event, Json fields = Json()) {
+  Logger::instance().log(LogLevel::kWarn, event, std::move(fields));
+}
+inline void log_error(std::string_view event, Json fields = Json()) {
+  Logger::instance().log(LogLevel::kError, event, std::move(fields));
+}
+
+}  // namespace srna::obs

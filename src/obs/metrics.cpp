@@ -92,6 +92,13 @@ Json Histogram::to_json() const {
   return out;
 }
 
+std::array<std::uint64_t, Histogram::kBuckets> Histogram::bucket_counts() const noexcept {
+  std::array<std::uint64_t, kBuckets> counts{};
+  for (std::size_t i = 0; i < kBuckets; ++i)
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  return counts;
+}
+
 void Histogram::reset() noexcept {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
@@ -129,6 +136,15 @@ Histogram& Registry::histogram(std::string_view name) {
   return *it->second;
 }
 
+WindowHistogram& Registry::window(std::string_view name, std::size_t capacity) {
+  std::lock_guard lock(mutex_);
+  auto it = windows_.find(name);
+  if (it == windows_.end())
+    it = windows_.emplace(std::string(name), std::make_unique<WindowHistogram>(capacity))
+             .first;
+  return *it->second;
+}
+
 Json Registry::snapshot() const {
   std::lock_guard lock(mutex_);
   Json counters = Json::object();
@@ -137,11 +153,31 @@ Json Registry::snapshot() const {
   for (const auto& [name, g] : gauges_) gauges.set(name, g->value());
   Json histograms = Json::object();
   for (const auto& [name, h] : histograms_) histograms.set(name, h->to_json());
+  Json windows = Json::object();
+  for (const auto& [name, w] : windows_) windows.set(name, w->to_json());
   Json out = Json::object();
   out.set("counters", std::move(counters));
   out.set("gauges", std::move(gauges));
   out.set("histograms", std::move(histograms));
+  out.set("windows", std::move(windows));
   return out;
+}
+
+void Registry::visit(
+    const std::function<void(const std::string&, const Counter&)>& on_counter,
+    const std::function<void(const std::string&, const Gauge&)>& on_gauge,
+    const std::function<void(const std::string&, const Histogram&)>& on_histogram,
+    const std::function<void(const std::string&, const WindowHistogram&)>& on_window)
+    const {
+  std::lock_guard lock(mutex_);
+  if (on_counter)
+    for (const auto& [name, c] : counters_) on_counter(name, *c);
+  if (on_gauge)
+    for (const auto& [name, g] : gauges_) on_gauge(name, *g);
+  if (on_histogram)
+    for (const auto& [name, h] : histograms_) on_histogram(name, *h);
+  if (on_window)
+    for (const auto& [name, w] : windows_) on_window(name, *w);
 }
 
 void Registry::reset() {
@@ -149,6 +185,7 @@ void Registry::reset() {
   for (const auto& [name, c] : counters_) c->reset();
   for (const auto& [name, g] : gauges_) g->reset();
   for (const auto& [name, h] : histograms_) h->reset();
+  for (const auto& [name, w] : windows_) w->reset();
 }
 
 }  // namespace srna::obs

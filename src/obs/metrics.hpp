@@ -14,6 +14,7 @@
 
 #include <array>
 #include <atomic>
+#include <functional>
 #include <limits>
 #include <cstdint>
 #include <map>
@@ -23,6 +24,7 @@
 #include <string_view>
 
 #include "obs/json.hpp"
+#include "obs/window.hpp"
 
 namespace srna::obs {
 
@@ -53,6 +55,13 @@ class Counter {
 class Gauge {
  public:
   void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  // High-watermark update: keeps the larger of the stored and new value
+  // (CAS loop; atomic<double> has no fetch_max).
+  void set_max(double v) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (v > cur && !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
   [[nodiscard]] double value() const noexcept { return value_.load(std::memory_order_relaxed); }
   void reset() noexcept { set(0.0); }
 
@@ -85,6 +94,10 @@ class Histogram {
 
   void reset() noexcept;
 
+  // Per-bucket counts (relaxed loads) — the exposition renderer emits these
+  // as cumulative Prometheus buckets.
+  [[nodiscard]] std::array<std::uint64_t, kBuckets> bucket_counts() const noexcept;
+
   // Exposed for tests.
   static std::size_t bucket_index(double v) noexcept;
   static double bucket_upper_bound(std::size_t index) noexcept;
@@ -108,10 +121,26 @@ class Registry {
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
+  // Sliding-window percentile instrument (exact over the last `capacity`
+  // observations; capacity applies on first creation only).
+  WindowHistogram& window(std::string_view name,
+                          std::size_t capacity = WindowHistogram::kDefaultCapacity);
 
-  // {"counters": {...}, "gauges": {...}, "histograms": {...}} — instrument
-  // names sorted (std::map), values read with relaxed loads.
+  // {"counters": {...}, "gauges": {...}, "histograms": {...},
+  //  "windows": {...}} — instrument names sorted (std::map), values read
+  // with relaxed loads.
   [[nodiscard]] Json snapshot() const;
+
+  // Visits every registered instrument under the registry lock, in name
+  // order per kind. The exposition renderer uses this to reach per-bucket
+  // histogram counts that the JSON snapshot flattens away. Callbacks must
+  // not re-enter the registry.
+  void visit(
+      const std::function<void(const std::string&, const Counter&)>& on_counter,
+      const std::function<void(const std::string&, const Gauge&)>& on_gauge,
+      const std::function<void(const std::string&, const Histogram&)>& on_histogram,
+      const std::function<void(const std::string&, const WindowHistogram&)>& on_window)
+      const;
 
   // Zeroes every instrument in place; registrations (and cached references)
   // survive.
@@ -123,6 +152,7 @@ class Registry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<WindowHistogram>, std::less<>> windows_;
 };
 
 }  // namespace srna::obs

@@ -3,11 +3,36 @@
 #include <fstream>
 #include <iostream>
 
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/cli.hpp"
 
 namespace srna::obs {
+
+namespace {
+
+// One-glance run health for the report: did the trace lose events, how much
+// workspace did the engine's thread-local pool hold, did the logger throttle.
+// Reads only named registry instruments (zero if the layer never ran), so
+// obs stays independent of core/engine.
+Json run_summary_json() {
+  Registry& reg = Registry::instance();
+  const Tracer& tracer = Tracer::instance();
+  const Logger& logger = Logger::instance();
+  Json s = Json::object();
+  s.set("trace_events_recorded", tracer.events_recorded());
+  s.set("trace_events_dropped", tracer.events_dropped());
+  s.set("workspace_pool_threads", reg.counter("engine.workspace_pool_threads").value());
+  s.set("workspace_peak_bytes", reg.gauge("engine.workspace_peak_bytes").value());
+  s.set("workspace_reuse", reg.counter("engine.workspace_reuse").value());
+  s.set("workspace_alloc_bytes", reg.counter("engine.workspace_alloc_bytes").value());
+  s.set("log_lines_emitted", logger.lines_emitted());
+  s.set("log_lines_suppressed", logger.lines_suppressed());
+  return s;
+}
+
+}  // namespace
 
 void ObsSession::add_cli_options(CliParser& cli) {
   cli.add_option("trace", "write a Chrome trace-event JSON (open in Perfetto)", "");
@@ -54,6 +79,7 @@ std::vector<std::string> ObsSession::finish() {
   if (reporting()) {
     report_.add_metrics_snapshot();
     report_.add_trace_summary();
+    report_.set("summary", run_summary_json());
     record(report_.write(paths_.report), paths_.report);
   }
   return written;

@@ -4,6 +4,37 @@
 
 namespace srna::obs {
 
+namespace trace_context {
+
+namespace {
+thread_local std::uint64_t t_current_trace_id = 0;
+}  // namespace
+
+std::uint64_t current() noexcept { return t_current_trace_id; }
+void set(std::uint64_t id) noexcept { t_current_trace_id = id; }
+
+}  // namespace trace_context
+
+namespace {
+
+// Stamps the thread's current trace id into a pre-rendered args object
+// (no-op when no context is set). The events of one request then share
+// `"args":{"trace_id":N,...}` across every category and thread.
+void stamp_trace_context(std::string& args_json) {
+  const std::uint64_t id = trace_context::current();
+  if (id == 0) return;
+  std::string stamped = "{\"trace_id\":" + std::to_string(id);
+  if (args_json.size() > 2 && args_json.front() == '{') {
+    stamped += ',';
+    stamped.append(args_json, 1, args_json.size() - 1);
+  } else {
+    stamped += '}';
+  }
+  args_json = std::move(stamped);
+}
+
+}  // namespace
+
 Tracer& Tracer::instance() noexcept {
   static Tracer tracer;
   return tracer;
@@ -34,6 +65,7 @@ Tracer::ThreadBuffer& Tracer::local_buffer() {
 void Tracer::record(const char* category, const char* name, std::uint64_t start_us,
                     std::uint64_t dur_us, std::string args_json) {
   if (!enabled()) return;
+  stamp_trace_context(args_json);
   ThreadBuffer& buf = local_buffer();
   const std::size_t i = buf.committed.load(std::memory_order_relaxed);
   if (i >= buf.events.capacity()) {
@@ -46,6 +78,7 @@ void Tracer::record(const char* category, const char* name, std::uint64_t start_
 
 void Tracer::instant(const char* category, const char* name, std::string args_json) {
   if (!enabled()) return;
+  stamp_trace_context(args_json);
   ThreadBuffer& buf = local_buffer();
   const std::size_t i = buf.committed.load(std::memory_order_relaxed);
   if (i >= buf.events.capacity()) {

@@ -30,6 +30,35 @@
 
 namespace srna::obs {
 
+// Request-scoped trace context: a thread-local "current trace id" that the
+// tracer stamps into the args of every event recorded while it is set
+// (`"trace_id": N`), so all spans of one serve request — admission queue,
+// cache lookup, engine solve, and the solver's own internal spans — group
+// into one correlated lane set in the Chrome trace. Serve assigns the ids;
+// code that moves a request's work onto other threads (PRNA's stage-one
+// workers) captures current() before the handoff and re-establishes it with
+// a TraceContextScope on each worker. Id 0 means "no context".
+namespace trace_context {
+[[nodiscard]] std::uint64_t current() noexcept;
+void set(std::uint64_t id) noexcept;
+}  // namespace trace_context
+
+// RAII: installs `id` as the calling thread's trace context, restores the
+// previous context on destruction (nesting-safe).
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(std::uint64_t id) noexcept
+      : previous_(trace_context::current()) {
+    trace_context::set(id);
+  }
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+  ~TraceContextScope() { trace_context::set(previous_); }
+
+ private:
+  std::uint64_t previous_;
+};
+
 class Tracer {
  public:
   static Tracer& instance() noexcept;

@@ -1,0 +1,75 @@
+#include "obs/window.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace srna::obs {
+
+void WindowHistogram::observe(double v) noexcept {
+  if (std::isnan(v)) return;
+  std::lock_guard lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(v);
+  } else {
+    ring_[next_] = v;
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++total_;
+}
+
+std::vector<double> WindowHistogram::copy_window() const {
+  std::lock_guard lock(mutex_);
+  return ring_;
+}
+
+double WindowHistogram::quantile(double q) const {
+  std::vector<double> values = copy_window();
+  if (values.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank =
+      static_cast<std::size_t>(q * static_cast<double>(values.size() - 1));
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<std::ptrdiff_t>(rank), values.end());
+  return values[rank];
+}
+
+WindowHistogram::Snapshot WindowHistogram::snapshot() const {
+  Snapshot s;
+  std::vector<double> values;
+  {
+    std::lock_guard lock(mutex_);
+    s.count = total_;
+    values = ring_;
+  }
+  s.window = values.size();
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  const auto at = [&](double q) {
+    return values[static_cast<std::size_t>(q * static_cast<double>(values.size() - 1))];
+  };
+  s.p50 = at(0.50);
+  s.p90 = at(0.90);
+  s.p95 = at(0.95);
+  s.p99 = at(0.99);
+  return s;
+}
+
+Json WindowHistogram::to_json() const {
+  const Snapshot s = snapshot();
+  Json out = Json::object();
+  out.set("count", s.count).set("window", s.window);
+  out.set("min", s.min).set("max", s.max);
+  out.set("p50", s.p50).set("p90", s.p90).set("p95", s.p95).set("p99", s.p99);
+  return out;
+}
+
+void WindowHistogram::reset() {
+  std::lock_guard lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+}  // namespace srna::obs

@@ -1,0 +1,71 @@
+// Sliding-window percentile estimator: a ring buffer of the most recent
+// observations, with exact percentiles computed over the window at read
+// time.
+//
+// The log-linear `Histogram` answers "where did the time go since the
+// process started" with ~±41% bucket error — fine for post-mortem reports,
+// useless for a live p99 gauge that must reflect the last few seconds of
+// traffic and read accurately on a dashboard. A WindowHistogram keeps the
+// raw values of the last `capacity` observations (one double each, a few KB
+// per instrument), so a scrape gets exact order statistics over a window
+// that slides by observation count.
+//
+// Concurrency: observe() is a mutex-guarded O(1) slot write — the serve
+// completion path takes it once per request, which is noise next to a
+// solve. snapshot() copies the window under the lock and sorts outside it,
+// so scrapes never stall writers for more than the copy.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace srna::obs {
+
+class WindowHistogram {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 2048;
+
+  explicit WindowHistogram(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    ring_.reserve(capacity_);
+  }
+
+  void observe(double v) noexcept;
+
+  struct Snapshot {
+    std::uint64_t count = 0;   // observations ever
+    std::uint64_t window = 0;  // observations currently in the window
+    double min = 0.0;          // over the window
+    double max = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  // One exact order statistic over the current window (0 when empty). Uses
+  // the same rank rule as the load generator: sorted[floor(q * (n - 1))].
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  [[nodiscard]] Json to_json() const;
+
+  void reset();
+
+ private:
+  [[nodiscard]] std::vector<double> copy_window() const;
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<double> ring_;  // grows to capacity_, then wraps
+  std::size_t next_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace srna::obs

@@ -12,6 +12,7 @@
 #include "core/memo_table.hpp"
 #include "core/tabulate_slice.hpp"
 #include "parallel/work_stealing.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/assert.hpp"
@@ -153,6 +154,21 @@ PrnaResult prna(const SecondaryStructure& s1, const SecondaryStructure& s2,
   // (static/dynamic) or barrier-free dependency-driven stealing. ---
   phase.reset();
   obs::TraceScope stage1_span("prna", "stage1");
+  // The caller's request-scoped trace context does not follow work onto
+  // pool threads (thread_local); capture it here and re-establish it on
+  // each stage-one worker so their spans stay correlated with the request.
+  const std::uint64_t trace_id = obs::trace_context::current();
+  const char* schedule_name = stealing ? "stealing"
+                              : options.schedule == PrnaSchedule::kDynamic ? "dynamic"
+                                                                           : "static";
+  if (obs::Logger::instance().enabled(obs::LogLevel::kDebug))
+    obs::log_debug(
+        "prna.stage1_start",
+        obs::log_fields({{"schedule", obs::Json(schedule_name)},
+                         {"threads", obs::Json(static_cast<std::int64_t>(threads))},
+                         {"slices", obs::Json(static_cast<std::uint64_t>(idx1.size()) *
+                                              static_cast<std::uint64_t>(idx2.size()))},
+                         {"trace_id", obs::Json(trace_id)}}));
   std::vector<McosStats> thread_stats(static_cast<std::size_t>(threads));
   result.cells_per_thread.assign(static_cast<std::size_t>(threads), 0);
   result.timeline.assign(static_cast<std::size_t>(threads), PrnaThreadTimeline{});
@@ -189,6 +205,21 @@ PrnaResult prna(const SecondaryStructure& s1, const SecondaryStructure& s2,
       if (first_error == nullptr) first_error = std::current_exception();
     }
     failed.store(true, std::memory_order_relaxed);
+    // Best-effort: the rethrow after the region is the authoritative report;
+    // the log line ties the panic to its schedule and request in the stream.
+    try {
+      std::string what = "unknown";
+      try {
+        std::rethrow_exception(std::current_exception());
+      } catch (const std::exception& e) {
+        what = e.what();
+      } catch (...) {
+      }
+      obs::log_error("prna.worker_panic",
+                     obs::log_fields({{"schedule", obs::Json(schedule_name)},
+                                      {"what", obs::Json(what)}}));
+    } catch (...) {
+    }
   };
 
   if (stealing) {
@@ -225,6 +256,7 @@ PrnaResult prna(const SecondaryStructure& s1, const SecondaryStructure& s2,
       }
 
     auto worker = [&](std::size_t tid) {
+      const obs::TraceContextScope request_ctx(trace_id);
       McosStats& local = thread_stats[tid];
       PrnaThreadTimeline& timeline = result.timeline[tid];
       Workspace& pool = Workspace::local();
@@ -317,6 +349,7 @@ PrnaResult prna(const SecondaryStructure& s1, const SecondaryStructure& s2,
 #pragma omp parallel num_threads(threads)
   {
     const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+    const obs::TraceContextScope request_ctx(trace_id);
     McosStats& local = thread_stats[tid];
     PrnaThreadTimeline& timeline = result.timeline[tid];
     // Worker slice scratch comes from the worker's own pooled workspace (a
@@ -413,6 +446,13 @@ PrnaResult prna(const SecondaryStructure& s1, const SecondaryStructure& s2,
   }
   stage1_span.close();
   result.stats.stage1_seconds = phase.seconds();
+  if (obs::Logger::instance().enabled(obs::LogLevel::kDebug))
+    obs::log_debug(
+        "prna.stage1_stop",
+        obs::log_fields({{"schedule", obs::Json(schedule_name)},
+                         {"stage1_seconds", obs::Json(result.stats.stage1_seconds)},
+                         {"cells", obs::Json(result.stats.cells_tabulated)},
+                         {"trace_id", obs::Json(trace_id)}}));
   if (result.stats.stage1_seconds > 0.0)
     obs::Registry::instance().gauge("prna.stage1_cells_per_second")
         .set(static_cast<double>(result.stats.cells_tabulated) /

@@ -1,0 +1,184 @@
+#include "serve/admin.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "obs/exposition.hpp"
+#include "serve/service.hpp"
+
+namespace srna::serve {
+
+std::string healthz_body(const QueryService& service) {
+  if (service.draining()) return "draining";
+  if (service.queue_depth() >= service.config().queue_capacity) return "overloaded";
+  return "ok";
+}
+
+bool healthy(const QueryService& service) { return healthz_body(service) == "ok"; }
+
+obs::Json admin_json(const QueryService& service, std::string_view what) {
+  obs::Json doc = obs::Json::object();
+  doc.set("admin", obs::Json(std::string(what)));
+  if (what == "metrics") {
+    doc.set("body", obs::Json(obs::render_prometheus()));
+  } else if (what == "healthz") {
+    doc.set("status", obs::Json(healthz_body(service)));
+    doc.set("healthy", obs::Json(healthy(service)));
+  } else if (what == "statz") {
+    doc.set("stats", service.stats_json());
+  } else {
+    doc.set("error", obs::Json("unknown admin command (metrics | healthz | statz)"));
+  }
+  return doc;
+}
+
+// ---------------------------------------------------------------- AdminServer
+
+namespace {
+
+std::string http_response(int status, const char* reason, const char* content_type,
+                          const std::string& body) {
+  std::string out = "HTTP/1.0 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += reason;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+AdminServer::AdminServer(const QueryService& service, const std::string& host,
+                         std::uint16_t port)
+    : service_(service) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("admin: socket() failed");
+
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    throw std::runtime_error("admin: bad listen address '" + host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    throw std::runtime_error("admin: bind(" + host + ":" + std::to_string(port) +
+                             ") failed: " + std::strerror(err));
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    throw std::runtime_error(std::string("admin: listen() failed: ") + std::strerror(err));
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0)
+    port_ = ntohs(bound.sin_port);
+
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+AdminServer::~AdminServer() { stop(); }
+
+void AdminServer::stop() {
+  {
+    std::lock_guard lock(stop_mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+void AdminServer::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed (stop) or fatal
+    }
+    // A stuck client must not wedge the (single-threaded) admin plane.
+    timeval timeout{};
+    timeout.tv_sec = 2;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void AdminServer::handle_connection(int fd) {
+  // Read until the end of the request head (we ignore everything past the
+  // request line) or a sanity limit.
+  std::string head;
+  char chunk[1024];
+  while (head.find("\r\n") == std::string::npos && head.size() < 8192) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return;
+    head.append(chunk, static_cast<std::size_t>(n));
+  }
+  const std::size_t line_end = head.find("\r\n");
+  if (line_end == std::string::npos) return;
+  const std::string_view request_line = std::string_view(head).substr(0, line_end);
+
+  const std::size_t method_end = request_line.find(' ');
+  if (method_end == std::string_view::npos) return;
+  const std::string_view method = request_line.substr(0, method_end);
+  std::string_view path = request_line.substr(method_end + 1);
+  if (const std::size_t path_end = path.find(' '); path_end != std::string_view::npos)
+    path = path.substr(0, path_end);
+  if (const std::size_t query = path.find('?'); query != std::string_view::npos)
+    path = path.substr(0, query);
+
+  if (method != "GET") {
+    send_all(fd, http_response(405, "Method Not Allowed", "text/plain", "GET only\n"));
+    return;
+  }
+  if (path == "/metrics") {
+    send_all(fd, http_response(200, "OK", "text/plain; version=0.0.4",
+                               obs::render_prometheus()));
+  } else if (path == "/healthz") {
+    const std::string body = healthz_body(service_);
+    if (body == "ok")
+      send_all(fd, http_response(200, "OK", "text/plain", body + "\n"));
+    else
+      send_all(fd, http_response(503, "Service Unavailable", "text/plain", body + "\n"));
+  } else if (path == "/statz") {
+    send_all(fd, http_response(200, "OK", "application/json",
+                               service_.stats_json().dump(2) + "\n"));
+  } else {
+    send_all(fd, http_response(404, "Not Found", "text/plain",
+                               "routes: /metrics /healthz /statz\n"));
+  }
+}
+
+}  // namespace srna::serve

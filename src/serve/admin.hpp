@@ -1,0 +1,77 @@
+// Admin/metrics plane for the query service — deliberately separate from the
+// serving data plane, so a scrape or health probe never competes with
+// request lines for a connection (and keeps working while the data listener
+// is saturated).
+//
+// Two transports for the same three views:
+//
+//   AdminServer    a minimal HTTP/1.0 listener (GET only), for Prometheus
+//                  and load balancers:
+//                    GET /metrics   text exposition of the whole obs
+//                                   Registry (render_prometheus) — counters,
+//                                   gauges, histogram buckets, sliding-window
+//                                   p50/p90/p95/p99 summaries, tracer totals
+//                    GET /healthz   200 "ok" | 503 "draining"/"overloaded"
+//                    GET /statz     the service's stats_json() document
+//   admin_json     the same payloads as in-band JSON-lines requests
+//                  ({"admin": "metrics"}), for offline mode and tests where
+//                  no second listener exists. Admin lines are answered
+//                  inline by the transport — they never enter the admission
+//                  queue, so they work during overload (which is when you
+//                  need them).
+//
+// One connection is served at a time (scrapes are rare and tiny); a receive
+// timeout keeps a stuck client from wedging the accept loop.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "obs/json.hpp"
+
+namespace srna::serve {
+
+class QueryService;
+
+// "ok" while admitting with queue headroom, "overloaded" while the admission
+// queue is full (probes should shed load), "draining" once stop/drain closed
+// the queue (probes should deregister the instance).
+[[nodiscard]] std::string healthz_body(const QueryService& service);
+// Probe verdict: true only for "ok" (HTTP 200 vs 503).
+[[nodiscard]] bool healthy(const QueryService& service);
+
+// One in-band admin answer: {"admin": <what>, ...payload}. Unknown commands
+// get an "error" member instead of a payload.
+[[nodiscard]] obs::Json admin_json(const QueryService& service, std::string_view what);
+
+class AdminServer {
+ public:
+  // Binds host:port (0 = ephemeral; read back with port()). Throws
+  // std::runtime_error on bind/listen failure.
+  AdminServer(const QueryService& service, const std::string& host, std::uint16_t port);
+  ~AdminServer();  // stop()
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  // Stops the listener and joins the accept thread. Idempotent.
+  void stop();
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+
+  const QueryService& service_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::mutex stop_mutex_;
+  bool stopped_ = false;
+};
+
+}  // namespace srna::serve

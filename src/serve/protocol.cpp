@@ -38,9 +38,10 @@ ServeRequest parse_request(std::string_view line) {
   const std::optional<obs::Json> doc = obs::Json::parse(line);
   if (!doc || !doc->is_object()) bad_request("expected one JSON object per line");
 
-  static constexpr std::string_view kKnown[] = {"id",       "a",           "b",
-                                                "a_name",   "b_name",      "algorithm",
-                                                "layout",   "deadline_ms", "no_cache"};
+  static constexpr std::string_view kKnown[] = {"id",     "a",           "b",
+                                                "a_name", "b_name",      "algorithm",
+                                                "layout", "deadline_ms", "no_cache",
+                                                "trace"};
   for (const auto& [key, value] : doc->members()) {
     bool known = false;
     for (const std::string_view k : kKnown) known = known || key == k;
@@ -57,6 +58,7 @@ ServeRequest parse_request(std::string_view line) {
   req.layout = string_field(*doc, "layout");
   req.deadline_ms = number_field(*doc, "deadline_ms", 0.0);
   req.no_cache = bool_field(*doc, "no_cache");
+  req.trace = bool_field(*doc, "trace");
 
   const bool literal_pair = !req.a.empty() || !req.b.empty();
   const bool name_pair = !req.a_name.empty() || !req.b_name.empty();
@@ -87,6 +89,7 @@ obs::Json ServeRequest::to_json() const {
   if (!layout.empty()) doc.set("layout", obs::Json(layout));
   if (deadline_ms > 0) doc.set("deadline_ms", obs::Json(deadline_ms));
   if (no_cache) doc.set("no_cache", obs::Json(true));
+  if (trace) doc.set("trace", obs::Json(true));
   return doc;
 }
 
@@ -113,6 +116,12 @@ obs::Json ServeResponse::to_json() const {
   }
   if (status == ResponseStatus::kRejected) doc.set("retry_after_ms", obs::Json(retry_after_ms));
   if (!algorithm.empty()) doc.set("algorithm", obs::Json(algorithm));
+  if (trace_id != 0) {
+    // Admitted requests echo their correlation id and phase breakdown.
+    doc.set("trace_id", obs::Json(trace_id));
+    doc.set("queued_ms", obs::Json(queued_ms));
+    doc.set("solve_ms", obs::Json(solve_ms));
+  }
   doc.set("latency_ms", obs::Json(latency_ms));
   if (!error.empty()) doc.set("error", obs::Json(error));
   return doc;
@@ -143,6 +152,9 @@ ServeResponse ServeResponse::from_line(std::string_view line) {
   if (const obs::Json* v = doc->find("cache_hit")) resp.cache_hit = v->as_bool();
   resp.latency_ms = number_field(*doc, "latency_ms", 0.0);
   resp.retry_after_ms = number_field(*doc, "retry_after_ms", 0.0);
+  resp.trace_id = static_cast<std::uint64_t>(number_field(*doc, "trace_id", 0.0));
+  resp.queued_ms = number_field(*doc, "queued_ms", 0.0);
+  resp.solve_ms = number_field(*doc, "solve_ms", 0.0);
   resp.algorithm = string_field(*doc, "algorithm");
   resp.error = string_field(*doc, "error");
   return resp;

@@ -11,13 +11,20 @@
 //   {"id": 8, "a_name": "rrna1", "b_name": "rrna2"}        db-name form
 //   optional: "algorithm" (engine backend, default per service),
 //             "layout" ("dense" | "compressed"),
-//             "deadline_ms" (0 = service default), "no_cache" (bool)
+//             "deadline_ms" (0 = service default), "no_cache" (bool),
+//             "trace" (bool: record per-phase spans for this request)
 //
 // Response: {"id": 7, "status": "ok", "value": 3, "normalized": 0.75,
-//            "cache_hit": false, "latency_ms": 1.2, "algorithm": "srna2"}
+//            "cache_hit": false, "latency_ms": 1.2, "algorithm": "srna2",
+//            "trace_id": 42, "queued_ms": 0.1, "solve_ms": 1.0}
 //   status "rejected" adds "retry_after_ms" (admission backpressure);
 //   status "timeout" means the deadline expired (queued or mid-solve);
 //   status "error" carries the failure text in "error".
+//   Every admitted request echoes the service-assigned "trace_id" (the key
+//   correlating its spans in a Chrome trace) and its phase breakdown:
+//   "queued_ms" (admission -> worker pickup) and "solve_ms" (engine time;
+//   0 on a cache hit). Rejected requests never reach a worker and carry none
+//   of the three.
 #pragma once
 
 #include <cstdint>
@@ -42,6 +49,7 @@ struct ServeRequest {
   std::string layout;     // empty = "dense"
   double deadline_ms = 0;  // 0 = service default; < 0 invalid
   bool no_cache = false;   // bypass the result cache (solve + do not store)
+  bool trace = false;      // record per-phase spans for this request
 
   [[nodiscard]] bool by_name() const noexcept { return !a_name.empty() || !b_name.empty(); }
 
@@ -66,6 +74,9 @@ struct ServeResponse {
   bool cache_hit = false;
   double latency_ms = 0.0;   // admission -> completion, as observed by the service
   double retry_after_ms = 0.0;  // rejected responses: suggested client backoff
+  std::uint64_t trace_id = 0;  // service-assigned correlation id; 0 = not admitted
+  double queued_ms = 0.0;    // admission -> worker pickup (admitted requests)
+  double solve_ms = 0.0;     // engine solve time; 0 on cache hits
   std::string algorithm;     // backend that (would have) solved it
   std::string error;         // timeout / rejected / error detail
 

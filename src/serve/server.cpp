@@ -1,5 +1,7 @@
 #include "serve/server.hpp"
 
+#include "serve/admin.hpp"
+
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -18,12 +20,26 @@ namespace srna::serve {
 
 namespace {
 
-// Submits one request line and routes the response through `emit`. Exactly
-// one emit per call: parse failures and admission rejects answer inline,
-// accepted requests answer from a worker. Returns whether the request was
-// accepted (the caller tracks outstanding responses itself via emit).
+// Routes one input line and answers through `emit_line` (a raw response
+// line, no trailing newline). Exactly one emit per call:
+//   * `{"admin": "metrics" | "healthz" | "statz"}` lines are answered
+//     inline from the admin plane — they never enter the admission queue,
+//     so they keep working while the service is overloaded or draining.
+//   * parse failures and admission rejects answer inline;
+//   * accepted requests answer from a worker (the caller tracks outstanding
+//     responses itself via emit_line).
 void submit_line(QueryService& service, const std::string& line,
-                 const std::function<void(const ServeResponse&)>& emit) {
+                 const std::function<void(const std::string&)>& emit_line) {
+  if (line.find("\"admin\"") != std::string::npos) {
+    if (const std::optional<obs::Json> doc = obs::Json::parse(line);
+        doc && doc->is_object()) {
+      if (const obs::Json* what = doc->find("admin");
+          what != nullptr && what->is_string()) {
+        emit_line(admin_json(service, what->as_string()).dump(0));
+        return;
+      }
+    }
+  }
   ServeRequest request;
   try {
     request = parse_request(line);
@@ -31,10 +47,12 @@ void submit_line(QueryService& service, const std::string& line,
     ServeResponse resp;
     resp.status = ResponseStatus::kError;
     resp.error = e.what();
-    emit(resp);
+    emit_line(resp.to_line());
     return;
   }
-  service.submit(std::move(request), emit);
+  // Captured by value: the worker invokes this after submit_line returned.
+  service.submit(std::move(request),
+                 [emit_line](const ServeResponse& resp) { emit_line(resp.to_line()); });
 }
 
 }  // namespace
@@ -48,9 +66,9 @@ std::size_t run_offline(QueryService& service, std::istream& in, std::ostream& o
   std::condition_variable all_done;
   std::size_t outstanding = 0;  // guarded by out_mutex
 
-  const auto emit = [&](const ServeResponse& resp) {
+  const auto emit = [&](const std::string& line) {
     std::lock_guard lock(out_mutex);
-    out << resp.to_line() << '\n';
+    out << line << '\n';
     out.flush();
     --outstanding;
     all_done.notify_all();
@@ -168,8 +186,8 @@ void TcpServer::serve_connection(std::shared_ptr<Connection> conn) {
   // the client half-closes); the shared_ptr keeps the fd and write mutex
   // alive until the last callback drops its reference. send() failures on a
   // gone peer are ignored — there is nobody left to answer.
-  const auto emit = [conn](const ServeResponse& resp) {
-    const std::string line = resp.to_line() + "\n";
+  const auto emit = [conn](const std::string& response_line) {
+    const std::string line = response_line + "\n";
     std::lock_guard lock(conn->write_mutex);
     std::size_t sent = 0;
     while (sent < line.size()) {

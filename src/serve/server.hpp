@@ -15,6 +15,10 @@
 //
 // Both transports guarantee one response line per request line, in every
 // path (parse failure, admission reject, timeout, error, success).
+//
+// Both also answer in-band admin lines (`{"admin": "metrics" | "healthz" |
+// "statz"}`, see serve/admin.hpp) inline, without entering the admission
+// queue — the offline mode's stand-in for the HTTP admin listener.
 #pragma once
 
 #include <cstdint>
@@ -30,8 +34,8 @@
 namespace srna::serve {
 
 // Drives `service` from a stream of request lines until EOF, then waits for
-// every outstanding response before returning. Returns the number of request
-// lines consumed. Blank lines are skipped.
+// every outstanding response before returning. Returns the number of input
+// lines consumed (in-band admin lines included). Blank lines are skipped.
 std::size_t run_offline(QueryService& service, std::istream& in, std::ostream& out);
 
 class TcpServer {

@@ -4,6 +4,7 @@
 #include <bit>
 #include <stdexcept>
 
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "rna/dot_bracket.hpp"
@@ -115,12 +116,19 @@ QueryService::~QueryService() { drain(); }
 void QueryService::drain() {
   std::lock_guard drain_lock(drain_mutex_);
   if (drained_) return;
+  obs::log_info("serve.drain",
+                obs::log_fields({{"queued", obs::Json(static_cast<std::uint64_t>(
+                                                queue_.depth()))}}));
   queue_.close();
   for (std::thread& t : workers_) {
     if (t.joinable()) t.join();
   }
   monitor_.stop();
   drained_ = true;
+  obs::log_info("serve.drained",
+                obs::log_fields(
+                    {{"accepted", obs::Json(accepted_.load(std::memory_order_relaxed))},
+                     {"rejected", obs::Json(rejected_.load(std::memory_order_relaxed))}}));
 }
 
 double QueryService::retry_after_ms_hint() const {
@@ -138,6 +146,12 @@ bool QueryService::submit(ServeRequest request, Callback done) {
   obs::Registry::instance().counter("serve.requests").add();
   Job job;
   job.admitted = Clock::now();
+  job.trace_id = next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+  // Tracer timestamp captured up front so the worker can record the queued
+  // phase retroactively (the span belongs to this request's lane even though
+  // no thread runs it while it waits).
+  if (request.trace && obs::Tracer::instance().enabled())
+    job.admitted_us = obs::Tracer::instance().now_us();
   const double deadline_ms =
       request.deadline_ms > 0 ? request.deadline_ms : config_.default_deadline_ms;
   job.deadline = deadline_ms > 0
@@ -147,11 +161,17 @@ bool QueryService::submit(ServeRequest request, Callback done) {
   job.request = std::move(request);
   job.done = std::move(done);
 
+  const std::int64_t request_id = job.request.id;
+  const std::uint64_t trace_id = job.trace_id;
   const PushResult admission = queue_.try_push(std::move(job));
   if (admission == PushResult::kAccepted) {
     accepted_.fetch_add(1, std::memory_order_relaxed);
     obs::Registry::instance().gauge("serve.queue_depth").set(
         static_cast<double>(queue_.depth()));
+    if (obs::Logger::instance().enabled(obs::LogLevel::kDebug))
+      obs::log_debug("serve.accept",
+                     obs::log_fields({{"id", obs::Json(request_id)},
+                                      {"trace_id", obs::Json(trace_id)}}));
     return true;
   }
 
@@ -168,6 +188,11 @@ bool QueryService::submit(ServeRequest request, Callback done) {
   } else {
     resp.error = "service is draining";
   }
+  obs::log_warn(
+      "serve.reject",
+      obs::log_fields({{"id", obs::Json(job.request.id)},
+                       {"reason", obs::Json(resp.error)},
+                       {"retry_after_ms", obs::Json(resp.retry_after_ms)}}));
   resp.latency_ms = ms_between(job.admitted, Clock::now());
   job.done(resp);
   return false;
@@ -198,6 +223,17 @@ void QueryService::process(Job job) {
   obs::Registry::instance().histogram("serve.queue_wait").observe(
       std::max(1e-9, seconds_between(job.admitted, picked_up)));
 
+  // Everything recorded while this worker owns the request — including spans
+  // from the engine and PRNA layers below — carries the request's trace id.
+  obs::TraceContextScope trace_scope(job.trace_id);
+  if (job.admitted_us != 0 && obs::Tracer::instance().enabled()) {
+    // The queued phase, recorded retroactively now that a thread owns it.
+    obs::Tracer& tracer = obs::Tracer::instance();
+    tracer.record("serve", "queued", job.admitted_us,
+                  tracer.now_us() - job.admitted_us,
+                  obs::trace_args({{"id", job.request.id}}));
+  }
+
   ServeResponse response;
   if (picked_up >= job.deadline) {
     // Expired while queued: answer without burning a solve on it.
@@ -208,6 +244,8 @@ void QueryService::process(Job job) {
   } else {
     response = solve_job(job);
   }
+  response.trace_id = job.trace_id;
+  response.queued_ms = ms_between(job.admitted, picked_up);
   respond(job, std::move(response));
 
   const Clock::time_point finished = Clock::now();
@@ -258,7 +296,12 @@ ServeResponse QueryService::solve_job(const Job& job) {
 
     CacheKey key = CacheKey::make(a, b, config_fingerprint(algorithm, config));
     if (!req.no_cache) {
-      if (const std::optional<Score> hit = cache_.get(key)) {
+      obs::TraceScope cache_span("serve", "cache_lookup", req.trace);
+      const std::optional<Score> hit = cache_.get(key);
+      if (cache_span.active())
+        cache_span.set_args(obs::trace_args({{"hit", hit.has_value() ? 1 : 0}}));
+      cache_span.close();
+      if (hit) {
         resp.status = ResponseStatus::kOk;
         resp.value = *hit;
         resp.normalized = normalized(*hit);
@@ -280,12 +323,20 @@ ServeResponse QueryService::solve_job(const Job& job) {
 
     const Clock::time_point solve_start = Clock::now();
     try {
+      obs::TraceScope solve_span("serve", "solve", req.trace);
+      if (solve_span.active())
+        solve_span.set_args(obs::trace_args(
+            {{"n_a", static_cast<std::int64_t>(a.length())},
+             {"n_b", static_cast<std::int64_t>(b.length())}}));
       const EngineResult result =
           solve_with(backend, a, b, config, Workspace::local());
+      solve_span.close();
       if (watched) monitor_.release(ticket);
       const double solve_seconds = seconds_between(solve_start, Clock::now());
+      resp.solve_ms = solve_seconds * 1e3;
       obs::Registry::instance().histogram("serve.solve_seconds").observe(
           std::max(1e-9, solve_seconds));
+      obs::Registry::instance().window("serve.solve_ms_window").observe(resp.solve_ms);
       // EWMA(1/8) feeds the retry-after hint; benign update race is fine.
       const double prev =
           std::bit_cast<double>(solve_ewma_bits_.load(std::memory_order_relaxed));
@@ -302,6 +353,7 @@ ServeResponse QueryService::solve_job(const Job& job) {
       obs::Registry::instance().counter("serve.deadline_solve_expirations").add();
       resp.status = ResponseStatus::kTimeout;
       resp.error = "deadline expired mid-solve (cancelled at a slice boundary)";
+      resp.solve_ms = ms_between(solve_start, Clock::now());
     } catch (...) {
       if (watched) monitor_.release(ticket);
       throw;
@@ -318,6 +370,8 @@ void QueryService::respond(const Job& job, ServeResponse response) {
   auto& registry = obs::Registry::instance();
   registry.histogram("serve.request_latency").observe(
       std::max(1e-9, response.latency_ms / 1e3));
+  // The sliding window behind the admin endpoint's live p50/p95/p99 gauges.
+  registry.window("serve.latency_ms_window").observe(response.latency_ms);
   switch (response.status) {
     case ResponseStatus::kOk:
       responses_ok_.fetch_add(1, std::memory_order_relaxed);
@@ -326,6 +380,11 @@ void QueryService::respond(const Job& job, ServeResponse response) {
     case ResponseStatus::kTimeout:
       responses_timeout_.fetch_add(1, std::memory_order_relaxed);
       registry.counter("serve.responses_timeout").add();
+      obs::log_warn("serve.timeout",
+                    obs::log_fields({{"id", obs::Json(response.id)},
+                                     {"trace_id", obs::Json(response.trace_id)},
+                                     {"latency_ms", obs::Json(response.latency_ms)},
+                                     {"detail", obs::Json(response.error)}}));
       break;
     case ResponseStatus::kRejected:
       registry.counter("serve.responses_rejected").add();
@@ -333,6 +392,10 @@ void QueryService::respond(const Job& job, ServeResponse response) {
     case ResponseStatus::kError:
       responses_error_.fetch_add(1, std::memory_order_relaxed);
       registry.counter("serve.responses_error").add();
+      obs::log_warn("serve.error",
+                    obs::log_fields({{"id", obs::Json(response.id)},
+                                     {"trace_id", obs::Json(response.trace_id)},
+                                     {"detail", obs::Json(response.error)}}));
       break;
   }
   job.done(response);
@@ -369,6 +432,9 @@ obs::Json QueryService::stats_json() const {
   latency.set("p99_ms", obs::Json(lat.p99 * 1e3));
   latency.set("max_ms", obs::Json(lat.max * 1e3));
   doc.set("request_latency", std::move(latency));
+  // Exact percentiles over the recent window (what the admin endpoint
+  // exposes live), alongside the since-start bucket estimates above.
+  doc.set("latency_ms_window", registry.window("serve.latency_ms_window").to_json());
   return doc;
 }
 

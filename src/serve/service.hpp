@@ -32,8 +32,20 @@
 // rejected,error}, serve.admission_rejects, serve.deadline_{queue,solve}_
 // expirations, serve.cache_{hits,misses,evictions}, serve.queue_depth
 // (gauge), serve.queue_wait / serve.solve_seconds / serve.request_latency
-// (histograms), serve.worker_busy_us. stats_json() snapshots everything a
-// run report needs, including worker utilization.
+// (histograms), serve.latency_ms_window / serve.solve_ms_window (sliding
+// windows feeding the admin endpoint's live p50/p95/p99), serve.worker_busy_us.
+// stats_json() snapshots everything a run report needs, including worker
+// utilization.
+//
+// Tracing: every admitted request gets a monotonically increasing trace id,
+// echoed in its response and installed as the worker's obs trace context
+// while the request is processed — all spans recorded anywhere downstream
+// (cache lookup, engine solve, PRNA's parallel stage one) carry
+// `"trace_id": N` and group into one correlated lane set in the Chrome
+// trace. Per-phase spans (queued / cache_lookup / solve) are recorded only
+// for requests that ask (`"trace": true`), keeping the common path at one
+// id assignment. Operational events (rejects, timeouts, drain) go through
+// the structured obs logger under `serve.*` event keys.
 #pragma once
 
 #include <atomic>
@@ -150,6 +162,8 @@ class QueryService {
     Callback done;
     DeadlineMonitor::Clock::time_point admitted;
     DeadlineMonitor::Clock::time_point deadline;  // time_point::max() = none
+    std::uint64_t trace_id = 0;   // service-assigned, echoed in the response
+    std::uint64_t admitted_us = 0;  // tracer timestamp at admission (traced requests)
   };
 
   void worker_loop();
@@ -164,6 +178,7 @@ class QueryService {
   DeadlineMonitor monitor_;
   std::vector<std::thread> workers_;
 
+  std::atomic<std::uint64_t> next_trace_id_{1};
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> responses_ok_{0};

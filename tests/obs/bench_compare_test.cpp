@@ -1,0 +1,173 @@
+#include "obs/bench_compare.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace srna::obs {
+namespace {
+
+Json parse(const char* text) {
+  const auto doc = Json::parse(text);
+  EXPECT_TRUE(doc.has_value()) << text;
+  return doc.value_or(Json());
+}
+
+double value_of(const std::vector<BenchValue>& values, const std::string& key) {
+  const auto it = std::find_if(values.begin(), values.end(),
+                               [&](const BenchValue& v) { return v.key == key; });
+  EXPECT_NE(it, values.end()) << key;
+  return it == values.end() ? 0.0 : it->value;
+}
+
+const BenchDelta& delta_of(const BenchComparison& cmp, const std::string& key) {
+  static const BenchDelta missing{};
+  const auto it = std::find_if(cmp.deltas.begin(), cmp.deltas.end(),
+                               [&](const BenchDelta& d) { return d.key == key; });
+  EXPECT_NE(it, cmp.deltas.end()) << key;
+  return it == cmp.deltas.end() ? missing : *it;
+}
+
+TEST(MetricDirection, ClassifiesByLeafName) {
+  // Higher is better.
+  EXPECT_EQ(metric_direction("results.throughput_rps"), 1);
+  EXPECT_EQ(metric_direction("results.cache_hit_rate"), 1);
+  EXPECT_EQ(metric_direction("rows[threads=4].speedup"), 1);
+  EXPECT_EQ(metric_direction("rows[threads=4].efficiency"), 1);
+  EXPECT_EQ(metric_direction("results.cells_per_second"), 1);
+  // Lower is better.
+  EXPECT_EQ(metric_direction("results.elapsed_seconds"), -1);
+  EXPECT_EQ(metric_direction("results.latency_ms_p99"), -1);
+  EXPECT_EQ(metric_direction("rows[length=120].ns_per_cell"), -1);
+  EXPECT_EQ(metric_direction("results.idle_fraction"), -1);
+  EXPECT_EQ(metric_direction("results.barrier_wait_total"), -1);
+  // Informational.
+  EXPECT_EQ(metric_direction("results.ok"), 0);
+  EXPECT_EQ(metric_direction("results.value"), 0);
+  EXPECT_EQ(metric_direction("results.cells"), 0);
+}
+
+TEST(MetricDirection, IdentityBracketsDoNotLeakIntoTheLeaf) {
+  // "latency" in the row identity must not make an informational metric
+  // lower-is-better — only the leaf after the last '.' counts.
+  EXPECT_EQ(metric_direction("rows[instance=latency_suite].cells"), 0);
+}
+
+TEST(FlattenReportMetrics, FlattensResultsAndIdentityKeyedRows) {
+  const Json report = parse(R"json({
+    "tool": "bench",
+    "results": {"throughput_rps": 5000.0, "ok": 2000, "note": "text-skipped"},
+    "rows": [
+      {"threads": 1, "schedule": "static", "stage1_seconds": 2.0},
+      {"threads": 4, "schedule": "static", "stage1_seconds": 0.6}
+    ],
+    "schedule_rows": [
+      {"schedule": "stealing", "steals": 17}
+    ]
+  })json");
+  const std::vector<BenchValue> values = flatten_report_metrics(report);
+  EXPECT_DOUBLE_EQ(value_of(values, "results.throughput_rps"), 5000.0);
+  EXPECT_DOUBLE_EQ(value_of(values, "results.ok"), 2000.0);
+  // Identity order follows the row's member order.
+  EXPECT_DOUBLE_EQ(value_of(values, "rows[threads=1,schedule=static].stage1_seconds"), 2.0);
+  EXPECT_DOUBLE_EQ(value_of(values, "rows[threads=4,schedule=static].stage1_seconds"), 0.6);
+  EXPECT_DOUBLE_EQ(value_of(values, "schedule_rows[schedule=stealing].steals"), 17.0);
+  // Strings and identity fields are not metrics.
+  for (const BenchValue& v : values) {
+    EXPECT_EQ(v.key.find("note"), std::string::npos);
+    EXPECT_EQ(v.key.find(".threads"), std::string::npos);
+  }
+}
+
+TEST(CompareReports, FlagsRegressionsInBothDirections) {
+  const Json baseline = parse(R"json({
+    "tool": "bench",
+    "results": {"throughput_rps": 1000.0, "latency_ms_p99": 10.0, "ok": 100}
+  })json");
+  const Json fresh = parse(R"json({
+    "results": {"throughput_rps": 600.0, "latency_ms_p99": 14.0, "ok": 50}
+  })json");
+  const BenchComparison cmp = compare_reports(baseline, fresh, 0.25);
+  EXPECT_EQ(cmp.tool, "bench");
+  EXPECT_TRUE(cmp.has_regression);
+  // Throughput fell 40% — beyond the 25% slack for a higher-is-better metric.
+  EXPECT_TRUE(delta_of(cmp, "results.throughput_rps").regression);
+  // p99 rose 40% — beyond the slack for a lower-is-better metric.
+  EXPECT_TRUE(delta_of(cmp, "results.latency_ms_p99").regression);
+  // Informational metrics never regress, no matter the delta.
+  EXPECT_FALSE(delta_of(cmp, "results.ok").regression);
+  EXPECT_EQ(delta_of(cmp, "results.ok").direction, 0);
+}
+
+TEST(CompareReports, ImprovementsAndInSlackDeltasPass) {
+  const Json baseline = parse(
+      R"json({"results": {"throughput_rps": 1000.0, "latency_ms_p99": 10.0}})json");
+  const Json fresh = parse(
+      R"json({"results": {"throughput_rps": 1400.0, "latency_ms_p99": 11.0}})json");
+  const BenchComparison cmp = compare_reports(baseline, fresh, 0.25);
+  EXPECT_FALSE(cmp.has_regression);
+  EXPECT_DOUBLE_EQ(delta_of(cmp, "results.throughput_rps").delta_fraction, 0.4);
+  EXPECT_DOUBLE_EQ(delta_of(cmp, "results.latency_ms_p99").delta_fraction, 0.1);
+}
+
+TEST(CompareReports, ZeroBaselineIsInformational) {
+  const Json baseline = parse(R"json({"results": {"timeout_latency_ms": 0.0}})json");
+  const Json fresh = parse(R"json({"results": {"timeout_latency_ms": 50.0}})json");
+  const BenchComparison cmp = compare_reports(baseline, fresh, 0.25);
+  EXPECT_FALSE(cmp.has_regression);
+  EXPECT_DOUBLE_EQ(delta_of(cmp, "results.timeout_latency_ms").delta_fraction, 0.0);
+}
+
+TEST(CompareReports, ReportsAddedAndDroppedMetrics) {
+  const Json baseline =
+      parse(R"json({"results": {"elapsed_seconds": 1.0, "dropped_metric": 5}})json");
+  const Json fresh =
+      parse(R"json({"results": {"elapsed_seconds": 1.1, "new_metric": 7}})json");
+  const BenchComparison cmp = compare_reports(baseline, fresh, 0.25);
+  ASSERT_EQ(cmp.only_in_baseline.size(), 1u);
+  EXPECT_EQ(cmp.only_in_baseline[0], "results.dropped_metric");
+  ASSERT_EQ(cmp.only_in_fresh.size(), 1u);
+  EXPECT_EQ(cmp.only_in_fresh[0], "results.new_metric");
+  // A missing counterpart is reported, never a regression by itself.
+  EXPECT_FALSE(cmp.has_regression);
+}
+
+TEST(CompareReports, RowsPairByIdentityNotPosition) {
+  const Json baseline = parse(R"json({
+    "rows": [
+      {"threads": 1, "stage1_seconds": 2.0},
+      {"threads": 4, "stage1_seconds": 0.6}
+    ]
+  })json");
+  // Same rows, reordered, one value drifted within slack.
+  const Json fresh = parse(R"json({
+    "rows": [
+      {"threads": 4, "stage1_seconds": 0.65},
+      {"threads": 1, "stage1_seconds": 2.1}
+    ]
+  })json");
+  const BenchComparison cmp = compare_reports(baseline, fresh, 0.25);
+  EXPECT_FALSE(cmp.has_regression);
+  EXPECT_TRUE(cmp.only_in_baseline.empty());
+  EXPECT_TRUE(cmp.only_in_fresh.empty());
+  EXPECT_DOUBLE_EQ(delta_of(cmp, "rows[threads=4].stage1_seconds").fresh, 0.65);
+}
+
+TEST(CompareReports, ToJsonRoundTripsTheVerdict) {
+  const Json baseline = parse(R"json({"results": {"elapsed_seconds": 1.0}})json");
+  const Json fresh = parse(R"json({"results": {"elapsed_seconds": 2.0}})json");
+  const Json doc = compare_reports(baseline, fresh, 0.25).to_json();
+  EXPECT_EQ(doc.find("schema")->as_string(), "srna-bench-comparison");
+  EXPECT_TRUE(doc.find("has_regression")->as_bool());
+  const Json& row = doc.find("deltas")->items().at(0);
+  EXPECT_EQ(row.find("key")->as_string(), "results.elapsed_seconds");
+  EXPECT_EQ(row.find("direction")->as_string(), "lower_better");
+  EXPECT_TRUE(row.find("regression")->as_bool());
+}
+
+}  // namespace
+}  // namespace srna::obs

@@ -1,0 +1,96 @@
+#include "obs/exposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace srna::obs {
+namespace {
+
+// The log-linear bucket bound covering `v`, formatted the way the renderer
+// formats bounds.
+std::string bucket_bound_str(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g",
+                Histogram::bucket_upper_bound(Histogram::bucket_index(v)));
+  return buf;
+}
+
+// The registry is a process-wide singleton shared by every test in this
+// binary; each test registers uniquely-named instruments and asserts on
+// substrings of the scrape body, so neighbours' instruments never interfere.
+class ExpositionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Registry::instance().reset(); }
+  void TearDown() override { Registry::instance().reset(); }
+};
+
+TEST_F(ExpositionTest, NamesAreSanitizedToThePrometheusCharset) {
+  EXPECT_EQ(prometheus_name("serve.queue_depth"), "srna_serve_queue_depth");
+  EXPECT_EQ(prometheus_name("prna.steals"), "srna_prna_steals");
+  EXPECT_EQ(prometheus_name("weird-name with spaces!"), "srna_weird_name_with_spaces_");
+  EXPECT_EQ(prometheus_name(""), "srna_");
+}
+
+TEST_F(ExpositionTest, CountersRenderWithTypeLine) {
+  Registry::instance().counter("expo.test_counter").add(3);
+  const std::string body = render_prometheus();
+  EXPECT_NE(body.find("# TYPE srna_expo_test_counter counter\n"), std::string::npos);
+  EXPECT_NE(body.find("srna_expo_test_counter 3\n"), std::string::npos);
+}
+
+TEST_F(ExpositionTest, GaugesRenderTheirCurrentValue) {
+  Registry::instance().gauge("expo.test_gauge").set(2.5);
+  const std::string body = render_prometheus();
+  EXPECT_NE(body.find("# TYPE srna_expo_test_gauge gauge\n"), std::string::npos);
+  EXPECT_NE(body.find("srna_expo_test_gauge 2.5\n"), std::string::npos);
+}
+
+TEST_F(ExpositionTest, HistogramsRenderCumulativeBucketsWithInfTail) {
+  Histogram& h = Registry::instance().histogram("expo.test_hist");
+  h.observe(0.001);
+  h.observe(0.001);
+  h.observe(0.5);
+  const std::string body = render_prometheus();
+  EXPECT_NE(body.find("# TYPE srna_expo_test_hist histogram\n"), std::string::npos);
+  EXPECT_NE(body.find("srna_expo_test_hist_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(body.find("srna_expo_test_hist_count 3\n"), std::string::npos);
+  EXPECT_NE(body.find("srna_expo_test_hist_sum "), std::string::npos);
+  // Buckets are cumulative: the bucket covering 0.001 already counts 2.
+  EXPECT_NE(body.find("srna_expo_test_hist_bucket{le=\"" + bucket_bound_str(0.001) +
+                      "\"} 2\n"),
+            std::string::npos);
+}
+
+TEST_F(ExpositionTest, EmptyHistogramStillEmitsTheInfBucket) {
+  (void)Registry::instance().histogram("expo.empty_hist");
+  const std::string body = render_prometheus();
+  EXPECT_NE(body.find("srna_expo_empty_hist_bucket{le=\"+Inf\"} 0\n"), std::string::npos);
+  EXPECT_NE(body.find("srna_expo_empty_hist_count 0\n"), std::string::npos);
+}
+
+TEST_F(ExpositionTest, WindowHistogramsRenderAsSummaryQuantiles) {
+  WindowHistogram& w = Registry::instance().window("expo.test_window");
+  for (int i = 1; i <= 100; ++i) w.observe(static_cast<double>(i));
+  const std::string body = render_prometheus();
+  EXPECT_NE(body.find("# TYPE srna_expo_test_window summary\n"), std::string::npos);
+  // Exact order statistics over 1..100 with rank floor(q*(n-1)) + 1.
+  EXPECT_NE(body.find("srna_expo_test_window{quantile=\"0.5\"} 50\n"), std::string::npos);
+  EXPECT_NE(body.find("srna_expo_test_window{quantile=\"0.9\"} 90\n"), std::string::npos);
+  EXPECT_NE(body.find("srna_expo_test_window{quantile=\"0.95\"} 95\n"), std::string::npos);
+  EXPECT_NE(body.find("srna_expo_test_window{quantile=\"0.99\"} 99\n"), std::string::npos);
+  EXPECT_NE(body.find("srna_expo_test_window_count 100\n"), std::string::npos);
+}
+
+TEST_F(ExpositionTest, TracerTotalsAreAlwaysAppended) {
+  const std::string body = render_prometheus();
+  EXPECT_NE(body.find("# TYPE srna_trace_events_recorded gauge\n"), std::string::npos);
+  EXPECT_NE(body.find("srna_trace_events_recorded "), std::string::npos);
+  EXPECT_NE(body.find("srna_trace_events_dropped "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace srna::obs

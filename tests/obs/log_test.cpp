@@ -1,0 +1,154 @@
+#include "obs/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace srna::obs {
+namespace {
+
+// The logger is a process-wide singleton; every test captures lines into a
+// vector and restores the defaults (stderr sink, info level, 10/s limit) so
+// other suites see the logger exactly as a fresh process would.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::instance().reset_counters();
+    Logger::instance().set_min_level(LogLevel::kDebug);
+    Logger::instance().set_rate_limit(0, 0);  // off unless a test turns it on
+    Logger::instance().set_sink([this](const std::string& line) { lines_.push_back(line); });
+  }
+  void TearDown() override {
+    Logger::instance().set_sink(nullptr);
+    Logger::instance().set_min_level(LogLevel::kInfo);
+    Logger::instance().set_rate_limit(10, 1.0);
+    Logger::instance().reset_counters();
+  }
+
+  [[nodiscard]] Json parsed(std::size_t i) const {
+    const auto doc = Json::parse(lines_.at(i));
+    EXPECT_TRUE(doc.has_value()) << lines_.at(i);
+    return doc.value_or(Json());
+  }
+
+  std::vector<std::string> lines_;
+};
+
+TEST_F(LogTest, ParseLogLevelRoundTrips) {
+  for (const LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                               LogLevel::kError, LogLevel::kOff}) {
+    const auto back = parse_log_level(to_string(level));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, level);
+  }
+  EXPECT_FALSE(parse_log_level("verbose").has_value());
+  EXPECT_FALSE(parse_log_level("").has_value());
+}
+
+TEST_F(LogTest, LinesAreStructuredJson) {
+  log_warn("serve.reject", log_fields({{"id", Json(std::int64_t{17})},
+                                       {"reason", Json("queue full")}}));
+  ASSERT_EQ(lines_.size(), 1u);
+  const Json doc = parsed(0);
+  EXPECT_TRUE(doc.contains("ts_ms"));
+  EXPECT_EQ(doc.find("level")->as_string(), "warn");
+  EXPECT_EQ(doc.find("event")->as_string(), "serve.reject");
+  EXPECT_EQ(doc.find("id")->as_int(), 17);
+  EXPECT_EQ(doc.find("reason")->as_string(), "queue full");
+}
+
+TEST_F(LogTest, MinLevelFiltersLowerLevels) {
+  Logger::instance().set_min_level(LogLevel::kWarn);
+  EXPECT_FALSE(Logger::instance().enabled(LogLevel::kDebug));
+  EXPECT_FALSE(Logger::instance().enabled(LogLevel::kInfo));
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kWarn));
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kError));
+
+  log_debug("a");
+  log_info("b");
+  log_warn("c");
+  log_error("d");
+  ASSERT_EQ(lines_.size(), 2u);
+  EXPECT_EQ(parsed(0).find("event")->as_string(), "c");
+  EXPECT_EQ(parsed(1).find("event")->as_string(), "d");
+  EXPECT_EQ(Logger::instance().lines_emitted(), 2u);
+  // Level-filtered lines are not "suppressed" — that word is reserved for
+  // the rate limiter.
+  EXPECT_EQ(Logger::instance().lines_suppressed(), 0u);
+}
+
+TEST_F(LogTest, OffLevelSilencesEverything) {
+  Logger::instance().set_min_level(LogLevel::kOff);
+  EXPECT_FALSE(Logger::instance().enabled(LogLevel::kError));
+  log_error("x");
+  EXPECT_TRUE(lines_.empty());
+}
+
+TEST_F(LogTest, BurstEmitsAtMostLimitLines) {
+  Logger::instance().set_rate_limit(3, 60.0);
+  for (int i = 0; i < 10; ++i)
+    log_warn("serve.timeout", log_fields({{"i", Json(std::int64_t{i})}}));
+  EXPECT_EQ(lines_.size(), 3u);
+  EXPECT_EQ(Logger::instance().lines_emitted(), 3u);
+  EXPECT_EQ(Logger::instance().lines_suppressed(), 7u);
+}
+
+TEST_F(LogTest, SuppressedCountRidesTheNextEmittedLine) {
+  // Tiny window so the suppression burst and the follow-up line land in
+  // different windows without a long sleep.
+  Logger::instance().set_rate_limit(2, 0.05);
+  for (int i = 0; i < 8; ++i) log_warn("serve.error");
+  ASSERT_EQ(lines_.size(), 2u);
+  EXPECT_FALSE(parsed(1).contains("suppressed"));
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  log_warn("serve.error");
+  ASSERT_EQ(lines_.size(), 3u);
+  const Json doc = parsed(2);
+  ASSERT_TRUE(doc.contains("suppressed"));
+  EXPECT_EQ(doc.find("suppressed")->as_uint(), 6u);
+
+  // The carried count was consumed, not double-reported.
+  log_warn("serve.error");
+  ASSERT_EQ(lines_.size(), 4u);
+  EXPECT_FALSE(parsed(3).contains("suppressed"));
+}
+
+TEST_F(LogTest, EventKeysAreRateLimitedIndependently) {
+  Logger::instance().set_rate_limit(2, 60.0);
+  for (int i = 0; i < 5; ++i) log_warn("serve.timeout");
+  for (int i = 0; i < 5; ++i) log_warn("serve.reject");
+  EXPECT_EQ(lines_.size(), 4u);  // 2 per event key
+  EXPECT_EQ(Logger::instance().lines_suppressed(), 6u);
+}
+
+TEST_F(LogTest, ZeroLimitDisablesRateLimiting) {
+  Logger::instance().set_rate_limit(0, 1.0);
+  for (int i = 0; i < 50; ++i) log_info("tick");
+  EXPECT_EQ(lines_.size(), 50u);
+  EXPECT_EQ(Logger::instance().lines_suppressed(), 0u);
+}
+
+TEST_F(LogTest, ConcurrentLoggingLosesNoLines) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i)
+        log_info("worker.tick", log_fields({{"i", Json(std::int64_t{i})}}));
+    });
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(lines_.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+  EXPECT_EQ(Logger::instance().lines_emitted(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  for (const std::string& line : lines_) EXPECT_TRUE(Json::parse(line).has_value());
+}
+
+}  // namespace
+}  // namespace srna::obs

@@ -1,0 +1,125 @@
+#include "obs/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "util/prng.hpp"
+
+namespace srna::obs {
+namespace {
+
+// The exact rank rule the estimator promises: sorted[floor(q * (n - 1))] —
+// the same rule srna-loadgen uses, so server-side window percentiles and
+// client-side measured percentiles are directly comparable.
+double exact_quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(
+      std::floor(q * static_cast<double>(values.size() - 1)));
+  return values[rank];
+}
+
+TEST(WindowHistogram, EmptyWindowReadsAsZero) {
+  const WindowHistogram w;
+  const auto snap = w.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.window, 0u);
+  EXPECT_EQ(snap.p50, 0.0);
+  EXPECT_EQ(snap.p99, 0.0);
+  EXPECT_EQ(w.quantile(0.5), 0.0);
+}
+
+TEST(WindowHistogram, PercentilesMatchExactOrderStatistics) {
+  WindowHistogram w(4096);
+  Xoshiro256 rng(12345);
+  std::vector<double> values;
+  values.reserve(1000);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform_real() * 100.0;
+    values.push_back(v);
+    w.observe(v);
+  }
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(w.quantile(q), exact_quantile(values, q)) << "q=" << q;
+
+  const auto snap = w.snapshot();
+  EXPECT_EQ(snap.count, 1000u);
+  EXPECT_EQ(snap.window, 1000u);
+  EXPECT_DOUBLE_EQ(snap.p50, exact_quantile(values, 0.50));
+  EXPECT_DOUBLE_EQ(snap.p90, exact_quantile(values, 0.90));
+  EXPECT_DOUBLE_EQ(snap.p95, exact_quantile(values, 0.95));
+  EXPECT_DOUBLE_EQ(snap.p99, exact_quantile(values, 0.99));
+  EXPECT_DOUBLE_EQ(snap.min, *std::min_element(values.begin(), values.end()));
+  EXPECT_DOUBLE_EQ(snap.max, *std::max_element(values.begin(), values.end()));
+}
+
+TEST(WindowHistogram, WindowSlidesOverOldObservations) {
+  WindowHistogram w(4);
+  for (int i = 1; i <= 10; ++i) w.observe(static_cast<double>(i));
+  const auto snap = w.snapshot();
+  EXPECT_EQ(snap.count, 10u);   // observations ever
+  EXPECT_EQ(snap.window, 4u);   // only the last four remain
+  EXPECT_DOUBLE_EQ(snap.min, 7.0);
+  EXPECT_DOUBLE_EQ(snap.max, 10.0);
+  // Window is {7,8,9,10}: p50 = sorted[floor(0.5*3)] = 8.
+  EXPECT_DOUBLE_EQ(snap.p50, 8.0);
+}
+
+TEST(WindowHistogram, ZeroCapacityClampsToOne) {
+  WindowHistogram w(0);
+  EXPECT_EQ(w.capacity(), 1u);
+  w.observe(3.0);
+  w.observe(5.0);
+  const auto snap = w.snapshot();
+  EXPECT_EQ(snap.window, 1u);
+  EXPECT_DOUBLE_EQ(snap.p50, 5.0);
+}
+
+TEST(WindowHistogram, ResetClearsWindowAndTotals) {
+  WindowHistogram w(16);
+  for (int i = 0; i < 8; ++i) w.observe(1.0);
+  w.reset();
+  const auto snap = w.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.window, 0u);
+  w.observe(2.0);
+  EXPECT_DOUBLE_EQ(w.quantile(0.5), 2.0);
+}
+
+TEST(WindowHistogram, ToJsonCarriesTheSnapshotFields) {
+  WindowHistogram w(8);
+  w.observe(1.0);
+  w.observe(3.0);
+  const Json doc = w.to_json();
+  EXPECT_EQ(doc.find("count")->as_uint(), 2u);
+  EXPECT_EQ(doc.find("window")->as_uint(), 2u);
+  EXPECT_TRUE(doc.contains("p50"));
+  EXPECT_TRUE(doc.contains("p99"));
+  EXPECT_DOUBLE_EQ(doc.find("min")->as_double(), 1.0);
+  EXPECT_DOUBLE_EQ(doc.find("max")->as_double(), 3.0);
+}
+
+TEST(WindowHistogram, ConcurrentObserversAccountEveryValue) {
+  WindowHistogram w(1 << 14);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([&w] {
+      for (int i = 0; i < kPerThread; ++i) w.observe(1.0);
+    });
+  for (std::thread& worker : workers) worker.join();
+  const auto snap = w.snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(snap.window, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(snap.p99, 1.0);
+}
+
+}  // namespace
+}  // namespace srna::obs

@@ -9,6 +9,7 @@
 #include "core/arc_index.hpp"
 #include "core/mcos.hpp"
 #include "obs/json.hpp"
+#include "obs/trace.hpp"
 #include "parallel/load_balance.hpp"
 #include "rna/generators.hpp"
 #include "testing/builders.hpp"
@@ -408,6 +409,58 @@ TEST(PrnaStealingShim, ExceptionPropagatesUnderStdThreads) {
     if ((a + b) % 3 == 0) throw std::runtime_error("injected shim fault");
   };
   EXPECT_THROW(prna(s, s, opt), std::runtime_error);
+}
+
+TEST(Prna, StageOneWorkersInheritTheCallersTraceContext) {
+  // Serve stamps a request-scoped trace id on the submitting thread;
+  // stage-one workers are OpenMP (or std::thread) workers that do NOT
+  // inherit thread_local state, so prna() re-establishes the context in the
+  // parallel region. Every row/barrier span must carry the caller's id.
+  obs::Tracer::instance().disable();
+  obs::Tracer::instance().clear();
+  obs::Tracer::instance().enable();
+  const auto s = worst_case_structure(40);
+  {
+    const obs::TraceContextScope ctx(777);
+    PrnaOptions opt;
+    opt.num_threads = 3;
+    (void)prna(s, s, opt);
+  }
+  obs::Tracer::instance().disable();
+
+  const obs::Json doc = obs::Tracer::instance().to_json();
+  std::size_t stamped_rows = 0;
+  for (const obs::Json& e : doc.find("traceEvents")->items()) {
+    if (e.find("ph")->as_string() != "X") continue;
+    if (e.find("cat")->as_string() != "prna") continue;
+    const std::string& name = e.find("name")->as_string();
+    if (name != "row" && name != "barrier_wait") continue;
+    const obs::Json* args = e.find("args");
+    ASSERT_NE(args, nullptr) << name;
+    ASSERT_TRUE(args->contains("trace_id")) << name;
+    EXPECT_EQ(args->find("trace_id")->as_uint(), 777u);
+    if (name == "row") ++stamped_rows;
+  }
+  // Multiple workers over multiple rows all stamped the id.
+  EXPECT_GT(stamped_rows, 3u);
+  obs::Tracer::instance().clear();
+}
+
+TEST(Prna, NoContextMeansNoTraceIdInSpans) {
+  obs::Tracer::instance().disable();
+  obs::Tracer::instance().clear();
+  obs::Tracer::instance().enable();
+  PrnaOptions opt;
+  opt.num_threads = 2;
+  (void)prna(worst_case_structure(30), worst_case_structure(30), opt);
+  obs::Tracer::instance().disable();
+  const obs::Json doc = obs::Tracer::instance().to_json();
+  for (const obs::Json& e : doc.find("traceEvents")->items()) {
+    if (e.find("ph")->as_string() != "X") continue;
+    if (const obs::Json* args = e.find("args"); args != nullptr)
+      EXPECT_FALSE(args->contains("trace_id"));
+  }
+  obs::Tracer::instance().clear();
 }
 
 TEST(Prna, ResultToJsonRoundTrips) {

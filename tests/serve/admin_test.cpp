@@ -1,0 +1,187 @@
+#include "serve/admin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "obs/json.hpp"
+#include "rna/dot_bracket.hpp"
+#include "rna/generators.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+
+namespace srna::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+ServeRequest quick_request(std::int64_t id) {
+  ServeRequest req;
+  req.id = id;
+  req.a = "((..))";
+  req.b = "(..)";
+  return req;
+}
+
+// Slow enough that a queued request reliably observes the worker busy.
+ServeRequest slow_request(std::int64_t id) {
+  static const std::string big = to_dot_bracket(worst_case_structure(700));
+  ServeRequest req;
+  req.id = id;
+  req.a = big;
+  req.b = big;
+  req.deadline_ms = 600;
+  req.no_cache = true;
+  return req;
+}
+
+// Minimal HTTP/1.0 client: sends one request, reads to EOF.
+std::string http_get(std::uint16_t port, const std::string& request_text) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0);
+  EXPECT_EQ(::send(fd, request_text.data(), request_text.size(), 0),
+            static_cast<ssize_t>(request_text.size()));
+  std::string response;
+  char buf[4096];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) response.append(buf, static_cast<std::size_t>(n));
+  ::close(fd);
+  return response;
+}
+
+TEST(AdminHealthz, ReflectsQueueHeadroomAndDrain) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.queue_capacity = 1;
+  QueryService service(config);
+  EXPECT_EQ(healthz_body(service), "ok");
+  EXPECT_TRUE(healthy(service));
+
+  // Occupy the single worker, then fill the queue to capacity.
+  std::future<ServeResponse> blocker = service.solve_async(slow_request(1));
+  const auto give_up = std::chrono::steady_clock::now() + 2s;
+  while (service.queue_depth() > 0 && std::chrono::steady_clock::now() < give_up)
+    std::this_thread::sleep_for(1ms);
+  std::future<ServeResponse> queued = service.solve_async(quick_request(2));
+  EXPECT_EQ(healthz_body(service), "overloaded");
+  EXPECT_FALSE(healthy(service));
+
+  (void)blocker.get();
+  (void)queued.get();
+  service.drain();
+  EXPECT_EQ(healthz_body(service), "draining");
+  EXPECT_FALSE(healthy(service));
+}
+
+TEST(AdminJson, ServesMetricsHealthzAndStatz) {
+  QueryService service({});
+  (void)service.solve(quick_request(1));
+
+  const obs::Json metrics = admin_json(service, "metrics");
+  EXPECT_EQ(metrics.find("admin")->as_string(), "metrics");
+  EXPECT_NE(metrics.find("body")->as_string().find("srna_serve_requests"),
+            std::string::npos);
+
+  const obs::Json health = admin_json(service, "healthz");
+  EXPECT_EQ(health.find("status")->as_string(), "ok");
+
+  const obs::Json statz = admin_json(service, "statz");
+  ASSERT_TRUE(statz.contains("stats"));
+  EXPECT_TRUE(statz.find("stats")->contains("responses_ok"));
+  EXPECT_TRUE(statz.find("stats")->contains("latency_ms_window"));
+
+  const obs::Json bogus = admin_json(service, "selfdestruct");
+  EXPECT_TRUE(bogus.contains("error"));
+}
+
+TEST(AdminJson, InBandAdminLinesAreAnsweredInline) {
+  QueryService service({});
+  std::istringstream in(
+      "{\"id\": 1, \"a\": \"((..))\", \"b\": \"(..)\"}\n"
+      "{\"admin\": \"healthz\"}\n"
+      "{\"admin\": \"metrics\"}\n");
+  std::ostringstream out;
+  // Every non-blank input line (admin lines included) is consumed.
+  EXPECT_EQ(run_offline(service, in, out), 3u);
+
+  bool saw_response = false;
+  bool saw_health = false;
+  bool saw_metrics = false;
+  std::istringstream lines(out.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    const auto doc = obs::Json::parse(line);
+    ASSERT_TRUE(doc.has_value()) << line;
+    if (doc->contains("status") && doc->contains("admin") == false &&
+        doc->contains("id"))
+      saw_response = true;
+    if (doc->contains("admin") && doc->find("admin")->as_string() == "healthz")
+      saw_health = true;
+    if (doc->contains("admin") && doc->find("admin")->as_string() == "metrics") {
+      saw_metrics = true;
+      EXPECT_NE(doc->find("body")->as_string().find("srna_"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_response);
+  EXPECT_TRUE(saw_health);
+  EXPECT_TRUE(saw_metrics);
+}
+
+TEST(AdminServerHttp, ServesTheThreeRoutesAndRejectsTheRest) {
+  QueryService service({});
+  (void)service.solve(quick_request(1));
+  AdminServer admin(service, "127.0.0.1", 0);
+  ASSERT_NE(admin.port(), 0);
+
+  const std::string metrics = http_get(admin.port(), "GET /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(metrics.find("200"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain"), std::string::npos);
+  EXPECT_NE(metrics.find("srna_serve_requests"), std::string::npos);
+  EXPECT_NE(metrics.find("quantile"), std::string::npos);  // window summaries
+
+  const std::string health = http_get(admin.port(), "GET /healthz HTTP/1.0\r\n\r\n");
+  EXPECT_NE(health.find("200"), std::string::npos);
+  EXPECT_NE(health.find("ok"), std::string::npos);
+
+  const std::string statz = http_get(admin.port(), "GET /statz HTTP/1.0\r\n\r\n");
+  EXPECT_NE(statz.find("200"), std::string::npos);
+  EXPECT_NE(statz.find("application/json"), std::string::npos);
+  EXPECT_NE(statz.find("responses_ok"), std::string::npos);
+
+  const std::string missing = http_get(admin.port(), "GET /nope HTTP/1.0\r\n\r\n");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+
+  const std::string post = http_get(admin.port(), "POST /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(post.find("405"), std::string::npos);
+
+  admin.stop();
+  admin.stop();  // idempotent
+}
+
+TEST(AdminServerHttp, HealthzGoes503OnDrain) {
+  QueryService service({});
+  AdminServer admin(service, "127.0.0.1", 0);
+  service.drain();
+  const std::string health = http_get(admin.port(), "GET /healthz HTTP/1.0\r\n\r\n");
+  EXPECT_NE(health.find("503"), std::string::npos);
+  EXPECT_NE(health.find("draining"), std::string::npos);
+  admin.stop();
+}
+
+}  // namespace
+}  // namespace srna::serve

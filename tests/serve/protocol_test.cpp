@@ -60,6 +60,45 @@ TEST(Protocol, RejectsMalformedRequests) {
   EXPECT_THROW(parse_request(R"json({"a": 3, "b": "()"})json"), std::invalid_argument);
 }
 
+TEST(Protocol, TraceFlagRoundTripsAndDefaultsOff) {
+  EXPECT_FALSE(parse_request(R"json({"a": "()", "b": "()"})json").trace);
+  const ServeRequest req =
+      parse_request(R"json({"a": "()", "b": "()", "trace": true})json");
+  EXPECT_TRUE(req.trace);
+  const ServeRequest back = parse_request(req.to_line());
+  EXPECT_TRUE(back.trace);
+  // Off stays off the wire entirely.
+  ServeRequest untraced;
+  untraced.a = "()";
+  untraced.b = "()";
+  EXPECT_FALSE(untraced.to_json().contains("trace"));
+}
+
+TEST(Protocol, TraceIdAndPhaseTimingsRoundTrip) {
+  ServeResponse resp;
+  resp.id = 5;
+  resp.status = ResponseStatus::kOk;
+  resp.trace_id = 41;
+  resp.queued_ms = 0.75;
+  resp.solve_ms = 2.5;
+  const ServeResponse back = ServeResponse::from_line(resp.to_line());
+  EXPECT_EQ(back.trace_id, 41u);
+  EXPECT_DOUBLE_EQ(back.queued_ms, 0.75);
+  EXPECT_DOUBLE_EQ(back.solve_ms, 2.5);
+}
+
+TEST(Protocol, UnadmittedResponsesOmitTheTraceBlock) {
+  // trace_id 0 means the request never made it past admission (parse error,
+  // reject) — no correlation id, no phase breakdown on the wire.
+  ServeResponse resp;
+  resp.status = ResponseStatus::kRejected;
+  resp.error = "queue full";
+  EXPECT_FALSE(resp.to_json().contains("trace_id"));
+  EXPECT_FALSE(resp.to_json().contains("queued_ms"));
+  EXPECT_FALSE(resp.to_json().contains("solve_ms"));
+  EXPECT_EQ(ServeResponse::from_line(resp.to_line()).trace_id, 0u);
+}
+
 TEST(Protocol, OkResponseRoundTrips) {
   ServeResponse resp;
   resp.id = 9;

@@ -1,0 +1,143 @@
+// Request-scoped tracing through the serving pipeline: one admitted request
+// must yield one correlated set of spans — the retroactive "queued" span,
+// the cache lookup, and the solve — all stamped with the trace id the
+// response echoes back.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+#include "serve/service.hpp"
+
+namespace srna::serve {
+namespace {
+
+class TracePropagationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Tracer::instance().disable();
+    obs::Tracer::instance().clear();
+  }
+  void TearDown() override {
+    obs::Tracer::instance().disable();
+    obs::Tracer::instance().clear();
+  }
+};
+
+ServeRequest traced_request(std::int64_t id, const char* a, const char* b) {
+  ServeRequest req;
+  req.id = id;
+  req.a = a;
+  req.b = b;
+  req.trace = true;
+  return req;
+}
+
+// All complete ("X") spans of one trace id, keyed "category/name".
+std::multimap<std::string, std::uint64_t> spans_by_trace_id(const obs::Json& doc) {
+  std::multimap<std::string, std::uint64_t> out;
+  for (const obs::Json& e : doc.find("traceEvents")->items()) {
+    if (e.find("ph")->as_string() != "X") continue;
+    const obs::Json* args = e.find("args");
+    if (args == nullptr || !args->contains("trace_id")) continue;
+    out.emplace(e.find("cat")->as_string() + "/" + e.find("name")->as_string(),
+                args->find("trace_id")->as_uint());
+  }
+  return out;
+}
+
+TEST_F(TracePropagationTest, ResponsesCarryTraceIdsAndPhaseTimings) {
+  QueryService service({});
+  const ServeResponse resp = service.solve(traced_request(1, "((..))", "(..)"));
+  ASSERT_EQ(resp.status, ResponseStatus::kOk);
+  // Ids are assigned to every admitted request even with the tracer off.
+  EXPECT_NE(resp.trace_id, 0u);
+  EXPECT_GE(resp.queued_ms, 0.0);
+  EXPECT_GT(resp.solve_ms, 0.0);
+
+  const ServeResponse next = service.solve(traced_request(2, "((..))", "(..)"));
+  EXPECT_NE(next.trace_id, resp.trace_id);
+}
+
+TEST_F(TracePropagationTest, QueuedCacheAndSolveSpansShareTheRequestTraceId) {
+  obs::Tracer::instance().enable();
+  QueryService service({});
+  const ServeResponse miss = service.solve(traced_request(1, "((.(..).))", "((..))"));
+  const ServeResponse hit = service.solve(traced_request(2, "((.(..).))", "((..))"));
+  service.drain();
+  obs::Tracer::instance().disable();
+  ASSERT_EQ(miss.status, ResponseStatus::kOk);
+  ASSERT_EQ(hit.status, ResponseStatus::kOk);
+  ASSERT_TRUE(hit.cache_hit);
+
+  const auto spans = spans_by_trace_id(obs::Tracer::instance().to_json());
+  // The cache miss ran the full pipeline under its id.
+  for (const char* key : {"serve/queued", "serve/cache_lookup", "serve/solve"}) {
+    bool found = false;
+    for (auto [it, end] = spans.equal_range(key); it != end; ++it)
+      found = found || it->second == miss.trace_id;
+    EXPECT_TRUE(found) << key << " span missing for trace " << miss.trace_id;
+  }
+  // The cache hit recorded its queued and lookup phases but never solved.
+  bool hit_lookup = false;
+  bool hit_solve = false;
+  for (auto [it, end] = spans.equal_range("serve/cache_lookup"); it != end; ++it)
+    hit_lookup = hit_lookup || it->second == hit.trace_id;
+  for (auto [it, end] = spans.equal_range("serve/solve"); it != end; ++it)
+    hit_solve = hit_solve || it->second == hit.trace_id;
+  EXPECT_TRUE(hit_lookup);
+  EXPECT_FALSE(hit_solve);
+}
+
+TEST_F(TracePropagationTest, UntracedRequestsProduceNoPhaseSpans) {
+  obs::Tracer::instance().enable();
+  QueryService service({});
+  ServeRequest req;
+  req.id = 1;
+  req.a = "((..))";
+  req.b = "(..)";
+  const ServeResponse resp = service.solve(req);
+  service.drain();
+  obs::Tracer::instance().disable();
+  ASSERT_EQ(resp.status, ResponseStatus::kOk);
+  EXPECT_NE(resp.trace_id, 0u);  // ids are cheap; spans are the opt-in part
+
+  const auto spans = spans_by_trace_id(obs::Tracer::instance().to_json());
+  EXPECT_EQ(spans.count("serve/queued"), 0u);
+  EXPECT_EQ(spans.count("serve/cache_lookup"), 0u);
+  EXPECT_EQ(spans.count("serve/solve"), 0u);
+}
+
+TEST_F(TracePropagationTest, ConcurrentTracedRequestsKeepTheirLanesApart) {
+  obs::Tracer::instance().enable();
+  ServiceConfig config;
+  config.workers = 4;
+  QueryService service(config);
+  std::vector<std::future<ServeResponse>> inflight;
+  for (int i = 0; i < 12; ++i) {
+    ServeRequest req = traced_request(i, "((.(..).))", "((..))");
+    req.no_cache = true;  // force every request through the solve phase
+    inflight.push_back(service.solve_async(std::move(req)));
+  }
+  std::vector<ServeResponse> responses;
+  for (auto& f : inflight) responses.push_back(f.get());
+  service.drain();
+  obs::Tracer::instance().disable();
+
+  const auto spans = spans_by_trace_id(obs::Tracer::instance().to_json());
+  for (const ServeResponse& resp : responses) {
+    ASSERT_EQ(resp.status, ResponseStatus::kOk);
+    std::size_t solves_with_id = 0;
+    for (auto [it, end] = spans.equal_range("serve/solve"); it != end; ++it)
+      if (it->second == resp.trace_id) ++solves_with_id;
+    EXPECT_EQ(solves_with_id, 1u) << "trace " << resp.trace_id;
+  }
+}
+
+}  // namespace
+}  // namespace srna::serve

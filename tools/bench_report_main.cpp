@@ -1,0 +1,163 @@
+// srna-bench-report — bench-trajectory regression gate.
+//
+// Compares fresh benchmark run reports against the repo's committed
+// BENCH_*.json series and fails (exit 2) when any tracked metric regressed
+// beyond the threshold — the same 25% slack the micro-kernel smoke gate
+// uses. The comparison logic (metric flattening, direction inference,
+// identity-keyed rows) lives in src/obs/bench_compare.{hpp,cpp} where the
+// obs test suite covers it.
+//
+//   srna-bench-report --baseline=BENCH_serving_throughput.json --fresh=run.json
+//   srna-bench-report --baseline=. --fresh=out/   # pair BENCH_*.json by name
+//
+// Directory arguments pair files by basename: a baseline with no fresh
+// counterpart is reported and skipped (exit stays 0 unless --require-all).
+// Exit codes: 0 clean, 1 usage/IO error, 2 regression detected.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/bench_compare.hpp"
+#include "obs/json.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using srna::obs::BenchComparison;
+using srna::obs::BenchDelta;
+using srna::obs::Json;
+
+Json load_report(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read " + path.string());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::optional<Json> doc = Json::parse(buffer.str());
+  if (!doc || !doc->is_object())
+    throw std::runtime_error(path.string() + " is not a JSON report");
+  return std::move(*doc);
+}
+
+// A --baseline/--fresh argument names either one report or a directory of
+// BENCH_*.json files.
+std::vector<fs::path> report_set(const fs::path& path) {
+  if (fs::is_directory(path)) {
+    std::vector<fs::path> out;
+    for (const fs::directory_entry& entry : fs::directory_iterator(path)) {
+      const std::string name = entry.path().filename().string();
+      if (entry.is_regular_file() && name.rfind("BENCH_", 0) == 0 &&
+          name.size() > 5 && name.substr(name.size() - 5) == ".json")
+        out.push_back(entry.path());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+  return {path};
+}
+
+void print_comparison(const std::string& label, const BenchComparison& cmp,
+                      bool all_rows) {
+  std::printf("== %s (%s)\n", label.c_str(),
+              cmp.tool.empty() ? "unknown tool" : cmp.tool.c_str());
+  std::printf("   %-44s %12s %12s %9s\n", "metric", "baseline", "fresh", "delta");
+  for (const BenchDelta& d : cmp.deltas) {
+    if (!all_rows && !d.regression && d.direction == 0) continue;
+    const char* marker = d.regression            ? " REGRESSION"
+                         : d.direction == 0      ? ""
+                         : d.delta_fraction < 0  ? (d.direction < 0 ? " +" : " -")
+                         : d.delta_fraction > 0  ? (d.direction < 0 ? " -" : " +")
+                                                 : "";
+    std::printf("   %-44s %12.4g %12.4g %+8.1f%%%s\n", d.key.c_str(), d.baseline,
+                d.fresh, 100.0 * d.delta_fraction, marker);
+  }
+  for (const std::string& k : cmp.only_in_baseline)
+    std::printf("   %-44s (missing from fresh run)\n", k.c_str());
+  for (const std::string& k : cmp.only_in_fresh)
+    std::printf("   %-44s (new in fresh run)\n", k.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  srna::CliParser cli("srna-bench-report",
+                      "compare fresh bench reports against the committed BENCH_*.json "
+                      "trajectory; nonzero exit on regression");
+  cli.add_option("baseline", "baseline report file, or directory of BENCH_*.json", "");
+  cli.add_option("fresh", "fresh report file, or directory paired by basename", "");
+  cli.add_option("threshold", "allowed relative slack before a delta regresses", "0.25");
+  cli.add_option("output", "write the comparison document as JSON (none = skip)", "none");
+  cli.add_flag("all", "print every metric row, not just directional ones");
+  cli.add_flag("require-all", "fail when a baseline has no fresh counterpart");
+
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const std::string baseline_arg = cli.str("baseline");
+    const std::string fresh_arg = cli.str("fresh");
+    if (baseline_arg.empty() || fresh_arg.empty())
+      throw std::invalid_argument("--baseline and --fresh are both required");
+    const double threshold = cli.real("threshold");
+    if (threshold <= 0) throw std::invalid_argument("--threshold must be > 0");
+
+    const std::vector<fs::path> baselines = report_set(baseline_arg);
+    if (baselines.empty())
+      throw std::runtime_error("no BENCH_*.json reports under " + baseline_arg);
+    const bool fresh_is_dir = fs::is_directory(fresh_arg);
+    if (baselines.size() > 1 && !fresh_is_dir)
+      throw std::invalid_argument(
+          "--baseline is a directory with several reports; --fresh must be a "
+          "directory too");
+
+    bool regression = false;
+    bool missing = false;
+    Json all = Json::array();
+    for (const fs::path& base_path : baselines) {
+      const fs::path fresh_path =
+          fresh_is_dir ? fs::path(fresh_arg) / base_path.filename() : fs::path(fresh_arg);
+      if (!fs::exists(fresh_path)) {
+        std::printf("== %s: no fresh counterpart (%s)\n",
+                    base_path.filename().string().c_str(), fresh_path.string().c_str());
+        missing = true;
+        continue;
+      }
+      const BenchComparison cmp = srna::obs::compare_reports(
+          load_report(base_path), load_report(fresh_path), threshold);
+      print_comparison(base_path.filename().string(), cmp, cli.flag("all"));
+      regression = regression || cmp.has_regression;
+      Json entry = cmp.to_json();
+      entry.set("baseline_path", Json(base_path.string()));
+      entry.set("fresh_path", Json(fresh_path.string()));
+      all.push(std::move(entry));
+    }
+
+    if (cli.str("output") != "none") {
+      Json doc = Json::object();
+      doc.set("schema", Json("srna-bench-report"));
+      doc.set("threshold", Json(threshold));
+      doc.set("has_regression", Json(regression));
+      doc.set("comparisons", std::move(all));
+      std::ofstream out(cli.str("output"));
+      if (!out) throw std::runtime_error("cannot write " + cli.str("output"));
+      out << doc.dump(2) << '\n';
+    }
+
+    if (regression) {
+      std::printf("RESULT: regression beyond %.0f%% threshold\n", 100.0 * threshold);
+      return 2;
+    }
+    if (missing && cli.flag("require-all")) {
+      std::printf("RESULT: missing fresh reports (--require-all)\n");
+      return 2;
+    }
+    std::printf("RESULT: within %.0f%% of the committed trajectory\n", 100.0 * threshold);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "srna-bench-report: " << e.what() << "\n";
+    return 1;
+  }
+}

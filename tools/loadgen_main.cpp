@@ -53,6 +53,7 @@ struct Workload {
   double repeat_fraction = 0.25;
   std::string algorithm;
   double deadline_ms = 0;
+  std::uint64_t trace_sample = 0;  // trace every N-th request (0 = none)
 
   // The i-th request of the run, deterministic in (seed, i). Repeats draw
   // from a small hot set so the cache sees the same canonical keys again.
@@ -76,6 +77,7 @@ struct Workload {
     req.b = structures[ib];
     req.algorithm = algorithm;
     req.deadline_ms = deadline_ms;
+    req.trace = trace_sample > 0 && i % trace_sample == 0;
     return req;
   }
 };
@@ -83,6 +85,11 @@ struct Workload {
 struct Tally {
   std::mutex mutex;
   std::vector<double> latencies_ms;  // completed (ok) requests only
+  // Server-reported phase breakdown (ok responses): time a request sat in
+  // the admission queue and time the engine spent on it — distinguishes
+  // "the server is slow" from "the server is queueing".
+  std::vector<double> server_queued_ms;
+  std::vector<double> server_solve_ms;
   std::uint64_t ok = 0;
   std::uint64_t rejected = 0;
   std::uint64_t timeout = 0;
@@ -96,6 +103,10 @@ struct Tally {
         ++ok;
         if (resp.cache_hit) ++cache_hits;
         latencies_ms.push_back(client_latency_ms);
+        if (resp.trace_id != 0) {
+          server_queued_ms.push_back(resp.queued_ms);
+          server_solve_ms.push_back(resp.solve_ms);
+        }
         break;
       case serve::ResponseStatus::kRejected: ++rejected; break;
       case serve::ResponseStatus::kTimeout: ++timeout; break;
@@ -186,6 +197,8 @@ int main(int argc, char** argv) {
   cli.add_option("repeat-fraction", "fraction of requests repeating a hot pair", "0.25");
   cli.add_option("deadline-ms", "per-request deadline (0 = none)", "0");
   cli.add_option("algorithm", "engine backend per request", "srna2");
+  cli.add_option("trace-sample",
+                 "ask the server to trace every N-th request (0 = none)", "0");
   cli.add_option("connect", "HOST:PORT of a running srna-serve (default: in-process)", "");
   cli.add_option("workers", "in-process service: worker threads", "4");
   cli.add_option("queue-capacity", "in-process service: admission queue slots", "64");
@@ -212,6 +225,7 @@ int main(int argc, char** argv) {
     workload.repeat_fraction = cli.real("repeat-fraction");
     workload.algorithm = cli.str("algorithm");
     workload.deadline_ms = cli.real("deadline-ms");
+    workload.trace_sample = static_cast<std::uint64_t>(cli.integer("trace-sample"));
     workload.structures.reserve(pool);
     for (std::size_t i = 0; i < pool; ++i)
       workload.structures.push_back(to_dot_bracket(
@@ -306,6 +320,8 @@ int main(int argc, char** argv) {
     }
 
     std::sort(tally.latencies_ms.begin(), tally.latencies_ms.end());
+    std::sort(tally.server_queued_ms.begin(), tally.server_queued_ms.end());
+    std::sort(tally.server_solve_ms.begin(), tally.server_solve_ms.end());
     const double p50 = percentile(tally.latencies_ms, 0.50);
     const double p90 = percentile(tally.latencies_ms, 0.90);
     const double p99 = percentile(tally.latencies_ms, 0.99);
@@ -322,6 +338,12 @@ int main(int argc, char** argv) {
               << hit_rate << ")\n"
               << "throughput:  " << throughput << " req/s over " << elapsed << " s\n"
               << "latency ms:  p50 " << p50 << "  p90 " << p90 << "  p99 " << p99 << "\n";
+    if (!tally.server_queued_ms.empty())
+      std::cout << "server ms:   queued p50 " << percentile(tally.server_queued_ms, 0.50)
+                << "  p99 " << percentile(tally.server_queued_ms, 0.99) << "  |  solve p50 "
+                << percentile(tally.server_solve_ms, 0.50) << "  p99 "
+                << percentile(tally.server_solve_ms, 0.99) << "  ("
+                << tally.server_queued_ms.size() << " reporting)\n";
 
     const std::string output = cli.str("output");
     if (output != "none") {
@@ -337,6 +359,7 @@ int main(int argc, char** argv) {
       params.set("algorithm", obs::Json(workload.algorithm));
       params.set("deadline_ms", obs::Json(workload.deadline_ms));
       params.set("transport", obs::Json(connect.empty() ? "in-process" : "tcp"));
+      params.set("trace_sample", obs::Json(workload.trace_sample));
       report.set("params", std::move(params));
       obs::Json results = obs::Json::object();
       results.set("ok", obs::Json(tally.ok));
@@ -350,6 +373,16 @@ int main(int argc, char** argv) {
       results.set("latency_ms_p50", obs::Json(p50));
       results.set("latency_ms_p90", obs::Json(p90));
       results.set("latency_ms_p99", obs::Json(p99));
+      if (!tally.server_queued_ms.empty()) {
+        results.set("server_queued_ms_p50",
+                    obs::Json(percentile(tally.server_queued_ms, 0.50)));
+        results.set("server_queued_ms_p99",
+                    obs::Json(percentile(tally.server_queued_ms, 0.99)));
+        results.set("server_solve_ms_p50",
+                    obs::Json(percentile(tally.server_solve_ms, 0.50)));
+        results.set("server_solve_ms_p99",
+                    obs::Json(percentile(tally.server_solve_ms, 0.99)));
+      }
       report.set("results", std::move(results));
       report.add_metrics_snapshot();
       const std::string target =

@@ -7,16 +7,25 @@
 //                    ephemeral port and prints it). Runs until SIGINT/SIGTERM,
 //                    then stops the listener and drains in-flight requests.
 //
-// Service stats go to stderr on shutdown; --metrics/--report/--trace attach
-// the obs subsystem exactly as in the main CLI.
+// Observability (docs/OBSERVABILITY.md):
+//   --admin-port=N   HTTP admin listener (GET /metrics /healthz /statz) on a
+//                    plane separate from serving; -1 disables. Offline mode
+//                    answers the same views via in-band {"admin": ...} lines.
+//   --log-level=L    structured JSON-lines log threshold on stderr
+//                    (debug | info | warn | error | off).
+//   --metrics/--report/--trace attach the obs subsystem exactly as in the
+//   main CLI; service stats go into the report (and stderr) on shutdown.
 #include <atomic>
 #include <chrono>
 #include <csignal>
 #include <iostream>
+#include <memory>
 #include <thread>
 
 #include "db/structure_db.hpp"
+#include "obs/log.hpp"
 #include "obs/session.hpp"
+#include "serve/admin.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
 #include "util/cli.hpp"
@@ -36,6 +45,12 @@ int main(int argc, char** argv) {
   cli.add_flag("offline", "serve stdin/stdout instead of a TCP socket");
   cli.add_option("host", "TCP listen address", "127.0.0.1");
   cli.add_option("port", "TCP port (0 = ephemeral, printed on startup)", "7533");
+  cli.add_option("admin-port",
+                 "HTTP admin listener port: /metrics /healthz /statz "
+                 "(0 = ephemeral, -1 = disabled)",
+                 "-1");
+  cli.add_option("log-level", "structured log threshold (debug|info|warn|error|off)",
+                 "info");
   cli.add_option("db", "structure database directory for a_name/b_name requests", "");
   cli.add_option("workers", "worker threads", "4");
   cli.add_option("queue-capacity", "admission queue slots (backpressure beyond this)", "64");
@@ -47,6 +62,14 @@ int main(int argc, char** argv) {
 
   try {
     if (!cli.parse(argc, argv)) return 0;
+
+    const std::optional<obs::LogLevel> log_level = obs::parse_log_level(cli.str("log-level"));
+    if (!log_level) {
+      std::cerr << "srna-serve: bad --log-level '" << cli.str("log-level")
+                << "' (debug|info|warn|error|off)\n";
+      return 1;
+    }
+    obs::Logger::instance().set_min_level(*log_level);
 
     obs::ObsSession obs_session(obs::ObsSession::paths_from_cli(cli), "srna-serve");
     obs_session.report().set_command_line(argc, argv);
@@ -61,28 +84,49 @@ int main(int argc, char** argv) {
     config.default_algorithm = cli.str("algorithm");
     if (!cli.str("db").empty()) {
       db = StructureDatabase::load_directory(cli.str("db"));
-      std::cerr << "loaded " << db.size() << " structures from " << cli.str("db") << "\n";
+      obs::log_info("serve.db_loaded",
+                    obs::log_fields(
+                        {{"path", obs::Json(cli.str("db"))},
+                         {"structures", obs::Json(static_cast<std::uint64_t>(db.size()))}}));
       config.db = &db;
     }
 
     serve::QueryService service(config);
 
+    // The admin plane outlives the data listener but not the service: scrapes
+    // during drain still answer (healthz flips to "draining").
+    std::unique_ptr<serve::AdminServer> admin;
+    const auto admin_port = cli.integer("admin-port");
+    if (admin_port >= 0) {
+      admin = std::make_unique<serve::AdminServer>(
+          service, cli.str("host"), static_cast<std::uint16_t>(admin_port));
+      std::cerr << "admin endpoint on " << cli.str("host") << ":" << admin->port()
+                << " (/metrics /healthz /statz)\n";
+    }
+
     if (cli.flag("offline")) {
+      obs::log_info("serve.start", obs::log_fields({{"mode", obs::Json("offline")}}));
       const std::size_t lines = serve::run_offline(service, std::cin, std::cout);
       service.drain();
-      std::cerr << "served " << lines << " requests\n";
+      obs::log_info("serve.stop",
+                    obs::log_fields({{"lines", obs::Json(static_cast<std::uint64_t>(lines))}}));
     } else {
       std::signal(SIGINT, handle_signal);
       std::signal(SIGTERM, handle_signal);
       serve::TcpServer server(service, cli.str("host"),
                               static_cast<std::uint16_t>(cli.integer("port")));
       std::cerr << "listening on " << cli.str("host") << ":" << server.port() << "\n";
+      obs::log_info(
+          "serve.start",
+          obs::log_fields({{"mode", obs::Json("tcp")},
+                           {"port", obs::Json(static_cast<std::uint64_t>(server.port()))}}));
       while (!g_stop.load(std::memory_order_relaxed))
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
-      std::cerr << "shutting down: draining in-flight requests\n";
+      obs::log_info("serve.stop", obs::log_fields({{"mode", obs::Json("tcp")}}));
       server.stop();
       service.drain();
     }
+    if (admin) admin->stop();
 
     std::cerr << service.stats_json().dump(2) << "\n";
     obs_session.report().set("service", service.stats_json());
