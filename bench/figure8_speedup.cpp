@@ -16,6 +16,7 @@
 
 #include "bench_util.hpp"
 #include "engine/engine.hpp"
+#include "obs/cpath/critical_path.hpp"
 #include "parallel/cluster_sim.hpp"
 #include "rna/generators.hpp"
 #include "util/cli.hpp"
@@ -146,12 +147,31 @@ int main(int argc, char** argv) {
         "Schedule comparison — barrier (static/dynamic) vs dependency-driven (stealing)",
         "stage-one synchronization cost on this host; Table II pair + L400 worst case");
     TablePrinter sched_table({"instance", "schedule", "threads", "wall[s]", "speedup",
-                              "barrier_wait[s]", "steal_idle[s]", "steals"});
+                              "ceiling", "barrier_wait[s]", "steal_idle[s]", "steals"});
     obs::Json schedule_rows = obs::Json::array();
+    obs::Json analyses = obs::Json::array();
     for (const auto& [iname, s] : instances) {
       double base_wall = 0.0;
       Score expected = 0;
       bool have_expected = false;
+      // Brent-bound ceiling per thread count from the slice DAG, costed with
+      // the calibrated cell time (measured rows print next to it, so the
+      // table separates schedule overhead from dependency structure).
+      std::vector<int> thread_counts;
+      for (const auto th : cli.int_list("schedule-threads"))
+        thread_counts.push_back(static_cast<int>(th));
+      const obs::ParallelAnalysis analysis =
+          obs::analyze_parallel(s, s, model.cell_seconds, 0.0, thread_counts);
+      {
+        obs::Json entry = analysis.to_json();
+        entry.set("instance", obs::Json(iname));
+        analyses.push(std::move(entry));
+      }
+      auto ceiling_for = [&](std::int64_t th) {
+        for (const auto& row : analysis.rows)
+          if (row.threads == th) return row.ceiling_speedup;
+        return 0.0;
+      };
       for (const auto& sc : schedules) {
         for (const auto th : cli.int_list("schedule-threads")) {
           PrnaOptions opt;
@@ -170,26 +190,35 @@ int main(int argc, char** argv) {
           }
           if (sc.schedule == PrnaSchedule::kStaticColumns && th == cli.int_list("schedule-threads").front())
             base_wall = wall;
-          double barrier_wait = 0.0, steal_idle = 0.0;
+          double barrier_wait = 0.0, steal_idle = 0.0, lane_wall = 0.0;
           std::uint64_t steals = 0, ready_pushes = 0;
           for (const auto& lane : r.timeline) {
             barrier_wait += lane.barrier_wait_seconds;
             steal_idle += lane.steal_idle_seconds;
+            lane_wall += lane.wall_seconds;
             steals += lane.steals;
             ready_pushes += lane.ready_pushes;
           }
+          // The absolute waits as a fraction of all lanes' stage-one wall
+          // time: comparable across thread counts and instance sizes.
+          const double barrier_wait_fraction = lane_wall > 0 ? barrier_wait / lane_wall : 0;
+          const double steal_idle_fraction = lane_wall > 0 ? steal_idle / lane_wall : 0;
           sched_table.add_row({iname, sc.name, std::to_string(th), fixed(wall, 3),
-                               fixed(base_wall / wall, 2), fixed(barrier_wait, 3),
-                               fixed(steal_idle, 3), std::to_string(steals)});
+                               fixed(base_wall / wall, 2), fixed(ceiling_for(th), 2),
+                               fixed(barrier_wait, 3), fixed(steal_idle, 3),
+                               std::to_string(steals)});
           obs::Json jrow = obs::Json::object();
           jrow.set("instance", obs::Json(iname));
           jrow.set("schedule", obs::Json(sc.name));
           jrow.set("threads", obs::Json(th));
           jrow.set("wall_seconds", obs::Json(wall));
           jrow.set("speedup", obs::Json(base_wall / wall));
+          jrow.set("ceiling_speedup", obs::Json(ceiling_for(th)));
           jrow.set("value", obs::Json(static_cast<std::int64_t>(r.value)));
           jrow.set("barrier_wait_seconds", obs::Json(barrier_wait));
+          jrow.set("barrier_wait_fraction", obs::Json(barrier_wait_fraction));
           jrow.set("steal_idle_seconds", obs::Json(steal_idle));
+          jrow.set("steal_idle_fraction", obs::Json(steal_idle_fraction));
           jrow.set("steals", obs::Json(steals));
           jrow.set("ready_pushes", obs::Json(ready_pushes));
           schedule_rows.push(std::move(jrow));
@@ -200,6 +229,7 @@ int main(int argc, char** argv) {
     std::cout << "\nbarrier schedules pay barrier_wait; the stealing schedule replaces it\n"
                  "with steal_idle (time with no runnable slice anywhere).\n";
     bench_report.report().set("schedule_rows", std::move(schedule_rows));
+    bench_report.report().set("parallel_analysis", std::move(analyses));
   }
   return bench_report.write(cli.str("report")) ? 0 : 1;
 }

@@ -16,13 +16,18 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 LOADGEN="$BUILD_DIR/tools/srna-loadgen"
+PROFILE="$BUILD_DIR/tools/srna-profile"
 REPORT="$BUILD_DIR/tools/srna-bench-report"
 BASELINE="BENCH_serving_throughput.json"
 FRESH="$BUILD_DIR/BENCH_serving_throughput_fresh.json"
+PROFILE_BASELINE="BENCH_parallel_analysis.json"
+PROFILE_FRESH="$BUILD_DIR/BENCH_parallel_analysis_fresh.json"
 
 [ -x "$LOADGEN" ] || { echo "missing $LOADGEN (build first)"; exit 1; }
+[ -x "$PROFILE" ] || { echo "missing $PROFILE (build first)"; exit 1; }
 [ -x "$REPORT" ] || { echo "missing $REPORT (build first)"; exit 1; }
 [ -f "$BASELINE" ] || { echo "missing committed baseline $BASELINE"; exit 1; }
+[ -f "$PROFILE_BASELINE" ] || { echo "missing committed baseline $PROFILE_BASELINE"; exit 1; }
 
 # Same workload as the committed baseline (its command_line field).
 "$LOADGEN" --requests=2000 --concurrency=8 --length=120 --structures=32 \
@@ -30,5 +35,14 @@ FRESH="$BUILD_DIR/BENCH_serving_throughput_fresh.json"
 
 "$REPORT" --baseline="$BASELINE" --fresh="$FRESH" --threshold=0.25 \
   --output="$BUILD_DIR/bench_report_comparison.json"
+
+# Parallel-analysis series: same default workload as the committed baseline
+# (L=400 Table I pair, threads 1,2,4, stealing schedule). Fresh-only metric
+# paths — e.g. hardware-counter columns that only exist where perf_event is
+# available — are reported and skipped by srna-bench-report, never gated.
+"$PROFILE" --report="$PROFILE_FRESH"
+
+"$REPORT" --baseline="$PROFILE_BASELINE" --fresh="$PROFILE_FRESH" --threshold=0.25 \
+  --output="$BUILD_DIR/parallel_analysis_comparison.json"
 
 echo "bench-report: within threshold of the committed trajectory"

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Builds and runs the arithmetic-heavy suites under UndefinedBehaviorSanitizer
+# alone (no ASan shadow memory, so runs stay fast and the diagnostics are
+# purely about undefined operations).
+#
+# The perf/analysis layer leans on exactly the operations UBSan polices:
+# 64-bit counter deltas and multiplex scaling (overflow, bad float-to-int
+# casts), slice-id arithmetic in the critical-path DAG (a * n2 + b index
+# algebra), Brent-bound ratios against possibly-zero denominators, and byte
+# accounting sums. This script configures a separate build tree
+# (build-ubsan/) with -DSRNA_SANITIZE=undefined and runs the
+# `ubsan`-labelled ctest suites:
+#   * core_tests   — the DP recurrence and slice tabulation index math,
+#   * engine_tests — workspace byte accounting and dispatch,
+#   * obs_tests    — counters, histograms, JSON numerics, the counter stub,
+#                    and the critical-path analyzer.
+#
+# Usage: scripts/check_ubsan.sh [build-dir]   (default: build-ubsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-ubsan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSRNA_SANITIZE=undefined \
+  -DSRNA_BUILD_BENCH=OFF \
+  -DSRNA_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" --target core_tests engine_tests obs_tests -j "$(nproc)"
+
+# Make every UBSan finding fatal (the default only prints); a clean exit is
+# the whole signal.
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  ctest --test-dir "$BUILD_DIR" -L ubsan --output-on-failure -j "$(nproc)"
+
+echo "ubsan: all checked suites clean"

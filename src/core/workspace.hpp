@@ -80,13 +80,24 @@ class Workspace {
   // `.build(s2)` it once at solve start and pass it to the slice kernels.
   ColumnEvents& column_events() noexcept { return column_events_; }
 
-  // Total reserved backing bytes across all buffers. The engine samples this
-  // before/after a solve; the delta is what the solve actually allocated.
-  [[nodiscard]] std::size_t footprint_bytes() const noexcept {
-    std::size_t total = memo_.capacity_bytes() + column_events_.capacity_bytes();
+  // Reserved bytes of the memo table M — the Θ(nm) cross-slice state the
+  // paper's space argument is about.
+  [[nodiscard]] std::size_t memo_bytes() const noexcept { return memo_.capacity_bytes(); }
+
+  // Reserved bytes of the per-slice scratch: dense grids, event scratch, and
+  // the S2 column-event table. Together with memo_bytes() this is the whole
+  // footprint, split along the paper's "memo table + one live slice" line.
+  [[nodiscard]] std::size_t scratch_bytes() const noexcept {
+    std::size_t total = column_events_.capacity_bytes();
     for (const auto& g : dense_grids_) total += g->flat().capacity() * sizeof(Score);
     for (const auto& e : events_) total += e->capacity_bytes();
     return total;
+  }
+
+  // Total reserved backing bytes across all buffers. The engine samples this
+  // before/after a solve; the delta is what the solve actually allocated.
+  [[nodiscard]] std::size_t footprint_bytes() const noexcept {
+    return memo_bytes() + scratch_bytes();
   }
 
   // Number of solves this workspace has served (engine bookkeeping: the

@@ -141,6 +141,12 @@ EngineResult solve_with(const SolverBackend& backend, const SecondaryStructure& 
   // engine.workspace_pool_threads it bounds the pool's steady-state memory.
   metrics.gauge("engine.workspace_peak_bytes")
       .set_max(static_cast<double>(footprint_after));
+  // Split watermarks, the memory ledger's exact view: memo table versus
+  // per-slice scratch (paper's "M plus one live slice" decomposition).
+  metrics.gauge("engine.memo_table_bytes")
+      .set_max(static_cast<double>(workspace.memo_bytes()));
+  metrics.gauge("engine.slice_scratch_bytes")
+      .set_max(static_cast<double>(workspace.scratch_bytes()));
   return result;
 }
 

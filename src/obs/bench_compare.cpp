@@ -68,6 +68,9 @@ int metric_direction(std::string_view key) noexcept {
   // Take the leaf metric name; row identity brackets may contain anything.
   const std::size_t dot = key.rfind('.');
   const std::string_view leaf = dot == std::string_view::npos ? key : key.substr(dot + 1);
+  // miss_rate / error_rate must beat the generic "_rate is good" rule below:
+  // a *dropping* cache-miss rate is an improvement, not a regression.
+  if (contains_token(leaf, "miss_rate") || contains_token(leaf, "error_rate")) return -1;
   if (contains_token(leaf, "throughput") || contains_token(leaf, "speedup") ||
       contains_token(leaf, "efficiency") || contains_token(leaf, "hit_rate") ||
       contains_token(leaf, "per_second") || ends_with(leaf, "_rps") ||
@@ -95,6 +98,18 @@ std::vector<BenchValue> flatten_report_metrics(const Json& report) {
     flatten_rows(*rows, "rows", out);
   if (const Json* srows = report.find("schedule_rows"); srows != nullptr && srows->is_array())
     flatten_rows(*srows, "schedule_rows", out);
+  // The srna-profile analyzer block: DAG scalars (work, critical path,
+  // parallelism) plus the per-thread-count ceiling rows.
+  if (const Json* analysis = report.find("parallel_analysis");
+      analysis != nullptr && analysis->is_object()) {
+    for (const auto& [name, value] : analysis->members()) {
+      if (!value.is_number()) continue;
+      out.push_back(BenchValue{"parallel_analysis." + name, value.as_double()});
+    }
+    if (const Json* trows = analysis->find("thread_rows");
+        trows != nullptr && trows->is_array())
+      flatten_rows(*trows, "parallel_analysis.thread_rows", out);
+  }
   return out;
 }
 

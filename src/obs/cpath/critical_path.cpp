@@ -1,0 +1,192 @@
+#include "obs/cpath/critical_path.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+#include <utility>
+
+#include "core/arc_index.hpp"
+
+namespace srna::obs {
+
+namespace {
+
+double safe_ratio(double num, double den) noexcept { return den > 0.0 ? num / den : 0.0; }
+
+}  // namespace
+
+Json ParallelAnalysis::to_json() const {
+  Json doc = Json::object();
+  doc.set("slices", Json(static_cast<std::uint64_t>(slices)));
+  doc.set("total_work_seconds", Json(total_work_seconds));
+  doc.set("critical_path_seconds", Json(critical_path_seconds));
+  doc.set("critical_path_slices", Json(static_cast<std::uint64_t>(critical_path_slices)));
+  doc.set("serial_seconds", Json(serial_seconds));
+  doc.set("parallelism", Json(parallelism));
+  Json thread_rows = Json::array();
+  for (const CpathThreadRow& row : rows) {
+    Json r = Json::object();
+    r.set("threads", Json(static_cast<std::int64_t>(row.threads)));
+    r.set("brent_lower_seconds", Json(row.brent_lower_seconds));
+    r.set("greedy_upper_seconds", Json(row.greedy_upper_seconds));
+    r.set("ceiling_speedup", Json(row.ceiling_speedup));
+    r.set("simulated_seconds", Json(row.simulated_seconds));
+    r.set("simulated_speedup", Json(row.simulated_speedup));
+    thread_rows.push(std::move(r));
+  }
+  doc.set("thread_rows", std::move(thread_rows));
+  return doc;
+}
+
+double simulate_makespan(const ArcForest& forest1, const ArcForest& forest2,
+                         const std::vector<double>& costs, int workers) {
+  const std::size_t n1 = forest1.size();
+  const std::size_t n2 = forest2.size();
+  const std::size_t total = n1 * n2;
+  if (total == 0 || workers < 1) return 0.0;
+
+  // Priority = heaviest remaining chain through this slice (distance to
+  // sink, own cost included). Both successors — (parent1[a], b) and
+  // (a, parent2[b]) — sit later in post-order, so one descending sweep
+  // suffices.
+  std::vector<double> to_sink(total, 0.0);
+  for (std::size_t idx = total; idx-- > 0;) {
+    const std::size_t a = idx / n2;
+    const std::size_t b = idx % n2;
+    double best = 0.0;
+    if (forest1.parent[a] != ArcForest::kNoParent) {
+      best = std::max(best, to_sink[forest1.parent[a] * n2 + b]);
+    }
+    if (forest2.parent[b] != ArcForest::kNoParent) {
+      best = std::max(best, to_sink[a * n2 + forest2.parent[b]]);
+    }
+    to_sink[idx] = costs[idx] + best;
+  }
+
+  // Outstanding dependency counts, seeded exactly as the stealing schedule
+  // seeds them: direct children along each coordinate.
+  std::vector<std::uint32_t> deps(total);
+  using Ready = std::pair<double, std::size_t>;  // (to_sink, slice)
+  std::priority_queue<Ready> ready;
+  for (std::size_t a = 0; a < n1; ++a) {
+    for (std::size_t b = 0; b < n2; ++b) {
+      const std::size_t idx = a * n2 + b;
+      deps[idx] = forest1.child_count[a] + forest2.child_count[b];
+      if (deps[idx] == 0) ready.emplace(to_sink[idx], idx);
+    }
+  }
+
+  using Running = std::pair<double, std::size_t>;  // (finish time, slice)
+  std::priority_queue<Running, std::vector<Running>, std::greater<>> running;
+  double now = 0.0;
+  std::size_t done = 0;
+  while (done < total) {
+    // Fill free workers from the ready queue, heaviest chain first.
+    while (!ready.empty() && running.size() < static_cast<std::size_t>(workers)) {
+      const std::size_t idx = ready.top().second;
+      ready.pop();
+      running.emplace(now + costs[idx], idx);
+    }
+    // Advance to the next completion and release its successors.
+    const auto [finish, idx] = running.top();
+    running.pop();
+    now = finish;
+    ++done;
+    const std::size_t a = idx / n2;
+    const std::size_t b = idx % n2;
+    if (forest1.parent[a] != ArcForest::kNoParent) {
+      const std::size_t up = forest1.parent[a] * n2 + b;
+      if (--deps[up] == 0) ready.emplace(to_sink[up], up);
+    }
+    if (forest2.parent[b] != ArcForest::kNoParent) {
+      const std::size_t up = a * n2 + forest2.parent[b];
+      if (--deps[up] == 0) ready.emplace(to_sink[up], up);
+    }
+  }
+  return now;
+}
+
+ParallelAnalysis analyze_slice_dag(const ArcForest& forest1, const ArcForest& forest2,
+                                   const std::vector<double>& costs, double serial_seconds,
+                                   const std::vector<int>& thread_counts) {
+  const std::size_t n1 = forest1.size();
+  const std::size_t n2 = forest2.size();
+  const std::size_t total = n1 * n2;
+
+  ParallelAnalysis analysis;
+  analysis.slices = total;
+  analysis.serial_seconds = serial_seconds;
+
+  // Longest weighted chain ending at each slice. Dependencies (direct
+  // children along either coordinate) have smaller post-order indices, so
+  // one ascending sweep sees every dependency before its dependent.
+  std::vector<double> dp(total, 0.0);
+  std::vector<std::uint32_t> dp_len(total, 0);
+  for (std::size_t a = 0; a < n1; ++a) {
+    for (std::size_t b = 0; b < n2; ++b) {
+      const std::size_t idx = a * n2 + b;
+      double best = 0.0;
+      std::uint32_t best_len = 0;
+      auto consider = [&](std::size_t dep) {
+        if (dp[dep] > best || (dp[dep] == best && dp_len[dep] > best_len)) {
+          best = dp[dep];
+          best_len = dp_len[dep];
+        }
+      };
+      for (std::size_t c = 0; c < n1; ++c) {
+        if (forest1.parent[c] == a) consider(c * n2 + b);
+      }
+      for (std::size_t c = 0; c < n2; ++c) {
+        if (forest2.parent[c] == b) consider(a * n2 + c);
+      }
+      dp[idx] = costs[idx] + best;
+      dp_len[idx] = best_len + 1;
+      analysis.total_work_seconds += costs[idx];
+      if (dp[idx] > analysis.critical_path_seconds) {
+        analysis.critical_path_seconds = dp[idx];
+        analysis.critical_path_slices = dp_len[idx];
+      }
+    }
+  }
+  analysis.parallelism =
+      safe_ratio(analysis.total_work_seconds, analysis.critical_path_seconds);
+
+  const double t1 = analysis.total_work_seconds;
+  const double tinf = analysis.critical_path_seconds;
+  const double full = t1 + serial_seconds;  // the 1-thread baseline
+  for (const int p : thread_counts) {
+    if (p < 1) continue;
+    CpathThreadRow row;
+    row.threads = p;
+    row.brent_lower_seconds = std::max(t1 / p, tinf) + serial_seconds;
+    row.greedy_upper_seconds = t1 / p + tinf + serial_seconds;
+    row.ceiling_speedup = safe_ratio(full, row.brent_lower_seconds);
+    row.simulated_seconds =
+        simulate_makespan(forest1, forest2, costs, p) + serial_seconds;
+    row.simulated_speedup = safe_ratio(full, row.simulated_seconds);
+    analysis.rows.push_back(row);
+  }
+  return analysis;
+}
+
+ParallelAnalysis analyze_parallel(const SecondaryStructure& s1, const SecondaryStructure& s2,
+                                  double seconds_per_cell, double serial_seconds,
+                                  const std::vector<int>& thread_counts) {
+  const ArcIndex index1(s1);
+  const ArcIndex index2(s2);
+  const ArcForest forest1 = build_arc_forest(index1.all());
+  const ArcForest forest2 = build_arc_forest(index2.all());
+  const std::size_t n1 = forest1.size();
+  const std::size_t n2 = forest2.size();
+  std::vector<double> costs(n1 * n2, 0.0);
+  for (std::size_t a = 0; a < n1; ++a) {
+    const double rows = static_cast<double>(index1.arc(a).interior_width());
+    for (std::size_t b = 0; b < n2; ++b) {
+      const double cols = static_cast<double>(index2.arc(b).interior_width());
+      costs[a * n2 + b] = rows * cols * seconds_per_cell;
+    }
+  }
+  return analyze_slice_dag(forest1, forest2, costs, serial_seconds, thread_counts);
+}
+
+}  // namespace srna::obs

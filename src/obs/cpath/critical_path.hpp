@@ -1,0 +1,92 @@
+// Critical-path analysis of PRNA's stage-one slice dependency DAG.
+//
+// Wall-clock spans say *that* a schedule is slower; this analyzer says *how
+// fast any schedule could be*. The stage-one slices form a DAG — slice
+// (a, b) depends on (c, b) for every direct child c of arc a in S1's
+// nesting forest, and on (a, c') for every direct child c' of arc b in S2's
+// (the exact dependency structure PrnaSchedule::kStealing executes). With a
+// cost per slice, three classical quantities fall out:
+//
+//   T1    total work          — sum of slice costs
+//   T∞    critical path       — heaviest dependency chain
+//   T(p)  achievable makespan — Brent's bound: max(T1/p, T∞) <= T(p) and
+//         any greedy (list) schedule achieves T(p) <= T1/p + T∞
+//
+// plus the serial phases (preprocessing, stage two) that no schedule
+// parallelizes. The resulting ceiling speedup per thread count is what
+// `figure8_speedup` rows and `srna-profile` print next to the measured
+// numbers: a measured curve hugging the ceiling means the hardware is the
+// limit; a gap means the schedule is.
+//
+// What-if mode: simulate_makespan() replays a greedy dependency-driven
+// schedule (the stealing scheduler's idealization — zero steal cost,
+// critical-path-first priority) with k virtual workers over the recorded
+// per-slice costs, predicting the makespan of thread counts never run.
+//
+// Costs come from measurement: a slice's cells are the product of the two
+// arcs' interior widths (paper Figure 7), and the stage-one timeline gives
+// measured seconds per cell — analyze_parallel() combines the two. The
+// analyzer itself is cost-agnostic (analyze_slice_dag takes any vector),
+// which is what the unit tests pin against by-hand Brent bounds.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "parallel/load_balance.hpp"
+#include "rna/secondary_structure.hpp"
+
+namespace srna::obs {
+
+// One thread count's ceiling-vs-simulation row.
+struct CpathThreadRow {
+  int threads = 1;
+  double brent_lower_seconds = 0.0;  // max(T1/p, T∞) + serial: no schedule beats this
+  double greedy_upper_seconds = 0.0;  // T1/p + T∞ + serial: any greedy schedule beats this
+  double ceiling_speedup = 0.0;       // (T1 + serial) / brent_lower_seconds
+  double simulated_seconds = 0.0;     // greedy what-if replay with p virtual workers
+  double simulated_speedup = 0.0;     // (T1 + serial) / simulated_seconds
+};
+
+struct ParallelAnalysis {
+  std::size_t slices = 0;
+  double total_work_seconds = 0.0;     // T1 (stage one only)
+  double critical_path_seconds = 0.0;  // T∞
+  std::size_t critical_path_slices = 0;  // chain length realizing T∞
+  double serial_seconds = 0.0;         // preprocess + stage two
+  // T1 / T∞: the max useful worker count before the chain dominates.
+  double parallelism = 0.0;
+
+  std::vector<CpathThreadRow> rows;
+
+  // {"slices": ..., "total_work_seconds": ..., ..., "thread_rows": [...]}
+  // thread_rows carry the identity field "threads" so bench comparisons key
+  // on configuration, not array position.
+  [[nodiscard]] Json to_json() const;
+};
+
+// Greedy dependency-driven what-if: replays the DAG on `workers` virtual
+// workers, dispatching ready slices heaviest-remaining-chain first, and
+// returns the stage-one makespan (no serial term). Exposed for tests.
+[[nodiscard]] double simulate_makespan(const ArcForest& forest1, const ArcForest& forest2,
+                                       const std::vector<double>& costs, int workers);
+
+// The core analyzer. `costs` has forest1.size() * forest2.size() entries,
+// slice (a, b) at a * forest2.size() + b, in seconds.
+[[nodiscard]] ParallelAnalysis analyze_slice_dag(const ArcForest& forest1,
+                                                 const ArcForest& forest2,
+                                                 const std::vector<double>& costs,
+                                                 double serial_seconds,
+                                                 const std::vector<int>& thread_counts);
+
+// Convenience entry: derives forests (build_arc_forest over ArcIndex order)
+// and per-slice costs (interior-width products x seconds_per_cell) from the
+// structure pair, then runs analyze_slice_dag.
+[[nodiscard]] ParallelAnalysis analyze_parallel(const SecondaryStructure& s1,
+                                                const SecondaryStructure& s2,
+                                                double seconds_per_cell,
+                                                double serial_seconds,
+                                                const std::vector<int>& thread_counts);
+
+}  // namespace srna::obs

@@ -1,0 +1,74 @@
+#include "obs/perf/memory.hpp"
+
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+
+namespace srna::obs {
+
+std::size_t current_rss_bytes() noexcept {
+#if defined(__linux__)
+  // /proc/self/statm: size resident shared text lib data dt (pages).
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long size = 0, resident = 0;
+  const int matched = std::fscanf(f, "%lu %lu", &size, &resident);
+  std::fclose(f);
+  if (matched != 2) return 0;
+  const long page = ::sysconf(_SC_PAGESIZE);
+  return static_cast<std::size_t>(resident) *
+         static_cast<std::size_t>(page > 0 ? page : 4096);
+#else
+  return 0;
+#endif
+}
+
+std::size_t peak_rss_bytes() noexcept {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+void update_memory_gauges() {
+  auto& registry = Registry::instance();
+  registry.gauge("mem.current_rss_bytes").set(static_cast<double>(current_rss_bytes()));
+  // set_max: Registry::reset() zeroes it, and a sampled peak must never move
+  // backwards between samples.
+  registry.gauge("mem.peak_rss_bytes").set_max(static_cast<double>(peak_rss_bytes()));
+}
+
+Json memory_ledger_json() {
+  update_memory_gauges();
+  auto& registry = Registry::instance();
+  Json doc = Json::object();
+  doc.set("current_rss_bytes",
+          Json(static_cast<std::uint64_t>(registry.gauge("mem.current_rss_bytes").value())));
+  doc.set("peak_rss_bytes",
+          Json(static_cast<std::uint64_t>(registry.gauge("mem.peak_rss_bytes").value())));
+  doc.set("memo_table_bytes",
+          Json(static_cast<std::uint64_t>(registry.gauge("engine.memo_table_bytes").value())));
+  doc.set("slice_scratch_bytes",
+          Json(static_cast<std::uint64_t>(
+              registry.gauge("engine.slice_scratch_bytes").value())));
+  doc.set("workspace_peak_bytes",
+          Json(static_cast<std::uint64_t>(
+              registry.gauge("engine.workspace_peak_bytes").value())));
+  doc.set("result_cache_bytes",
+          Json(static_cast<std::uint64_t>(registry.gauge("serve.cache_bytes").value())));
+  return doc;
+}
+
+}  // namespace srna::obs

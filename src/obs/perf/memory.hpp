@@ -1,0 +1,44 @@
+// Memory-footprint accounting: process RSS sampling plus the repo's exact
+// byte gauges rolled into one "memory ledger".
+//
+// The Four-Russians and linear-space directions in ROADMAP are both bets on
+// memory behavior; deciding them needs to know what a solve actually costs
+// in bytes today. Two complementary sources:
+//
+//   * the OS view — current and peak resident set size of the process
+//     (/proc/self/statm and getrusage(RUSAGE_SELF).ru_maxrss), published as
+//     `mem.current_rss_bytes` / `mem.peak_rss_bytes` gauges on every
+//     update_memory_gauges() call;
+//   * the exact view — byte gauges the subsystems maintain themselves:
+//     `engine.memo_table_bytes` and `engine.slice_scratch_bytes` (set by
+//     solve_with() from Workspace accounting, high-watermark),
+//     `engine.workspace_peak_bytes` (whole-workspace watermark), and
+//     `serve.cache_bytes` (live result-cache footprint).
+//
+// memory_ledger_json() snapshots both views into the block run reports and
+// /statz embed. Both RSS readers return 0 (never throw) on hosts without
+// procfs/getrusage.
+#pragma once
+
+#include <cstddef>
+
+#include "obs/json.hpp"
+
+namespace srna::obs {
+
+// Resident set size right now, in bytes; 0 when unavailable.
+[[nodiscard]] std::size_t current_rss_bytes() noexcept;
+
+// Peak resident set size of the process, in bytes; 0 when unavailable.
+[[nodiscard]] std::size_t peak_rss_bytes() noexcept;
+
+// Samples RSS into the `mem.current_rss_bytes` (set) and
+// `mem.peak_rss_bytes` (set_max) gauges. Call before scraping /metrics or
+// snapshotting a report; costs one procfs read + one getrusage call.
+void update_memory_gauges();
+
+// The memory ledger: RSS plus the exact byte gauges listed in the header
+// comment. Calls update_memory_gauges() first, so the block is fresh.
+[[nodiscard]] Json memory_ledger_json();
+
+}  // namespace srna::obs

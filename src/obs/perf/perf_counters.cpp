@@ -1,0 +1,201 @@
+#include "obs/perf/perf_counters.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace srna::obs {
+
+namespace {
+
+#if defined(__linux__)
+// The five-event group, leader first. Order is the read-buffer order.
+constexpr std::uint64_t kEventConfigs[CounterSet::kEvents] = {
+    PERF_COUNT_HW_CPU_CYCLES,       PERF_COUNT_HW_INSTRUCTIONS,
+    PERF_COUNT_HW_CACHE_REFERENCES, PERF_COUNT_HW_CACHE_MISSES,
+    PERF_COUNT_HW_BRANCH_MISSES,
+};
+
+long sys_perf_event_open(perf_event_attr* attr, pid_t pid, int cpu, int group_fd,
+                         unsigned long flags) {
+  return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+#endif
+
+std::uint64_t saturating_sub(std::uint64_t a, std::uint64_t b) noexcept {
+  return a > b ? a - b : 0;
+}
+
+}  // namespace
+
+CounterSample CounterSample::delta_since(const CounterSample& earlier) const noexcept {
+  CounterSample d;
+  d.available = available && earlier.available;
+  if (!d.available) return d;
+  d.cycles = saturating_sub(cycles, earlier.cycles);
+  d.instructions = saturating_sub(instructions, earlier.instructions);
+  d.cache_references = saturating_sub(cache_references, earlier.cache_references);
+  d.cache_misses = saturating_sub(cache_misses, earlier.cache_misses);
+  d.branch_misses = saturating_sub(branch_misses, earlier.branch_misses);
+  return d;
+}
+
+Json CounterSample::to_json() const {
+  Json doc = Json::object();
+  doc.set("available", Json(available));
+  doc.set("cycles", Json(cycles));
+  doc.set("instructions", Json(instructions));
+  doc.set("cache_references", Json(cache_references));
+  doc.set("cache_misses", Json(cache_misses));
+  doc.set("branch_misses", Json(branch_misses));
+  doc.set("ipc", Json(ipc()));
+  doc.set("cache_miss_rate", Json(cache_miss_rate()));
+  return doc;
+}
+
+bool CounterSet::disabled_by_env() noexcept {
+  const char* knob = std::getenv("SRNA_DISABLE_PERF_COUNTERS");
+  return knob != nullptr && knob[0] == '1' && knob[1] == '\0';
+}
+
+CounterSet::CounterSet() {
+  fds_.fill(-1);
+  if (disabled_by_env()) return;
+#if defined(__linux__)
+  // The leader starts disabled; members attach to it. Kernel/hypervisor
+  // cycles are excluded so unprivileged opens work at
+  // perf_event_paranoid <= 2 (the common container setting when the
+  // syscall is allowed at all).
+  for (std::size_t i = 0; i < kEvents; ++i) {
+    perf_event_attr attr{};
+    attr.size = sizeof(attr);
+    attr.type = PERF_TYPE_HARDWARE;
+    attr.config = kEventConfigs[i];
+    attr.disabled = (i == 0) ? 1 : 0;
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                       PERF_FORMAT_TOTAL_TIME_RUNNING;
+    const int group = fds_[0];
+    const long fd = sys_perf_event_open(&attr, /*pid=*/0, /*cpu=*/-1, group, 0);
+    if (fd < 0) {
+      if (i == 0) {
+        // No leader, no group: stub. (ENOSYS/EACCES/EPERM — seccomp,
+        // paranoid, or a kernel without the PMU; all equally fine.)
+        return;
+      }
+      // A missing member (exotic PMU) just reads as zero; the group stays
+      // useful for the events that did open.
+      continue;
+    }
+    fds_[i] = static_cast<int>(fd);
+  }
+  if (ioctl(fds_[0], PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP) != 0 ||
+      ioctl(fds_[0], PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP) != 0) {
+    for (int& fd : fds_) {
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+    }
+    return;
+  }
+  available_ = true;
+#endif
+}
+
+CounterSet::~CounterSet() {
+#if defined(__linux__)
+  for (const int fd : fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+#endif
+}
+
+CounterSample CounterSet::read() const noexcept {
+  CounterSample sample;
+  if (!available_) return sample;
+#if defined(__linux__)
+  // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running, value[nr] —
+  // values appear in open order for the fds that opened successfully.
+  std::uint64_t buf[3 + kEvents] = {};
+  const ssize_t n = ::read(fds_[0], buf, sizeof(buf));
+  if (n < static_cast<ssize_t>(3 * sizeof(std::uint64_t))) return sample;
+  const std::uint64_t enabled = buf[1];
+  const std::uint64_t running = buf[2];
+  // Multiplex scaling: when the kernel time-shared the PMU, extrapolate the
+  // counted window to the enabled window.
+  const double scale =
+      (running > 0 && enabled > running)
+          ? static_cast<double>(enabled) / static_cast<double>(running)
+          : 1.0;
+  std::uint64_t* out[kEvents] = {&sample.cycles, &sample.instructions,
+                                 &sample.cache_references, &sample.cache_misses,
+                                 &sample.branch_misses};
+  std::size_t slot = 0;
+  for (std::size_t i = 0; i < kEvents; ++i) {
+    if (fds_[i] < 0) continue;  // event never opened; stays 0
+    const std::uint64_t raw = buf[3 + slot];
+    ++slot;
+    *out[i] = scale == 1.0
+                  ? raw
+                  : static_cast<std::uint64_t>(static_cast<double>(raw) * scale);
+  }
+  sample.available = true;
+#endif
+  return sample;
+}
+
+CounterSet& CounterSet::local() {
+  thread_local CounterSet set;
+  return set;
+}
+
+CounterScope::CounterScope(const char* phase) noexcept : phase_(phase) {
+  // The env knob is re-checked per scope (not only at pool construction) so
+  // forcing the stub path works even after this thread's pooled set opened.
+  if (CounterSet::disabled_by_env()) return;
+  start_ = CounterSet::local().read();
+  active_ = start_.available;
+}
+
+CounterSample CounterScope::close() noexcept {
+  if (!active_) return CounterSample{};
+  active_ = false;
+  CounterSample delta;
+  try {
+    delta = CounterSet::local().read().delta_since(start_);
+    if (!delta.available) return delta;
+    auto& registry = Registry::instance();
+    const std::string prefix = std::string("perf.") + phase_;
+    registry.counter(prefix + ".cycles").add(delta.cycles);
+    registry.counter(prefix + ".instructions").add(delta.instructions);
+    registry.counter(prefix + ".cache_references").add(delta.cache_references);
+    registry.counter(prefix + ".cache_misses").add(delta.cache_misses);
+    registry.counter(prefix + ".branch_misses").add(delta.branch_misses);
+  } catch (...) {
+    // Registry allocation failure must not take down a solve; the sample is
+    // simply lost.
+    delta.available = false;
+  }
+  return delta;
+}
+
+std::string counter_trace_args(const CounterSample& delta) {
+  Json doc = delta.to_json();
+  return doc.dump();
+}
+
+void publish_counter_availability() {
+  const bool up = !CounterSet::disabled_by_env() && CounterSet::local().available();
+  Registry::instance().gauge("perf.available").set(up ? 1.0 : 0.0);
+}
+
+}  // namespace srna::obs

@@ -1,0 +1,137 @@
+// Hardware performance counters via perf_event_open(2).
+//
+// The paper's scaling question (Figure 8: why do the speedups bend?) needs
+// more than wall-clock spans: the same stage-one schedule can be slow
+// because it executes more instructions, because it stalls on cache misses,
+// or because workers sit idle — three different fixes. A CounterSet opens
+// one per-thread event group (cycles, instructions, cache references/
+// misses, branch misses) and a CounterScope reads the group around a phase,
+// publishing the deltas as `perf.<phase>.<event>` registry counters so they
+// ride every existing surface: metrics snapshots, run reports,
+// render_prometheus(), and (as span args) the Chrome trace.
+//
+// Degradation contract: perf events are frequently unavailable — containers
+// seccomp the syscall, `kernel.perf_event_paranoid` may forbid it, and
+// non-Linux hosts never had it. Every entry point here degrades to a stub
+// that records `available == false` and costs a few branches; nothing in
+// this header ever throws or logs an error for an unavailable counter. The
+// env knob `SRNA_DISABLE_PERF_COUNTERS=1` forces the stub path (tests pin
+// it down; ops can silence a flaky PMU the same way).
+//
+// Threading: a CounterSet counts the thread that constructed it, and only
+// that thread may read() it. Use CounterSet::local() for a pooled
+// per-thread instance (the pattern Workspace::local() set); CounterScope
+// does so by default, so parallel workers each account their own cycles and
+// the sharded registry counters sum them.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "obs/json.hpp"
+
+namespace srna::obs {
+
+// One reading (or delta) of the five-event group. `available == false`
+// means the numbers are all zero and must not be interpreted.
+struct CounterSample {
+  bool available = false;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cache_references = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t branch_misses = 0;
+
+  // Instructions per cycle; 0 when cycles is 0 or unavailable.
+  [[nodiscard]] double ipc() const noexcept {
+    return cycles > 0 ? static_cast<double>(instructions) / static_cast<double>(cycles) : 0.0;
+  }
+  // cache_misses / cache_references; 0 when no references were counted.
+  [[nodiscard]] double cache_miss_rate() const noexcept {
+    return cache_references > 0
+               ? static_cast<double>(cache_misses) / static_cast<double>(cache_references)
+               : 0.0;
+  }
+
+  // Saturating per-event difference (self - earlier). available only when
+  // both sides were.
+  [[nodiscard]] CounterSample delta_since(const CounterSample& earlier) const noexcept;
+
+  // {"available": ..., "cycles": ..., ..., "ipc": ..., "cache_miss_rate": ...}
+  [[nodiscard]] Json to_json() const;
+};
+
+// A per-thread perf event group. Construction attempts to open the group
+// for the calling thread; on any failure the set is a stub (available() ==
+// false) and read() returns unavailable samples.
+class CounterSet {
+ public:
+  static constexpr std::size_t kEvents = 5;
+
+  CounterSet();
+  ~CounterSet();
+
+  CounterSet(const CounterSet&) = delete;
+  CounterSet& operator=(const CounterSet&) = delete;
+
+  [[nodiscard]] bool available() const noexcept { return available_; }
+
+  // Running totals since construction, multiplex-scaled (time_enabled /
+  // time_running) when the kernel rotated the group off the PMU. Call only
+  // from the constructing thread.
+  [[nodiscard]] CounterSample read() const noexcept;
+
+  // The calling thread's pooled instance (opened on first use, reused for
+  // every scope on that thread afterwards).
+  static CounterSet& local();
+
+  // True when SRNA_DISABLE_PERF_COUNTERS=1 is set. Checked at construction
+  // AND at every CounterScope start, so tests (and operators) can force the
+  // stub path without racing thread-local pool initialization.
+  [[nodiscard]] static bool disabled_by_env() noexcept;
+
+ private:
+  std::array<int, kEvents> fds_{};  // -1 when the event failed to open
+  bool available_ = false;
+};
+
+// RAII phase measurement: reads the calling thread's pooled CounterSet at
+// construction and again at close()/destruction, then adds the deltas to
+// the registry counters `perf.<phase>.cycles`, `.instructions`,
+// `.cache_references`, `.cache_misses`, `.branch_misses` (created on first
+// use; rendered by snapshots and render_prometheus()). `phase` must outlive
+// the scope (string literals in practice).
+//
+// When counters are unavailable the scope is inert: close() returns an
+// unavailable sample and touches no registry state, so dashboards
+// distinguish "zero misses" from "not measured".
+class CounterScope {
+ public:
+  explicit CounterScope(const char* phase) noexcept;
+  CounterScope(const CounterScope&) = delete;
+  CounterScope& operator=(const CounterScope&) = delete;
+  ~CounterScope() { close(); }
+
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+  // Ends the measurement now (idempotent; later calls return an unavailable
+  // sample). Returns the delta so callers can attach it to trace-span args
+  // or report blocks.
+  CounterSample close() noexcept;
+
+ private:
+  const char* phase_;
+  CounterSample start_{};
+  bool active_ = false;
+};
+
+// Renders a delta as pre-rendered trace-span args JSON (the shape
+// TraceScope::set_args takes): counters plus derived ipc / miss rate.
+[[nodiscard]] std::string counter_trace_args(const CounterSample& delta);
+
+// Publishes the process-wide availability gauge `perf.available` (1 or 0)
+// from the calling thread's pooled set. Cheap; callers that want the gauge
+// fresh before a scrape may call it any time.
+void publish_counter_availability();
+
+}  // namespace srna::obs

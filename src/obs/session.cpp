@@ -5,6 +5,7 @@
 
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf/memory.hpp"
 #include "obs/trace.hpp"
 #include "util/cli.hpp"
 
@@ -38,10 +39,15 @@ void ObsSession::add_cli_options(CliParser& cli) {
   cli.add_option("trace", "write a Chrome trace-event JSON (open in Perfetto)", "");
   cli.add_option("metrics", "write a metrics registry snapshot JSON", "");
   cli.add_option("report", "write a machine-readable run report JSON", "");
+  cli.add_flag("perf-counters",
+               "measure the run under hardware counters (cycles, instructions, "
+               "cache, branches); degrades to availability=false without perf_event");
 }
 
 ObsPaths ObsSession::paths_from_cli(const CliParser& cli) {
-  return ObsPaths{cli.str("trace"), cli.str("metrics"), cli.str("report")};
+  ObsPaths paths{cli.str("trace"), cli.str("metrics"), cli.str("report")};
+  paths.perf_counters = cli.flag("perf-counters");
+  return paths;
 }
 
 ObsSession::ObsSession(ObsPaths paths, std::string tool)
@@ -51,6 +57,10 @@ ObsSession::ObsSession(ObsPaths paths, std::string tool)
     tracer.disable();
     tracer.clear();
     tracer.enable();
+  }
+  if (paths_.perf_counters) {
+    publish_counter_availability();
+    session_counters_.emplace("session");
   }
 }
 
@@ -76,10 +86,21 @@ std::vector<std::string> ObsSession::finish() {
     if (out) out << Registry::instance().snapshot().dump(2) << '\n';
     record(static_cast<bool>(out), paths_.metrics);
   }
+  // Close the session-wide counter scope whether or not a report is written
+  // (it feeds the perf.session.* registry counters either way).
+  Json perf_block;
+  if (session_counters_.has_value()) {
+    perf_block = session_counters_->close().to_json();
+    session_counters_.reset();
+  }
   if (reporting()) {
     report_.add_metrics_snapshot();
     report_.add_trace_summary();
     report_.set("summary", run_summary_json());
+    if (paths_.perf_counters) report_.set("perf_counters", std::move(perf_block));
+    // Every report carries the memory ledger: peak/current RSS plus the
+    // exact byte gauges (memo table, slice scratch, result cache).
+    report_.set("memory", memory_ledger_json());
     record(report_.write(paths_.report), paths_.report);
   }
   return written;

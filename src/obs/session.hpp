@@ -8,9 +8,11 @@
 // snapshot + trace summary) and writes whichever files were requested.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "obs/perf/perf_counters.hpp"
 #include "obs/report.hpp"
 
 namespace srna {
@@ -23,6 +25,9 @@ struct ObsPaths {
   std::string trace;    // Chrome trace-event JSON
   std::string metrics;  // metrics Registry snapshot JSON
   std::string report;   // run-report JSON
+  // --perf-counters: measure the whole session under the hardware counter
+  // group and attach the delta (or availability=false) to the report.
+  bool perf_counters = false;
   [[nodiscard]] bool any() const noexcept {
     return !trace.empty() || !metrics.empty() || !report.empty();
   }
@@ -54,6 +59,9 @@ class ObsSession {
  private:
   ObsPaths paths_;
   RunReport report_;
+  // Session-wide counter scope, open between construction and finish() when
+  // --perf-counters was given (the per-phase prna scopes run regardless).
+  std::optional<CounterScope> session_counters_;
   bool finished_ = false;
 };
 

@@ -14,6 +14,7 @@
 #include "parallel/work_stealing.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf/perf_counters.hpp"
 #include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/timer.hpp"
@@ -97,6 +98,9 @@ obs::Json PrnaResult::to_json() const {
     entry.set("steals", obs::Json(lane.steals));
     entry.set("ready_pushes", obs::Json(lane.ready_pushes));
     entry.set("steal_idle_seconds", obs::Json(lane.steal_idle_seconds));
+    entry.set("wall_seconds", obs::Json(lane.wall_seconds));
+    entry.set("barrier_wait_fraction", obs::Json(lane.barrier_wait_fraction()));
+    entry.set("steal_idle_fraction", obs::Json(lane.steal_idle_fraction()));
     lanes.push(std::move(entry));
   }
   doc.set("timeline", std::move(lanes));
@@ -125,6 +129,7 @@ PrnaResult prna(const SecondaryStructure& s1, const SecondaryStructure& s2,
   // --- Preprocessing: arc index, column ownership, memo table. ---
   WallTimer phase;
   obs::TraceScope preprocess_span("prna", "preprocess");
+  obs::CounterScope preprocess_counters("prna.preprocess");
   const ArcIndex idx1(s1);
   const ArcIndex idx2(s2);
   MemoTable& memo =
@@ -147,6 +152,9 @@ PrnaResult prna(const SecondaryStructure& s1, const SecondaryStructure& s2,
   // The event-run dense kernel's per-solve S2 column-event table, shared
   // read-only by all stage-one workers and stage two.
   const ColumnEvents& col_events = workspace.column_events().build(s2);
+  if (const obs::CounterSample delta = preprocess_counters.close();
+      delta.available && preprocess_span.active())
+    preprocess_span.set_args(obs::counter_trace_args(delta));
   preprocess_span.close();
   result.stats.preprocess_seconds = phase.seconds();
 
@@ -184,6 +192,7 @@ PrnaResult prna(const SecondaryStructure& s1, const SecondaryStructure& s2,
   obs::Counter& steals_counter = metrics.counter("prna.steals");
   obs::Counter& ready_counter = metrics.counter("prna.steal_ready_pushes");
   obs::Histogram& steal_idle_hist = metrics.histogram("prna.steal_idle_seconds");
+  obs::Histogram& steal_idle_frac_hist = metrics.histogram("prna.steal_idle_fraction");
 
   auto d2_lookup = [&](Pos k1, Pos /*x*/, Pos k2, Pos /*y*/) -> Score {
     const Score v = memo.get(k1 + 1, k2 + 1);
@@ -257,6 +266,11 @@ PrnaResult prna(const SecondaryStructure& s1, const SecondaryStructure& s2,
 
     auto worker = [&](std::size_t tid) {
       const obs::TraceContextScope request_ctx(trace_id);
+      // Per-lane wall clock and hardware counters: each worker opens its own
+      // thread's counter group, so perf.prna.stage1.* sums real per-thread
+      // cycles rather than one lane's view.
+      WallTimer lane_wall;
+      obs::CounterScope lane_counters("prna.stage1");
       McosStats& local = thread_stats[tid];
       PrnaThreadTimeline& timeline = result.timeline[tid];
       Workspace& pool = Workspace::local();
@@ -328,9 +342,12 @@ PrnaResult prna(const SecondaryStructure& s1, const SecondaryStructure& s2,
       result.cells_per_thread[tid] = local.cells_tabulated;
       timeline.cells = local.cells_tabulated;
       timeline.slices = local.slices_tabulated;
+      timeline.wall_seconds = lane_wall.seconds();
+      lane_counters.close();
       steals_counter.add(timeline.steals);
       ready_counter.add(timeline.ready_pushes);
       steal_idle_hist.observe(timeline.steal_idle_seconds);
+      steal_idle_frac_hist.observe(timeline.steal_idle_fraction());
     };
 
     if (options.use_std_threads) {
@@ -350,6 +367,8 @@ PrnaResult prna(const SecondaryStructure& s1, const SecondaryStructure& s2,
   {
     const auto tid = static_cast<std::size_t>(omp_get_thread_num());
     const obs::TraceContextScope request_ctx(trace_id);
+    WallTimer lane_wall;
+    obs::CounterScope lane_counters("prna.stage1");
     McosStats& local = thread_stats[tid];
     PrnaThreadTimeline& timeline = result.timeline[tid];
     // Worker slice scratch comes from the worker's own pooled workspace (a
@@ -431,6 +450,8 @@ PrnaResult prna(const SecondaryStructure& s1, const SecondaryStructure& s2,
     result.cells_per_thread[tid] = local.cells_tabulated;
     timeline.cells = local.cells_tabulated;
     timeline.slices = local.slices_tabulated;
+    timeline.wall_seconds = lane_wall.seconds();
+    lane_counters.close();
   }
   rows_counter.add(idx1.size());
   }
@@ -463,6 +484,7 @@ PrnaResult prna(const SecondaryStructure& s1, const SecondaryStructure& s2,
   // to measure exactly that). ---
   phase.reset();
   obs::TraceScope stage2_span("prna", "stage2");
+  obs::CounterScope stage2_counters("prna.stage2");
   if (options.parallel_stage2) {
     SRNA_REQUIRE(dense, "parallel stage two supports the dense layout only");
     result.value = tabulate_parent_wavefront(s1, s2, memo, threads, result.stats,
@@ -475,6 +497,9 @@ PrnaResult prna(const SecondaryStructure& s1, const SecondaryStructure& s2,
     result.value = tabulate_slice_compressed(idx1.all(), idx2.all(), workspace.events(0),
                                              d2_lookup, &result.stats);
   }
+  if (const obs::CounterSample delta = stage2_counters.close();
+      delta.available && stage2_span.active())
+    stage2_span.set_args(obs::counter_trace_args(delta));
   stage2_span.close();
   result.stats.stage2_seconds = phase.seconds();
   bridge_stats_to_metrics("prna", result.stats);

@@ -86,6 +86,20 @@ struct PrnaThreadTimeline {
   std::uint64_t steals = 0;
   std::uint64_t ready_pushes = 0;
   double steal_idle_seconds = 0.0;
+  // Wall time this lane spent inside stage one, busy or not — the
+  // denominator that turns the wait numbers into fractions. An absolute
+  // idle of 50 ms is noise on a 10 s lane and a disaster on a 60 ms one;
+  // to_json() reports both forms (…_seconds and …_fraction).
+  double wall_seconds = 0.0;
+
+  // barrier_wait_seconds / wall_seconds (0 when the lane has no wall time).
+  [[nodiscard]] double barrier_wait_fraction() const noexcept {
+    return wall_seconds > 0.0 ? barrier_wait_seconds / wall_seconds : 0.0;
+  }
+  // steal_idle_seconds / wall_seconds (0 when the lane has no wall time).
+  [[nodiscard]] double steal_idle_fraction() const noexcept {
+    return wall_seconds > 0.0 ? steal_idle_seconds / wall_seconds : 0.0;
+  }
 };
 
 struct PrnaResult {

@@ -11,6 +11,8 @@
 #include <stdexcept>
 
 #include "obs/exposition.hpp"
+#include "obs/perf/memory.hpp"
+#include "obs/perf/perf_counters.hpp"
 #include "serve/service.hpp"
 
 namespace srna::serve {
@@ -27,6 +29,10 @@ obs::Json admin_json(const QueryService& service, std::string_view what) {
   obs::Json doc = obs::Json::object();
   doc.set("admin", obs::Json(std::string(what)));
   if (what == "metrics") {
+    // Sampled gauges (RSS, counter availability) are refreshed per scrape so
+    // the exposition is never stale.
+    obs::update_memory_gauges();
+    obs::publish_counter_availability();
     doc.set("body", obs::Json(obs::render_prometheus()));
   } else if (what == "healthz") {
     doc.set("status", obs::Json(healthz_body(service)));
@@ -164,6 +170,8 @@ void AdminServer::handle_connection(int fd) {
     return;
   }
   if (path == "/metrics") {
+    obs::update_memory_gauges();
+    obs::publish_counter_availability();
     send_all(fd, http_response(200, "OK", "text/plain; version=0.0.4",
                                obs::render_prometheus()));
   } else if (path == "/healthz") {

@@ -74,6 +74,7 @@ void ResultCache::put(CacheKey key, Score value) {
   if (shard.entries.size() >= per_shard_capacity_ && !shard.lru.empty()) {
     const CacheKey* victim = shard.lru.back();
     shard.lru.pop_back();
+    bytes_.fetch_sub(victim->footprint_bytes() + sizeof(Entry), std::memory_order_relaxed);
     shard.entries.erase(*victim);
     evictions_.fetch_add(1, std::memory_order_relaxed);
     obs::Registry::instance().counter("serve.cache_evictions").add();
@@ -82,6 +83,9 @@ void ResultCache::put(CacheKey key, Score value) {
   shard.lru.push_front(&it->first);
   it->second.lru_it = shard.lru.begin();
   insertions_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(it->first.footprint_bytes() + sizeof(Entry), std::memory_order_relaxed);
+  obs::Registry::instance().gauge("serve.cache_bytes")
+      .set(static_cast<double>(bytes_.load(std::memory_order_relaxed)));
   (void)inserted;
 }
 
@@ -121,9 +125,13 @@ obs::Json ResultCache::stats_json() const {
 void ResultCache::clear() {
   for (const auto& shard : shards_) {
     std::lock_guard lock(shard->mutex);
+    for (const auto& [key, entry] : shard->entries)
+      bytes_.fetch_sub(key.footprint_bytes() + sizeof(Entry), std::memory_order_relaxed);
     shard->entries.clear();
     shard->lru.clear();
   }
+  obs::Registry::instance().gauge("serve.cache_bytes")
+      .set(static_cast<double>(bytes_.load(std::memory_order_relaxed)));
 }
 
 }  // namespace srna::serve

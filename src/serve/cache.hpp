@@ -93,6 +93,13 @@ class ResultCache {
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
 
+  // Live heap footprint of all cached entries, maintained exactly on every
+  // insert/evict/clear (no shard locks needed to read). Mirrored into the
+  // `serve.cache_bytes` gauge for /metrics and the memory ledger.
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+
   void clear();
 
  private:
@@ -133,6 +140,7 @@ class ResultCache {
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> insertions_{0};
+  std::atomic<std::size_t> bytes_{0};
 };
 
 }  // namespace srna::serve

@@ -6,6 +6,7 @@
 
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf/memory.hpp"
 #include "obs/trace.hpp"
 #include "rna/dot_bracket.hpp"
 
@@ -435,6 +436,10 @@ obs::Json QueryService::stats_json() const {
   // Exact percentiles over the recent window (what the admin endpoint
   // exposes live), alongside the since-start bucket estimates above.
   doc.set("latency_ms_window", registry.window("serve.latency_ms_window").to_json());
+  // The memory ledger: RSS plus the exact byte gauges (memo table, slice
+  // scratch, result cache) — one place to answer "what does serving cost in
+  // bytes right now".
+  doc.set("memory", obs::memory_ledger_json());
   return doc;
 }
 

@@ -1,0 +1,139 @@
+// Critical-path analyzer pinned against by-hand Brent bounds.
+//
+// The 5-slice DAG below is small enough to schedule on paper; every number
+// the analyzer emits (T1, T∞, chain length, Brent lower / greedy upper
+// bounds, the simulated greedy makespan) is asserted against the hand
+// computation, so any change to the DP or the simulator that shifts a
+// bound is caught exactly.
+#include "obs/cpath/critical_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rna/generators.hpp"
+
+namespace srna::obs {
+namespace {
+
+// One S2 arc (so slices are the S1 forest itself) and this S1 forest,
+// indexed in post-order:
+//
+//     4            deps: 0,1,3 are leaves; 2 waits on {0,1}; 4 on {2,3}
+//    / \
+//   2   3          costs:  0 -> 3s   1 -> 1s   2 -> 2s   3 -> 1s   4 -> 4s
+//  / \
+// 0   1
+//
+// T1 = 11.  Chains: 0-2-4 = 9 (3 slices), 1-2-4 = 7, 3-4 = 5.  T∞ = 9.
+ArcForest hand_forest1() {
+  ArcForest f;
+  f.parent = {2, 2, 4, 4, ArcForest::kNoParent};
+  f.child_count = {0, 0, 2, 0, 2};
+  return f;
+}
+
+ArcForest single_arc_forest() {
+  ArcForest f;
+  f.parent = {ArcForest::kNoParent};
+  f.child_count = {0};
+  return f;
+}
+
+const std::vector<double> kCosts = {3.0, 1.0, 2.0, 1.0, 4.0};
+constexpr double kSerial = 0.5;
+
+TEST(CriticalPathTest, FiveSliceDagMatchesByHandBrentBound) {
+  const ParallelAnalysis analysis = analyze_slice_dag(
+      hand_forest1(), single_arc_forest(), kCosts, kSerial, {1, 2, 4});
+
+  EXPECT_EQ(analysis.slices, 5u);
+  EXPECT_DOUBLE_EQ(analysis.total_work_seconds, 11.0);
+  EXPECT_DOUBLE_EQ(analysis.critical_path_seconds, 9.0);
+  EXPECT_EQ(analysis.critical_path_slices, 3u);
+  EXPECT_DOUBLE_EQ(analysis.serial_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(analysis.parallelism, 11.0 / 9.0);
+
+  ASSERT_EQ(analysis.rows.size(), 3u);
+  // p=1: max(11/1, 9) + 0.5 = 11.5; ceiling = 11.5/11.5 = 1.
+  EXPECT_EQ(analysis.rows[0].threads, 1);
+  EXPECT_DOUBLE_EQ(analysis.rows[0].brent_lower_seconds, 11.5);
+  EXPECT_DOUBLE_EQ(analysis.rows[0].greedy_upper_seconds, 11.0 + 9.0 + 0.5);
+  EXPECT_DOUBLE_EQ(analysis.rows[0].ceiling_speedup, 1.0);
+  // p=2 and p=4: the 9 s chain dominates 11/p, so both bound at 9.5.
+  for (const int i : {1, 2}) {
+    EXPECT_DOUBLE_EQ(analysis.rows[static_cast<std::size_t>(i)].brent_lower_seconds, 9.5);
+    EXPECT_DOUBLE_EQ(analysis.rows[static_cast<std::size_t>(i)].ceiling_speedup,
+                     11.5 / 9.5);
+  }
+}
+
+TEST(CriticalPathTest, GreedySimulationMatchesHandSchedule) {
+  const ArcForest f1 = hand_forest1();
+  const ArcForest f2 = single_arc_forest();
+  // One worker executes all the work back to back.
+  EXPECT_DOUBLE_EQ(simulate_makespan(f1, f2, kCosts, 1), 11.0);
+  // Two workers, chain-first priority, scheduled by hand:
+  //   t=0  w0: slice0 (3s)   w1: slice1 (1s)
+  //   t=1  w1: slice3 (1s)
+  //   t=2  w1: idle (slice2 still waits on slice0)
+  //   t=3  w1: slice2 (2s)
+  //   t=5  w?: slice4 (4s)  ->  t=9
+  // The critical path is fully hidden: makespan == T∞ == 9.
+  EXPECT_DOUBLE_EQ(simulate_makespan(f1, f2, kCosts, 2), 9.0);
+  // More workers cannot beat the chain.
+  EXPECT_DOUBLE_EQ(simulate_makespan(f1, f2, kCosts, 4), 9.0);
+}
+
+TEST(CriticalPathTest, SimulationStaysInsideBrentEnvelope) {
+  const ParallelAnalysis analysis = analyze_slice_dag(
+      hand_forest1(), single_arc_forest(), kCosts, kSerial, {1, 2, 3, 4, 8});
+  for (const CpathThreadRow& row : analysis.rows) {
+    EXPECT_GE(row.simulated_seconds, row.brent_lower_seconds - 1e-12) << row.threads;
+    EXPECT_LE(row.simulated_seconds, row.greedy_upper_seconds + 1e-12) << row.threads;
+    EXPECT_GT(row.simulated_speedup, 0.0);
+  }
+}
+
+TEST(CriticalPathTest, EmptyDagIsAnalyzableAndZero) {
+  ArcForest empty;
+  const ParallelAnalysis analysis =
+      analyze_slice_dag(empty, empty, {}, 0.25, {1, 2});
+  EXPECT_EQ(analysis.slices, 0u);
+  EXPECT_DOUBLE_EQ(analysis.total_work_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(analysis.critical_path_seconds, 0.0);
+  ASSERT_EQ(analysis.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(analysis.rows[0].simulated_seconds, 0.25);
+}
+
+TEST(CriticalPathTest, AnalyzeParallelMatchesClosedFormWork) {
+  // worst_case_structure(16): 8 fully nested arcs with interior widths
+  // 14, 12, ..., 0 (sum 56). Slice cost = iw(a)·iw(b)·spc, so
+  // T1 = 56 · 56 · 1 = 3136 seconds at 1 s/cell.
+  const auto s = worst_case_structure(16);
+  const ParallelAnalysis analysis = analyze_parallel(s, s, 1.0, 0.0, {1, 2});
+  EXPECT_EQ(analysis.slices, 64u);
+  EXPECT_DOUBLE_EQ(analysis.total_work_seconds, 3136.0);
+  EXPECT_GT(analysis.critical_path_seconds, 0.0);
+  EXPECT_LE(analysis.critical_path_seconds, analysis.total_work_seconds);
+  EXPECT_GE(analysis.parallelism, 1.0);
+}
+
+TEST(CriticalPathTest, ToJsonCarriesThreadRowsWithIdentity) {
+  const ParallelAnalysis analysis = analyze_slice_dag(
+      hand_forest1(), single_arc_forest(), kCosts, kSerial, {1, 2});
+  const Json doc = analysis.to_json();
+  ASSERT_NE(doc.find("total_work_seconds"), nullptr);
+  ASSERT_NE(doc.find("critical_path_seconds"), nullptr);
+  const Json* rows = doc.find("thread_rows");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_EQ(rows->items().size(), 2u);
+  for (const Json& row : rows->items()) {
+    ASSERT_NE(row.find("threads"), nullptr);
+    ASSERT_NE(row.find("ceiling_speedup"), nullptr);
+    ASSERT_NE(row.find("simulated_speedup"), nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace srna::obs

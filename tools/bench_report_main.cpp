@@ -80,6 +80,11 @@ void print_comparison(const std::string& label, const BenchComparison& cmp,
     std::printf("   %-44s (missing from fresh run)\n", k.c_str());
   for (const std::string& k : cmp.only_in_fresh)
     std::printf("   %-44s (new in fresh run)\n", k.c_str());
+  if (!cmp.only_in_fresh.empty())
+    std::printf("   note: %zu fresh-only metric path(s) skipped — absent from the "
+                "committed baseline, so no delta is gated; refresh the baseline to "
+                "start tracking them\n",
+                cmp.only_in_fresh.size());
 }
 
 }  // namespace
