@@ -1,0 +1,221 @@
+// Long-sequence memory sweep: the space-lean solver (srna-lean) against the
+// dense SRNA2 baseline on a hairpin-field workload, under a ladder of byte
+// budgets expressed as fractions of the dense Θ(nm) memo footprint.
+//
+// This is the acceptance harness for the memory-budgeted solving work: at
+// n ≈ 2×10⁴ the dense memo alone is ~1.6 GB, while the lean path holds the
+// same answer (score-identical — the harness exits non-zero on any
+// divergence) inside a few megabytes of windowed memo rows plus streaming
+// scratch. Every budgeted row asserts the resident peak (memo window +
+// slice scratch) stayed under its budget; a violation is a correctness bug
+// in the store's eviction accounting, not a tuning miss.
+//
+// Rows land in BENCH_longseq_memory.json (`--report=` overrides, `none`
+// skips). `--smoke` shrinks the sequences for the ctest registration.
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/mcos.hpp"
+#include "core/srna_lean.hpp"
+#include "core/workspace.hpp"
+#include "util/cli.hpp"
+#include "util/table_printer.hpp"
+
+namespace {
+
+using namespace srna;
+
+// The same workload shape as the lean solver tests: a field of hairpin
+// stems (depth 3–5) separated by unpaired gaps. Thousands of arcs, shallow
+// nesting — the regime where the dense memo is almost entirely dead weight.
+SecondaryStructure hairpin_field(Pos target_len, std::uint64_t seed) {
+  std::vector<Arc> arcs;
+  Pos base = 0;
+  std::uint64_t state = seed * 0x9E3779B97F4A7C15ULL + 1;
+  auto next = [&]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  while (base + 20 <= target_len) {
+    const Pos depth = 3 + static_cast<Pos>(next() % 3);
+    const Pos span = 2 * depth + static_cast<Pos>(next() % 3);
+    for (Pos i = 0; i < depth; ++i) arcs.push_back(Arc{base + i, base + span - 1 - i});
+    base += span + 4 + static_cast<Pos>(next() % 5);
+  }
+  return SecondaryStructure::from_arcs(target_len, std::move(arcs));
+}
+
+std::vector<double> parse_fractions(const std::string& csv) {
+  std::vector<double> out;
+  std::stringstream stream(csv);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) out.push_back(std::stod(item));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("longseq_memory",
+                "space-lean solving at long sequence lengths under byte budgets");
+  cli.add_option("length", "sequence length of each structure", "20000");
+  cli.add_option("seed", "workload seed (the pair uses seed and seed+1)", "1");
+  cli.add_option("budgets",
+                 "comma-separated budgets as fractions of the dense n*m*4 memo"
+                 " (each clamped up to the lean feasibility floor)",
+                 "0.25,0.01,0.0025");
+  cli.add_flag("skip-dense", "skip the dense SRNA2 baseline row");
+  cli.add_flag("smoke", "small deterministic preset for ctest (length=2000)");
+  cli.add_option("report", "run-report path (default BENCH_longseq_memory.json; none = skip)",
+                 "");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const Pos length = cli.flag("smoke") ? 2000 : static_cast<Pos>(cli.integer("length"));
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.integer("seed"));
+  const std::vector<double> fractions = parse_fractions(cli.str("budgets"));
+
+  const SecondaryStructure s1 = hairpin_field(length, seed);
+  const SecondaryStructure s2 = hairpin_field(length, seed + 1);
+  const std::uint64_t dense_bytes = static_cast<std::uint64_t>(s1.length()) *
+                                    static_cast<std::uint64_t>(s2.length()) * sizeof(Score);
+  const std::uint64_t floor_bytes = lean_minimum_bytes(s1, s2);
+
+  bench::print_header("Long-sequence memory sweep — srna-lean under byte budgets",
+                      "memory-budgeted solving (DESIGN.md, Memory model)");
+  std::cout << "pair: n=" << s1.length() << " (" << s1.arc_count() << " arcs) x m="
+            << s2.length() << " (" << s2.arc_count() << " arcs)\n"
+            << "dense memo:  " << dense_bytes << " bytes\n"
+            << "lean floor:  " << floor_bytes << " bytes\n";
+
+  bench::BenchReport bench_report("longseq_memory");
+  bench_report.report().set_command_line(argc, argv);
+  {
+    obs::Json params = obs::Json::object();
+    params.set("length", obs::Json(static_cast<std::int64_t>(length)));
+    params.set("seed", obs::Json(seed));
+    params.set("arcs_a", obs::Json(static_cast<std::uint64_t>(s1.arc_count())));
+    params.set("arcs_b", obs::Json(static_cast<std::uint64_t>(s2.arc_count())));
+    params.set("dense_memo_bytes", obs::Json(dense_bytes));
+    params.set("lean_floor_bytes", obs::Json(floor_bytes));
+    bench_report.report().set("parameters", std::move(params));
+  }
+
+  TablePrinter table({"instance", "budget[B]", "time[s]", "value", "store peak[B]",
+                      "scratch[B]", "evictions", "memo misses"});
+
+  // Reference score: the unbudgeted lean solve (dense SRNA2 would hold the
+  // full Θ(nm) table just to cross-check a score the budgeted rows already
+  // all have to agree on).
+  Score reference = 0;
+  bool have_reference = false;
+  int failures = 0;
+
+  struct Level {
+    std::string instance;
+    std::uint64_t budget;  // 0 = unlimited
+  };
+  std::vector<Level> levels;
+  levels.push_back({"unlimited", 0});
+  for (const double frac : fractions) {
+    std::uint64_t budget = static_cast<std::uint64_t>(frac * static_cast<double>(dense_bytes));
+    // Clamp up to feasibility: the floor plus two memo rows of slack, so
+    // every requested level runs instead of failing validation.
+    const std::uint64_t feasible =
+        floor_bytes + 2 * static_cast<std::uint64_t>(s2.arc_count()) * sizeof(Score);
+    budget = std::max(budget, feasible);
+    std::ostringstream name;
+    name << "budget_frac=" << frac;
+    levels.push_back({name.str(), budget});
+  }
+
+  for (const Level& level : levels) {
+    // The core entry point directly (not solve_with): the engine trims the
+    // pooled workspace back under the budget after the solve, which would
+    // erase the peak accounting these rows exist to report.
+    Workspace ws;
+    LeanOptions options;
+    options.memory_budget_bytes = level.budget;
+    WallTimer timer;
+    const McosResult result = srna_lean(s1, s2, options, ws);
+    const double seconds = timer.seconds();
+
+    const std::uint64_t store_peak = ws.lean_store().peak_resident_bytes();
+    const std::uint64_t scratch = ws.slice_scratch_bytes();
+    const std::uint64_t evictions = ws.lean_store().evictions();
+
+    if (!have_reference) {
+      reference = result.value;
+      have_reference = true;
+    } else if (result.value != reference) {
+      std::cerr << "VALUE MISMATCH at " << level.instance << ": " << result.value
+                << " != " << reference << "\n";
+      ++failures;
+    }
+    if (level.budget != 0 && store_peak + scratch > level.budget) {
+      std::cerr << "BUDGET OVERSHOOT at " << level.instance << ": resident peak "
+                << (store_peak + scratch) << " > budget " << level.budget << "\n";
+      ++failures;
+    }
+
+    table.add_row({level.instance, std::to_string(level.budget), std::to_string(seconds),
+                   std::to_string(result.value), std::to_string(store_peak),
+                   std::to_string(scratch), std::to_string(evictions),
+                   std::to_string(result.stats.memo_misses)});
+
+    obs::Json row = obs::Json::object();
+    row.set("instance", obs::Json(level.instance));
+    row.set("algorithm", obs::Json(std::string("srna-lean")));
+    row.set("budget_bytes", obs::Json(level.budget));
+    row.set("seconds", obs::Json(seconds));
+    row.set("value", obs::Json(static_cast<std::int64_t>(result.value)));
+    row.set("store_peak_bytes", obs::Json(store_peak));
+    row.set("scratch_bytes", obs::Json(scratch));
+    row.set("resident_peak_bytes", obs::Json(store_peak + scratch));
+    row.set("evictions", obs::Json(evictions));
+    row.set("memo_misses", obs::Json(result.stats.memo_misses));
+    row.set("cells", obs::Json(result.stats.cells_tabulated));
+    bench_report.add_row(std::move(row));
+  }
+
+  if (!cli.flag("skip-dense")) {
+    // The dense baseline: same answer, Θ(nm) memo resident the whole time.
+    Workspace ws;
+    WallTimer timer;
+    const McosResult dense = srna2(s1, s2, {}, ws);
+    const double seconds = timer.seconds();
+    if (dense.value != reference) {
+      std::cerr << "VALUE MISMATCH dense baseline: " << dense.value << " != " << reference
+                << "\n";
+      ++failures;
+    }
+    table.add_row({"dense-srna2", "0", std::to_string(seconds),
+                   std::to_string(dense.value), std::to_string(ws.memo_bytes()), "-", "-",
+                   "-"});
+    obs::Json row = obs::Json::object();
+    row.set("instance", obs::Json(std::string("dense-srna2")));
+    row.set("algorithm", obs::Json(std::string("srna2")));
+    row.set("budget_bytes", obs::Json(static_cast<std::uint64_t>(0)));
+    row.set("seconds", obs::Json(seconds));
+    row.set("value", obs::Json(static_cast<std::int64_t>(dense.value)));
+    row.set("memo_bytes", obs::Json(static_cast<std::uint64_t>(ws.memo_bytes())));
+    row.set("cells", obs::Json(dense.stats.cells_tabulated));
+    bench_report.add_row(std::move(row));
+  }
+
+  table.print(std::cout);
+  if (!bench_report.write(cli.str("report"))) return 1;
+  if (failures != 0) {
+    std::cerr << failures << " check(s) failed\n";
+    return 1;
+  }
+  std::cout << "all budgeted solves score-identical; resident peaks within budget\n";
+  return 0;
+}

@@ -7,14 +7,17 @@
 # configures a separate build tree (build-asan/) with
 # -DSRNA_SANITIZE=address,undefined and runs the `asan`-labelled ctest
 # suites:
-#   * core_tests   — the DP recurrence, slice tabulation, both solvers,
-#   * engine_tests — registry dispatch, workspace pooling, backend
-#                    agreement across layouts,
-#   * db_tests     — the all-pairs / top-k loops that recycle thread-local
-#                    workspaces hardest,
-#   * serve_tests  — the query service: cancelled solves must leave pooled
-#                    workspaces reusable, cache keys own their canonical
-#                    forms, connection buffers stay in bounds.
+#   * core_tests     — the DP recurrence, slice tabulation, both solvers,
+#   * memstore_tests — the windowed memo store and the space-lean solver:
+#                      row eviction/rematerialization and checkpoint replay
+#                      are exactly the use-after-free shapes ASan exists for,
+#   * engine_tests   — registry dispatch, workspace pooling, backend
+#                      agreement across layouts, budget-driven trimming,
+#   * db_tests       — the all-pairs / top-k loops that recycle thread-local
+#                      workspaces hardest,
+#   * serve_tests    — the query service: cancelled solves must leave pooled
+#                      workspaces reusable, cache keys own their canonical
+#                      forms, connection buffers stay in bounds.
 #
 # Usage: scripts/check_asan.sh [build-dir]   (default: build-asan)
 set -euo pipefail
@@ -27,7 +30,7 @@ cmake -B "$BUILD_DIR" -S . \
   -DSRNA_SANITIZE=address,undefined \
   -DSRNA_BUILD_BENCH=OFF \
   -DSRNA_BUILD_EXAMPLES=OFF
-cmake --build "$BUILD_DIR" --target core_tests engine_tests db_tests serve_tests -j "$(nproc)"
+cmake --build "$BUILD_DIR" --target core_tests memstore_tests engine_tests db_tests serve_tests -j "$(nproc)"
 
 # ASan aborts with a non-zero exit on the first bad access and UBSan on the
 # first undefined operation, so a plain pass/fail is the whole signal.

@@ -22,12 +22,17 @@ BASELINE="BENCH_serving_throughput.json"
 FRESH="$BUILD_DIR/BENCH_serving_throughput_fresh.json"
 PROFILE_BASELINE="BENCH_parallel_analysis.json"
 PROFILE_FRESH="$BUILD_DIR/BENCH_parallel_analysis_fresh.json"
+LONGSEQ="$BUILD_DIR/bench/longseq_memory"
+LONGSEQ_BASELINE="BENCH_longseq_memory.json"
+LONGSEQ_FRESH="$BUILD_DIR/BENCH_longseq_memory_fresh.json"
 
 [ -x "$LOADGEN" ] || { echo "missing $LOADGEN (build first)"; exit 1; }
 [ -x "$PROFILE" ] || { echo "missing $PROFILE (build first)"; exit 1; }
 [ -x "$REPORT" ] || { echo "missing $REPORT (build first)"; exit 1; }
+[ -x "$LONGSEQ" ] || { echo "missing $LONGSEQ (build with SRNA_BUILD_BENCH=ON)"; exit 1; }
 [ -f "$BASELINE" ] || { echo "missing committed baseline $BASELINE"; exit 1; }
 [ -f "$PROFILE_BASELINE" ] || { echo "missing committed baseline $PROFILE_BASELINE"; exit 1; }
+[ -f "$LONGSEQ_BASELINE" ] || { echo "missing committed baseline $LONGSEQ_BASELINE"; exit 1; }
 
 # Same workload as the committed baseline (its command_line field).
 "$LOADGEN" --requests=2000 --concurrency=8 --length=120 --structures=32 \
@@ -44,5 +49,14 @@ PROFILE_FRESH="$BUILD_DIR/BENCH_parallel_analysis_fresh.json"
 
 "$REPORT" --baseline="$PROFILE_BASELINE" --fresh="$PROFILE_FRESH" --threshold=0.25 \
   --output="$BUILD_DIR/parallel_analysis_comparison.json"
+
+# Long-sequence memory sweep: same full-size (n=20000) hairpin-field pair as
+# the committed baseline. The gated rows include the *_bytes peaks (lower is
+# better) — a store whose window stopped evicting shows up here as a
+# regression even while the scores still agree.
+"$LONGSEQ" --report="$LONGSEQ_FRESH"
+
+"$REPORT" --baseline="$LONGSEQ_BASELINE" --fresh="$LONGSEQ_FRESH" --threshold=0.25 \
+  --output="$BUILD_DIR/longseq_memory_comparison.json"
 
 echo "bench-report: within threshold of the committed trajectory"

@@ -10,10 +10,12 @@
 # accounting sums. This script configures a separate build tree
 # (build-ubsan/) with -DSRNA_SANITIZE=undefined and runs the
 # `ubsan`-labelled ctest suites:
-#   * core_tests   — the DP recurrence and slice tabulation index math,
-#   * engine_tests — workspace byte accounting and dispatch,
-#   * obs_tests    — counters, histograms, JSON numerics, the counter stub,
-#                    and the critical-path analyzer.
+#   * core_tests     — the DP recurrence and slice tabulation index math,
+#   * memstore_tests — windowed-store byte accounting, budget floors, and the
+#                      streaming checkpoint offsets of the space-lean solver,
+#   * engine_tests   — workspace byte accounting and dispatch,
+#   * obs_tests      — counters, histograms, JSON numerics, the counter stub,
+#                      and the critical-path analyzer.
 #
 # Usage: scripts/check_ubsan.sh [build-dir]   (default: build-ubsan)
 set -euo pipefail
@@ -26,7 +28,7 @@ cmake -B "$BUILD_DIR" -S . \
   -DSRNA_SANITIZE=undefined \
   -DSRNA_BUILD_BENCH=OFF \
   -DSRNA_BUILD_EXAMPLES=OFF
-cmake --build "$BUILD_DIR" --target core_tests engine_tests obs_tests -j "$(nproc)"
+cmake --build "$BUILD_DIR" --target core_tests memstore_tests engine_tests obs_tests -j "$(nproc)"
 
 # Make every UBSan finding fatal (the default only prints); a clean exit is
 # the whole signal.

@@ -1,0 +1,153 @@
+// MemoStore — the cross-slice memoization interface (paper Figure 5) with
+// two backends.
+//
+// M(i1, i2) holds the final value of slice_{i1,i2}, the slice spawned by
+// matching the arcs whose left endpoints are i1-1 and i2-1. The solvers only
+// ever need associative semantics from it: "is this slice's value resident,
+// and if so what is it" plus "remember this value". MemoStore captures
+// exactly that, so the Θ(nm) dense table (MemoTable, the paper-faithful
+// backend) and the space-lean windowed store below are interchangeable
+// behind one probe:
+//
+//   * MemoTable          — dense n × m array, O(1) probe, Θ(nm) bytes. The
+//                          backend of SRNA1 (kArray), SRNA2 and PRNA.
+//   * WindowedMemoStore  — one row per S1 arc over one column per S2 arc
+//                          (the only cells ever written — each position
+//                          starts at most one arc), with least-recently-used
+//                          rows evicted under a byte budget. A failed probe
+//                          means "recompute the child slice" (SRNA1-style
+//                          spawn), which terminates because children are
+//                          strictly nested. Resident state is
+//                          O(n + m + live window).
+//
+// The windowed store is what makes genome-scale pairs (n ≈ 10⁴–10⁵) fit: the
+// dense table is the hard Θ(nm) memory ceiling, while the windowed store's
+// footprint is capped by SolverConfig.memory_budget_bytes (see
+// core/srna_lean.hpp for the solver that drives it).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/result.hpp"
+#include "rna/secondary_structure.hpp"
+
+namespace srna {
+
+// Sentinel for "slice not yet tabulated" (valid values are >= 0). Shared by
+// both backends: MemoTable::kUnset aliases it, and the windowed store uses
+// it for cells of a resident row that were never written.
+inline constexpr Score kMemoUnset = -1;
+
+class MemoStore {
+ public:
+  virtual ~MemoStore() = default;
+
+ protected:
+  // Concrete stores keep their value semantics (MemoTable is copied/moved by
+  // Workspace); the interface itself is stateless.
+  MemoStore() = default;
+  MemoStore(const MemoStore&) = default;
+  MemoStore& operator=(const MemoStore&) = default;
+  MemoStore(MemoStore&&) = default;
+  MemoStore& operator=(MemoStore&&) = default;
+
+ public:
+
+  // Backend name for diagnostics/reports ("dense", "windowed").
+  [[nodiscard]] virtual const char* store_kind() const noexcept = 0;
+
+  // Associative probe: true and the value when M(i1, i2) is resident. False
+  // means the caller must (re)compute the child slice — for the dense table
+  // that only happens before first tabulation (the SRNA1 sentinel probe);
+  // for the windowed store also after an eviction.
+  virtual bool try_load(Pos i1, Pos i2, Score& out) noexcept = 0;
+
+  // Remembers M(i1, i2) = value (the slice's final cell).
+  virtual void store(Pos i1, Pos i2, Score value) = 0;
+
+  // Bytes of score state currently resident / the high-water mark. Feeds the
+  // workspace footprint accounting and the memory ledger.
+  [[nodiscard]] virtual std::size_t resident_bytes() const noexcept = 0;
+  [[nodiscard]] virtual std::size_t peak_resident_bytes() const noexcept = 0;
+};
+
+// The space-lean backend: rows keyed by S1 arc, columns by S2 arc, an LRU
+// window of resident rows under a byte budget. Not thread-safe (pool per
+// workspace, like every other solve buffer).
+class WindowedMemoStore final : public MemoStore {
+ public:
+  WindowedMemoStore() = default;
+
+  // Shapes the store for a structure pair and sets the budget (bytes of
+  // resident row state; 0 = unlimited). Index maps are rebuilt, all rows
+  // start evicted, counters reset. The budget may be smaller than one row
+  // plus the maps — the store always keeps at least the most recently
+  // touched row resident (minimum_bytes() is the honest floor; the solver
+  // validates against it up front).
+  void configure(const SecondaryStructure& s1, const SecondaryStructure& s2,
+                 std::size_t budget_bytes);
+
+  [[nodiscard]] const char* store_kind() const noexcept override { return "windowed"; }
+  bool try_load(Pos i1, Pos i2, Score& out) noexcept override;
+  void store(Pos i1, Pos i2, Score value) override;
+  [[nodiscard]] std::size_t resident_bytes() const noexcept override;
+  [[nodiscard]] std::size_t peak_resident_bytes() const noexcept override { return peak_bytes_; }
+
+  [[nodiscard]] std::size_t budget_bytes() const noexcept { return budget_; }
+  [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }
+  [[nodiscard]] std::size_t rows_resident() const noexcept { return rows_resident_; }
+  [[nodiscard]] std::size_t rows_total() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t cols_total() const noexcept { return cols_total_; }
+
+  // Frees every resident row (and the index maps' backing storage when
+  // `release_maps`). The next configure() rebuilds; used by Workspace::trim.
+  void release(bool release_maps = true);
+
+  // Checkpoint support: rows are addressed by their ordinal in the
+  // S1 arcs-by-right order. row_key() is the i1 the ordinal stands for.
+  [[nodiscard]] bool row_is_resident(std::size_t ordinal) const noexcept {
+    return rows_[ordinal].resident;
+  }
+  [[nodiscard]] std::span<const Score> row_values(std::size_t ordinal) const noexcept {
+    return rows_[ordinal].values;
+  }
+  [[nodiscard]] Pos row_key(std::size_t ordinal) const noexcept { return rows_[ordinal].key; }
+  // Reinstates a serialized row (resume path); evicts others if over budget.
+  void restore_row(std::size_t ordinal, std::span<const Score> values);
+
+  // The irreducible resident floor for this pair: the index maps plus a
+  // single row. A budget below this cannot make progress.
+  static std::size_t minimum_bytes(const SecondaryStructure& s1,
+                                   const SecondaryStructure& s2) noexcept;
+
+ private:
+  struct Row {
+    std::vector<Score> values;  // one Score per S2 arc; empty when evicted
+    std::uint64_t last_used = 0;
+    Pos key = 0;  // the i1 this row memoizes (arc.left + 1)
+    bool resident = false;
+  };
+
+  void materialize(std::size_t ordinal);
+  void evict_over_budget(std::size_t keep_ordinal);
+  [[nodiscard]] std::size_t row_bytes() const noexcept {
+    return cols_total_ * sizeof(Score);
+  }
+  [[nodiscard]] std::size_t fixed_bytes() const noexcept;
+
+  std::vector<std::int32_t> row_of_;  // i1 -> row ordinal, -1 if i1-1 starts no S1 arc
+  std::vector<std::int32_t> col_of_;  // i2 -> column ordinal, -1 likewise
+  std::vector<Row> rows_;
+  std::size_t cols_total_ = 0;
+  std::size_t budget_ = 0;
+  std::size_t rows_resident_ = 0;
+  std::size_t row_value_bytes_ = 0;  // resident row payloads (capacity-true)
+  std::size_t peak_bytes_ = 0;
+  std::uint64_t tick_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace srna

@@ -9,19 +9,24 @@
 // the Θ(nm) space bound.
 #pragma once
 
+#include "core/memo_store.hpp"
 #include "core/result.hpp"
 #include "rna/arc.hpp"
 #include "util/matrix.hpp"
 
 namespace srna {
 
-class MemoTable {
+// The dense MemoStore backend. The solvers' hot loops keep calling the
+// concrete get()/set() (no virtual dispatch per lookup); the MemoStore
+// surface exists for store-agnostic callers — SRNA1's associative probe,
+// the lean solver's recompute path, and the workspace accounting.
+class MemoTable final : public MemoStore {
  public:
   // Sentinel for "slice not yet tabulated" (valid values are >= 0). SRNA1
   // initializes with the sentinel and spawns on a miss; SRNA2/PRNA
   // initialize with 0 because their stage-one order guarantees every lookup
   // hits (optionally verified via the sentinel — McosOptions::validate_memo).
-  static constexpr Score kUnset = -1;
+  static constexpr Score kUnset = kMemoUnset;
 
   // An empty table; size it with reset() before use. Workspace holds one of
   // these and re-shapes it per solve so the backing storage survives calls.
@@ -61,6 +66,22 @@ class MemoTable {
   [[nodiscard]] Pos cols() const noexcept { return static_cast<Pos>(table_.cols()); }
 
   void fill(Score value) { table_.fill(value); }
+
+  // MemoStore interface (associative view of the dense array).
+  [[nodiscard]] const char* store_kind() const noexcept override { return "dense"; }
+  bool try_load(Pos i1, Pos i2, Score& out) noexcept override {
+    const Score v = get(i1, i2);
+    if (v == kUnset) return false;
+    out = v;
+    return true;
+  }
+  void store(Pos i1, Pos i2, Score value) override { set(i1, i2, value); }
+  [[nodiscard]] std::size_t resident_bytes() const noexcept override {
+    return capacity_bytes();
+  }
+  [[nodiscard]] std::size_t peak_resident_bytes() const noexcept override {
+    return capacity_bytes();
+  }
 
   [[nodiscard]] const Matrix<Score>& matrix() const noexcept { return table_; }
   // Mutable access for bulk (de)serialization — checkpoint/restart.

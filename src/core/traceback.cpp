@@ -5,6 +5,7 @@
 
 #include "core/detail.hpp"
 #include "core/tabulate_slice.hpp"
+#include "core/traceback_walk.hpp"
 #include "util/assert.hpp"
 
 namespace srna {
@@ -32,38 +33,16 @@ class TracebackWalker {
                        [&](Pos k1, Pos /*x*/, Pos k2, Pos /*y*/) {
                          return memo_.get(k1 + 1, k2 + 1);
                        });
-      auto get = [&](Pos x, Pos y) -> Score {
-        if (x < bounds.lo1 || y < bounds.lo2) return 0;
-        return grid(static_cast<std::size_t>(x - bounds.lo1),
-                    static_cast<std::size_t>(y - bounds.lo2));
-      };
-
-      Pos x = bounds.hi1;
-      Pos y = bounds.hi2;
-      while (x >= bounds.lo1 && y >= bounds.lo2) {
-        const Score v = get(x, y);
-        if (v == 0) break;  // nothing matched in the remaining prefix
-        if (get(x - 1, y) == v) {  // s1: j1 shrinks
-          --x;
-          continue;
-        }
-        if (get(x, y - 1) == v) {  // s2: j2 shrinks
-          --y;
-          continue;
-        }
-        // Dynamic case must have produced v: match the arcs ending here.
-        const Pos k1 = s1_.arc_left_of(x);
-        const Pos k2 = s2_.arc_left_of(y);
-        SRNA_CHECK(k1 >= bounds.lo1 && k2 >= bounds.lo2,
-                   "traceback: no decision reproduces the cell value");
-        const Score d1 = get(k1 - 1, k2 - 1);
-        const Score d2 = memo_.get(k1 + 1, k2 + 1);
-        SRNA_CHECK(v == 1 + d1 + d2, "traceback: dynamic case value mismatch");
-        out.push_back(ArcMatch{Arc{k1, x}, Arc{k2, y}});
-        if (d2 > 0) pending.push_back(SliceBounds::under(k1, x, k2, y));
-        x = k1 - 1;
-        y = k2 - 1;
-      }
+      // The decision kernel itself is shared with the lean traceback
+      // (detail::walk_slice_path) — only the grid access differs.
+      detail::walk_slice_path(
+          s1_, s2_, bounds,
+          [&](Pos x, Pos y) -> Score {
+            if (x < bounds.lo1 || y < bounds.lo2) return 0;
+            return grid(static_cast<std::size_t>(x - bounds.lo1),
+                        static_cast<std::size_t>(y - bounds.lo2));
+          },
+          [&](Pos k1, Pos k2) { return memo_.get(k1 + 1, k2 + 1); }, out, pending);
     }  // grid released before descending
 
     for (const SliceBounds& child : pending) walk(child, out);

@@ -1,0 +1,56 @@
+// The slice-walk decision kernel shared by the dense and lean tracebacks.
+//
+// Given any way to read slice cells (`get(x, y)`, absolute coordinates,
+// returning 0 outside the slice) and the d2 oracle, one walk recovers the
+// optimal decision path of a slice: shrink-j1 / shrink-j2 / match-the-arcs.
+// The dense traceback instantiates it over a fully re-tabulated grid, the
+// lean traceback over a checkpoint-replay view that materializes row blocks
+// on demand — the decision order is the same template, so the two produce
+// identical witness sets whenever the underlying scores agree.
+#pragma once
+
+#include <vector>
+
+#include "core/tabulate_slice.hpp"
+#include "core/traceback.hpp"
+#include "rna/secondary_structure.hpp"
+#include "util/assert.hpp"
+
+namespace srna::detail {
+
+// Walks one slice, appending matches to `out` and the child slices the path
+// matched into (to be walked after the caller releases this slice's grid)
+// to `pending`. `d2_of(k1, k2)` must return M(k1+1, k2+1).
+template <typename GridGet, typename D2>
+void walk_slice_path(const SecondaryStructure& s1, const SecondaryStructure& s2,
+                     SliceBounds bounds, GridGet&& get, D2&& d2_of,
+                     std::vector<ArcMatch>& out, std::vector<SliceBounds>& pending) {
+  Pos x = bounds.hi1;
+  Pos y = bounds.hi2;
+  while (x >= bounds.lo1 && y >= bounds.lo2) {
+    const Score v = get(x, y);
+    if (v == 0) break;  // nothing matched in the remaining prefix
+    if (get(x - 1, y) == v) {  // s1: j1 shrinks
+      --x;
+      continue;
+    }
+    if (get(x, y - 1) == v) {  // s2: j2 shrinks
+      --y;
+      continue;
+    }
+    // Dynamic case must have produced v: match the arcs ending here.
+    const Pos k1 = s1.arc_left_of(x);
+    const Pos k2 = s2.arc_left_of(y);
+    SRNA_CHECK(k1 >= bounds.lo1 && k2 >= bounds.lo2,
+               "traceback: no decision reproduces the cell value");
+    const Score d1 = get(k1 - 1, k2 - 1);
+    const Score d2 = d2_of(k1, k2);
+    SRNA_CHECK(v == 1 + d1 + d2, "traceback: dynamic case value mismatch");
+    out.push_back(ArcMatch{Arc{k1, x}, Arc{k2, y}});
+    if (d2 > 0) pending.push_back(SliceBounds::under(k1, x, k2, y));
+    x = k1 - 1;
+    y = k2 - 1;
+  }
+}
+
+}  // namespace srna::detail

@@ -33,6 +33,8 @@
 #include <memory>
 #include <vector>
 
+#include "core/lean_slice.hpp"
+#include "core/memo_store.hpp"
 #include "core/memo_table.hpp"
 #include "core/tabulate_slice.hpp"
 
@@ -80,18 +82,45 @@ class Workspace {
   // `.build(s2)` it once at solve start and pass it to the slice kernels.
   ColumnEvents& column_events() noexcept { return column_events_; }
 
-  // Reserved bytes of the memo table M — the Θ(nm) cross-slice state the
-  // paper's space argument is about.
-  [[nodiscard]] std::size_t memo_bytes() const noexcept { return memo_.capacity_bytes(); }
+  // The windowed (space-lean) memo store for the srna-lean path. The solver
+  // configure()s it per solve; resident rows survive for the traceback.
+  WindowedMemoStore& lean_store() noexcept { return lean_store_; }
+
+  // Streaming-slice scratch, same level discipline as dense_grid(): the lean
+  // recompute-on-miss path streams a child slice while the parent sweep is
+  // live, so each live recursion level needs its own rows.
+  LeanSliceScratch& lean_scratch(std::size_t level = 0) {
+    while (lean_scratch_.size() <= level)
+      lean_scratch_.push_back(std::make_unique<LeanSliceScratch>());
+    return *lean_scratch_[level];
+  }
+
+  // Reserved bytes of the cross-slice memo state — the dense table M (the
+  // paper's Θ(nm) bound) plus whatever the windowed store holds resident.
+  [[nodiscard]] std::size_t memo_bytes() const noexcept {
+    return memo_.capacity_bytes() + lean_store_.resident_bytes();
+  }
 
   // Reserved bytes of the per-slice scratch: dense grids, event scratch, and
-  // the S2 column-event table. Together with memo_bytes() this is the whole
-  // footprint, split along the paper's "memo table + one live slice" line.
-  [[nodiscard]] std::size_t scratch_bytes() const noexcept {
-    std::size_t total = column_events_.capacity_bytes();
+  // the streaming rows of the lean path.
+  [[nodiscard]] std::size_t slice_scratch_bytes() const noexcept {
+    std::size_t total = 0;
     for (const auto& g : dense_grids_) total += g->flat().capacity() * sizeof(Score);
     for (const auto& e : events_) total += e->capacity_bytes();
+    for (const auto& l : lean_scratch_) total += l->capacity_bytes();
     return total;
+  }
+
+  // Reserved bytes of the per-solve S2 column-event table.
+  [[nodiscard]] std::size_t event_table_bytes() const noexcept {
+    return column_events_.capacity_bytes();
+  }
+
+  // Slice scratch + event table. Together with memo_bytes() this is the
+  // whole footprint, split along the paper's "memo table + one live slice"
+  // line.
+  [[nodiscard]] std::size_t scratch_bytes() const noexcept {
+    return slice_scratch_bytes() + event_table_bytes();
   }
 
   // Total reserved backing bytes across all buffers. The engine samples this
@@ -105,11 +134,27 @@ class Workspace {
   [[nodiscard]] std::uint64_t solves() const noexcept { return solves_; }
   void note_solve() noexcept { ++solves_; }
 
+  // Session memory budget this workspace should stay under between solves
+  // (0 = none). solve_with() sets it from SolverConfig.memory_budget_bytes
+  // and trims the pool after a solve that overshot it.
+  void set_budget(std::size_t bytes) noexcept { budget_ = bytes; }
+  [[nodiscard]] std::size_t budget() const noexcept { return budget_; }
+
+  // Releases pooled backing storage until the footprint fits `max_bytes`
+  // (deepest recursion levels first — they only exist for rare deep solves —
+  // then the lean window, the event table, and finally the memo table).
+  // Returns the footprint after trimming and bumps engine.workspace_trims
+  // when anything was actually released. The next solve re-allocates what it
+  // needs; nothing here is live between solves.
+  std::size_t trim(std::size_t max_bytes);
+
   // Releases all buffers (memory pressure valve; the next solve re-allocates).
   void clear() {
     memo_ = MemoTable{};
     dense_grids_.clear();
     events_.clear();
+    lean_scratch_.clear();
+    lean_store_.release();
     column_events_ = ColumnEvents{};
   }
 
@@ -122,8 +167,11 @@ class Workspace {
   MemoTable memo_;
   std::vector<std::unique_ptr<Matrix<Score>>> dense_grids_;
   std::vector<std::unique_ptr<EventScratch>> events_;
+  std::vector<std::unique_ptr<LeanSliceScratch>> lean_scratch_;
+  WindowedMemoStore lean_store_;
   ColumnEvents column_events_;
   std::uint64_t solves_ = 0;
+  std::size_t budget_ = 0;
 };
 
 }  // namespace srna

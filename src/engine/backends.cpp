@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "core/mcos.hpp"
+#include "core/srna_lean.hpp"
 #include "engine/engine.hpp"
 #include "parallel/prna.hpp"
 #include "parallel/prna_mpi.hpp"
@@ -20,6 +21,15 @@ EngineResult from_mcos(McosResult&& r) {
   out.value = r.value;
   out.stats = r.stats;
   return out;
+}
+
+// The 4-D references memoize over interval pairs: ~(n²/2)·(m²/2) cells. This
+// is exactly why the serve layer's memory admission exists — asking a
+// reference for a genome-scale pair must be rejected up front.
+std::uint64_t reference_estimate(const SecondaryStructure& s1, const SecondaryStructure& s2) {
+  const auto n = static_cast<std::uint64_t>(s1.length());
+  const auto m = static_cast<std::uint64_t>(s2.length());
+  return n * n * m * m / 4 * sizeof(Score);
 }
 
 class Srna1Backend final : public SolverBackend {
@@ -54,6 +64,39 @@ class Srna2Backend final : public SolverBackend {
   EngineResult solve(const SecondaryStructure& s1, const SecondaryStructure& s2,
                      const SolverConfig& config, Workspace& workspace) const override {
     return from_mcos(srna2(s1, s2, config.to_mcos(), workspace));
+  }
+};
+
+class SrnaLeanBackend final : public SolverBackend {
+ public:
+  const char* name() const noexcept override { return "srna-lean"; }
+  const char* description() const noexcept override {
+    return "space-lean SRNA2: windowed memo store + streamed slices under a "
+           "byte budget (long sequences)";
+  }
+  BackendCaps caps() const noexcept override {
+    BackendCaps c;
+    c.cancel = true;
+    c.memory_budget = true;
+    return c;
+  }
+  std::uint64_t estimate_memory_bytes(const SecondaryStructure& s1,
+                                      const SecondaryStructure& s2,
+                                      const SolverConfig& config) const override {
+    const std::uint64_t floor = lean_minimum_bytes(s1, s2);
+    if (config.memory_budget_bytes != 0)
+      // The solver holds the budget (validated against the floor at entry).
+      return std::max<std::uint64_t>(config.memory_budget_bytes, floor);
+    // Unbudgeted: the window can grow to one cell per arc pair.
+    return floor + static_cast<std::uint64_t>(s1.arc_count()) *
+                       static_cast<std::uint64_t>(s2.arc_count()) * sizeof(Score);
+  }
+  EngineResult solve(const SecondaryStructure& s1, const SecondaryStructure& s2,
+                     const SolverConfig& config, Workspace& workspace) const override {
+    LeanOptions options;
+    options.base = config.to_mcos();
+    options.memory_budget_bytes = config.memory_budget_bytes;
+    return from_mcos(srna_lean(s1, s2, options, workspace));
   }
 };
 
@@ -170,6 +213,11 @@ class TopDownBackend final : public SolverBackend {
     c.honors_layout = false;  // accept-and-ignore: no slice kernel to switch
     return c;
   }
+  std::uint64_t estimate_memory_bytes(const SecondaryStructure& s1,
+                                      const SecondaryStructure& s2,
+                                      const SolverConfig& /*config*/) const override {
+    return reference_estimate(s1, s2);
+  }
   EngineResult solve(const SecondaryStructure& s1, const SecondaryStructure& s2,
                      const SolverConfig& /*config*/, Workspace& /*workspace*/) const override {
     return from_mcos(mcos_reference_topdown(s1, s2));
@@ -186,6 +234,11 @@ class BottomUpBackend final : public SolverBackend {
     BackendCaps c;
     c.honors_layout = false;
     return c;
+  }
+  std::uint64_t estimate_memory_bytes(const SecondaryStructure& s1,
+                                      const SecondaryStructure& s2,
+                                      const SolverConfig& /*config*/) const override {
+    return reference_estimate(s1, s2);
   }
   EngineResult solve(const SecondaryStructure& s1, const SecondaryStructure& s2,
                      const SolverConfig& /*config*/, Workspace& /*workspace*/) const override {
@@ -205,6 +258,7 @@ void register_builtin_backends(McosEngine& engine) {
   engine.register_backend(std::make_unique<TopDownBackend>());
   engine.register_backend(std::make_unique<BottomUpBackend>());
   engine.register_backend(std::make_unique<PrnaStealBackend>());
+  engine.register_backend(std::make_unique<SrnaLeanBackend>());
 }
 
 }  // namespace detail

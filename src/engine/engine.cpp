@@ -64,7 +64,19 @@ void SolverBackend::validate(const SolverConfig& config) const {
     if (config.stage1_hook != nullptr) reject("stage1_hook");
   }
   if (!c.cancel && config.cancel != nullptr) reject("cancel");
+  if (!c.memory_budget && config.memory_budget_bytes != defaults.memory_budget_bytes)
+    reject("memory_budget_bytes");
   // layout and validate_memo are accept-and-ignore by design (BackendCaps).
+}
+
+std::uint64_t SolverBackend::estimate_memory_bytes(const SecondaryStructure& s1,
+                                                   const SecondaryStructure& s2,
+                                                   const SolverConfig& /*config*/) const {
+  // Dense family (srna1/srna2/prna*): the Θ(nm) memo table plus one live
+  // slice grid — the parent slice is the worst case at the same n × m.
+  const auto nm = static_cast<std::uint64_t>(s1.length()) *
+                  static_cast<std::uint64_t>(s2.length());
+  return 2 * nm * sizeof(Score);
 }
 
 McosEngine& McosEngine::instance() {
@@ -130,11 +142,12 @@ EngineResult solve_with(const SolverBackend& backend, const SecondaryStructure& 
   backend.validate(config);
   const bool reused = workspace.solves() > 0;
   const std::size_t footprint_before = workspace.footprint_bytes();
+  workspace.set_budget(static_cast<std::size_t>(config.memory_budget_bytes));
   EngineResult result = backend.solve(s1, s2, config, workspace);
   workspace.note_solve();
   auto& metrics = obs::Registry::instance();
   if (reused) metrics.counter("engine.workspace_reuse").add();
-  const std::size_t footprint_after = workspace.footprint_bytes();
+  std::size_t footprint_after = workspace.footprint_bytes();
   if (footprint_after > footprint_before)
     metrics.counter("engine.workspace_alloc_bytes").add(footprint_after - footprint_before);
   // High-watermark of any single pooled workspace — with
@@ -142,11 +155,19 @@ EngineResult solve_with(const SolverBackend& backend, const SecondaryStructure& 
   metrics.gauge("engine.workspace_peak_bytes")
       .set_max(static_cast<double>(footprint_after));
   // Split watermarks, the memory ledger's exact view: memo table versus
-  // per-slice scratch (paper's "M plus one live slice" decomposition).
+  // per-slice scratch versus the per-solve event table (the paper's "M plus
+  // one live slice" decomposition, plus the preprocessing state).
   metrics.gauge("engine.memo_table_bytes")
       .set_max(static_cast<double>(workspace.memo_bytes()));
   metrics.gauge("engine.slice_scratch_bytes")
-      .set_max(static_cast<double>(workspace.scratch_bytes()));
+      .set_max(static_cast<double>(workspace.slice_scratch_bytes()));
+  metrics.gauge("engine.event_table_bytes")
+      .set_max(static_cast<double>(workspace.event_table_bytes()));
+  // A budgeted solve may leave the pool over budget (e.g. the lean window is
+  // retained for tracebacks when driven directly): release pooled storage
+  // back under the cap so concurrent budgeted workspaces stay bounded.
+  if (workspace.budget() != 0 && footprint_after > workspace.budget())
+    footprint_after = workspace.trim(workspace.budget());
   return result;
 }
 

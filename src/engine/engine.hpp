@@ -24,6 +24,8 @@
 //   topdown       memoized 4-D reference (ground truth, small inputs)
 //   bottomup      full 4-D tabulation (the over-tabulating baseline)
 //   prna-steal    barrier-free PRNA (dependency counting + work stealing)
+//   srna-lean     space-lean SRNA2: windowed memo store + streamed slices
+//                 under SolverConfig::memory_budget_bytes (long sequences)
 //
 // Adding a backend: subclass SolverBackend, then
 // McosEngine::instance().register_backend(std::make_unique<MyBackend>()).
@@ -80,6 +82,13 @@ struct SolverConfig {
   // subsystem's deadline monitor owns the flag. See McosOptions::cancel.
   const std::atomic<bool>* cancel = nullptr;
 
+  // Cap on resident solver bytes (srna-lean: memo window + streaming
+  // scratch); 0 = unlimited. Backends without the memory_budget capability
+  // reject non-default values — a budget they would silently ignore is a
+  // config error. solve_with() additionally trims the pooled workspace back
+  // under the budget after a solve that overshot it.
+  std::uint64_t memory_budget_bytes = 0;
+
   // Projections onto the solver-native option structs.
   [[nodiscard]] McosOptions to_mcos() const;
   [[nodiscard]] PrnaOptions to_prna() const;
@@ -96,6 +105,7 @@ struct BackendCaps {
   bool balance_control = false;  // honors balance
   bool schedule_controls = false;  // honors schedule / parallel_stage2 / stage1_hook
   bool cancel = false;           // honors SolverConfig::cancel (slice-boundary polls)
+  bool memory_budget = false;    // honors SolverConfig::memory_budget_bytes
   bool honors_layout = true;     // informational: layout switches the kernel
 };
 
@@ -124,6 +134,16 @@ class SolverBackend {
   // Rejects (std::invalid_argument) configs this backend cannot honor. The
   // default implementation is caps()-driven; override for extra rules.
   virtual void validate(const SolverConfig& config) const;
+
+  // Upper bound on the resident bytes one solve of (s1, s2) under `config`
+  // will hold — what the serve layer's memory admission checks against its
+  // process budget before dispatching. The default is the dense-family
+  // footprint: the Θ(nm) memo table plus one live slice grid. Backends with
+  // a different memory model (the 4-D references, the budgeted lean path)
+  // override.
+  [[nodiscard]] virtual std::uint64_t estimate_memory_bytes(
+      const SecondaryStructure& s1, const SecondaryStructure& s2,
+      const SolverConfig& config) const;
 
   // Solves MCOS(s1, s2). `workspace` provides the reusable buffers; backends
   // that manage their own memory (the references) may ignore it.

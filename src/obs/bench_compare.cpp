@@ -82,6 +82,10 @@ int metric_direction(std::string_view key) noexcept {
       contains_token(leaf, "wait") || contains_token(leaf, "_p50") ||
       contains_token(leaf, "_p95") || contains_token(leaf, "_p99"))
     return -1;
+  // Byte footprints: smaller is better — except configured caps
+  // (budget_bytes), which are inputs to the run, not outcomes of it.
+  if (contains_token(leaf, "budget")) return 0;
+  if (ends_with(leaf, "_bytes")) return -1;
   return 0;
 }
 

@@ -63,11 +63,30 @@ Json memory_ledger_json() {
   doc.set("slice_scratch_bytes",
           Json(static_cast<std::uint64_t>(
               registry.gauge("engine.slice_scratch_bytes").value())));
+  doc.set("event_table_bytes",
+          Json(static_cast<std::uint64_t>(
+              registry.gauge("engine.event_table_bytes").value())));
   doc.set("workspace_peak_bytes",
           Json(static_cast<std::uint64_t>(
               registry.gauge("engine.workspace_peak_bytes").value())));
+  doc.set("workspace_trims",
+          Json(registry.counter("engine.workspace_trims").value()));
+  doc.set("lean_store_peak_bytes",
+          Json(static_cast<std::uint64_t>(registry.gauge("lean.store_peak_bytes").value())));
   doc.set("result_cache_bytes",
           Json(static_cast<std::uint64_t>(registry.gauge("serve.cache_bytes").value())));
+  // The serve layer's memory admission: the configured budget, the live sum
+  // of in-flight solve reservations, and its high-water mark. All zero when
+  // no budgeted service is running in this process.
+  doc.set("serve_memory_budget_bytes",
+          Json(static_cast<std::uint64_t>(
+              registry.gauge("serve.memory_budget_bytes").value())));
+  doc.set("serve_memory_reserved_bytes",
+          Json(static_cast<std::uint64_t>(
+              registry.gauge("serve.memory_reserved_bytes").value())));
+  doc.set("serve_memory_reserved_peak_bytes",
+          Json(static_cast<std::uint64_t>(
+              registry.gauge("serve.memory_reserved_peak_bytes").value())));
   return doc;
 }
 

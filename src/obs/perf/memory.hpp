@@ -10,10 +10,14 @@
 //     `mem.current_rss_bytes` / `mem.peak_rss_bytes` gauges on every
 //     update_memory_gauges() call;
 //   * the exact view — byte gauges the subsystems maintain themselves:
-//     `engine.memo_table_bytes` and `engine.slice_scratch_bytes` (set by
-//     solve_with() from Workspace accounting, high-watermark),
-//     `engine.workspace_peak_bytes` (whole-workspace watermark), and
-//     `serve.cache_bytes` (live result-cache footprint).
+//     `engine.memo_table_bytes`, `engine.slice_scratch_bytes`, and
+//     `engine.event_table_bytes` (set by solve_with() from Workspace
+//     accounting, high-watermark), `engine.workspace_peak_bytes`
+//     (whole-workspace watermark), `engine.workspace_trims` (budget-driven
+//     pool releases), `lean.store_peak_bytes` (windowed memo store
+//     high-water), `serve.cache_bytes` (live result-cache footprint), and
+//     the serve admission trio `serve.memory_budget_bytes` /
+//     `serve.memory_reserved_bytes` / `serve.memory_reserved_peak_bytes`.
 //
 // memory_ledger_json() snapshots both views into the block run reports and
 // /statz embed. Both RSS readers return 0 (never throw) on hosts without

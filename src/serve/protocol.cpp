@@ -99,6 +99,7 @@ const char* to_string(ResponseStatus status) noexcept {
   switch (status) {
     case ResponseStatus::kOk: return "ok";
     case ResponseStatus::kRejected: return "rejected";
+    case ResponseStatus::kOverMemoryBudget: return "over_memory_budget";
     case ResponseStatus::kTimeout: return "timeout";
     case ResponseStatus::kError: return "error";
   }
@@ -115,6 +116,12 @@ obs::Json ServeResponse::to_json() const {
     doc.set("cache_hit", obs::Json(cache_hit));
   }
   if (status == ResponseStatus::kRejected) doc.set("retry_after_ms", obs::Json(retry_after_ms));
+  if (status == ResponseStatus::kOverMemoryBudget) {
+    doc.set("estimated_bytes", obs::Json(estimated_bytes));
+    // Present only when the request would fit an idle service; its absence
+    // marks the rejection permanent for this pair.
+    if (retry_after_ms > 0) doc.set("retry_after_ms", obs::Json(retry_after_ms));
+  }
   if (!algorithm.empty()) doc.set("algorithm", obs::Json(algorithm));
   if (trace_id != 0) {
     // Admitted requests echo their correlation id and phase breakdown.
@@ -140,6 +147,8 @@ ServeResponse ServeResponse::from_line(std::string_view line) {
     resp.status = ResponseStatus::kOk;
   } else if (status == "rejected") {
     resp.status = ResponseStatus::kRejected;
+  } else if (status == "over_memory_budget") {
+    resp.status = ResponseStatus::kOverMemoryBudget;
   } else if (status == "timeout") {
     resp.status = ResponseStatus::kTimeout;
   } else if (status == "error") {
@@ -152,6 +161,8 @@ ServeResponse ServeResponse::from_line(std::string_view line) {
   if (const obs::Json* v = doc->find("cache_hit")) resp.cache_hit = v->as_bool();
   resp.latency_ms = number_field(*doc, "latency_ms", 0.0);
   resp.retry_after_ms = number_field(*doc, "retry_after_ms", 0.0);
+  resp.estimated_bytes =
+      static_cast<std::uint64_t>(number_field(*doc, "estimated_bytes", 0.0));
   resp.trace_id = static_cast<std::uint64_t>(number_field(*doc, "trace_id", 0.0));
   resp.queued_ms = number_field(*doc, "queued_ms", 0.0);
   resp.solve_ms = number_field(*doc, "solve_ms", 0.0);

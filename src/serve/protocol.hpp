@@ -18,6 +18,12 @@
 //            "cache_hit": false, "latency_ms": 1.2, "algorithm": "srna2",
 //            "trace_id": 42, "queued_ms": 0.1, "solve_ms": 1.0}
 //   status "rejected" adds "retry_after_ms" (admission backpressure);
+//   status "over_memory_budget" means the solve's estimated footprint does
+//   not fit the service's memory budget — it adds "estimated_bytes" (the
+//   backend's upper bound for this pair) and, when the request would fit an
+//   idle service (it was only crowded out by in-flight solves),
+//   "retry_after_ms"; a response without the hint is a permanent rejection
+//   for this (pair, algorithm) — retrying cannot succeed;
 //   status "timeout" means the deadline expired (queued or mid-solve);
 //   status "error" carries the failure text in "error".
 //   Every admitted request echoes the service-assigned "trace_id" (the key
@@ -62,7 +68,13 @@ struct ServeRequest {
 // embed in an error response.
 ServeRequest parse_request(std::string_view line);
 
-enum class ResponseStatus : std::uint8_t { kOk, kRejected, kTimeout, kError };
+enum class ResponseStatus : std::uint8_t {
+  kOk,
+  kRejected,          // admission backpressure (queue full / draining)
+  kOverMemoryBudget,  // estimated footprint exceeds the service memory budget
+  kTimeout,
+  kError,
+};
 
 [[nodiscard]] const char* to_string(ResponseStatus status) noexcept;
 
@@ -74,6 +86,10 @@ struct ServeResponse {
   bool cache_hit = false;
   double latency_ms = 0.0;   // admission -> completion, as observed by the service
   double retry_after_ms = 0.0;  // rejected responses: suggested client backoff
+  // over_memory_budget responses: the backend's resident-byte upper bound for
+  // this pair, so clients can see how far over they were (and pick a leaner
+  // algorithm). 0 otherwise.
+  std::uint64_t estimated_bytes = 0;
   std::uint64_t trace_id = 0;  // service-assigned correlation id; 0 = not admitted
   double queued_ms = 0.0;    // admission -> worker pickup (admitted requests)
   double solve_ms = 0.0;     // engine solve time; 0 on cache hits

@@ -107,6 +107,8 @@ QueryService::QueryService(ServiceConfig config)
   if (config_.default_algorithm.empty()) config_.default_algorithm = "srna2";
   // Fail construction, not the first request, on an unknown default backend.
   (void)McosEngine::instance().at(config_.default_algorithm);
+  obs::Registry::instance().gauge("serve.memory_budget_bytes").set(
+      static_cast<double>(config_.memory_budget_bytes));
   const int workers = std::max(1, config_.workers);
   workers_.reserve(static_cast<std::size_t>(workers));
   for (int i = 0; i < workers; ++i) workers_.emplace_back([this] { worker_loop(); });
@@ -130,6 +132,32 @@ void QueryService::drain() {
                 obs::log_fields(
                     {{"accepted", obs::Json(accepted_.load(std::memory_order_relaxed))},
                      {"rejected", obs::Json(rejected_.load(std::memory_order_relaxed))}}));
+}
+
+bool QueryService::try_reserve_memory(std::uint64_t bytes) {
+  const std::uint64_t budget = config_.memory_budget_bytes;
+  if (budget == 0) return true;
+  std::uint64_t current = memory_reserved_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (bytes > budget - current) return false;  // current <= budget always
+    if (memory_reserved_.compare_exchange_weak(current, current + bytes,
+                                               std::memory_order_relaxed))
+      break;
+  }
+  auto& registry = obs::Registry::instance();
+  registry.gauge("serve.memory_reserved_bytes").set(
+      static_cast<double>(memory_reserved_.load(std::memory_order_relaxed)));
+  registry.gauge("serve.memory_reserved_peak_bytes").set_max(
+      static_cast<double>(current + bytes));
+  return true;
+}
+
+void QueryService::release_memory(std::uint64_t bytes) {
+  if (config_.memory_budget_bytes == 0 || bytes == 0) return;
+  const std::uint64_t after =
+      memory_reserved_.fetch_sub(bytes, std::memory_order_relaxed) - bytes;
+  obs::Registry::instance().gauge("serve.memory_reserved_bytes").set(
+      static_cast<double>(after));
 }
 
 double QueryService::retry_after_ms_hint() const {
@@ -311,6 +339,46 @@ ServeResponse QueryService::solve_job(const Job& job) {
       }
     }
 
+    // Memory admission: reserve the backend's resident-byte upper bound
+    // against the process budget before dispatching, so concurrent large
+    // solves cannot sum past the cap. Runs after the cache lookup on
+    // purpose — a hit costs no solver memory and must never be rejected.
+    std::uint64_t reserved_bytes = 0;
+    if (const std::uint64_t budget = config_.memory_budget_bytes; budget != 0) {
+      const std::uint64_t estimate = backend.estimate_memory_bytes(a, b, config);
+      if (!try_reserve_memory(estimate)) {
+        obs::Registry::instance().counter("serve.over_memory_rejects").add();
+        resp.status = ResponseStatus::kOverMemoryBudget;
+        resp.estimated_bytes = estimate;
+        if (estimate <= budget) {
+          // Fits an idle service; it was only crowded out by in-flight
+          // solves. The hint tells the client when to come back.
+          resp.retry_after_ms = retry_after_ms_hint();
+          resp.error = "estimated " + std::to_string(estimate) +
+                       " solver bytes do not fit the remaining memory budget";
+        } else {
+          // No retry can ever succeed for this (pair, algorithm).
+          resp.error = "estimated " + std::to_string(estimate) +
+                       " solver bytes exceed the service memory budget of " +
+                       std::to_string(budget) + " bytes";
+        }
+        obs::log_warn("serve.over_memory",
+                      obs::log_fields({{"id", obs::Json(req.id)},
+                                       {"algorithm", obs::Json(algorithm)},
+                                       {"estimated_bytes", obs::Json(estimate)},
+                                       {"budget_bytes", obs::Json(budget)}}));
+        return resp;
+      }
+      reserved_bytes = estimate;
+    }
+    // Local classes share the enclosing member function's access, so the
+    // guard may call the private release on every exit path below.
+    struct ReservationGuard {
+      QueryService* service;
+      std::uint64_t bytes;
+      ~ReservationGuard() { service->release_memory(bytes); }
+    } reservation_guard{this, reserved_bytes};
+
     // Deadline enforcement: the monitor flips `cancel` when the request's
     // absolute deadline passes; the solver polls it at slice boundaries.
     auto cancel = std::make_shared<std::atomic<bool>>(false);
@@ -390,6 +458,10 @@ void QueryService::respond(const Job& job, ServeResponse response) {
     case ResponseStatus::kRejected:
       registry.counter("serve.responses_rejected").add();
       break;
+    case ResponseStatus::kOverMemoryBudget:
+      responses_over_memory_.fetch_add(1, std::memory_order_relaxed);
+      registry.counter("serve.responses_over_memory").add();
+      break;
     case ResponseStatus::kError:
       responses_error_.fetch_add(1, std::memory_order_relaxed);
       registry.counter("serve.responses_error").add();
@@ -413,6 +485,11 @@ obs::Json QueryService::stats_json() const {
   doc.set("responses_ok", obs::Json(responses_ok_.load(std::memory_order_relaxed)));
   doc.set("responses_timeout", obs::Json(responses_timeout_.load(std::memory_order_relaxed)));
   doc.set("responses_error", obs::Json(responses_error_.load(std::memory_order_relaxed)));
+  doc.set("responses_over_memory",
+          obs::Json(responses_over_memory_.load(std::memory_order_relaxed)));
+  doc.set("memory_budget_bytes", obs::Json(config_.memory_budget_bytes));
+  doc.set("memory_reserved_bytes",
+          obs::Json(memory_reserved_.load(std::memory_order_relaxed)));
   doc.set("cache", cache_.stats_json());
 
   const double busy_seconds =

@@ -14,6 +14,13 @@
 //               worker, off the submitter's thread.
 //   cache       completed solves are memoized in a sharded LRU keyed by the
 //               canonical (A, B, config) digest; a hit skips the solver.
+//   memory      with ServiceConfig::memory_budget_bytes set, the worker asks
+//               the backend for its resident-byte upper bound and reserves it
+//               against the process-wide budget (atomic CAS) before solving —
+//               concurrent large solves cannot sum past the cap. A request
+//               that does not fit is answered "over_memory_budget" with the
+//               estimate; it never reaches the solver. Cache hits skip the
+//               reservation entirely.
 //   deadline    each request carries an absolute deadline. Expiry while
 //               queued is detected at pop; expiry mid-solve is enforced by
 //               the deadline-monitor thread flipping the request's cancel
@@ -29,7 +36,11 @@
 // end-to-end race coverage (scripts/check_tsan.sh runs the serve suite).
 //
 // Metrics (obs Registry): serve.requests, serve.responses_{ok,timeout,
-// rejected,error}, serve.admission_rejects, serve.deadline_{queue,solve}_
+// rejected,error,over_memory}, serve.admission_rejects,
+// serve.over_memory_rejects, serve.memory_budget_bytes /
+// serve.memory_reserved_bytes / serve.memory_reserved_peak_bytes (gauges:
+// the admission budget, the live in-flight reservation sum, and its
+// high-water mark), serve.deadline_{queue,solve}_
 // expirations, serve.cache_{hits,misses,evictions}, serve.queue_depth
 // (gauge), serve.queue_wait / serve.solve_seconds / serve.request_latency
 // (histograms), serve.latency_ms_window / serve.solve_ms_window (sliding
@@ -115,6 +126,15 @@ struct ServiceConfig {
   CacheConfig cache;                 // result cache (capacity 0 disables)
   double default_deadline_ms = 0;    // applied when a request carries none (0 = unlimited)
   std::string default_algorithm = "srna2";
+  // Process-wide cap on the summed estimated footprint of in-flight solves
+  // (0 = unlimited). Before dispatching, a worker asks the backend for its
+  // estimate_memory_bytes(a, b, config) upper bound and reserves that many
+  // bytes against this budget with a CAS; a request that cannot fit gets an
+  // "over_memory_budget" response instead of a solve. The estimate alone
+  // exceeding the budget is a permanent rejection (no retry hint); being
+  // crowded out by concurrent solves carries retry_after_ms. Cache hits and
+  // name resolution never reserve — only the solve itself does.
+  std::uint64_t memory_budget_bytes = 0;
   // Optional name-resolution corpus for a_name/b_name requests. Not owned;
   // must outlive the service and must not be mutated while serving (lookups
   // run concurrently on workers).
@@ -172,6 +192,13 @@ class QueryService {
   void respond(const Job& job, ServeResponse response);
   [[nodiscard]] double retry_after_ms_hint() const;
 
+  // Memory admission: CAS-reserves `bytes` against memory_budget_bytes.
+  // Returns false when the reservation would push the in-flight sum over
+  // the budget (the caller rejects the request). A budget of 0 always
+  // succeeds without touching the counter.
+  [[nodiscard]] bool try_reserve_memory(std::uint64_t bytes);
+  void release_memory(std::uint64_t bytes);
+
   ServiceConfig config_;
   ResultCache cache_;
   BoundedQueue<Job> queue_;
@@ -184,6 +211,9 @@ class QueryService {
   std::atomic<std::uint64_t> responses_ok_{0};
   std::atomic<std::uint64_t> responses_timeout_{0};
   std::atomic<std::uint64_t> responses_error_{0};
+  std::atomic<std::uint64_t> responses_over_memory_{0};
+  // Summed estimates of in-flight solves, bounded by memory_budget_bytes.
+  std::atomic<std::uint64_t> memory_reserved_{0};
   std::atomic<std::uint64_t> worker_busy_us_{0};
   // EWMA of solve seconds, for the retry-after hint (stored as double bits).
   std::atomic<std::uint64_t> solve_ewma_bits_{0};

@@ -1,0 +1,245 @@
+// The space-lean solve path (srna_lean): score and traceback parity with the
+// dense backends, budget validation, recompute-on-miss under eviction
+// pressure, and checkpoint/resume of the windowed store.
+#include "core/srna_lean.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/mcos.hpp"
+#include "rna/generators.hpp"
+#include "testing/builders.hpp"
+
+namespace srna {
+namespace {
+
+using testing::db;
+
+// A long-sequence workload with bounded nesting: a field of hairpin stems
+// (3–5 nested arcs each) separated by unpaired gaps. This is the shape the
+// lean path exists for — thousands of arcs, shallow depth, dense Θ(nm) memo
+// far larger than the state the solve actually needs. Local to the tests and
+// the longseq bench on purpose: it is a workload, not a library generator.
+SecondaryStructure hairpin_field(Pos target_len, std::uint64_t seed) {
+  std::vector<Arc> arcs;
+  Pos base = 0;
+  std::uint64_t state = seed * 0x9E3779B97F4A7C15ULL + 1;
+  auto next = [&]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  while (base + 20 <= target_len) {
+    const Pos depth = 3 + static_cast<Pos>(next() % 3);
+    const Pos span = 2 * depth + static_cast<Pos>(next() % 3);  // loop of 0–2
+    for (Pos i = 0; i < depth; ++i) arcs.push_back(Arc{base + i, base + span - 1 - i});
+    base += span + 4 + static_cast<Pos>(next() % 5);  // gap of 4–8
+  }
+  return SecondaryStructure::from_arcs(target_len, std::move(arcs));
+}
+
+std::string fresh_path(const std::string& name) {
+  const std::string path = "/tmp/srna_lean_ckpt_" + name + ".bin";
+  std::filesystem::remove(path);
+  return path;
+}
+
+// A budget tight enough to force evictions: the floor plus two memo rows.
+std::uint64_t tight_budget(const SecondaryStructure& s1, const SecondaryStructure& s2) {
+  return lean_minimum_bytes(s1, s2) + 2 * s2.arc_count() * sizeof(Score);
+}
+
+TEST(LeanSolver, AgreesWithSrna2AcrossRandomPairs) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const auto s1 = random_structure(60 + static_cast<Pos>(seed), 0.55, seed);
+    const auto s2 = random_structure(52, 0.55, seed + 100);
+    const Score expected = srna2(s1, s2).value;
+    for (const SliceLayout layout : {SliceLayout::kDense, SliceLayout::kCompressed}) {
+      LeanOptions unlimited;
+      unlimited.base.layout = layout;
+      EXPECT_EQ(srna_lean(s1, s2, unlimited).value, expected) << seed;
+
+      LeanOptions tight;
+      tight.base.layout = layout;
+      tight.memory_budget_bytes = tight_budget(s1, s2);
+      EXPECT_EQ(srna_lean(s1, s2, tight).value, expected) << seed;
+    }
+  }
+}
+
+TEST(LeanSolver, TightBudgetActuallyEvictsAndRecomputes) {
+  const auto s1 = random_structure(90, 0.7, 21);
+  const auto s2 = random_structure(90, 0.7, 22);
+  Workspace ws;
+  LeanOptions options;
+  options.memory_budget_bytes = tight_budget(s1, s2);
+  const auto result = srna_lean(s1, s2, options, ws);
+  EXPECT_EQ(result.value, srna2(s1, s2).value);
+  // Under this budget the window cannot hold stage one: evictions happened
+  // and some d2 probes had to recompute their child slice.
+  EXPECT_GT(ws.lean_store().evictions(), 0u);
+  EXPECT_GT(result.stats.memo_misses, 0u);
+  EXPECT_GT(result.stats.max_spawn_depth, 0u);
+  EXPECT_LE(ws.lean_store().peak_resident_bytes(), ws.lean_store().budget_bytes());
+}
+
+TEST(LeanSolver, UnlimitedBudgetNeverRecomputes) {
+  const auto s1 = random_structure(70, 0.6, 31);
+  const auto s2 = random_structure(70, 0.6, 32);
+  Workspace ws;
+  const auto result = srna_lean(s1, s2, {}, ws);
+  EXPECT_EQ(result.value, srna2(s1, s2).value);
+  EXPECT_EQ(ws.lean_store().evictions(), 0u);
+  EXPECT_EQ(result.stats.memo_misses, 0u);
+}
+
+TEST(LeanSolver, BudgetBelowMinimumFailsFastNamingTheFloor) {
+  const auto s1 = random_structure(80, 0.6, 41);
+  const auto s2 = random_structure(80, 0.6, 42);
+  const std::size_t floor = lean_minimum_bytes(s1, s2);
+  LeanOptions options;
+  options.memory_budget_bytes = floor - 1;
+  try {
+    srna_lean(s1, s2, options);
+    FAIL() << "budget below the floor must be rejected at solve entry";
+  } catch (const std::invalid_argument& e) {
+    // The error names the irreducible minimum so callers can re-budget.
+    EXPECT_NE(std::string(e.what()).find(std::to_string(floor)), std::string::npos)
+        << e.what();
+  }
+  // At exactly the floor the solve runs (and still gets the right answer).
+  options.memory_budget_bytes = floor;
+  EXPECT_EQ(srna_lean(s1, s2, options).value, srna2(s1, s2).value);
+}
+
+TEST(LeanSolver, EmptyAndArcFreeInputs) {
+  const auto s = random_structure(30, 0.5, 51);
+  EXPECT_EQ(srna_lean(SecondaryStructure(0), s, {}).value, 0);
+  EXPECT_EQ(srna_lean(s, SecondaryStructure(0), {}).value, 0);
+  EXPECT_EQ(srna_lean(db("...."), s, {}).value, 0);
+  EXPECT_EQ(srna_lean(s, s, {}).value, static_cast<Score>(s.arc_count()));
+}
+
+TEST(LeanTraceback, MatchesDenseTracebackExactly) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const auto s1 = random_structure(64, 0.6, seed + 61);
+    const auto s2 = random_structure(58, 0.6, seed + 161);
+    const auto dense = mcos_traceback(s1, s2);
+
+    LeanOptions unlimited;
+    const auto lean = mcos_traceback_lean(s1, s2, unlimited);
+    EXPECT_EQ(lean.value, dense.value) << seed;
+    EXPECT_EQ(lean.matches, dense.matches) << seed;  // bit-identical witness
+
+    LeanOptions tight;
+    tight.memory_budget_bytes = tight_budget(s1, s2);
+    const auto lean_tight = mcos_traceback_lean(s1, s2, tight);
+    EXPECT_EQ(lean_tight.value, dense.value) << seed;
+    EXPECT_EQ(lean_tight.matches, dense.matches) << seed;
+    EXPECT_TRUE(validate_matches(s1, s2, lean_tight.matches).empty());
+  }
+}
+
+TEST(LeanCheckpoint, UninterruptedRunMatchesSrna2) {
+  const auto s1 = random_structure(60, 0.5, 71);
+  const auto s2 = random_structure(55, 0.5, 72);
+  CheckpointPolicy policy{fresh_path("plain"), 8, 0};
+  const auto run = srna_lean_checkpointed(s1, s2, {}, policy);
+  EXPECT_TRUE(run.complete);
+  EXPECT_FALSE(run.resumed);
+  EXPECT_EQ(run.result.value, srna2(s1, s2).value);
+  EXPECT_EQ(run.rows_done, s1.arc_count());
+  EXPECT_FALSE(std::filesystem::exists(policy.path));
+}
+
+TEST(LeanCheckpoint, KillAndResumeUnderTightBudgetIsExact) {
+  const auto s1 = random_structure(80, 0.65, 81);
+  const auto s2 = random_structure(76, 0.65, 82);
+  const auto expected = srna2(s1, s2);
+
+  LeanOptions options;
+  options.memory_budget_bytes = tight_budget(s1, s2);
+  CheckpointPolicy policy{fresh_path("resume"), 3, 0};
+  policy.max_rows_this_run = 5;  // several forced interruptions
+
+  CheckpointedRun run;
+  int invocations = 0;
+  do {
+    run = srna_lean_checkpointed(s1, s2, options, policy);
+    ++invocations;
+    ASSERT_LT(invocations, 80) << "not making progress";
+  } while (!run.complete);
+
+  EXPECT_GT(invocations, 2);
+  EXPECT_TRUE(run.resumed);
+  EXPECT_EQ(run.result.value, expected.value);
+  EXPECT_FALSE(std::filesystem::exists(policy.path));
+
+  // And the full witness from the interrupted-budgeted world agrees with the
+  // uninterrupted dense one.
+  const auto dense = mcos_traceback(s1, s2);
+  const auto lean = mcos_traceback_lean(s1, s2, options);
+  EXPECT_EQ(lean.matches, dense.matches);
+}
+
+TEST(LeanCheckpoint, MismatchedInputsAndBadPolicyRejected) {
+  const auto s1 = random_structure(40, 0.6, 91);
+  CheckpointPolicy policy{fresh_path("mismatch"), 2, 3};
+  const auto partial = srna_lean_checkpointed(s1, s1, {}, policy);
+  ASSERT_FALSE(partial.complete);
+
+  const auto other = random_structure(40, 0.6, 92);
+  EXPECT_THROW(srna_lean_checkpointed(other, other, {}, policy), std::invalid_argument);
+  std::filesystem::remove(policy.path);
+
+  const auto s = db("(.)");
+  EXPECT_THROW(srna_lean_checkpointed(s, s, {}, CheckpointPolicy{"", 4, 0}),
+               std::invalid_argument);
+  LeanOptions compressed;
+  compressed.base.layout = SliceLayout::kCompressed;
+  EXPECT_THROW(srna_lean_checkpointed(s, s, compressed, CheckpointPolicy{"/tmp/x", 4, 0}),
+               std::invalid_argument);
+}
+
+// The acceptance test for the long-sequence path: an n ≈ 2·10⁴ pair solved
+// under a budget of 25% of the dense Θ(nm) memo bytes, score AND traceback
+// bit-identical to the dense backend. Sanitizer builds shrink the instance
+// (same structure shape) to keep runtimes bounded.
+TEST(LeanLongSequence, QuarterDenseBudgetMatchesDenseExactly) {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  const Pos n = 4000;
+#else
+  const Pos n = 20000;
+#endif
+  const auto s1 = hairpin_field(n, 1);
+  const auto s2 = hairpin_field(n, 2);
+  ASSERT_GT(s1.arc_count(), n / 10);  // really a long, arc-dense instance
+
+  const std::uint64_t dense_memo_bytes = static_cast<std::uint64_t>(s1.length()) *
+                                         static_cast<std::uint64_t>(s2.length()) *
+                                         sizeof(Score);
+  LeanOptions options;
+  options.memory_budget_bytes = dense_memo_bytes / 4;
+
+  const auto dense = mcos_traceback(s1, s2);
+  Workspace ws;
+  const auto lean = mcos_traceback_lean(s1, s2, options, ws);
+
+  EXPECT_EQ(lean.value, dense.value);
+  EXPECT_EQ(lean.matches, dense.matches);
+  EXPECT_TRUE(validate_matches(s1, s2, lean.matches).empty());
+
+  // The resident solver state stayed under the budget — and far under the
+  // dense table it replaces.
+  const std::size_t peak =
+      ws.lean_store().peak_resident_bytes() + ws.slice_scratch_bytes();
+  EXPECT_LE(peak, options.memory_budget_bytes);
+  EXPECT_LT(ws.lean_store().peak_resident_bytes(), dense_memo_bytes / 10);
+}
+
+}  // namespace
+}  // namespace srna

@@ -7,6 +7,7 @@
 #include <string>
 #include <tuple>
 
+#include "core/srna_lean.hpp"
 #include "engine/engine.hpp"
 #include "rna/generators.hpp"
 #include "rna/mutations.hpp"
@@ -50,6 +51,16 @@ TEST_P(BackendAgreement, AllRegisteredBackendsMatchTopdownReference) {
         << backend->name() << " seed=" << seed
         << " layout=" << (layout == SliceLayout::kDense ? "dense" : "compressed");
   }
+
+  // The lean backend again under a budget tight enough to force evictions
+  // and recompute-on-miss (the registry sweep above runs it unbudgeted).
+  SolverConfig tight = config;
+  tight.memory_budget_bytes =
+      lean_minimum_bytes(s1, s2) + 2 * s2.arc_count() * sizeof(Score);
+  Workspace workspace;
+  const EngineResult lean =
+      solve_with(McosEngine::instance().at("srna-lean"), s1, s2, tight, workspace);
+  EXPECT_EQ(lean.value, expected) << "srna-lean budgeted, seed=" << seed;
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,0 +1,117 @@
+// SolverConfig::memory_budget_bytes through the engine: caps-driven
+// rejection on backends without the capability, fail-fast validation of
+// infeasible budgets, footprint estimates, and workspace trimming.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/srna_lean.hpp"
+#include "engine/engine.hpp"
+#include "obs/metrics.hpp"
+#include "rna/generators.hpp"
+
+namespace srna {
+namespace {
+
+TEST(MemoryBudget, BackendsWithoutTheCapRejectNonDefaultBudgets) {
+  const auto s = random_structure(30, 0.5, 1);
+  SolverConfig config;
+  config.memory_budget_bytes = 1 << 20;
+  for (const char* name : {"srna1", "srna2", "prna", "topdown", "bottomup"}) {
+    EXPECT_THROW(engine_solve(name, s, s, config), std::invalid_argument) << name;
+  }
+  // And the capability bit is what differs.
+  EXPECT_FALSE(McosEngine::instance().at("srna2").caps().memory_budget);
+  EXPECT_TRUE(McosEngine::instance().at("srna-lean").caps().memory_budget);
+}
+
+TEST(MemoryBudget, LeanBackendHonorsTheBudget) {
+  const auto s1 = random_structure(70, 0.6, 2);
+  const auto s2 = random_structure(66, 0.6, 3);
+  const Score expected = engine_solve("srna2", s1, s2).value;
+
+  SolverConfig config;
+  config.memory_budget_bytes =
+      lean_minimum_bytes(s1, s2) + 2 * s2.arc_count() * sizeof(Score);
+  EXPECT_EQ(engine_solve("srna-lean", s1, s2, config).value, expected);
+  // Unbudgeted works too (0 = unlimited is the default everywhere).
+  EXPECT_EQ(engine_solve("srna-lean", s1, s2).value, expected);
+}
+
+TEST(MemoryBudget, InfeasibleBudgetFailsAtValidationNamingTheMinimum) {
+  const auto s1 = random_structure(60, 0.6, 4);
+  const auto s2 = random_structure(60, 0.6, 5);
+  const std::size_t floor = lean_minimum_bytes(s1, s2);
+  SolverConfig config;
+  config.memory_budget_bytes = floor / 2;
+  try {
+    engine_solve("srna-lean", s1, s2, config);
+    FAIL() << "infeasible budget must fail fast, not mid-solve";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(std::to_string(floor)), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(MemoryBudget, EstimatesOrderSensibly) {
+  const auto s1 = random_structure(80, 0.6, 6);
+  const auto s2 = random_structure(80, 0.6, 7);
+  const auto& engine = McosEngine::instance();
+  SolverConfig config;
+
+  const std::uint64_t dense = engine.at("srna2").estimate_memory_bytes(s1, s2, config);
+  const std::uint64_t lean = engine.at("srna-lean").estimate_memory_bytes(s1, s2, config);
+  const std::uint64_t reference = engine.at("topdown").estimate_memory_bytes(s1, s2, config);
+  // Dense = memo + live slice.
+  EXPECT_EQ(dense, 2ull * s1.length() * s2.length() * sizeof(Score));
+  // The lean path needs less than dense even unbudgeted; the 4-D reference
+  // dwarfs everything.
+  EXPECT_LT(lean, dense);
+  EXPECT_GT(reference, dense);
+  // A budget caps the lean estimate at (feasible) budget.
+  config.memory_budget_bytes = lean_minimum_bytes(s1, s2) + 4096;
+  EXPECT_EQ(engine.at("srna-lean").estimate_memory_bytes(s1, s2, config),
+            config.memory_budget_bytes);
+}
+
+TEST(MemoryBudget, SolveWithTrimsThePoolBackUnderBudget) {
+  const auto s1 = random_structure(90, 0.6, 8);
+  const auto s2 = random_structure(90, 0.6, 9);
+  Workspace ws;
+  // Unbudgeted dense solve grows the pool well past what the lean budget
+  // allows...
+  (void)solve_with(McosEngine::instance().at("srna2"), s1, s2, {}, ws);
+  SolverConfig config;
+  config.memory_budget_bytes =
+      lean_minimum_bytes(s1, s2) + 8 * s2.arc_count() * sizeof(Score);
+  ASSERT_GT(ws.footprint_bytes(), config.memory_budget_bytes);
+  // ...and a budgeted solve trims it back under the cap on the way out.
+  (void)solve_with(McosEngine::instance().at("srna-lean"), s1, s2, config, ws);
+  EXPECT_LE(ws.footprint_bytes(), config.memory_budget_bytes);
+}
+
+TEST(MemoryBudget, TrimReleasesPooledBytesAndCounts) {
+  const auto s1 = random_structure(80, 0.6, 10);
+  const auto s2 = random_structure(76, 0.6, 11);
+  Workspace ws;
+  (void)solve_with(McosEngine::instance().at("srna2"), s1, s2, {}, ws);
+  const std::size_t before = ws.footprint_bytes();
+  ASSERT_GT(before, 0u);
+
+  const std::uint64_t trims_before =
+      obs::Registry::instance().counter("engine.workspace_trims").value();
+  const std::size_t after = ws.trim(before / 2);
+  EXPECT_LT(after, before);
+  EXPECT_LE(after, before / 2);
+  EXPECT_EQ(ws.footprint_bytes(), after);
+  EXPECT_GT(obs::Registry::instance().counter("engine.workspace_trims").value(),
+            trims_before);
+
+  // trim(0) releases everything releasable; the next solve still works.
+  ws.trim(0);
+  EXPECT_EQ(solve_with(McosEngine::instance().at("srna2"), s1, s2, {}, ws).value,
+            engine_solve("srna2", s1, s2).value);
+}
+
+}  // namespace
+}  // namespace srna

@@ -45,10 +45,14 @@ TEST(MetricDirection, ClassifiesByLeafName) {
   EXPECT_EQ(metric_direction("rows[length=120].ns_per_cell"), -1);
   EXPECT_EQ(metric_direction("results.idle_fraction"), -1);
   EXPECT_EQ(metric_direction("results.barrier_wait_total"), -1);
+  // Byte footprints grow = regression; a configured budget is just an input.
+  EXPECT_EQ(metric_direction("results.peak_rss_bytes"), -1);
+  EXPECT_EQ(metric_direction("rows[budget_frac=0.25].store_peak_bytes"), -1);
   // Informational.
   EXPECT_EQ(metric_direction("results.ok"), 0);
   EXPECT_EQ(metric_direction("results.value"), 0);
   EXPECT_EQ(metric_direction("results.cells"), 0);
+  EXPECT_EQ(metric_direction("rows[n=20000].budget_bytes"), 0);
 }
 
 TEST(MetricDirection, IdentityBracketsDoNotLeakIntoTheLeaf) {

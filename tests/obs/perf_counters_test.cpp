@@ -151,7 +151,10 @@ TEST(MemoryLedgerTest, RssReadersAndLedgerFieldsAreSane) {
   const Json ledger = memory_ledger_json();
   for (const char* field :
        {"current_rss_bytes", "peak_rss_bytes", "memo_table_bytes",
-        "slice_scratch_bytes", "workspace_peak_bytes", "result_cache_bytes"}) {
+        "slice_scratch_bytes", "event_table_bytes", "workspace_peak_bytes",
+        "workspace_trims", "lean_store_peak_bytes", "result_cache_bytes",
+        "serve_memory_budget_bytes", "serve_memory_reserved_bytes",
+        "serve_memory_reserved_peak_bytes"}) {
     ASSERT_NE(ledger.find(field), nullptr) << field;
     EXPECT_GE(ledger.find(field)->as_double(), 0.0) << field;
   }

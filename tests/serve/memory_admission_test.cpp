@@ -1,0 +1,173 @@
+// Memory admission in the serve layer: estimated footprints checked against
+// ServiceConfig::memory_budget_bytes before dispatch, the distinct
+// "over_memory_budget" response (permanent vs crowded-out), and the
+// process-wide in-flight reservation that keeps concurrent solves under the
+// cap.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "obs/metrics.hpp"
+#include "rna/dot_bracket.hpp"
+#include "rna/generators.hpp"
+#include "serve/protocol.hpp"
+#include "serve/service.hpp"
+
+namespace srna::serve {
+namespace {
+
+ServeRequest literal_request(std::int64_t id, std::string a, std::string b) {
+  ServeRequest req;
+  req.id = id;
+  req.a = std::move(a);
+  req.b = std::move(b);
+  return req;
+}
+
+std::uint64_t default_estimate(const char* algorithm, const std::string& a,
+                               const std::string& b) {
+  return McosEngine::instance().at(algorithm).estimate_memory_bytes(
+      parse_dot_bracket(a), parse_dot_bracket(b), SolverConfig{});
+}
+
+TEST(OverMemoryProtocol, StatusAndEstimateRoundTripTheWire) {
+  EXPECT_STREQ(to_string(ResponseStatus::kOverMemoryBudget), "over_memory_budget");
+
+  ServeResponse resp;
+  resp.id = 9;
+  resp.status = ResponseStatus::kOverMemoryBudget;
+  resp.estimated_bytes = 123456789;
+  resp.retry_after_ms = 42.5;
+  resp.error = "estimated 123456789 solver bytes do not fit";
+  const ServeResponse parsed = ServeResponse::from_line(resp.to_line());
+  EXPECT_EQ(parsed.status, ResponseStatus::kOverMemoryBudget);
+  EXPECT_EQ(parsed.estimated_bytes, 123456789u);
+  EXPECT_DOUBLE_EQ(parsed.retry_after_ms, 42.5);
+  EXPECT_EQ(parsed.error, resp.error);
+
+  // The permanent form omits the retry hint entirely.
+  resp.retry_after_ms = 0;
+  EXPECT_EQ(resp.to_line().find("retry_after_ms"), std::string::npos);
+  EXPECT_DOUBLE_EQ(ServeResponse::from_line(resp.to_line()).retry_after_ms, 0.0);
+}
+
+TEST(MemoryAdmission, PairThatCanNeverFitIsRejectedPermanently) {
+  const std::string a = to_dot_bracket(random_structure(120, 0.5, 1));
+  const std::string b = to_dot_bracket(random_structure(120, 0.5, 2));
+  const std::uint64_t estimate = default_estimate("srna2", a, b);
+
+  ServiceConfig config;
+  config.memory_budget_bytes = estimate / 2;  // even an idle service cannot host it
+  QueryService service(config);
+
+  const std::uint64_t rejects_before =
+      obs::Registry::instance().counter("serve.over_memory_rejects").value();
+  const ServeResponse resp = service.solve(literal_request(1, a, b));
+  EXPECT_EQ(resp.status, ResponseStatus::kOverMemoryBudget);
+  EXPECT_EQ(resp.estimated_bytes, estimate);
+  // Permanent: no retry hint, and the error names the budget.
+  EXPECT_DOUBLE_EQ(resp.retry_after_ms, 0.0);
+  EXPECT_NE(resp.error.find(std::to_string(config.memory_budget_bytes)),
+            std::string::npos);
+  EXPECT_GT(obs::Registry::instance().counter("serve.over_memory_rejects").value(),
+            rejects_before);
+  // Nothing was solved, so nothing was cached.
+  EXPECT_EQ(service.cache().stats().entries, 0u);
+  // And the same request keeps being rejected (no state was corrupted).
+  EXPECT_EQ(service.solve(literal_request(2, a, b)).status,
+            ResponseStatus::kOverMemoryBudget);
+
+  // A lean solve of the same pair fits the same budget: the estimate is
+  // per-backend, so clients can downgrade instead of giving up.
+  ServeRequest lean = literal_request(3, a, b);
+  lean.algorithm = "srna-lean";
+  ASSERT_LT(default_estimate("srna-lean", a, b), config.memory_budget_bytes);
+  const ServeResponse ok = service.solve(lean);
+  ASSERT_EQ(ok.status, ResponseStatus::kOk);
+  EXPECT_EQ(ok.value, engine_solve("srna2", parse_dot_bracket(a), parse_dot_bracket(b)).value);
+}
+
+TEST(MemoryAdmission, FittingRequestsSolveAndReleaseTheReservation) {
+  const std::string a = to_dot_bracket(random_structure(60, 0.5, 3));
+  const std::string b = to_dot_bracket(random_structure(60, 0.5, 4));
+  ServiceConfig config;
+  config.memory_budget_bytes = 2 * default_estimate("srna2", a, b);
+  QueryService service(config);
+
+  const ServeResponse resp = service.solve(literal_request(1, a, b));
+  ASSERT_EQ(resp.status, ResponseStatus::kOk);
+  EXPECT_EQ(resp.estimated_bytes, 0u);  // only over-budget responses carry it
+
+  const obs::Json stats = service.stats_json();
+  EXPECT_EQ(stats.find("memory_budget_bytes")->as_uint(), config.memory_budget_bytes);
+  // The reservation is scoped to the solve: fully released afterwards.
+  EXPECT_EQ(stats.find("memory_reserved_bytes")->as_uint(), 0u);
+  EXPECT_EQ(stats.find("responses_over_memory")->as_uint(), 0u);
+
+  // A cache hit answers without consulting the budget at all (it costs no
+  // solver memory); the reservation gauge stays at zero.
+  const ServeResponse hit = service.solve(literal_request(2, a, b));
+  ASSERT_EQ(hit.status, ResponseStatus::kOk);
+  EXPECT_TRUE(hit.cache_hit);
+}
+
+TEST(MemoryAdmission, ConcurrentSolvesNeverSumPastTheBudget) {
+  // Budget admits exactly one in-flight solve of this pair; the solves are
+  // slow enough (hundreds of ms) that concurrent workers overlap, so the
+  // crowded-out requests get the retryable form of the rejection.
+  const std::string big = to_dot_bracket(worst_case_structure(400));
+  const std::uint64_t estimate = default_estimate("srna2", big, big);
+  ServiceConfig config;
+  config.workers = 3;
+  config.memory_budget_bytes = estimate;  // a second concurrent solve cannot fit
+  QueryService service(config);
+  auto& registry = obs::Registry::instance();
+  registry.gauge("serve.memory_reserved_peak_bytes").set(0.0);
+
+  std::vector<std::future<ServeResponse>> inflight;
+  for (int i = 0; i < 3; ++i) {
+    ServeRequest req = literal_request(i, big, big);
+    req.no_cache = true;  // every request must reach admission, not the cache
+    inflight.push_back(service.solve_async(std::move(req)));
+  }
+
+  std::uint64_t ok = 0;
+  std::uint64_t over = 0;
+  for (auto& f : inflight) {
+    const ServeResponse resp = f.get();
+    if (resp.status == ResponseStatus::kOk) {
+      ++ok;
+    } else {
+      ASSERT_EQ(resp.status, ResponseStatus::kOverMemoryBudget);
+      ++over;
+      EXPECT_EQ(resp.estimated_bytes, estimate);
+      // Crowded out, not impossible: the hint invites a retry.
+      EXPECT_GT(resp.retry_after_ms, 0.0);
+    }
+  }
+  EXPECT_EQ(ok + over, 3u);
+  EXPECT_GE(ok, 1u);
+  EXPECT_GE(over, 1u);  // three slow solves on three workers must collide
+
+  // The reservation invariant: the in-flight sum never exceeded the budget,
+  // and everything was handed back.
+  EXPECT_LE(registry.gauge("serve.memory_reserved_peak_bytes").value(),
+            static_cast<double>(config.memory_budget_bytes));
+  service.drain();
+  EXPECT_EQ(service.stats_json().find("memory_reserved_bytes")->as_uint(), 0u);
+}
+
+TEST(MemoryAdmission, UnbudgetedServiceAdmitsEverything) {
+  QueryService service({});  // memory_budget_bytes = 0 = unlimited
+  ServeRequest req = literal_request(1, "((..))", "(..)");
+  req.algorithm = "bottomup";  // the hungriest estimate in the registry
+  EXPECT_EQ(service.solve(req).status, ResponseStatus::kOk);
+  EXPECT_EQ(service.stats_json().find("responses_over_memory")->as_uint(), 0u);
+}
+
+}  // namespace
+}  // namespace srna::serve

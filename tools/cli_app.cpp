@@ -58,6 +58,8 @@ int cmd_compare(const std::vector<std::string>& args, std::ostream& out, std::os
   cli.add_option("algorithm", McosEngine::instance().names_joined(" | "), "srna2");
   cli.add_option("layout", "dense | compressed", "dense");
   cli.add_option("threads", "parallel stage one with this many threads (0 = sequential)", "0");
+  cli.add_option("memory-budget",
+                 "resident solver byte cap (srna-lean; 0 = unlimited)", "0");
   cli.add_flag("traceback", "print the matched arc pairs");
   cli.add_flag("weighted", "Bafna-style weighted similarity (uses sequences when available)");
   cli.add_flag("stats", "print solver statistics");
@@ -77,6 +79,7 @@ int cmd_compare(const std::vector<std::string>& args, std::ostream& out, std::os
 
   SolverConfig config;
   if (cli.str("layout") == "compressed") config.layout = SliceLayout::kCompressed;
+  config.memory_budget_bytes = static_cast<std::uint64_t>(cli.integer("memory-budget"));
 
   if (cli.flag("weighted")) {
     const Sequence* s1 = a.sequence && b.sequence ? &*a.sequence : nullptr;
@@ -109,6 +112,8 @@ int cmd_compare(const std::vector<std::string>& args, std::ostream& out, std::os
     opts.set("algorithm", obs::Json(algorithm));
     opts.set("layout", obs::Json(cli.str("layout")));
     opts.set("threads", obs::Json(static_cast<std::int64_t>(threads)));
+    if (config.memory_budget_bytes != 0)
+      opts.set("memory_budget_bytes", obs::Json(config.memory_budget_bytes));
     session.report().set("options", std::move(opts));
   }
 

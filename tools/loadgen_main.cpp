@@ -92,6 +92,7 @@ struct Tally {
   std::vector<double> server_solve_ms;
   std::uint64_t ok = 0;
   std::uint64_t rejected = 0;
+  std::uint64_t over_memory = 0;  // memory admission, distinct from queue rejects
   std::uint64_t timeout = 0;
   std::uint64_t error = 0;
   std::uint64_t cache_hits = 0;
@@ -109,13 +110,16 @@ struct Tally {
         }
         break;
       case serve::ResponseStatus::kRejected: ++rejected; break;
+      case serve::ResponseStatus::kOverMemoryBudget: ++over_memory; break;
       case serve::ResponseStatus::kTimeout: ++timeout; break;
       case serve::ResponseStatus::kError: ++error; break;
     }
   }
 
+  // Every status is a *delivered* response — the lost-response check below
+  // fails only on requests that truly went unanswered.
   [[nodiscard]] std::uint64_t total() const {
-    return ok + rejected + timeout + error;
+    return ok + rejected + over_memory + timeout + error;
   }
 };
 
@@ -203,6 +207,8 @@ int main(int argc, char** argv) {
   cli.add_option("workers", "in-process service: worker threads", "4");
   cli.add_option("queue-capacity", "in-process service: admission queue slots", "64");
   cli.add_option("cache-entries", "in-process service: cache capacity", "4096");
+  cli.add_option("memory-budget",
+                 "in-process service: in-flight solver byte cap (0 = unlimited)", "0");
   cli.add_option("output", "report path (default BENCH_serving_throughput.json; none = skip)", "");
   cli.add_flag("smoke", "small deterministic preset for ctest (overrides sizes)");
 
@@ -262,6 +268,7 @@ int main(int argc, char** argv) {
       config.workers = static_cast<int>(cli.integer("workers"));
       config.queue_capacity = static_cast<std::size_t>(cli.integer("queue-capacity"));
       config.cache.capacity = static_cast<std::size_t>(cli.integer("cache-entries"));
+      config.memory_budget_bytes = static_cast<std::uint64_t>(cli.integer("memory-budget"));
       config.default_algorithm = workload.algorithm;
       serve::QueryService service(config);
 
@@ -333,7 +340,8 @@ int main(int argc, char** argv) {
     std::cout << "requests:    " << requests << " (" << mode << " loop"
               << (connect.empty() ? ", in-process" : ", tcp " + connect) << ")\n"
               << "ok:          " << tally.ok << "  rejected: " << tally.rejected
-              << "  timeout: " << tally.timeout << "  error: " << tally.error << "\n"
+              << "  over_memory: " << tally.over_memory << "  timeout: " << tally.timeout
+              << "  error: " << tally.error << "\n"
               << "cache hits:  " << tally.cache_hits << " (hit rate "
               << hit_rate << ")\n"
               << "throughput:  " << throughput << " req/s over " << elapsed << " s\n"
@@ -364,6 +372,7 @@ int main(int argc, char** argv) {
       obs::Json results = obs::Json::object();
       results.set("ok", obs::Json(tally.ok));
       results.set("rejected", obs::Json(tally.rejected));
+      results.set("over_memory", obs::Json(tally.over_memory));
       results.set("timeout", obs::Json(tally.timeout));
       results.set("error", obs::Json(tally.error));
       results.set("cache_hits", obs::Json(tally.cache_hits));

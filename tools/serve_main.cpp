@@ -57,6 +57,10 @@ int main(int argc, char** argv) {
   cli.add_option("cache-entries", "result cache capacity (0 disables)", "4096");
   cli.add_option("cache-shards", "result cache shard count", "8");
   cli.add_option("deadline-ms", "default per-request deadline (0 = none)", "0");
+  cli.add_option("memory-budget",
+                 "cap on summed estimated solver bytes in flight; over-budget "
+                 "requests get status over_memory_budget (0 = unlimited)",
+                 "0");
   cli.add_option("algorithm", "default engine backend", "srna2");
   obs::ObsSession::add_cli_options(cli);
 
@@ -81,6 +85,7 @@ int main(int argc, char** argv) {
     config.cache.capacity = static_cast<std::size_t>(cli.integer("cache-entries"));
     config.cache.shards = static_cast<std::size_t>(cli.integer("cache-shards"));
     config.default_deadline_ms = cli.real("deadline-ms");
+    config.memory_budget_bytes = static_cast<std::uint64_t>(cli.integer("memory-budget"));
     config.default_algorithm = cli.str("algorithm");
     if (!cli.str("db").empty()) {
       db = StructureDatabase::load_directory(cli.str("db"));
