@@ -25,14 +25,19 @@ PROFILE_FRESH="$BUILD_DIR/BENCH_parallel_analysis_fresh.json"
 LONGSEQ="$BUILD_DIR/bench/longseq_memory"
 LONGSEQ_BASELINE="BENCH_longseq_memory.json"
 LONGSEQ_FRESH="$BUILD_DIR/BENCH_longseq_memory_fresh.json"
+DISTBENCH="$BUILD_DIR/tools/srna-dist-bench"
+DIST_BASELINE="BENCH_serving_distributed.json"
+DIST_FRESH="$BUILD_DIR/BENCH_serving_distributed_fresh.json"
 
 [ -x "$LOADGEN" ] || { echo "missing $LOADGEN (build first)"; exit 1; }
 [ -x "$PROFILE" ] || { echo "missing $PROFILE (build first)"; exit 1; }
 [ -x "$REPORT" ] || { echo "missing $REPORT (build first)"; exit 1; }
 [ -x "$LONGSEQ" ] || { echo "missing $LONGSEQ (build with SRNA_BUILD_BENCH=ON)"; exit 1; }
+[ -x "$DISTBENCH" ] || { echo "missing $DISTBENCH (build first)"; exit 1; }
 [ -f "$BASELINE" ] || { echo "missing committed baseline $BASELINE"; exit 1; }
 [ -f "$PROFILE_BASELINE" ] || { echo "missing committed baseline $PROFILE_BASELINE"; exit 1; }
 [ -f "$LONGSEQ_BASELINE" ] || { echo "missing committed baseline $LONGSEQ_BASELINE"; exit 1; }
+[ -f "$DIST_BASELINE" ] || { echo "missing committed baseline $DIST_BASELINE"; exit 1; }
 
 # Same workload as the committed baseline (its command_line field).
 "$LOADGEN" --requests=2000 --concurrency=8 --length=120 --structures=32 \
@@ -58,5 +63,16 @@ LONGSEQ_FRESH="$BUILD_DIR/BENCH_longseq_memory_fresh.json"
 
 "$REPORT" --baseline="$LONGSEQ_BASELINE" --fresh="$LONGSEQ_FRESH" --threshold=0.25 \
   --output="$BUILD_DIR/longseq_memory_comparison.json"
+
+# Distributed serving scaling: same 1/2/4-shard closed-loop sweep as the
+# committed baseline (real supervised srna-serve processes, so this one is
+# the most machine-sensitive of the four). The speedup gate is absolute —
+# router over 2 shards must aggregate enough cache capacity to beat one
+# direct process by 1.6x — and the trajectory check keeps throughput and
+# tail latency per instance within the usual 25% slack.
+"$DISTBENCH" --require-speedup=2:1.6 --output="$DIST_FRESH"
+
+"$REPORT" --baseline="$DIST_BASELINE" --fresh="$DIST_FRESH" --threshold=0.25 \
+  --output="$BUILD_DIR/serving_distributed_comparison.json"
 
 echo "bench-report: within threshold of the committed trajectory"

@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Distributed-serving failover drill (docs/SERVING.md "Distributed topology").
+#
+# Brings up srna-router with two supervised srna-serve shards, drives a
+# closed-loop workload through the router with srna-loadgen, SIGKILLs one
+# shard mid-run, and requires:
+#
+#   1. zero lost responses — every accepted request gets exactly one reply
+#      (failed dispatches re-route to the replica or come back as retryable
+#      rejections, which the load generator counts as delivered);
+#   2. the supervisor restarts the killed shard on its original port.
+#
+# Wired as the `distributed_smoke` ctest (label: dist); also runnable by hand.
+#
+# Usage: scripts/check_distributed.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+ROUTER="$BUILD_DIR/tools/srna-router"
+LOADGEN="$BUILD_DIR/tools/srna-loadgen"
+SERVE="$BUILD_DIR/tools/srna-serve"
+
+[ -x "$ROUTER" ] || { echo "missing $ROUTER (build first)"; exit 1; }
+[ -x "$LOADGEN" ] || { echo "missing $LOADGEN (build first)"; exit 1; }
+[ -x "$SERVE" ] || { echo "missing $SERVE (build first)"; exit 1; }
+
+WORK="$(mktemp -d)"
+STATUS="$WORK/topology.json"
+ROUTER_PID=""
+cleanup() {
+  if [ -n "$ROUTER_PID" ] && kill -0 "$ROUTER_PID" 2>/dev/null; then
+    kill -TERM "$ROUTER_PID" 2>/dev/null || true
+    wait "$ROUTER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Ephemeral ports everywhere; the status file carries the resolved topology.
+"$ROUTER" --port=0 --admin-port=0 --spawn-shards=2 --serve-bin="$SERVE" \
+  --status-file="$STATUS" --probe-interval-ms=50 --log-level=warn \
+  --shard-arg=--log-level=off >"$WORK/router.log" 2>&1 &
+ROUTER_PID=$!
+
+# The router writes the status file only once both shards passed /readyz.
+for _ in $(seq 1 120); do
+  [ -s "$STATUS" ] && break
+  if ! kill -0 "$ROUTER_PID" 2>/dev/null; then
+    echo "FAIL: router exited before becoming ready"; cat "$WORK/router.log"; exit 1
+  fi
+  sleep 0.25
+done
+[ -s "$STATUS" ] || { echo "FAIL: router never became ready"; cat "$WORK/router.log"; exit 1; }
+
+PORT=$(python3 -c "import json,sys; print(json.load(open(sys.argv[1]))['router']['port'])" "$STATUS")
+SHARD0_PID=$(python3 -c "import json,sys; print(json.load(open(sys.argv[1]))['shards'][0]['pid'])" "$STATUS")
+SHARD0_DATA=$(python3 -c "import json,sys; print(json.load(open(sys.argv[1]))['shards'][0]['data'])" "$STATUS")
+echo "router on 127.0.0.1:$PORT, shard0 pid $SHARD0_PID at $SHARD0_DATA"
+
+# Big enough that the kill below always lands mid-run (hundreds of
+# multi-millisecond solves), small enough to stay a smoke test.
+"$LOADGEN" --requests=500 --concurrency=4 --length=400 --structures=64 \
+  --seed=7 --connect="127.0.0.1:$PORT" --output="$WORK/report.json" \
+  >"$WORK/loadgen.log" 2>&1 &
+LOAD_PID=$!
+
+sleep 0.4
+kill -0 "$LOAD_PID" 2>/dev/null || { echo "FAIL: load finished before the kill — not a failover drill"; exit 1; }
+echo "SIGKILL shard0 (pid $SHARD0_PID) mid-run"
+kill -KILL "$SHARD0_PID"
+
+# srna-loadgen exits non-zero when any issued request went unanswered.
+if ! wait "$LOAD_PID"; then
+  echo "FAIL: lost responses across the shard kill"
+  cat "$WORK/loadgen.log"
+  exit 1
+fi
+[ -s "$WORK/report.json" ] || { echo "FAIL: loadgen wrote no report"; exit 1; }
+
+# The supervisor must bring the killed shard back on its original port.
+python3 - "$SHARD0_DATA" <<'EOF'
+import socket, sys, time
+host, port = sys.argv[1].rsplit(":", 1)
+deadline = time.time() + 20
+while time.time() < deadline:
+    try:
+        socket.create_connection((host, int(port)), timeout=0.5).close()
+        sys.exit(0)
+    except OSError:
+        time.sleep(0.25)
+print("FAIL: killed shard never came back on", sys.argv[1])
+sys.exit(1)
+EOF
+
+tail -2 "$WORK/loadgen.log" || true
+echo "distributed smoke: failover drill passed (zero lost responses, shard restarted)"

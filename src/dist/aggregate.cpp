@@ -1,0 +1,301 @@
+#include "dist/aggregate.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string_view>
+#include <unordered_map>
+
+namespace srna::dist {
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+struct Sample {
+  std::string suffix;  // "", "_bucket", "_sum", "_count"
+  std::string labels;  // raw text inside {}, "" when unlabelled
+  double value = 0;
+};
+
+struct Family {
+  std::string type = "untyped";
+  // samples[i] belongs to shards[i]; indices align with the input vector.
+  std::vector<std::vector<Sample>> samples;
+};
+
+// Pulls `le="x"` / `quantile="x"` out of a raw label string.
+std::string label_value(const std::string& labels, std::string_view key) {
+  const std::string needle = std::string(key) + "=\"";
+  const std::size_t at = labels.find(needle);
+  if (at == std::string::npos) return {};
+  const std::size_t start = at + needle.size();
+  const std::size_t end = labels.find('"', start);
+  if (end == std::string::npos) return {};
+  return labels.substr(start, end - start);
+}
+
+// One exposition text into (family -> samples), registering family order and
+// types as they first appear.
+void parse_exposition(const std::string& text, std::size_t shard_index,
+                      std::size_t shard_count, std::vector<std::string>& order,
+                      std::unordered_map<std::string, Family>& families) {
+  const auto family_of = [&](const std::string& series,
+                             std::string& suffix) -> std::string {
+    if (families.count(series) != 0) {
+      suffix.clear();
+      return series;
+    }
+    for (const std::string_view candidate : {"_bucket", "_sum", "_count"}) {
+      if (series.size() > candidate.size() &&
+          series.compare(series.size() - candidate.size(), candidate.size(),
+                         candidate) == 0) {
+        const std::string base = series.substr(0, series.size() - candidate.size());
+        if (families.count(base) != 0) {
+          suffix = std::string(candidate);
+          return base;
+        }
+      }
+    }
+    suffix.clear();
+    return series;  // sample without a TYPE line: treated as its own family
+  };
+
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string_view line = std::string_view(text).substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+
+    if (line[0] == '#') {
+      // "# TYPE <name> <type>"
+      if (line.rfind("# TYPE ", 0) != 0) continue;
+      const std::string_view rest = line.substr(7);
+      const std::size_t space = rest.find(' ');
+      if (space == std::string_view::npos) continue;
+      const std::string name(rest.substr(0, space));
+      auto [it, inserted] = families.emplace(name, Family{});
+      if (inserted) {
+        it->second.type = std::string(rest.substr(space + 1));
+        it->second.samples.resize(shard_count);
+        order.push_back(name);
+      }
+      continue;
+    }
+
+    // "<series>[{labels}] <value>"
+    const std::size_t value_at = line.rfind(' ');
+    if (value_at == std::string_view::npos) continue;
+    char* parsed_end = nullptr;
+    const std::string value_text(line.substr(value_at + 1));
+    const double value = std::strtod(value_text.c_str(), &parsed_end);
+    if (parsed_end == value_text.c_str()) continue;
+
+    std::string series(line.substr(0, value_at));
+    std::string labels;
+    if (const std::size_t brace = series.find('{'); brace != std::string::npos) {
+      const std::size_t close = series.rfind('}');
+      if (close == std::string::npos || close < brace) continue;
+      labels = series.substr(brace + 1, close - brace - 1);
+      series.resize(brace);
+    }
+
+    std::string suffix;
+    const std::string name = family_of(series, suffix);
+    auto [it, inserted] = families.emplace(name, Family{});
+    if (inserted) {
+      it->second.samples.resize(shard_count);
+      order.push_back(name);
+    }
+    it->second.samples[shard_index].push_back(Sample{suffix, labels, value});
+  }
+}
+
+void merge_counter(std::string& out, const std::string& name, const Family& family) {
+  double total = 0;
+  for (const auto& shard : family.samples)
+    for (const Sample& s : shard)
+      if (s.suffix.empty()) total += s.value;
+  out += "# TYPE " + name + " counter\n";
+  out += name + " " + fmt(total) + "\n";
+}
+
+void merge_gauge(std::string& out, const std::string& name, const Family& family,
+                 const std::vector<ShardText>& shards) {
+  out += "# TYPE " + name + " gauge\n";
+  for (std::size_t i = 0; i < family.samples.size(); ++i)
+    for (const Sample& s : family.samples[i])
+      if (s.suffix.empty())
+        out += name + "{shard=\"" + shards[i].first + "\"} " + fmt(s.value) + "\n";
+}
+
+void merge_histogram(std::string& out, const std::string& name, const Family& family) {
+  // Per shard: cumulative count at each emitted le, plus the shard total
+  // (+Inf). A bound the shard did not emit lies past its last occupied
+  // bucket, so its cumulative count there is the shard total.
+  struct PerShard {
+    std::map<double, double> le_to_value;
+    double total = 0, sum = 0, count = 0;
+  };
+  std::vector<PerShard> per_shard(family.samples.size());
+  std::vector<double> bounds;
+  for (std::size_t i = 0; i < family.samples.size(); ++i) {
+    for (const Sample& s : family.samples[i]) {
+      if (s.suffix == "_sum") {
+        per_shard[i].sum += s.value;
+      } else if (s.suffix == "_count") {
+        per_shard[i].count += s.value;
+      } else if (s.suffix == "_bucket") {
+        const std::string le = label_value(s.labels, "le");
+        if (le == "+Inf") {
+          per_shard[i].total = s.value;
+        } else {
+          const double bound = std::strtod(le.c_str(), nullptr);
+          per_shard[i].le_to_value[bound] = s.value;
+          bounds.push_back(bound);
+        }
+      }
+    }
+  }
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+
+  out += "# TYPE " + name + " histogram\n";
+  for (const double bound : bounds) {
+    double cumulative = 0;
+    for (const PerShard& shard : per_shard) {
+      const auto it = shard.le_to_value.find(bound);
+      cumulative += it != shard.le_to_value.end() ? it->second : shard.total;
+    }
+    out += name + "_bucket{le=\"" + fmt(bound) + "\"} " + fmt(cumulative) + "\n";
+  }
+  double total = 0, sum = 0, count = 0;
+  for (const PerShard& shard : per_shard) {
+    total += shard.total;
+    sum += shard.sum;
+    count += shard.count;
+  }
+  out += name + "_bucket{le=\"+Inf\"} " + fmt(total) + "\n";
+  out += name + "_sum " + fmt(sum) + "\n";
+  out += name + "_count " + fmt(count) + "\n";
+}
+
+void merge_summary(std::string& out, const std::string& name, const Family& family,
+                   const std::vector<ShardText>& shards) {
+  struct PerShard {
+    std::vector<std::pair<std::string, double>> quantiles;
+    double count = 0;
+  };
+  std::vector<PerShard> per_shard(family.samples.size());
+  std::vector<std::string> quantile_order;
+  for (std::size_t i = 0; i < family.samples.size(); ++i) {
+    for (const Sample& s : family.samples[i]) {
+      if (s.suffix == "_count") {
+        per_shard[i].count += s.value;
+      } else if (s.suffix.empty()) {
+        const std::string q = label_value(s.labels, "quantile");
+        if (q.empty()) continue;
+        per_shard[i].quantiles.emplace_back(q, s.value);
+        if (std::find(quantile_order.begin(), quantile_order.end(), q) ==
+            quantile_order.end())
+          quantile_order.push_back(q);
+      }
+    }
+  }
+
+  out += "# TYPE " + name + " summary\n";
+  // Count-weighted mean of the per-shard quantiles (approximate; the exact
+  // per-shard series follow, labelled).
+  double total_count = 0;
+  for (const PerShard& shard : per_shard) total_count += shard.count;
+  for (const std::string& q : quantile_order) {
+    double weighted = 0;
+    for (const PerShard& shard : per_shard) {
+      for (const auto& [sq, v] : shard.quantiles)
+        if (sq == q) weighted += v * shard.count;
+    }
+    const double merged = total_count > 0 ? weighted / total_count : 0;
+    out += name + "{quantile=\"" + q + "\"} " + fmt(merged) + "\n";
+  }
+  for (std::size_t i = 0; i < per_shard.size(); ++i) {
+    for (const auto& [q, v] : per_shard[i].quantiles)
+      out += name + "{shard=\"" + shards[i].first + "\",quantile=\"" + q + "\"} " +
+             fmt(v) + "\n";
+  }
+  out += name + "_count " + fmt(total_count) + "\n";
+}
+
+}  // namespace
+
+std::string merge_prometheus(const std::vector<ShardText>& shards) {
+  std::vector<std::string> order;
+  std::unordered_map<std::string, Family> families;
+  for (std::size_t i = 0; i < shards.size(); ++i)
+    parse_exposition(shards[i].second, i, shards.size(), order, families);
+
+  std::string out;
+  out.reserve(4096);
+  for (const std::string& name : order) {
+    const Family& family = families.at(name);
+    if (family.type == "counter") {
+      merge_counter(out, name, family);
+    } else if (family.type == "histogram") {
+      merge_histogram(out, name, family);
+    } else if (family.type == "summary") {
+      merge_summary(out, name, family, shards);
+    } else {
+      // Gauges and untyped samples: per-shard labels, never summed.
+      merge_gauge(out, name, family, shards);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Recursively sums `doc`'s numeric fields into `into` (objects recurse,
+// numbers add, everything else keeps the first shard's value).
+void sum_into(obs::Json& into, const obs::Json& doc) {
+  if (!doc.is_object()) return;
+  for (const auto& [key, value] : doc.members()) {
+    const obs::Json* existing = into.find(key);
+    if (value.is_object()) {
+      obs::Json merged = existing != nullptr && existing->is_object()
+                             ? *existing
+                             : obs::Json::object();
+      sum_into(merged, value);
+      into.set(key, std::move(merged));
+    } else if (value.is_number()) {
+      const double sum = (existing != nullptr ? existing->as_double() : 0.0) +
+                         value.as_double();
+      into.set(key, obs::Json(sum));
+    } else if (existing == nullptr) {
+      into.set(key, value);
+    }
+  }
+}
+
+}  // namespace
+
+obs::Json aggregate_statz(const std::vector<ShardJson>& shards) {
+  obs::Json doc = obs::Json::object();
+  doc.set("shards", obs::Json(static_cast<std::uint64_t>(shards.size())));
+
+  obs::Json totals = obs::Json::object();
+  for (const auto& [name, stats] : shards) sum_into(totals, stats);
+  doc.set("totals", std::move(totals));
+
+  obs::Json per_shard = obs::Json::object();
+  for (const auto& [name, stats] : shards) per_shard.set(name, stats);
+  doc.set("per_shard", std::move(per_shard));
+  return doc;
+}
+
+}  // namespace srna::dist

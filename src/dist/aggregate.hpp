@@ -1,0 +1,42 @@
+// Cross-shard admin aggregation: one /metrics and one /statz for the whole
+// topology, computed from per-shard scrapes.
+//
+// Merge semantics (the part worth writing down):
+//   counters     summed — a fleet-wide rate is the only useful reading.
+//   gauges       per-shard labelled (`srna_x{shard="s1"} v`) — summing a
+//                queue depth across shards hides exactly the imbalance an
+//                operator is looking for.
+//   histograms   cumulative `_bucket{le=...}` series summed bucket-by-bucket
+//                (all shards share the same bucket bound table; a bound a
+//                shard did not emit contributes its total — the exposition
+//                truncates trailing empty buckets), `_sum`/`_count` summed.
+//                This merge is exact.
+//   summaries    window quantiles cannot be merged exactly from quantiles
+//                alone; the aggregate reports the count-weighted mean of the
+//                per-shard quantiles (labelled per-shard series are also
+//                emitted, which are exact). `_count` is summed.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace srna::dist {
+
+// One shard's scrape: its name label plus the raw exposition text / statz doc.
+using ShardText = std::pair<std::string, std::string>;
+using ShardJson = std::pair<std::string, obs::Json>;
+
+// Merges Prometheus text expositions per the table above. Metrics keep their
+// first-seen order; unparseable lines are dropped (a half-written scrape
+// must not poison the aggregate).
+[[nodiscard]] std::string merge_prometheus(const std::vector<ShardText>& shards);
+
+// Aggregates per-shard stats_json() documents: a "totals" object sums every
+// numeric field the shard docs share (recursively — cache hit counts sum just
+// like response counts), and "per_shard" keeps each full doc for drill-down.
+[[nodiscard]] obs::Json aggregate_statz(const std::vector<ShardJson>& shards);
+
+}  // namespace srna::dist

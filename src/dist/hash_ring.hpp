@@ -1,0 +1,79 @@
+// Consistent hashing for the distributed serving tier.
+//
+// The router places every shard at `vnodes` pseudo-random points on a 64-bit
+// ring (FNV-1a over "name#i" — the same primitive the canonical structure
+// digests use — through a SplitMix64 finalizer, because raw FNV barely
+// stirs the high bits on near-identical short names). A request keys the
+// ring with its canonical structure-pair digest; the owner is the first
+// virtual node clockwise from the key, and the replicas are the next virtual
+// nodes that belong to *distinct* shards. Three properties carry the whole
+// design, and tests/dist/hash_ring_test.cpp pins each:
+//
+//   uniformity    with enough virtual nodes, every shard owns ~1/N of the
+//                 key space (the bench leans on this: N shards ≈ N result
+//                 caches' worth of distinct pairs).
+//   minimal       adding a shard only steals keys *to* the new shard
+//   disruption    (~K/N of them); removing one only re-homes the keys it
+//                 owned. Nothing else moves, so N-1 caches stay warm
+//                 through a topology change.
+//   determinism   owners(key) depends only on the member set — every
+//                 router instance, restart, and test run agrees.
+//
+// The ring is a value type; the router copies it under its own lock. Lookups
+// are a binary search over the sorted vnode table.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace srna::dist {
+
+class HashRing {
+ public:
+  // `vnodes` is per shard; 128 keeps the max/min shard load ratio tight
+  // (~1.3 at 16 shards) at a few KB of table.
+  explicit HashRing(int vnodes = 128);
+
+  // Adding an existing name or removing an absent one is a no-op.
+  void add_node(const std::string& name);
+  void remove_node(const std::string& name);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return names_.size(); }
+  [[nodiscard]] const std::vector<std::string>& nodes() const noexcept { return names_; }
+
+  // The owning shard for `key` (first vnode clockwise). Empty string on an
+  // empty ring.
+  [[nodiscard]] std::string owner(std::uint64_t key) const;
+
+  // The first min(n, node_count) distinct shards clockwise from `key`:
+  // owners(key, n)[0] is the owner, the rest are failover replicas in
+  // deterministic preference order.
+  [[nodiscard]] std::vector<std::string> owners(std::uint64_t key, std::size_t n) const;
+
+ private:
+  struct VNode {
+    std::uint64_t point;
+    std::uint32_t name_index;
+    bool operator<(const VNode& other) const noexcept { return point < other.point; }
+  };
+
+  void rebuild();
+
+  int vnodes_;
+  std::vector<std::string> names_;  // sorted member set (determinism)
+  std::vector<VNode> ring_;         // sorted by point
+};
+
+// The ring position of one virtual node: FNV-1a over "name#index", then a
+// SplitMix64 avalanche. Exposed so tests can pin the placement function
+// itself.
+[[nodiscard]] std::uint64_t ring_point(const std::string& name, int vnode_index);
+
+// FNV-1a over raw bytes — the router's fallback routing key for requests
+// whose structure pair cannot be resolved locally (db-name form, parse
+// errors): deterministic per request content, so retries land on the same
+// shard even when the canonical digest is unavailable.
+[[nodiscard]] std::uint64_t fnv1a_bytes(const std::string& data);
+
+}  // namespace srna::dist

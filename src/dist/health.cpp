@@ -1,0 +1,105 @@
+#include "dist/health.hpp"
+
+#include <chrono>
+
+namespace srna::dist {
+
+HealthProber::HealthProber(std::vector<ProbeTarget> targets, ProberConfig config,
+                           std::function<void(const std::string&, bool)> on_change)
+    : config_(config), on_change_(std::move(on_change)) {
+  states_.reserve(targets.size());
+  for (ProbeTarget& target : targets) {
+    auto state = std::make_unique<State>();
+    state->target = std::move(target);
+    states_.push_back(std::move(state));
+  }
+  thread_ = std::thread([this] { run(); });
+}
+
+HealthProber::~HealthProber() { stop(); }
+
+void HealthProber::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+bool HealthProber::ready(const std::string& name) const {
+  for (const auto& state : states_)
+    if (state->target.name == name) return state->ready.load(std::memory_order_relaxed);
+  return false;
+}
+
+std::size_t HealthProber::ready_count() const {
+  std::size_t count = 0;
+  for (const auto& state : states_)
+    if (state->ready.load(std::memory_order_relaxed)) ++count;
+  return count;
+}
+
+bool HealthProber::wait_all_ready(int timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    bool all = true;
+    for (const auto& state : states_) {
+      const bool probed_or_unprobeable =
+          state->target.admin.port == 0 || state->probed.load(std::memory_order_relaxed);
+      if (!probed_or_unprobeable || !state->ready.load(std::memory_order_relaxed))
+        all = false;
+    }
+    if (all) return true;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+obs::Json HealthProber::status_json() const {
+  obs::Json doc = obs::Json::object();
+  for (const auto& state : states_) {
+    obs::Json entry = obs::Json::object();
+    entry.set("ready", obs::Json(state->ready.load(std::memory_order_relaxed)));
+    entry.set("probes", obs::Json(state->probes.load(std::memory_order_relaxed)));
+    entry.set("consecutive_failures",
+              obs::Json(static_cast<std::int64_t>(
+                  state->failures.load(std::memory_order_relaxed))));
+    doc.set(state->target.name, std::move(entry));
+  }
+  return doc;
+}
+
+void HealthProber::run() {
+  for (;;) {
+    for (const auto& state : states_) {
+      if (state->target.admin.port == 0) continue;  // assumed ready
+      {
+        std::lock_guard lock(mutex_);
+        if (stopping_) return;
+      }
+      const bool ok =
+          http_get_body(state->target.admin, "/readyz", config_.timeout_ms).has_value();
+      state->probes.fetch_add(1, std::memory_order_relaxed);
+      state->probed.store(true, std::memory_order_relaxed);
+      if (ok) {
+        state->failures.store(0, std::memory_order_relaxed);
+        if (!state->ready.exchange(true, std::memory_order_relaxed) && on_change_)
+          on_change_(state->target.name, true);
+      } else {
+        const int failures = state->failures.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (failures >= config_.down_after &&
+            state->ready.exchange(false, std::memory_order_relaxed) && on_change_)
+          on_change_(state->target.name, false);
+      }
+    }
+    std::unique_lock lock(mutex_);
+    if (wake_.wait_for(lock, std::chrono::milliseconds(config_.interval_ms),
+                       [&] { return stopping_; }))
+      return;
+  }
+}
+
+}  // namespace srna::dist

@@ -1,0 +1,85 @@
+// Readiness probing for the router: one background thread polls every
+// shard's admin-plane /readyz and keeps a per-shard verdict the dispatch
+// path reads lock-free.
+//
+// /readyz (not /healthz) on purpose — a draining or still-warming shard is
+// alive but must not receive new requests; liveness is the supervisor's
+// concern, readiness is the router's. Verdicts flip pessimistically on
+// `down_after` consecutive probe failures (one slow scrape must not eject a
+// shard) and optimistically on a single success. Shards start out assumed
+// ready: the dispatch path discovers a dead shard on its own (connection
+// reset -> failover), so an optimistic start only costs one cheap retry,
+// while a pessimistic start would blackhole the warm-up window.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/net.hpp"
+#include "obs/json.hpp"
+
+namespace srna::dist {
+
+struct ProbeTarget {
+  std::string name;
+  Endpoint admin;  // port 0 = no admin plane; the shard is assumed ready
+};
+
+struct ProberConfig {
+  int interval_ms = 200;  // pause between full probe rounds
+  int timeout_ms = 500;   // per-probe connect/read budget
+  int down_after = 2;     // consecutive failures before a shard goes not-ready
+};
+
+class HealthProber {
+ public:
+  // `on_change(name, ready)` fires on every verdict flip, from the probe
+  // thread. Pass {} to skip notifications.
+  HealthProber(std::vector<ProbeTarget> targets, ProberConfig config,
+               std::function<void(const std::string&, bool)> on_change = {});
+  ~HealthProber();
+
+  HealthProber(const HealthProber&) = delete;
+  HealthProber& operator=(const HealthProber&) = delete;
+
+  // Current verdict (unknown names read as not ready).
+  [[nodiscard]] bool ready(const std::string& name) const;
+  [[nodiscard]] std::size_t ready_count() const;
+
+  // Blocks until every target is ready or the timeout passes. Probes run at
+  // their own cadence; this just watches the verdicts. Returns ready_count()
+  // == targets at return time.
+  bool wait_all_ready(int timeout_ms);
+
+  [[nodiscard]] obs::Json status_json() const;
+
+  void stop();  // joins the probe thread; idempotent
+
+ private:
+  struct State {
+    ProbeTarget target;
+    std::atomic<bool> ready{true};
+    std::atomic<int> failures{0};
+    std::atomic<std::uint64_t> probes{0};
+    std::atomic<bool> probed{false};  // at least one probe completed
+  };
+
+  void run();
+
+  ProberConfig config_;
+  std::function<void(const std::string&, bool)> on_change_;
+  std::vector<std::unique_ptr<State>> states_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace srna::dist

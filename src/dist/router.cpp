@@ -1,0 +1,484 @@
+#include "dist/router.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "dist/aggregate.hpp"
+#include "obs/exposition.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "rna/dot_bracket.hpp"
+#include "rna/structure_hash.hpp"
+#include "serve/protocol.hpp"
+
+namespace srna::dist {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+Router::Router(RouterConfig config)
+    : config_(std::move(config)), ring_(config_.vnodes) {
+  config_.replicas = std::max(1, config_.replicas);
+  config_.max_attempts = std::max(1, config_.max_attempts);
+
+  links_.reserve(config_.shards.size());
+  std::vector<ProbeTarget> targets;
+  targets.reserve(config_.shards.size());
+  for (std::size_t i = 0; i < config_.shards.size(); ++i) {
+    auto link = std::make_unique<Link>();
+    link->address = config_.shards[i];
+    link->index = i;
+    links_.push_back(std::move(link));
+    ring_.add_node(config_.shards[i].name);
+    targets.push_back(ProbeTarget{config_.shards[i].name, config_.shards[i].admin});
+  }
+  prober_ = std::make_unique<HealthProber>(std::move(targets), config_.probe);
+  maintenance_ = std::thread([this] { maintenance_loop(); });
+}
+
+Router::~Router() { stop(); }
+
+std::uint64_t Router::routing_key(const serve::ServeRequest& request,
+                                  bool* canonical) const {
+  if (canonical != nullptr) *canonical = false;
+  if (!request.by_name()) {
+    try {
+      const SecondaryStructure a = parse_dot_bracket(request.a);
+      const SecondaryStructure b = parse_dot_bracket(request.b);
+      if (canonical != nullptr) *canonical = true;
+      return hash_structure_pair(a, b);
+    } catch (const std::exception&) {
+      // Unparseable literals are still forwarded — the owning shard produces
+      // the same error bytes direct serving would. \x1f keeps ("ab","c")
+      // distinct from ("a","bc").
+      return fnv1a_bytes(request.a + '\x1f' + request.b);
+    }
+  }
+  // The router carries no structure database; deterministic content hashing
+  // still pins a name pair to one shard (and its cache entry).
+  return fnv1a_bytes(request.a_name + '\x1f' + request.b_name);
+}
+
+std::vector<std::string> Router::route_of(const std::string& line) const {
+  const serve::ServeRequest request = serve::parse_request(line);
+  return ring_.owners(routing_key(request), static_cast<std::size_t>(config_.replicas));
+}
+
+void Router::handle_line(const std::string& line,
+                         const serve::TcpServer::EmitLine& emit) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  obs::Registry::instance().counter("router.requests").add();
+
+  // In-band admin lines answer from the aggregated views, mirroring the
+  // single-process transports.
+  if (line.find("\"admin\"") != std::string::npos) {
+    if (const std::optional<obs::Json> doc = obs::Json::parse(line);
+        doc && doc->is_object()) {
+      if (const obs::Json* what = doc->find("admin");
+          what != nullptr && what->is_string()) {
+        emit(admin_in_band(what->as_string()).dump(0));
+        return;
+      }
+    }
+  }
+
+  serve::ServeRequest request;
+  try {
+    request = serve::parse_request(line);
+  } catch (const std::exception& e) {
+    // Same inline answer (and bytes) a shard's transport would produce.
+    serve::ServeResponse resp;
+    resp.status = serve::ResponseStatus::kError;
+    resp.error = e.what();
+    emit(resp.to_line());
+    responses_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  const std::uint64_t key = routing_key(request);
+  const std::vector<std::string> owners =
+      ring_.owners(key, static_cast<std::size_t>(config_.replicas));
+
+  Pending entry;
+  entry.candidates.reserve(owners.size());
+  for (const std::string& owner : owners) {
+    for (const auto& link : links_)
+      if (link->address.name == owner) entry.candidates.push_back(link->index);
+  }
+
+  std::optional<obs::Json> doc = obs::Json::parse(line);
+  if (!doc || !doc->is_object() || entry.candidates.empty()) {
+    serve::ServeResponse resp;
+    resp.id = request.id;
+    resp.status = serve::ResponseStatus::kRejected;
+    resp.retry_after_ms = config_.retry_after_ms;
+    resp.error = entry.candidates.empty() ? "no shards configured"
+                                          : "router could not parse request";
+    emit(resp.to_line());
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    responses_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  entry.doc = std::move(*doc);
+  entry.original_id = entry.doc.contains("id") ? *entry.doc.find("id")
+                                               : obs::Json(std::int64_t{0});
+  entry.emit = emit;
+  entry.attempts_left = config_.max_attempts;
+
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  entry.doc.set("id", obs::Json(id));
+  {
+    std::lock_guard lock(pending_mutex_);
+    pending_.emplace(id, std::move(entry));
+    obs::Registry::instance().gauge("router.pending").set(
+        static_cast<double>(pending_.size()));
+  }
+  dispatch(id);
+}
+
+void Router::dispatch(std::uint64_t id) {
+  for (;;) {
+    std::string line;
+    std::size_t target = static_cast<std::size_t>(-1);
+    std::optional<Pending> exhausted;
+    {
+      std::lock_guard lock(pending_mutex_);
+      const auto it = pending_.find(id);
+      if (it == pending_.end()) return;  // already answered (claimed)
+      Pending& entry = it->second;
+      if (entry.attempts_left <= 0) {
+        exhausted = std::move(entry);
+        pending_.erase(it);
+        obs::Registry::instance().gauge("router.pending").set(
+            static_cast<double>(pending_.size()));
+      } else {
+        entry.attempts_left -= 1;
+
+        // Next candidate, preferring probe-ready shards; with every replica
+        // un-ready, fall through optimistically — the send failure (or probe
+        // recovery) sorts it out, and a cold-starting fleet should not
+        // insta-reject.
+        const std::size_t n = entry.candidates.size();
+        std::size_t chosen = entry.candidates[entry.cursor % n];
+        for (std::size_t step = 0; step < n; ++step) {
+          const std::size_t candidate = entry.candidates[(entry.cursor + step) % n];
+          if (prober_->ready(links_[candidate]->address.name)) {
+            chosen = candidate;
+            entry.cursor += step;
+            break;
+          }
+        }
+        entry.cursor += 1;
+        entry.shard = chosen;
+        entry.deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                            std::chrono::duration<double, std::milli>(
+                                                config_.request_timeout_ms));
+        target = chosen;
+        line = entry.doc.dump(0);
+      }
+    }
+    if (exhausted) {
+      // Emitting to the client never happens under the map lock.
+      reject(id, std::move(*exhausted),
+             "no shard available (routing attempts exhausted)");
+      return;
+    }
+
+    Link& link = *links_[target];
+    if (send_to_link(link, line)) {
+      link.forwarded.fetch_add(1, std::memory_order_relaxed);
+      obs::Registry::instance().counter("router.forwarded").add();
+      return;
+    }
+    // Send failed: the shard is down right now. Loop — the cursor already
+    // advanced past it, so the next iteration tries the following replica
+    // (or exhausts the budget into an explicit rejection).
+    failovers_.fetch_add(1, std::memory_order_relaxed);
+    obs::Registry::instance().counter("router.failovers").add();
+  }
+}
+
+bool Router::send_to_link(Link& link, const std::string& line) {
+  std::lock_guard lock(link.mutex);
+  if (!link.connected) {
+    if (link.reader.joinable()) {
+      if (!link.reader_done.load(std::memory_order_acquire))
+        return false;  // previous reader still winding down; try a replica
+      link.reader.join();
+    }
+    if (link.fd >= 0) {
+      ::close(link.fd);
+      link.fd = -1;
+    }
+    const int fd = tcp_connect(link.address.data, config_.connect_timeout_ms);
+    if (fd < 0) return false;
+    link.fd = fd;
+    link.connected = true;
+    link.reader_done.store(false, std::memory_order_release);
+    link.reader = std::thread([this, &link] { read_loop(link); });
+  }
+  if (!send_all(link.fd, line + "\n")) {
+    mark_link_down(link);
+    return false;
+  }
+  return true;
+}
+
+void Router::mark_link_down(Link& link) {
+  // Caller holds link.mutex. shutdown() (not close()) wakes the reader and
+  // fails concurrent sends without racing fd reuse; the fd is recycled on
+  // the next reconnect attempt.
+  if (link.connected) {
+    link.connected = false;
+    if (link.fd >= 0) ::shutdown(link.fd, SHUT_RDWR);
+  }
+}
+
+void Router::read_loop(Link& link) {
+  const int fd = link.fd;  // stable for the life of this reader
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty()) handle_shard_response(link, line);
+    }
+    buffer.erase(0, start);
+  }
+  {
+    std::lock_guard lock(link.mutex);
+    mark_link_down(link);
+  }
+  link.reader_done.store(true, std::memory_order_release);
+  // The maintenance thread re-homes this link's in-flight requests; a reader
+  // must never dispatch (it could block on another link's write mutex while
+  // that link's owner is joining us).
+  {
+    std::lock_guard lock(events_mutex_);
+    if (!stopping_) down_events_.push_back(link.index);
+  }
+  events_wake_.notify_one();
+}
+
+void Router::handle_shard_response(Link& link, const std::string& line) {
+  const std::optional<obs::Json> doc = obs::Json::parse(line);
+  if (!doc || !doc->is_object()) return;
+  const obs::Json* id_field = doc->find("id");
+  if (id_field == nullptr) return;
+  const std::uint64_t id = id_field->as_uint();
+
+  Pending claimed;
+  {
+    std::lock_guard lock(pending_mutex_);
+    const auto it = pending_.find(id);
+    if (it == pending_.end()) {
+      // A late answer from a timed-out or failed-over attempt; the client
+      // already got (or will get) exactly one response from elsewhere.
+      late_drops_.fetch_add(1, std::memory_order_relaxed);
+      obs::Registry::instance().counter("router.late_drops").add();
+      return;
+    }
+    claimed = std::move(it->second);
+    pending_.erase(it);
+    obs::Registry::instance().gauge("router.pending").set(
+        static_cast<double>(pending_.size()));
+  }
+
+  // Swap the client's id back in. Shards serialize with the same writer, so
+  // this re-dump is byte-identical to the shard's line outside the id field.
+  obs::Json response = *doc;
+  response.set("id", claimed.original_id);
+  claimed.emit(response.dump(0));
+  link.answered.fetch_add(1, std::memory_order_relaxed);
+  responses_.fetch_add(1, std::memory_order_relaxed);
+  obs::Registry::instance().counter("router.responses").add();
+}
+
+void Router::reject(std::uint64_t id, Pending entry, const std::string& reason) {
+  (void)id;
+  serve::ServeResponse resp;
+  resp.id = entry.original_id.as_int();
+  resp.status = serve::ResponseStatus::kRejected;
+  resp.retry_after_ms = config_.retry_after_ms;
+  resp.error = reason;
+  entry.emit(resp.to_line());
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+  responses_.fetch_add(1, std::memory_order_relaxed);
+  obs::Registry::instance().counter("router.rejected").add();
+}
+
+void Router::maintenance_loop() {
+  for (;;) {
+    std::vector<std::size_t> downed;
+    {
+      std::unique_lock lock(events_mutex_);
+      events_wake_.wait_for(lock, std::chrono::milliseconds(50),
+                            [&] { return stopping_ || !down_events_.empty(); });
+      if (stopping_) return;
+      downed.assign(down_events_.begin(), down_events_.end());
+      down_events_.clear();
+    }
+
+    // Re-home everything in flight on a dead link, and everything whose
+    // per-attempt deadline passed (a hung-but-connected shard looks exactly
+    // like a slow one; the timeout is the only tell).
+    std::vector<std::uint64_t> redispatch;
+    const auto now = Clock::now();
+    {
+      std::lock_guard lock(pending_mutex_);
+      for (const auto& [id, entry] : pending_) {
+        const bool on_dead_link =
+            std::find(downed.begin(), downed.end(), entry.shard) != downed.end();
+        if (on_dead_link || now >= entry.deadline) redispatch.push_back(id);
+      }
+    }
+    for (const std::uint64_t id : redispatch) {
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
+      failovers_.fetch_add(1, std::memory_order_relaxed);
+      obs::Registry::instance().counter("router.failovers").add();
+      dispatch(id);
+    }
+  }
+}
+
+void Router::stop() {
+  {
+    std::lock_guard lock(events_mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  events_wake_.notify_all();
+  if (maintenance_.joinable()) maintenance_.join();
+  prober_->stop();
+
+  for (const auto& link : links_) {
+    {
+      std::lock_guard lock(link->mutex);
+      mark_link_down(*link);
+    }
+    if (link->reader.joinable()) link->reader.join();
+    std::lock_guard lock(link->mutex);
+    if (link->fd >= 0) {
+      ::close(link->fd);
+      link->fd = -1;
+    }
+  }
+
+  // Nobody is left to answer; reject the stragglers so no client hangs.
+  std::unordered_map<std::uint64_t, Pending> leftover;
+  {
+    std::lock_guard lock(pending_mutex_);
+    leftover.swap(pending_);
+  }
+  for (auto& [id, entry] : leftover)
+    reject(id, std::move(entry), "router shutting down");
+}
+
+obs::Json Router::admin_in_band(std::string_view what) {
+  obs::Json doc = obs::Json::object();
+  doc.set("admin", obs::Json(std::string(what)));
+  if (what == "metrics") {
+    doc.set("body", obs::Json(merged_metrics()));
+  } else if (what == "healthz") {
+    doc.set("status", obs::Json("ok"));
+    doc.set("healthy", obs::Json(true));
+  } else if (what == "readyz") {
+    const bool ready = prober_->ready_count() > 0;
+    doc.set("status", obs::Json(ready ? "ok" : "no shard ready"));
+    doc.set("ready", obs::Json(ready));
+  } else if (what == "statz") {
+    doc.set("stats", stats_json());
+  } else {
+    doc.set("error",
+            obs::Json("unknown admin command (metrics | healthz | readyz | statz)"));
+  }
+  return doc;
+}
+
+std::string Router::merged_metrics() {
+  std::vector<ShardText> scrapes;
+  for (const auto& link : links_) {
+    if (link->address.admin.port == 0) continue;
+    if (std::optional<std::string> body =
+            http_get_body(link->address.admin, "/metrics", config_.connect_timeout_ms))
+      scrapes.emplace_back(link->address.name, std::move(*body));
+  }
+  // Router-local metrics first (router.* counters, plus whatever else this
+  // process records), then the cross-shard merge.
+  return obs::render_prometheus() + merge_prometheus(scrapes);
+}
+
+obs::Json Router::aggregated_statz() {
+  std::vector<ShardJson> stats;
+  for (const auto& link : links_) {
+    if (link->address.admin.port == 0) continue;
+    if (const std::optional<std::string> body = http_get_body(
+            link->address.admin, "/statz", config_.connect_timeout_ms)) {
+      if (std::optional<obs::Json> doc = obs::Json::parse(*body))
+        stats.emplace_back(link->address.name, std::move(*doc));
+    }
+  }
+  return aggregate_statz(stats);
+}
+
+obs::Json Router::stats_json() {
+  obs::Json doc = obs::Json::object();
+  obs::Json router = obs::Json::object();
+  router.set("shards", obs::Json(static_cast<std::uint64_t>(links_.size())));
+  router.set("requests", obs::Json(requests_.load(std::memory_order_relaxed)));
+  router.set("responses", obs::Json(responses_.load(std::memory_order_relaxed)));
+  router.set("failovers", obs::Json(failovers_.load(std::memory_order_relaxed)));
+  router.set("rejected", obs::Json(rejected_.load(std::memory_order_relaxed)));
+  router.set("late_drops", obs::Json(late_drops_.load(std::memory_order_relaxed)));
+  router.set("attempt_timeouts", obs::Json(timeouts_.load(std::memory_order_relaxed)));
+  {
+    std::lock_guard lock(pending_mutex_);
+    router.set("pending", obs::Json(static_cast<std::uint64_t>(pending_.size())));
+  }
+  obs::Json per_link = obs::Json::object();
+  for (const auto& link : links_) {
+    obs::Json entry = obs::Json::object();
+    {
+      std::lock_guard lock(link->mutex);
+      entry.set("connected", obs::Json(link->connected));
+    }
+    entry.set("ready", obs::Json(prober_->ready(link->address.name)));
+    entry.set("forwarded", obs::Json(link->forwarded.load(std::memory_order_relaxed)));
+    entry.set("answered", obs::Json(link->answered.load(std::memory_order_relaxed)));
+    per_link.set(link->address.name, std::move(entry));
+  }
+  router.set("links", std::move(per_link));
+  router.set("probes", prober_->status_json());
+  doc.set("router", std::move(router));
+  doc.set("fleet", aggregated_statz());
+  return doc;
+}
+
+serve::HttpReply Router::admin_http(const std::string& path) {
+  if (path == "/metrics")
+    return serve::HttpReply{200, "text/plain; version=0.0.4", merged_metrics()};
+  if (path == "/healthz") return serve::HttpReply{200, "text/plain", "ok\n"};
+  if (path == "/readyz") {
+    const bool ready = prober_->ready_count() > 0;
+    return serve::HttpReply{ready ? 200 : 503, "text/plain",
+                            ready ? "ok\n" : "no shard ready\n"};
+  }
+  if (path == "/statz")
+    return serve::HttpReply{200, "application/json", stats_json().dump(2) + "\n"};
+  return serve::HttpReply{404, "text/plain",
+                          "routes: /metrics /healthz /readyz /statz\n"};
+}
+
+}  // namespace srna::dist

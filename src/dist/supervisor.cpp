@@ -1,0 +1,199 @@
+#include "dist/supervisor.hpp"
+
+#include <signal.h>
+#include <sys/prctl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "obs/log.hpp"
+
+namespace srna::dist {
+
+Supervisor::Supervisor(SupervisorConfig config) : config_(config) {
+  monitor_ = std::thread([this] { monitor_loop(); });
+}
+
+Supervisor::~Supervisor() { stop_all(); }
+
+pid_t Supervisor::spawn(const ProcessSpec& spec) {
+  const pid_t child = ::fork();
+  if (child < 0) return -1;
+  if (child == 0) {
+    // If the supervisor dies, take the shard with it — no orphan may keep
+    // squatting on the port a restart would need.
+    ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+    std::vector<char*> argv;
+    argv.reserve(spec.args.size() + 2);
+    argv.push_back(const_cast<char*>(spec.binary.c_str()));
+    for (const std::string& arg : spec.args) argv.push_back(const_cast<char*>(arg.c_str()));
+    argv.push_back(nullptr);
+    ::execvp(spec.binary.c_str(), argv.data());
+    _exit(127);  // exec failed; the monitor sees an immediate exit
+  }
+  return child;
+}
+
+pid_t Supervisor::start(const ProcessSpec& spec) {
+  std::lock_guard lock(mutex_);
+  for (const Child& child : children_)
+    if (child.spec.name == spec.name)
+      throw std::invalid_argument("duplicate supervised process name: " + spec.name);
+  Child child;
+  child.spec = spec;
+  child.pid = spawn(spec);
+  child.running = child.pid > 0;
+  if (child.running)
+    obs::log_info("dist.spawn",
+                  obs::log_fields({{"name", obs::Json(spec.name)},
+                                   {"pid", obs::Json(static_cast<std::int64_t>(child.pid))}}));
+  const pid_t pid = child.pid;
+  children_.push_back(std::move(child));
+  return pid;
+}
+
+bool Supervisor::stop(const std::string& name) {
+  pid_t pid = -1;
+  {
+    std::lock_guard lock(mutex_);
+    bool found = false;
+    for (Child& child : children_) {
+      if (child.spec.name != name) continue;
+      found = true;
+      child.stop_requested = true;
+      if (child.running) pid = child.pid;
+    }
+    if (!found) return false;
+  }
+  if (pid <= 0) return true;  // already down; stop_requested blocks restarts
+
+  ::kill(pid, SIGTERM);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(config_.stop_grace_ms);
+  for (;;) {
+    int status = 0;
+    const pid_t reaped = ::waitpid(pid, &status, WNOHANG);
+    if (reaped == pid || (reaped < 0 && errno == ECHILD)) break;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, &status, 0);
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  std::lock_guard lock(mutex_);
+  for (Child& child : children_) {
+    if (child.spec.name == name && child.pid == pid) child.running = false;
+  }
+  return true;
+}
+
+void Supervisor::stop_all() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+    for (Child& child : children_) {
+      child.stop_requested = true;
+      if (child.running && child.pid > 0) ::kill(child.pid, SIGTERM);
+    }
+  }
+  if (monitor_.joinable()) monitor_.join();
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(config_.stop_grace_ms);
+  std::lock_guard lock(mutex_);
+  for (Child& child : children_) {
+    if (!child.running || child.pid <= 0) continue;
+    for (;;) {
+      int status = 0;
+      const pid_t reaped = ::waitpid(child.pid, &status, WNOHANG);
+      if (reaped == child.pid || (reaped < 0 && errno == ECHILD)) break;
+      if (std::chrono::steady_clock::now() >= deadline) {
+        ::kill(child.pid, SIGKILL);
+        ::waitpid(child.pid, &status, 0);
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    child.running = false;
+  }
+}
+
+void Supervisor::monitor_loop() {
+  for (;;) {
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_) return;
+      const auto now = std::chrono::steady_clock::now();
+      for (Child& child : children_) {
+        if (child.running && child.pid > 0) {
+          int status = 0;
+          const pid_t reaped = ::waitpid(child.pid, &status, WNOHANG);
+          if (reaped == child.pid) {
+            child.running = false;
+            obs::log_warn(
+                "dist.child_exit",
+                obs::log_fields(
+                    {{"name", obs::Json(child.spec.name)},
+                     {"pid", obs::Json(static_cast<std::int64_t>(child.pid))},
+                     {"status", obs::Json(static_cast<std::int64_t>(status))}}));
+            child.restart_at =
+                now + std::chrono::milliseconds(config_.restart_backoff_ms);
+          }
+        } else if (!child.running && config_.restart && !child.stop_requested &&
+                   now >= child.restart_at) {
+          child.pid = spawn(child.spec);
+          if (child.pid > 0) {
+            child.running = true;
+            ++child.restarts;
+            obs::log_info(
+                "dist.restart",
+                obs::log_fields(
+                    {{"name", obs::Json(child.spec.name)},
+                     {"pid", obs::Json(static_cast<std::int64_t>(child.pid))},
+                     {"restarts", obs::Json(child.restarts)}}));
+          } else {
+            child.restart_at =
+                now + std::chrono::milliseconds(config_.restart_backoff_ms);
+          }
+        }
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(config_.poll_interval_ms));
+  }
+}
+
+pid_t Supervisor::pid(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  for (const Child& child : children_)
+    if (child.spec.name == name) return child.running ? child.pid : -1;
+  return -1;
+}
+
+bool Supervisor::running(const std::string& name) const { return pid(name) > 0; }
+
+std::uint64_t Supervisor::restarts(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  for (const Child& child : children_)
+    if (child.spec.name == name) return child.restarts;
+  return 0;
+}
+
+obs::Json Supervisor::status_json() const {
+  std::lock_guard lock(mutex_);
+  obs::Json doc = obs::Json::object();
+  for (const Child& child : children_) {
+    obs::Json entry = obs::Json::object();
+    entry.set("pid", obs::Json(static_cast<std::int64_t>(child.running ? child.pid : -1)));
+    entry.set("running", obs::Json(child.running));
+    entry.set("restarts", obs::Json(child.restarts));
+    doc.set(child.spec.name, std::move(entry));
+  }
+  return doc;
+}
+
+}  // namespace srna::dist

@@ -1,0 +1,89 @@
+// Shard process supervision: fork/exec srna-serve-style children, watch
+// their pids, restart crashed ones with backoff, and tear everything down
+// politely (SIGTERM, grace, SIGKILL).
+//
+// Children get PR_SET_PDEATHSIG(SIGKILL): if the supervisor itself dies, no
+// orphan shard keeps squatting on its port. The monitor polls per-pid
+// waitpid(WNOHANG) rather than reaping -1 — tests and the router embed a
+// Supervisor inside processes that own other children.
+//
+// A restart is a fresh exec of the same spec: the replacement shard comes up
+// with a cold result cache and empty ledger, re-announces readiness through
+// its admin plane, and the router's prober folds it back in. Nothing is
+// migrated — correctness comes from the router's exactly-one-response
+// bookkeeping, not from process state surviving.
+#pragma once
+
+#include <sys/types.h>
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace srna::dist {
+
+struct ProcessSpec {
+  std::string name;                // unique within this supervisor
+  std::string binary;              // path to the executable
+  std::vector<std::string> args;   // argv[1..]
+};
+
+struct SupervisorConfig {
+  bool restart = true;         // restart children that exit uncommanded
+  int poll_interval_ms = 50;   // pid poll cadence
+  int restart_backoff_ms = 200;
+  int stop_grace_ms = 2000;    // SIGTERM -> SIGKILL window
+};
+
+class Supervisor {
+ public:
+  explicit Supervisor(SupervisorConfig config = {});
+  ~Supervisor();  // stop_all()
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  // Spawns and begins monitoring. Returns the child pid, or -1 when the
+  // fork failed (exec failure surfaces as an immediate exit + restart
+  // attempts, like any crash). Duplicate names throw std::invalid_argument.
+  pid_t start(const ProcessSpec& spec);
+
+  // Commanded stop of one child (no restart). Returns false for unknown
+  // names. Blocks until the child is reaped.
+  bool stop(const std::string& name);
+
+  // SIGTERM everyone, wait up to stop_grace_ms, SIGKILL stragglers, join the
+  // monitor. Idempotent.
+  void stop_all();
+
+  [[nodiscard]] pid_t pid(const std::string& name) const;
+  [[nodiscard]] bool running(const std::string& name) const;
+  [[nodiscard]] std::uint64_t restarts(const std::string& name) const;
+  [[nodiscard]] obs::Json status_json() const;
+
+ private:
+  struct Child {
+    ProcessSpec spec;
+    pid_t pid = -1;
+    bool running = false;
+    bool stop_requested = false;
+    std::uint64_t restarts = 0;
+    std::chrono::steady_clock::time_point restart_at{};  // backoff gate
+  };
+
+  void monitor_loop();
+  static pid_t spawn(const ProcessSpec& spec);
+
+  SupervisorConfig config_;
+  mutable std::mutex mutex_;  // guards children_ / stopping_
+  std::vector<Child> children_;
+  bool stopping_ = false;
+  std::thread monitor_;
+};
+
+}  // namespace srna::dist

@@ -23,7 +23,7 @@ bool ends_with(std::string_view key, std::string_view suffix) {
 constexpr std::string_view kIdentityFields[] = {
     "instance", "schedule", "layout",     "algorithm", "backend", "length",
     "arcs",     "pairs",    "processors", "threads",   "workers", "seed",
-    "n",        "window",
+    "n",        "window",   "shards",
 };
 
 bool is_identity_field(std::string_view name) {
@@ -94,8 +94,14 @@ std::vector<BenchValue> flatten_report_metrics(const Json& report) {
   if (!report.is_object()) return out;
   if (const Json* results = report.find("results"); results != nullptr && results->is_object()) {
     for (const auto& [name, value] : results->members()) {
-      if (!value.is_number()) continue;
-      out.push_back(BenchValue{"results." + name, value.as_double()});
+      if (value.is_number()) {
+        out.push_back(BenchValue{"results." + name, value.as_double()});
+      } else if (value.is_array()) {
+        // Row tables nested under results (e.g. the distributed serving
+        // bench's per-instance sweep) pair up by identity like top-level
+        // `rows` do.
+        flatten_rows(value, "results." + name, out);
+      }
     }
   }
   if (const Json* rows = report.find("rows"); rows != nullptr && rows->is_array())

@@ -25,6 +25,20 @@ std::uint64_t hash_structure_pair(const SecondaryStructure& a, const SecondarySt
   return h;
 }
 
+std::string digest_hex(std::uint64_t digest) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[digest & 0xfULL];
+    digest >>= 4;
+  }
+  return out;
+}
+
+std::string pair_digest_hex(const SecondaryStructure& a, const SecondaryStructure& b) {
+  return digest_hex(hash_structure_pair(a, b));
+}
+
 bool StructureEq::same_structure(const SecondaryStructure& a,
                                  const SecondaryStructure& b) noexcept {
   return a.length() == b.length() && a.arcs_by_right() == b.arcs_by_right();

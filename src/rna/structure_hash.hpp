@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "rna/secondary_structure.hpp"
 
@@ -54,6 +55,19 @@ inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
 [[nodiscard]] std::uint64_t hash_structure_pair(const SecondaryStructure& a,
                                                 const SecondaryStructure& b,
                                                 std::uint64_t seed = 0) noexcept;
+
+// Stable wire rendering of a digest: exactly 16 lowercase hex digits,
+// zero-padded, no prefix. This is the form serve responses echo as "digest"
+// and the distributed router keys its hash ring on — keep it byte-stable
+// across versions, it is part of the wire protocol.
+[[nodiscard]] std::string digest_hex(std::uint64_t digest);
+
+// The canonical structure-pair digest in wire form: hash_structure_pair(a, b)
+// with no caller seed. Routing and response auditing use this (the result
+// cache additionally folds the solver-config fingerprint into its key, so a
+// cache key is strictly finer than this digest).
+[[nodiscard]] std::string pair_digest_hex(const SecondaryStructure& a,
+                                          const SecondaryStructure& b);
 
 // Functors for unordered containers keyed by structures.
 struct StructureHash {

@@ -18,12 +18,23 @@
 namespace srna::serve {
 
 std::string healthz_body(const QueryService& service) {
-  if (service.draining()) return "draining";
-  if (service.queue_depth() >= service.config().queue_capacity) return "overloaded";
+  // Liveness is the process answering at all; the service merely existing is
+  // the whole test. Draining/overload are readiness concerns (/readyz) — a
+  // restart-on-failure supervisor must not kill a draining process.
+  (void)service;
   return "ok";
 }
 
 bool healthy(const QueryService& service) { return healthz_body(service) == "ok"; }
+
+std::string readyz_body(const QueryService& service) {
+  if (service.draining()) return "draining";
+  if (!service.ready()) return "starting";
+  if (service.queue_depth() >= service.config().queue_capacity) return "overloaded";
+  return "ok";
+}
+
+bool ready(const QueryService& service) { return readyz_body(service) == "ok"; }
 
 obs::Json admin_json(const QueryService& service, std::string_view what) {
   obs::Json doc = obs::Json::object();
@@ -37,10 +48,14 @@ obs::Json admin_json(const QueryService& service, std::string_view what) {
   } else if (what == "healthz") {
     doc.set("status", obs::Json(healthz_body(service)));
     doc.set("healthy", obs::Json(healthy(service)));
+  } else if (what == "readyz") {
+    doc.set("status", obs::Json(readyz_body(service)));
+    doc.set("ready", obs::Json(ready(service)));
   } else if (what == "statz") {
     doc.set("stats", service.stats_json());
   } else {
-    doc.set("error", obs::Json("unknown admin command (metrics | healthz | statz)"));
+    doc.set("error",
+            obs::Json("unknown admin command (metrics | healthz | readyz | statz)"));
   }
   return doc;
 }
@@ -73,11 +88,36 @@ void send_all(int fd, const std::string& data) {
   }
 }
 
+// The standard single-process admin routes, as a pluggable handler.
+HttpReply service_routes(const QueryService& service, const std::string& path) {
+  if (path == "/metrics") {
+    obs::update_memory_gauges();
+    obs::publish_counter_availability();
+    return HttpReply{200, "text/plain; version=0.0.4", obs::render_prometheus()};
+  }
+  if (path == "/healthz") {
+    const std::string body = healthz_body(service);
+    return HttpReply{body == "ok" ? 200 : 503, "text/plain", body + "\n"};
+  }
+  if (path == "/readyz") {
+    const std::string body = readyz_body(service);
+    return HttpReply{body == "ok" ? 200 : 503, "text/plain", body + "\n"};
+  }
+  if (path == "/statz")
+    return HttpReply{200, "application/json", service.stats_json().dump(2) + "\n"};
+  return HttpReply{404, "text/plain", "routes: /metrics /healthz /readyz /statz\n"};
+}
+
 }  // namespace
 
 AdminServer::AdminServer(const QueryService& service, const std::string& host,
                          std::uint16_t port)
-    : service_(service) {
+    : AdminServer(
+          [&service](const std::string& path) { return service_routes(service, path); },
+          host, port) {}
+
+AdminServer::AdminServer(HttpHandler handler, const std::string& host, std::uint16_t port)
+    : handler_(std::move(handler)) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw std::runtime_error("admin: socket() failed");
 
@@ -169,24 +209,16 @@ void AdminServer::handle_connection(int fd) {
     send_all(fd, http_response(405, "Method Not Allowed", "text/plain", "GET only\n"));
     return;
   }
-  if (path == "/metrics") {
-    obs::update_memory_gauges();
-    obs::publish_counter_availability();
-    send_all(fd, http_response(200, "OK", "text/plain; version=0.0.4",
-                               obs::render_prometheus()));
-  } else if (path == "/healthz") {
-    const std::string body = healthz_body(service_);
-    if (body == "ok")
-      send_all(fd, http_response(200, "OK", "text/plain", body + "\n"));
-    else
-      send_all(fd, http_response(503, "Service Unavailable", "text/plain", body + "\n"));
-  } else if (path == "/statz") {
-    send_all(fd, http_response(200, "OK", "application/json",
-                               service_.stats_json().dump(2) + "\n"));
-  } else {
-    send_all(fd, http_response(404, "Not Found", "text/plain",
-                               "routes: /metrics /healthz /statz\n"));
+  const HttpReply reply = handler_(std::string(path));
+  const char* reason = "OK";
+  switch (reply.status) {
+    case 200: reason = "OK"; break;
+    case 404: reason = "Not Found"; break;
+    case 405: reason = "Method Not Allowed"; break;
+    case 503: reason = "Service Unavailable"; break;
+    default: reason = "Internal Server Error"; break;
   }
+  send_all(fd, http_response(reply.status, reason, reply.content_type.c_str(), reply.body));
 }
 
 }  // namespace srna::serve

@@ -11,7 +11,17 @@
 //                                   Registry (render_prometheus) — counters,
 //                                   gauges, histogram buckets, sliding-window
 //                                   p50/p90/p95/p99 summaries, tracer totals
-//                    GET /healthz   200 "ok" | 503 "draining"/"overloaded"
+//                    GET /healthz   liveness: 200 "ok" as long as the admin
+//                                   plane answers at all (supervisors restart
+//                                   on failure — a draining process must NOT
+//                                   look dead)
+//                    GET /readyz    readiness: 200 "ok" only when the service
+//                                   is admitting with queue headroom; 503
+//                                   "starting" before every worker reached
+//                                   its loop, "overloaded" while the queue is
+//                                   full, "draining" after stop/drain (load
+//                                   balancers and the router's prober stop
+//                                   routing here, without killing the process)
 //                    GET /statz     the service's stats_json() document
 //   admin_json     the same payloads as in-band JSON-lines requests
 //                  ({"admin": "metrics"}), for offline mode and tests where
@@ -25,6 +35,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -36,21 +47,42 @@ namespace srna::serve {
 
 class QueryService;
 
-// "ok" while admitting with queue headroom, "overloaded" while the admission
-// queue is full (probes should shed load), "draining" once stop/drain closed
-// the queue (probes should deregister the instance).
+// Liveness: "ok" as long as the process can answer — the service existing is
+// the whole test. Restart-on-failure supervisors key off this; a draining or
+// overloaded service is still alive.
 [[nodiscard]] std::string healthz_body(const QueryService& service);
-// Probe verdict: true only for "ok" (HTTP 200 vs 503).
 [[nodiscard]] bool healthy(const QueryService& service);
+
+// Readiness: "ok" while admitting with queue headroom, "starting" until every
+// worker has reached its loop (engine registry resolved), "overloaded" while
+// the admission queue is full (probes should shed load), "draining" once
+// stop/drain closed the queue (probes should deregister the instance).
+[[nodiscard]] std::string readyz_body(const QueryService& service);
+// Probe verdict: true only for "ok" (HTTP 200 vs 503).
+[[nodiscard]] bool ready(const QueryService& service);
 
 // One in-band admin answer: {"admin": <what>, ...payload}. Unknown commands
 // get an "error" member instead of a payload.
 [[nodiscard]] obs::Json admin_json(const QueryService& service, std::string_view what);
 
+// One HTTP answer from an AdminServer handler.
+struct HttpReply {
+  int status = 200;               // 200/404/503; the reason phrase is derived
+  std::string content_type = "text/plain";
+  std::string body;
+};
+
 class AdminServer {
  public:
+  // The generic form: `handler` maps a request path ("/metrics", …) to a
+  // reply, called on the accept thread. The distributed router's aggregated
+  // admin plane plugs in here; the QueryService ctor below is this with the
+  // standard single-process routes.
+  using HttpHandler = std::function<HttpReply(const std::string& path)>;
+
   // Binds host:port (0 = ephemeral; read back with port()). Throws
   // std::runtime_error on bind/listen failure.
+  AdminServer(HttpHandler handler, const std::string& host, std::uint16_t port);
   AdminServer(const QueryService& service, const std::string& host, std::uint16_t port);
   ~AdminServer();  // stop()
 
@@ -66,7 +98,7 @@ class AdminServer {
   void accept_loop();
   void handle_connection(int fd);
 
-  const QueryService& service_;
+  HttpHandler handler_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::thread accept_thread_;

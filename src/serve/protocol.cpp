@@ -123,6 +123,7 @@ obs::Json ServeResponse::to_json() const {
     if (retry_after_ms > 0) doc.set("retry_after_ms", obs::Json(retry_after_ms));
   }
   if (!algorithm.empty()) doc.set("algorithm", obs::Json(algorithm));
+  if (!digest.empty()) doc.set("digest", obs::Json(digest));
   if (trace_id != 0) {
     // Admitted requests echo their correlation id and phase breakdown.
     doc.set("trace_id", obs::Json(trace_id));
@@ -167,6 +168,7 @@ ServeResponse ServeResponse::from_line(std::string_view line) {
   resp.queued_ms = number_field(*doc, "queued_ms", 0.0);
   resp.solve_ms = number_field(*doc, "solve_ms", 0.0);
   resp.algorithm = string_field(*doc, "algorithm");
+  resp.digest = string_field(*doc, "digest");
   resp.error = string_field(*doc, "error");
   return resp;
 }

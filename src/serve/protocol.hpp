@@ -31,6 +31,10 @@
 //   "queued_ms" (admission -> worker pickup) and "solve_ms" (engine time;
 //   0 on a cache hit). Rejected requests never reach a worker and carry none
 //   of the three.
+//   Responses whose structure pair resolved also echo "digest": the canonical
+//   structure-pair digest (rna/structure_hash.hpp, 16 lowercase hex digits).
+//   The distributed router hashes the same digest onto its shard ring, so a
+//   client can audit end to end that a response came from the owning shard.
 #pragma once
 
 #include <cstdint>
@@ -94,6 +98,9 @@ struct ServeResponse {
   double queued_ms = 0.0;    // admission -> worker pickup (admitted requests)
   double solve_ms = 0.0;     // engine solve time; 0 on cache hits
   std::string algorithm;     // backend that (would have) solved it
+  // Canonical structure-pair digest in wire form (pair_digest_hex); empty when
+  // the pair never resolved (parse failure, unknown db name, early rejection).
+  std::string digest;
   std::string error;         // timeout / rejected / error detail
 
   [[nodiscard]] obs::Json to_json() const;

@@ -22,7 +22,7 @@ namespace {
 
 // Routes one input line and answers through `emit_line` (a raw response
 // line, no trailing newline). Exactly one emit per call:
-//   * `{"admin": "metrics" | "healthz" | "statz"}` lines are answered
+//   * `{"admin": "metrics" | "healthz" | "readyz" | "statz"}` lines are answered
 //     inline from the admin plane — they never enter the admission queue,
 //     so they keep working while the service is overloaded or draining.
 //   * parse failures and admission rejects answer inline;
@@ -94,7 +94,14 @@ std::size_t run_offline(QueryService& service, std::istream& in, std::ostream& o
 // ------------------------------------------------------------------ TcpServer
 
 TcpServer::TcpServer(QueryService& service, const std::string& host, std::uint16_t port)
-    : service_(service) {
+    : TcpServer(
+          [&service](const std::string& line, const EmitLine& emit) {
+            submit_line(service, line, emit);
+          },
+          host, port) {}
+
+TcpServer::TcpServer(LineHandler handler, const std::string& host, std::uint16_t port)
+    : handler_(std::move(handler)) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw std::runtime_error("serve: socket() failed");
 
@@ -210,7 +217,7 @@ void TcpServer::serve_connection(std::shared_ptr<Connection> conn) {
       std::string line = buffer.substr(start, nl - start);
       if (!line.empty() && line.back() == '\r') line.pop_back();
       start = nl + 1;
-      if (!line.empty()) submit_line(service_, line, emit);
+      if (!line.empty()) handler_(line, emit);
     }
     buffer.erase(0, start);
   }

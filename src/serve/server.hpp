@@ -17,11 +17,12 @@
 // path (parse failure, admission reject, timeout, error, success).
 //
 // Both also answer in-band admin lines (`{"admin": "metrics" | "healthz" |
-// "statz"}`, see serve/admin.hpp) inline, without entering the admission
-// queue — the offline mode's stand-in for the HTTP admin listener.
+// "readyz" | "statz"}`, see serve/admin.hpp) inline, without entering the
+// admission queue — the offline mode's stand-in for the HTTP admin listener.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <mutex>
@@ -40,8 +41,19 @@ std::size_t run_offline(QueryService& service, std::istream& in, std::ostream& o
 
 class TcpServer {
  public:
+  // The generic form: `handler` receives each complete input line plus an
+  // emitter for response lines (no trailing newline; callable from any
+  // thread, any number of times after the handler returned — the transport
+  // keeps the connection's write path alive until the last emitter drops).
+  // The distributed router's client-facing listener plugs in here; the
+  // QueryService ctor below is this with the standard submit-or-admin line
+  // routing.
+  using EmitLine = std::function<void(const std::string&)>;
+  using LineHandler = std::function<void(const std::string& line, const EmitLine& emit)>;
+
   // Binds and listens on host:port (port 0 picks an ephemeral port — read it
   // back with port()). Throws std::runtime_error on bind/listen failure.
+  TcpServer(LineHandler handler, const std::string& host, std::uint16_t port);
   TcpServer(QueryService& service, const std::string& host, std::uint16_t port);
   ~TcpServer();  // stop()
 
@@ -64,7 +76,7 @@ class TcpServer {
   void accept_loop();
   void serve_connection(std::shared_ptr<Connection> conn);
 
-  QueryService& service_;
+  LineHandler handler_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::thread accept_thread_;

@@ -9,6 +9,7 @@
 #include "obs/perf/memory.hpp"
 #include "obs/trace.hpp"
 #include "rna/dot_bracket.hpp"
+#include "rna/structure_hash.hpp"
 
 namespace srna::serve {
 
@@ -240,6 +241,7 @@ ServeResponse QueryService::solve(ServeRequest request) {
 }
 
 void QueryService::worker_loop() {
+  workers_running_.fetch_add(1, std::memory_order_acq_rel);
   while (auto job = queue_.pop()) {
     obs::Registry::instance().gauge("serve.queue_depth").set(
         static_cast<double>(queue_.depth()));
@@ -313,6 +315,10 @@ ServeResponse QueryService::solve_job(const Job& job) {
       a = parse_dot_bracket(req.a);
       b = parse_dot_bracket(req.b);
     }
+
+    // The canonical pair digest, echoed so routing is auditable end to end
+    // (the distributed router hashes the same digest onto its shard ring).
+    resp.digest = pair_digest_hex(a, b);
 
     SolverConfig config;
     if (req.layout == "compressed") config.layout = SliceLayout::kCompressed;

@@ -168,6 +168,16 @@ class QueryService {
 
   [[nodiscard]] std::size_t queue_depth() const { return queue_.depth(); }
   [[nodiscard]] bool draining() const { return queue_.closed(); }
+
+  // Readiness (the /readyz contract): every worker thread has reached its
+  // pop loop — the engine registry resolved and per-thread workspaces exist —
+  // and the service is not draining. Liveness (/healthz) is weaker: the
+  // process answering at all.
+  [[nodiscard]] bool ready() const noexcept {
+    return workers_running_.load(std::memory_order_acquire) ==
+               static_cast<int>(workers_.size()) &&
+           !queue_.closed();
+  }
   [[nodiscard]] const ServiceConfig& config() const noexcept { return config_; }
   [[nodiscard]] const ResultCache& cache() const noexcept { return cache_; }
 
@@ -205,6 +215,8 @@ class QueryService {
   DeadlineMonitor monitor_;
   std::vector<std::thread> workers_;
 
+  // Workers that have entered worker_loop (readiness, see ready()).
+  std::atomic<int> workers_running_{0};
   std::atomic<std::uint64_t> next_trace_id_{1};
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> rejected_{0};

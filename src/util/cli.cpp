@@ -75,6 +75,7 @@ bool CliParser::parse(int argc, const char* const* argv) {
         value = argv[++i];
       }
       opt.value = value;
+      opt.occurrences.push_back(std::move(value));
     }
   }
 
@@ -129,6 +130,25 @@ std::vector<std::int64_t> CliParser::int_list(const std::string& name) const {
     } catch (const std::exception&) {
       throw std::invalid_argument("option --" + name + " expects integers, got '" + item + "'");
     }
+  }
+  return out;
+}
+
+std::vector<std::string> CliParser::str_list(const std::string& name) const {
+  const Opt& o = find(name);
+  SRNA_REQUIRE(!o.is_flag, "option is not a value option: " + name);
+  std::vector<std::string> out;
+  const auto split_into = [&out](const std::string& value) {
+    std::stringstream ss(value);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      if (!item.empty()) out.push_back(item);
+    }
+  };
+  if (o.occurrences.empty()) {
+    split_into(o.value);
+  } else {
+    for (const std::string& occurrence : o.occurrences) split_into(occurrence);
   }
   return out;
 }

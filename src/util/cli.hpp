@@ -32,6 +32,11 @@ class CliParser {
   [[nodiscard]] double real(const std::string& name) const;
   // Comma-separated integer list, e.g. --lengths=100,200,400.
   [[nodiscard]] std::vector<std::int64_t> int_list(const std::string& name) const;
+  // Every occurrence of a repeatable option, each occurrence further split on
+  // commas: `--connect a:1 --connect b:2,c:3` yields {a:1, b:2, c:3}. When the
+  // option never appeared, the (comma-split) default is returned; an empty
+  // default yields an empty list.
+  [[nodiscard]] std::vector<std::string> str_list(const std::string& name) const;
 
   [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
     return positional_;
@@ -45,6 +50,9 @@ class CliParser {
     std::string value;
     bool is_flag = false;
     bool flag_value = false;
+    // Every parsed occurrence, in order (str() keeps returning the last one;
+    // str_list() returns them all).
+    std::vector<std::string> occurrences;
   };
 
   Opt& find(const std::string& name);

@@ -1,0 +1,118 @@
+// Merge semantics of the router's aggregated admin plane
+// (src/dist/aggregate.hpp): counters sum, gauges keep per-shard labels,
+// histogram buckets sum exactly (with fill-forward for truncated tails),
+// summaries blend quantiles by count and keep the exact per-shard series.
+#include "dist/aggregate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace srna::dist {
+namespace {
+
+TEST(MergePrometheus, CountersSumAcrossShards) {
+  const std::string a = "# TYPE srna_requests counter\nsrna_requests 3\n";
+  const std::string b = "# TYPE srna_requests counter\nsrna_requests 4\n";
+  const std::string merged = merge_prometheus({{"s0", a}, {"s1", b}});
+  EXPECT_NE(merged.find("# TYPE srna_requests counter\n"), std::string::npos);
+  EXPECT_NE(merged.find("srna_requests 7\n"), std::string::npos);
+}
+
+TEST(MergePrometheus, GaugesKeepPerShardLabels) {
+  const std::string a = "# TYPE srna_queue_depth gauge\nsrna_queue_depth 5\n";
+  const std::string b = "# TYPE srna_queue_depth gauge\nsrna_queue_depth 9\n";
+  const std::string merged = merge_prometheus({{"s0", a}, {"s1", b}});
+  // Summing queue depths would hide the imbalance an operator scrapes for.
+  EXPECT_NE(merged.find("srna_queue_depth{shard=\"s0\"} 5\n"), std::string::npos);
+  EXPECT_NE(merged.find("srna_queue_depth{shard=\"s1\"} 9\n"), std::string::npos);
+  EXPECT_EQ(merged.find("srna_queue_depth 14"), std::string::npos);
+}
+
+TEST(MergePrometheus, HistogramBucketsSumWithFillForward) {
+  // Shard s1's exposition truncates after le=1 (trailing empty buckets are
+  // not emitted): at le=2 its cumulative count equals its +Inf total.
+  const std::string a =
+      "# TYPE srna_ms histogram\n"
+      "srna_ms_bucket{le=\"1\"} 1\n"
+      "srna_ms_bucket{le=\"2\"} 3\n"
+      "srna_ms_bucket{le=\"+Inf\"} 4\n"
+      "srna_ms_sum 7.5\n"
+      "srna_ms_count 4\n";
+  const std::string b =
+      "# TYPE srna_ms histogram\n"
+      "srna_ms_bucket{le=\"1\"} 2\n"
+      "srna_ms_bucket{le=\"+Inf\"} 2\n"
+      "srna_ms_sum 1.5\n"
+      "srna_ms_count 2\n";
+  const std::string merged = merge_prometheus({{"s0", a}, {"s1", b}});
+  EXPECT_NE(merged.find("srna_ms_bucket{le=\"1\"} 3\n"), std::string::npos);
+  // le=2: s0 contributes 3, s1 fill-forwards its total 2 -> 5. This merge is
+  // exact because every shard shares the same bucket bound table.
+  EXPECT_NE(merged.find("srna_ms_bucket{le=\"2\"} 5\n"), std::string::npos);
+  EXPECT_NE(merged.find("srna_ms_bucket{le=\"+Inf\"} 6\n"), std::string::npos);
+  EXPECT_NE(merged.find("srna_ms_sum 9\n"), std::string::npos);
+  EXPECT_NE(merged.find("srna_ms_count 6\n"), std::string::npos);
+}
+
+TEST(MergePrometheus, SummariesBlendByCountAndKeepExactPerShardSeries) {
+  const std::string a =
+      "# TYPE srna_lat summary\n"
+      "srna_lat{quantile=\"0.5\"} 10\n"
+      "srna_lat_count 3\n";
+  const std::string b =
+      "# TYPE srna_lat summary\n"
+      "srna_lat{quantile=\"0.5\"} 20\n"
+      "srna_lat_count 1\n";
+  const std::string merged = merge_prometheus({{"s0", a}, {"s1", b}});
+  // Count-weighted mean: (10*3 + 20*1) / 4 = 12.5 — approximate by nature,
+  // which is why the exact per-shard series ride along.
+  EXPECT_NE(merged.find("srna_lat{quantile=\"0.5\"} 12.5\n"), std::string::npos);
+  EXPECT_NE(merged.find("srna_lat{shard=\"s0\",quantile=\"0.5\"} 10\n"), std::string::npos);
+  EXPECT_NE(merged.find("srna_lat{shard=\"s1\",quantile=\"0.5\"} 20\n"), std::string::npos);
+  EXPECT_NE(merged.find("srna_lat_count 4\n"), std::string::npos);
+}
+
+TEST(MergePrometheus, FamiliesKeepFirstSeenOrderAndGarbageIsDropped) {
+  const std::string a =
+      "# TYPE srna_first counter\nsrna_first 1\n"
+      "this is not a metric line\n"
+      "# TYPE srna_second gauge\nsrna_second 2\n";
+  const std::string b = "# TYPE srna_first counter\nsrna_first 1\n";
+  const std::string merged = merge_prometheus({{"s0", a}, {"s1", b}});
+  const std::size_t first = merged.find("srna_first");
+  const std::size_t second = merged.find("srna_second");
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(second, std::string::npos);
+  EXPECT_LT(first, second);
+  EXPECT_EQ(merged.find("not a metric"), std::string::npos);
+}
+
+TEST(AggregateStatz, SumsSharedNumericFieldsRecursively) {
+  obs::Json s0 = *obs::Json::parse(
+      R"({"requests": 10, "cache": {"hits": 4, "misses": 6}, "mode": "tcp"})");
+  obs::Json s1 = *obs::Json::parse(
+      R"({"requests": 5, "cache": {"hits": 1, "misses": 4}, "mode": "tcp"})");
+  const obs::Json doc = aggregate_statz({{"s0", s0}, {"s1", s1}});
+
+  ASSERT_NE(doc.find("shards"), nullptr);
+  EXPECT_EQ(doc.find("shards")->as_uint(), 2u);
+
+  const obs::Json* totals = doc.find("totals");
+  ASSERT_NE(totals, nullptr);
+  EXPECT_DOUBLE_EQ(totals->find("requests")->as_double(), 15.0);
+  EXPECT_DOUBLE_EQ(totals->find("cache")->find("hits")->as_double(), 5.0);
+  EXPECT_DOUBLE_EQ(totals->find("cache")->find("misses")->as_double(), 10.0);
+  // Non-numeric fields keep the first shard's value rather than vanishing.
+  EXPECT_EQ(totals->find("mode")->as_string(), "tcp");
+
+  const obs::Json* per_shard = doc.find("per_shard");
+  ASSERT_NE(per_shard, nullptr);
+  ASSERT_NE(per_shard->find("s1"), nullptr);
+  EXPECT_DOUBLE_EQ(per_shard->find("s1")->find("requests")->as_double(), 5.0);
+}
+
+}  // namespace
+}  // namespace srna::dist

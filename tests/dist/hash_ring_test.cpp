@@ -1,0 +1,154 @@
+// Pins the three consistent-hashing properties the distributed tier's design
+// leans on (see src/dist/hash_ring.hpp): uniform key spread, minimal
+// disruption on membership change, and deterministic replica ordering.
+#include "dist/hash_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace srna::dist {
+namespace {
+
+// SplitMix64 — cheap deterministic key stream, independent of the ring's own
+// FNV-1a so the two hash families cannot conspire.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+HashRing ring_of(int shards, int vnodes = 128) {
+  HashRing ring(vnodes);
+  for (int i = 0; i < shards; ++i) ring.add_node("shard" + std::to_string(i));
+  return ring;
+}
+
+TEST(HashRing, RingPointIsFinalizedFnv1aOverNameHashIndex) {
+  // The placement function is SplitMix64(FNV-1a("name#index")) — recompute
+  // it from the published constants so a silent hash change cannot slip
+  // through (every router instance must place vnodes identically).
+  const std::string bytes = "shard3#17";
+  std::uint64_t fnv = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    fnv ^= static_cast<unsigned char>(c);
+    fnv *= 0x100000001b3ULL;
+  }
+  EXPECT_EQ(fnv1a_bytes(bytes), fnv);
+
+  std::uint64_t expected = fnv;  // SplitMix64 finalizer (no increment step)
+  expected = (expected ^ (expected >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  expected = (expected ^ (expected >> 27)) * 0x94d049bb133111ebULL;
+  expected ^= expected >> 31;
+  EXPECT_EQ(ring_point("shard3", 17), expected);
+}
+
+TEST(HashRing, EmptyRingOwnsNothing) {
+  const HashRing ring(128);
+  EXPECT_EQ(ring.owner(42), "");
+  EXPECT_TRUE(ring.owners(42, 3).empty());
+}
+
+TEST(HashRing, UniformDistributionAcrossShardCounts) {
+  constexpr int kKeys = 20000;
+  for (const int shards : {2, 3, 4, 8, 16}) {
+    const HashRing ring = ring_of(shards);
+    std::map<std::string, int> load;
+    for (int k = 0; k < kKeys; ++k) ++load[ring.owner(mix(static_cast<std::uint64_t>(k)))];
+
+    ASSERT_EQ(load.size(), static_cast<std::size_t>(shards)) << shards << " shards";
+    const double fair = static_cast<double>(kKeys) / shards;
+    for (const auto& [name, count] : load) {
+      // 128 vnodes keeps every shard within ~2x of fair share; the bench's
+      // capacity-aggregation story only needs "no shard starves".
+      EXPECT_GT(count, fair * 0.5) << name << " starved at " << shards << " shards";
+      EXPECT_LT(count, fair * 2.0) << name << " overloaded at " << shards << " shards";
+    }
+  }
+}
+
+TEST(HashRing, AddingAShardOnlyMovesKeysToIt) {
+  constexpr std::size_t kKeys = 10000;
+  constexpr int kShards = 4;
+  HashRing ring = ring_of(kShards);
+
+  std::vector<std::string> before(kKeys);
+  for (std::size_t k = 0; k < kKeys; ++k) before[k] = ring.owner(mix(k));
+
+  ring.add_node("shard" + std::to_string(kShards));  // N -> N+1
+  int moved = 0;
+  for (std::size_t k = 0; k < kKeys; ++k) {
+    const std::string after = ring.owner(mix(k));
+    if (after != before[k]) {
+      ++moved;
+      // Minimal disruption: a key either stays put or moves to the newcomer.
+      EXPECT_EQ(after, "shard4") << "key " << k << " re-homed between old shards";
+    }
+  }
+  // Expect ~K/(N+1) moved; allow generous slack for vnode placement variance.
+  const double expected = static_cast<double>(kKeys) / (kShards + 1);
+  EXPECT_GT(moved, expected * 0.5);
+  EXPECT_LT(moved, expected * 1.8);
+}
+
+TEST(HashRing, RemovingAShardOnlyMovesItsOwnKeys) {
+  constexpr std::size_t kKeys = 10000;
+  HashRing ring = ring_of(5);
+
+  std::vector<std::string> before(kKeys);
+  for (std::size_t k = 0; k < kKeys; ++k) before[k] = ring.owner(mix(k));
+
+  ring.remove_node("shard2");
+  for (std::size_t k = 0; k < kKeys; ++k) {
+    const std::string after = ring.owner(mix(k));
+    if (before[k] == "shard2") {
+      EXPECT_NE(after, "shard2");
+    } else {
+      // Keys the departed shard never owned must not move — the other
+      // shards' result caches stay warm through the topology change.
+      EXPECT_EQ(after, before[k]) << "key " << k << " moved without cause";
+    }
+  }
+}
+
+TEST(HashRing, ReplicaOrderIsDeterministicAndDistinct) {
+  const HashRing ring = ring_of(6);
+  // Same member set added in a different order must agree on every verdict.
+  HashRing shuffled(128);
+  for (const int i : {4, 1, 5, 0, 3, 2}) shuffled.add_node("shard" + std::to_string(i));
+
+  for (int k = 0; k < 500; ++k) {
+    const std::uint64_t key = mix(static_cast<std::uint64_t>(k));
+    const std::vector<std::string> owners = ring.owners(key, 3);
+    ASSERT_EQ(owners.size(), 3u);
+    EXPECT_EQ(owners[0], ring.owner(key));
+    EXPECT_NE(owners[0], owners[1]);
+    EXPECT_NE(owners[0], owners[2]);
+    EXPECT_NE(owners[1], owners[2]);
+    EXPECT_EQ(owners, shuffled.owners(key, 3)) << "insertion order leaked into routing";
+  }
+}
+
+TEST(HashRing, OwnersClampsToMemberCount) {
+  const HashRing ring = ring_of(2);
+  const std::vector<std::string> owners = ring.owners(mix(7), 5);
+  ASSERT_EQ(owners.size(), 2u);
+  EXPECT_NE(owners[0], owners[1]);
+}
+
+TEST(HashRing, DuplicateAddAndAbsentRemoveAreNoOps) {
+  HashRing ring = ring_of(3);
+  const std::string owner_before = ring.owner(mix(99));
+  ring.add_node("shard1");     // already present
+  ring.remove_node("shard9");  // never present
+  EXPECT_EQ(ring.node_count(), 3u);
+  EXPECT_EQ(ring.owner(mix(99)), owner_before);
+}
+
+}  // namespace
+}  // namespace srna::dist

@@ -1,0 +1,112 @@
+// Process supervision (src/dist/supervisor.hpp): spawn, crash-restart with
+// backoff, commanded stop without restart, and clean teardown. Children are
+// /bin/sh sleepers — no repo binaries involved, so the suite stays hermetic.
+#include "dist/supervisor.hpp"
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/types.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace srna::dist {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+ProcessSpec sleeper(const std::string& name) {
+  ProcessSpec spec;
+  spec.name = name;
+  spec.binary = "/bin/sh";
+  spec.args = {"-c", "sleep 30"};
+  return spec;
+}
+
+// Polls `predicate` until true or the deadline passes.
+template <typename Fn>
+bool eventually(Fn predicate, int timeout_ms = 5000) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (Clock::now() < deadline) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return predicate();
+}
+
+TEST(Supervisor, SpawnsAndReportsRunning) {
+  Supervisor supervisor;
+  const pid_t pid = supervisor.start(sleeper("a"));
+  ASSERT_GT(pid, 0);
+  EXPECT_TRUE(supervisor.running("a"));
+  EXPECT_EQ(supervisor.pid("a"), pid);
+  EXPECT_EQ(supervisor.restarts("a"), 0u);
+  EXPECT_FALSE(supervisor.running("nobody"));
+  supervisor.stop_all();
+  EXPECT_FALSE(supervisor.running("a"));
+}
+
+TEST(Supervisor, DuplicateNameThrows) {
+  Supervisor supervisor;
+  ASSERT_GT(supervisor.start(sleeper("a")), 0);
+  EXPECT_THROW(supervisor.start(sleeper("a")), std::invalid_argument);
+  supervisor.stop_all();
+}
+
+TEST(Supervisor, RestartsAKilledChildWithANewPid) {
+  SupervisorConfig config;
+  config.restart_backoff_ms = 50;  // keep the test quick
+  Supervisor supervisor(config);
+  const pid_t first = supervisor.start(sleeper("a"));
+  ASSERT_GT(first, 0);
+
+  ASSERT_EQ(::kill(first, SIGKILL), 0);  // simulate a crash
+  ASSERT_TRUE(eventually([&] {
+    return supervisor.restarts("a") >= 1 && supervisor.running("a");
+  })) << "child was not restarted";
+  EXPECT_NE(supervisor.pid("a"), first) << "restart must be a fresh process";
+  supervisor.stop_all();
+}
+
+TEST(Supervisor, CommandedStopDoesNotRestart) {
+  SupervisorConfig config;
+  config.restart_backoff_ms = 50;
+  Supervisor supervisor(config);
+  ASSERT_GT(supervisor.start(sleeper("a")), 0);
+  ASSERT_GT(supervisor.start(sleeper("b")), 0);
+
+  EXPECT_TRUE(supervisor.stop("a"));  // blocks until reaped
+  EXPECT_FALSE(supervisor.running("a"));
+  EXPECT_TRUE(supervisor.running("b")) << "stopping one child must not touch others";
+
+  // A commanded stop is not a crash: give the monitor a couple of poll
+  // cycles to prove it leaves "a" down.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  EXPECT_FALSE(supervisor.running("a"));
+  EXPECT_EQ(supervisor.restarts("a"), 0u);
+
+  EXPECT_FALSE(supervisor.stop("nobody"));
+  supervisor.stop_all();
+}
+
+TEST(Supervisor, StatusJsonCarriesTheFleet) {
+  Supervisor supervisor;
+  ASSERT_GT(supervisor.start(sleeper("a")), 0);
+  const obs::Json doc = supervisor.status_json();
+  ASSERT_NE(doc.find("a"), nullptr);
+  EXPECT_TRUE(doc.find("a")->find("running")->as_bool());
+  supervisor.stop_all();
+  EXPECT_FALSE(supervisor.status_json().find("a")->find("running")->as_bool());
+}
+
+TEST(Supervisor, StopAllIsIdempotent) {
+  Supervisor supervisor;
+  ASSERT_GT(supervisor.start(sleeper("a")), 0);
+  supervisor.stop_all();
+  supervisor.stop_all();  // second call must be a harmless no-op
+  EXPECT_FALSE(supervisor.running("a"));
+}
+
+}  // namespace
+}  // namespace srna::dist

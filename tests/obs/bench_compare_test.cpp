@@ -87,6 +87,28 @@ TEST(FlattenReportMetrics, FlattensResultsAndIdentityKeyedRows) {
   }
 }
 
+TEST(FlattenReportMetrics, FlattensRowTablesNestedUnderResults) {
+  // The distributed serving bench keys its sweep by instance name + shard
+  // count under results.instances; both are identity, the rest are metrics.
+  const Json report = parse(R"json({
+    "tool": "bench/serving_distributed",
+    "results": {
+      "instances": [
+        {"instance": "direct-1proc", "shards": 1, "throughput_rps": 50.0},
+        {"instance": "router-2shards", "shards": 2, "throughput_rps": 120.0}
+      ]
+    }
+  })json");
+  const std::vector<BenchValue> values = flatten_report_metrics(report);
+  EXPECT_DOUBLE_EQ(
+      value_of(values, "results.instances[instance=direct-1proc,shards=1].throughput_rps"),
+      50.0);
+  EXPECT_DOUBLE_EQ(
+      value_of(values, "results.instances[instance=router-2shards,shards=2].throughput_rps"),
+      120.0);
+  for (const BenchValue& v : values) EXPECT_EQ(v.key.find(".shards"), std::string::npos);
+}
+
 TEST(CompareReports, FlagsRegressionsInBothDirections) {
   const Json baseline = parse(R"json({
     "tool": "bench",

@@ -64,7 +64,10 @@ std::string http_get(std::uint16_t port, const std::string& request_text) {
   return response;
 }
 
-TEST(AdminHealthz, ReflectsQueueHeadroomAndDrain) {
+TEST(AdminHealthz, LivenessStaysOkThroughOverloadAndDrain) {
+  // Liveness is "the process answers"; overload and drain are readiness
+  // states. A restart-on-failure supervisor keying off /healthz must never
+  // see a draining service as dead.
   ServiceConfig config;
   config.workers = 1;
   config.queue_capacity = 1;
@@ -78,14 +81,41 @@ TEST(AdminHealthz, ReflectsQueueHeadroomAndDrain) {
   while (service.queue_depth() > 0 && std::chrono::steady_clock::now() < give_up)
     std::this_thread::sleep_for(1ms);
   std::future<ServeResponse> queued = service.solve_async(quick_request(2));
-  EXPECT_EQ(healthz_body(service), "overloaded");
-  EXPECT_FALSE(healthy(service));
+  EXPECT_TRUE(healthy(service));
 
   (void)blocker.get();
   (void)queued.get();
   service.drain();
-  EXPECT_EQ(healthz_body(service), "draining");
-  EXPECT_FALSE(healthy(service));
+  EXPECT_EQ(healthz_body(service), "ok");
+  EXPECT_TRUE(healthy(service));
+}
+
+TEST(AdminReadyz, ReflectsQueueHeadroomAndDrain) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.queue_capacity = 1;
+  QueryService service(config);
+  // Workers may still be starting; readiness must settle to "ok" promptly.
+  const auto warm_deadline = std::chrono::steady_clock::now() + 2s;
+  while (!service.ready() && std::chrono::steady_clock::now() < warm_deadline)
+    std::this_thread::sleep_for(1ms);
+  EXPECT_EQ(readyz_body(service), "ok");
+  EXPECT_TRUE(ready(service));
+
+  // Occupy the single worker, then fill the queue to capacity.
+  std::future<ServeResponse> blocker = service.solve_async(slow_request(1));
+  const auto give_up = std::chrono::steady_clock::now() + 2s;
+  while (service.queue_depth() > 0 && std::chrono::steady_clock::now() < give_up)
+    std::this_thread::sleep_for(1ms);
+  std::future<ServeResponse> queued = service.solve_async(quick_request(2));
+  EXPECT_EQ(readyz_body(service), "overloaded");
+  EXPECT_FALSE(ready(service));
+
+  (void)blocker.get();
+  (void)queued.get();
+  service.drain();
+  EXPECT_EQ(readyz_body(service), "draining");
+  EXPECT_FALSE(ready(service));
 }
 
 TEST(AdminJson, ServesMetricsHealthzAndStatz) {
@@ -99,6 +129,10 @@ TEST(AdminJson, ServesMetricsHealthzAndStatz) {
 
   const obs::Json health = admin_json(service, "healthz");
   EXPECT_EQ(health.find("status")->as_string(), "ok");
+
+  const obs::Json readyz = admin_json(service, "readyz");
+  EXPECT_TRUE(readyz.contains("ready"));
+  EXPECT_TRUE(readyz.contains("status"));
 
   const obs::Json statz = admin_json(service, "statz");
   ASSERT_TRUE(statz.contains("stats"));
@@ -173,13 +207,31 @@ TEST(AdminServerHttp, ServesTheThreeRoutesAndRejectsTheRest) {
   admin.stop();  // idempotent
 }
 
-TEST(AdminServerHttp, HealthzGoes503OnDrain) {
+TEST(AdminServerHttp, ReadyzGoes503OnDrainWhileHealthzStays200) {
   QueryService service({});
   AdminServer admin(service, "127.0.0.1", 0);
   service.drain();
+  const std::string ready = http_get(admin.port(), "GET /readyz HTTP/1.0\r\n\r\n");
+  EXPECT_NE(ready.find("503"), std::string::npos);
+  EXPECT_NE(ready.find("draining"), std::string::npos);
   const std::string health = http_get(admin.port(), "GET /healthz HTTP/1.0\r\n\r\n");
-  EXPECT_NE(health.find("503"), std::string::npos);
-  EXPECT_NE(health.find("draining"), std::string::npos);
+  EXPECT_NE(health.find("200"), std::string::npos);
+  admin.stop();
+}
+
+TEST(AdminServerHttp, GenericHandlerServesCustomRoutes) {
+  // The router's aggregated admin plane plugs into AdminServer this way.
+  AdminServer admin(
+      [](const std::string& path) {
+        if (path == "/custom") return HttpReply{200, "text/plain", "custom-body\n"};
+        return HttpReply{404, "text/plain", "nope\n"};
+      },
+      "127.0.0.1", 0);
+  const std::string custom = http_get(admin.port(), "GET /custom HTTP/1.0\r\n\r\n");
+  EXPECT_NE(custom.find("200"), std::string::npos);
+  EXPECT_NE(custom.find("custom-body"), std::string::npos);
+  const std::string missing = http_get(admin.port(), "GET /other HTTP/1.0\r\n\r\n");
+  EXPECT_NE(missing.find("404"), std::string::npos);
   admin.stop();
 }
 

@@ -12,6 +12,7 @@
 #include "engine/engine.hpp"
 #include "rna/dot_bracket.hpp"
 #include "rna/generators.hpp"
+#include "rna/structure_hash.hpp"
 
 namespace srna::serve {
 namespace {
@@ -105,6 +106,27 @@ TEST(QueryService, SecondIdenticalRequestHitsTheCache) {
   EXPECT_TRUE(second.cache_hit);
   EXPECT_EQ(first.value, second.value);
   EXPECT_EQ(service.cache().stats().hits, 1u);
+}
+
+TEST(QueryService, ResponsesEchoTheCanonicalPairDigest) {
+  QueryService service({});
+  const ServeResponse miss = service.solve(literal_request(1, "((.)).", "(())"));
+  const ServeResponse hit = service.solve(literal_request(2, "((.)).", "(())"));
+  ASSERT_EQ(miss.status, ResponseStatus::kOk);
+  ASSERT_TRUE(hit.cache_hit);
+
+  // The wire digest is the canonical pair hash — the same value the cache
+  // key is derived from (the key additionally seeds in the config
+  // fingerprint) and the distributed router keys its hash ring with. It must
+  // be identical on the miss and the hit.
+  const std::string expected =
+      pair_digest_hex(parse_dot_bracket("((.))."), parse_dot_bracket("(())"));
+  EXPECT_EQ(miss.digest, expected);
+  EXPECT_EQ(hit.digest, expected);
+  EXPECT_EQ(expected, digest_hex(hash_structure_pair(parse_dot_bracket("((.))."),
+                                                     parse_dot_bracket("(())"))));
+  EXPECT_EQ(expected.size(), 16u) << "fixed-width zero-padded hex, wire-stable";
+  EXPECT_EQ(expected.find_first_not_of("0123456789abcdef"), std::string::npos);
 }
 
 TEST(QueryService, NoCacheBypassesLookupAndStore) {

@@ -1,7 +1,10 @@
 // srna-loadgen — load generator and latency harness for the query service.
 //
 // Drives either an in-process QueryService (default; zero networking, used
-// by the ctest smoke test) or a running srna-serve over TCP (--connect).
+// by the ctest smoke test) or running servers over TCP (--connect, repeatable:
+// several endpoints round-robin client-side, so one invocation can drive an
+// srna-router, a raw shard fleet, or both for comparison; the summary and
+// report break responses and latency out per endpoint).
 // Two arrival models:
 //   --mode=closed   N client threads, one request in flight each (classic
 //                   closed loop; measures capacity).
@@ -29,6 +32,7 @@
 #include <condition_variable>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <random>
 #include <stdexcept>
@@ -79,6 +83,24 @@ struct Workload {
     req.deadline_ms = deadline_ms;
     req.trace = trace_sample > 0 && i % trace_sample == 0;
     return req;
+  }
+};
+
+// Per---connect-endpoint accounting (client-side round-robin makes the
+// split deterministic: request i goes to endpoint i mod E).
+struct EndpointStats {
+  std::mutex mutex;
+  std::uint64_t responses = 0;
+  std::uint64_t ok = 0;
+  std::vector<double> latencies_ms;
+
+  void record(const serve::ServeResponse& resp, double client_latency_ms) {
+    std::lock_guard lock(mutex);
+    ++responses;
+    if (resp.status == serve::ResponseStatus::kOk) {
+      ++ok;
+      latencies_ms.push_back(client_latency_ms);
+    }
   }
 };
 
@@ -203,7 +225,10 @@ int main(int argc, char** argv) {
   cli.add_option("algorithm", "engine backend per request", "srna2");
   cli.add_option("trace-sample",
                  "ask the server to trace every N-th request (0 = none)", "0");
-  cli.add_option("connect", "HOST:PORT of a running srna-serve (default: in-process)", "");
+  cli.add_option("connect",
+                 "HOST:PORT of a running server; repeatable (or comma-separated) for "
+                 "client-side round-robin across endpoints (default: in-process)",
+                 "");
   cli.add_option("workers", "in-process service: worker threads", "4");
   cli.add_option("queue-capacity", "in-process service: admission queue slots", "64");
   cli.add_option("cache-entries", "in-process service: cache capacity", "4096");
@@ -239,30 +264,52 @@ int main(int argc, char** argv) {
 
     Tally tally;
     const std::string mode = cli.str("mode");
-    const std::string connect = cli.str("connect");
+    const std::vector<std::string> endpoints = cli.str_list("connect");
     if (mode != "closed" && mode != "open")
       throw std::invalid_argument("--mode must be 'closed' or 'open'");
-    if (mode == "open" && !connect.empty())
+    if (mode == "open" && !endpoints.empty())
       throw std::invalid_argument("--mode=open is in-process only");
 
+    std::vector<std::unique_ptr<EndpointStats>> endpoint_stats;
+    for (std::size_t e = 0; e < endpoints.size(); ++e)
+      endpoint_stats.push_back(std::make_unique<EndpointStats>());
+
     const Clock::time_point t0 = Clock::now();
-    if (!connect.empty()) {
-      // Closed loop against a remote server, one connection per thread.
+    if (!endpoints.empty()) {
+      // Closed loop against remote servers: each thread keeps one lazy
+      // connection per endpoint; request i goes to endpoint i mod E.
+      const std::size_t nendpoints = endpoints.size();
       std::atomic<std::uint64_t> next{0};
+      std::atomic<bool> client_failed{false};
       std::vector<std::thread> clients;
       clients.reserve(static_cast<std::size_t>(concurrency));
       for (int c = 0; c < concurrency; ++c) {
         clients.emplace_back([&] {
-          TcpClient client(connect);
-          for (std::uint64_t i = next.fetch_add(1); i < requests; i = next.fetch_add(1)) {
-            const Clock::time_point start = Clock::now();
-            const serve::ServeResponse resp = client.roundtrip(workload.request(seed, i));
-            tally.record(resp, std::chrono::duration<double, std::milli>(
-                                   Clock::now() - start).count());
+          try {
+            std::vector<std::unique_ptr<TcpClient>> conns(nendpoints);
+            for (std::uint64_t i = next.fetch_add(1); i < requests;
+                 i = next.fetch_add(1)) {
+              const std::size_t e = static_cast<std::size_t>(i % nendpoints);
+              if (!conns[e]) conns[e] = std::make_unique<TcpClient>(endpoints[e]);
+              const Clock::time_point start = Clock::now();
+              const serve::ServeResponse resp =
+                  conns[e]->roundtrip(workload.request(seed, i));
+              const double ms = std::chrono::duration<double, std::milli>(
+                                    Clock::now() - start).count();
+              tally.record(resp, ms);
+              endpoint_stats[e]->record(resp, ms);
+            }
+          } catch (const std::exception& ex) {
+            // Don't std::terminate the whole run on one broken connection;
+            // the lost-response accounting below reports the damage.
+            std::cerr << "srna-loadgen: client thread aborted: " << ex.what() << "\n";
+            client_failed.store(true);
           }
         });
       }
       for (std::thread& t : clients) t.join();
+      if (client_failed.load())
+        std::cerr << "srna-loadgen: at least one client thread aborted early\n";
     } else {
       serve::ServiceConfig config;
       config.workers = static_cast<int>(cli.integer("workers"));
@@ -337,8 +384,14 @@ int main(int argc, char** argv) {
         tally.ok > 0 ? static_cast<double>(tally.cache_hits) / static_cast<double>(tally.ok)
                      : 0.0;
 
-    std::cout << "requests:    " << requests << " (" << mode << " loop"
-              << (connect.empty() ? ", in-process" : ", tcp " + connect) << ")\n"
+    std::string transport_label = "in-process";
+    if (!endpoints.empty()) {
+      transport_label = "tcp " + endpoints[0];
+      for (std::size_t e = 1; e < endpoints.size(); ++e)
+        transport_label += "," + endpoints[e];
+    }
+    std::cout << "requests:    " << requests << " (" << mode << " loop, "
+              << transport_label << ")\n"
               << "ok:          " << tally.ok << "  rejected: " << tally.rejected
               << "  over_memory: " << tally.over_memory << "  timeout: " << tally.timeout
               << "  error: " << tally.error << "\n"
@@ -352,6 +405,15 @@ int main(int argc, char** argv) {
                 << percentile(tally.server_solve_ms, 0.50) << "  p99 "
                 << percentile(tally.server_solve_ms, 0.99) << "  ("
                 << tally.server_queued_ms.size() << " reporting)\n";
+    if (endpoints.size() > 1) {
+      for (std::size_t e = 0; e < endpoints.size(); ++e) {
+        EndpointStats& es = *endpoint_stats[e];
+        std::sort(es.latencies_ms.begin(), es.latencies_ms.end());
+        std::cout << "endpoint " << endpoints[e] << ":  responses " << es.responses
+                  << "  ok " << es.ok << "  p50 " << percentile(es.latencies_ms, 0.50)
+                  << "  p99 " << percentile(es.latencies_ms, 0.99) << "\n";
+      }
+    }
 
     const std::string output = cli.str("output");
     if (output != "none") {
@@ -366,7 +428,12 @@ int main(int argc, char** argv) {
       params.set("repeat_fraction", obs::Json(workload.repeat_fraction));
       params.set("algorithm", obs::Json(workload.algorithm));
       params.set("deadline_ms", obs::Json(workload.deadline_ms));
-      params.set("transport", obs::Json(connect.empty() ? "in-process" : "tcp"));
+      params.set("transport", obs::Json(endpoints.empty() ? "in-process" : "tcp"));
+      if (!endpoints.empty()) {
+        obs::Json eps = obs::Json::array();
+        for (const std::string& e : endpoints) eps.push(obs::Json(e));
+        params.set("endpoints", std::move(eps));
+      }
       params.set("trace_sample", obs::Json(workload.trace_sample));
       report.set("params", std::move(params));
       obs::Json results = obs::Json::object();
@@ -391,6 +458,19 @@ int main(int argc, char** argv) {
                     obs::Json(percentile(tally.server_solve_ms, 0.50)));
         results.set("server_solve_ms_p99",
                     obs::Json(percentile(tally.server_solve_ms, 0.99)));
+      }
+      if (endpoints.size() > 1) {
+        obs::Json per_endpoint = obs::Json::object();
+        for (std::size_t e = 0; e < endpoints.size(); ++e) {
+          EndpointStats& es = *endpoint_stats[e];  // latencies sorted above
+          obs::Json one = obs::Json::object();
+          one.set("responses", obs::Json(es.responses));
+          one.set("ok", obs::Json(es.ok));
+          one.set("latency_ms_p50", obs::Json(percentile(es.latencies_ms, 0.50)));
+          one.set("latency_ms_p99", obs::Json(percentile(es.latencies_ms, 0.99)));
+          per_endpoint.set(endpoints[e], std::move(one));
+        }
+        results.set("per_endpoint", std::move(per_endpoint));
       }
       report.set("results", std::move(results));
       report.add_metrics_snapshot();

@@ -1,0 +1,231 @@
+// srna-router — consistent-hash front-end for a fleet of srna-serve shards.
+//
+// Clients connect to the router exactly as they would to a single srna-serve:
+// same JSON-lines protocol, same response bytes (docs/SERVING.md, distributed
+// topology section). The router hashes each request's canonical structure-pair
+// digest onto a replicated hash ring, forwards it over a persistent link to
+// the owning shard, and fails over to replicas when a shard dies or times out.
+//
+// Shard fleet, either form (mixable is not supported — pick one):
+//   --shard DATA[@ADMIN]   address of an externally managed shard, repeatable
+//                          (e.g. --shard 127.0.0.1:7533@127.0.0.1:7543); the
+//                          ADMIN endpoint enables readiness probing and
+//                          /metrics //statz aggregation
+//   --spawn-shards N       self-managed fleet: fork/exec N srna-serve
+//                          processes (--serve-bin) on ephemeral ports, monitor
+//                          and restart them (dist/supervisor.hpp), wait for
+//                          readiness before accepting traffic. Extra per-shard
+//                          argv via repeated --shard-arg.
+//
+// --status-file writes the resolved topology (router ports, shard ports and
+// pids) as JSON once everything is up — scripts and tests poll that file
+// instead of parsing logs.
+//
+// Admin plane (--admin-port): /metrics merges shard scrapes with the router's
+// own counters, /statz nests per-shard stats under fleet totals, /healthz is
+// router liveness, /readyz is 200 while at least one shard is ready.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/net.hpp"
+#include "dist/router.hpp"
+#include "dist/supervisor.hpp"
+#include "obs/log.hpp"
+#include "serve/admin.hpp"
+#include "serve/server.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace srna;
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+// "DATA[@ADMIN]" -> a named shard address. '@' because ',' already separates
+// repeated CLI occurrences.
+dist::ShardAddress parse_shard_spec(const std::string& spec, std::size_t index) {
+  dist::ShardAddress shard;
+  shard.name = "shard" + std::to_string(index);
+  const std::size_t at = spec.find('@');
+  shard.data = dist::parse_endpoint(spec.substr(0, at));
+  if (at != std::string::npos) shard.admin = dist::parse_endpoint(spec.substr(at + 1));
+  return shard;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("srna-router",
+                "consistent-hash router in front of srna-serve shards "
+                "(same JSON-lines protocol)");
+  cli.add_option("host", "TCP listen address", "127.0.0.1");
+  cli.add_option("port", "client-facing data port (0 = ephemeral, printed)", "7633");
+  cli.add_option("admin-port",
+                 "aggregated admin plane: /metrics /healthz /readyz /statz "
+                 "(0 = ephemeral, -1 = disabled)",
+                 "-1");
+  cli.add_option("shard",
+                 "external shard DATA[@ADMIN] endpoint, e.g. "
+                 "127.0.0.1:7533@127.0.0.1:7543; repeatable", "");
+  cli.add_option("spawn-shards", "spawn and supervise N srna-serve shards", "0");
+  cli.add_option("serve-bin", "shard binary for --spawn-shards", "srna-serve");
+  cli.add_option("shard-arg",
+                 "extra argv appended to every spawned shard; repeatable "
+                 "(e.g. --shard-arg=--cache-entries=512)", "");
+  cli.add_option("status-file",
+                 "write resolved topology JSON (router + shard ports/pids) here "
+                 "once serving", "");
+  cli.add_option("replicas", "ring replicas consulted per request", "2");
+  cli.add_option("vnodes", "hash-ring virtual nodes per shard", "128");
+  cli.add_option("request-timeout-ms", "per-attempt response budget", "10000");
+  cli.add_option("max-attempts", "dispatch attempts before rejecting", "3");
+  cli.add_option("retry-after-ms", "backoff hint on router rejections", "50");
+  cli.add_option("probe-interval-ms", "readiness probe cadence", "200");
+  cli.add_option("ready-timeout-ms",
+                 "startup wait for spawned shards to pass /readyz", "15000");
+  cli.add_option("log-level", "structured log threshold (debug|info|warn|error|off)",
+                 "info");
+
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    const std::optional<obs::LogLevel> log_level = obs::parse_log_level(cli.str("log-level"));
+    if (!log_level) {
+      std::cerr << "srna-router: bad --log-level '" << cli.str("log-level") << "'\n";
+      return 1;
+    }
+    obs::Logger::instance().set_min_level(*log_level);
+
+    const std::vector<std::string> shard_specs = cli.str_list("shard");
+    const int spawn = static_cast<int>(cli.integer("spawn-shards"));
+    if (shard_specs.empty() && spawn <= 0)
+      throw std::invalid_argument("need --shard endpoints or --spawn-shards N");
+    if (!shard_specs.empty() && spawn > 0)
+      throw std::invalid_argument("--shard and --spawn-shards are mutually exclusive");
+
+    dist::RouterConfig config;
+    config.replicas = static_cast<int>(cli.integer("replicas"));
+    config.vnodes = static_cast<int>(cli.integer("vnodes"));
+    config.request_timeout_ms = cli.real("request-timeout-ms");
+    config.max_attempts = static_cast<int>(cli.integer("max-attempts"));
+    config.retry_after_ms = cli.real("retry-after-ms");
+    config.probe.interval_ms = static_cast<int>(cli.integer("probe-interval-ms"));
+
+    // Self-managed fleet: pre-assign ephemeral ports, spawn, supervise.
+    dist::Supervisor supervisor;
+    for (std::size_t i = 0; i < shard_specs.size(); ++i)
+      config.shards.push_back(parse_shard_spec(shard_specs[i], i));
+    for (int i = 0; i < spawn; ++i) {
+      dist::ShardAddress shard;
+      shard.name = "shard" + std::to_string(i);
+      shard.data = {"127.0.0.1", dist::pick_free_port()};
+      shard.admin = {"127.0.0.1", dist::pick_free_port()};
+      dist::ProcessSpec spec;
+      spec.name = shard.name;
+      spec.binary = cli.str("serve-bin");
+      spec.args = {"--host=127.0.0.1", "--port=" + std::to_string(shard.data.port),
+                   "--admin-port=" + std::to_string(shard.admin.port)};
+      for (const std::string& extra : cli.str_list("shard-arg")) spec.args.push_back(extra);
+      if (supervisor.start(spec) < 0)
+        throw std::runtime_error("cannot spawn shard " + shard.name);
+      config.shards.push_back(std::move(shard));
+    }
+
+    // Spawned shards must answer /readyz before we accept traffic — a client
+    // racing the fleet's warm-up would eat pointless failovers.
+    if (spawn > 0) {
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(cli.integer("ready-timeout-ms"));
+      for (const dist::ShardAddress& shard : config.shards) {
+        for (;;) {
+          // /readyz answers 2xx only when the shard is admitting; the body
+          // ("ok\n") is for humans.
+          if (dist::http_get_body(shard.admin, "/readyz", 250)) break;
+          if (std::chrono::steady_clock::now() >= deadline)
+            throw std::runtime_error("shard " + shard.name + " never became ready");
+          if (!supervisor.running(shard.name) && supervisor.restarts(shard.name) > 2)
+            throw std::runtime_error("shard " + shard.name + " keeps crashing on startup");
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+      }
+    }
+
+    dist::Router router(config);
+
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+
+    serve::TcpServer server(
+        [&router](const std::string& line, const serve::TcpServer::EmitLine& emit) {
+          router.handle_line(line, emit);
+        },
+        cli.str("host"), static_cast<std::uint16_t>(cli.integer("port")));
+    std::cerr << "routing on " << cli.str("host") << ":" << server.port() << " across "
+              << config.shards.size() << " shard(s)\n";
+
+    std::unique_ptr<serve::AdminServer> admin;
+    if (cli.integer("admin-port") >= 0) {
+      admin = std::make_unique<serve::AdminServer>(
+          [&router](const std::string& path) { return router.admin_http(path); },
+          cli.str("host"), static_cast<std::uint16_t>(cli.integer("admin-port")));
+      std::cerr << "admin endpoint on " << cli.str("host") << ":" << admin->port()
+                << " (/metrics /healthz /readyz /statz, aggregated)\n";
+    }
+
+    if (!cli.str("status-file").empty()) {
+      obs::Json status = obs::Json::object();
+      obs::Json router_info = obs::Json::object();
+      router_info.set("host", obs::Json(cli.str("host")));
+      router_info.set("port", obs::Json(static_cast<std::uint64_t>(server.port())));
+      router_info.set("admin_port",
+                      obs::Json(static_cast<std::uint64_t>(admin ? admin->port() : 0)));
+      status.set("router", std::move(router_info));
+      obs::Json shards = obs::Json::array();
+      for (const dist::ShardAddress& shard : config.shards) {
+        obs::Json one = obs::Json::object();
+        one.set("name", obs::Json(shard.name));
+        one.set("data", obs::Json(shard.data.to_string()));
+        one.set("admin", obs::Json(shard.admin.to_string()));
+        if (spawn > 0)
+          one.set("pid", obs::Json(static_cast<std::int64_t>(supervisor.pid(shard.name))));
+        shards.push(std::move(one));
+      }
+      status.set("shards", std::move(shards));
+      std::ofstream out(cli.str("status-file"), std::ios::trunc);
+      out << status.dump(2) << "\n";
+      if (!out) {
+        std::cerr << "srna-router: cannot write " << cli.str("status-file") << "\n";
+        return 1;
+      }
+    }
+
+    obs::log_info("router.start",
+                  obs::log_fields(
+                      {{"port", obs::Json(static_cast<std::uint64_t>(server.port()))},
+                       {"shards", obs::Json(static_cast<std::uint64_t>(config.shards.size()))}}));
+    while (!g_stop.load(std::memory_order_relaxed))
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    obs::log_info("router.stop");
+
+    server.stop();    // no new client lines
+    router.stop();    // rejects stragglers, closes shard links
+    if (admin) admin->stop();
+    supervisor.stop_all();
+
+    std::cerr << router.stats_json().dump(2) << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "srna-router: " << e.what() << "\n";
+    return 1;
+  }
+}

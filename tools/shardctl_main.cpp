@@ -1,0 +1,150 @@
+// srna-shardctl — operator CLI for the distributed serving tier.
+//
+// Talks to a running srna-router's admin plane (or reads the topology from
+// its --status-file) and answers the questions an operator actually asks:
+//
+//   srna-shardctl --admin 127.0.0.1:7643 status    fleet stats (router + shards)
+//   srna-shardctl --admin ... metrics              merged Prometheus exposition
+//   srna-shardctl --admin ... ready                exit 0 iff the router routes
+//   srna-shardctl --status-file s.json topology    resolved ports and pids
+//   srna-shardctl --status-file s.json route --a=DOTB --b=DOTB
+//       where a structure pair lands: its canonical digest plus the ring's
+//       replica order, computed with the same hash the router uses (so the
+//       answer matches without asking the router).
+//
+// `route` needs the shard names and ring shape; they come from the status
+// file (or repeated --shard-name) plus --vnodes/--replicas, which must match
+// the router's flags.
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dist/hash_ring.hpp"
+#include "dist/net.hpp"
+#include "obs/json.hpp"
+#include "rna/dot_bracket.hpp"
+#include "rna/structure_hash.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace srna;
+
+obs::Json load_status_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read status file " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::optional<obs::Json> doc = obs::Json::parse(buffer.str());
+  if (!doc) throw std::runtime_error("status file " + path + " is not valid JSON");
+  return *doc;
+}
+
+std::string fetch(const dist::Endpoint& admin, const std::string& path) {
+  const std::optional<std::string> body = dist::http_get_body(admin, path, 2000);
+  if (!body)
+    throw std::runtime_error("no 2xx from http://" + admin.to_string() + path);
+  return *body;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("srna-shardctl",
+                "operator CLI for srna-router fleets "
+                "(status | metrics | ready | topology | route)");
+  cli.add_option("admin", "router admin endpoint HOST:PORT", "");
+  cli.add_option("status-file", "topology JSON written by srna-router --status-file", "");
+  cli.add_option("shard-name", "shard name for `route` when no status file; repeatable", "");
+  cli.add_option("a", "dot-bracket structure A for `route`", "");
+  cli.add_option("b", "dot-bracket structure B for `route`", "");
+  cli.add_option("replicas", "ring replicas (must match the router)", "2");
+  cli.add_option("vnodes", "ring virtual nodes per shard (must match the router)", "128");
+
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    if (cli.positional().size() != 1)
+      throw std::invalid_argument(
+          "expected exactly one command: status | metrics | ready | topology | route");
+    const std::string& command = cli.positional()[0];
+
+    // Resolve the router admin endpoint: explicit flag wins, status file second.
+    std::optional<dist::Endpoint> admin;
+    std::optional<obs::Json> status;
+    if (!cli.str("status-file").empty()) status = load_status_file(cli.str("status-file"));
+    if (!cli.str("admin").empty()) {
+      admin = dist::parse_endpoint(cli.str("admin"));
+    } else if (status) {
+      const obs::Json* router = status->find("router");
+      const obs::Json* host = router ? router->find("host") : nullptr;
+      const obs::Json* port = router ? router->find("admin_port") : nullptr;
+      if (host && port && port->as_uint() != 0)
+        admin = dist::Endpoint{host->as_string(),
+                               static_cast<std::uint16_t>(port->as_uint())};
+    }
+
+    if (command == "status" || command == "metrics" || command == "ready") {
+      if (!admin)
+        throw std::invalid_argument("command '" + command +
+                                    "' needs --admin or a status file with an admin port");
+      if (command == "status") {
+        std::cout << fetch(*admin, "/statz") << "\n";
+      } else if (command == "metrics") {
+        std::cout << fetch(*admin, "/metrics");
+      } else {
+        const std::optional<std::string> body =
+            dist::http_get_body(*admin, "/readyz", 2000);
+        std::cout << (body ? *body : std::string("not ready")) << "\n";
+        return body ? 0 : 1;
+      }
+      return 0;
+    }
+
+    if (command == "topology") {
+      if (!status) throw std::invalid_argument("`topology` needs --status-file");
+      std::cout << status->dump(2) << "\n";
+      return 0;
+    }
+
+    if (command == "route") {
+      std::vector<std::string> names = cli.str_list("shard-name");
+      if (names.empty() && status) {
+        if (const obs::Json* shards = status->find("shards")) {
+          for (const obs::Json& shard : shards->items())
+            if (const obs::Json* name = shard.find("name"))
+              names.push_back(name->as_string());
+        }
+      }
+      if (names.empty())
+        throw std::invalid_argument("`route` needs --status-file or --shard-name");
+      if (cli.str("a").empty() || cli.str("b").empty())
+        throw std::invalid_argument("`route` needs --a and --b dot-brackets");
+
+      const SecondaryStructure a = parse_dot_bracket(cli.str("a"));
+      const SecondaryStructure b = parse_dot_bracket(cli.str("b"));
+      const std::uint64_t digest = hash_structure_pair(a, b);
+
+      dist::HashRing ring(static_cast<int>(cli.integer("vnodes")));
+      for (const std::string& name : names) ring.add_node(name);
+      const std::vector<std::string> owners =
+          ring.owners(digest, static_cast<std::size_t>(cli.integer("replicas")));
+
+      obs::Json out = obs::Json::object();
+      out.set("digest", obs::Json(digest_hex(digest)));
+      obs::Json replicas = obs::Json::array();
+      for (const std::string& owner : owners) replicas.push(obs::Json(owner));
+      out.set("replicas", std::move(replicas));
+      std::cout << out.dump(2) << "\n";
+      return 0;
+    }
+
+    throw std::invalid_argument("unknown command '" + command + "'");
+  } catch (const std::exception& e) {
+    std::cerr << "srna-shardctl: " << e.what() << "\n";
+    return 1;
+  }
+}
