@@ -19,6 +19,11 @@
 #                      workspaces reusable, cache keys own their canonical
 #                      forms, connection buffers stay in bounds.
 #
+# The tree is configured with -DSRNA_DISABLE_SIMD=ON: the scalar fallback is
+# the sanitized slice-kernel path by contract (intrinsics hide byte-level
+# accesses from the instrumentation), and the kernel-equivalence suite pins
+# the SIMD legs bit-identical to the scalar code this run vets.
+#
 # Usage: scripts/check_asan.sh [build-dir]   (default: build-asan)
 set -euo pipefail
 
@@ -28,6 +33,7 @@ BUILD_DIR="${1:-build-asan}"
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DSRNA_SANITIZE=address,undefined \
+  -DSRNA_DISABLE_SIMD=ON \
   -DSRNA_BUILD_BENCH=OFF \
   -DSRNA_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD_DIR" --target core_tests memstore_tests engine_tests db_tests serve_tests -j "$(nproc)"

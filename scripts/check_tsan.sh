@@ -31,6 +31,10 @@
 # guarantee those barriers provide is tested functionally instead
 # (PrnaOptions::validate_memo in tests/parallel/prna_test.cpp).
 #
+# Configured with -DSRNA_DISABLE_SIMD=ON so worker threads run the scalar
+# slice-kernel fallback (pinned bit-identical to the SIMD legs by the
+# kernel-equivalence suite) under instrumentation.
+#
 # Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
 
@@ -40,6 +44,7 @@ BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DSRNA_SANITIZE=thread \
+  -DSRNA_DISABLE_SIMD=ON \
   -DSRNA_BUILD_BENCH=OFF \
   -DSRNA_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD_DIR" --target obs_tests serve_tests parallel_tests -j "$(nproc)"

@@ -17,6 +17,10 @@
 #   * obs_tests      — counters, histograms, JSON numerics, the counter stub,
 #                      and the critical-path analyzer.
 #
+# Configured with -DSRNA_DISABLE_SIMD=ON so the scalar slice-kernel fallback
+# (pinned bit-identical to the SIMD legs by the kernel-equivalence suite) is
+# the path UBSan instruments.
+#
 # Usage: scripts/check_ubsan.sh [build-dir]   (default: build-ubsan)
 set -euo pipefail
 
@@ -26,6 +30,7 @@ BUILD_DIR="${1:-build-ubsan}"
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DSRNA_SANITIZE=undefined \
+  -DSRNA_DISABLE_SIMD=ON \
   -DSRNA_BUILD_BENCH=OFF \
   -DSRNA_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD_DIR" --target core_tests memstore_tests engine_tests obs_tests -j "$(nproc)"

@@ -62,6 +62,7 @@ Score run_srna2(const SecondaryStructure& s1, const SecondaryStructure& s2,
   obs::TraceScope stage1_span("srna2", "stage1");
   Matrix<Score>& dense_scratch = scratch.dense_grid(0);
   EventScratch& compressed_scratch = scratch.events(0);
+  const SliceKernel kernel = scratch.slice_kernel(options.kernel, 0);
   std::uint64_t slices_started = 0;
   for (std::size_t a = 0; a < idx1.size(); ++a) {
     const Arc arc1 = idx1.arc(a);
@@ -79,7 +80,7 @@ Score run_srna2(const SecondaryStructure& s1, const SecondaryStructure& s2,
         value = tabulate_slice_dense(
             s1, s2, col_events,
             SliceBounds::under(arc1.left, arc1.right, arc2.left, arc2.right),
-            dense_scratch, d2_lookup, &stats);
+            dense_scratch, kernel, d2_lookup, &stats);
       } else {
         value = tabulate_slice_compressed(idx1.interior(a), idx2.interior(b),
                                           compressed_scratch, d2_lookup, &stats);
@@ -99,7 +100,7 @@ Score run_srna2(const SecondaryStructure& s1, const SecondaryStructure& s2,
   if (dense) {
     answer = tabulate_slice_dense(s1, s2, col_events,
                                   SliceBounds{0, s1.length() - 1, 0, s2.length() - 1},
-                                  dense_scratch, d2_lookup, &stats);
+                                  dense_scratch, kernel, d2_lookup, &stats);
   } else {
     answer = tabulate_slice_compressed(idx1.all(), idx2.all(), compressed_scratch,
                                        d2_lookup, &stats);

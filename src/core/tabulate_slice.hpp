@@ -35,14 +35,36 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
+#include "core/options.hpp"
 #include "core/result.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "rna/secondary_structure.hpp"
 #include "util/matrix.hpp"
+
+// Compile-time SIMD dispatch for the batched kernel variants (DESIGN.md
+// §4.5). -DSRNA_DISABLE_SIMD forces the scalar instantiation of the same
+// blocked code path — the only instantiation sanitizer builds compile
+// (scripts/check_asan.sh / check_ubsan.sh / check_tsan.sh configure with it),
+// so a sanitizer-clean run certifies exactly the kernel it ran.
+#if !defined(SRNA_DISABLE_SIMD) && defined(__AVX2__)
+#include <immintrin.h>
+#define SRNA_KERNEL_AVX2 1
+#define SRNA_KERNEL_SSE2 1
+#if defined(__AVX512F__)
+#define SRNA_KERNEL_AVX512 1
+#endif
+#elif !defined(SRNA_DISABLE_SIMD) && defined(__SSE2__)
+#include <emmintrin.h>
+#if defined(__SSE4_1__)
+#include <smmintrin.h>
+#endif
+#define SRNA_KERNEL_SSE2 1
+#endif
 
 namespace srna {
 
@@ -141,6 +163,10 @@ void fill_slice_dense(const SecondaryStructure& s1, const SecondaryStructure& /*
   }
   const auto rows = static_cast<std::size_t>(b.width());
   const auto cols = static_cast<std::size_t>(b.height());
+  // Deliberately the zeroing resize: this kernel is the pre-batching baseline
+  // the micro_kernels perf gate compares the batched variants against, so it
+  // stays exactly as shipped (the no-zero reshape() is part of the batched
+  // kernels' win).
   grid.resize(rows, cols, 0);
 
   if (stats != nullptr) {
@@ -308,6 +334,713 @@ void fill_slice_dense_reference(const SecondaryStructure& s1, const SecondaryStr
   }
 }
 
+// ---------------------------------------------------------------------------
+// Batched kernel variants (DESIGN.md §4.5).
+//
+// The event-run kernel above still evaluates the per-event max chain
+// serially: `v = max(up[ce], left); v = max(v, 1 + d1 + d2); left = v` is a
+// loop-carried dependency through `left`. The variants below break the row
+// into three passes over contiguous per-event arrays:
+//
+//   1. candidates — cand[j] = 1 + d1 + d2 for the qualifying events (the
+//      memo gather), no loop-carried dependency;
+//   2. combine    — a[j] = max(cand[j], up[ce_j]) (vertical max, SIMD);
+//   3. reduce     — v[j] = max(a_0..a_j), an inclusive prefix max. kSimd
+//      runs a log-step vector scan; kFourRussians packs four per-event
+//      deltas into a 12-bit word and resolves the block with one lookup in
+//      a precomputed table.
+//
+// Row identity: v_j = max(a_0..a_j) with no seed term, because the run
+// before the first event contributes up[0] <= up[ce_0] <= a_0 (rows of F
+// are monotone non-decreasing left to right). Cells between events keep
+// their run values exactly as in the event-run kernel.
+//
+// The event columns and d1 gather indices are row-invariant, so they are
+// precomputed once per slice into a KernelScratch (pooled per recursion
+// level in Workspace).
+
+// Reusable per-slice buffers of the batched kernels. Pooled in Workspace
+// (kernel_scratch(level)); a steady-state solve allocates nothing.
+struct KernelScratch {
+  // d1_idx sentinels: the event qualifies with d1 = 0 (its partner arc
+  // starts exactly at the slice edge), or does not qualify at all.
+  static constexpr std::int32_t kZeroD1 = -1;
+  static constexpr std::int32_t kSkip = -2;
+
+  std::vector<std::uint32_t> cols;   // per event: column offset within the slice
+  std::vector<std::int32_t> d1_idx;  // per event: d1 gather column, or a sentinel
+  std::vector<Score> vals;           // per event: candidate -> combined -> reduced
+
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept {
+    return cols.capacity() * sizeof(std::uint32_t) +
+           d1_idx.capacity() * sizeof(std::int32_t) + vals.capacity() * sizeof(Score);
+  }
+};
+
+// The Four-Russians block-combine table. Within a row, consecutive event
+// values satisfy a_j - v_{j-1} <= 1 for any true-DP d2 oracle (the arc-match
+// increment bound, DESIGN.md §4.5), so the delta of a_j against the value
+// entering a 4-event block lies in [-1, 4] (deltas below -1 clamp losslessly:
+// they cannot win a max). Each delta packs into a 3-bit code, four events
+// into a 12-bit word, and this table maps the word to the four packed
+// running maxima — one lookup replaces the block's max chain. Blocks whose
+// deltas exceed kMaxDelta (possible only under synthetic oracles, e.g. the
+// equivalence test's position-dependent fake d2) are detected at encode time
+// and fall back to the scalar chain, keeping the variant exact for arbitrary
+// oracles. Built once and pooled in Workspace (~8 KiB).
+struct FourRussiansTable {
+  static constexpr std::size_t kBlockEvents = 4;
+  static constexpr unsigned kCodeBits = 3;
+  static constexpr std::int32_t kMaxDelta = 4;  // j + 1 <= 4 within a block
+  static constexpr std::size_t kEntries = std::size_t{1} << (kCodeBits * kBlockEvents);
+
+  // combine[word] packs, per event j of the block, max(0, delta_0..delta_j)
+  // in the same 3-bit slots; v_j = base + that running maximum.
+  std::vector<std::uint16_t> combine;
+
+  void build() {
+    if (!combine.empty()) return;
+    combine.resize(kEntries);
+    for (std::size_t word = 0; word < kEntries; ++word) {
+      std::uint16_t out = 0;
+      std::int32_t running = 0;
+      for (unsigned j = 0; j < kBlockEvents; ++j) {
+        const auto code = static_cast<std::int32_t>((word >> (kCodeBits * j)) & 7U);
+        running = std::max(running, code - 1);  // codes 0..5 encode deltas -1..4
+        out = static_cast<std::uint16_t>(
+            out | (static_cast<unsigned>(running) << (kCodeBits * j)));
+      }
+      combine[word] = out;
+    }
+  }
+
+  [[nodiscard]] bool built() const noexcept { return !combine.empty(); }
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept {
+    return combine.capacity() * sizeof(std::uint16_t);
+  }
+};
+
+// kAuto resolves to the best variant for this build. The blocked kernels are
+// always selectable — under SRNA_DISABLE_SIMD their vector primitives are
+// scalar loops with bit-identical results — so resolution is unconditional.
+[[nodiscard]] constexpr KernelVariant resolve_kernel_variant(KernelVariant v) noexcept {
+  return v == KernelVariant::kAuto ? KernelVariant::kSimd : v;
+}
+
+// A resolved kernel selection bundled with its pooled state: what the
+// per-slice call sites thread through. Workspace::slice_kernel() builds one;
+// tests build them by hand around a local scratch/table.
+struct SliceKernel {
+  KernelVariant variant = KernelVariant::kEventRun;  // resolved; never kAuto
+  KernelScratch* scratch = nullptr;                  // kSimd / kFourRussians
+  const FourRussiansTable* table = nullptr;          // kFourRussians only
+};
+
+namespace detail {
+
+// Row-invariant per-slice event metadata, computed once per fill call.
+struct PreparedEvents {
+  std::size_t count = 0;       // events inside the slice columns
+  std::size_t qualifying = 0;  // events whose dynamic case can fire
+  std::size_t desc_prefix = 0; // leading events whose d1 columns descend by 1
+  bool contiguous = false;     // event columns are consecutive offsets
+};
+
+inline PreparedEvents prepare_kernel_events(std::span<const ColumnEvents::Event> events,
+                                            Pos lo2, KernelScratch& ks) {
+  PreparedEvents prep;
+  prep.count = events.size();
+  ks.cols.resize(prep.count);
+  ks.d1_idx.resize(prep.count);
+  ks.vals.resize(prep.count);
+  prep.contiguous = true;
+  for (std::size_t j = 0; j < prep.count; ++j) {
+    const ColumnEvents::Event& e = events[j];
+    const auto ce = static_cast<std::uint32_t>(e.y - lo2);
+    ks.cols[j] = ce;
+    if (j > 0 && ce != ks.cols[j - 1] + 1) prep.contiguous = false;
+    if (e.k >= lo2) {
+      ++prep.qualifying;
+      ks.d1_idx[j] = e.k - 1 >= lo2 ? static_cast<std::int32_t>(e.k - 1 - lo2)
+                                    : KernelScratch::kZeroD1;
+    } else {
+      ks.d1_idx[j] = KernelScratch::kSkip;
+    }
+  }
+  // Nested-arc runs (the Table I worst case is one) produce d1 columns that
+  // descend by exactly one: d1_idx[j] = d1_idx[0] - j while nonnegative.
+  // Over that prefix the d1 reads of a row are one reversed contiguous
+  // block — a plain load instead of a gather.
+  if (prep.count > 0 && ks.d1_idx[0] >= 0) {
+    std::size_t p = 1;
+    while (p < prep.count && ks.d1_idx[p] == ks.d1_idx[0] - static_cast<std::int32_t>(p) &&
+           ks.d1_idx[p] >= 0)
+      ++p;
+    prep.desc_prefix = p;
+  }
+  return prep;
+}
+
+// Candidate value of a non-qualifying event: loses every max against the
+// up-row (grid values are never negative — row 0 is zero and rows are
+// pointwise monotone), so the event contributes up[ce] alone, exactly as in
+// the reference.
+inline constexpr Score kNoCandidate = std::numeric_limits<Score>::min();
+
+// Pass 1b: vals[j] (holding the event's d2 value) += 1 + d1, kNoCandidate
+// where the event does not qualify. Over the descending prefix the d1 reads
+// are one reversed contiguous load per block; the remainder is a masked
+// gather on AVX2 (masked-off lanes — the kZeroD1/kSkip sentinels — touch no
+// memory).
+inline void apply_d1_candidates(const std::int32_t* d1_idx, std::size_t ne,
+                                std::size_t desc_prefix, const Score* d1_row,
+                                Score* vals) noexcept {
+  std::size_t j = 0;
+#if defined(SRNA_KERNEL_AVX2)
+  const __m256i ones = _mm256_set1_epi32(1);
+  if (d1_row != nullptr && desc_prefix >= 8) {
+    const __m256i rev = _mm256_setr_epi32(7, 6, 5, 4, 3, 2, 1, 0);
+    const auto base = static_cast<std::size_t>(d1_idx[0]);
+    for (; j + 8 <= desc_prefix; j += 8) {
+      __m256i d1 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(d1_row + (base - j - 7)));
+      d1 = _mm256_permutevar8x32_epi32(d1, rev);
+      __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(vals + j));
+      v = _mm256_add_epi32(_mm256_add_epi32(v, d1), ones);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(vals + j), v);
+    }
+  }
+  const __m256i skip = _mm256_set1_epi32(KernelScratch::kSkip);
+  const __m256i none = _mm256_set1_epi32(kNoCandidate);
+  const __m256i minus1 = _mm256_set1_epi32(-1);
+  for (; j + 8 <= ne; j += 8) {
+    const __m256i idx = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(d1_idx + j));
+    __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(vals + j));
+    if (d1_row != nullptr) {
+      const __m256i mask = _mm256_cmpgt_epi32(idx, minus1);  // di >= 0: real d1 column
+      const __m256i d1 = _mm256_mask_i32gather_epi32(
+          _mm256_setzero_si256(), reinterpret_cast<const int*>(d1_row), idx, mask, 4);
+      v = _mm256_add_epi32(v, d1);
+    }
+    v = _mm256_add_epi32(v, ones);
+    v = _mm256_blendv_epi8(v, none, _mm256_cmpeq_epi32(idx, skip));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(vals + j), v);
+  }
+#else
+  (void)desc_prefix;
+#endif
+  for (; j < ne; ++j) {
+    const std::int32_t di = d1_idx[j];
+    if (di == KernelScratch::kSkip) {
+      vals[j] = kNoCandidate;
+      continue;
+    }
+    const Score d1 =
+        (d1_row != nullptr && di >= 0) ? d1_row[static_cast<std::size_t>(di)] : Score{0};
+    vals[j] = static_cast<Score>(vals[j] + 1 + d1);
+  }
+}
+
+// Fused pass 1b + 2 for contiguous events: a[j] = max(cand[j], up_run[j])
+// in one sweep over vals, avoiding a separate combine pass. Same descending-
+// prefix reversed-load fast path as apply_d1_candidates.
+inline void apply_d1_up_contiguous(const std::int32_t* d1_idx, std::size_t ne,
+                                   std::size_t desc_prefix, const Score* d1_row,
+                                   const Score* up_run, Score* vals) noexcept {
+  std::size_t j = 0;
+#if defined(SRNA_KERNEL_AVX2)
+  const __m256i ones = _mm256_set1_epi32(1);
+  if (d1_row != nullptr && desc_prefix >= 8) {
+    const __m256i rev = _mm256_setr_epi32(7, 6, 5, 4, 3, 2, 1, 0);
+    const auto base = static_cast<std::size_t>(d1_idx[0]);
+    for (; j + 8 <= desc_prefix; j += 8) {
+      __m256i d1 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(d1_row + (base - j - 7)));
+      d1 = _mm256_permutevar8x32_epi32(d1, rev);
+      __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(vals + j));
+      v = _mm256_add_epi32(_mm256_add_epi32(v, d1), ones);
+      const __m256i up = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(up_run + j));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(vals + j), _mm256_max_epi32(v, up));
+    }
+  }
+  const __m256i skip = _mm256_set1_epi32(KernelScratch::kSkip);
+  const __m256i none = _mm256_set1_epi32(kNoCandidate);
+  const __m256i minus1 = _mm256_set1_epi32(-1);
+  for (; j + 8 <= ne; j += 8) {
+    const __m256i idx = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(d1_idx + j));
+    __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(vals + j));
+    if (d1_row != nullptr) {
+      const __m256i mask = _mm256_cmpgt_epi32(idx, minus1);
+      const __m256i d1 = _mm256_mask_i32gather_epi32(
+          _mm256_setzero_si256(), reinterpret_cast<const int*>(d1_row), idx, mask, 4);
+      v = _mm256_add_epi32(v, d1);
+    }
+    v = _mm256_add_epi32(v, ones);
+    v = _mm256_blendv_epi8(v, none, _mm256_cmpeq_epi32(idx, skip));
+    const __m256i up = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(up_run + j));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(vals + j), _mm256_max_epi32(v, up));
+  }
+#else
+  (void)desc_prefix;
+#endif
+  for (; j < ne; ++j) {
+    const std::int32_t di = d1_idx[j];
+    if (di == KernelScratch::kSkip) {
+      vals[j] = up_run[j];
+      continue;
+    }
+    const Score d1 =
+        (d1_row != nullptr && di >= 0) ? d1_row[static_cast<std::size_t>(di)] : Score{0};
+    vals[j] = std::max(static_cast<Score>(vals[j] + 1 + d1), up_run[j]);
+  }
+}
+
+// Pass 1a: vals[j] = the event's d2 value — d2_of invoked for the same
+// (k1, x, k2, y) tuples, in the same left-to-right order, as the reference;
+// SRNA1's memoize-on-miss oracle depends on that. Qualification is
+// row-invariant, so the all-qualify sweep is branch-free (and
+// auto-vectorizes for trivial oracles).
+template <typename D2>
+inline void compute_event_d2(const KernelScratch& ks, const PreparedEvents& prep, Pos k1,
+                             Pos x, std::span<const ColumnEvents::Event> events,
+                             Score* vals, D2&& d2_of) {
+  const std::size_t ne = prep.count;
+  if (prep.qualifying == ne) {
+    for (std::size_t j = 0; j < ne; ++j)
+      vals[j] = static_cast<Score>(d2_of(k1, x, events[j].k, events[j].y));
+  } else {
+    for (std::size_t j = 0; j < ne; ++j)
+      vals[j] = ks.d1_idx[j] == KernelScratch::kSkip
+                    ? Score{0}
+                    : static_cast<Score>(d2_of(k1, x, events[j].k, events[j].y));
+  }
+}
+
+// Pass 1 in one call: cand[j] = 1 + d1 + d2 for qualifying events,
+// kNoCandidate otherwise (the Four-Russians and non-contiguous paths).
+template <typename D2>
+inline void compute_event_candidates(const KernelScratch& ks, const PreparedEvents& prep,
+                                     const Score* d1_row, Pos k1, Pos x,
+                                     std::span<const ColumnEvents::Event> events,
+                                     Score* vals, D2&& d2_of) {
+  compute_event_d2(ks, prep, k1, x, events, vals, d2_of);
+  apply_d1_candidates(ks.d1_idx.data(), prep.count, prep.desc_prefix, d1_row, vals);
+}
+
+#if defined(SRNA_KERNEL_SSE2)
+inline __m128i max_epi32_sse(__m128i a, __m128i b) noexcept {
+#if defined(__SSE4_1__) || defined(SRNA_KERNEL_AVX2)
+  return _mm_max_epi32(a, b);
+#else
+  const __m128i gt = _mm_cmpgt_epi32(a, b);
+  return _mm_or_si128(_mm_and_si128(gt, a), _mm_andnot_si128(gt, b));
+#endif
+}
+#endif
+
+// Pass 2a (contiguous events): a[j] = max(a[j], up_run[j]) — a vertical max
+// over two contiguous blocks.
+inline void combine_up_contiguous(Score* vals, const Score* up, std::size_t n) noexcept {
+  std::size_t j = 0;
+#if defined(SRNA_KERNEL_AVX2)
+  for (; j + 8 <= n; j += 8) {
+    const __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(vals + j));
+    const __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(up + j));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(vals + j), _mm256_max_epi32(a, b));
+  }
+#elif defined(SRNA_KERNEL_SSE2)
+  for (; j + 4 <= n; j += 4) {
+    const __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(vals + j));
+    const __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(up + j));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(vals + j), max_epi32_sse(a, b));
+  }
+#endif
+  for (; j < n; ++j) vals[j] = std::max(vals[j], up[j]);
+}
+
+// Pass 2b (general events): a[j] = max(a[j], up[cols[j]]) — a gather on
+// AVX2, scalar otherwise.
+inline void combine_up_gather(Score* vals, const Score* up, const std::uint32_t* cols,
+                              std::size_t n) noexcept {
+  std::size_t j = 0;
+#if defined(SRNA_KERNEL_AVX2)
+  for (; j + 8 <= n; j += 8) {
+    const __m256i idx = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cols + j));
+    const __m256i b = _mm256_i32gather_epi32(reinterpret_cast<const int*>(up), idx, 4);
+    const __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(vals + j));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(vals + j), _mm256_max_epi32(a, b));
+  }
+#endif
+  for (; j < n; ++j) vals[j] = std::max(vals[j], up[cols[j]]);
+}
+
+// Pass 3 (kSimd): inclusive prefix max of src into dst (dst == src for
+// in-place), returning the running maximum. Vector blocks of four with a
+// log-step shift-and-max scan; zeros shifted in at the block edge are
+// harmless because the inputs (already maxed with the up row) are never
+// negative. Writing straight into the grid row skips the scatter copy on
+// the contiguous path.
+inline Score prefix_max_to(Score* dst, const Score* src, std::size_t n) noexcept {
+  std::size_t j = 0;
+  Score carry = 0;
+#if defined(SRNA_KERNEL_AVX2)
+  __m256i vcarry = _mm256_setzero_si256();
+  for (; j + 8 <= n; j += 8) {
+    __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + j));
+    // In-lane log-step scan, then propagate lane 0's max into lane 1.
+    x = _mm256_max_epi32(x, _mm256_slli_si256(x, 4));
+    x = _mm256_max_epi32(x, _mm256_slli_si256(x, 8));
+    const __m256i tops = _mm256_shuffle_epi32(x, _MM_SHUFFLE(3, 3, 3, 3));
+    x = _mm256_max_epi32(x, _mm256_permute2x128_si256(tops, tops, 0x08));  // [0, tops.lo]
+    const __m256i hi = _mm256_shuffle_epi32(x, _MM_SHUFFLE(3, 3, 3, 3));
+    const __m256i bmax = _mm256_permute2x128_si256(hi, hi, 0x11);  // broadcast block max
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + j), _mm256_max_epi32(x, vcarry));
+    vcarry = _mm256_max_epi32(vcarry, bmax);  // the only op on the serial chain
+  }
+  carry = static_cast<Score>(_mm256_extract_epi32(vcarry, 0));
+#elif defined(SRNA_KERNEL_SSE2)
+  __m128i vcarry = _mm_setzero_si128();
+  for (; j + 4 <= n; j += 4) {
+    __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + j));
+    x = max_epi32_sse(x, _mm_slli_si128(x, 4));
+    x = max_epi32_sse(x, _mm_slli_si128(x, 8));
+    x = max_epi32_sse(x, vcarry);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + j), x);
+    vcarry = _mm_shuffle_epi32(x, _MM_SHUFFLE(3, 3, 3, 3));
+  }
+  carry = static_cast<Score>(_mm_cvtsi128_si32(vcarry));
+#endif
+  for (; j < n; ++j) {
+    carry = std::max(carry, src[j]);
+    dst[j] = carry;
+  }
+  return carry;
+}
+
+inline void prefix_max_inclusive(Score* vals, std::size_t n) noexcept {
+  (void)prefix_max_to(vals, vals, n);
+}
+
+#if defined(SRNA_KERNEL_AVX2)
+#if defined(SRNA_KERNEL_AVX512) && defined(__GNUC__) && !defined(__clang__)
+// GCC 12's -Wmaybe-uninitialized fires on the _mm512_undefined_epi32()
+// pass-through inside the unmasked AVX-512 intrinsics themselves.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+// Fully fused passes 1b + 2 + 3 for the contiguous case: candidate combine,
+// up-max, and the inclusive prefix-max scan in a single loop writing straight
+// into the grid row. The scan's carry chain is latency-bound (a shuffle +
+// permute + max per block that each iteration must wait on); folding the
+// d1 loads and max work into the same loop lets them execute in that shadow
+// instead of costing a separate pass over the row.
+inline Score fused_candidates_scan(const std::int32_t* d1_idx, std::size_t ne,
+                                   std::size_t desc_prefix, const Score* d1_row,
+                                   const Score* up_run, const Score* vals,
+                                   Score* out) noexcept {
+  std::size_t j = 0;
+  Score carry = 0;
+  // The reversed-load path reads through d1_row; without one, every
+  // qualifying lane's d1 term is zero and the gather branch handles that.
+  const std::size_t desc = d1_row != nullptr ? desc_prefix : 0;
+  const std::size_t base = desc > 0 ? static_cast<std::size_t>(d1_idx[0]) : 0;
+#if defined(SRNA_KERNEL_AVX512)
+  // 16-wide leg over the descending prefix. The loop is bound by the shuffle
+  // port (reverse permute + the scan's lane shifts all compete for it), so
+  // doubling the lane count roughly halves the shuffle ops per event.
+  if (desc >= 16) {
+    const __m512i ones16 = _mm512_set1_epi32(1);
+    const __m512i rev16 =
+        _mm512_setr_epi32(15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0);
+    const __m512i zero16 = _mm512_setzero_si512();
+    const __m512i lane15 = _mm512_set1_epi32(15);
+    __m512i vcarry16 = zero16;
+    for (; j + 16 <= desc; j += 16) {
+      __m512i v = _mm512_loadu_si512(vals + j);
+      __m512i d1 = _mm512_loadu_si512(d1_row + (base - j - 15));
+      d1 = _mm512_permutexvar_epi32(rev16, d1);
+      v = _mm512_add_epi32(_mm512_add_epi32(v, d1), ones16);
+      __m512i x = _mm512_max_epi32(v, _mm512_loadu_si512(up_run + j));
+      x = _mm512_max_epi32(x, _mm512_alignr_epi32(x, zero16, 15));  // shift left 1
+      x = _mm512_max_epi32(x, _mm512_alignr_epi32(x, zero16, 14));  // shift left 2
+      x = _mm512_max_epi32(x, _mm512_alignr_epi32(x, zero16, 12));  // shift left 4
+      x = _mm512_max_epi32(x, _mm512_alignr_epi32(x, zero16, 8));   // shift left 8
+      const __m512i bmax = _mm512_permutexvar_epi32(lane15, x);
+      _mm512_storeu_si512(out + j, _mm512_max_epi32(x, vcarry16));
+      vcarry16 = _mm512_max_epi32(vcarry16, bmax);
+    }
+    carry = static_cast<Score>(_mm_cvtsi128_si32(_mm512_castsi512_si128(vcarry16)));
+  }
+#endif
+  const __m256i ones = _mm256_set1_epi32(1);
+  const __m256i rev = _mm256_setr_epi32(7, 6, 5, 4, 3, 2, 1, 0);
+  const __m256i skipv = _mm256_set1_epi32(KernelScratch::kSkip);
+  const __m256i none = _mm256_set1_epi32(kNoCandidate);
+  const __m256i minus1 = _mm256_set1_epi32(-1);
+  __m256i vcarry = _mm256_set1_epi32(carry);
+  for (; j + 8 <= ne; j += 8) {
+    __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(vals + j));
+    if (j + 8 <= desc) {
+      __m256i d1 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(d1_row + (base - j - 7)));
+      d1 = _mm256_permutevar8x32_epi32(d1, rev);
+      v = _mm256_add_epi32(_mm256_add_epi32(v, d1), ones);
+    } else {
+      const __m256i idx = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(d1_idx + j));
+      if (d1_row != nullptr) {
+        const __m256i mask = _mm256_cmpgt_epi32(idx, minus1);
+        const __m256i d1 = _mm256_mask_i32gather_epi32(
+            _mm256_setzero_si256(), reinterpret_cast<const int*>(d1_row), idx, mask, 4);
+        v = _mm256_add_epi32(v, d1);
+      }
+      v = _mm256_add_epi32(v, ones);
+      v = _mm256_blendv_epi8(v, none, _mm256_cmpeq_epi32(idx, skipv));
+    }
+    __m256i x = _mm256_max_epi32(v, _mm256_loadu_si256(
+                                        reinterpret_cast<const __m256i*>(up_run + j)));
+    x = _mm256_max_epi32(x, _mm256_slli_si256(x, 4));
+    x = _mm256_max_epi32(x, _mm256_slli_si256(x, 8));
+    const __m256i tops = _mm256_shuffle_epi32(x, _MM_SHUFFLE(3, 3, 3, 3));
+    x = _mm256_max_epi32(x, _mm256_permute2x128_si256(tops, tops, 0x08));
+    // The block max (last element of the in-block scan) is broadcast from
+    // the PRE-carry scan so only the final max sits on the serial carry
+    // chain — the shuffles execute in the next block's shadow.
+    const __m256i hi = _mm256_shuffle_epi32(x, _MM_SHUFFLE(3, 3, 3, 3));
+    const __m256i bmax = _mm256_permute2x128_si256(hi, hi, 0x11);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + j),
+                        _mm256_max_epi32(x, vcarry));
+    vcarry = _mm256_max_epi32(vcarry, bmax);
+  }
+  carry = static_cast<Score>(_mm256_extract_epi32(vcarry, 0));
+  for (; j < ne; ++j) {
+    const std::int32_t di = d1_idx[j];
+    Score cand;
+    if (di == KernelScratch::kSkip) {
+      cand = up_run[j];
+    } else {
+      const Score d1 =
+          (d1_row != nullptr && di >= 0) ? d1_row[static_cast<std::size_t>(di)] : Score{0};
+      cand = std::max(static_cast<Score>(vals[j] + 1 + d1), up_run[j]);
+    }
+    carry = std::max(carry, cand);
+    out[j] = carry;
+  }
+  return carry;
+}
+#if defined(SRNA_KERNEL_AVX512) && defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+#endif
+
+// Writes one reduced event row back into the grid: the head run before the
+// first event, the event cells, the constant runs between them, and the
+// tail run. In the contiguous case the event cells are one block copy.
+inline void scatter_event_row(Score* row, std::size_t cols, Score head,
+                              const std::uint32_t* ecols, const Score* vals,
+                              std::size_t ne, bool contiguous) noexcept {
+  const std::size_t first = ecols[0];
+  if (first > 0) std::fill(row, row + first, head);
+  if (contiguous) {
+    std::copy(vals, vals + ne, row + first);
+  } else {
+    std::size_t c = first;
+    for (std::size_t j = 0; j < ne; ++j) {
+      const std::size_t ce = ecols[j];
+      if (ce > c) std::fill(row + c, row + ce, vals[j - 1]);
+      row[ce] = vals[j];
+      c = ce + 1;
+    }
+  }
+  const std::size_t last = ecols[ne - 1];
+  if (last + 1 < cols) std::fill(row + last + 1, row + cols, vals[ne - 1]);
+}
+
+}  // namespace detail
+
+// The kSimd dense fill: same cells, same stats, same d2 call pattern as
+// fill_slice_dense, with the event rows evaluated by the three batched
+// passes above.
+template <typename D2>
+void fill_slice_dense_simd(const SecondaryStructure& s1, const SecondaryStructure& /*s2*/,
+                           const ColumnEvents& col_events, SliceBounds b,
+                           Matrix<Score>& grid, KernelScratch& ks, D2&& d2_of,
+                           McosStats* stats = nullptr) {
+  if (b.empty()) {
+    grid.resize(0, 0);
+    return;
+  }
+  const auto rows = static_cast<std::size_t>(b.width());
+  const auto cols = static_cast<std::size_t>(b.height());
+  grid.reshape(rows, cols);  // every cell is written below; no zero pass
+  if (stats != nullptr) {
+    ++stats->slices_tabulated;
+    stats->cells_tabulated += static_cast<std::uint64_t>(rows) * cols;
+  }
+  const std::span<const ColumnEvents::Event> events = col_events.in_range(b.lo2, b.hi2);
+  const detail::PreparedEvents prep = detail::prepare_kernel_events(events, b.lo2, ks);
+  const std::size_t ne = prep.count;
+
+  for (Pos x = b.lo1; x <= b.hi1; ++x) {
+    const auto r = static_cast<std::size_t>(x - b.lo1);
+    Score* row = grid.row_data(r);
+    const Pos k1 = s1.arc_left_of(x);
+    if (k1 < b.lo1) {
+      if (r == 0) {
+        std::fill(row, row + cols, Score{0});
+      } else {
+        const Score* up = grid.row_data(r - 1);
+        std::copy(up, up + cols, row);
+      }
+      continue;
+    }
+
+    const Score* up = grid.row_data(r - 1);
+    if (ne == 0) {  // no events: the whole row is one constant run
+      std::fill(row, row + cols, up[0]);
+      continue;
+    }
+    const Score* d1_row =
+        k1 - 1 >= b.lo1 ? grid.row_data(static_cast<std::size_t>(k1 - 1 - b.lo1)) : nullptr;
+    Score* vals = ks.vals.data();
+    detail::compute_event_d2(ks, prep, k1, x, events, vals, d2_of);
+    if (prep.contiguous) {
+      // Fused pipeline: one sweep combines cand/up, the prefix scan writes
+      // straight into the grid row — no separate combine or scatter copy.
+      const std::size_t first = ks.cols[0];
+      std::fill(row, row + first, up[0]);
+#if defined(SRNA_KERNEL_AVX2)
+      const Score tail = detail::fused_candidates_scan(ks.d1_idx.data(), ne, prep.desc_prefix,
+                                                       d1_row, up + first, vals, row + first);
+#else
+      detail::apply_d1_up_contiguous(ks.d1_idx.data(), ne, prep.desc_prefix, d1_row, up + first,
+                                     vals);
+      const Score tail = detail::prefix_max_to(row + first, vals, ne);
+#endif
+      if (first + ne < cols) std::fill(row + first + ne, row + cols, tail);
+    } else {
+      detail::apply_d1_candidates(ks.d1_idx.data(), ne, prep.desc_prefix, d1_row, vals);
+      detail::combine_up_gather(vals, up, ks.cols.data(), ne);
+      detail::prefix_max_inclusive(vals, ne);
+      detail::scatter_event_row(row, cols, up[0], ks.cols.data(), vals, ne, false);
+    }
+    if (stats != nullptr) stats->arc_match_events += prep.qualifying;
+  }
+}
+
+// The kFourRussians dense fill: passes 1–2 as in kSimd, then the prefix max
+// resolved four events at a time through the block-combine table. `table`
+// must be built (FourRussiansTable::build).
+template <typename D2>
+void fill_slice_dense_four_russians(const SecondaryStructure& s1,
+                                    const SecondaryStructure& /*s2*/,
+                                    const ColumnEvents& col_events, SliceBounds b,
+                                    Matrix<Score>& grid, KernelScratch& ks,
+                                    const FourRussiansTable& table, D2&& d2_of,
+                                    McosStats* stats = nullptr) {
+  if (b.empty()) {
+    grid.resize(0, 0);
+    return;
+  }
+  const auto rows = static_cast<std::size_t>(b.width());
+  const auto cols = static_cast<std::size_t>(b.height());
+  grid.reshape(rows, cols);  // every cell is written below; no zero pass
+  if (stats != nullptr) {
+    ++stats->slices_tabulated;
+    stats->cells_tabulated += static_cast<std::uint64_t>(rows) * cols;
+  }
+  const std::span<const ColumnEvents::Event> events = col_events.in_range(b.lo2, b.hi2);
+  const detail::PreparedEvents prep = detail::prepare_kernel_events(events, b.lo2, ks);
+  const std::size_t ne = prep.count;
+
+  for (Pos x = b.lo1; x <= b.hi1; ++x) {
+    const auto r = static_cast<std::size_t>(x - b.lo1);
+    Score* row = grid.row_data(r);
+    const Pos k1 = s1.arc_left_of(x);
+    if (k1 < b.lo1) {
+      if (r == 0) {
+        std::fill(row, row + cols, Score{0});
+      } else {
+        const Score* up = grid.row_data(r - 1);
+        std::copy(up, up + cols, row);
+      }
+      continue;
+    }
+
+    const Score* up = grid.row_data(r - 1);
+    if (ne == 0) {
+      std::fill(row, row + cols, up[0]);
+      continue;
+    }
+    const Score* d1_row =
+        k1 - 1 >= b.lo1 ? grid.row_data(static_cast<std::size_t>(k1 - 1 - b.lo1)) : nullptr;
+    Score* vals = ks.vals.data();
+    detail::compute_event_candidates(ks, prep, d1_row, k1, x, events, vals, d2_of);
+    if (prep.contiguous) {
+      detail::combine_up_contiguous(vals, up + ks.cols[0], ne);
+    } else {
+      detail::combine_up_gather(vals, up, ks.cols.data(), ne);
+    }
+
+    // Block reduction: v_j = max(a_0..a_j), four events per table lookup.
+    // `left` (the value entering the block) starts at up[ce_0] <= a_0, which
+    // keeps the delta codes anchored without changing the maximum.
+    Score left = up[ks.cols[0]];
+    std::size_t j = 0;
+    while (j < ne) {
+      if (ne - j >= FourRussiansTable::kBlockEvents) {
+        std::uint32_t word = 0;
+        bool in_bound = true;
+        for (unsigned t = 0; t < FourRussiansTable::kBlockEvents; ++t) {
+          const std::int32_t delta = vals[j + t] - left;
+          if (delta > FourRussiansTable::kMaxDelta) {
+            in_bound = false;  // synthetic oracle broke the DP delta bound
+            break;
+          }
+          const std::int32_t code = (delta < -1 ? -1 : delta) + 1;
+          word |= static_cast<std::uint32_t>(code) << (FourRussiansTable::kCodeBits * t);
+        }
+        if (in_bound) {
+          const std::uint16_t m = table.combine[word];
+          for (unsigned t = 0; t < FourRussiansTable::kBlockEvents; ++t)
+            vals[j + t] = static_cast<Score>(
+                left + static_cast<Score>((m >> (FourRussiansTable::kCodeBits * t)) & 7U));
+          left = vals[j + FourRussiansTable::kBlockEvents - 1];
+          j += FourRussiansTable::kBlockEvents;
+          continue;
+        }
+      }
+      // Remainder events and out-of-bound blocks: the scalar max chain.
+      left = std::max(left, vals[j]);
+      vals[j] = left;
+      ++j;
+    }
+    detail::scatter_event_row(row, cols, up[0], ks.cols.data(), vals, ne, prep.contiguous);
+    if (stats != nullptr) stats->arc_match_events += prep.qualifying;
+  }
+}
+
+// Variant-dispatching fill: the form the solvers call, with the selection
+// and pooled state bundled in a SliceKernel (Workspace::slice_kernel()).
+template <typename D2>
+void fill_slice_dense(const SecondaryStructure& s1, const SecondaryStructure& s2,
+                      const ColumnEvents& col_events, SliceBounds b, Matrix<Score>& grid,
+                      const SliceKernel& kernel, D2&& d2_of, McosStats* stats = nullptr) {
+  switch (kernel.variant) {
+    case KernelVariant::kSimd:
+      fill_slice_dense_simd(s1, s2, col_events, b, grid, *kernel.scratch,
+                            static_cast<D2&&>(d2_of), stats);
+      return;
+    case KernelVariant::kFourRussians:
+      fill_slice_dense_four_russians(s1, s2, col_events, b, grid, *kernel.scratch,
+                                     *kernel.table, static_cast<D2&&>(d2_of), stats);
+      return;
+    case KernelVariant::kEventRun:
+    case KernelVariant::kAuto:  // resolved by Workspace::slice_kernel; safe default
+      break;
+  }
+  fill_slice_dense(s1, s2, col_events, b, grid, static_cast<D2&&>(d2_of), stats);
+}
+
 // Dense TabulateSlice: fills into `scratch` (reused across calls — the
 // paper's per-call allocate/deallocate without the allocator churn) and
 // returns the final value. `col_events` is the per-solve ColumnEvents table.
@@ -325,6 +1058,30 @@ Score tabulate_slice_dense(const SecondaryStructure& s1, const SecondaryStructur
   if (span.active())
     span.set_args(obs::trace_args({{"rows", b.width()}, {"cols", b.height()}}));
   fill_slice_dense(s1, s2, col_events, b, scratch, static_cast<D2&&>(d2_of), stats);
+  if (span.active()) {
+    const std::uint64_t elapsed = obs::Tracer::instance().now_us() - span.start_us();
+    detail::sampled_slice_histogram().observe(static_cast<double>(elapsed) * 1e-6);
+  }
+  return scratch(static_cast<std::size_t>(b.width()) - 1,
+                 static_cast<std::size_t>(b.height()) - 1);
+}
+
+// Variant-dispatching TabulateSlice: same contract, with the kernel selected
+// by a SliceKernel (the solvers' per-slice entry point).
+template <typename D2>
+Score tabulate_slice_dense(const SecondaryStructure& s1, const SecondaryStructure& s2,
+                           const ColumnEvents& col_events, SliceBounds b,
+                           Matrix<Score>& scratch, const SliceKernel& kernel, D2&& d2_of,
+                           McosStats* stats = nullptr) {
+  if (b.empty()) {
+    if (stats != nullptr) ++stats->slices_tabulated;
+    return 0;
+  }
+  obs::TraceScope span("slice", "tabulate_dense", detail::slice_trace_sample());
+  if (span.active())
+    span.set_args(obs::trace_args({{"rows", b.width()}, {"cols", b.height()}}));
+  fill_slice_dense(s1, s2, col_events, b, scratch, kernel, static_cast<D2&&>(d2_of),
+                   stats);
   if (span.active()) {
     const std::uint64_t elapsed = obs::Tracer::instance().now_us() - span.start_us();
     detail::sampled_slice_histogram().observe(static_cast<double>(elapsed) * 1e-6);

@@ -82,6 +82,35 @@ class Workspace {
   // `.build(s2)` it once at solve start and pass it to the slice kernels.
   ColumnEvents& column_events() noexcept { return column_events_; }
 
+  // Per-event kernel scratch for the batched slice kernels, same level
+  // discipline as dense_grid() (SRNA1 fills child slices while the parent's
+  // prepared events are live).
+  KernelScratch& kernel_scratch(std::size_t level = 0) {
+    while (kernel_scratch_.size() <= level)
+      kernel_scratch_.push_back(std::make_unique<KernelScratch>());
+    return *kernel_scratch_[level];
+  }
+
+  // The Four-Russians block-combine table, built on first use (~8 KiB,
+  // shared by every solve on this workspace; the table depends on nothing
+  // solve-specific).
+  const FourRussiansTable& four_russians_table() {
+    four_russians_.build();
+    return four_russians_;
+  }
+
+  // Bundles a resolved kernel variant with this workspace's pooled state —
+  // what the solvers thread to fill_slice_dense per slice.
+  [[nodiscard]] SliceKernel slice_kernel(KernelVariant variant, std::size_t level = 0) {
+    SliceKernel kernel;
+    kernel.variant = resolve_kernel_variant(variant);
+    if (kernel.variant != KernelVariant::kEventRun)
+      kernel.scratch = &kernel_scratch(level);
+    if (kernel.variant == KernelVariant::kFourRussians)
+      kernel.table = &four_russians_table();
+    return kernel;
+  }
+
   // The windowed (space-lean) memo store for the srna-lean path. The solver
   // configure()s it per solve; resident rows survive for the traceback.
   WindowedMemoStore& lean_store() noexcept { return lean_store_; }
@@ -108,6 +137,8 @@ class Workspace {
     for (const auto& g : dense_grids_) total += g->flat().capacity() * sizeof(Score);
     for (const auto& e : events_) total += e->capacity_bytes();
     for (const auto& l : lean_scratch_) total += l->capacity_bytes();
+    for (const auto& k : kernel_scratch_) total += k->capacity_bytes();
+    total += four_russians_.capacity_bytes();
     return total;
   }
 
@@ -154,6 +185,8 @@ class Workspace {
     dense_grids_.clear();
     events_.clear();
     lean_scratch_.clear();
+    kernel_scratch_.clear();
+    four_russians_ = FourRussiansTable{};
     lean_store_.release();
     column_events_ = ColumnEvents{};
   }
@@ -168,6 +201,8 @@ class Workspace {
   std::vector<std::unique_ptr<Matrix<Score>>> dense_grids_;
   std::vector<std::unique_ptr<EventScratch>> events_;
   std::vector<std::unique_ptr<LeanSliceScratch>> lean_scratch_;
+  std::vector<std::unique_ptr<KernelScratch>> kernel_scratch_;
+  FourRussiansTable four_russians_;
   WindowedMemoStore lean_store_;
   ColumnEvents column_events_;
   std::uint64_t solves_ = 0;

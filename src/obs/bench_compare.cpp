@@ -62,6 +62,14 @@ void flatten_rows(const Json& rows, std::string_view prefix, std::vector<BenchVa
   }
 }
 
+// True for metrics measured in milliseconds ("..._ms" or "..._ms_p99"),
+// the unit the noise floor is expressed in.
+bool is_millisecond_metric(std::string_view key) {
+  const std::size_t dot = key.rfind('.');
+  const std::string_view leaf = dot == std::string_view::npos ? key : key.substr(dot + 1);
+  return ends_with(leaf, "_ms") || contains_token(leaf, "_ms_");
+}
+
 }  // namespace
 
 int metric_direction(std::string_view key) noexcept {
@@ -71,9 +79,11 @@ int metric_direction(std::string_view key) noexcept {
   // miss_rate / error_rate must beat the generic "_rate is good" rule below:
   // a *dropping* cache-miss rate is an improvement, not a regression.
   if (contains_token(leaf, "miss_rate") || contains_token(leaf, "error_rate")) return -1;
+  // Anchored "_per_second": a bare substring match would swallow
+  // "greedy_upper_seconds" ("up[per_second]s") and invert its direction.
   if (contains_token(leaf, "throughput") || contains_token(leaf, "speedup") ||
       contains_token(leaf, "efficiency") || contains_token(leaf, "hit_rate") ||
-      contains_token(leaf, "per_second") || ends_with(leaf, "_rps") ||
+      ends_with(leaf, "_per_second") || ends_with(leaf, "_rps") ||
       ends_with(leaf, "_rate"))
     return 1;
   if (ends_with(leaf, "_seconds") || ends_with(leaf, "_ms") || ends_with(leaf, "_us") ||
@@ -123,7 +133,8 @@ std::vector<BenchValue> flatten_report_metrics(const Json& report) {
   return out;
 }
 
-BenchComparison compare_reports(const Json& baseline, const Json& fresh, double threshold) {
+BenchComparison compare_reports(const Json& baseline, const Json& fresh, double threshold,
+                                double noise_floor_ms) {
   BenchComparison cmp;
   if (const Json* tool = baseline.find("tool"); tool != nullptr) cmp.tool = tool->as_string();
 
@@ -149,6 +160,12 @@ BenchComparison compare_reports(const Json& baseline, const Json& fresh, double 
         d.regression = d.delta_fraction > threshold;
       else if (d.direction > 0)
         d.regression = d.delta_fraction < -threshold;
+      // Sub-floor millisecond timings are scheduler jitter, not trajectory
+      // (see header). Only the gate is suppressed; the delta still prints.
+      if (d.regression && noise_floor_ms > 0.0 && is_millisecond_metric(base.key) &&
+          d.baseline < noise_floor_ms && d.fresh < noise_floor_ms) {
+        d.regression = false;
+      }
     }
     cmp.has_regression = cmp.has_regression || d.regression;
     cmp.deltas.push_back(std::move(d));

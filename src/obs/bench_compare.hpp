@@ -61,7 +61,14 @@ struct BenchComparison {
 // Compares two run reports; `threshold` is the allowed relative slack
 // (0.25 = 25%, the micro-kernel smoke gate's value). Baselines at exactly 0
 // are informational (no meaningful relative delta).
+//
+// `noise_floor_ms` (0 = off) exempts millisecond-scale timing metrics from
+// the relative gate while BOTH sides sit below the floor: a queueing p50 of
+// 19 µs is pure scheduler jitter, and 25% of it is not a signal. The delta
+// is still reported. A real regression that pushes the fresh value above
+// the floor is gated as usual, so the exemption cannot hide a blowup.
 [[nodiscard]] BenchComparison compare_reports(const Json& baseline, const Json& fresh,
-                                              double threshold);
+                                              double threshold,
+                                              double noise_floor_ms = 0.0);
 
 }  // namespace srna::obs

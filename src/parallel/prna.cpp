@@ -276,6 +276,7 @@ PrnaResult prna(const SecondaryStructure& s1, const SecondaryStructure& s2,
       Workspace& pool = Workspace::local();
       Matrix<Score>& dense_scratch = pool.dense_grid(0);
       EventScratch& compressed_scratch = pool.events(0);
+      const SliceKernel slice_kernel = pool.slice_kernel(options.kernel, 0);
       WorkStealingDeque& mine = queues[tid];
 
       auto run_slice = [&](std::uint32_t id) {
@@ -291,7 +292,7 @@ PrnaResult prna(const SecondaryStructure& s1, const SecondaryStructure& s2,
             value = tabulate_slice_dense(
                 s1, s2, col_events,
                 SliceBounds::under(arc1.left, arc1.right, arc2.left, arc2.right),
-                dense_scratch, d2_lookup, &local);
+                dense_scratch, slice_kernel, d2_lookup, &local);
           } else {
             value = tabulate_slice_compressed(idx1.interior(a), idx2.interior(b),
                                               compressed_scratch, d2_lookup, &local);
@@ -378,6 +379,7 @@ PrnaResult prna(const SecondaryStructure& s1, const SecondaryStructure& s2,
     Workspace& pool = Workspace::local();
     Matrix<Score>& dense_scratch = pool.dense_grid(0);
     EventScratch& compressed_scratch = pool.events(0);
+    const SliceKernel slice_kernel = pool.slice_kernel(options.kernel, 0);
 
     auto tabulate_pair = [&](std::size_t a, std::size_t b) {
       if (options.stage1_hook) options.stage1_hook(a, b);
@@ -388,7 +390,7 @@ PrnaResult prna(const SecondaryStructure& s1, const SecondaryStructure& s2,
         value = tabulate_slice_dense(
             s1, s2, col_events,
             SliceBounds::under(arc1.left, arc1.right, arc2.left, arc2.right),
-            dense_scratch, d2_lookup, &local);
+            dense_scratch, slice_kernel, d2_lookup, &local);
       } else {
         value = tabulate_slice_compressed(idx1.interior(a), idx2.interior(b),
                                           compressed_scratch, d2_lookup, &local);
@@ -492,7 +494,9 @@ PrnaResult prna(const SecondaryStructure& s1, const SecondaryStructure& s2,
   } else if (dense) {
     result.value = tabulate_slice_dense(s1, s2, col_events,
                                         SliceBounds{0, s1.length() - 1, 0, s2.length() - 1},
-                                        workspace.dense_grid(0), d2_lookup, &result.stats);
+                                        workspace.dense_grid(0),
+                                        workspace.slice_kernel(options.kernel, 0), d2_lookup,
+                                        &result.stats);
   } else {
     result.value = tabulate_slice_compressed(idx1.all(), idx2.all(), workspace.events(0),
                                              d2_lookup, &result.stats);

@@ -115,6 +115,9 @@ obs::Json ServeResponse::to_json() const {
     doc.set("normalized", obs::Json(normalized));
     doc.set("cache_hit", obs::Json(cache_hit));
   }
+  // Sparse: present only on answers fanned out by a coalescing flight leader
+  // (any status — followers share the leader's outcome, timeout included).
+  if (coalesced) doc.set("coalesced", obs::Json(true));
   if (status == ResponseStatus::kRejected) doc.set("retry_after_ms", obs::Json(retry_after_ms));
   if (status == ResponseStatus::kOverMemoryBudget) {
     doc.set("estimated_bytes", obs::Json(estimated_bytes));
@@ -160,6 +163,7 @@ ServeResponse ServeResponse::from_line(std::string_view line) {
   resp.value = static_cast<Score>(number_field(*doc, "value", 0));
   resp.normalized = number_field(*doc, "normalized", 0.0);
   if (const obs::Json* v = doc->find("cache_hit")) resp.cache_hit = v->as_bool();
+  if (const obs::Json* v = doc->find("coalesced")) resp.coalesced = v->as_bool();
   resp.latency_ms = number_field(*doc, "latency_ms", 0.0);
   resp.retry_after_ms = number_field(*doc, "retry_after_ms", 0.0);
   resp.estimated_bytes =

@@ -88,6 +88,10 @@ struct ServeResponse {
   Score value = 0;
   double normalized = 0.0;   // 2*value / (arcs_a + arcs_b), ok responses only
   bool cache_hit = false;
+  // True when this answer was produced by another request's solve: the
+  // request cache-missed while an identical (pair, config) solve was already
+  // in flight, parked behind it, and received the leader's outcome.
+  bool coalesced = false;
   double latency_ms = 0.0;   // admission -> completion, as observed by the service
   double retry_after_ms = 0.0;  // rejected responses: suggested client backoff
   // over_memory_budget responses: the backend's resident-byte upper bound for

@@ -253,6 +253,9 @@ void QueryService::process(Job job) {
   const Clock::time_point picked_up = Clock::now();
   obs::Registry::instance().histogram("serve.queue_wait").observe(
       std::max(1e-9, seconds_between(job.admitted, picked_up)));
+  // Stored on the job because a parked job is answered later, by its flight
+  // or batch leader, which must echo this job's own queue timing.
+  job.queued_ms = ms_between(job.admitted, picked_up);
 
   // Everything recorded while this worker owns the request — including spans
   // from the engine and PRNA layers below — carries the request's trace id.
@@ -265,7 +268,11 @@ void QueryService::process(Job job) {
                   obs::trace_args({{"id", job.request.id}}));
   }
 
+  const std::uint64_t trace_id = job.trace_id;
+  const double queued_ms = job.queued_ms;
   ServeResponse response;
+  bool parked = false;
+  std::vector<Job> batch_members;
   if (picked_up >= job.deadline) {
     // Expired while queued: answer without burning a solve on it.
     obs::Registry::instance().counter("serve.deadline_queue_expirations").add();
@@ -273,11 +280,17 @@ void QueryService::process(Job job) {
     response.status = ResponseStatus::kTimeout;
     response.error = "deadline expired while queued";
   } else {
-    response = solve_job(job);
+    response = solve_job(job, parked, batch_members);
   }
-  response.trace_id = job.trace_id;
-  response.queued_ms = ms_between(job.admitted, picked_up);
-  respond(job, std::move(response));
+  if (!parked) {
+    response.trace_id = trace_id;
+    response.queued_ms = queued_ms;
+    respond(job, std::move(response));
+  }
+  // Members collected while this job led a batch window run back-to-back on
+  // this thread — against its warm per-thread workspace — after the leader's
+  // own answer went out.
+  for (Job& member : batch_members) run_batch_member(std::move(member));
 
   const Clock::time_point finished = Clock::now();
   worker_busy_us_.fetch_add(
@@ -285,13 +298,66 @@ void QueryService::process(Job job) {
       std::memory_order_relaxed);
 }
 
-ServeResponse QueryService::solve_job(const Job& job) {
+void QueryService::run_batch_member(Job job) {
+  job.no_batch = true;  // one accumulation window per request, ever
+  obs::TraceContextScope trace_scope(job.trace_id);
+  ServeResponse response;
+  bool parked = false;
+  std::vector<Job> no_members;  // no_batch ⇒ solve_job never fills this
+  if (Clock::now() >= job.deadline) {
+    obs::Registry::instance().counter("serve.deadline_queue_expirations").add();
+    response.id = job.request.id;
+    response.status = ResponseStatus::kTimeout;
+    response.error = "deadline expired while batched";
+  } else {
+    batched_solves_.fetch_add(1, std::memory_order_relaxed);
+    obs::Registry::instance().counter("serve.batched_solves").add();
+    response = solve_job(job, parked, no_members);
+  }
+  if (parked) return;  // joined an in-flight duplicate; that leader answers it
+  response.trace_id = job.trace_id;
+  response.queued_ms = job.queued_ms;
+  respond(job, std::move(response));
+}
+
+void QueryService::finish_flight(const std::string& key,
+                                 const ServeResponse& leader_response) {
+  std::vector<Job> followers;
+  {
+    std::lock_guard lock(coalesce_mutex_);
+    const auto it = inflight_.find(key);
+    if (it == inflight_.end()) return;
+    followers = std::move(it->second.followers);
+    inflight_.erase(it);
+  }
+  // Followers share the leader's outcome wholesale — value, status, error,
+  // solve_ms — under their own correlation identity. A follower whose
+  // deadline passed mid-flight still gets the result: an answer in hand
+  // beats a timeout for a solve that completed anyway.
+  for (Job& follower : followers) {
+    ServeResponse fanned = leader_response;
+    fanned.id = follower.request.id;
+    fanned.trace_id = follower.trace_id;
+    fanned.queued_ms = follower.queued_ms;
+    fanned.coalesced = true;
+    respond(follower, std::move(fanned));
+  }
+}
+
+ServeResponse QueryService::solve_job(Job& job, bool& parked,
+                                      std::vector<Job>& batch_members) {
   const ServeRequest& req = job.request;
   ServeResponse resp;
   resp.id = req.id;
   const std::string algorithm =
       req.algorithm.empty() ? config_.default_algorithm : req.algorithm;
   resp.algorithm = algorithm;
+
+  // Set once this worker registers itself as the single-flight leader for
+  // its (pair, config); every exit after that point — ok, over-memory,
+  // timeout, error — must fan the outcome out to parked followers.
+  bool flight_leader = false;
+  std::string flight_key;
 
   try {
     obs::TraceScope span("serve", "request");
@@ -329,7 +395,8 @@ ServeResponse QueryService::solve_job(const Job& job) {
       return denom > 0 ? 2.0 * static_cast<double>(value) / denom : 1.0;
     };
 
-    CacheKey key = CacheKey::make(a, b, config_fingerprint(algorithm, config));
+    const std::string fingerprint = config_fingerprint(algorithm, config);
+    CacheKey key = CacheKey::make(a, b, fingerprint);
     if (!req.no_cache) {
       obs::TraceScope cache_span("serve", "cache_lookup", req.trace);
       const std::optional<Score> hit = cache_.get(key);
@@ -341,6 +408,72 @@ ServeResponse QueryService::solve_job(const Job& job) {
         resp.value = *hit;
         resp.normalized = normalized(*hit);
         resp.cache_hit = true;
+        return resp;
+      }
+    }
+
+    // Shared-structure batching: the first miss for a structure A sleeps out
+    // the accumulation window while later misses sharing A park behind it;
+    // the leader then runs the members sequentially on its thread (via
+    // process(), after its own answer). no_cache requests skip this — they
+    // demand a fresh, immediate solve.
+    if (config_.batch_window_ms > 0 && !req.no_cache && !job.no_batch) {
+      const std::string batch_key = digest_hex(hash_structure(a)) + "|" + fingerprint;
+      bool batch_leader = false;
+      {
+        std::lock_guard lock(coalesce_mutex_);
+        auto [it, inserted] = batches_.try_emplace(batch_key);
+        if (inserted)
+          batch_leader = true;
+        else
+          it->second.members.push_back(std::move(job));
+      }
+      if (!batch_leader) {
+        parked = true;
+        return resp;
+      }
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          config_.batch_window_ms));
+      {
+        std::lock_guard lock(coalesce_mutex_);
+        const auto it = batches_.find(batch_key);
+        if (it != batches_.end()) {
+          batch_members = std::move(it->second.members);
+          batches_.erase(it);
+        }
+      }
+      if (!batch_members.empty()) {
+        batch_groups_.fetch_add(1, std::memory_order_relaxed);
+        obs::Registry::instance().counter("serve.batch_groups").add();
+        obs::log_debug(
+            "serve.batch_group",
+            obs::log_fields({{"id", obs::Json(req.id)},
+                             {"members", obs::Json(static_cast<std::uint64_t>(
+                                             batch_members.size()))}}));
+      }
+    }
+
+    // Single-flight coalescing: if another worker is already solving this
+    // exact (pair, config), park behind it instead of solving it again; the
+    // leader fans its outcome out to every follower. Duplicate misses cost
+    // one solve total, and followers add nothing to the memory reservation.
+    if (!req.no_cache) {
+      flight_key = resp.digest + "|" + fingerprint;
+      bool joined = false;
+      {
+        std::lock_guard lock(coalesce_mutex_);
+        auto [it, inserted] = inflight_.try_emplace(flight_key);
+        if (inserted)
+          flight_leader = true;
+        else {
+          it->second.followers.push_back(std::move(job));
+          joined = true;
+        }
+      }
+      if (joined) {
+        coalesced_.fetch_add(1, std::memory_order_relaxed);
+        obs::Registry::instance().counter("serve.coalesced_requests").add();
+        parked = true;
         return resp;
       }
     }
@@ -373,6 +506,7 @@ ServeResponse QueryService::solve_job(const Job& job) {
                                        {"algorithm", obs::Json(algorithm)},
                                        {"estimated_bytes", obs::Json(estimate)},
                                        {"budget_bytes", obs::Json(budget)}}));
+        if (flight_leader) finish_flight(flight_key, resp);
         return resp;
       }
       reserved_bytes = estimate;
@@ -437,6 +571,11 @@ ServeResponse QueryService::solve_job(const Job& job) {
     resp.status = ResponseStatus::kError;
     resp.error = e.what();
   }
+  // Fan the leader's outcome — whatever it is — out to parked duplicates.
+  // Runs after the cache put above, so a follower-turned-new-leader race
+  // (miss before the put, join after the erase) can only cost a redundant
+  // solve, never a wrong or missing answer.
+  if (flight_leader) finish_flight(flight_key, resp);
   return resp;
 }
 
@@ -493,6 +632,9 @@ obs::Json QueryService::stats_json() const {
   doc.set("responses_error", obs::Json(responses_error_.load(std::memory_order_relaxed)));
   doc.set("responses_over_memory",
           obs::Json(responses_over_memory_.load(std::memory_order_relaxed)));
+  doc.set("coalesced_requests", obs::Json(coalesced_.load(std::memory_order_relaxed)));
+  doc.set("batched_solves", obs::Json(batched_solves_.load(std::memory_order_relaxed)));
+  doc.set("batch_groups", obs::Json(batch_groups_.load(std::memory_order_relaxed)));
   doc.set("memory_budget_bytes", obs::Json(config_.memory_budget_bytes));
   doc.set("memory_reserved_bytes",
           obs::Json(memory_reserved_.load(std::memory_order_relaxed)));

@@ -65,6 +65,16 @@ class Matrix {
     data_.assign(rows * cols, fill);
   }
 
+  // Re-shapes WITHOUT re-initializing: surviving cells keep their previous
+  // (now meaningless) values. For kernels that overwrite every cell anyway —
+  // the dense slice fills — where resize()'s zero pass is measurable pure
+  // overhead (it rewrites the whole grid once per slice).
+  void reshape(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
   [[nodiscard]] const std::vector<T>& flat() const noexcept { return data_; }
   [[nodiscard]] std::vector<T>& flat() noexcept { return data_; }
 

@@ -45,6 +45,10 @@ TEST(MetricDirection, ClassifiesByLeafName) {
   EXPECT_EQ(metric_direction("rows[length=120].ns_per_cell"), -1);
   EXPECT_EQ(metric_direction("results.idle_fraction"), -1);
   EXPECT_EQ(metric_direction("results.barrier_wait_total"), -1);
+  // "_per_second" must be anchored: this leaf *contains* it as a substring
+  // ("up[per_second]s") but is a duration — getting faster is not a
+  // regression.
+  EXPECT_EQ(metric_direction("thread_rows[threads=2].greedy_upper_seconds"), -1);
   // Byte footprints grow = regression; a configured budget is just an input.
   EXPECT_EQ(metric_direction("results.peak_rss_bytes"), -1);
   EXPECT_EQ(metric_direction("rows[budget_frac=0.25].store_peak_bytes"), -1);
@@ -146,6 +150,46 @@ TEST(CompareReports, ZeroBaselineIsInformational) {
   const BenchComparison cmp = compare_reports(baseline, fresh, 0.25);
   EXPECT_FALSE(cmp.has_regression);
   EXPECT_DOUBLE_EQ(delta_of(cmp, "results.timeout_latency_ms").delta_fraction, 0.0);
+}
+
+TEST(CompareReports, NoiseFloorExemptsSubMillisecondTimings) {
+  // Queueing p50 "regresses" from 19 µs to 30 µs — scheduler jitter, not a
+  // trajectory change. With the floor at 1 ms the gate stays quiet…
+  const Json baseline = parse(R"json({
+    "results": {"server_queued_ms_p50": 0.019, "latency_ms_p99": 10.0,
+                "throughput_rps": 1000.0}
+  })json");
+  const Json fresh = parse(R"json({
+    "results": {"server_queued_ms_p50": 0.030, "latency_ms_p99": 10.5,
+                "throughput_rps": 980.0}
+  })json");
+  const BenchComparison quiet = compare_reports(baseline, fresh, 0.25, 1.0);
+  EXPECT_FALSE(quiet.has_regression);
+  // …the delta is still reported with its direction…
+  EXPECT_EQ(delta_of(quiet, "results.server_queued_ms_p50").direction, -1);
+  EXPECT_GT(delta_of(quiet, "results.server_queued_ms_p50").delta_fraction, 0.25);
+  // …without the floor the same delta gates…
+  EXPECT_TRUE(compare_reports(baseline, fresh, 0.25).has_regression);
+  // …and a blowup past the floor gates even with it: the exemption needs
+  // BOTH sides below the floor, so it cannot hide a real regression.
+  const Json blowup = parse(R"json({
+    "results": {"server_queued_ms_p50": 4.0, "latency_ms_p99": 10.5,
+                "throughput_rps": 980.0}
+  })json");
+  const BenchComparison gated = compare_reports(baseline, blowup, 0.25, 1.0);
+  EXPECT_TRUE(gated.has_regression);
+  EXPECT_TRUE(delta_of(gated, "results.server_queued_ms_p50").regression);
+  // The floor is about milliseconds: a non-ms metric (throughput, seconds)
+  // is never exempted by it.
+  const Json slow = parse(R"json({
+    "results": {"server_queued_ms_p50": 0.019, "latency_ms_p99": 10.0,
+                "throughput_rps": 0.5}
+  })json");
+  const Json slower = parse(R"json({
+    "results": {"server_queued_ms_p50": 0.019, "latency_ms_p99": 10.0,
+                "throughput_rps": 0.3}
+  })json");
+  EXPECT_TRUE(compare_reports(slow, slower, 0.25, 1.0).has_regression);
 }
 
 TEST(CompareReports, ReportsAddedAndDroppedMetrics) {

@@ -118,6 +118,20 @@ TEST(Protocol, OkResponseRoundTrips) {
   EXPECT_EQ(back.algorithm, "srna2");
 }
 
+TEST(Protocol, CoalescedFlagIsSparseAndRoundTrips) {
+  ServeResponse resp;
+  resp.id = 4;
+  resp.status = ResponseStatus::kOk;
+  resp.value = 3;
+  // Absent from the wire unless set — the common (uncoalesced) path pays
+  // nothing for the field.
+  EXPECT_FALSE(resp.to_json().contains("coalesced"));
+  EXPECT_FALSE(ServeResponse::from_line(resp.to_line()).coalesced);
+  resp.coalesced = true;
+  EXPECT_TRUE(resp.to_json().contains("coalesced"));
+  EXPECT_TRUE(ServeResponse::from_line(resp.to_line()).coalesced);
+}
+
 TEST(Protocol, RejectedResponseCarriesRetryAfter) {
   ServeResponse resp;
   resp.id = 3;

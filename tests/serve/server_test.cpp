@@ -45,7 +45,9 @@ TEST(OfflineServer, OneResponsePerRequestLine) {
   ASSERT_EQ(responses.size(), 4u);
   EXPECT_EQ(responses.at(1).status, ResponseStatus::kOk);
   EXPECT_EQ(responses.at(2).status, ResponseStatus::kOk);
-  EXPECT_TRUE(responses.at(2).cache_hit);  // same pair as id 1
+  // Same pair as id 1: either id 1 finished first (cache hit) or id 2
+  // arrived while it was in flight (coalesced) — never a second solve.
+  EXPECT_TRUE(responses.at(2).cache_hit || responses.at(2).coalesced);
   // Malformed JSON cannot echo the request id (it was never parsed).
   EXPECT_EQ(responses.at(0).status, ResponseStatus::kError);
   EXPECT_NE(responses.at(0).error.find("unknown field"), std::string::npos);

@@ -41,6 +41,35 @@ ServeRequest slow_request(std::int64_t id, double deadline_ms) {
   return req;
 }
 
+// Counts solve() entries and blocks each one until the gate opens — the
+// controlled-concurrency backend the coalescing test uses to hold a leader
+// mid-solve while duplicates arrive. Registered once per process.
+std::atomic<int> g_gated_solves{0};
+std::atomic<bool> g_gate_open{false};
+
+class GatedBackend final : public SolverBackend {
+ public:
+  [[nodiscard]] const char* name() const noexcept override { return "gated-slow"; }
+  [[nodiscard]] const char* description() const noexcept override {
+    return "test backend: counts solves, blocks until released";
+  }
+  [[nodiscard]] BackendCaps caps() const noexcept override { return {}; }
+  [[nodiscard]] EngineResult solve(const SecondaryStructure&, const SecondaryStructure&,
+                                   const SolverConfig&, Workspace&) const override {
+    g_gated_solves.fetch_add(1, std::memory_order_relaxed);
+    while (!g_gate_open.load(std::memory_order_relaxed))
+      std::this_thread::sleep_for(1ms);
+    EngineResult result;
+    result.value = 7;
+    return result;
+  }
+};
+
+void ensure_gated_backend() {
+  if (McosEngine::instance().find("gated-slow") == nullptr)
+    McosEngine::instance().register_backend(std::make_unique<GatedBackend>());
+}
+
 TEST(DeadlineMonitor, FlipsFlagAfterDeadline) {
   DeadlineMonitor monitor;
   auto flag = std::make_shared<std::atomic<bool>>(false);
@@ -338,6 +367,109 @@ TEST(QueryService, EveryConcurrentSubmitGetsExactlyOneResponse) {
   const obs::Json stats = service.stats_json();
   EXPECT_EQ(stats.find("accepted")->as_uint() + stats.find("rejected")->as_uint(),
             static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+TEST(QueryService, ConcurrentIdenticalMissesCoalesceIntoOneSolve) {
+  ensure_gated_backend();
+  g_gated_solves.store(0);
+  g_gate_open.store(false);
+
+  ServiceConfig config;
+  config.workers = 4;
+  QueryService service(config);
+
+  constexpr int kClients = 4;
+  std::vector<std::future<ServeResponse>> futures;
+  for (int i = 0; i < kClients; ++i) {
+    ServeRequest req = literal_request(i + 1, "((..))", "(..)");
+    req.algorithm = "gated-slow";
+    futures.push_back(service.solve_async(std::move(req)));
+  }
+
+  // Hold the leader inside the backend until every duplicate has parked
+  // behind its flight, so the single-solve claim is deterministic, not a
+  // race we happened to win.
+  const auto give_up = std::chrono::steady_clock::now() + 10s;
+  bool all_parked = false;
+  while (std::chrono::steady_clock::now() < give_up) {
+    const obs::Json stats = service.stats_json();
+    if (stats.find("coalesced_requests")->as_uint() ==
+        static_cast<std::uint64_t>(kClients - 1)) {
+      all_parked = true;
+      break;
+    }
+    std::this_thread::sleep_for(1ms);
+  }
+  g_gate_open.store(true);  // release the leader even if the expectation failed
+  EXPECT_TRUE(all_parked) << "duplicate misses did not park behind the in-flight solve";
+
+  int coalesced_responses = 0;
+  for (int i = 0; i < kClients; ++i) {
+    const ServeResponse resp = futures[static_cast<std::size_t>(i)].get();
+    EXPECT_EQ(resp.status, ResponseStatus::kOk);
+    EXPECT_EQ(resp.value, 7);
+    EXPECT_EQ(resp.id, i + 1);  // every client answered under its own id
+    EXPECT_NE(resp.trace_id, 0u);
+    if (resp.coalesced) ++coalesced_responses;
+  }
+  // Exactly one solve ran; every other client got the leader's fan-out.
+  EXPECT_EQ(g_gated_solves.load(), 1);
+  EXPECT_EQ(coalesced_responses, kClients - 1);
+}
+
+TEST(QueryService, NoCacheRequestsNeverCoalesce) {
+  ensure_gated_backend();
+  g_gated_solves.store(0);
+  g_gate_open.store(false);
+
+  ServiceConfig config;
+  config.workers = 2;
+  QueryService service(config);
+
+  std::vector<std::future<ServeResponse>> futures;
+  for (int i = 0; i < 2; ++i) {
+    ServeRequest req = literal_request(i + 1, "((..))", "(..)");
+    req.algorithm = "gated-slow";
+    req.no_cache = true;  // demands a fresh solve: must not join a flight
+    futures.push_back(service.solve_async(std::move(req)));
+  }
+  const auto give_up = std::chrono::steady_clock::now() + 10s;
+  while (g_gated_solves.load() < 2 && std::chrono::steady_clock::now() < give_up)
+    std::this_thread::sleep_for(1ms);
+  g_gate_open.store(true);
+  for (auto& f : futures) {
+    const ServeResponse resp = f.get();
+    EXPECT_EQ(resp.status, ResponseStatus::kOk);
+    EXPECT_FALSE(resp.coalesced);
+  }
+  EXPECT_EQ(g_gated_solves.load(), 2);
+}
+
+TEST(QueryService, BatchWindowGroupsSharedStructureMisses) {
+  ServiceConfig config;
+  config.workers = 4;
+  config.batch_window_ms = 250;  // generous: members only need to be picked up
+  QueryService service(config);
+
+  // Same A, different B: distinct pairs, so neither the cache nor the
+  // single-flight can merge them — only the batch window groups them.
+  const char* kA = "((..))";
+  const char* kBs[] = {"(..)", "((..))", "......"};
+  std::vector<std::future<ServeResponse>> futures;
+  for (int i = 0; i < 3; ++i)
+    futures.push_back(service.solve_async(literal_request(i + 1, kA, kBs[i])));
+
+  for (int i = 0; i < 3; ++i) {
+    const ServeResponse resp = futures[static_cast<std::size_t>(i)].get();
+    EXPECT_EQ(resp.status, ResponseStatus::kOk) << resp.error;
+    // Batched answers must agree with a direct engine solve of the same pair.
+    const EngineResult truth =
+        engine_solve("srna2", parse_dot_bracket(kA), parse_dot_bracket(kBs[i]));
+    EXPECT_EQ(resp.value, truth.value);
+  }
+  const obs::Json stats = service.stats_json();
+  EXPECT_GE(stats.find("batch_groups")->as_uint(), 1u);
+  EXPECT_GE(stats.find("batched_solves")->as_uint(), 1u);
 }
 
 TEST(QueryService, StatsJsonCarriesTheReportFields) {

@@ -96,6 +96,10 @@ int main(int argc, char** argv) {
   cli.add_option("baseline", "baseline report file, or directory of BENCH_*.json", "");
   cli.add_option("fresh", "fresh report file, or directory paired by basename", "");
   cli.add_option("threshold", "allowed relative slack before a delta regresses", "0.25");
+  cli.add_option("noise-floor-ms",
+                 "millisecond timings below this on both sides are reported but not "
+                 "gated (0 = off)",
+                 "0");
   cli.add_option("output", "write the comparison document as JSON (none = skip)", "none");
   cli.add_flag("all", "print every metric row, not just directional ones");
   cli.add_flag("require-all", "fail when a baseline has no fresh counterpart");
@@ -108,6 +112,8 @@ int main(int argc, char** argv) {
       throw std::invalid_argument("--baseline and --fresh are both required");
     const double threshold = cli.real("threshold");
     if (threshold <= 0) throw std::invalid_argument("--threshold must be > 0");
+    const double noise_floor_ms = cli.real("noise-floor-ms");
+    if (noise_floor_ms < 0) throw std::invalid_argument("--noise-floor-ms must be >= 0");
 
     const std::vector<fs::path> baselines = report_set(baseline_arg);
     if (baselines.empty())
@@ -131,7 +137,7 @@ int main(int argc, char** argv) {
         continue;
       }
       const BenchComparison cmp = srna::obs::compare_reports(
-          load_report(base_path), load_report(fresh_path), threshold);
+          load_report(base_path), load_report(fresh_path), threshold, noise_floor_ms);
       print_comparison(base_path.filename().string(), cmp, cli.flag("all"));
       regression = regression || cmp.has_regression;
       Json entry = cmp.to_json();

@@ -58,6 +58,11 @@ struct Workload {
   std::string algorithm;
   double deadline_ms = 0;
   std::uint64_t trace_sample = 0;  // trace every N-th request (0 = none)
+  // Shared-structure mode: every request asks about the same structure A
+  // (structures[0]) against a varying B — the clustering/serving pattern
+  // ("compare this query structure against the corpus") that batch
+  // accumulation and single-flight coalescing target.
+  bool shared_structure = false;
 
   // The i-th request of the run, deterministic in (seed, i). Repeats draw
   // from a small hot set so the cache sees the same canonical keys again.
@@ -75,6 +80,7 @@ struct Workload {
       ia = rng() % n;
       ib = rng() % n;
     }
+    if (shared_structure) ia = 0;
     serve::ServeRequest req;
     req.id = static_cast<std::int64_t>(i);
     req.a = structures[ia];
@@ -118,9 +124,11 @@ struct Tally {
   std::uint64_t timeout = 0;
   std::uint64_t error = 0;
   std::uint64_t cache_hits = 0;
+  std::uint64_t coalesced = 0;  // answered by another request's in-flight solve
 
   void record(const serve::ServeResponse& resp, double client_latency_ms) {
     std::lock_guard lock(mutex);
+    if (resp.coalesced) ++coalesced;
     switch (resp.status) {
       case serve::ResponseStatus::kOk:
         ++ok;
@@ -221,6 +229,13 @@ int main(int argc, char** argv) {
   cli.add_option("density", "arc density for the random generator", "0.4");
   cli.add_option("seed", "workload seed", "42");
   cli.add_option("repeat-fraction", "fraction of requests repeating a hot pair", "0.25");
+  cli.add_flag("shared-structure",
+               "every request shares one structure A (B varies over the pool) — "
+               "the workload serve-side batching and coalescing target");
+  cli.add_option("batch-window-ms",
+                 "in-process service: shared-structure batch accumulation "
+                 "window (0 = off)",
+                 "0");
   cli.add_option("deadline-ms", "per-request deadline (0 = none)", "0");
   cli.add_option("algorithm", "engine backend per request", "srna2");
   cli.add_option("trace-sample",
@@ -257,6 +272,7 @@ int main(int argc, char** argv) {
     workload.algorithm = cli.str("algorithm");
     workload.deadline_ms = cli.real("deadline-ms");
     workload.trace_sample = static_cast<std::uint64_t>(cli.integer("trace-sample"));
+    workload.shared_structure = cli.flag("shared-structure");
     workload.structures.reserve(pool);
     for (std::size_t i = 0; i < pool; ++i)
       workload.structures.push_back(to_dot_bracket(
@@ -273,6 +289,10 @@ int main(int argc, char** argv) {
     std::vector<std::unique_ptr<EndpointStats>> endpoint_stats;
     for (std::size_t e = 0; e < endpoints.size(); ++e)
       endpoint_stats.push_back(std::make_unique<EndpointStats>());
+
+    // In-process runs snapshot the service's own stats after drain (server-
+    // side coalescing/batching counters); null for remote runs.
+    obs::Json service_stats;
 
     const Clock::time_point t0 = Clock::now();
     if (!endpoints.empty()) {
@@ -316,6 +336,7 @@ int main(int argc, char** argv) {
       config.queue_capacity = static_cast<std::size_t>(cli.integer("queue-capacity"));
       config.cache.capacity = static_cast<std::size_t>(cli.integer("cache-entries"));
       config.memory_budget_bytes = static_cast<std::uint64_t>(cli.integer("memory-budget"));
+      config.batch_window_ms = cli.real("batch-window-ms");
       config.default_algorithm = workload.algorithm;
       serve::QueryService service(config);
 
@@ -362,6 +383,7 @@ int main(int argc, char** argv) {
         done_cv.wait(lock, [&] { return outstanding == 0; });
       }
       service.drain();
+      service_stats = service.stats_json();
     }
     const double elapsed = std::chrono::duration<double>(Clock::now() - t0).count();
 
@@ -397,8 +419,17 @@ int main(int argc, char** argv) {
               << "  error: " << tally.error << "\n"
               << "cache hits:  " << tally.cache_hits << " (hit rate "
               << hit_rate << ")\n"
+              << "coalesced:   " << tally.coalesced << "\n"
               << "throughput:  " << throughput << " req/s over " << elapsed << " s\n"
               << "latency ms:  p50 " << p50 << "  p90 " << p90 << "  p99 " << p99 << "\n";
+    if (service_stats.is_object()) {
+      const obs::Json* batched = service_stats.find("batched_solves");
+      const obs::Json* groups = service_stats.find("batch_groups");
+      if (batched != nullptr && groups != nullptr &&
+          (batched->as_uint() > 0 || groups->as_uint() > 0))
+        std::cout << "batching:    " << groups->as_uint() << " groups, "
+                  << batched->as_uint() << " member solves run by leaders\n";
+    }
     if (!tally.server_queued_ms.empty())
       std::cout << "server ms:   queued p50 " << percentile(tally.server_queued_ms, 0.50)
                 << "  p99 " << percentile(tally.server_queued_ms, 0.99) << "  |  solve p50 "
@@ -426,6 +457,8 @@ int main(int argc, char** argv) {
       params.set("structures", obs::Json(static_cast<std::uint64_t>(pool)));
       params.set("length", obs::Json(static_cast<std::int64_t>(length)));
       params.set("repeat_fraction", obs::Json(workload.repeat_fraction));
+      params.set("shared_structure", obs::Json(workload.shared_structure));
+      params.set("batch_window_ms", obs::Json(cli.real("batch-window-ms")));
       params.set("algorithm", obs::Json(workload.algorithm));
       params.set("deadline_ms", obs::Json(workload.deadline_ms));
       params.set("transport", obs::Json(endpoints.empty() ? "in-process" : "tcp"));
@@ -444,6 +477,7 @@ int main(int argc, char** argv) {
       results.set("error", obs::Json(tally.error));
       results.set("cache_hits", obs::Json(tally.cache_hits));
       results.set("cache_hit_rate", obs::Json(hit_rate));
+      results.set("coalesced", obs::Json(tally.coalesced));
       results.set("throughput_rps", obs::Json(throughput));
       results.set("elapsed_seconds", obs::Json(elapsed));
       results.set("latency_ms_p50", obs::Json(p50));
@@ -473,6 +507,9 @@ int main(int argc, char** argv) {
         results.set("per_endpoint", std::move(per_endpoint));
       }
       report.set("results", std::move(results));
+      // Server-side view (in-process runs): includes the coalescing and
+      // batching counters the shared-structure workload exists to exercise.
+      if (service_stats.is_object()) report.set("service", std::move(service_stats));
       report.add_metrics_snapshot();
       const std::string target =
           output.empty() ? "BENCH_serving_throughput.json" : output;

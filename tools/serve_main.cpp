@@ -61,6 +61,12 @@ int main(int argc, char** argv) {
                  "cap on summed estimated solver bytes in flight; over-budget "
                  "requests get status over_memory_budget (0 = unlimited)",
                  "0");
+  cli.add_option("batch-window-ms",
+                 "shared-structure batch accumulation window: the first cache "
+                 "miss for a structure A waits this long for later misses "
+                 "sharing A, then one worker runs the group back-to-back "
+                 "(0 = off)",
+                 "0");
   cli.add_option("algorithm", "default engine backend", "srna2");
   obs::ObsSession::add_cli_options(cli);
 
@@ -86,6 +92,7 @@ int main(int argc, char** argv) {
     config.cache.shards = static_cast<std::size_t>(cli.integer("cache-shards"));
     config.default_deadline_ms = cli.real("deadline-ms");
     config.memory_budget_bytes = static_cast<std::uint64_t>(cli.integer("memory-budget"));
+    config.batch_window_ms = cli.real("batch-window-ms");
     config.default_algorithm = cli.str("algorithm");
     if (!cli.str("db").empty()) {
       db = StructureDatabase::load_directory(cli.str("db"));
