@@ -7,7 +7,10 @@
 #   * the `tsan`-labelled ctest suites:
 #       - obs_tests   — concurrent trace recording, sharded counters,
 #                       histogram observers, sliding-window percentile
-#                       instruments, and the rate-limited structured logger,
+#                       instruments (with their trace-id exemplar rings),
+#                       the rate-limited structured logger, and the flight
+#                       recorder's slot-claim ring under concurrent writers
+#                       racing a reader (tests/obs/flight_test.cpp),
 #       - serve_tests — the query service end to end: worker pool, bounded
 #                       admission queue, deadline monitor, sharded result
 #                       cache, TCP + offline transports, request-scoped

@@ -284,6 +284,66 @@ void sum_into(obs::Json& into, const obs::Json& doc) {
 
 }  // namespace
 
+namespace {
+
+// Collects `field` arrays ("records" | "exemplars") from every process doc,
+// tagging each element with its source, and interleaves by wall_us.
+obs::Json interleave_flight(const std::vector<ShardJson>& shards,
+                            std::string_view field) {
+  struct Tagged {
+    std::uint64_t wall_us = 0;
+    obs::Json record;
+  };
+  std::vector<Tagged> all;
+  for (const auto& [name, doc] : shards) {
+    const obs::Json* records = doc.find(field);
+    if (records == nullptr || !records->is_array()) continue;
+    for (const obs::Json& record : records->items()) {
+      if (!record.is_object()) continue;
+      obs::Json tagged = record;
+      tagged.set("process", obs::Json(name));
+      const obs::Json* wall = record.find("wall_us");
+      all.push_back(Tagged{
+          wall != nullptr && wall->is_number() ? wall->as_uint() : 0,
+          std::move(tagged)});
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Tagged& a, const Tagged& b) { return a.wall_us < b.wall_us; });
+  obs::Json merged = obs::Json::array();
+  for (Tagged& t : all) merged.push(std::move(t.record));
+  return merged;
+}
+
+}  // namespace
+
+obs::Json aggregate_flightz(const std::vector<ShardJson>& shards) {
+  obs::Json doc = obs::Json::object();
+  doc.set("processes", obs::Json(static_cast<std::uint64_t>(shards.size())));
+
+  std::uint64_t recorded = 0, anomalies = 0, dumps = 0;
+  for (const auto& [name, view] : shards) {
+    const auto field = [&](const char* key) -> std::uint64_t {
+      const obs::Json* v = view.find(key);
+      return v != nullptr && v->is_number() ? v->as_uint() : 0;
+    };
+    recorded += field("recorded");
+    anomalies += field("anomalies");
+    dumps += field("anomaly_dumps");
+  }
+  doc.set("recorded", obs::Json(recorded));
+  doc.set("anomalies", obs::Json(anomalies));
+  doc.set("anomaly_dumps", obs::Json(dumps));
+
+  doc.set("records", interleave_flight(shards, "records"));
+  doc.set("exemplars", interleave_flight(shards, "exemplars"));
+
+  obs::Json per_process = obs::Json::object();
+  for (const auto& [name, view] : shards) per_process.set(name, view);
+  doc.set("per_process", std::move(per_process));
+  return doc;
+}
+
 obs::Json aggregate_statz(const std::vector<ShardJson>& shards) {
   obs::Json doc = obs::Json::object();
   doc.set("shards", obs::Json(static_cast<std::uint64_t>(shards.size())));

@@ -39,4 +39,12 @@ using ShardJson = std::pair<std::string, obs::Json>;
 // like response counts), and "per_shard" keeps each full doc for drill-down.
 [[nodiscard]] obs::Json aggregate_statz(const std::vector<ShardJson>& shards);
 
+// Merges per-process /flightz documents (obs::FlightRecorder::to_json) into
+// one fleet view: "recorded"/"anomalies"/"anomaly_dumps" summed, "records"
+// and "exemplars" interleaved by wall clock with a "process" label naming the
+// source, and "per_process" keeping each full doc for drill-down. Flight
+// records carry CLOCK_REALTIME stamps, so cross-process interleaving is
+// meaningful to NTP accuracy — plenty for a human reading an incident.
+[[nodiscard]] obs::Json aggregate_flightz(const std::vector<ShardJson>& shards);
+
 }  // namespace srna::dist

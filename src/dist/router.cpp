@@ -9,6 +9,7 @@
 #include "obs/exposition.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rna/dot_bracket.hpp"
 #include "rna/structure_hash.hpp"
 #include "serve/protocol.hpp"
@@ -19,12 +20,30 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+double ms_between(Clock::time_point from, Clock::time_point to) noexcept {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
 }  // namespace
 
 Router::Router(RouterConfig config)
-    : config_(std::move(config)), ring_(config_.vnodes) {
+    : config_(std::move(config)), ring_(config_.vnodes), flight_(config_.flight) {
   config_.replicas = std::max(1, config_.replicas);
   config_.max_attempts = std::max(1, config_.max_attempts);
+
+  // Fleet-unique trace ids: two routers (or a router restart) must not mint
+  // colliding ids, so salt the id space per process.
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(::getpid()) ^
+      static_cast<std::uint64_t>(Clock::now().time_since_epoch().count());
+  trace_salt_ = ((splitmix64(seed) & 0xfffull) | 0x800ull) << 40;
 
   links_.reserve(config_.shards.size());
   std::vector<ProbeTarget> targets;
@@ -42,6 +61,11 @@ Router::Router(RouterConfig config)
 }
 
 Router::~Router() { stop(); }
+
+std::uint64_t Router::mint_trace_id() noexcept {
+  return trace_salt_ |
+         (next_trace_.fetch_add(1, std::memory_order_relaxed) & ((1ull << 40) - 1));
+}
 
 std::uint64_t Router::routing_key(const serve::ServeRequest& request,
                                   bool* canonical) const {
@@ -100,7 +124,8 @@ void Router::handle_line(const std::string& line,
     return;
   }
 
-  const std::uint64_t key = routing_key(request);
+  bool canonical = false;
+  const std::uint64_t key = routing_key(request, &canonical);
   const std::vector<std::string> owners =
       ring_.owners(key, static_cast<std::size_t>(config_.replicas));
 
@@ -122,6 +147,11 @@ void Router::handle_line(const std::string& line,
     emit(resp.to_line());
     rejected_.fetch_add(1, std::memory_order_relaxed);
     responses_.fetch_add(1, std::memory_order_relaxed);
+    obs::FlightRecord rejected_record;
+    rejected_record.request_id = resp.id;
+    rejected_record.outcome = "rejected";
+    rejected_record.detail = resp.error;
+    flight_.record(std::move(rejected_record));
     return;
   }
 
@@ -130,7 +160,21 @@ void Router::handle_line(const std::string& line,
                                                : obs::Json(std::int64_t{0});
   entry.emit = emit;
   entry.attempts_left = config_.max_attempts;
+  entry.trace = request.trace;
+  entry.admitted = Clock::now();
+  if (canonical) entry.digest = digest_hex(key);
+  // One correlation id per request, spanning processes: adopt an upstream
+  // caller's id, mint a fleet-unique one otherwise, and stamp it into the
+  // forwarded line so the owning shard adopts it too.
+  entry.trace_id = request.trace_id != 0 ? request.trace_id : mint_trace_id();
+  entry.doc.set("trace_id", obs::Json(entry.trace_id));
+  if (obs::Tracer::instance().enabled())
+    entry.admitted_us = obs::Tracer::instance().now_us();
 
+  const std::uint64_t trace_id = entry.trace_id;
+  const std::int64_t client_id = entry.original_id.is_number()
+                                     ? entry.original_id.as_int()
+                                     : std::int64_t{0};
   const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
   entry.doc.set("id", obs::Json(id));
   {
@@ -139,6 +183,10 @@ void Router::handle_line(const std::string& line,
     obs::Registry::instance().gauge("router.pending").set(
         static_cast<double>(pending_.size()));
   }
+  if (obs::Logger::instance().enabled(obs::LogLevel::kDebug))
+    obs::log_debug("router.admit",
+                   obs::log_fields({{"id", obs::Json(client_id)},
+                                    {"trace_id", obs::Json(trace_id)}}));
   dispatch(id);
 }
 
@@ -147,6 +195,11 @@ void Router::dispatch(std::uint64_t id) {
     std::string line;
     std::size_t target = static_cast<std::size_t>(-1);
     std::optional<Pending> exhausted;
+    std::uint64_t trace_id = 0;
+    std::uint64_t attempt_start_us = 0;  // tracer clock; 0 = tracing off
+    std::uint64_t queued_start_us = 0;   // nonzero on the first attempt only
+    std::uint64_t queued_dur_us = 0;
+    int attempt = 0;
     {
       std::lock_guard lock(pending_mutex_);
       const auto it = pending_.find(id);
@@ -176,9 +229,25 @@ void Router::dispatch(std::uint64_t id) {
         }
         entry.cursor += 1;
         entry.shard = chosen;
-        entry.deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                                            std::chrono::duration<double, std::milli>(
-                                                config_.request_timeout_ms));
+        const Clock::time_point now = Clock::now();
+        entry.deadline = now + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double, std::milli>(
+                                       config_.request_timeout_ms));
+        entry.attempts_used += 1;
+        attempt = entry.attempts_used;
+        trace_id = entry.trace_id;
+        if (entry.first_dispatch_ms < 0)
+          entry.first_dispatch_ms = ms_between(entry.admitted, now);
+        if (entry.admitted_us != 0 && obs::Tracer::instance().enabled()) {
+          const std::uint64_t now_us = obs::Tracer::instance().now_us();
+          if (attempt == 1) {
+            // The router-side queued phase, recorded retroactively below.
+            queued_start_us = entry.admitted_us;
+            queued_dur_us = now_us - entry.admitted_us;
+          }
+          entry.attempt_start_us = now_us;
+          attempt_start_us = now_us;
+        }
         target = chosen;
         line = entry.doc.dump(0);
       }
@@ -191,6 +260,17 @@ void Router::dispatch(std::uint64_t id) {
     }
 
     Link& link = *links_[target];
+    // Everything this attempt records — spans, instants — carries the
+    // request's trace id via the thread-local context.
+    obs::TraceContextScope trace_scope(trace_id);
+    if (queued_start_us != 0)
+      obs::Tracer::instance().record("dist", "queued", queued_start_us, queued_dur_us);
+    if (obs::Logger::instance().enabled(obs::LogLevel::kDebug))
+      obs::log_debug(
+          "router.dispatch",
+          obs::log_fields({{"trace_id", obs::Json(trace_id)},
+                           {"attempt", obs::Json(static_cast<std::int64_t>(attempt))},
+                           {"shard", obs::Json(link.address.name)}}));
     if (send_to_link(link, line)) {
       link.forwarded.fetch_add(1, std::memory_order_relaxed);
       obs::Registry::instance().counter("router.forwarded").add();
@@ -201,6 +281,19 @@ void Router::dispatch(std::uint64_t id) {
     // (or exhausts the budget into an explicit rejection).
     failovers_.fetch_add(1, std::memory_order_relaxed);
     obs::Registry::instance().counter("router.failovers").add();
+    if (attempt_start_us != 0) {
+      obs::Tracer& tracer = obs::Tracer::instance();
+      tracer.record("dist", "attempt", attempt_start_us,
+                    tracer.now_us() - attempt_start_us,
+                    obs::trace_args({{"attempt", attempt}, {"ok", 0}}));
+      tracer.instant("dist", "failover");
+    }
+    obs::log_warn(
+        "router.failover",
+        obs::log_fields({{"trace_id", obs::Json(trace_id)},
+                         {"attempt", obs::Json(static_cast<std::int64_t>(attempt))},
+                         {"shard", obs::Json(link.address.name)},
+                         {"reason", obs::Json("send failed (shard down)")}}));
   }
 }
 
@@ -296,14 +389,69 @@ void Router::handle_shard_response(Link& link, const std::string& line) {
         static_cast<double>(pending_.size()));
   }
 
+  const Clock::time_point now = Clock::now();
+  obs::TraceContextScope trace_scope(claimed.trace_id);
+  if (claimed.attempt_start_us != 0 && obs::Tracer::instance().enabled()) {
+    // The winning attempt's span: dispatch -> shard answer, on this request's
+    // lane alongside the shard's own serve/solve spans.
+    obs::Tracer& tracer = obs::Tracer::instance();
+    tracer.record("dist", "attempt", claimed.attempt_start_us,
+                  tracer.now_us() - claimed.attempt_start_us,
+                  obs::trace_args({{"attempt", claimed.attempts_used}, {"ok", 1}}));
+  }
+
   // Swap the client's id back in. Shards serialize with the same writer, so
   // this re-dump is byte-identical to the shard's line outside the id field.
   obs::Json response = *doc;
   response.set("id", claimed.original_id);
+  // Hop fields, traced requests only (set() appends, matching the tail
+  // position ServeResponse::to_json gives them); untraced routed responses
+  // stay byte-identical to direct serving.
+  if (claimed.trace) {
+    response.set("attempts",
+                 obs::Json(static_cast<std::uint64_t>(claimed.attempts_used)));
+    response.set("shard", obs::Json(link.address.name));
+    response.set("router_queued_ms",
+                 obs::Json(std::max(0.0, claimed.first_dispatch_ms)));
+  }
+  // Flight-record before emitting: a client that reads its response and
+  // immediately asks /flightz must find its own request in the ring.
+  obs::FlightRecord flight_record;
+  flight_record.trace_id = claimed.trace_id;
+  flight_record.request_id =
+      claimed.original_id.is_number() ? claimed.original_id.as_int() : 0;
+  flight_record.digest = claimed.digest;
+  if (const obs::Json* s = doc->find("status"); s != nullptr && s->is_string())
+    flight_record.outcome = s->as_string();
+  if (const obs::Json* e = doc->find("error"); e != nullptr && e->is_string())
+    flight_record.detail = e->as_string();
+  flight_record.shard = link.address.name;
+  flight_record.latency_ms = ms_between(claimed.admitted, now);
+  flight_record.queued_ms = std::max(0.0, claimed.first_dispatch_ms);
+  if (const obs::Json* v = doc->find("solve_ms"); v != nullptr && v->is_number())
+    flight_record.solve_ms = v->as_double();
+  flight_record.attempts = static_cast<std::uint32_t>(claimed.attempts_used);
+  flight_record.failovers =
+      claimed.attempts_used > 1 ? static_cast<std::uint32_t>(claimed.attempts_used - 1)
+                                : 0;
+  if (const obs::Json* v = doc->find("cache_hit");
+      v != nullptr && v->kind() == obs::Json::Kind::kBool)
+    flight_record.cache_hit = v->as_bool();
+  flight_.record(std::move(flight_record));
+
   claimed.emit(response.dump(0));
   link.answered.fetch_add(1, std::memory_order_relaxed);
   responses_.fetch_add(1, std::memory_order_relaxed);
   obs::Registry::instance().counter("router.responses").add();
+
+  if (obs::Logger::instance().enabled(obs::LogLevel::kDebug))
+    obs::log_debug(
+        "router.respond",
+        obs::log_fields(
+            {{"trace_id", obs::Json(claimed.trace_id)},
+             {"shard", obs::Json(link.address.name)},
+             {"attempts",
+              obs::Json(static_cast<std::int64_t>(claimed.attempts_used))}}));
 }
 
 void Router::reject(std::uint64_t id, Pending entry, const std::string& reason) {
@@ -313,10 +461,34 @@ void Router::reject(std::uint64_t id, Pending entry, const std::string& reason) 
   resp.status = serve::ResponseStatus::kRejected;
   resp.retry_after_ms = config_.retry_after_ms;
   resp.error = reason;
+  // Echo the trace id even on rejection — it is the handle a client quotes
+  // to find this request's record in GET /flightz.
+  resp.trace_id = entry.trace_id;
+
+  // Flight-record before emitting (same ordering as handle_shard_response):
+  // the rejected client can immediately look itself up in /flightz.
+  obs::FlightRecord flight_record;
+  flight_record.trace_id = entry.trace_id;
+  flight_record.request_id = resp.id;
+  flight_record.digest = entry.digest;
+  flight_record.outcome = "rejected";
+  flight_record.detail = reason;
+  if (entry.admitted != Clock::time_point{})
+    flight_record.latency_ms = ms_between(entry.admitted, Clock::now());
+  flight_record.queued_ms = std::max(0.0, entry.first_dispatch_ms);
+  flight_record.attempts = static_cast<std::uint32_t>(entry.attempts_used);
+  // Every attempt failed — each one was a failover away from an answer.
+  flight_record.failovers = static_cast<std::uint32_t>(entry.attempts_used);
+  flight_.record(std::move(flight_record));
+
   entry.emit(resp.to_line());
   rejected_.fetch_add(1, std::memory_order_relaxed);
   responses_.fetch_add(1, std::memory_order_relaxed);
   obs::Registry::instance().counter("router.rejected").add();
+  obs::log_warn("router.reject",
+                obs::log_fields({{"id", obs::Json(resp.id)},
+                                 {"trace_id", obs::Json(entry.trace_id)},
+                                 {"reason", obs::Json(reason)}}));
 }
 
 void Router::maintenance_loop() {
@@ -334,21 +506,51 @@ void Router::maintenance_loop() {
     // Re-home everything in flight on a dead link, and everything whose
     // per-attempt deadline passed (a hung-but-connected shard looks exactly
     // like a slow one; the timeout is the only tell).
-    std::vector<std::uint64_t> redispatch;
+    struct Redispatch {
+      std::uint64_t id = 0;
+      std::uint64_t trace_id = 0;
+      std::uint64_t attempt_start_us = 0;
+      int attempt = 0;
+      std::size_t shard = static_cast<std::size_t>(-1);
+      bool dead_link = false;
+    };
+    std::vector<Redispatch> redispatch;
     const auto now = Clock::now();
     {
       std::lock_guard lock(pending_mutex_);
       for (const auto& [id, entry] : pending_) {
         const bool on_dead_link =
             std::find(downed.begin(), downed.end(), entry.shard) != downed.end();
-        if (on_dead_link || now >= entry.deadline) redispatch.push_back(id);
+        if (on_dead_link || now >= entry.deadline)
+          redispatch.push_back(Redispatch{id, entry.trace_id, entry.attempt_start_us,
+                                          entry.attempts_used, entry.shard,
+                                          on_dead_link});
       }
     }
-    for (const std::uint64_t id : redispatch) {
+    for (const Redispatch& r : redispatch) {
       timeouts_.fetch_add(1, std::memory_order_relaxed);
       failovers_.fetch_add(1, std::memory_order_relaxed);
       obs::Registry::instance().counter("router.failovers").add();
-      dispatch(id);
+      obs::TraceContextScope trace_scope(r.trace_id);
+      if (r.attempt_start_us != 0 && obs::Tracer::instance().enabled()) {
+        // The failed attempt's span closes here — its shard never answered.
+        obs::Tracer& tracer = obs::Tracer::instance();
+        tracer.record("dist", "attempt", r.attempt_start_us,
+                      tracer.now_us() - r.attempt_start_us,
+                      obs::trace_args({{"attempt", r.attempt}, {"ok", 0}}));
+        tracer.instant("dist", "failover");
+      }
+      obs::log_warn(
+          "router.failover",
+          obs::log_fields(
+              {{"trace_id", obs::Json(r.trace_id)},
+               {"attempt", obs::Json(static_cast<std::int64_t>(r.attempt))},
+               {"shard", obs::Json(r.shard < links_.size()
+                                       ? links_[r.shard]->address.name
+                                       : std::string{})},
+               {"reason", obs::Json(r.dead_link ? "shard connection died"
+                                                : "attempt timeout")}}));
+      dispatch(r.id);
     }
   }
 }
@@ -400,9 +602,15 @@ obs::Json Router::admin_in_band(std::string_view what) {
     doc.set("ready", obs::Json(ready));
   } else if (what == "statz") {
     doc.set("stats", stats_json());
+  } else if (what == "flightz") {
+    doc.set("flight", merged_flightz());
+  } else if (what == "tracez") {
+    doc.set("enabled", obs::Json(obs::Tracer::instance().enabled()));
+    doc.set("trace", obs::Tracer::instance().to_json());
   } else {
     doc.set("error",
-            obs::Json("unknown admin command (metrics | healthz | readyz | statz)"));
+            obs::Json("unknown admin command (metrics | healthz | readyz | statz | "
+                      "flightz | tracez)"));
   }
   return doc;
 }
@@ -418,6 +626,23 @@ std::string Router::merged_metrics() {
   // Router-local metrics first (router.* counters, plus whatever else this
   // process records), then the cross-shard merge.
   return obs::render_prometheus() + merge_prometheus(scrapes);
+}
+
+obs::Json Router::merged_flightz() {
+  // The router's own ring first (labelled "router"), then every shard's —
+  // aggregate_flightz interleaves the records by wall clock so the merged
+  // view reads as one fleet timeline.
+  std::vector<ShardJson> views;
+  views.emplace_back("router", flight_.to_json());
+  for (const auto& link : links_) {
+    if (link->address.admin.port == 0) continue;
+    if (const std::optional<std::string> body = http_get_body(
+            link->address.admin, "/flightz", config_.connect_timeout_ms)) {
+      if (std::optional<obs::Json> doc = obs::Json::parse(*body))
+        views.emplace_back(link->address.name, std::move(*doc));
+    }
+  }
+  return aggregate_flightz(views);
 }
 
 obs::Json Router::aggregated_statz() {
@@ -443,6 +668,8 @@ obs::Json Router::stats_json() {
   router.set("rejected", obs::Json(rejected_.load(std::memory_order_relaxed)));
   router.set("late_drops", obs::Json(late_drops_.load(std::memory_order_relaxed)));
   router.set("attempt_timeouts", obs::Json(timeouts_.load(std::memory_order_relaxed)));
+  router.set("flight_recorded", obs::Json(flight_.recorded()));
+  router.set("flight_anomalies", obs::Json(flight_.anomalies()));
   {
     std::lock_guard lock(pending_mutex_);
     router.set("pending", obs::Json(static_cast<std::uint64_t>(pending_.size())));
@@ -477,8 +704,15 @@ serve::HttpReply Router::admin_http(const std::string& path) {
   }
   if (path == "/statz")
     return serve::HttpReply{200, "application/json", stats_json().dump(2) + "\n"};
+  if (path == "/flightz")
+    return serve::HttpReply{200, "application/json", merged_flightz().dump(2) + "\n"};
+  if (path == "/tracez")
+    // The router's own Chrome trace (with its clock anchor); the collector
+    // scrapes the shards' /tracez directly from the status file's topology.
+    return serve::HttpReply{200, "application/json",
+                            obs::Tracer::instance().to_json().dump(0) + "\n"};
   return serve::HttpReply{404, "text/plain",
-                          "routes: /metrics /healthz /readyz /statz\n"};
+                          "routes: /metrics /healthz /readyz /statz /flightz /tracez\n"};
 }
 
 }  // namespace srna::dist

@@ -51,6 +51,7 @@
 #include "dist/hash_ring.hpp"
 #include "dist/health.hpp"
 #include "dist/net.hpp"
+#include "obs/flight.hpp"
 #include "obs/json.hpp"
 #include "serve/admin.hpp"
 #include "serve/server.hpp"
@@ -75,6 +76,9 @@ struct RouterConfig {
   int max_attempts = 3;  // total dispatch attempts before rejecting
   int connect_timeout_ms = 1000;
   double retry_after_ms = 50;  // backoff hint on router-side rejections
+  // The router's own flight recorder (obs/flight.hpp): every routed request
+  // leaves a record; failovers and rejection bursts are its anomalies.
+  obs::FlightConfig flight;
 };
 
 class Router {
@@ -98,6 +102,10 @@ class Router {
   // Routing key + replica set for one request line; exposed for tests and
   // the shardctl "where does this pair go" command.
   [[nodiscard]] std::vector<std::string> route_of(const std::string& line) const;
+
+  // The router's own flight recorder (the "router"-labelled slice of the
+  // merged /flightz view).
+  [[nodiscard]] const obs::FlightRecorder& flight() const noexcept { return flight_; }
 
   // Rejects every outstanding request, closes shard links, joins all
   // threads. Idempotent.
@@ -125,6 +133,17 @@ class Router {
     int attempts_left = 0;
     std::size_t shard = static_cast<std::size_t>(-1);  // current in-flight link
     std::chrono::steady_clock::time_point deadline;
+    // Correlation: the fleet-unique trace id stamped into the forwarded line
+    // (the owning shard adopts it), plus what the hop spans and the flight
+    // record need when the answer (or the failure) comes back.
+    std::uint64_t trace_id = 0;
+    bool trace = false;  // client asked for hop fields in the response
+    std::string digest;  // canonical pair digest hex ("" = fallback key)
+    std::chrono::steady_clock::time_point admitted;
+    std::uint64_t admitted_us = 0;       // tracer clock at admission (0 = off)
+    std::uint64_t attempt_start_us = 0;  // tracer clock at the live dispatch
+    int attempts_used = 0;
+    double first_dispatch_ms = -1;  // admission -> first dispatch (router_queued_ms)
   };
 
   [[nodiscard]] std::uint64_t routing_key(const serve::ServeRequest& request,
@@ -139,6 +158,8 @@ class Router {
   [[nodiscard]] obs::Json admin_in_band(std::string_view what);
   [[nodiscard]] std::string merged_metrics();
   [[nodiscard]] obs::Json aggregated_statz();
+  [[nodiscard]] obs::Json merged_flightz();
+  [[nodiscard]] std::uint64_t mint_trace_id() noexcept;
 
   RouterConfig config_;
   HashRing ring_;
@@ -148,6 +169,13 @@ class Router {
   std::mutex pending_mutex_;
   std::unordered_map<std::uint64_t, Pending> pending_;
   std::atomic<std::uint64_t> next_id_{1};
+
+  obs::FlightRecorder flight_;
+  // Fleet-unique trace ids: a per-process random 12-bit salt (top bit forced
+  // on) in bits 40..51 over a 40-bit counter — ids land in [2^51, 2^52), so
+  // they survive even a double round-trip in external JSON tooling exactly.
+  std::uint64_t trace_salt_ = 0;
+  std::atomic<std::uint64_t> next_trace_{1};
 
   std::mutex events_mutex_;
   std::condition_variable events_wake_;

@@ -1,0 +1,139 @@
+#include "dist/trace_collect.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+namespace srna::dist {
+
+namespace {
+
+// The wall-clock anchor of one process trace; 0 = absent (tracing was never
+// enabled in that process, so its timestamps cannot be aligned).
+std::uint64_t anchor_of(const obs::Json& doc) {
+  const obs::Json* anchor = doc.find("srna_clock_anchor");
+  if (anchor == nullptr || !anchor->is_object()) return 0;
+  const obs::Json* us = anchor->find("realtime_unix_us");
+  return us != nullptr && us->is_number() ? us->as_uint() : 0;
+}
+
+}  // namespace
+
+std::vector<TraceSource> sources_from_status(const obs::Json& status) {
+  std::vector<TraceSource> sources;
+  if (!status.is_object()) return sources;
+
+  if (const obs::Json* router = status.find("router");
+      router != nullptr && router->is_object()) {
+    const obs::Json* host = router->find("host");
+    const obs::Json* port = router->find("admin_port");
+    if (port != nullptr && port->is_number() && port->as_uint() != 0) {
+      TraceSource source;
+      source.name = "router";
+      source.admin.host = host != nullptr && host->is_string() ? host->as_string()
+                                                               : "127.0.0.1";
+      source.admin.port = static_cast<std::uint16_t>(port->as_uint());
+      sources.push_back(std::move(source));
+    }
+  }
+
+  if (const obs::Json* shards = status.find("shards");
+      shards != nullptr && shards->is_array()) {
+    for (const obs::Json& shard : shards->items()) {
+      if (!shard.is_object()) continue;
+      const obs::Json* name = shard.find("name");
+      const obs::Json* admin = shard.find("admin");
+      if (admin == nullptr || !admin->is_string()) continue;
+      TraceSource source;
+      source.name = name != nullptr && name->is_string() ? name->as_string()
+                                                         : admin->as_string();
+      try {
+        source.admin = parse_endpoint(admin->as_string());
+      } catch (const std::exception&) {
+        continue;
+      }
+      if (source.admin.port == 0) continue;
+      sources.push_back(std::move(source));
+    }
+  }
+  return sources;
+}
+
+std::optional<obs::Json> fetch_trace(const Endpoint& admin, int timeout_ms) {
+  const std::optional<std::string> body = http_get_body(admin, "/tracez", timeout_ms);
+  if (!body) return std::nullopt;
+  std::optional<obs::Json> doc = obs::Json::parse(*body);
+  if (!doc || !doc->is_object()) return std::nullopt;
+  return doc;
+}
+
+obs::Json merge_traces(const std::vector<ProcessTrace>& traces) {
+  // The earliest anchor is the merged timeline's origin; anchorless traces
+  // (never enabled) contribute offset 0 — their few events stay where their
+  // own clock put them rather than being flung to a bogus offset.
+  std::uint64_t base = std::numeric_limits<std::uint64_t>::max();
+  for (const ProcessTrace& trace : traces) {
+    const std::uint64_t anchor = anchor_of(trace.doc);
+    if (anchor != 0) base = std::min(base, anchor);
+  }
+  if (base == std::numeric_limits<std::uint64_t>::max()) base = 0;
+
+  obs::Json events = obs::Json::array();
+  obs::Json processes = obs::Json::object();
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const ProcessTrace& trace = traces[i];
+    const std::int64_t pid = static_cast<std::int64_t>(i + 1);
+    const std::uint64_t anchor = anchor_of(trace.doc);
+    const std::uint64_t offset_us = anchor > base ? anchor - base : 0;
+
+    // The collector's label wins over any source-side process_name metadata
+    // — the status file knows "shard0"; the process only knows "srna-serve".
+    obs::Json meta = obs::Json::object();
+    meta.set("ph", "M").set("name", "process_name").set("pid", pid);
+    obs::Json meta_args = obs::Json::object();
+    meta_args.set("name", trace.name);
+    meta.set("args", std::move(meta_args));
+    events.push(std::move(meta));
+
+    std::uint64_t copied = 0;
+    const obs::Json* source_events = trace.doc.find("traceEvents");
+    if (source_events != nullptr && source_events->is_array()) {
+      for (const obs::Json& event : source_events->items()) {
+        if (!event.is_object()) continue;
+        const obs::Json* ph = event.find("ph");
+        const bool metadata =
+            ph != nullptr && ph->is_string() && ph->as_string() == "M";
+        if (metadata) {
+          const obs::Json* name = event.find("name");
+          if (name != nullptr && name->is_string() &&
+              name->as_string() == "process_name")
+            continue;  // replaced by the collector's label above
+        }
+        obs::Json copy = event;
+        copy.set("pid", obs::Json(pid));
+        if (!metadata) {
+          const obs::Json* ts = event.find("ts");
+          if (ts != nullptr && ts->is_number())
+            copy.set("ts", obs::Json(ts->as_uint() + offset_us));
+          copied += 1;
+        }
+        events.push(std::move(copy));
+      }
+    }
+
+    obs::Json entry = obs::Json::object();
+    entry.set("pid", obs::Json(pid));
+    entry.set("clock_offset_us", obs::Json(offset_us));
+    entry.set("events", obs::Json(copied));
+    processes.set(trace.name, std::move(entry));
+  }
+
+  obs::Json doc = obs::Json::object();
+  doc.set("traceEvents", std::move(events));
+  doc.set("displayTimeUnit", "ms");
+  doc.set("srna_clock_base_unix_us", obs::Json(base));
+  doc.set("srna_processes", std::move(processes));
+  return doc;
+}
+
+}  // namespace srna::dist

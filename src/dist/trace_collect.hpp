@@ -1,0 +1,66 @@
+// Cross-process trace collection: pull each process's Chrome trace from its
+// admin plane (`GET /tracez`) and merge them into one Perfetto-loadable
+// document spanning the whole fleet.
+//
+// The alignment problem: every process's Tracer stamps event timestamps as
+// microseconds since its own enable() (a steady_clock epoch), so two
+// processes' timelines share no origin. The tracer therefore records a
+// wall-clock anchor — CLOCK_REALTIME at the instant of enable() — in its
+// document (`srna_clock_anchor.realtime_unix_us`). The merge picks the
+// earliest anchor as the base and shifts every other process's events by
+// (anchor - base), putting all timelines on one axis to the accuracy the
+// machines' wall clocks agree (exact on one host, NTP-grade across hosts —
+// and the distributed tier targets one host).
+//
+// Each source process becomes one pid lane group (pid = index + 1) labelled
+// with its collector-side name ("router", "shard0", ...), so one request's
+// correlated spans — router queued/attempt/failover, the winning shard's
+// serve/solve — read top-to-bottom across lanes, tied together by the
+// `trace_id` arg the trace context stamps into every event.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dist/net.hpp"
+#include "obs/json.hpp"
+
+namespace srna::dist {
+
+// One process's trace, as fetched: the lane-group label plus the raw
+// /tracez document (obs::Tracer::to_json shape).
+struct ProcessTrace {
+  std::string name;
+  obs::Json doc;
+};
+
+// One scrape target: a process name and its admin endpoint.
+struct TraceSource {
+  std::string name;
+  Endpoint admin;
+};
+
+// Extracts the scrape targets from a router --status-file document
+// ({"router": {host, admin_port}, "shards": [{name, admin}, ...]}): the
+// router first, then every shard. Sources without an admin plane (port 0 or
+// a missing/unparseable field) are skipped.
+[[nodiscard]] std::vector<TraceSource> sources_from_status(const obs::Json& status);
+
+// GET /tracez from one process. std::nullopt on connect failure, timeout,
+// non-2xx, or an unparseable body.
+[[nodiscard]] std::optional<obs::Json> fetch_trace(const Endpoint& admin,
+                                                   int timeout_ms);
+
+// Merges per-process traces into one Chrome trace document:
+//   - pid remapped to source index + 1, with a process_name metadata event
+//     carrying the source's name (source-side process_name metadata is
+//     dropped in favour of the collector's label);
+//   - event timestamps shifted by (anchor - min anchor); a source without an
+//     anchor (tracing never enabled) keeps its timestamps unshifted;
+//   - doc-level extras: "srna_clock_base_unix_us" (the base anchor — add it
+//     to any ts to recover absolute wall time) and "srna_processes"
+//     (name -> {pid, clock_offset_us, events}).
+[[nodiscard]] obs::Json merge_traces(const std::vector<ProcessTrace>& traces);
+
+}  // namespace srna::dist

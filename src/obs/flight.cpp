@@ -1,0 +1,180 @@
+#include "obs/flight.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/log.hpp"
+
+namespace srna::obs {
+
+namespace {
+
+std::uint64_t wall_now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Json FlightRecord::to_json() const {
+  Json doc = Json::object();
+  doc.set("seq", seq);
+  doc.set("wall_us", wall_us);
+  if (trace_id != 0) doc.set("trace_id", trace_id);
+  doc.set("id", request_id);
+  if (!digest.empty()) doc.set("digest", digest);
+  doc.set("outcome", outcome);
+  if (!detail.empty()) doc.set("detail", detail);
+  if (!shard.empty()) doc.set("shard", shard);
+  doc.set("latency_ms", latency_ms);
+  if (queued_ms > 0) doc.set("queued_ms", queued_ms);
+  if (solve_ms > 0) doc.set("solve_ms", solve_ms);
+  if (attempts > 0) doc.set("attempts", static_cast<std::uint64_t>(attempts));
+  if (failovers > 0) doc.set("failovers", static_cast<std::uint64_t>(failovers));
+  if (cache_hit) doc.set("cache_hit", true);
+  return doc;
+}
+
+FlightRecorder::FlightRecorder(FlightConfig config) { configure(std::move(config)); }
+
+void FlightRecorder::configure(FlightConfig config) {
+  std::unique_lock lock(config_mutex_);
+  config_ = config;
+  config_.capacity = std::max<std::size_t>(1, config_.capacity);
+  slots_.clear();
+  slots_.reserve(config_.capacity);
+  for (std::size_t i = 0; i < config_.capacity; ++i)
+    slots_.push_back(std::make_unique<Slot>());
+  next_seq_.store(0, std::memory_order_relaxed);
+  anomalies_.store(0, std::memory_order_relaxed);
+  dumps_.store(0, std::memory_order_relaxed);
+  last_dump_wall_us_.store(0, std::memory_order_relaxed);
+  std::lock_guard exemplar_lock(exemplar_mutex_);
+  exemplars_.clear();
+  reject_wall_us_.clear();
+}
+
+void FlightRecorder::set_dump_hook(DumpHook hook) {
+  std::unique_lock lock(config_mutex_);
+  dump_hook_ = std::move(hook);
+}
+
+const char* FlightRecorder::classify(const FlightRecord& record) {
+  // Order matters only for the label; every rule below is "worth a dump".
+  if (record.outcome == "timeout" || record.outcome == "error")
+    return record.outcome == "timeout" ? "timeout" : "error";
+  if (record.failovers > 0) return "failover";
+  if (config_.slow_ms > 0 && record.latency_ms >= config_.slow_ms) return "slow";
+  if (record.outcome == "rejected" && config_.reject_burst > 0) {
+    const std::uint64_t window_us =
+        static_cast<std::uint64_t>(config_.reject_burst_window_ms * 1e3);
+    std::lock_guard lock(exemplar_mutex_);
+    reject_wall_us_.push_back(record.wall_us);
+    while (!reject_wall_us_.empty() &&
+           reject_wall_us_.front() + window_us < record.wall_us)
+      reject_wall_us_.pop_front();
+    if (reject_wall_us_.size() >= config_.reject_burst) return "reject_burst";
+  }
+  return nullptr;
+}
+
+void FlightRecorder::note_anomaly(const char* trigger, const FlightRecord& record) {
+  anomalies_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(exemplar_mutex_);
+    exemplars_.push_back(record);
+    while (exemplars_.size() > std::max<std::size_t>(1, config_.exemplars))
+      exemplars_.pop_front();
+  }
+
+  // Rate-limited dump: one winner per interval via CAS on the last-dump
+  // stamp; losers still counted the anomaly and kept the exemplar above.
+  const std::uint64_t interval_us =
+      static_cast<std::uint64_t>(config_.dump_min_interval_ms * 1e3);
+  std::uint64_t last = last_dump_wall_us_.load(std::memory_order_relaxed);
+  if (last != 0 && record.wall_us < last + interval_us) return;
+  if (!last_dump_wall_us_.compare_exchange_strong(last, record.wall_us,
+                                                  std::memory_order_relaxed))
+    return;
+  dumps_.fetch_add(1, std::memory_order_relaxed);
+
+  Json dump = Json::object();
+  dump.set("trigger", trigger);
+  dump.set("record", record.to_json());
+  // The seconds before the anomaly, newest-last, bounded so a dump is a log
+  // line and not a log flood.
+  constexpr std::size_t kDumpRecent = 16;
+  std::vector<FlightRecord> recent;
+  recent.reserve(slots_.size());
+  for (const auto& slot : slots_) {
+    std::lock_guard slot_lock(slot->mutex);
+    if (slot->record.seq != 0) recent.push_back(slot->record);
+  }
+  std::sort(recent.begin(), recent.end(),
+            [](const FlightRecord& a, const FlightRecord& b) { return a.seq < b.seq; });
+  if (recent.size() > kDumpRecent)
+    recent.erase(recent.begin(),
+                 recent.end() - static_cast<std::ptrdiff_t>(kDumpRecent));
+  Json recent_json = Json::array();
+  for (const FlightRecord& r : recent) recent_json.push(r.to_json());
+  dump.set("recent", std::move(recent_json));
+
+  if (dump_hook_) {
+    dump_hook_(dump);
+  } else {
+    log_warn("flight.anomaly_dump",
+             log_fields({{"trigger", Json(trigger)},
+                         {"trace_id", Json(record.trace_id)},
+                         {"outcome", Json(record.outcome)},
+                         {"latency_ms", Json(record.latency_ms)},
+                         {"dump", dump}}));
+  }
+}
+
+std::uint64_t FlightRecorder::record(FlightRecord record) {
+  std::shared_lock lock(config_mutex_);
+  if (record.wall_us == 0) record.wall_us = wall_now_us();
+  const std::uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  record.seq = seq;
+  {
+    Slot& slot = *slots_[(seq - 1) % slots_.size()];
+    std::lock_guard slot_lock(slot.mutex);
+    slot.record = record;
+  }
+  if (const char* trigger = classify(record)) note_anomaly(trigger, record);
+  return seq;
+}
+
+Json FlightRecorder::to_json() const {
+  std::shared_lock lock(config_mutex_);
+  Json doc = Json::object();
+  doc.set("capacity", static_cast<std::uint64_t>(config_.capacity));
+  doc.set("recorded", next_seq_.load(std::memory_order_relaxed));
+  doc.set("anomalies", anomalies_.load(std::memory_order_relaxed));
+  doc.set("anomaly_dumps", dumps_.load(std::memory_order_relaxed));
+  doc.set("slow_ms", config_.slow_ms);
+
+  std::vector<FlightRecord> records;
+  records.reserve(slots_.size());
+  for (const auto& slot : slots_) {
+    std::lock_guard slot_lock(slot->mutex);
+    if (slot->record.seq != 0) records.push_back(slot->record);
+  }
+  std::sort(records.begin(), records.end(),
+            [](const FlightRecord& a, const FlightRecord& b) { return a.seq < b.seq; });
+  Json records_json = Json::array();
+  for (const FlightRecord& r : records) records_json.push(r.to_json());
+  doc.set("records", std::move(records_json));
+
+  Json exemplars_json = Json::array();
+  {
+    std::lock_guard exemplar_lock(exemplar_mutex_);
+    for (const FlightRecord& r : exemplars_) exemplars_json.push(r.to_json());
+  }
+  doc.set("exemplars", std::move(exemplars_json));
+  return doc;
+}
+
+}  // namespace srna::obs

@@ -1,0 +1,133 @@
+// Always-on flight recorder: a fixed ring of the most recent request
+// records, kept cheap enough to run in production and dumped as structured
+// JSON the moment something looks wrong.
+//
+// Sliding-window quantiles (obs/window.hpp) answer "how slow are we";
+// structured logs answer "what did we decide per request" — but only at a
+// log level nobody runs hot paths at. The flight recorder fills the gap
+// between them: every completed request leaves one compact record (trace
+// id, digest, outcome, per-phase timings, attempt/failover history), the
+// ring holds the last `capacity` of them, and an anomaly — latency over the
+// configured threshold, a non-ok outcome worth flagging, a failover, or a
+// rejection burst — snapshots the recent history through the dump hook
+// while retaining the triggering record as an exemplar for `GET /flightz`.
+// When a shard dies, the records explaining the seconds before it are
+// already in memory on the router and the surviving replicas.
+//
+// Concurrency: record() claims a slot with one atomic fetch_add and writes
+// it under that slot's own mutex — writers contend only when the ring laps
+// itself onto a slot a reader is copying. configure() swaps the ring out
+// under the writer side of a shared_mutex; record()/to_json() hold the
+// reader side. No allocation on the record path beyond the strings the
+// caller already built.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace srna::obs {
+
+// One completed request, as the recorder remembers it. Router records fill
+// the attempt/failover/shard fields; shard records fill the solve-side ones.
+struct FlightRecord {
+  std::uint64_t seq = 0;      // global record number, assigned by record()
+  std::uint64_t wall_us = 0;  // CLOCK_REALTIME at completion (0 = fill in)
+  std::uint64_t trace_id = 0;
+  std::int64_t request_id = 0;   // the client's id
+  std::string digest;            // canonical pair digest hex ("" = unresolved)
+  std::string outcome;           // "ok" | "timeout" | "rejected" | ...
+  std::string detail;            // error text / rejection reason
+  std::string shard;             // router: the shard that answered
+  double latency_ms = 0.0;
+  double queued_ms = 0.0;        // shard: admission->pickup; router: ->1st send
+  double solve_ms = 0.0;
+  std::uint32_t attempts = 0;    // router: dispatch attempts used (>=1)
+  std::uint32_t failovers = 0;   // router: failed attempts before the answer
+  bool cache_hit = false;
+
+  [[nodiscard]] Json to_json() const;
+};
+
+struct FlightConfig {
+  std::size_t capacity = 256;  // ring slots (clamped to >= 1)
+  // Latency anomaly threshold in ms (0 = off). A record at or over it is a
+  // "slow" anomaly and is retained as an exemplar.
+  double slow_ms = 0;
+  std::size_t exemplars = 16;  // anomaly records retained for /flightz
+  // Rejection burst: this many "rejected" records inside the window is an
+  // anomaly (0 = off). A lone rejection is backpressure doing its job; a
+  // burst is the fleet failing.
+  std::size_t reject_burst = 8;
+  double reject_burst_window_ms = 1000;
+  // Anomaly dumps are rate-limited: at most one per this interval (further
+  // anomalies still count and retain exemplars, they just skip the dump).
+  double dump_min_interval_ms = 1000;
+};
+
+class FlightRecorder {
+ public:
+  // Receives the dump document on anomaly: {"trigger", "record", "recent"}.
+  // The default hook emits it through the structured logger
+  // (`flight.anomaly_dump`, warn). Called on the recording thread.
+  using DumpHook = std::function<void(const Json& dump)>;
+
+  explicit FlightRecorder(FlightConfig config = {});
+
+  // Replaces the configuration and resets the ring. Not for use while
+  // requests are in flight (construction-time wiring).
+  void configure(FlightConfig config);
+  void set_dump_hook(DumpHook hook);
+
+  // Appends one record (assigning seq; wall_us filled when 0), classifies it
+  // against the anomaly rules, and fires the dump hook when one trips.
+  // Returns the assigned seq.
+  std::uint64_t record(FlightRecord record);
+
+  [[nodiscard]] std::uint64_t recorded() const noexcept {
+    return next_seq_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t anomalies() const noexcept {
+    return anomalies_.load(std::memory_order_relaxed);
+  }
+
+  // The whole view behind GET /flightz: config, counters, the ring's records
+  // oldest-first, and the retained anomaly exemplars.
+  [[nodiscard]] Json to_json() const;
+
+ private:
+  struct Slot {
+    std::mutex mutex;
+    FlightRecord record;  // valid iff record.seq != 0
+  };
+
+  // nullptr = no anomaly; otherwise the trigger label ("slow", "failover",
+  // "reject_burst", or the non-ok outcome itself).
+  [[nodiscard]] const char* classify(const FlightRecord& record);
+  void note_anomaly(const char* trigger, const FlightRecord& record);
+
+  mutable std::shared_mutex config_mutex_;  // exclusive: configure()
+  FlightConfig config_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+
+  std::atomic<std::uint64_t> next_seq_{0};
+  std::atomic<std::uint64_t> anomalies_{0};
+  std::atomic<std::uint64_t> dumps_{0};
+  std::atomic<std::uint64_t> last_dump_wall_us_{0};
+
+  mutable std::mutex exemplar_mutex_;
+  std::deque<FlightRecord> exemplars_;     // most recent last
+  std::deque<std::uint64_t> reject_wall_us_;  // recent rejection timestamps
+
+  DumpHook dump_hook_;  // guarded by config_mutex_ (set at wiring time)
+};
+
+}  // namespace srna::obs

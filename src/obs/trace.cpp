@@ -1,5 +1,7 @@
 #include "obs/trace.hpp"
 
+#include <unistd.h>
+
 #include <fstream>
 
 namespace srna::obs {
@@ -41,8 +43,22 @@ Tracer& Tracer::instance() noexcept {
 }
 
 void Tracer::enable() {
+  // Capture both clocks back to back: the pair is the process's clock
+  // anchor, and the closer together they are read, the tighter the
+  // cross-process alignment a collector can compute from them.
   epoch_ = std::chrono::steady_clock::now();
+  wall_anchor_us_.store(
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::system_clock::now().time_since_epoch())
+              .count()),
+      std::memory_order_relaxed);
   enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::set_process_name(std::string name) {
+  std::lock_guard lock(registry_mutex_);
+  process_name_ = std::move(name);
 }
 
 Tracer::ThreadBuffer& Tracer::local_buffer() {
@@ -108,6 +124,16 @@ Json Tracer::to_json() const {
   std::uint64_t dropped = 0;
   {
     std::lock_guard lock(registry_mutex_);
+    if (!process_name_.empty()) {
+      // Process-lane metadata so a merged multi-process trace labels each
+      // pid row ("srna-router", "srna-serve") instead of showing bare ids.
+      Json meta = Json::object();
+      meta.set("ph", "M").set("name", "process_name").set("pid", 1);
+      Json meta_args = Json::object();
+      meta_args.set("name", process_name_);
+      meta.set("args", std::move(meta_args));
+      events.push(std::move(meta));
+    }
     for (const auto& buf : buffers_) {
       // Thread-lane metadata so Perfetto labels the rows.
       Json meta = Json::object();
@@ -140,6 +166,13 @@ Json Tracer::to_json() const {
   doc.set("traceEvents", std::move(events));
   doc.set("displayTimeUnit", "ms");
   doc.set("srna_dropped_events", dropped);
+  // The steady-epoch <-> CLOCK_REALTIME pair: every ts above is microseconds
+  // after this wall instant. dist/trace_collect.hpp subtracts the earliest
+  // anchor across processes to put all timelines on one axis.
+  Json anchor = Json::object();
+  anchor.set("realtime_unix_us", wall_anchor_us());
+  anchor.set("pid", static_cast<std::int64_t>(::getpid()));
+  doc.set("srna_clock_anchor", std::move(anchor));
   return doc;
 }
 

@@ -66,6 +66,21 @@ class Tracer {
   // Starts a trace: resets the epoch and accepts events. Safe to call when
   // already enabled (restarts the epoch for an empty buffer set).
   void enable();
+
+  // CLOCK_REALTIME at the instant of the last enable(), in microseconds since
+  // the Unix epoch — the wall-clock twin of the steady epoch behind now_us().
+  // Emitted in to_json() as `srna_clock_anchor`, which is what lets a
+  // collector (dist/trace_collect.hpp) align per-process timelines: every
+  // event's ts is steady-relative, but anchor_A - anchor_B is the offset
+  // between two processes' timelines. 0 until the first enable().
+  [[nodiscard]] std::uint64_t wall_anchor_us() const noexcept {
+    return wall_anchor_us_.load(std::memory_order_relaxed);
+  }
+
+  // Names this process's lane group in merged multi-process traces
+  // ("srna-router", "srna-serve"); emitted as process_name metadata by
+  // to_json(). Empty (the default) emits no metadata.
+  void set_process_name(std::string name);
   void disable() noexcept { enabled_.store(false, std::memory_order_relaxed); }
   [[nodiscard]] bool enabled() const noexcept {
     return enabled_.load(std::memory_order_relaxed);
@@ -131,8 +146,10 @@ class Tracer {
 
   std::atomic<bool> enabled_{false};
   std::chrono::steady_clock::time_point epoch_{};
+  std::atomic<std::uint64_t> wall_anchor_us_{0};
 
   mutable std::mutex registry_mutex_;
+  std::string process_name_;  // guarded by registry_mutex_
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
   std::atomic<std::uint64_t> generation_{1};
   std::size_t thread_capacity_ = 1 << 16;

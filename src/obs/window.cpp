@@ -5,13 +5,15 @@
 
 namespace srna::obs {
 
-void WindowHistogram::observe(double v) noexcept {
+void WindowHistogram::observe(double v, std::uint64_t exemplar_id) noexcept {
   if (std::isnan(v)) return;
   std::lock_guard lock(mutex_);
   if (ring_.size() < capacity_) {
     ring_.push_back(v);
+    exemplars_.push_back(exemplar_id);
   } else {
     ring_[next_] = v;
+    exemplars_[next_] = exemplar_id;
   }
   next_ = (next_ + 1) % capacity_;
   ++total_;
@@ -36,13 +38,20 @@ double WindowHistogram::quantile(double q) const {
 WindowHistogram::Snapshot WindowHistogram::snapshot() const {
   Snapshot s;
   std::vector<double> values;
+  std::vector<std::uint64_t> ids;
   {
     std::lock_guard lock(mutex_);
     s.count = total_;
     values = ring_;
+    ids = exemplars_;
   }
   s.window = values.size();
   if (values.empty()) return s;
+  // The max exemplar is resolved before sorting scrambles the pairing.
+  std::size_t max_at = 0;
+  for (std::size_t i = 1; i < values.size(); ++i)
+    if (values[i] > values[max_at]) max_at = i;
+  s.max_exemplar = ids[max_at];
   std::sort(values.begin(), values.end());
   s.min = values.front();
   s.max = values.back();
@@ -62,12 +71,15 @@ Json WindowHistogram::to_json() const {
   out.set("count", s.count).set("window", s.window);
   out.set("min", s.min).set("max", s.max);
   out.set("p50", s.p50).set("p90", s.p90).set("p95", s.p95).set("p99", s.p99);
+  // Sparse: only observations that carried a trace id can name their max.
+  if (s.max_exemplar != 0) out.set("max_exemplar_trace_id", s.max_exemplar);
   return out;
 }
 
 void WindowHistogram::reset() {
   std::lock_guard lock(mutex_);
   ring_.clear();
+  exemplars_.clear();
   next_ = 0;
   total_ = 0;
 }

@@ -32,9 +32,13 @@ class WindowHistogram {
   explicit WindowHistogram(std::size_t capacity = kDefaultCapacity)
       : capacity_(capacity == 0 ? 1 : capacity) {
     ring_.reserve(capacity_);
+    exemplars_.reserve(capacity_);
   }
 
-  void observe(double v) noexcept;
+  // Records one observation; `exemplar_id` (a trace id, 0 = none) rides in a
+  // parallel ring so a quantile readout can name a concrete request behind
+  // the tail — "p99 is 80ms" becomes "p99 is 80ms, e.g. trace 4711".
+  void observe(double v, std::uint64_t exemplar_id = 0) noexcept;
 
   struct Snapshot {
     std::uint64_t count = 0;   // observations ever
@@ -45,6 +49,9 @@ class WindowHistogram {
     double p90 = 0.0;
     double p95 = 0.0;
     double p99 = 0.0;
+    // Exemplar id recorded with the window's max observation (0 = none):
+    // the trace to pull when asking "what was that slowest request".
+    std::uint64_t max_exemplar = 0;
   };
   [[nodiscard]] Snapshot snapshot() const;
 
@@ -64,6 +71,7 @@ class WindowHistogram {
   const std::size_t capacity_;
   mutable std::mutex mutex_;
   std::vector<double> ring_;  // grows to capacity_, then wraps
+  std::vector<std::uint64_t> exemplars_;  // parallel to ring_ (trace ids)
   std::size_t next_ = 0;
   std::uint64_t total_ = 0;
 };

@@ -13,6 +13,7 @@
 #include "obs/exposition.hpp"
 #include "obs/perf/memory.hpp"
 #include "obs/perf/perf_counters.hpp"
+#include "obs/trace.hpp"
 #include "serve/service.hpp"
 
 namespace srna::serve {
@@ -53,9 +54,18 @@ obs::Json admin_json(const QueryService& service, std::string_view what) {
     doc.set("ready", obs::Json(ready(service)));
   } else if (what == "statz") {
     doc.set("stats", service.stats_json());
+  } else if (what == "flightz") {
+    doc.set("flight", service.flight().to_json());
+  } else if (what == "tracez") {
+    // The process's Chrome trace so far (with its clock anchor), for the
+    // cross-process collector; also answers in offline mode where no admin
+    // listener exists.
+    doc.set("enabled", obs::Json(obs::Tracer::instance().enabled()));
+    doc.set("trace", obs::Tracer::instance().to_json());
   } else {
     doc.set("error",
-            obs::Json("unknown admin command (metrics | healthz | readyz | statz)"));
+            obs::Json("unknown admin command (metrics | healthz | readyz | statz | "
+                      "flightz | tracez)"));
   }
   return doc;
 }
@@ -105,7 +115,15 @@ HttpReply service_routes(const QueryService& service, const std::string& path) {
   }
   if (path == "/statz")
     return HttpReply{200, "application/json", service.stats_json().dump(2) + "\n"};
-  return HttpReply{404, "text/plain", "routes: /metrics /healthz /readyz /statz\n"};
+  if (path == "/flightz")
+    return HttpReply{200, "application/json", service.flight().to_json().dump(2) + "\n"};
+  if (path == "/tracez")
+    // The raw Chrome trace document — srna-trace-collect fetches this from
+    // every process and clock-aligns them via the embedded anchors.
+    return HttpReply{200, "application/json",
+                     obs::Tracer::instance().to_json().dump(0) + "\n"};
+  return HttpReply{404, "text/plain",
+                   "routes: /metrics /healthz /readyz /statz /flightz /tracez\n"};
 }
 
 }  // namespace

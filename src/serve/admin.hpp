@@ -23,6 +23,12 @@
 //                                   balancers and the router's prober stop
 //                                   routing here, without killing the process)
 //                    GET /statz     the service's stats_json() document
+//                    GET /flightz   the flight recorder's view: the ring of
+//                                   recent request records plus the retained
+//                                   anomaly exemplars (obs/flight.hpp)
+//                    GET /tracez    the process's Chrome trace so far, with
+//                                   its wall-clock anchor — what
+//                                   srna-trace-collect scrapes and merges
 //   admin_json     the same payloads as in-band JSON-lines requests
 //                  ({"admin": "metrics"}), for offline mode and tests where
 //                  no second listener exists. Admin lines are answered

@@ -41,7 +41,7 @@ ServeRequest parse_request(std::string_view line) {
   static constexpr std::string_view kKnown[] = {"id",     "a",           "b",
                                                 "a_name", "b_name",      "algorithm",
                                                 "layout", "deadline_ms", "no_cache",
-                                                "trace"};
+                                                "trace",  "trace_id"};
   for (const auto& [key, value] : doc->members()) {
     bool known = false;
     for (const std::string_view k : kKnown) known = known || key == k;
@@ -59,6 +59,12 @@ ServeRequest parse_request(std::string_view line) {
   req.deadline_ms = number_field(*doc, "deadline_ms", 0.0);
   req.no_cache = bool_field(*doc, "no_cache");
   req.trace = bool_field(*doc, "trace");
+  // Exact 64-bit read (as_uint, not the double-based number_field): router-
+  // minted ids use high bits a double round-trip would corrupt.
+  if (const obs::Json* v = doc->find("trace_id")) {
+    if (!v->is_number()) bad_request("field 'trace_id' must be a number");
+    req.trace_id = v->as_uint();
+  }
 
   const bool literal_pair = !req.a.empty() || !req.b.empty();
   const bool name_pair = !req.a_name.empty() || !req.b_name.empty();
@@ -90,6 +96,7 @@ obs::Json ServeRequest::to_json() const {
   if (deadline_ms > 0) doc.set("deadline_ms", obs::Json(deadline_ms));
   if (no_cache) doc.set("no_cache", obs::Json(true));
   if (trace) doc.set("trace", obs::Json(true));
+  if (trace_id != 0) doc.set("trace_id", obs::Json(trace_id));
   return doc;
 }
 
@@ -135,6 +142,14 @@ obs::Json ServeResponse::to_json() const {
   }
   doc.set("latency_ms", obs::Json(latency_ms));
   if (!error.empty()) doc.set("error", obs::Json(error));
+  // Router hop fields trail the document — the router appends them to a
+  // shard's serialized response, so emitting them last keeps this writer
+  // byte-compatible with that path.
+  if (attempts > 0) {
+    doc.set("attempts", obs::Json(static_cast<std::uint64_t>(attempts)));
+    if (!shard.empty()) doc.set("shard", obs::Json(shard));
+    doc.set("router_queued_ms", obs::Json(router_queued_ms));
+  }
   return doc;
 }
 
@@ -168,12 +183,16 @@ ServeResponse ServeResponse::from_line(std::string_view line) {
   resp.retry_after_ms = number_field(*doc, "retry_after_ms", 0.0);
   resp.estimated_bytes =
       static_cast<std::uint64_t>(number_field(*doc, "estimated_bytes", 0.0));
-  resp.trace_id = static_cast<std::uint64_t>(number_field(*doc, "trace_id", 0.0));
+  // Exact 64-bit read: router-minted trace ids do not survive a double.
+  if (const obs::Json* v = doc->find("trace_id")) resp.trace_id = v->as_uint();
   resp.queued_ms = number_field(*doc, "queued_ms", 0.0);
   resp.solve_ms = number_field(*doc, "solve_ms", 0.0);
   resp.algorithm = string_field(*doc, "algorithm");
   resp.digest = string_field(*doc, "digest");
   resp.error = string_field(*doc, "error");
+  resp.attempts = static_cast<std::uint32_t>(number_field(*doc, "attempts", 0.0));
+  resp.shard = string_field(*doc, "shard");
+  resp.router_queued_ms = number_field(*doc, "router_queued_ms", 0.0);
   return resp;
 }
 

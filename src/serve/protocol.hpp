@@ -60,6 +60,11 @@ struct ServeRequest {
   double deadline_ms = 0;  // 0 = service default; < 0 invalid
   bool no_cache = false;   // bypass the result cache (solve + do not store)
   bool trace = false;      // record per-phase spans for this request
+  // Propagated correlation id: when nonzero the service ADOPTS it instead of
+  // minting its own, so one id follows a request across process boundaries.
+  // The distributed router stamps a fleet-unique id here before forwarding;
+  // direct clients normally leave it 0.
+  std::uint64_t trace_id = 0;
 
   [[nodiscard]] bool by_name() const noexcept { return !a_name.empty() || !b_name.empty(); }
 
@@ -106,6 +111,13 @@ struct ServeResponse {
   // the pair never resolved (parse failure, unknown db name, early rejection).
   std::string digest;
   std::string error;         // timeout / rejected / error detail
+  // Router hop fields, appended by the distributed router on traced requests
+  // only ("trace": true) — untraced routed responses stay byte-identical to
+  // direct serving. attempts == 0 means "did not pass through a router" (or
+  // the request was untraced).
+  std::uint32_t attempts = 0;     // dispatch attempts the router used (>= 1)
+  std::string shard;              // the shard whose answer won
+  double router_queued_ms = 0.0;  // router admission -> first dispatch
 
   [[nodiscard]] obs::Json to_json() const;
   [[nodiscard]] std::string to_line() const;

@@ -104,6 +104,7 @@ QueryService::QueryService(ServiceConfig config)
     : config_(std::move(config)),
       cache_(config_.cache),
       queue_(std::max<std::size_t>(1, config_.queue_capacity)),
+      flight_(config_.flight),
       started_(Clock::now()) {
   if (config_.default_algorithm.empty()) config_.default_algorithm = "srna2";
   // Fail construction, not the first request, on an unknown default backend.
@@ -176,7 +177,11 @@ bool QueryService::submit(ServeRequest request, Callback done) {
   obs::Registry::instance().counter("serve.requests").add();
   Job job;
   job.admitted = Clock::now();
-  job.trace_id = next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+  // A propagated correlation id (the distributed router's, or any upstream
+  // caller's) is adopted wholesale; only uncorrelated requests mint locally.
+  job.trace_id = request.trace_id != 0
+                     ? request.trace_id
+                     : next_trace_id_.fetch_add(1, std::memory_order_relaxed);
   // Tracer timestamp captured up front so the worker can record the queued
   // phase retroactively (the span belongs to this request's lane even though
   // no thread runs it while it waits).
@@ -224,6 +229,15 @@ bool QueryService::submit(ServeRequest request, Callback done) {
                        {"reason", obs::Json(resp.error)},
                        {"retry_after_ms", obs::Json(resp.retry_after_ms)}}));
   resp.latency_ms = ms_between(job.admitted, Clock::now());
+  // Rejections never reach respond(), so the flight recorder hears about
+  // them here — a burst of these records is exactly the anomaly it watches.
+  obs::FlightRecord flight_record;
+  flight_record.trace_id = trace_id;
+  flight_record.request_id = resp.id;
+  flight_record.outcome = to_string(resp.status);
+  flight_record.detail = resp.error;
+  flight_record.latency_ms = resp.latency_ms;
+  flight_.record(std::move(flight_record));
   job.done(resp);
   return false;
 }
@@ -545,7 +559,8 @@ ServeResponse QueryService::solve_job(Job& job, bool& parked,
       resp.solve_ms = solve_seconds * 1e3;
       obs::Registry::instance().histogram("serve.solve_seconds").observe(
           std::max(1e-9, solve_seconds));
-      obs::Registry::instance().window("serve.solve_ms_window").observe(resp.solve_ms);
+      obs::Registry::instance().window("serve.solve_ms_window").observe(
+          resp.solve_ms, job.trace_id);
       // EWMA(1/8) feeds the retry-after hint; benign update race is fine.
       const double prev =
           std::bit_cast<double>(solve_ewma_bits_.load(std::memory_order_relaxed));
@@ -585,7 +600,10 @@ void QueryService::respond(const Job& job, ServeResponse response) {
   registry.histogram("serve.request_latency").observe(
       std::max(1e-9, response.latency_ms / 1e3));
   // The sliding window behind the admin endpoint's live p50/p95/p99 gauges.
-  registry.window("serve.latency_ms_window").observe(response.latency_ms);
+  // The trace id rides along as the exemplar: the window's max quantile can
+  // name the exact request that set it.
+  registry.window("serve.latency_ms_window").observe(response.latency_ms,
+                                                     response.trace_id);
   switch (response.status) {
     case ResponseStatus::kOk:
       responses_ok_.fetch_add(1, std::memory_order_relaxed);
@@ -616,6 +634,19 @@ void QueryService::respond(const Job& job, ServeResponse response) {
                                      {"detail", obs::Json(response.error)}}));
       break;
   }
+  // Every answered request leaves one flight record; timeouts, errors, and
+  // slow responses (past flight.slow_ms) trip the anomaly dump.
+  obs::FlightRecord flight_record;
+  flight_record.trace_id = response.trace_id;
+  flight_record.request_id = response.id;
+  flight_record.digest = response.digest;
+  flight_record.outcome = to_string(response.status);
+  flight_record.detail = response.error;
+  flight_record.latency_ms = response.latency_ms;
+  flight_record.queued_ms = response.queued_ms;
+  flight_record.solve_ms = response.solve_ms;
+  flight_record.cache_hit = response.cache_hit;
+  flight_.record(std::move(flight_record));
   job.done(response);
 }
 

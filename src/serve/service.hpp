@@ -89,6 +89,7 @@
 
 #include "db/structure_db.hpp"
 #include "engine/engine.hpp"
+#include "obs/flight.hpp"
 #include "serve/cache.hpp"
 #include "serve/protocol.hpp"
 #include "serve/queue.hpp"
@@ -163,6 +164,11 @@ struct ServiceConfig {
   // must outlive the service and must not be mutated while serving (lookups
   // run concurrently on workers).
   const StructureDatabase* db = nullptr;
+  // Always-on flight recorder (obs/flight.hpp): every response leaves a
+  // record in the ring; anomalies (slow responses past flight.slow_ms,
+  // timeouts, rejection bursts) dump recent history and retain exemplars
+  // behind GET /flightz.
+  obs::FlightConfig flight;
 };
 
 class QueryService {
@@ -204,6 +210,8 @@ class QueryService {
   }
   [[nodiscard]] const ServiceConfig& config() const noexcept { return config_; }
   [[nodiscard]] const ResultCache& cache() const noexcept { return cache_; }
+  // The flight-recorder view (GET /flightz and the in-band admin command).
+  [[nodiscard]] const obs::FlightRecorder& flight() const noexcept { return flight_; }
 
   // Everything a run report wants: request/response counts by status, cache
   // stats, queue capacity/depth, latency percentiles (from the registry
@@ -265,6 +273,7 @@ class QueryService {
   ResultCache cache_;
   BoundedQueue<Job> queue_;
   DeadlineMonitor monitor_;
+  obs::FlightRecorder flight_;
   std::vector<std::thread> workers_;
 
   // Workers that have entered worker_loop (readiness, see ready()).

@@ -1,0 +1,166 @@
+// Cross-process trace collection (dist/trace_collect.hpp): topology
+// discovery from a router --status-file, and the clock-aligned merge of
+// per-process Chrome trace documents — the earliest wall-clock anchor
+// becomes the merged timeline's origin, later-started processes shift right
+// by their anchor delta, and each source gets its own Perfetto process lane.
+#include "dist/trace_collect.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace srna::dist {
+namespace {
+
+obs::Json parse(const std::string& text) {
+  const std::optional<obs::Json> doc = obs::Json::parse(text);
+  EXPECT_TRUE(doc.has_value()) << text;
+  return *doc;
+}
+
+// A one-event process trace as Tracer::to_json emits it: steady-clock
+// timestamps plus the wall-clock anchor that pins them to shared time.
+obs::Json process_trace(std::uint64_t anchor_us, std::uint64_t ts_us,
+                        const std::string& name = "solve") {
+  obs::Json event = obs::Json::object();
+  event.set("name", name).set("cat", "serve").set("ph", "X");
+  event.set("ts", ts_us).set("dur", std::uint64_t{5});
+  event.set("pid", std::uint64_t{1}).set("tid", std::uint64_t{1});
+  obs::Json events = obs::Json::array();
+  events.push(std::move(event));
+  obs::Json doc = obs::Json::object();
+  doc.set("traceEvents", std::move(events));
+  if (anchor_us != 0) {
+    obs::Json anchor = obs::Json::object();
+    anchor.set("realtime_unix_us", anchor_us);
+    anchor.set("pid", std::uint64_t{4242});
+    doc.set("srna_clock_anchor", std::move(anchor));
+  }
+  return doc;
+}
+
+// The non-metadata events of one merged pid.
+std::vector<const obs::Json*> events_of_pid(const obs::Json& merged,
+                                            std::int64_t pid) {
+  std::vector<const obs::Json*> out;
+  for (const obs::Json& event : merged.find("traceEvents")->items()) {
+    if (event.find("ph")->as_string() == "M") continue;
+    if (event.find("pid")->as_int() == pid) out.push_back(&event);
+  }
+  return out;
+}
+
+TEST(TraceCollect, SourcesFromStatusFindsRouterAndLiveShardAdminPlanes) {
+  const obs::Json status = parse(R"({
+    "router": {"host": "127.0.0.1", "port": 7633, "admin_port": 7643},
+    "shards": [
+      {"name": "shard0", "data": "127.0.0.1:7701", "admin": "127.0.0.1:7711"},
+      {"name": "shard1", "data": "127.0.0.1:7702", "admin": "127.0.0.1:0"},
+      {"name": "shard2", "data": "127.0.0.1:7703", "admin": "not an endpoint"}
+    ]
+  })");
+
+  const std::vector<TraceSource> sources = sources_from_status(status);
+  ASSERT_EQ(sources.size(), 2u) << "admin-less shards cannot be scraped";
+  EXPECT_EQ(sources[0].name, "router");
+  EXPECT_EQ(sources[0].admin.host, "127.0.0.1");
+  EXPECT_EQ(sources[0].admin.port, 7643);
+  EXPECT_EQ(sources[1].name, "shard0");
+  EXPECT_EQ(sources[1].admin.port, 7711);
+}
+
+TEST(TraceCollect, SourcesFromStatusSkipsADisabledRouterAdminPlane) {
+  const obs::Json status = parse(R"({
+    "router": {"host": "127.0.0.1", "port": 7633, "admin_port": 0},
+    "shards": []
+  })");
+  EXPECT_TRUE(sources_from_status(status).empty());
+}
+
+TEST(TraceCollect, MergeAlignsClocksToTheEarliestAnchor) {
+  // The shard booted 500us after the router (later wall-clock anchor), and
+  // both steady clocks started near zero: without alignment its events
+  // would render 500us too early relative to the router's.
+  std::vector<ProcessTrace> traces;
+  traces.push_back({"router", process_trace(1'000'000, 100, "attempt")});
+  traces.push_back({"shard0", process_trace(1'000'500, 50, "solve")});
+
+  const obs::Json merged = merge_traces(traces);
+  EXPECT_EQ(merged.find("srna_clock_base_unix_us")->as_uint(), 1'000'000u);
+
+  const auto router_events = events_of_pid(merged, 1);
+  ASSERT_EQ(router_events.size(), 1u);
+  EXPECT_EQ(router_events[0]->find("ts")->as_uint(), 100u) << "base process unshifted";
+
+  const auto shard_events = events_of_pid(merged, 2);
+  ASSERT_EQ(shard_events.size(), 1u);
+  EXPECT_EQ(shard_events[0]->find("ts")->as_uint(), 550u)
+      << "50us on the shard clock is 550us on the merged timeline";
+
+  // The per-process summary records the applied offsets.
+  const obs::Json* processes = merged.find("srna_processes");
+  ASSERT_NE(processes, nullptr);
+  EXPECT_EQ(processes->find("router")->find("clock_offset_us")->as_uint(), 0u);
+  EXPECT_EQ(processes->find("shard0")->find("clock_offset_us")->as_uint(), 500u);
+  EXPECT_EQ(processes->find("shard0")->find("events")->as_uint(), 1u);
+}
+
+TEST(TraceCollect, AnchorlessTracesKeepTheirOwnTimestamps) {
+  // A process that never enabled tracing has no anchor; flinging its events
+  // by a bogus offset would be worse than leaving them put.
+  std::vector<ProcessTrace> traces;
+  traces.push_back({"router", process_trace(2'000'000, 10)});
+  traces.push_back({"shard0", process_trace(0, 10)});
+
+  const obs::Json merged = merge_traces(traces);
+  EXPECT_EQ(merged.find("srna_clock_base_unix_us")->as_uint(), 2'000'000u);
+  const auto shard_events = events_of_pid(merged, 2);
+  ASSERT_EQ(shard_events.size(), 1u);
+  EXPECT_EQ(shard_events[0]->find("ts")->as_uint(), 10u);
+}
+
+TEST(TraceCollect, CollectorLaneNamesReplaceSourceProcessNames) {
+  // Every srna-serve names itself "srna-serve"; only the collector (via the
+  // status file) knows which shard it was. One process_name metadata event
+  // per lane, carrying the collector's name.
+  obs::Json meta = obs::Json::object();
+  meta.set("ph", "M").set("name", "process_name").set("pid", std::uint64_t{1});
+  obs::Json meta_args = obs::Json::object();
+  meta_args.set("name", "srna-serve");
+  meta.set("args", std::move(meta_args));
+  obs::Json doc = process_trace(3'000'000, 7);
+  obs::Json merged_events = *doc.find("traceEvents");
+  merged_events.push(std::move(meta));
+  doc.set("traceEvents", std::move(merged_events));
+
+  std::vector<ProcessTrace> traces;
+  traces.push_back({"shard3", std::move(doc)});
+  const obs::Json merged = merge_traces(traces);
+
+  std::vector<std::string> lane_names;
+  for (const obs::Json& event : merged.find("traceEvents")->items()) {
+    if (event.find("ph")->as_string() != "M") continue;
+    if (event.find("name")->as_string() != "process_name") continue;
+    EXPECT_EQ(event.find("pid")->as_int(), 1);
+    lane_names.push_back(event.find("args")->find("name")->as_string());
+  }
+  EXPECT_EQ(lane_names, (std::vector<std::string>{"shard3"}));
+}
+
+TEST(TraceCollect, MergedPidsAreDistinctPerSource) {
+  std::vector<ProcessTrace> traces;
+  traces.push_back({"router", process_trace(1'000'000, 1)});
+  traces.push_back({"shard0", process_trace(1'000'000, 2)});
+  traces.push_back({"shard1", process_trace(1'000'000, 3)});
+  const obs::Json merged = merge_traces(traces);
+  for (std::int64_t pid = 1; pid <= 3; ++pid)
+    EXPECT_EQ(events_of_pid(merged, pid).size(), 1u) << "pid " << pid;
+}
+
+}  // namespace
+}  // namespace srna::dist

@@ -1,0 +1,217 @@
+// FlightRecorder semantics (obs/flight.hpp): the always-on ring of recent
+// request records. Wraparound keeps exactly the last `capacity`, anomalies
+// (non-ok outcome, failover, slow, rejection burst) retain exemplars and
+// fire the rate-limited dump hook, and concurrent writers never lose a
+// record — the suite runs under ThreadSanitizer via the obs_tests binary.
+#include "obs/flight.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace srna::obs {
+namespace {
+
+FlightRecord make_record(std::uint64_t trace_id, const std::string& outcome = "ok",
+                         double latency_ms = 1.0) {
+  FlightRecord record;
+  record.trace_id = trace_id;
+  record.request_id = static_cast<std::int64_t>(trace_id);
+  record.outcome = outcome;
+  record.latency_ms = latency_ms;
+  return record;
+}
+
+std::vector<std::uint64_t> record_seqs(const Json& doc) {
+  std::vector<std::uint64_t> seqs;
+  for (const Json& r : doc.find("records")->items())
+    seqs.push_back(r.find("seq")->as_uint());
+  return seqs;
+}
+
+TEST(FlightRecorder, AssignsSequentialSeqsAndFillsWallClock) {
+  FlightRecorder recorder;
+  EXPECT_EQ(recorder.record(make_record(1)), 1u);
+  EXPECT_EQ(recorder.record(make_record(2)), 2u);
+  EXPECT_EQ(recorder.recorded(), 2u);
+
+  const Json doc = recorder.to_json();
+  for (const Json& r : doc.find("records")->items())
+    EXPECT_GT(r.find("wall_us")->as_uint(), 0u) << "wall clock must be stamped";
+}
+
+TEST(FlightRecorder, RingKeepsOnlyTheLastCapacityRecordsOldestFirst) {
+  FlightConfig config;
+  config.capacity = 4;
+  FlightRecorder recorder(config);
+  for (std::uint64_t i = 1; i <= 10; ++i) recorder.record(make_record(i));
+
+  const Json doc = recorder.to_json();
+  EXPECT_EQ(doc.find("capacity")->as_uint(), 4u);
+  EXPECT_EQ(doc.find("recorded")->as_uint(), 10u);
+  EXPECT_EQ(record_seqs(doc), (std::vector<std::uint64_t>{7, 8, 9, 10}));
+}
+
+TEST(FlightRecorder, NonOkOutcomesAndFailoversAreAnomalies) {
+  FlightRecorder recorder;
+  std::vector<std::string> triggers;
+  recorder.set_dump_hook([&triggers](const Json& dump) {
+    triggers.push_back(dump.find("trigger")->as_string());
+  });
+
+  recorder.record(make_record(1, "ok"));
+  EXPECT_EQ(recorder.anomalies(), 0u) << "ok requests are not anomalies";
+
+  FlightRecord timeout = make_record(2, "timeout");
+  timeout.wall_us = 1'000'000;  // manual clock: each anomaly its own interval
+  recorder.record(timeout);
+
+  FlightRecord failover = make_record(3, "ok");
+  failover.attempts = 2;
+  failover.failovers = 1;
+  failover.wall_us = 10'000'000;
+  recorder.record(failover);
+
+  EXPECT_EQ(recorder.anomalies(), 2u);
+  EXPECT_EQ(triggers, (std::vector<std::string>{"timeout", "failover"}));
+
+  // Both kept as exemplars, newest last, with the failover history intact.
+  const Json doc = recorder.to_json();
+  const Json& exemplars = *doc.find("exemplars");
+  ASSERT_EQ(exemplars.items().size(), 2u);
+  EXPECT_EQ(exemplars.items()[0].find("outcome")->as_string(), "timeout");
+  EXPECT_EQ(exemplars.items()[1].find("failovers")->as_uint(), 1u);
+  EXPECT_EQ(exemplars.items()[1].find("trace_id")->as_uint(), 3u);
+}
+
+TEST(FlightRecorder, SlowThresholdRetainsLatencyExemplars) {
+  FlightConfig config;
+  config.slow_ms = 5.0;
+  FlightRecorder recorder(config);
+  recorder.record(make_record(1, "ok", 1.0));
+  EXPECT_EQ(recorder.anomalies(), 0u);
+  recorder.record(make_record(2, "ok", 9.0));
+  EXPECT_EQ(recorder.anomalies(), 1u);
+
+  const Json doc = recorder.to_json();
+  const Json& exemplars = *doc.find("exemplars");
+  ASSERT_EQ(exemplars.items().size(), 1u);
+  // The exemplar carries the trace id — the "which request was the slow one"
+  // pointer /flightz exists to answer.
+  EXPECT_EQ(exemplars.items()[0].find("trace_id")->as_uint(), 2u);
+  EXPECT_DOUBLE_EQ(exemplars.items()[0].find("latency_ms")->as_double(), 9.0);
+}
+
+TEST(FlightRecorder, AnomalyDumpsAreRateLimitedButExemplarsAreNot) {
+  FlightConfig config;
+  config.dump_min_interval_ms = 1000;
+  FlightRecorder recorder(config);
+  std::vector<std::string> triggers;
+  recorder.set_dump_hook([&triggers](const Json& dump) {
+    triggers.push_back(dump.find("trigger")->as_string());
+  });
+
+  // Three anomalies inside one interval, a fourth after it expires.
+  for (std::uint64_t offset_us : {0u, 100u, 200u}) {
+    FlightRecord record = make_record(offset_us + 1, "error");
+    record.wall_us = 5'000'000 + offset_us;
+    recorder.record(record);
+  }
+  FlightRecord later = make_record(99, "error");
+  later.wall_us = 5'000'000 + 2'000'000;
+  recorder.record(later);
+
+  EXPECT_EQ(recorder.anomalies(), 4u);
+  EXPECT_EQ(triggers.size(), 2u) << "one dump per interval";
+  EXPECT_EQ(recorder.to_json().find("exemplars")->items().size(), 4u)
+      << "rate limiting skips dumps, never exemplars";
+}
+
+TEST(FlightRecorder, RejectionBurstTripsOnlyInsideTheWindow) {
+  FlightConfig config;
+  config.reject_burst = 3;
+  config.reject_burst_window_ms = 1000;
+  FlightRecorder recorder(config);
+
+  // Two slow-drip rejections a full window apart: backpressure, not anomaly.
+  for (std::uint64_t t_us : {1'000'000ull, 3'000'000ull}) {
+    FlightRecord record = make_record(t_us, "rejected");
+    record.wall_us = t_us;
+    recorder.record(record);
+  }
+  EXPECT_EQ(recorder.anomalies(), 0u);
+
+  // Three rejections inside one second: the burst anomaly.
+  for (std::uint64_t t_us : {9'000'000ull, 9'100'000ull, 9'200'000ull}) {
+    FlightRecord record = make_record(t_us, "rejected");
+    record.wall_us = t_us;
+    recorder.record(record);
+  }
+  EXPECT_EQ(recorder.anomalies(), 1u);
+}
+
+TEST(FlightRecorder, ExemplarRetentionIsBounded) {
+  FlightConfig config;
+  config.exemplars = 2;
+  config.dump_min_interval_ms = 0;
+  FlightRecorder recorder(config);
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    FlightRecord record = make_record(i, "error");
+    record.wall_us = i * 1'000'000;
+    recorder.record(record);
+  }
+  EXPECT_EQ(recorder.anomalies(), 5u);
+
+  const Json doc = recorder.to_json();
+  const Json& exemplars = *doc.find("exemplars");
+  ASSERT_EQ(exemplars.items().size(), 2u) << "bounded at config.exemplars";
+  EXPECT_EQ(exemplars.items()[0].find("trace_id")->as_uint(), 4u);
+  EXPECT_EQ(exemplars.items()[1].find("trace_id")->as_uint(), 5u)
+      << "most recent anomalies win";
+}
+
+TEST(FlightRecorder, ConcurrentWritersAndReadersNeverLoseARecord) {
+  FlightConfig config;
+  config.capacity = 16;  // force constant wraparound contention
+  config.slow_ms = 0.5;  // half the records are "slow" -> exemplar churn too
+  FlightRecorder recorder(config);
+
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 250;
+  std::atomic<bool> stop{false};
+  std::thread reader([&recorder, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const Json doc = recorder.to_json();
+      // Snapshot sanity while writers are racing the ring.
+      EXPECT_LE(doc.find("records")->items().size(), 16u);
+    }
+  });
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&recorder, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i)
+        recorder.record(make_record(static_cast<std::uint64_t>(t) * kPerThread + i,
+                                    "ok", i % 2 == 0 ? 0.1 : 1.0));
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  EXPECT_EQ(recorder.recorded(), kThreads * kPerThread);
+  const Json doc = recorder.to_json();
+  EXPECT_EQ(doc.find("records")->items().size(), 16u);
+  // Seqs in the final ring are unique and sorted (oldest first).
+  const std::vector<std::uint64_t> seqs = record_seqs(doc);
+  for (std::size_t i = 1; i < seqs.size(); ++i) EXPECT_LT(seqs[i - 1], seqs[i]);
+}
+
+}  // namespace
+}  // namespace srna::obs

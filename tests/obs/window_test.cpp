@@ -105,6 +105,37 @@ TEST(WindowHistogram, ToJsonCarriesTheSnapshotFields) {
   EXPECT_DOUBLE_EQ(doc.find("max")->as_double(), 3.0);
 }
 
+TEST(WindowHistogram, MaxExemplarNamesTheSlowestObservation) {
+  WindowHistogram w(8);
+  w.observe(1.0, 101);
+  w.observe(9.0, 909);  // the window max — its trace id is the exemplar
+  w.observe(3.0, 303);
+  const auto snap = w.snapshot();
+  EXPECT_DOUBLE_EQ(snap.max, 9.0);
+  EXPECT_EQ(snap.max_exemplar, 909u);
+  EXPECT_EQ(w.to_json().find("max_exemplar_trace_id")->as_uint(), 909u);
+}
+
+TEST(WindowHistogram, ExemplarSlidesOutOfTheWindowWithItsObservation) {
+  WindowHistogram w(2);
+  w.observe(9.0, 909);  // evicted: the window only holds two
+  w.observe(1.0, 101);
+  w.observe(2.0, 202);
+  const auto snap = w.snapshot();
+  EXPECT_DOUBLE_EQ(snap.max, 2.0);
+  EXPECT_EQ(snap.max_exemplar, 202u) << "stale exemplars must not outlive their value";
+}
+
+TEST(WindowHistogram, UntracedObservationsYieldNoExemplar) {
+  WindowHistogram w(8);
+  w.observe(4.0);  // no trace id riding along
+  w.observe(2.0);
+  const auto snap = w.snapshot();
+  EXPECT_EQ(snap.max_exemplar, 0u);
+  EXPECT_FALSE(w.to_json().contains("max_exemplar_trace_id"))
+      << "the field is sparse: absent rather than zero";
+}
+
 TEST(WindowHistogram, ConcurrentObserversAccountEveryValue) {
   WindowHistogram w(1 << 14);
   constexpr int kThreads = 4;

@@ -94,6 +94,25 @@ TEST_F(TracePropagationTest, QueuedCacheAndSolveSpansShareTheRequestTraceId) {
   EXPECT_FALSE(hit_solve);
 }
 
+TEST_F(TracePropagationTest, ClientSuppliedTraceIdIsAdoptedNotReminted) {
+  // A request arriving with a trace id already stamped (the router's mint,
+  // or a caller correlating across systems) keeps it end to end; the
+  // shard's own counter only covers requests that arrive bare.
+  QueryService service({});
+  ServeRequest req = traced_request(1, "((..))", "(..)");
+  req.trace_id = 777;
+  const ServeResponse resp = service.solve(req);
+  ASSERT_EQ(resp.status, ResponseStatus::kOk);
+  EXPECT_EQ(resp.trace_id, 777u);
+
+  // The next bare request still mints from the local counter — adoption
+  // must not advance or clobber it.
+  const ServeResponse bare = service.solve(traced_request(2, "((..))", "(..)"));
+  ASSERT_EQ(bare.status, ResponseStatus::kOk);
+  EXPECT_NE(bare.trace_id, 0u);
+  EXPECT_NE(bare.trace_id, 777u);
+}
+
 TEST_F(TracePropagationTest, UntracedRequestsProduceNoPhaseSpans) {
   obs::Tracer::instance().enable();
   QueryService service({});

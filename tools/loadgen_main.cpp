@@ -118,6 +118,13 @@ struct Tally {
   // "the server is slow" from "the server is queueing".
   std::vector<double> server_queued_ms;
   std::vector<double> server_solve_ms;
+  // Router hop fields (traced responses that passed through srna-router):
+  // time from router admission to first dispatch, plus how many dispatch
+  // attempts the router needed — failovers show up here as attempts > 1.
+  std::vector<double> router_queued_ms;
+  std::uint64_t hop_reporting = 0;
+  std::uint64_t hop_attempts = 0;
+  std::uint64_t hop_failovers = 0;
   std::uint64_t ok = 0;
   std::uint64_t rejected = 0;
   std::uint64_t over_memory = 0;  // memory admission, distinct from queue rejects
@@ -137,6 +144,12 @@ struct Tally {
         if (resp.trace_id != 0) {
           server_queued_ms.push_back(resp.queued_ms);
           server_solve_ms.push_back(resp.solve_ms);
+        }
+        if (resp.attempts > 0) {
+          ++hop_reporting;
+          hop_attempts += resp.attempts;
+          hop_failovers += resp.attempts - 1;
+          router_queued_ms.push_back(resp.router_queued_ms);
         }
         break;
       case serve::ResponseStatus::kRejected: ++rejected; break;
@@ -398,6 +411,7 @@ int main(int argc, char** argv) {
     std::sort(tally.latencies_ms.begin(), tally.latencies_ms.end());
     std::sort(tally.server_queued_ms.begin(), tally.server_queued_ms.end());
     std::sort(tally.server_solve_ms.begin(), tally.server_solve_ms.end());
+    std::sort(tally.router_queued_ms.begin(), tally.router_queued_ms.end());
     const double p50 = percentile(tally.latencies_ms, 0.50);
     const double p90 = percentile(tally.latencies_ms, 0.90);
     const double p99 = percentile(tally.latencies_ms, 0.99);
@@ -436,6 +450,11 @@ int main(int argc, char** argv) {
                 << percentile(tally.server_solve_ms, 0.50) << "  p99 "
                 << percentile(tally.server_solve_ms, 0.99) << "  ("
                 << tally.server_queued_ms.size() << " reporting)\n";
+    if (tally.hop_reporting > 0)
+      std::cout << "router ms:   queued p50 " << percentile(tally.router_queued_ms, 0.50)
+                << "  p99 " << percentile(tally.router_queued_ms, 0.99) << "  |  attempts "
+                << tally.hop_attempts << " (" << tally.hop_failovers << " failovers, "
+                << tally.hop_reporting << " reporting)\n";
     if (endpoints.size() > 1) {
       for (std::size_t e = 0; e < endpoints.size(); ++e) {
         EndpointStats& es = *endpoint_stats[e];
@@ -492,6 +511,15 @@ int main(int argc, char** argv) {
                     obs::Json(percentile(tally.server_solve_ms, 0.50)));
         results.set("server_solve_ms_p99",
                     obs::Json(percentile(tally.server_solve_ms, 0.99)));
+      }
+      if (tally.hop_reporting > 0) {
+        results.set("router_queued_ms_p50",
+                    obs::Json(percentile(tally.router_queued_ms, 0.50)));
+        results.set("router_queued_ms_p99",
+                    obs::Json(percentile(tally.router_queued_ms, 0.99)));
+        results.set("router_attempts", obs::Json(tally.hop_attempts));
+        results.set("router_failovers", obs::Json(tally.hop_failovers));
+        results.set("router_hop_reporting", obs::Json(tally.hop_reporting));
       }
       if (endpoints.size() > 1) {
         obs::Json per_endpoint = obs::Json::object();

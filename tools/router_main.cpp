@@ -39,6 +39,7 @@
 #include "dist/router.hpp"
 #include "dist/supervisor.hpp"
 #include "obs/log.hpp"
+#include "obs/trace.hpp"
 #include "serve/admin.hpp"
 #include "serve/server.hpp"
 #include "util/cli.hpp"
@@ -95,6 +96,17 @@ int main(int argc, char** argv) {
                  "startup wait for spawned shards to pass /readyz", "15000");
   cli.add_option("log-level", "structured log threshold (debug|info|warn|error|off)",
                  "info");
+  cli.add_flag("trace-live",
+               "keep the span tracer enabled and serve the router's hop spans "
+               "(queued/attempt/failover) at GET /tracez for srna-trace-collect");
+  cli.add_option("flight-records",
+                 "flight-recorder ring capacity (recent routed-request records "
+                 "behind GET /flightz)",
+                 "256");
+  cli.add_option("flight-slow-ms",
+                 "end-to-end latency threshold that makes a routed request a "
+                 "'slow' anomaly retained as a /flightz exemplar (0 = off)",
+                 "0");
 
   try {
     if (!cli.parse(argc, argv)) return 0;
@@ -120,6 +132,12 @@ int main(int argc, char** argv) {
     config.max_attempts = static_cast<int>(cli.integer("max-attempts"));
     config.retry_after_ms = cli.real("retry-after-ms");
     config.probe.interval_ms = static_cast<int>(cli.integer("probe-interval-ms"));
+    config.flight.capacity = static_cast<std::size_t>(cli.integer("flight-records"));
+    config.flight.slow_ms = cli.real("flight-slow-ms");
+    if (cli.flag("trace-live")) {
+      obs::Tracer::instance().enable();
+      obs::Tracer::instance().set_process_name("srna-router");
+    }
 
     // Self-managed fleet: pre-assign ephemeral ports, spawn, supervise.
     dist::Supervisor supervisor;
@@ -179,7 +197,7 @@ int main(int argc, char** argv) {
           [&router](const std::string& path) { return router.admin_http(path); },
           cli.str("host"), static_cast<std::uint16_t>(cli.integer("admin-port")));
       std::cerr << "admin endpoint on " << cli.str("host") << ":" << admin->port()
-                << " (/metrics /healthz /readyz /statz, aggregated)\n";
+                << " (/metrics /healthz /readyz /statz /flightz /tracez, aggregated)\n";
     }
 
     if (!cli.str("status-file").empty()) {

@@ -25,6 +25,7 @@
 #include "db/structure_db.hpp"
 #include "obs/log.hpp"
 #include "obs/session.hpp"
+#include "obs/trace.hpp"
 #include "serve/admin.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
@@ -68,6 +69,19 @@ int main(int argc, char** argv) {
                  "(0 = off)",
                  "0");
   cli.add_option("algorithm", "default engine backend", "srna2");
+  cli.add_flag("trace-live",
+               "keep the span tracer enabled for the life of the process and "
+               "serve the buffered trace at GET /tracez (what "
+               "srna-trace-collect scrapes); independent of --trace, which "
+               "writes a file at exit");
+  cli.add_option("flight-records",
+                 "flight-recorder ring capacity (recent request records behind "
+                 "GET /flightz)",
+                 "256");
+  cli.add_option("flight-slow-ms",
+                 "latency threshold that makes a request a 'slow' anomaly and "
+                 "retains it as a /flightz exemplar (0 = off)",
+                 "0");
   obs::ObsSession::add_cli_options(cli);
 
   try {
@@ -94,6 +108,12 @@ int main(int argc, char** argv) {
     config.memory_budget_bytes = static_cast<std::uint64_t>(cli.integer("memory-budget"));
     config.batch_window_ms = cli.real("batch-window-ms");
     config.default_algorithm = cli.str("algorithm");
+    config.flight.capacity = static_cast<std::size_t>(cli.integer("flight-records"));
+    config.flight.slow_ms = cli.real("flight-slow-ms");
+    if (cli.flag("trace-live")) {
+      obs::Tracer::instance().enable();
+      obs::Tracer::instance().set_process_name("srna-serve");
+    }
     if (!cli.str("db").empty()) {
       db = StructureDatabase::load_directory(cli.str("db"));
       obs::log_info("serve.db_loaded",
@@ -113,7 +133,7 @@ int main(int argc, char** argv) {
       admin = std::make_unique<serve::AdminServer>(
           service, cli.str("host"), static_cast<std::uint16_t>(admin_port));
       std::cerr << "admin endpoint on " << cli.str("host") << ":" << admin->port()
-                << " (/metrics /healthz /statz)\n";
+                << " (/metrics /healthz /statz /flightz /tracez)\n";
     }
 
     if (cli.flag("offline")) {

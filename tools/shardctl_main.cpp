@@ -6,6 +6,12 @@
 //   srna-shardctl --admin 127.0.0.1:7643 status    fleet stats (router + shards)
 //   srna-shardctl --admin ... metrics              merged Prometheus exposition
 //   srna-shardctl --admin ... ready                exit 0 iff the router routes
+//   srna-shardctl --admin ... flightz              merged flight-recorder view
+//                                                  (recent records + anomaly
+//                                                  exemplars across the fleet)
+//   srna-shardctl --status-file s.json trace       scrape every /tracez and
+//                                                  merge into one clock-aligned
+//                                                  Perfetto trace (--output)
 //   srna-shardctl --status-file s.json topology    resolved ports and pids
 //   srna-shardctl --status-file s.json route --a=DOTB --b=DOTB
 //       where a structure pair lands: its canonical digest plus the ring's
@@ -25,6 +31,7 @@
 
 #include "dist/hash_ring.hpp"
 #include "dist/net.hpp"
+#include "dist/trace_collect.hpp"
 #include "obs/json.hpp"
 #include "rna/dot_bracket.hpp"
 #include "rna/structure_hash.hpp"
@@ -56,7 +63,7 @@ std::string fetch(const dist::Endpoint& admin, const std::string& path) {
 int main(int argc, char** argv) {
   CliParser cli("srna-shardctl",
                 "operator CLI for srna-router fleets "
-                "(status | metrics | ready | topology | route)");
+                "(status | metrics | ready | flightz | trace | topology | route)");
   cli.add_option("admin", "router admin endpoint HOST:PORT", "");
   cli.add_option("status-file", "topology JSON written by srna-router --status-file", "");
   cli.add_option("shard-name", "shard name for `route` when no status file; repeatable", "");
@@ -64,12 +71,14 @@ int main(int argc, char** argv) {
   cli.add_option("b", "dot-bracket structure B for `route`", "");
   cli.add_option("replicas", "ring replicas (must match the router)", "2");
   cli.add_option("vnodes", "ring virtual nodes per shard (must match the router)", "128");
+  cli.add_option("output", "`trace`: write the merged trace here (default: stdout)", "");
 
   try {
     if (!cli.parse(argc, argv)) return 0;
     if (cli.positional().size() != 1)
       throw std::invalid_argument(
-          "expected exactly one command: status | metrics | ready | topology | route");
+          "expected exactly one command: status | metrics | ready | flightz | trace | "
+          "topology | route");
     const std::string& command = cli.positional()[0];
 
     // Resolve the router admin endpoint: explicit flag wins, status file second.
@@ -87,12 +96,17 @@ int main(int argc, char** argv) {
                                static_cast<std::uint16_t>(port->as_uint())};
     }
 
-    if (command == "status" || command == "metrics" || command == "ready") {
+    if (command == "status" || command == "metrics" || command == "ready" ||
+        command == "flightz") {
       if (!admin)
         throw std::invalid_argument("command '" + command +
                                     "' needs --admin or a status file with an admin port");
       if (command == "status") {
         std::cout << fetch(*admin, "/statz") << "\n";
+      } else if (command == "flightz") {
+        // The router merges its own ring with every shard's, so one fetch is
+        // the whole fleet's flight history.
+        std::cout << fetch(*admin, "/flightz");
       } else if (command == "metrics") {
         std::cout << fetch(*admin, "/metrics");
       } else {
@@ -100,6 +114,33 @@ int main(int argc, char** argv) {
             dist::http_get_body(*admin, "/readyz", 2000);
         std::cout << (body ? *body : std::string("not ready")) << "\n";
         return body ? 0 : 1;
+      }
+      return 0;
+    }
+
+    if (command == "trace") {
+      std::vector<dist::TraceSource> sources;
+      if (status) sources = dist::sources_from_status(*status);
+      if (sources.empty() && admin)
+        sources.push_back(dist::TraceSource{"router", *admin});
+      if (sources.empty())
+        throw std::invalid_argument("`trace` needs --status-file (or --admin)");
+      std::vector<dist::ProcessTrace> traces;
+      for (const dist::TraceSource& source : sources) {
+        if (std::optional<obs::Json> doc = dist::fetch_trace(source.admin, 2000))
+          traces.push_back(dist::ProcessTrace{source.name, std::move(*doc)});
+        else
+          std::cerr << "srna-shardctl: no trace from " << source.name << " ("
+                    << source.admin.to_string() << ")\n";
+      }
+      if (traces.empty()) throw std::runtime_error("no /tracez source answered");
+      const obs::Json merged = dist::merge_traces(traces);
+      if (cli.str("output").empty()) {
+        std::cout << merged.dump(0) << "\n";
+      } else {
+        std::ofstream out(cli.str("output"));
+        if (!out) throw std::runtime_error("cannot write " + cli.str("output"));
+        out << merged.dump(0) << "\n";
       }
       return 0;
     }

@@ -1,0 +1,102 @@
+// srna-trace-collect — pulls per-process Chrome traces from a running
+// router/shard fleet and merges them into one Perfetto-loadable file.
+//
+//   srna-trace-collect --status-file status.json --output merged.json
+//   srna-trace-collect --source router=127.0.0.1:7643 \
+//                      --source shard0=127.0.0.1:7701 --output merged.json
+//
+// Sources come from a router's --status-file (router + every shard admin
+// plane) or repeated --source NAME=HOST:PORT flags; each is scraped at
+// `GET /tracez` and the documents are clock-aligned via their embedded
+// wall-clock anchors (dist/trace_collect.hpp). Processes that never enabled
+// tracing (run without --trace/--trace-live) contribute empty lanes; the
+// tool only fails when NO source answers. With no --output the merged
+// document goes to stdout.
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dist/trace_collect.hpp"
+#include "obs/json.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace srna;
+
+obs::Json load_status_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read status file " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::optional<obs::Json> doc = obs::Json::parse(buffer.str());
+  if (!doc) throw std::runtime_error("status file " + path + " is not valid JSON");
+  return *doc;
+}
+
+dist::TraceSource parse_source(const std::string& spec) {
+  const std::size_t eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0)
+    throw std::invalid_argument("--source wants NAME=HOST:PORT, got '" + spec + "'");
+  dist::TraceSource source;
+  source.name = spec.substr(0, eq);
+  source.admin = dist::parse_endpoint(spec.substr(eq + 1));
+  return source;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("srna-trace-collect",
+                "merge per-process /tracez scrapes into one Perfetto trace");
+  cli.add_option("status-file", "topology JSON written by srna-router --status-file", "");
+  cli.add_option("source", "extra scrape target NAME=HOST:PORT; repeatable", "");
+  cli.add_option("output", "write the merged trace here (default: stdout)", "");
+  cli.add_option("timeout-ms", "per-scrape connect/read budget", "2000");
+
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    std::vector<dist::TraceSource> sources;
+    if (!cli.str("status-file").empty())
+      sources = dist::sources_from_status(load_status_file(cli.str("status-file")));
+    for (const std::string& spec : cli.str_list("source"))
+      sources.push_back(parse_source(spec));
+    if (sources.empty())
+      throw std::invalid_argument("no sources: give --status-file and/or --source");
+
+    const int timeout_ms = static_cast<int>(cli.integer("timeout-ms"));
+    std::vector<dist::ProcessTrace> traces;
+    for (const dist::TraceSource& source : sources) {
+      std::optional<obs::Json> doc = dist::fetch_trace(source.admin, timeout_ms);
+      if (!doc) {
+        std::cerr << "srna-trace-collect: no trace from " << source.name << " ("
+                  << source.admin.to_string() << ")\n";
+        continue;
+      }
+      traces.push_back(dist::ProcessTrace{source.name, std::move(*doc)});
+    }
+    if (traces.empty()) throw std::runtime_error("no /tracez source answered");
+
+    const obs::Json merged = dist::merge_traces(traces);
+    if (cli.str("output").empty()) {
+      std::cout << merged.dump(0) << "\n";
+    } else {
+      std::ofstream out(cli.str("output"));
+      if (!out) throw std::runtime_error("cannot write " + cli.str("output"));
+      out << merged.dump(0) << "\n";
+      if (!out) throw std::runtime_error("short write to " + cli.str("output"));
+      std::cerr << "srna-trace-collect: merged " << traces.size() << "/"
+                << sources.size() << " process traces into " << cli.str("output")
+                << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "srna-trace-collect: " << e.what() << "\n";
+    return 1;
+  }
+}
